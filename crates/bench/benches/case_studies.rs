@@ -1,0 +1,71 @@
+//! Miniature versions of the three paper case studies as Criterion
+//! benchmarks — one representative simulation point per table/figure
+//! family, so `cargo bench` exercises every experiment code path and
+//! tracks its cost over time. The full-size figure data comes from the
+//! `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use supersim_config::Value;
+use supersim_core::{presets, SuperSim};
+
+fn run(cfg: &Value) -> u64 {
+    let out = SuperSim::from_config(cfg).expect("build").run().expect("run");
+    assert!(out.packets_delivered() > 0);
+    out.engine.events_executed
+}
+
+/// Figure 9 family: latent congestion detection (folded Clos, OQ router).
+fn case_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_latent_congestion");
+    group.sample_size(10);
+    for delay in [1u64, 8] {
+        let cfg = presets::latent_congestion(2, 4, delay, Some(16), 10, 10, 0.5, 60);
+        group.bench_function(format!("delay_{delay}"), |b| b.iter(|| run(&cfg)));
+    }
+    group.finish();
+}
+
+/// Figure 10 family: credit accounting (flattened butterfly, IOQ, UGAL).
+fn case_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_credit_accounting");
+    group.sample_size(10);
+    for (granularity, source) in [("vc", "both"), ("port", "output")] {
+        let cfg = presets::credit_accounting(
+            8,
+            4,
+            source,
+            granularity,
+            "uniform_random",
+            10,
+            4,
+            0.5,
+            60,
+        );
+        group.bench_function(format!("{granularity}_{source}"), |b| b.iter(|| run(&cfg)));
+    }
+    group.finish();
+}
+
+/// Figures 11/12 family: flow control techniques (torus, IQ, DOR).
+fn case_c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_flow_control");
+    group.sample_size(10);
+    for fc in ["flit_buffer", "packet_buffer", "winner_take_all"] {
+        let cfg = presets::flow_control(vec![4, 4], 1, 4, fc, 8, 2, 2, 0.5, 60);
+        group.bench_function(fc, |b| b.iter(|| run(&cfg)));
+    }
+    group.finish();
+}
+
+/// Figure 5 family: multi-application transient.
+fn transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_transient");
+    group.sample_size(10);
+    let cfg = presets::transient(0.2, 1000, 0.8, 20, 200);
+    group.bench_function("blast_plus_pulse", |b| b.iter(|| run(&cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, case_a, case_b, case_c, transient);
+criterion_main!(benches);

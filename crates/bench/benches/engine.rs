@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the DES engine hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use supersim_des::{Component, ComponentId, Context, EventQueue, Simulator, Time};
+
+/// Raw event-queue throughput: push N, pop N.
+fn queue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 100_000] {
+        group.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut q| {
+                    let target = ComponentId::from_index(0);
+                    for i in 0..n {
+                        // Mixed times exercise the heap property.
+                        let t = ((i * 2_654_435_761) % n) as u64;
+                        q.push(target, Time::at(t), i as u64);
+                    }
+                    while q.pop().is_some() {}
+                    q
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+struct Relay {
+    peer: ComponentId,
+    remaining: u64,
+}
+
+impl Component<u64> for Relay {
+    fn name(&self) -> &str {
+        "relay"
+    }
+    fn handle(&mut self, ctx: &mut Context<'_, u64>, event: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(self.peer, ctx.now().plus_ticks(1), event + 1);
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Full engine dispatch rate: two components bouncing an event.
+fn dispatch_rate(c: &mut Criterion) {
+    c.bench_function("engine/dispatch_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(1);
+                let a = sim.add_component(Box::new(Relay {
+                    peer: ComponentId::from_index(1),
+                    remaining: 50_000,
+                }));
+                let b_id = sim.add_component(Box::new(Relay { peer: a, remaining: 50_000 }));
+                sim.schedule(a, Time::at(0), 0);
+                let _ = b_id;
+                sim
+            },
+            |mut sim| {
+                let stats = sim.run();
+                assert!(stats.events_executed >= 100_000);
+                sim
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, queue_throughput, dispatch_rate);
+criterion_main!(benches);

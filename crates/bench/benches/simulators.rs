@@ -1,0 +1,108 @@
+//! End-to-end simulation benchmarks: one tiny run per router
+//! microarchitecture and per topology, measuring whole-simulation wall
+//! time (build + run + drain).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use supersim_config::{obj, Value};
+use supersim_core::SuperSim;
+
+fn config(topology: Value, vcs: u64, arch: &str, routing: Value) -> Value {
+    let mut router = obj! {
+        "architecture" => arch,
+        "input_buffer" => 16u64,
+        "xbar_latency" => 1u64,
+        "core_latency" => 2u64,
+        "flow_control" => "flit_buffer",
+        "arbiter" => "round_robin",
+    };
+    if arch == "input_output_queued" {
+        router.set_path("output_queue", Value::from(32u64)).expect("object");
+    }
+    obj! {
+        "seed" => 7u64,
+        "network" => obj! {
+            "topology" => topology,
+            "vcs" => vcs,
+            "routing" => routing,
+            "channel" => obj! { "terminal_latency" => 1u64, "local_latency" => 4u64, "global_latency" => 12u64 },
+            "router" => router,
+            "interface" => obj! { "eject_buffer" => 32u64, "max_packet_size" => 4u64 },
+        },
+        "workload" => obj! {
+            "applications" => vec![obj! {
+                "name" => "blast",
+                "load" => 0.3f64,
+                "message_size" => 2u64,
+                "warmup_ticks" => 100u64,
+                "sample_messages" => 50u64,
+                "pattern" => obj! { "name" => "uniform_random" },
+            }],
+        },
+    }
+}
+
+fn architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_architecture");
+    group.sample_size(10);
+    for arch in ["input_queued", "output_queued", "input_output_queued"] {
+        let cfg = config(
+            obj! { "name" => "torus", "widths" => vec![4u64, 4u64], "concentration" => 1u64 },
+            2,
+            arch,
+            obj! { "algorithm" => "dimension_order" },
+        );
+        group.bench_function(arch, |b| {
+            b.iter(|| {
+                let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+                assert!(out.packets_delivered() > 0);
+                out.engine.events_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+    let cases: Vec<(&str, Value, u64, Value)> = vec![
+        (
+            "torus_4x4",
+            obj! { "name" => "torus", "widths" => vec![4u64, 4u64], "concentration" => 1u64 },
+            2,
+            obj! { "algorithm" => "dimension_order" },
+        ),
+        (
+            "folded_clos_2x4",
+            obj! { "name" => "folded_clos", "levels" => 2u64, "k" => 4u64 },
+            1,
+            obj! { "algorithm" => "adaptive_updown" },
+        ),
+        (
+            "hyperx_8x2",
+            obj! { "name" => "hyperx", "widths" => vec![8u64], "concentration" => 2u64 },
+            2,
+            obj! { "algorithm" => "ugal" },
+        ),
+        (
+            "dragonfly_3_1_2",
+            obj! { "name" => "dragonfly", "group_size" => 3u64, "global_ports" => 1u64, "concentration" => 2u64 },
+            3,
+            obj! { "algorithm" => "minimal" },
+        ),
+    ];
+    for (name, topo, vcs, routing) in cases {
+        let cfg = config(topo, vcs, "input_queued", routing);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+                out.engine.events_executed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, architectures, topologies);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 7 (paper §V): a percentile latency distribution plot, reading
+//! off tail latencies such as the 99.9th percentile — the expected latency
+//! of 1000-way parallelism.
+//!
+//! ```text
+//! cargo run --release -p supersim-bench --bin fig07 [--full]
+//! ```
+
+use supersim_bench::{run, write_artifact, Scale};
+use supersim_config::Value;
+use supersim_core::presets;
+use supersim_stats::{LatencyDistribution, RecordKind};
+use supersim_tools as tools;
+
+fn main() {
+    let scale = Scale::from_args();
+    // A moderately loaded flattened butterfly; enough samples for stable
+    // 99.99th percentiles.
+    let (routers, conc, samples) = scale.pick((8u32, 8u32, 2_000u64), (32, 32, 5_000));
+    let mut config = presets::credit_accounting(
+        routers,
+        conc,
+        "both",
+        "vc",
+        "uniform_random",
+        scale.pick(20, 100),
+        scale.pick(10, 100),
+        // High enough load for the congestion tail the paper's plot shows.
+        0.82,
+        samples,
+    );
+    config.set_path("seed", Value::from(7u64)).expect("object");
+    let out = run(&config, "fig07");
+
+    let mut dist: LatencyDistribution =
+        out.log.of_kind(RecordKind::Packet).map(|r| r.latency()).collect();
+    println!("=== Figure 7: percentile latency distribution ===");
+    println!("samples: {}", dist.count());
+    for (label, value) in dist.standard_percentiles() {
+        println!("  {label:>7}: {} ticks", value.expect("non-empty distribution"));
+    }
+    let p999 = dist.percentile(99.9).expect("non-empty");
+    println!(
+        "only 1 in 1000 packets experiences latency greater than {p999} ticks \
+         (the paper reads 592 ns off its instance of this plot)"
+    );
+
+    let curve = dist.percentile_curve();
+    // Plot latency against the \"nines\" axis like the paper's figure.
+    let pts: Vec<(f64, f64)> = curve
+        .iter()
+        .filter(|&&(p, _)| p < 0.999999)
+        .map(|&(p, l)| (-(1.0 - p).log10(), l as f64))
+        .collect();
+    println!(
+        "{}",
+        tools::ascii_chart(
+            "latency (ticks) vs percentile nines (1=90%, 2=99%, 3=99.9%)",
+            &[("packets", pts)],
+            72,
+            16
+        )
+    );
+    write_artifact("fig07_percentiles.csv", &tools::percentile_csv(&curve));
+}

@@ -1,0 +1,139 @@
+//! Table I (paper §VI): the parameters of the three simulation case
+//! studies, regenerated from the actual preset configurations (so the
+//! table can never drift from what the experiments run).
+//!
+//! ```text
+//! cargo run --release -p supersim-bench --bin table1 [--full]
+//! ```
+
+use supersim_bench::{write_artifact, Scale};
+use supersim_config::Value;
+use supersim_core::presets;
+
+fn cell(cfg: &Value, path: &str) -> String {
+    cfg.path(path).map_or_else(|| "n/a".to_string(), |v| v.to_json())
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    // The three case studies at the selected scale (Table I itself lists
+    // the paper-scale values; run with --full to reproduce those).
+    let (levels, k) = scale.pick((3u32, 8u32), (3, 16));
+    let a = presets::latent_congestion(levels, k, 1, Some(64), 50, 50, 0.5, 300);
+    let (rb, cb) = scale.pick((16u32, 16u32), (32, 32));
+    let b = presets::credit_accounting(rb, cb, "output", "vc", "uniform_random", 100, 100, 0.5, 300);
+    let widths: Vec<u64> = scale.pick(vec![4, 4, 4], vec![8, 8, 8, 8]);
+    let c = presets::flow_control(widths, 1, 2, "flit_buffer", 1, 5, 25, 0.5, 300);
+
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        (
+            "Network topology",
+            vec![
+                format!(
+                    "{}-level folded Clos, {} terminals",
+                    cell(&a, "network.topology.levels"),
+                    k.pow(levels)
+                ),
+                format!(
+                    "1D flattened butterfly, {} routers, {} terminals",
+                    cell(&b, "network.topology.widths.0"),
+                    rb * cb
+                ),
+                format!("torus {}", cell(&c, "network.topology.widths")),
+            ],
+        ),
+        (
+            "Network channel latency (ticks)",
+            vec![
+                cell(&a, "network.channel.local_latency"),
+                cell(&b, "network.channel.local_latency"),
+                cell(&c, "network.channel.local_latency"),
+            ],
+        ),
+        (
+            "Routing algorithm",
+            vec![
+                cell(&a, "network.routing.algorithm"),
+                cell(&b, "network.routing.algorithm"),
+                cell(&c, "network.routing.algorithm"),
+            ],
+        ),
+        (
+            "Router architecture",
+            vec![
+                cell(&a, "network.router.architecture"),
+                cell(&b, "network.router.architecture"),
+                cell(&c, "network.router.architecture"),
+            ],
+        ),
+        (
+            "Frequency speedup",
+            vec![
+                "1x".to_string(),
+                format!("{}x", cell(&b, "network.router.speedup")),
+                "1x".to_string(),
+            ],
+        ),
+        (
+            "Number of VCs",
+            vec![
+                cell(&a, "network.vcs"),
+                cell(&b, "network.vcs"),
+                format!("{} (swept 2,4,8)", cell(&c, "network.vcs")),
+            ],
+        ),
+        (
+            "Input buffer size (flits)",
+            vec![
+                cell(&a, "network.router.input_buffer"),
+                cell(&b, "network.router.input_buffer"),
+                cell(&c, "network.router.input_buffer"),
+            ],
+        ),
+        (
+            "Output buffer size (flits)",
+            vec![
+                format!("infinite and {}", cell(&a, "network.router.output_queue")),
+                cell(&b, "network.router.output_queue"),
+                "n/a".to_string(),
+            ],
+        ),
+        (
+            "Router core latency (ticks)",
+            vec![
+                cell(&a, "network.router.core_latency"),
+                cell(&b, "network.router.xbar_latency"),
+                cell(&c, "network.router.xbar_latency"),
+            ],
+        ),
+        (
+            "Message size (flits)",
+            vec![
+                cell(&a, "workload.applications.0.message_size"),
+                cell(&b, "workload.applications.0.message_size"),
+                "1,2,4,8,16,32 (swept)".to_string(),
+            ],
+        ),
+        (
+            "Traffic pattern",
+            vec![
+                cell(&a, "workload.applications.0.pattern.name"),
+                cell(&b, "workload.applications.0.pattern.name"),
+                cell(&c, "workload.applications.0.pattern.name"),
+            ],
+        ),
+    ];
+
+    println!("=== Table I: parameters for the three simulation case studies ({scale:?} scale) ===");
+    let mut md = String::from(
+        "| Parameter | Latent Congestion Detection | Congestion Credit Accounting | Flow Control Techniques |\n\
+         | --- | --- | --- | --- |\n",
+    );
+    for (name, cells) in &rows {
+        let line = format!("| {} | {} | {} | {} |", name, cells[0], cells[1], cells[2]);
+        println!("{line}");
+        md.push_str(&line);
+        md.push('\n');
+    }
+    write_artifact("table1_parameters.md", &md);
+}

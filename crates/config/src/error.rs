@@ -1,0 +1,162 @@
+//! Error types for configuration parsing and access.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while scanning JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Unexpected end of input.
+    UnexpectedEof,
+    /// Unexpected character.
+    UnexpectedChar(char),
+    /// Malformed number literal.
+    BadNumber,
+    /// Malformed string escape.
+    BadEscape,
+    /// Invalid `\uXXXX` escape sequence.
+    BadUnicode,
+    /// Control character inside a string literal.
+    ControlInString,
+    /// Object keys must be strings.
+    NonStringKey,
+    /// Trailing characters after the document.
+    TrailingData,
+    /// Object/array nesting exceeds the parser limit.
+    TooDeep,
+    /// A duplicate key inside one object.
+    DuplicateKey(String),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::BadNumber => write!(f, "malformed number"),
+            ParseErrorKind::BadEscape => write!(f, "malformed string escape"),
+            ParseErrorKind::BadUnicode => write!(f, "invalid unicode escape"),
+            ParseErrorKind::ControlInString => {
+                write!(f, "unescaped control character in string")
+            }
+            ParseErrorKind::NonStringKey => write!(f, "object key is not a string"),
+            ParseErrorKind::TrailingData => write!(f, "trailing data after document"),
+            ParseErrorKind::TooDeep => write!(f, "document nesting too deep"),
+            ParseErrorKind::DuplicateKey(k) => write!(f, "duplicate object key {k:?}"),
+        }
+    }
+}
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// JSON syntax error with position information.
+    Parse {
+        /// What was wrong.
+        kind: ParseErrorKind,
+        /// 1-based line of the error.
+        line: usize,
+        /// 1-based column of the error.
+        column: usize,
+    },
+    /// A required setting was absent.
+    Missing {
+        /// Dotted path that was looked up.
+        path: String,
+    },
+    /// A setting had the wrong JSON type.
+    WrongType {
+        /// Dotted path that was looked up.
+        path: String,
+        /// Expected type name.
+        expected: &'static str,
+        /// Actual type name found.
+        found: &'static str,
+    },
+    /// A dotted path was malformed or indexed an array incorrectly.
+    BadPath {
+        /// The offending path.
+        path: String,
+    },
+    /// A dotted path tried to descend through a scalar.
+    PathThroughScalar {
+        /// The offending path.
+        path: String,
+        /// Type of the scalar encountered.
+        found: &'static str,
+    },
+    /// A command-line override string was malformed.
+    BadOverride {
+        /// The offending override text.
+        text: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A setting value was outside its legal range or otherwise invalid.
+    Invalid {
+        /// Dotted path of the setting.
+        path: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl ConfigError {
+    /// Convenience constructor for [`ConfigError::Invalid`].
+    pub fn invalid(path: impl Into<String>, reason: impl Into<String>) -> Self {
+        ConfigError::Invalid { path: path.into(), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Parse { kind, line, column } => {
+                write!(f, "json parse error at line {line}, column {column}: {kind}")
+            }
+            ConfigError::Missing { path } => write!(f, "missing required setting {path:?}"),
+            ConfigError::WrongType { path, expected, found } => {
+                write!(f, "setting {path:?}: expected {expected}, found {found}")
+            }
+            ConfigError::BadPath { path } => write!(f, "malformed settings path {path:?}"),
+            ConfigError::PathThroughScalar { path, found } => {
+                write!(f, "settings path {path:?} descends through a {found} value")
+            }
+            ConfigError::BadOverride { text, reason } => {
+                write!(f, "bad command line override {text:?}: {reason}")
+            }
+            ConfigError::Invalid { path, reason } => {
+                write!(f, "invalid setting {path:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ConfigError::Parse {
+            kind: ParseErrorKind::UnexpectedChar('}'),
+            line: 3,
+            column: 14,
+        };
+        assert_eq!(
+            e.to_string(),
+            "json parse error at line 3, column 14: unexpected character '}'"
+        );
+        let e = ConfigError::Missing { path: "a.b".into() };
+        assert!(e.to_string().contains("a.b"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn Error + Send + Sync> =
+            Box::new(ConfigError::BadPath { path: "x".into() });
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,322 @@
+//! File inclusion and object referencing (paper §III-C).
+//!
+//! Beyond plain JSON plus command-line overrides, SuperSim's settings
+//! layer provides *file inclusions* and *object referencing*:
+//!
+//! - An object containing `"$include": "<path>"` is replaced by the parsed
+//!   and expanded contents of that file (resolved relative to the
+//!   including file); any sibling keys are then deep-merged *over* the
+//!   included content, so an including document can specialize a shared
+//!   base configuration.
+//! - An object of the form `{"$ref": "<dotted.path>"}` is replaced by a
+//!   copy of the value at that path in the document root — letting one
+//!   part of a configuration reuse another (e.g. two applications sharing
+//!   a traffic pattern block).
+//!
+//! Includes are resolved before references; include cycles and dangling
+//! references are reported as errors.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::error::ConfigError;
+use crate::parse::parse;
+use crate::value::Value;
+
+/// Key marking a file inclusion.
+const INCLUDE_KEY: &str = "$include";
+/// Key marking an object reference.
+const REF_KEY: &str = "$ref";
+/// Maximum reference-chasing depth (guards `$ref` cycles).
+const MAX_REF_DEPTH: usize = 64;
+
+/// Loads, parses, and fully expands a configuration file: `$include`s are
+/// inlined (recursively, relative to each including file) and `$ref`s are
+/// resolved against the document root.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on I/O failures, JSON syntax errors, include
+/// cycles, non-object include targets with sibling keys, or unresolvable
+/// references.
+///
+/// # Example
+///
+/// ```no_run
+/// let cfg = supersim_config::expand_file("experiments/myconfig.json")?;
+/// # Ok::<(), supersim_config::ConfigError>(())
+/// ```
+pub fn expand_file(path: impl AsRef<Path>) -> Result<Value, ConfigError> {
+    let path = path.as_ref();
+    let mut seen = BTreeSet::new();
+    let mut value = load_with_includes(path, &mut seen)?;
+    resolve_refs(&mut value)?;
+    Ok(value)
+}
+
+/// Expands `$ref`s in an already-assembled document (no file access).
+///
+/// # Errors
+///
+/// Returns an error for dangling or cyclic references.
+pub fn expand_refs(value: &mut Value) -> Result<(), ConfigError> {
+    resolve_refs(value)
+}
+
+fn include_error(path: &Path, reason: impl Into<String>) -> ConfigError {
+    ConfigError::Invalid {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn load_with_includes(path: &Path, seen: &mut BTreeSet<PathBuf>) -> Result<Value, ConfigError> {
+    let canonical = path.canonicalize().unwrap_or_else(|_| path.to_path_buf());
+    if !seen.insert(canonical.clone()) {
+        return Err(include_error(path, "include cycle"));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| include_error(path, format!("cannot read file: {e}")))?;
+    let mut value = parse(&text)?;
+    let base = path.parent().unwrap_or_else(|| Path::new("."));
+    inline_includes(&mut value, base, seen)?;
+    seen.remove(&canonical);
+    Ok(value)
+}
+
+fn inline_includes(
+    value: &mut Value,
+    base: &Path,
+    seen: &mut BTreeSet<PathBuf>,
+) -> Result<(), ConfigError> {
+    match value {
+        Value::Object(map) => {
+            if let Some(target) = map.get(INCLUDE_KEY) {
+                let rel = target
+                    .as_str()
+                    .ok_or_else(|| include_error(base, "$include value must be a string"))?
+                    .to_string();
+                let included_path = base.join(&rel);
+                let included = load_with_includes(&included_path, seen)?;
+                map.remove(INCLUDE_KEY);
+                // Sibling keys specialize the included document.
+                let mut overlay = Value::Object(std::mem::take(map));
+                inline_includes(&mut overlay, base, seen)?;
+                *value = deep_merge(included, overlay)?;
+                return Ok(());
+            }
+            for child in map.values_mut() {
+                inline_includes(child, base, seen)?;
+            }
+        }
+        Value::Array(items) => {
+            for child in items {
+                inline_includes(child, base, seen)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Overlays `over` onto `base`: objects merge recursively, anything else
+/// replaces.
+fn deep_merge(base: Value, over: Value) -> Result<Value, ConfigError> {
+    match (base, over) {
+        (Value::Object(mut b), Value::Object(o)) => {
+            if o.is_empty() {
+                return Ok(Value::Object(b));
+            }
+            for (k, v) in o {
+                let merged = match b.remove(&k) {
+                    Some(existing) => deep_merge(existing, v)?,
+                    None => v,
+                };
+                b.insert(k, merged);
+            }
+            Ok(Value::Object(b))
+        }
+        (base, Value::Object(o)) if o.is_empty() => Ok(base),
+        (_, over) => Ok(over),
+    }
+}
+
+fn resolve_refs(root: &mut Value) -> Result<(), ConfigError> {
+    // Iterate to a fixpoint so refs may point at refs, bounded for cycles.
+    for _ in 0..MAX_REF_DEPTH {
+        let snapshot = root.clone();
+        let changed = substitute_refs(root, &snapshot)?;
+        if !changed {
+            return Ok(());
+        }
+    }
+    Err(ConfigError::Invalid {
+        path: REF_KEY.to_string(),
+        reason: "reference chain too deep (cycle?)".to_string(),
+    })
+}
+
+fn substitute_refs(value: &mut Value, root: &Value) -> Result<bool, ConfigError> {
+    match value {
+        Value::Object(map) => {
+            if map.len() == 1 {
+                if let Some(target) = map.get(REF_KEY) {
+                    let path = target
+                        .as_str()
+                        .ok_or_else(|| ConfigError::Invalid {
+                            path: REF_KEY.to_string(),
+                            reason: "$ref value must be a dotted path string".to_string(),
+                        })?
+                        .to_string();
+                    let resolved = root.path(&path).ok_or_else(|| ConfigError::Invalid {
+                        path: path.clone(),
+                        reason: "$ref target does not exist".to_string(),
+                    })?;
+                    *value = resolved.clone();
+                    return Ok(true);
+                }
+            }
+            let mut changed = false;
+            for child in map.values_mut() {
+                changed |= substitute_refs(child, root)?;
+            }
+            Ok(changed)
+        }
+        Value::Array(items) => {
+            let mut changed = false;
+            for child in items {
+                changed |= substitute_refs(child, root)?;
+            }
+            Ok(changed)
+        }
+        _ => Ok(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+        let p = dir.join(name);
+        std::fs::write(&p, text).expect("write test file");
+        p
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("supersim_expand_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn include_inlines_and_overlays() {
+        let dir = tmpdir("overlay");
+        write(&dir, "base.json", r#"{"network": {"vcs": 2, "router": {"input_buffer": 16}}}"#);
+        let top = write(
+            &dir,
+            "top.json",
+            r#"{"$include": "base.json", "network": {"vcs": 4}, "seed": 9}"#,
+        );
+        let v = expand_file(&top).expect("expands");
+        assert_eq!(v.req_u64("network.vcs").unwrap(), 4); // overlay wins
+        assert_eq!(v.req_u64("network.router.input_buffer").unwrap(), 16); // base kept
+        assert_eq!(v.req_u64("seed").unwrap(), 9);
+    }
+
+    #[test]
+    fn nested_includes_resolve_relative_to_their_file() {
+        let dir = tmpdir("nested");
+        std::fs::create_dir_all(dir.join("sub")).expect("mkdir");
+        write(&dir, "sub/inner.json", r#"{"x": 1}"#);
+        write(&dir, "sub/mid.json", r#"{"$include": "inner.json", "y": 2}"#);
+        let top = write(&dir, "top.json", r#"{"a": {"$include": "sub/mid.json"}}"#);
+        let v = expand_file(&top).expect("expands");
+        assert_eq!(v.req_u64("a.x").unwrap(), 1);
+        assert_eq!(v.req_u64("a.y").unwrap(), 2);
+    }
+
+    #[test]
+    fn include_cycles_are_detected() {
+        let dir = tmpdir("cycle");
+        write(&dir, "a.json", r#"{"$include": "b.json"}"#);
+        let a = dir.join("a.json");
+        write(&dir, "b.json", r#"{"$include": "a.json"}"#);
+        let err = expand_file(&a).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn missing_include_is_an_error() {
+        let dir = tmpdir("missing");
+        let top = write(&dir, "top.json", r#"{"$include": "nope.json"}"#);
+        assert!(expand_file(&top).is_err());
+    }
+
+    #[test]
+    fn refs_resolve_against_the_root() {
+        let mut v = crate::parse(
+            r#"{
+                "shared": {"pattern": {"name": "uniform_random"}},
+                "workload": {"applications": [
+                    {"name": "blast", "pattern": {"$ref": "shared.pattern"}},
+                    {"name": "pulse", "pattern": {"$ref": "shared.pattern"}}
+                ]}
+            }"#,
+        )
+        .expect("valid json");
+        expand_refs(&mut v).expect("refs resolve");
+        assert_eq!(
+            v.req_str("workload.applications.0.pattern.name").unwrap(),
+            "uniform_random"
+        );
+        assert_eq!(
+            v.req_str("workload.applications.1.pattern.name").unwrap(),
+            "uniform_random"
+        );
+    }
+
+    #[test]
+    fn ref_chains_resolve() {
+        let mut v = crate::parse(
+            r#"{"a": 7, "b": {"$ref": "a"}, "c": {"$ref": "b"}}"#,
+        )
+        .expect("valid json");
+        expand_refs(&mut v).expect("chain resolves");
+        assert_eq!(v.req_u64("c").unwrap(), 7);
+    }
+
+    #[test]
+    fn dangling_and_cyclic_refs_are_errors() {
+        let mut v = crate::parse(r#"{"a": {"$ref": "nope"}}"#).expect("valid json");
+        assert!(expand_refs(&mut v).is_err());
+        let mut v = crate::parse(r#"{"a": {"$ref": "b"}, "b": {"$ref": "a"}}"#)
+            .expect("valid json");
+        assert!(expand_refs(&mut v).is_err());
+    }
+
+    #[test]
+    fn include_plus_ref_compose() {
+        let dir = tmpdir("compose");
+        write(&dir, "shared.json", r#"{"defaults": {"latency": 50}}"#);
+        let top = write(
+            &dir,
+            "top.json",
+            r#"{"$include": "shared.json",
+                "network": {"channel": {"local_latency": {"$ref": "defaults.latency"}}}}"#,
+        );
+        let v = expand_file(&top).expect("expands");
+        assert_eq!(v.req_u64("network.channel.local_latency").unwrap(), 50);
+    }
+
+    #[test]
+    fn deep_merge_semantics() {
+        let base = obj! { "a" => obj!{ "x" => 1i64, "y" => 2i64 }, "k" => 3i64 };
+        let over = obj! { "a" => obj!{ "y" => 9i64 } };
+        let merged = deep_merge(base, over).expect("merges");
+        assert_eq!(merged.req_i64("a.x").unwrap(), 1);
+        assert_eq!(merged.req_i64("a.y").unwrap(), 9);
+        assert_eq!(merged.req_i64("k").unwrap(), 3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Command-line setting overrides (paper §III-C, Listing 1).
+//!
+//! SuperSim accepts overrides of the form `path=type=value` on the command
+//! line, e.g.:
+//!
+//! ```text
+//! $ supersim myconfig.json \
+//! >   network.router.architecture=string=my_arch \
+//! >   network.concentration=uint=16
+//! ```
+//!
+//! Supported types: `string`, `uint`, `int`, `float`, `bool`, and `json`
+//! (whose value is parsed as a JSON fragment, allowing arrays and objects).
+
+use crate::error::ConfigError;
+use crate::parse::parse;
+use crate::value::Value;
+
+/// The typed value portion of a parsed override.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OverrideValue {
+    /// `=string=` — the raw text.
+    Str(String),
+    /// `=uint=` — a non-negative integer.
+    UInt(u64),
+    /// `=int=` — a signed integer.
+    Int(i64),
+    /// `=float=` — a floating-point number.
+    Float(f64),
+    /// `=bool=` — `true` or `false`.
+    Bool(bool),
+    /// `=json=` — an arbitrary JSON fragment.
+    Json(Value),
+}
+
+impl From<OverrideValue> for Value {
+    fn from(v: OverrideValue) -> Value {
+        match v {
+            OverrideValue::Str(s) => Value::Str(s),
+            OverrideValue::UInt(u) => Value::Int(u as i64),
+            OverrideValue::Int(i) => Value::Int(i),
+            OverrideValue::Float(f) => Value::Float(f),
+            OverrideValue::Bool(b) => Value::Bool(b),
+            OverrideValue::Json(j) => j,
+        }
+    }
+}
+
+/// A parsed `path=type=value` override.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Override {
+    /// Dotted settings path, e.g. `network.concentration`.
+    pub path: String,
+    /// Typed value to install at the path.
+    pub value: OverrideValue,
+}
+
+/// Parses one `path=type=value` string.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::BadOverride`] when the string is not of the form
+/// `path=type=value`, names an unknown type, or the value fails to parse as
+/// that type.
+///
+/// # Example
+///
+/// ```
+/// # use supersim_config::{parse_override, OverrideValue};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let o = parse_override("network.concentration=uint=16")?;
+/// assert_eq!(o.path, "network.concentration");
+/// assert_eq!(o.value, OverrideValue::UInt(16));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_override(text: &str) -> Result<Override, ConfigError> {
+    let bad = |reason: &str| ConfigError::BadOverride {
+        text: text.to_string(),
+        reason: reason.to_string(),
+    };
+    let (path, rest) = text.split_once('=').ok_or_else(|| bad("expected path=type=value"))?;
+    let (ty, raw) = rest.split_once('=').ok_or_else(|| bad("expected path=type=value"))?;
+    if path.is_empty() || path.split('.').any(str::is_empty) {
+        return Err(bad("empty settings path segment"));
+    }
+    let value = match ty {
+        "string" => OverrideValue::Str(raw.to_string()),
+        "uint" => OverrideValue::UInt(
+            raw.parse().map_err(|_| bad("value is not a valid uint"))?,
+        ),
+        "int" => {
+            OverrideValue::Int(raw.parse().map_err(|_| bad("value is not a valid int"))?)
+        }
+        "float" => OverrideValue::Float(
+            raw.parse().map_err(|_| bad("value is not a valid float"))?,
+        ),
+        "bool" => match raw {
+            "true" => OverrideValue::Bool(true),
+            "false" => OverrideValue::Bool(false),
+            _ => return Err(bad("bool value must be `true` or `false`")),
+        },
+        "json" => OverrideValue::Json(
+            parse(raw).map_err(|e| bad(&format!("json value: {e}")))?,
+        ),
+        _ => return Err(bad("unknown type (expected string/uint/int/float/bool/json)")),
+    };
+    Ok(Override { path: path.to_string(), value })
+}
+
+/// Parses and applies one override to `config`.
+///
+/// # Errors
+///
+/// Returns an error if the override string is malformed or its path cannot
+/// be installed (e.g. it descends through a scalar).
+pub fn apply_override(config: &mut Value, text: &str) -> Result<(), ConfigError> {
+    let o = parse_override(text)?;
+    config.set_path(&o.path, o.value.into())
+}
+
+/// Applies a sequence of overrides in order (later overrides win).
+///
+/// # Errors
+///
+/// Stops at and returns the first error; earlier overrides stay applied.
+pub fn apply_overrides<I, S>(config: &mut Value, texts: I) -> Result<(), ConfigError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    for t in texts {
+        apply_override(config, t.as_ref())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    #[test]
+    fn listing_1_from_paper() {
+        let mut cfg = obj! {
+            "network" => obj! {
+                "concentration" => 8u64,
+                "router" => obj! { "architecture" => "oq" },
+            },
+        };
+        apply_overrides(
+            &mut cfg,
+            ["network.router.architecture=string=my_arch", "network.concentration=uint=16"],
+        )
+        .unwrap();
+        assert_eq!(cfg.req_str("network.router.architecture").unwrap(), "my_arch");
+        assert_eq!(cfg.req_u64("network.concentration").unwrap(), 16);
+    }
+
+    #[test]
+    fn all_types() {
+        let mut cfg = Value::object();
+        apply_override(&mut cfg, "a=string=hello world").unwrap();
+        apply_override(&mut cfg, "b=uint=42").unwrap();
+        apply_override(&mut cfg, "c=int=-7").unwrap();
+        apply_override(&mut cfg, "d=float=2.5").unwrap();
+        apply_override(&mut cfg, "e=bool=true").unwrap();
+        apply_override(&mut cfg, r#"f=json=[1,{"g":2}]"#).unwrap();
+        assert_eq!(cfg.req_str("a").unwrap(), "hello world");
+        assert_eq!(cfg.req_u64("b").unwrap(), 42);
+        assert_eq!(cfg.req_i64("c").unwrap(), -7);
+        assert_eq!(cfg.req_f64("d").unwrap(), 2.5);
+        assert!(cfg.req_bool("e").unwrap());
+        assert_eq!(cfg.req_u64("f.1.g").unwrap(), 2);
+    }
+
+    #[test]
+    fn string_values_may_contain_equals() {
+        let o = parse_override("a.b=string=x=y=z").unwrap();
+        assert_eq!(o.value, OverrideValue::Str("x=y=z".into()));
+    }
+
+    #[test]
+    fn creates_missing_intermediate_objects() {
+        let mut cfg = Value::object();
+        apply_override(&mut cfg, "deep.path.here=uint=1").unwrap();
+        assert_eq!(cfg.req_u64("deep.path.here").unwrap(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "a",
+            "a=uint",
+            "a=uint=x",
+            "a=int=1.5",
+            "a=float=xyz",
+            "a=bool=yes",
+            "a=json={",
+            "a=mystery=1",
+            "=uint=1",
+            "a..b=uint=1",
+        ] {
+            assert!(parse_override(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn later_overrides_win() {
+        let mut cfg = Value::object();
+        apply_overrides(&mut cfg, ["x=uint=1", "x=uint=2"]).unwrap();
+        assert_eq!(cfg.req_u64("x").unwrap(), 2);
+    }
+
+    #[test]
+    fn error_display_mentions_text() {
+        let err = parse_override("a=bool=maybe").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("a=bool=maybe"));
+        assert!(msg.contains("true"));
+    }
+}

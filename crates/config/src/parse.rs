@@ -1,0 +1,448 @@
+//! A from-scratch JSON parser.
+//!
+//! Implements ECMA-404 JSON with one extension used by hand-written
+//! configuration files: `//` line comments, treated as whitespace.
+//! Duplicate keys within one object are rejected — silently-last-wins is a
+//! classic source of configuration bugs.
+
+use crate::error::{ConfigError, ParseErrorKind};
+use crate::value::{Map, Value};
+
+/// Maximum object/array nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Parse`] with 1-based line/column on the first
+/// syntax error.
+///
+/// # Example
+///
+/// ```
+/// # use supersim_config::parse;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let v = parse(r#"[1, 2.5, "three", null, {"four": true}]"#)?;
+/// assert_eq!(v.as_array().unwrap().len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Value, ConfigError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err(ParseErrorKind::TrailingData));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ParseErrorKind) -> ConfigError {
+        self.err_at(kind, self.pos)
+    }
+
+    fn err_at(&self, kind: ParseErrorKind, pos: usize) -> ConfigError {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        ConfigError::Parse { kind, line, column }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\n' | b'\r') => {
+                    self.pos += 1;
+                }
+                // Extension: // line comments.
+                Some(b'/') if self.bytes.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ConfigError> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => {
+                self.pos -= 1;
+                Err(self.err(ParseErrorKind::UnexpectedChar(got as char)))
+            }
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ConfigError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(ParseErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedChar(c as char))),
+        }
+    }
+
+    fn literal(&mut self, text: &[u8], value: Value) -> Result<Value, ConfigError> {
+        if self.bytes[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            let c = self.bytes[self.pos] as char;
+            Err(self.err(ParseErrorKind::UnexpectedChar(c)))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ConfigError> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err(ParseErrorKind::NonStringKey));
+            }
+            let key_pos = self.pos;
+            let key = self.string()?;
+            if map.contains_key(&key) {
+                return Err(self.err_at(ParseErrorKind::DuplicateKey(key), key_pos));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ConfigError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ConfigError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.unicode_escape()?),
+                    Some(_) => return Err(self.err(ParseErrorKind::BadEscape)),
+                },
+                Some(b) if b < 0x20 => return Err(self.err(ParseErrorKind::ControlInString)),
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: the input is a &str, so the sequence
+                    // is valid; copy the remaining continuation bytes.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input was a valid &str");
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ConfigError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: must be followed by \uXXXX low surrogate.
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.err(ParseErrorKind::BadUnicode));
+            }
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err(ParseErrorKind::BadUnicode));
+            }
+            let cp = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| self.err(ParseErrorKind::BadUnicode))
+        } else if (0xDC00..0xE000).contains(&first) {
+            Err(self.err(ParseErrorKind::BadUnicode))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err(ParseErrorKind::BadUnicode))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ConfigError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err(ParseErrorKind::BadUnicode))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ConfigError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ParseErrorKind::BadNumber)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number characters are ascii");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err_at(ParseErrorKind::BadNumber, start))
+        } else {
+            // Integers that overflow i64 fall back to f64, as ECMA-404
+            // permits implementations to do.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.err_at(ParseErrorKind::BadNumber, start)),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("0").unwrap(), Value::Int(0));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("-1.5E-2").unwrap(), Value::Float(-0.015));
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn nested_document() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": "d"}"#).unwrap();
+        assert_eq!(v.path("a.1.b").unwrap(), &Value::Null);
+        assert_eq!(v.path("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""a\"b\\c\/d\n\tAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/d\n\tA\u{e9}"));
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        assert!(parse(r#""\ud83d""#).is_err()); // lone high surrogate
+        assert!(parse(r#""\ude00""#).is_err()); // lone low surrogate
+    }
+
+    #[test]
+    fn raw_utf8_passthrough() {
+        let v = parse(r#""héllo 世界 🎉""#).unwrap();
+        assert_eq!(v.as_str(), Some("héllo 世界 🎉"));
+    }
+
+    #[test]
+    fn comments_are_whitespace() {
+        let v = parse(
+            "// header comment\n{\n  \"a\": 1, // trailing\n  // whole line\n  \"b\": 2\n}",
+        )
+        .unwrap();
+        assert_eq!(v.path("a").unwrap().as_i64(), Some(1));
+        assert_eq!(v.path("b").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn comment_marker_inside_string_is_literal() {
+        let v = parse(r#""http://example.com""#).unwrap();
+        assert_eq!(v.as_str(), Some("http://example.com"));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("{\n  \"a\": oops\n}").unwrap_err();
+        match err {
+            ConfigError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 8);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "", "{", "[", "\"", "{]", "[}", "{\"a\"}", "{\"a\":}", "[1,]", "{\"a\":1,}",
+            "01", "1.", ".5", "1e", "+1", "tru", "nul", "\"\\x\"", "{'a':1}", "[1 2]",
+            "{\"a\":1 \"b\":2}", "1 2",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_control_chars_in_strings() {
+        assert!(parse("\"a\u{0001}b\"").is_err());
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let doc = "[".repeat(200) + &"]".repeat(200);
+        assert!(matches!(
+            parse(&doc),
+            Err(ConfigError::Parse { kind: ParseErrorKind::TooDeep, .. })
+        ));
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        let v = parse("99999999999999999999999").unwrap();
+        assert!(matches!(v, Value::Float(_)));
+        assert_eq!(parse("9223372036854775807").unwrap(), Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("{}").unwrap(), Value::object());
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse(" { } ").unwrap(), Value::object());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the configuration subsystem.
+
+use proptest::prelude::*;
+
+use crate::value::{Map, Value};
+use crate::{apply_override, parse};
+
+/// Strategy generating arbitrary JSON values with bounded depth and width.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: JSON cannot represent NaN/Inf.
+        (-1e12f64..1e12f64).prop_map(Value::Float),
+        "[a-zA-Z0-9 _.\\-\"\\\\\n\t\u{e9}\u{4e16}]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 32, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(|m| Value::Object(m.into_iter().collect::<Map>())),
+        ]
+    })
+}
+
+proptest! {
+    /// Serialize → parse must reproduce the original value exactly
+    /// (floats are restricted to finite values that round-trip through the
+    /// shortest-representation formatter).
+    #[test]
+    fn json_round_trip_compact(v in arb_value()) {
+        let text = v.to_json();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Pretty serialization parses back to the same value too.
+    #[test]
+    fn json_round_trip_pretty(v in arb_value()) {
+        let text = v.to_json_pretty();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// set_path followed by path returns the stored value.
+    #[test]
+    fn set_then_get(segs in prop::collection::vec("[a-z]{1,5}", 1..5), x in any::<i64>()) {
+        let mut root = Value::object();
+        let path = segs.join(".");
+        root.set_path(&path, Value::Int(x)).unwrap();
+        prop_assert_eq!(root.path(&path).unwrap().as_i64(), Some(x));
+    }
+
+    /// Overrides of uint type always install the parsed integer.
+    #[test]
+    fn override_uint(segs in prop::collection::vec("[a-z]{1,5}", 1..4), x in any::<u32>()) {
+        let mut root = Value::object();
+        let path = segs.join(".");
+        apply_override(&mut root, &format!("{path}=uint={x}")).unwrap();
+        prop_assert_eq!(root.req_u64(&path).unwrap(), u64::from(x));
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(garbage in "\\PC{0,64}") {
+        let _ = parse(&garbage);
+    }
+}

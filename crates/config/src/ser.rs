@@ -1,0 +1,172 @@
+//! JSON serialization: compact and pretty printers.
+
+use std::fmt::Write;
+
+use crate::value::Value;
+
+impl Value {
+    /// Serializes to compact JSON (no whitespace).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use supersim_config::{obj, Value};
+    /// let v = obj! { "a" => 1i64, "b" => vec![true, false] };
+    /// assert_eq!(v.to_json(), r#"{"a":1,"b":[true,false]}"#);
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serializes to human-readable JSON with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out.push('\n');
+        out
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            write!(out, "{i}").expect("writing to String cannot fail");
+        }
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * level) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            // Keep a trailing ".0" so the value round-trips as a float.
+            write!(out, "{x:.1}").expect("writing to String cannot fail");
+        } else {
+            write!(out, "{x}").expect("writing to String cannot fail");
+        }
+    } else {
+        // JSON has no NaN/Infinity; emit null like most serializers.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{obj, parse, Value};
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"{"a":[1,2.5,"x"],"b":{"c":null,"d":true}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_json(), src);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let v = obj! { "net" => obj!{ "radix" => 16u64 }, "arr" => vec![1i64, 2] };
+        let pretty = v.to_json_pretty();
+        assert!(pretty.contains("\n  \"arr\": [\n    1,\n    2\n  ]"));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        assert_eq!(Value::Float(2.0).to_json(), "2.0");
+        assert_eq!(parse("2.0").unwrap().to_json(), "2.0");
+        assert_eq!(Value::Float(0.25).to_json(), "0.25");
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::from("a\"b\\c\nd\te\u{0001}");
+        assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::object().to_json(), "{}");
+        assert_eq!(Value::Array(vec![]).to_json(), "[]");
+        assert_eq!(Value::object().to_json_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = obj! { "x" => 1i64 };
+        assert_eq!(v.to_string(), r#"{"x":1}"#);
+    }
+}

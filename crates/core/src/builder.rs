@@ -1,0 +1,184 @@
+//! Assembles a complete simulation from a configuration document.
+//!
+//! Exactly as the paper describes (§III-C), each constructor consumes its
+//! own block of the configuration hierarchy and passes sub-blocks on to
+//! child constructors: `network` builds the topology and hands `router` to
+//! the router-architecture factory; `workload` hands each application
+//! block (and its `pattern` sub-block) to the application factory.
+
+use supersim_config::Value;
+use supersim_des::{ComponentId, Simulator, Tick, Time};
+use supersim_netbase::{Ev, LinkTarget, RouterId, TerminalId};
+use supersim_router::RouterPorts;
+use supersim_topology::{ChannelClass, Topology};
+use supersim_workload::{Interface, InterfaceConfig, WorkloadMonitor};
+
+use std::sync::Arc;
+
+use crate::error::BuildError;
+use crate::factory::{AppCtx, Factories, RouterCtx};
+
+/// A fully wired simulation, ready to run.
+pub(crate) struct Built {
+    pub sim: Simulator<Ev>,
+    pub interfaces: Vec<ComponentId>,
+    #[allow(dead_code)] // inspected by tests and instrumentation hooks
+    pub routers: Vec<ComponentId>,
+    pub monitor: ComponentId,
+    pub topology: Arc<dyn Topology>,
+    pub tick_limit: Tick,
+    pub link_period: Tick,
+}
+
+pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
+    let seed = cfg.opt_u64("seed", 0x5eed)?;
+    let tick_limit = cfg.opt_u64("tick_limit", 100_000_000)?;
+
+    // --- network -------------------------------------------------------
+    let net = cfg.req_obj("network")?;
+    let topo_name = net.req_str("topology.name")?;
+    let plan = factories.networks.build(topo_name, net)?;
+    let topology = Arc::clone(&plan.topology);
+    let terminals = topology.num_terminals();
+    let routers = topology.num_routers();
+    if terminals == 0 || routers == 0 {
+        return Err(BuildError::invalid("network has no terminals or routers"));
+    }
+    let vcs = net.req_u64("vcs")? as u32;
+
+    let lat_terminal = net.opt_u64("channel.terminal_latency", 1)?;
+    let lat_local = net.opt_u64("channel.local_latency", 1)?;
+    let lat_global = net.opt_u64("channel.global_latency", lat_local)?;
+    let link_period = net.opt_u64("channel.link_period", 1)?;
+    if link_period == 0 {
+        return Err(BuildError::invalid("channel.link_period must be non-zero"));
+    }
+
+    let router_cfg = net.req_obj("router")?;
+    let arch = router_cfg.req_str("architecture")?;
+    let input_buffer = router_cfg.req_u64("input_buffer")? as u32;
+    if input_buffer == 0 {
+        return Err(BuildError::invalid("router.input_buffer must be non-zero"));
+    }
+
+    let eject_buffer = net.opt_u64("interface.eject_buffer", 64)? as u32;
+    let max_packet = net.opt_u64("interface.max_packet_size", 1 << 20)? as u32;
+    let drain_period = net.opt_u64("interface.drain_period", link_period)?;
+
+    // --- workload ------------------------------------------------------
+    let workload = cfg.req_obj("workload")?;
+    let app_blocks = workload.req_array("applications")?;
+    if app_blocks.is_empty() || app_blocks.len() > u8::MAX as usize {
+        return Err(BuildError::invalid("workload needs between 1 and 255 applications"));
+    }
+    let mut apps = Vec::new();
+    for (i, block) in app_blocks.iter().enumerate() {
+        let name = block
+            .req_str("name")
+            .map_err(|_| BuildError::invalid(format!("application {i} is missing a name")))?;
+        let ctx = AppCtx { terminals, link_period, seed, patterns: &factories.patterns };
+        apps.push(factories.apps.build(name, block, ctx)?);
+    }
+
+    // --- component id layout: interfaces, then routers, then monitor ---
+    let mut sim: Simulator<Ev> = Simulator::new(seed);
+    let iface_cid = |t: u32| ComponentId::from_index(t as usize);
+    let router_cid = |r: u32| ComponentId::from_index((terminals + r) as usize);
+    let monitor_cid = ComponentId::from_index((terminals + routers) as usize);
+
+    let mut interface_ids = Vec::with_capacity(terminals as usize);
+    for t in 0..terminals {
+        let terminal = TerminalId(t);
+        let (router, port) = topology.terminal_attachment(terminal);
+        let iface = Interface::new(InterfaceConfig {
+            terminal,
+            vcs,
+            to_router: LinkTarget::new(router_cid(router.0), port, lat_terminal),
+            credit_to: LinkTarget::new(router_cid(router.0), port, lat_terminal),
+            router_credits: input_buffer,
+            inject_period: link_period,
+            drain_period,
+            max_packet_size: max_packet,
+            monitor: monitor_cid,
+            terminals: apps.iter().map(|a| a.create_terminal(terminal)).collect(),
+        });
+        let id = sim.add_component(Box::new(iface));
+        debug_assert_eq!(id, iface_cid(t));
+        interface_ids.push(id);
+    }
+
+    let mut router_ids = Vec::with_capacity(routers as usize);
+    for r in 0..routers {
+        let router = RouterId(r);
+        let radix = topology.radix(router);
+        let mut flit_links = Vec::with_capacity(radix as usize);
+        let mut credit_links = Vec::with_capacity(radix as usize);
+        let mut downstream = Vec::with_capacity(radix as usize);
+        for p in 0..radix {
+            if let Some(term) = topology.terminal_at(router, p) {
+                let link = LinkTarget::new(iface_cid(term.0), 0, lat_terminal);
+                flit_links.push(Some(link));
+                credit_links.push(Some(link));
+                downstream.push(eject_buffer);
+            } else if let Some((nr, np)) = topology.neighbor(router, p) {
+                let lat = match topology.channel_class(router, p) {
+                    ChannelClass::Local => lat_local,
+                    ChannelClass::Global => lat_global,
+                    ChannelClass::Terminal => {
+                        return Err(BuildError::invalid(format!(
+                            "topology {topo_name} wires terminal-class port r{r}:{p} to a router"
+                        )))
+                    }
+                };
+                // By the neighbor involution, both flits (downstream) and
+                // credits (upstream) address (neighbor, its port).
+                let link = LinkTarget::new(router_cid(nr.0), np, lat);
+                flit_links.push(Some(link));
+                credit_links.push(Some(link));
+                downstream.push(input_buffer);
+            } else {
+                flit_links.push(None);
+                credit_links.push(None);
+                downstream.push(0);
+            }
+        }
+        let ports = RouterPorts {
+            radix,
+            vcs,
+            flit_links,
+            credit_links,
+            downstream_capacity: downstream,
+        };
+        let ctx = RouterCtx {
+            id: router,
+            ports,
+            routing: plan.routing_factory(),
+            config: router_cfg,
+            link_period,
+        };
+        let id = sim.add_component(factories.routers.build(arch, ctx)?);
+        debug_assert_eq!(id, router_cid(r));
+        router_ids.push(id);
+    }
+
+    let monitor = sim.add_component(Box::new(WorkloadMonitor::new(
+        apps.len() as u8,
+        interface_ids.clone(),
+    )));
+    debug_assert_eq!(monitor, monitor_cid);
+
+    // Kick every interface: the first Inject enters the warming phase.
+    for &id in &interface_ids {
+        sim.schedule(id, Time::at(0), Ev::Inject);
+    }
+
+    Ok(Built {
+        sim,
+        interfaces: interface_ids,
+        routers: router_ids,
+        monitor,
+        topology,
+        tick_limit,
+        link_period,
+    })
+}

@@ -1,0 +1,206 @@
+//! The simulator facade: build from configuration, run, collect results.
+
+use std::sync::Arc;
+
+use supersim_config::Value;
+use supersim_des::{RunOutcome, RunStats, Tick};
+use supersim_netbase::Phase;
+use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
+use supersim_stats::{Filter, RecordKind, SampleLog};
+use supersim_topology::Topology;
+use supersim_workload::{Interface, InterfaceCounters};
+
+use crate::builder::{build, Built};
+use crate::error::{BuildError, SimError};
+use crate::factory::Factories;
+
+/// A fully assembled SuperSim simulation.
+///
+/// # Example
+///
+/// ```
+/// use supersim_core::{presets, SuperSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let output = SuperSim::from_config(&presets::quickstart())?.run()?;
+/// assert!(output.packets_delivered() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SuperSim {
+    built: Built,
+}
+
+impl SuperSim {
+    /// Builds a simulation from a configuration using the built-in model
+    /// factories.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] on malformed configuration or unknown
+    /// model names.
+    pub fn from_config(config: &Value) -> Result<Self, BuildError> {
+        Self::with_factories(config, &Factories::with_defaults())
+    }
+
+    /// Builds a simulation with user-extended factories — the route for
+    /// dropping in custom topologies, routers, applications, or traffic
+    /// patterns without touching this crate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] on malformed configuration or unknown
+    /// model names.
+    pub fn with_factories(config: &Value, factories: &Factories) -> Result<Self, BuildError> {
+        Ok(SuperSim { built: build(config, factories)? })
+    }
+
+    /// The network shape of this simulation.
+    pub fn topology(&self) -> &Arc<dyn Topology> {
+        &self.built.topology
+    }
+
+    /// Runs the simulation to completion (all phases, then drain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Model`] when a component detects an invariant
+    /// violation (paper §IV-D) and [`SimError::Stalled`] when the run hits
+    /// its tick limit without draining.
+    pub fn run(mut self) -> Result<RunOutput, SimError> {
+        let tick_limit = self.built.tick_limit;
+        let stats = self.built.sim.run_until(tick_limit);
+        match &stats.outcome {
+            RunOutcome::Drained => {}
+            RunOutcome::Failed(msg) => return Err(SimError::Model(msg.clone())),
+            RunOutcome::TickLimit | RunOutcome::Stopped => {
+                return Err(SimError::Stalled { tick: stats.end_time.tick() })
+            }
+        }
+        let mut log = SampleLog::new();
+        let mut counters = InterfaceCounters::default();
+        let mut max_queue_depth = 0;
+        let mut window_flits = 0u64;
+        for &id in &self.built.interfaces {
+            let iface = self
+                .built
+                .sim
+                .component_as::<Interface>(id)
+                .expect("interface component");
+            if let (Some(start), Some(end)) = (
+                iface.flits_at_phase(Phase::Generating),
+                iface.flits_at_phase(Phase::Finishing),
+            ) {
+                window_flits += end - start;
+            }
+            log.extend_from(&iface.log);
+            counters.messages_sent += iface.counters.messages_sent;
+            counters.packets_sent += iface.counters.packets_sent;
+            counters.flits_sent += iface.counters.flits_sent;
+            counters.flits_received += iface.counters.flits_received;
+            counters.messages_received += iface.counters.messages_received;
+            max_queue_depth = max_queue_depth.max(iface.queue_depth());
+        }
+        let monitor = self
+            .built
+            .sim
+            .component_as::<supersim_workload::WorkloadMonitor>(self.built.monitor)
+            .expect("monitor component");
+        Ok(RunOutput {
+            log,
+            engine: stats,
+            phase_times: monitor.phase_times.clone(),
+            terminals: self.built.topology.num_terminals(),
+            counters,
+            window_flits,
+            link_period: self.built.link_period,
+        })
+    }
+}
+
+impl std::fmt::Debug for SuperSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuperSim")
+            .field("topology", &self.built.topology.name())
+            .field("terminals", &self.built.topology.num_terminals())
+            .field("routers", &self.built.topology.num_routers())
+            .finish()
+    }
+}
+
+/// Results of one completed simulation.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Merged sample log of all interfaces.
+    pub log: SampleLog,
+    /// DES engine statistics.
+    pub engine: RunStats,
+    /// `(phase, entry tick)` transitions of the workload.
+    pub phase_times: Vec<(Phase, Tick)>,
+    /// Number of terminals that participated.
+    pub terminals: u32,
+    /// Aggregate interface counters.
+    pub counters: InterfaceCounters,
+    /// Flits ejected network-wide during the sampling window (exact,
+    /// phase-boundary snapshots) — the accepted-throughput numerator.
+    pub window_flits: u64,
+    /// Channel cycle time in ticks; one flit per link period is 100% load.
+    pub link_period: Tick,
+}
+
+impl RunOutput {
+    /// Number of sampled packets delivered.
+    pub fn packets_delivered(&self) -> u64 {
+        self.log.of_kind(RecordKind::Packet).count() as u64
+    }
+
+    /// The sampling window `(start, end)`: the generating phase interval.
+    pub fn window(&self) -> Option<(Tick, Tick)> {
+        let start = self.phase_start(Phase::Generating)?;
+        let end = self.phase_start(Phase::Finishing)?;
+        (end > start).then_some((start, end))
+    }
+
+    /// The tick a phase was entered, if it was.
+    pub fn phase_start(&self, phase: Phase) -> Option<Tick> {
+        self.phase_times.iter().find(|&&(p, _)| p == phase).map(|&(_, t)| t)
+    }
+
+    /// A [`WindowAnalysis`] over the sampling window.
+    pub fn analysis(&self) -> Option<WindowAnalysis> {
+        let (start, end) = self.window()?;
+        Some(WindowAnalysis {
+            window_start: start,
+            window_end: end,
+            terminals: self.terminals as u64,
+        })
+    }
+
+    /// Builds the load-latency point for this run at the given offered
+    /// load (flits/tick/terminal), filtered by `filter`.
+    ///
+    /// Delivered load uses the exact phase-boundary flit counts (all
+    /// traffic, not just sampled packets), so steady-state throughput has
+    /// no window edge effects.
+    pub fn load_point(&self, offered: f64, filter: &Filter) -> Option<LoadPoint> {
+        let mut point = self.analysis()?.load_point(&self.log, filter, offered);
+        let (start, end) = self.window()?;
+        // Normalize to a fraction of the line rate so offered and
+        // delivered are directly comparable at any link period.
+        point.delivered = self.window_flits as f64 / (end - start) as f64
+            / self.terminals as f64
+            * self.link_period as f64;
+        Some(point)
+    }
+
+    /// Mean sampled packet latency in ticks.
+    pub fn mean_packet_latency(&self) -> Option<f64> {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for r in self.log.of_kind(RecordKind::Packet) {
+            sum += r.latency();
+            n += 1;
+        }
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+}

@@ -1,0 +1,197 @@
+//! Clock domains (paper §III-B, Figure 2b).
+//!
+//! SuperSim allows multiple clock frequencies in one design. A clock is
+//! specified by its cycle time in ticks (e.g. Clock A with a 3-tick period
+//! and Clock B with a 2-tick period). This is most commonly used to model
+//! switch frequency speedup, where the switch core runs faster than the
+//! links.
+
+use crate::time::{Tick, Time};
+
+/// A clock domain with a fixed period (in ticks) and phase offset.
+///
+/// Edges occur at ticks `phase + n * period` for `n = 0, 1, 2, ...`.
+///
+/// # Example
+///
+/// ```
+/// use supersim_des::Clock;
+///
+/// // A clock with a 3-tick cycle time.
+/// let clk = Clock::new(3);
+/// assert_eq!(clk.edge(0), 0);
+/// assert_eq!(clk.edge(2), 6);
+/// assert_eq!(clk.next_edge(4), 6);  // strictly after tick 4
+/// assert_eq!(clk.edge_at_or_after(6), 6);
+/// assert_eq!(clk.cycle(7), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clock {
+    period: Tick,
+    phase: Tick,
+}
+
+impl Clock {
+    /// Creates a clock with the given period in ticks and phase 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: Tick) -> Self {
+        Self::with_phase(period, 0)
+    }
+
+    /// Creates a clock with the given period and phase offset in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `phase >= period`.
+    pub fn with_phase(period: Tick, phase: Tick) -> Self {
+        assert!(period > 0, "clock period must be non-zero");
+        assert!(phase < period, "clock phase must be less than the period");
+        Clock { period, phase }
+    }
+
+    /// The cycle time of this clock in ticks.
+    #[inline]
+    pub fn period(&self) -> Tick {
+        self.period
+    }
+
+    /// The phase offset of this clock in ticks.
+    #[inline]
+    pub fn phase(&self) -> Tick {
+        self.phase
+    }
+
+    /// The tick of edge number `cycle`.
+    #[inline]
+    pub fn edge(&self, cycle: u64) -> Tick {
+        self.phase + cycle * self.period
+    }
+
+    /// The cycle number whose edge is at or before `tick`.
+    ///
+    /// Ticks before the first edge report cycle 0.
+    #[inline]
+    pub fn cycle(&self, tick: Tick) -> u64 {
+        tick.saturating_sub(self.phase) / self.period
+    }
+
+    /// The first edge tick strictly after `tick`.
+    #[inline]
+    pub fn next_edge(&self, tick: Tick) -> Tick {
+        let e = self.edge_at_or_after(tick);
+        if e == tick {
+            e + self.period
+        } else {
+            e
+        }
+    }
+
+    /// The first edge tick at or after `tick`.
+    #[inline]
+    pub fn edge_at_or_after(&self, tick: Tick) -> Tick {
+        if tick <= self.phase {
+            return self.phase;
+        }
+        let delta = tick - self.phase;
+        let rem = delta % self.period;
+        if rem == 0 {
+            tick
+        } else {
+            tick + (self.period - rem)
+        }
+    }
+
+    /// The first edge time at or after `time`, at epsilon 0.
+    ///
+    /// If `time` already sits exactly on an edge but at a non-zero epsilon,
+    /// the *next* edge is returned, because work at an epsilon greater than
+    /// zero happens logically after the edge fired.
+    #[inline]
+    pub fn edge_time_after(&self, time: Time) -> Time {
+        let tick = if time.epsilon() == 0 {
+            self.edge_at_or_after(time.tick())
+        } else {
+            self.next_edge(time.tick())
+        };
+        Time::at(tick)
+    }
+
+    /// Whether `tick` falls exactly on a clock edge.
+    #[inline]
+    pub fn is_edge(&self, tick: Tick) -> bool {
+        tick >= self.phase && (tick - self.phase) % self.period == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_cycles() {
+        let c = Clock::new(3);
+        assert_eq!(c.edge(0), 0);
+        assert_eq!(c.edge(4), 12);
+        assert_eq!(c.cycle(0), 0);
+        assert_eq!(c.cycle(2), 0);
+        assert_eq!(c.cycle(3), 1);
+        assert_eq!(c.cycle(11), 3);
+    }
+
+    #[test]
+    fn phase_offset() {
+        let c = Clock::with_phase(4, 1);
+        assert_eq!(c.edge(0), 1);
+        assert_eq!(c.edge(2), 9);
+        assert!(c.is_edge(5));
+        assert!(!c.is_edge(4));
+        assert_eq!(c.edge_at_or_after(0), 1);
+        assert_eq!(c.cycle(0), 0);
+        assert_eq!(c.cycle(5), 1);
+    }
+
+    #[test]
+    fn next_edge_is_strict() {
+        let c = Clock::new(2);
+        assert_eq!(c.next_edge(4), 6);
+        assert_eq!(c.next_edge(5), 6);
+        assert_eq!(c.edge_at_or_after(4), 4);
+    }
+
+    #[test]
+    fn edge_time_after_respects_epsilon() {
+        let c = Clock::new(5);
+        // On the edge at epsilon 0: stay.
+        assert_eq!(c.edge_time_after(Time::new(10, 0)), Time::at(10));
+        // On the edge but past epsilon 0: next edge.
+        assert_eq!(c.edge_time_after(Time::new(10, 1)), Time::at(15));
+        // Between edges: round up.
+        assert_eq!(c.edge_time_after(Time::new(11, 3)), Time::at(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_panics() {
+        let _ = Clock::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase must be less")]
+    fn bad_phase_panics() {
+        let _ = Clock::with_phase(2, 2);
+    }
+
+    #[test]
+    fn two_frequency_example_from_paper() {
+        // Figure 2b: Clock A has a 3-tick cycle, Clock B a 2-tick cycle.
+        let a = Clock::new(3);
+        let b = Clock::new(2);
+        let a_edges: Vec<_> = (0..4).map(|i| a.edge(i)).collect();
+        let b_edges: Vec<_> = (0..5).map(|i| b.edge(i)).collect();
+        assert_eq!(a_edges, vec![0, 3, 6, 9]);
+        assert_eq!(b_edges, vec![0, 2, 4, 6, 8]);
+    }
+}

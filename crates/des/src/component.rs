@@ -1,0 +1,85 @@
+//! The component model (paper §III-A).
+//!
+//! A simulation is natively built of components which are able to create
+//! events. Components interact exclusively by scheduling events for each
+//! other through the [`Context`](crate::Context) handed to
+//! [`Component::handle`]; same-tick interactions use the next epsilon to
+//! preserve intra-tick ordering (see [`Time`](crate::Time)).
+
+use std::any::Any;
+use std::fmt;
+
+use crate::simulator::Context;
+
+/// Identifier of a component registered with a
+/// [`Simulator`](crate::Simulator).
+///
+/// Ids are dense indices assigned in registration order, which makes them
+/// cheap to store inside events and wiring tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// The raw index of this component.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index.
+    ///
+    /// Intended for wiring tables that store component indices compactly;
+    /// scheduling an event at an id that was never registered is reported as
+    /// a simulation error by the executor.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ComponentId(index as u32)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component#{}", self.0)
+    }
+}
+
+/// A simulation model that receives and creates events.
+///
+/// `E` is the event payload type shared by all components of one simulator.
+/// Implementations should be cheap to call: `handle` runs once per event on
+/// the simulator's hot path.
+///
+/// The `as_any` hooks allow the owner of a simulation to downcast components
+/// back to their concrete types after the run, e.g. to extract recorded
+/// statistics. A typical implementation is two one-line methods returning
+/// `self`.
+pub trait Component<E>: Any {
+    /// Short human-readable name used in error messages and traces.
+    fn name(&self) -> &str;
+
+    /// Processes one event addressed to this component.
+    fn handle(&mut self, ctx: &mut Context<'_, E>, event: E);
+
+    /// Upcast for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-run inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let id = ComponentId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "component#17");
+    }
+
+    #[test]
+    fn id_ordering_is_index_ordering() {
+        assert!(ComponentId::from_index(1) < ComponentId::from_index(2));
+    }
+}

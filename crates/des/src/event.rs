@@ -1,0 +1,172 @@
+//! The event priority queue (paper §III-A, Figure 1).
+//!
+//! Events are ordered by their [`Time`] (tick first, then epsilon). Events
+//! with identical times are executed in the order they were enqueued, which
+//! keeps simulations deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::component::ComponentId;
+use crate::time::Time;
+
+/// One scheduled event: when to run, who runs it, and its payload.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// Execution time of the event.
+    pub time: Time,
+    /// Tie-break sequence number (enqueue order).
+    pub seq: u64,
+    /// The component that will execute the event.
+    pub target: ComponentId,
+    /// Component-specific payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    /// Reverse ordering so that the `BinaryHeap` (a max-heap) presents the
+    /// *earliest* event at its head.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulator's global event queue.
+///
+/// A thin wrapper around [`BinaryHeap`] that assigns FIFO sequence numbers
+/// and tracks the high-water mark for engine statistics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+    max_len: usize,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, max_len: 0 }
+    }
+
+    /// Enqueues an event for `target` at `time`.
+    #[inline]
+    pub fn push(&mut self, target: ComponentId, time: Time, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { time, seq, target, payload });
+        self.max_len = self.max_len.max(self.heap.len());
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest number of events ever pending at once.
+    #[inline]
+    pub fn high_water_mark(&self) -> usize {
+        self.max_len
+    }
+
+    /// Total number of events ever enqueued.
+    #[inline]
+    pub fn total_enqueued(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> ComponentId {
+        ComponentId::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(id(0), Time::at(5), "c");
+        q.push(id(0), Time::at(1), "a");
+        q.push(id(0), Time::new(1, 1), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(id(0), Time::at(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expect: Vec<i32> = (0..100).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(id(0), Time::at(0), ());
+        q.push(id(0), Time::at(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water_mark(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.high_water_mark(), 2);
+        assert_eq!(q.total_enqueued(), 2);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        q.push(id(0), Time::at(9), ());
+        q.push(id(0), Time::at(3), ());
+        assert_eq!(q.peek_time(), Some(Time::at(3)));
+    }
+}

@@ -1,0 +1,423 @@
+//! The simulation engine: component storage, executor, and run statistics
+//! (paper §III-A, Figure 1).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::component::{Component, ComponentId};
+use crate::event::EventQueue;
+use crate::time::{Tick, Time};
+
+/// Why a [`Simulator::run`] call returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue ran empty: the simulation is over.
+    Drained,
+    /// A component requested an orderly stop via [`Context::stop`].
+    Stopped,
+    /// The tick limit given to [`Simulator::run_until`] was reached.
+    TickLimit,
+    /// A component reported a fatal modeling error via [`Context::fail`].
+    Failed(String),
+}
+
+impl RunOutcome {
+    /// Whether the run ended without a component-reported error.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, RunOutcome::Failed(_))
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Drained => write!(f, "event queue drained"),
+            RunOutcome::Stopped => write!(f, "stopped by component request"),
+            RunOutcome::TickLimit => write!(f, "tick limit reached"),
+            RunOutcome::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+/// Engine statistics for one run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Events executed during the run.
+    pub events_executed: u64,
+    /// Simulation time of the last executed event.
+    pub end_time: Time,
+    /// Largest number of simultaneously pending events.
+    pub queue_high_water: usize,
+    /// Total events enqueued over the lifetime of the simulator.
+    pub total_enqueued: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+impl RunStats {
+    /// Events executed per wall-clock second, or 0 for an empty run.
+    pub fn events_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_executed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The execution context handed to a component while it processes an event.
+///
+/// Through the context a component can read the current time, schedule new
+/// events (for itself or any other component), draw deterministic random
+/// numbers, and signal stop or failure.
+pub struct Context<'a, E> {
+    now: Time,
+    self_id: ComponentId,
+    queue: &'a mut EventQueue<E>,
+    rng: &'a mut SmallRng,
+    stop_requested: &'a mut bool,
+    failure: &'a mut Option<String>,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The time of the event currently being processed.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the component currently processing an event.
+    #[inline]
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `payload` for `target` at `time`.
+    ///
+    /// `time` must not be in the past. Scheduling at exactly the current
+    /// `(tick, epsilon)` is allowed and runs after the current event (FIFO);
+    /// use [`Time::next_epsilon`] to make intra-tick ordering explicit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Context::now`] — scheduling into
+    /// the past is always a bug in a component model.
+    #[inline]
+    pub fn schedule(&mut self, target: ComponentId, time: Time, payload: E) {
+        assert!(
+            time >= self.now,
+            "component {} scheduled an event into the past ({} < {})",
+            self.self_id,
+            time,
+            self.now
+        );
+        self.queue.push(target, time, payload);
+    }
+
+    /// Schedules `payload` for this component itself at `time`.
+    #[inline]
+    pub fn schedule_self(&mut self, time: Time, payload: E) {
+        self.schedule(self.self_id, time, payload);
+    }
+
+    /// The simulation's deterministic random number generator.
+    ///
+    /// All stochastic decisions must draw from this generator so that a
+    /// `(configuration, seed)` pair reproduces bit-identical simulations.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Requests an orderly stop: the executor returns after the current
+    /// event completes, leaving remaining events pending.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Reports a fatal modeling error (paper §IV-D error detection). The
+    /// executor halts and surfaces the message in [`RunOutcome::Failed`].
+    pub fn fail(&mut self, message: impl Into<String>) {
+        if self.failure.is_none() {
+            *self.failure = Some(message.into());
+        }
+    }
+}
+
+/// The discrete event simulator: owns the components, the global event
+/// queue, and the executor loop.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulator<E> {
+    components: Vec<Option<Box<dyn Component<E>>>>,
+    queue: EventQueue<E>,
+    now: Time,
+    rng: SmallRng,
+    events_executed: u64,
+}
+
+impl<E: 'static> Simulator<E> {
+    /// Creates a simulator whose random stream is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            components: Vec::new(),
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            rng: SmallRng::seed_from_u64(seed),
+            events_executed: 0,
+        }
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add_component(&mut self, component: Box<dyn Component<E>>) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(Some(component));
+        id
+    }
+
+    /// Number of registered components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Current simulation time (time of the most recent event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Enqueues an initial event from outside any component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current simulation time.
+    pub fn schedule(&mut self, target: ComponentId, time: Time, payload: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.push(target, time, payload);
+    }
+
+    /// Borrows a component by id.
+    ///
+    /// Returns `None` for an unknown id.
+    pub fn component(&self, id: ComponentId) -> Option<&dyn Component<E>> {
+        self.components.get(id.index()).and_then(|c| c.as_deref())
+    }
+
+    /// Downcasts a component to its concrete type for post-run inspection.
+    pub fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        self.component(id).and_then(|c| c.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable variant of [`Simulator::component_as`].
+    pub fn component_as_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.components
+            .get_mut(id.index())
+            .and_then(|c| c.as_deref_mut())
+            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Runs until the event queue drains, a component stops or fails.
+    pub fn run(&mut self) -> RunStats {
+        self.run_until(Tick::MAX)
+    }
+
+    /// Runs until the queue drains, a component stops or fails, or the next
+    /// event would execute at a tick strictly greater than `tick_limit`.
+    pub fn run_until(&mut self, tick_limit: Tick) -> RunStats {
+        let start = Instant::now();
+        let start_events = self.events_executed;
+        let mut stop_requested = false;
+        let mut failure: Option<String> = None;
+        let outcome = loop {
+            let Some(next_time) = self.queue.peek_time() else {
+                break RunOutcome::Drained;
+            };
+            if next_time.tick() > tick_limit {
+                break RunOutcome::TickLimit;
+            }
+            let entry = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            self.events_executed += 1;
+
+            let slot = match self.components.get_mut(entry.target.index()) {
+                Some(slot) => slot,
+                None => {
+                    break RunOutcome::Failed(format!(
+                        "event targeted unregistered {}",
+                        entry.target
+                    ))
+                }
+            };
+            let mut component = slot.take().expect("component re-entered while active");
+            let mut ctx = Context {
+                now: self.now,
+                self_id: entry.target,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stop_requested: &mut stop_requested,
+                failure: &mut failure,
+            };
+            component.handle(&mut ctx, entry.payload);
+            self.components[entry.target.index()] = Some(component);
+
+            if let Some(msg) = failure.take() {
+                break RunOutcome::Failed(msg);
+            }
+            if stop_requested {
+                break RunOutcome::Stopped;
+            }
+        };
+        RunStats {
+            events_executed: self.events_executed - start_events,
+            end_time: self.now,
+            queue_high_water: self.queue.high_water_mark(),
+            total_enqueued: self.queue.total_enqueued(),
+            wall: start.elapsed(),
+            outcome,
+        }
+    }
+}
+
+impl<E> fmt::Debug for Simulator<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("components", &self.components.len())
+            .field("pending_events", &self.queue.len())
+            .field("now", &self.now)
+            .field("events_executed", &self.events_executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+        Fail,
+    }
+
+    struct Echo {
+        peer: Option<ComponentId>,
+        received: Vec<u32>,
+        limit: u32,
+    }
+
+    impl Component<Ev> for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+            match event {
+                Ev::Ping(n) => {
+                    self.received.push(n);
+                    if n < self.limit {
+                        if let Some(peer) = self.peer {
+                            ctx.schedule(peer, ctx.now().plus_ticks(2), Ev::Ping(n + 1));
+                        }
+                    }
+                }
+                Ev::Stop => ctx.stop(),
+                Ev::Fail => ctx.fail("synthetic failure"),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn echo_pair(limit: u32) -> (Simulator<Ev>, ComponentId, ComponentId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_component(Box::new(Echo { peer: None, received: vec![], limit }));
+        let b = sim.add_component(Box::new(Echo { peer: Some(a), received: vec![], limit }));
+        sim.component_as_mut::<Echo>(a).unwrap().peer = Some(b);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_until_drained() {
+        let (mut sim, a, b) = echo_pair(5);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        assert_eq!(stats.events_executed, 6);
+        assert_eq!(sim.component_as::<Echo>(a).unwrap().received, vec![0, 2, 4]);
+        assert_eq!(sim.component_as::<Echo>(b).unwrap().received, vec![1, 3, 5]);
+        assert_eq!(sim.now(), Time::at(10));
+    }
+
+    #[test]
+    fn stop_leaves_queue_pending() {
+        let (mut sim, a, _) = echo_pair(100);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        sim.schedule(a, Time::at(3), Ev::Stop);
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Stopped);
+        // The in-flight ping to the peer is still pending.
+        let resumed = sim.run();
+        assert_eq!(resumed.outcome, RunOutcome::Drained);
+    }
+
+    #[test]
+    fn failure_is_surfaced() {
+        let (mut sim, a, _) = echo_pair(1);
+        sim.schedule(a, Time::at(0), Ev::Fail);
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Failed("synthetic failure".into()));
+    }
+
+    #[test]
+    fn tick_limit_pauses_and_resumes() {
+        let (mut sim, a, b) = echo_pair(50);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = sim.run_until(10);
+        assert_eq!(stats.outcome, RunOutcome::TickLimit);
+        assert!(sim.now().tick() <= 10);
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        let total = sim.component_as::<Echo>(a).unwrap().received.len()
+            + sim.component_as::<Echo>(b).unwrap().received.len();
+        assert_eq!(total, 51);
+    }
+
+    #[test]
+    fn unknown_target_fails() {
+        let mut sim: Simulator<Ev> = Simulator::new(0);
+        sim.schedule(ComponentId::from_index(9), Time::at(0), Ev::Stop);
+        let stats = sim.run();
+        assert!(matches!(stats.outcome, RunOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn deterministic_rng_across_runs() {
+        use rand::Rng;
+        let mut a = Simulator::<Ev>::new(42);
+        let mut b = Simulator::<Ev>::new(42);
+        let xa: u64 = a.rng.gen();
+        let xb: u64 = b.rng.gen();
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn stats_report_throughput() {
+        let (mut sim, a, _) = echo_pair(3);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = sim.run();
+        assert!(stats.events_per_second() >= 0.0);
+        assert_eq!(stats.total_enqueued, 4);
+        assert!(stats.queue_high_water >= 1);
+    }
+}

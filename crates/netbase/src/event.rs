@@ -1,0 +1,80 @@
+//! The global simulation event type.
+//!
+//! All components of a network simulation (routers, interfaces, the
+//! workload monitor) exchange values of this one enum through the DES
+//! engine. Components ignore variants that cannot legally reach them; in
+//! debug builds they report such deliveries as modeling errors.
+
+use crate::flit::Flit;
+use crate::ids::{AppId, Port, Vc};
+use crate::phase::{AppSignal, PhaseCommand};
+
+/// A simulation event payload.
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// A flit arriving on the receiver's input `port` after traversing a
+    /// channel.
+    Flit {
+        /// Input port of the receiving component.
+        port: Port,
+        /// The flit itself.
+        flit: Flit,
+    },
+    /// A credit returning to the sender side of a channel: the downstream
+    /// device freed one slot of the buffer behind (`port`, `vc`), where
+    /// `port` is the *receiver's* output port.
+    Credit {
+        /// Output port of the receiving component.
+        port: Port,
+        /// Virtual channel whose buffer slot was freed.
+        vc: Vc,
+    },
+    /// Self-scheduled pipeline activity for routers and interfaces; fired
+    /// at clock edges while work is pending.
+    Pipeline,
+    /// Self-scheduled injection opportunity for interfaces.
+    Inject,
+    /// Four-phase protocol signal from an application's terminals to the
+    /// workload monitor (paper §IV-A).
+    Signal {
+        /// Application raising the signal.
+        app: AppId,
+        /// The signal.
+        signal: AppSignal,
+    },
+    /// Four-phase protocol command from the workload monitor to terminals.
+    Command(PhaseCommand),
+    /// Component-private event with an opaque tag; lets user-defined models
+    /// schedule their own activity without extending this enum.
+    Internal(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::PacketBuilder;
+    use crate::ids::{MessageId, PacketId, TerminalId};
+
+    #[test]
+    fn events_are_cloneable_and_debuggable() {
+        let flit = PacketBuilder {
+            id: PacketId(0),
+            message: MessageId(0),
+            app: AppId(0),
+            src: TerminalId(0),
+            dst: TerminalId(1),
+            size: 1,
+            message_size: 1,
+            inject_tick: 0,
+            message_tick: 0,
+            sample: false,
+        }
+        .build()
+        .remove(0);
+        let ev = Ev::Flit { port: 3, flit };
+        let cloned = ev.clone();
+        assert!(format!("{cloned:?}").contains("port: 3"));
+        let ev = Ev::Credit { port: 1, vc: 2 };
+        assert!(format!("{ev:?}").contains("vc: 2"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Flits and packets.
+//!
+//! A *flit* (flow control digit) is the smallest unit on which routers
+//! manage buffering, data flow, and resource scheduling. A packet is a
+//! sequence of flits sharing one [`PacketInfo`]; a message is one or more
+//! packets sharing a [`MessageId`](crate::MessageId).
+
+use std::sync::Arc;
+
+use supersim_des::Tick;
+
+use crate::ids::{AppId, MessageId, PacketId, RouterId, TerminalId, Vc};
+
+/// Immutable metadata shared by all flits of one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketInfo {
+    /// Unique packet id.
+    pub id: PacketId,
+    /// The message this packet belongs to.
+    pub message: MessageId,
+    /// The application that generated the packet.
+    pub app: AppId,
+    /// Source terminal.
+    pub src: TerminalId,
+    /// Destination terminal.
+    pub dst: TerminalId,
+    /// Packet length in flits.
+    pub size: u32,
+    /// Total flits in the whole message (for reassembly accounting).
+    pub message_size: u32,
+    /// Tick at which the head flit entered the source interface queue.
+    pub inject_tick: Tick,
+    /// Tick at which the *message* was created (equal to `inject_tick` for
+    /// the first packet of a message).
+    pub message_tick: Tick,
+    /// Whether this packet is flagged for the sampling window.
+    pub sample: bool,
+}
+
+/// One flow control digit.
+///
+/// Flits are cheap to clone: the packet metadata is behind an [`Arc`].
+#[derive(Debug, Clone)]
+pub struct Flit {
+    /// Shared metadata of the owning packet.
+    pub pkt: Arc<PacketInfo>,
+    /// Position of this flit within its packet, starting at 0.
+    pub seq: u32,
+    /// Virtual channel currently occupied; rewritten hop by hop.
+    pub vc: Vc,
+    /// Routers traversed so far; incremented on each switch traversal.
+    pub hops: u16,
+    /// Intermediate router for non-minimal (Valiant-style) routing, set on
+    /// the head flit by the source router's routing algorithm and carried
+    /// with the packet until the intermediate is reached.
+    pub inter: Option<RouterId>,
+}
+
+impl Flit {
+    /// Whether this is the head flit of its packet.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// Whether this is the tail flit of its packet.
+    ///
+    /// A single-flit packet is both head and tail.
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.seq + 1 == self.pkt.size
+    }
+}
+
+/// Expands a [`PacketInfo`] into its flits.
+///
+/// # Example
+///
+/// ```
+/// use supersim_netbase::{PacketBuilder, PacketId, MessageId, AppId, TerminalId};
+///
+/// let flits = PacketBuilder {
+///     id: PacketId(1),
+///     message: MessageId(1),
+///     app: AppId(0),
+///     src: TerminalId(0),
+///     dst: TerminalId(5),
+///     size: 4,
+///     message_size: 4,
+///     inject_tick: 100,
+///     message_tick: 100,
+///     sample: true,
+/// }
+/// .build();
+/// assert_eq!(flits.len(), 4);
+/// assert!(flits[0].is_head());
+/// assert!(flits[3].is_tail());
+/// assert!(!flits[1].is_head());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    /// See [`PacketInfo::id`].
+    pub id: PacketId,
+    /// See [`PacketInfo::message`].
+    pub message: MessageId,
+    /// See [`PacketInfo::app`].
+    pub app: AppId,
+    /// See [`PacketInfo::src`].
+    pub src: TerminalId,
+    /// See [`PacketInfo::dst`].
+    pub dst: TerminalId,
+    /// See [`PacketInfo::size`].
+    pub size: u32,
+    /// See [`PacketInfo::message_size`].
+    pub message_size: u32,
+    /// See [`PacketInfo::inject_tick`].
+    pub inject_tick: Tick,
+    /// See [`PacketInfo::message_tick`].
+    pub message_tick: Tick,
+    /// See [`PacketInfo::sample`].
+    pub sample: bool,
+}
+
+impl PacketBuilder {
+    /// Materializes the packet as a vector of flits on VC 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero: a packet has at least a head flit.
+    pub fn build(self) -> Vec<Flit> {
+        assert!(self.size > 0, "packet must contain at least one flit");
+        let info = Arc::new(PacketInfo {
+            id: self.id,
+            message: self.message,
+            app: self.app,
+            src: self.src,
+            dst: self.dst,
+            size: self.size,
+            message_size: self.message_size,
+            inject_tick: self.inject_tick,
+            message_tick: self.message_tick,
+            sample: self.sample,
+        });
+        (0..self.size)
+            .map(|seq| Flit { pkt: Arc::clone(&info), seq, vc: 0, hops: 0, inter: None })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder(size: u32) -> PacketBuilder {
+        PacketBuilder {
+            id: PacketId(7),
+            message: MessageId(3),
+            app: AppId(0),
+            src: TerminalId(1),
+            dst: TerminalId(2),
+            size,
+            message_size: size,
+            inject_tick: 50,
+            message_tick: 50,
+            sample: false,
+        }
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_and_tail() {
+        let flits = builder(1).build();
+        assert_eq!(flits.len(), 1);
+        assert!(flits[0].is_head());
+        assert!(flits[0].is_tail());
+    }
+
+    #[test]
+    fn multi_flit_packet_structure() {
+        let flits = builder(5).build();
+        assert_eq!(flits.len(), 5);
+        assert!(flits[0].is_head() && !flits[0].is_tail());
+        for f in &flits[1..4] {
+            assert!(!f.is_head() && !f.is_tail());
+        }
+        assert!(flits[4].is_tail() && !flits[4].is_head());
+        // All flits share the same metadata allocation.
+        assert!(Arc::ptr_eq(&flits[0].pkt, &flits[4].pkt));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_size_packet_panics() {
+        let _ = builder(0).build();
+    }
+
+    #[test]
+    fn flits_start_on_vc_zero_with_no_hops() {
+        let flits = builder(2).build();
+        assert!(flits.iter().all(|f| f.vc == 0 && f.hops == 0 && f.inter.is_none()));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Shared network vocabulary for SuperSim-rs.
+//!
+//! This crate defines the types that every layer of the simulator speaks:
+//!
+//! - identifiers ([`TerminalId`], [`RouterId`], [`PacketId`], ...),
+//! - the flit/packet/message data model ([`Flit`], [`PacketInfo`]) — a
+//!   *flit* (flow control digit) is the smallest unit of resource
+//!   allocation in a router, and flit-level modeling is what distinguishes
+//!   SuperSim from packet- and flow-level simulators,
+//! - credit-based flow control bookkeeping ([`CreditCounter`]),
+//! - channel wiring descriptors ([`LinkTarget`]),
+//! - the global simulation event type [`Ev`] exchanged by all components,
+//! - the four-phase workload protocol vocabulary ([`Phase`], [`AppSignal`],
+//!   [`PhaseCommand`]; paper §IV-A Figure 4),
+//! - the error-detection invariants of paper §IV-D
+//!   ([`DeliveryChecker`], [`CreditCounter`] underflow checks, buffer
+//!   overrun guards).
+
+mod check;
+mod credit;
+mod event;
+mod flit;
+mod ids;
+mod link;
+mod phase;
+#[cfg(test)]
+mod proptests;
+
+pub use check::{CheckError, DeliveryChecker};
+pub use credit::{CreditCounter, CreditError};
+pub use event::Ev;
+pub use flit::{Flit, PacketBuilder, PacketInfo};
+pub use ids::{AppId, MessageId, PacketId, Port, RouterId, TerminalId, Vc};
+pub use link::LinkTarget;
+pub use phase::{AppSignal, Phase, PhaseCommand};

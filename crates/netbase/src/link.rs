@@ -1,0 +1,45 @@
+//! Channel wiring descriptors.
+//!
+//! The paper's `Channel` components carry flits (and credits, in reverse)
+//! with a configurable latency. In this reproduction a channel is wiring
+//! metadata: the sender schedules the arrival event `latency` ticks in the
+//! future at the [`LinkTarget`]. This is behaviourally identical for
+//! everything the paper measures while avoiding one component (and two
+//! events) per flit per hop.
+
+use supersim_des::{ComponentId, Tick};
+
+use crate::ids::Port;
+
+/// The far end of a channel: which component, which of its ports, and how
+/// far away (in ticks) it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTarget {
+    /// Receiving component.
+    pub component: ComponentId,
+    /// Input port on the receiving component (or output port, for the
+    /// reverse credit direction).
+    pub port: Port,
+    /// Channel latency in ticks.
+    pub latency: Tick,
+}
+
+impl LinkTarget {
+    /// Creates a link target.
+    pub fn new(component: ComponentId, port: Port, latency: Tick) -> Self {
+        LinkTarget { component, port, latency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let t = LinkTarget::new(ComponentId::from_index(4), 2, 50);
+        assert_eq!(t.component.index(), 4);
+        assert_eq!(t.port, 2);
+        assert_eq!(t.latency, 50);
+    }
+}

@@ -1,0 +1,136 @@
+//! The four-phase workload protocol vocabulary (paper §IV-A, Figure 4).
+//!
+//! The Workload is a state machine that monitors and controls the execution
+//! of all Applications through a handshake of signals (application →
+//! workload) and commands (workload → application):
+//!
+//! | Phase      | Entered by            | Left when app sends |
+//! |------------|-----------------------|---------------------|
+//! | Warming    | implicitly at start   | `Ready`             |
+//! | Generating | `Start` command       | `Complete`          |
+//! | Finishing  | `Stop` command        | `Done`              |
+//! | Draining   | `Kill` command        | (network drains)    |
+
+use std::fmt;
+
+/// The four execution phases of the workload protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Applications may send traffic to warm up the network.
+    Warming,
+    /// The primary phase: traffic generated here is sampled.
+    Generating,
+    /// Roll-over traffic that still needs to be sampled.
+    Finishing,
+    /// No new traffic; the network drains and the simulation ends.
+    Draining,
+}
+
+impl Phase {
+    /// Whether applications may create *new* traffic in this phase.
+    pub fn allows_generation(self) -> bool {
+        !matches!(self, Phase::Draining)
+    }
+
+    /// Whether traffic created in this phase is flagged for sampling.
+    pub fn samples(self) -> bool {
+        matches!(self, Phase::Generating)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Warming => "warming",
+            Phase::Generating => "generating",
+            Phase::Finishing => "finishing",
+            Phase::Draining => "draining",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Signals sent by an application to the workload monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppSignal {
+    /// The application finished warming.
+    Ready,
+    /// The application performed its necessary traffic generation.
+    Complete,
+    /// The application finished all remaining generation.
+    Done,
+}
+
+/// Commands broadcast by the workload monitor to all applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseCommand {
+    /// Enter the generating phase.
+    Start,
+    /// Enter the finishing phase.
+    Stop,
+    /// Enter the draining phase; no new traffic allowed.
+    Kill,
+}
+
+impl PhaseCommand {
+    /// The phase an application enters on receiving this command.
+    pub fn next_phase(self) -> Phase {
+        match self {
+            PhaseCommand::Start => Phase::Generating,
+            PhaseCommand::Stop => Phase::Finishing,
+            PhaseCommand::Kill => Phase::Draining,
+        }
+    }
+}
+
+impl fmt::Display for AppSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AppSignal::Ready => "ready",
+            AppSignal::Complete => "complete",
+            AppSignal::Done => "done",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for PhaseCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhaseCommand::Start => "start",
+            PhaseCommand::Stop => "stop",
+            PhaseCommand::Kill => "kill",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_phase_mapping() {
+        assert_eq!(PhaseCommand::Start.next_phase(), Phase::Generating);
+        assert_eq!(PhaseCommand::Stop.next_phase(), Phase::Finishing);
+        assert_eq!(PhaseCommand::Kill.next_phase(), Phase::Draining);
+    }
+
+    #[test]
+    fn generation_and_sampling_rules() {
+        assert!(Phase::Warming.allows_generation());
+        assert!(!Phase::Warming.samples());
+        assert!(Phase::Generating.allows_generation());
+        assert!(Phase::Generating.samples());
+        assert!(Phase::Finishing.allows_generation());
+        assert!(!Phase::Finishing.samples());
+        assert!(!Phase::Draining.allows_generation());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Phase::Generating.to_string(), "generating");
+        assert_eq!(AppSignal::Ready.to_string(), "ready");
+        assert_eq!(PhaseCommand::Kill.to_string(), "kill");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for credit accounting and delivery checking.
+
+use proptest::prelude::*;
+
+use crate::check::DeliveryChecker;
+use crate::credit::CreditCounter;
+use crate::flit::PacketBuilder;
+use crate::ids::{AppId, MessageId, PacketId, TerminalId};
+
+proptest! {
+    /// A credit counter never exceeds its capacity, never goes negative,
+    /// and its occupancy always complements availability — under any
+    /// consume/release sequence.
+    #[test]
+    fn credit_counter_invariants(
+        capacity in 0u32..64,
+        ops in prop::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let mut c = CreditCounter::new(capacity);
+        let mut model = capacity; // available credits in a trivial model
+        for consume in ops {
+            if consume {
+                let ok = c.try_consume();
+                prop_assert_eq!(ok, model > 0);
+                if ok {
+                    model -= 1;
+                }
+            } else {
+                let ok = c.release().is_ok();
+                prop_assert_eq!(ok, model < capacity);
+                if ok {
+                    model += 1;
+                }
+            }
+            prop_assert_eq!(c.available(), model);
+            prop_assert_eq!(c.occupancy(), capacity - model);
+            prop_assert!(c.available() <= c.capacity());
+        }
+    }
+
+    /// Delivering any interleaving of whole packets (each internally in
+    /// order) succeeds; shuffling flits *within* a packet fails.
+    #[test]
+    fn delivery_checker_accepts_interleaved_packets(
+        sizes in prop::collection::vec(1u32..6, 1..8),
+        seed in 0u64..1000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let dst = TerminalId(0);
+        let mut checker = DeliveryChecker::new(dst);
+        // One cursor per packet; pick a random non-exhausted packet each
+        // step and deliver its next flit.
+        let packets: Vec<Vec<crate::flit::Flit>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                PacketBuilder {
+                    id: PacketId(i as u64),
+                    message: MessageId(i as u64),
+                    app: AppId(0),
+                    src: TerminalId(1),
+                    dst,
+                    size,
+                    message_size: size,
+                    inject_tick: 0,
+                    message_tick: 0,
+                    sample: false,
+                }
+                .build()
+            })
+            .collect();
+        let mut cursors = vec![0usize; packets.len()];
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let total: usize = sizes.iter().map(|&s| s as usize).sum();
+        for _ in 0..total {
+            let live: Vec<usize> = (0..packets.len())
+                .filter(|&i| cursors[i] < packets[i].len())
+                .collect();
+            let &i = live.choose(&mut rng).expect("flits remain");
+            let flit = &packets[i][cursors[i]];
+            cursors[i] += 1;
+            let done = checker.deliver(flit).expect("in-order delivery must pass");
+            prop_assert_eq!(done, cursors[i] == packets[i].len());
+        }
+        prop_assert_eq!(checker.packets_completed(), packets.len() as u64);
+        prop_assert_eq!(checker.flits_delivered(), total as u64);
+        prop_assert_eq!(checker.packets_in_flight(), 0);
+    }
+
+    /// Swapping two distinct flits of a multi-flit packet is always
+    /// detected as an ordering violation.
+    #[test]
+    fn delivery_checker_rejects_swaps(size in 2u32..8, a in 0u32..8, b in 0u32..8) {
+        prop_assume!(a < size && b < size && a != b);
+        let dst = TerminalId(2);
+        let mut checker = DeliveryChecker::new(dst);
+        let mut flits = PacketBuilder {
+            id: PacketId(1),
+            message: MessageId(1),
+            app: AppId(0),
+            src: TerminalId(0),
+            dst,
+            size,
+            message_size: size,
+            inject_tick: 0,
+            message_tick: 0,
+            sample: false,
+        }
+        .build();
+        flits.swap(a as usize, b as usize);
+        let mut failed = false;
+        for f in &flits {
+            if checker.deliver(f).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        prop_assert!(failed, "swapped flits were not detected");
+    }
+}

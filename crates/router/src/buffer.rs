@@ -1,0 +1,141 @@
+//! Per-VC flit buffers with overrun detection (paper §IV-D: "buffers never
+//! silently overrun").
+
+use std::collections::VecDeque;
+
+use supersim_netbase::Flit;
+
+/// A FIFO flit buffer for one virtual channel.
+///
+/// Pushing beyond capacity is a flow-control protocol violation (the
+/// upstream device must have spent a credit per slot) and is reported
+/// rather than silently dropped or grown.
+#[derive(Debug, Clone)]
+pub struct VcBuffer {
+    flits: VecDeque<Flit>,
+    capacity: u32,
+}
+
+impl VcBuffer {
+    /// Creates a buffer holding up to `capacity` flits.
+    pub fn new(capacity: u32) -> Self {
+        VcBuffer { flits: VecDeque::with_capacity(capacity.min(1024) as usize), capacity }
+    }
+
+    /// Capacity in flits.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Flits currently buffered.
+    #[inline]
+    pub fn occupancy(&self) -> u32 {
+        self.flits.len() as u32
+    }
+
+    /// Whether the buffer holds no flits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.occupancy() >= self.capacity
+    }
+
+    /// Appends a flit.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(flit)` when the buffer is full — an upstream credit
+    /// protocol violation the caller must surface as a simulation failure.
+    pub fn push(&mut self, flit: Flit) -> Result<(), Flit> {
+        if self.is_full() {
+            return Err(flit);
+        }
+        self.flits.push_back(flit);
+        Ok(())
+    }
+
+    /// The flit at the head, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Flit> {
+        self.flits.front()
+    }
+
+    /// Mutable access to the head flit (routing annotates head flits in
+    /// place).
+    #[inline]
+    pub fn front_mut(&mut self) -> Option<&mut Flit> {
+        self.flits.front_mut()
+    }
+
+    /// Removes and returns the head flit.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.flits.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_netbase::{AppId, MessageId, PacketBuilder, PacketId, TerminalId};
+
+    fn flit(seq_hint: u64) -> Flit {
+        PacketBuilder {
+            id: PacketId(seq_hint),
+            message: MessageId(seq_hint),
+            app: AppId(0),
+            src: TerminalId(0),
+            dst: TerminalId(1),
+            size: 1,
+            message_size: 1,
+            inject_tick: seq_hint,
+            message_tick: seq_hint,
+            sample: false,
+        }
+        .build()
+        .remove(0)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut b = VcBuffer::new(4);
+        b.push(flit(1)).unwrap();
+        b.push(flit(2)).unwrap();
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.pop().unwrap().pkt.id, PacketId(1));
+        assert_eq!(b.pop().unwrap().pkt.id, PacketId(2));
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn overrun_is_rejected() {
+        let mut b = VcBuffer::new(1);
+        b.push(flit(1)).unwrap();
+        assert!(b.is_full());
+        let rejected = b.push(flit(2)).unwrap_err();
+        assert_eq!(rejected.pkt.id, PacketId(2));
+        assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn front_and_front_mut() {
+        let mut b = VcBuffer::new(2);
+        b.push(flit(5)).unwrap();
+        assert_eq!(b.front().unwrap().pkt.id, PacketId(5));
+        b.front_mut().unwrap().hops = 9;
+        assert_eq!(b.pop().unwrap().hops, 9);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut b = VcBuffer::new(0);
+        assert!(b.is_full() && b.is_empty());
+        assert!(b.push(flit(1)).is_err());
+    }
+}

@@ -1,0 +1,578 @@
+//! The input-queued (IQ) router microarchitecture (paper §IV-C).
+//!
+//! Modeled after the standard input-queued architecture of Dally & Towles
+//! with full crossbar input speedup and an optimized input-queue pipeline:
+//! every input (port, VC) presents the flit at its buffer head directly to
+//! the per-output crossbar schedulers, so the only structural conflicts are
+//! at the outputs. Flits wait in the input queues until downstream (next
+//! hop) credits are available, as governed by the configured
+//! [`FlowControl`] technique.
+
+use std::any::Any;
+
+use supersim_des::{Clock, Component, Context, Tick, Time};
+use supersim_netbase::{CreditCounter, Ev, RouterId};
+use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
+
+use crate::buffer::VcBuffer;
+use crate::common::{RouterError, RouterPorts, RoutingFactory};
+use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
+use crate::xbar_sched::{FlowControl, OutputScheduler, XbarCandidate};
+
+/// Configuration of an [`IqRouter`].
+pub struct IqConfig {
+    /// This router's id in the topology.
+    pub id: RouterId,
+    /// Port wiring.
+    pub ports: RouterPorts,
+    /// Input buffer depth in flits per (port, VC).
+    pub input_buffer: u32,
+    /// Switch cycle time in ticks.
+    pub core_period: Tick,
+    /// Channel cycle time in ticks (at most one flit per output port per
+    /// link period).
+    pub link_period: Tick,
+    /// Crossbar traversal latency in ticks.
+    pub xbar_latency: Tick,
+    /// Crossbar scheduling flow control technique.
+    pub flow_control: FlowControl,
+    /// Arbiter policy for the output schedulers.
+    pub arbiter: String,
+    /// Congestion sensor configuration.
+    pub sensor: SensorConfig,
+    /// Constructor for per-input-port routing engines.
+    pub routing: RoutingFactory,
+}
+
+/// Operation counters of a router, for engine-level statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterCounters {
+    /// Flits received on input ports.
+    pub flits_in: u64,
+    /// Flits sent on output ports.
+    pub flits_out: u64,
+    /// Credits received for output VCs.
+    pub credits_in: u64,
+    /// Switch cycles executed.
+    pub cycles: u64,
+}
+
+/// The input-queued router component.
+pub struct IqRouter {
+    name: String,
+    id: RouterId,
+    ports: RouterPorts,
+    clock: Clock,
+    link_period: Tick,
+    xbar_latency: Tick,
+    input_buffer: u32,
+    inputs: Vec<VcBuffer>,
+    route_table: Vec<Option<RouteChoice>>,
+    /// Whether the packet currently routed at this input has already sent
+    /// its head through the crossbar (after which its route is frozen).
+    route_started: Vec<bool>,
+    credits: Vec<CreditCounter>,
+    schedulers: Vec<OutputScheduler>,
+    routing: Vec<Box<dyn RoutingAlgorithm>>,
+    sensor: CongestionSensor,
+    last_send: Vec<Option<Tick>>,
+    next_pipeline: Option<Tick>,
+    last_cycle: Option<Tick>,
+    /// Operation counters.
+    pub counters: RouterCounters,
+}
+
+impl IqRouter {
+    /// Builds an IQ router.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RouterError`] on inconsistent port tables or zero
+    /// periods.
+    pub fn new(config: IqConfig) -> Result<Self, RouterError> {
+        config.ports.validate()?;
+        if config.core_period == 0 || config.link_period == 0 {
+            return Err(RouterError::new("clock periods must be non-zero"));
+        }
+        let radix = config.ports.radix;
+        let vcs = config.ports.vcs;
+        let n = (radix * vcs) as usize;
+        let credits = (0..n)
+            .map(|k| {
+                let (port, _) = config.ports.unkey(k);
+                CreditCounter::new(config.ports.downstream_capacity[port as usize])
+            })
+            .collect();
+        let routing = (0..radix).map(|p| (config.routing)(config.id, p)).collect();
+        let schedulers = (0..radix)
+            .map(|_| OutputScheduler::new(config.flow_control, vcs, &config.arbiter))
+            .collect();
+        Ok(IqRouter {
+            name: format!("iq_router_{}", config.id.0),
+            id: config.id,
+            clock: Clock::new(config.core_period),
+            link_period: config.link_period,
+            xbar_latency: config.xbar_latency,
+            input_buffer: config.input_buffer,
+            inputs: (0..n).map(|_| VcBuffer::new(config.input_buffer)).collect(),
+            route_table: vec![None; n],
+            route_started: vec![false; n],
+            credits,
+            schedulers,
+            routing,
+            sensor: CongestionSensor::new(radix, vcs, config.sensor),
+            last_send: vec![None; radix as usize],
+            next_pipeline: None,
+            last_cycle: None,
+            counters: RouterCounters::default(),
+            ports: config.ports,
+        })
+    }
+
+    /// Input buffer depth per (port, VC) — the credit count granted to
+    /// upstream devices.
+    pub fn input_buffer(&self) -> u32 {
+        self.input_buffer
+    }
+
+    /// The congestion sensor (for tests and instrumentation).
+    pub fn sensor(&self) -> &CongestionSensor {
+        &self.sensor
+    }
+
+    fn ensure_pipeline(&mut self, ctx: &mut Context<'_, Ev>, desired: Tick) {
+        let t = self.clock.edge_at_or_after(desired);
+        if self.next_pipeline.is_none_or(|np| t < np) {
+            ctx.schedule_self(Time::new(t, 1), Ev::Pipeline);
+            self.next_pipeline = Some(t);
+        }
+    }
+
+    fn cycle(&mut self, ctx: &mut Context<'_, Ev>) {
+        let tick = ctx.now().tick();
+        if self.last_cycle == Some(tick) {
+            return; // duplicate wake-up in the same cycle
+        }
+        self.last_cycle = Some(tick);
+        self.counters.cycles += 1;
+
+        // Stage 1: route computation for new heads. Engines that opt into
+        // re-routing recompute a waiting head's route every cycle until its
+        // packet starts transmitting (Duato-style escape fallback).
+        for k in 0..self.inputs.len() {
+            let (in_port, in_vc) = self.ports.unkey(k);
+            if self.route_table[k].is_some()
+                && (self.route_started[k] || !self.routing[in_port as usize].reroutes())
+            {
+                continue;
+            }
+            let Some(front) = self.inputs[k].front() else { continue };
+            if !front.is_head() {
+                if self.route_table[k].is_some() {
+                    continue; // body flit streaming on a frozen route
+                }
+                ctx.fail(format!(
+                    "{}: body flit of {} at buffer head without a route",
+                    self.name, front.pkt.id
+                ));
+                return;
+            }
+            let view = self.sensor.view_at(tick);
+            let choice = {
+                let mut rctx = RoutingContext {
+                    router: self.id,
+                    input_port: in_port,
+                    input_vc: in_vc,
+                    congestion: &view,
+                    rng: ctx.rng(),
+                };
+                let flit = self.inputs[k].front_mut().expect("checked above");
+                self.routing[in_port as usize].route(&mut rctx, flit)
+            };
+            // Error detection (paper §IV-D): reject illegal routing output.
+            if choice.port >= self.ports.radix || choice.vc >= self.ports.vcs {
+                ctx.fail(format!(
+                    "{}: routing produced illegal output (port {}, vc {})",
+                    self.name, choice.port, choice.vc
+                ));
+                return;
+            }
+            if self.ports.flit_links[choice.port as usize].is_none() {
+                ctx.fail(format!(
+                    "{}: routing targeted unused output port {}",
+                    self.name, choice.port
+                ));
+                return;
+            }
+            self.route_table[k] = Some(choice);
+        }
+
+        // Stage 2: switch allocation, one winner per output port, gated to
+        // the channel rate.
+        let mut progress = false;
+        for out_port in 0..self.ports.radix {
+            if self.last_send[out_port as usize]
+                .is_some_and(|t| tick < t + self.link_period)
+            {
+                continue; // channel still serializing the previous flit
+            }
+            let mut cands: Vec<XbarCandidate> = Vec::new();
+            for k in 0..self.inputs.len() {
+                let Some(route) = self.route_table[k] else { continue };
+                if route.port != out_port {
+                    continue;
+                }
+                let Some(flit) = self.inputs[k].front() else { continue };
+                cands.push(XbarCandidate {
+                    input_key: k as u32,
+                    age: flit.pkt.inject_tick,
+                    out_vc: route.vc,
+                    is_head: flit.is_head(),
+                    is_tail: flit.is_tail(),
+                    packet_size: flit.pkt.size,
+                    credits: self.credits[self.ports.key(out_port, route.vc)].available(),
+                });
+            }
+            let Some(w) = self.schedulers[out_port as usize].pick(&cands, ctx.rng())
+            else {
+                continue;
+            };
+            let c = cands[w];
+            let k = c.input_key as usize;
+            let mut flit = self.inputs[k].pop().expect("candidate had a head flit");
+            if self.credits[self.ports.key(out_port, c.out_vc)].consume().is_err() {
+                ctx.fail(format!("{}: credit underflow on output {out_port}", self.name));
+                return;
+            }
+            self.sensor.add(tick, CongestionSource::Downstream, out_port, c.out_vc);
+            let (in_port, in_vc) = self.ports.unkey(k);
+            if let Some(cl) = self.ports.credit_links[in_port as usize] {
+                ctx.schedule(
+                    cl.component,
+                    Time::at(tick + cl.latency),
+                    Ev::Credit { port: cl.port, vc: in_vc },
+                );
+            }
+            if flit.is_head() {
+                self.route_started[k] = true;
+            }
+            if flit.is_tail() {
+                self.route_table[k] = None;
+                self.route_started[k] = false;
+            }
+            flit.hops += 1;
+            flit.vc = c.out_vc;
+            let fl = self.ports.flit_links[out_port as usize]
+                .expect("validated at route time");
+            ctx.schedule(
+                fl.component,
+                Time::at(tick + self.xbar_latency + fl.latency),
+                Ev::Flit { port: fl.port, flit },
+            );
+            self.last_send[out_port as usize] = Some(tick);
+            self.counters.flits_out += 1;
+            progress = true;
+        }
+
+        // Wake again only when something can change: progress plus pending
+        // work re-arms the next edge; otherwise arriving flits or credits
+        // re-arm via their events.
+        if progress && self.inputs.iter().any(|b| !b.is_empty()) {
+            self.ensure_pipeline(ctx, self.clock.next_edge(tick));
+        }
+    }
+}
+
+impl Component<Ev> for IqRouter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+        match event {
+            Ev::Flit { port, flit } => {
+                if port >= self.ports.radix || flit.vc >= self.ports.vcs {
+                    ctx.fail(format!(
+                        "{}: flit arrived on unknown input (port {port}, vc {})",
+                        self.name, flit.vc
+                    ));
+                    return;
+                }
+                self.counters.flits_in += 1;
+                let k = self.ports.key(port, flit.vc);
+                if let Err(flit) = self.inputs[k].push(flit) {
+                    ctx.fail(format!(
+                        "{}: input buffer overrun at port {port} vc {} ({})",
+                        self.name, flit.vc, flit.pkt.id
+                    ));
+                    return;
+                }
+                let now = ctx.now().tick();
+                self.ensure_pipeline(ctx, now);
+            }
+            Ev::Credit { port, vc } => {
+                if port >= self.ports.radix || vc >= self.ports.vcs {
+                    ctx.fail(format!(
+                        "{}: credit arrived for unknown output (port {port}, vc {vc})",
+                        self.name
+                    ));
+                    return;
+                }
+                self.counters.credits_in += 1;
+                let k = self.ports.key(port, vc);
+                if self.credits[k].release().is_err() {
+                    ctx.fail(format!(
+                        "{}: credit overflow at output port {port} vc {vc}",
+                        self.name
+                    ));
+                    return;
+                }
+                self.sensor.remove(ctx.now().tick(), CongestionSource::Downstream, port, vc);
+                let now = ctx.now().tick();
+                self.ensure_pipeline(ctx, now);
+            }
+            Ev::Pipeline => {
+                let tick = ctx.now().tick();
+                if self.next_pipeline == Some(tick) {
+                    self.next_pipeline = None;
+                }
+                self.cycle(ctx);
+            }
+            other => {
+                ctx.fail(format!("{}: unexpected event {other:?}", self.name));
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionGranularity;
+    use crate::testutil::{ring_links, TestNet};
+    use supersim_des::Simulator;
+    use supersim_netbase::TerminalId;
+
+    /// Builds a 1-router "network": endpoint 0 -> router port 0 -> endpoint 1
+    /// on router port 1, using a trivial static routing algorithm.
+    fn one_router(
+        fc: FlowControl,
+        vcs: u32,
+        input_buffer: u32,
+        eject_buffer: u32,
+    ) -> TestNet {
+        TestNet::build(vcs, eject_buffer, move |ports, routing| {
+            IqRouter::new(IqConfig {
+                id: RouterId(0),
+                ports,
+                input_buffer,
+                core_period: 1,
+                link_period: 1,
+                xbar_latency: 2,
+                flow_control: fc,
+                arbiter: "round_robin".into(),
+                sensor: SensorConfig {
+                    source: CongestionSource::Downstream,
+                    granularity: CongestionGranularity::Vc,
+                    delay: 0,
+                },
+                routing,
+            })
+            .map(|r| Box::new(r) as _)
+        })
+    }
+
+    #[test]
+    fn delivers_a_single_flit_packet() {
+        let mut net = one_router(FlowControl::FlitBuffer, 2, 4, 16);
+        net.inject(0, TerminalId(1), 1, 0);
+        let out = net.run();
+        assert_eq!(out.delivered(1), 1);
+        // Hop count incremented by the one router.
+        assert_eq!(out.flits(1)[0].hops, 1);
+    }
+
+    #[test]
+    fn delivers_multi_flit_packets_in_order() {
+        let mut net = one_router(FlowControl::FlitBuffer, 2, 8, 32);
+        net.inject(0, TerminalId(1), 5, 0);
+        net.inject(0, TerminalId(1), 3, 10);
+        let out = net.run();
+        assert_eq!(out.delivered(1), 8);
+        // In-order within packets is asserted by the endpoint's checker.
+        assert!(out.outcome.is_ok(), "{:?}", out.outcome);
+    }
+
+    #[test]
+    fn two_sources_share_one_output() {
+        // Endpoints 0 and 2 both send to endpoint 1 through one router.
+        let mut net = one_router(FlowControl::FlitBuffer, 2, 8, 64);
+        for t in 0..8 {
+            net.inject(0, TerminalId(1), 1, t * 2);
+            net.inject(2, TerminalId(1), 1, t * 2);
+        }
+        let out = net.run();
+        assert_eq!(out.delivered(1), 16);
+    }
+
+    #[test]
+    fn packet_buffer_reserves_whole_packet() {
+        // Ejection buffer of 4 flits; a 6-flit packet can never reserve
+        // fully under PB and must never be granted; use a 4-flit packet.
+        let mut net = one_router(FlowControl::PacketBuffer, 2, 8, 4);
+        net.inject(0, TerminalId(1), 4, 0);
+        let out = net.run();
+        assert_eq!(out.delivered(1), 4);
+    }
+
+    #[test]
+    fn wta_delivers_under_tight_credits() {
+        let mut net = one_router(FlowControl::WinnerTakeAll, 2, 8, 2);
+        net.inject(0, TerminalId(1), 6, 0);
+        net.inject(2, TerminalId(1), 6, 1);
+        let out = net.run();
+        assert_eq!(out.delivered(1), 12);
+    }
+
+    #[test]
+    fn credits_are_conserved() {
+        let mut net = one_router(FlowControl::FlitBuffer, 2, 4, 16);
+        for t in 0..10 {
+            net.inject(0, TerminalId(1), 2, t * 3);
+        }
+        let out = net.run();
+        assert_eq!(out.delivered(1), 20);
+        // After draining, the router returned every input-buffer credit to
+        // the endpoints.
+        assert!(out.all_credits_home, "credits leaked");
+    }
+
+    #[test]
+    fn ring_of_routers_delivers_across_hops() {
+        // Three routers in a ring, each with one endpoint; traffic 0 -> 2
+        // traverses two routers.
+        let mut net = ring_links(3, |ports, routing| {
+            IqRouter::new(IqConfig {
+                id: RouterId(0),
+                ports,
+                input_buffer: 4,
+                core_period: 1,
+                link_period: 1,
+                xbar_latency: 1,
+                flow_control: FlowControl::FlitBuffer,
+                arbiter: "age_based".into(),
+                sensor: SensorConfig {
+                    source: CongestionSource::Downstream,
+                    granularity: CongestionGranularity::Vc,
+                    delay: 0,
+                },
+                routing,
+            })
+            .map(|r| Box::new(r) as _)
+        });
+        net.inject(0, TerminalId(2), 3, 0);
+        net.inject(1, TerminalId(0), 2, 0);
+        let out = net.run();
+        assert_eq!(out.delivered(2), 3);
+        assert_eq!(out.delivered(0), 2);
+        assert_eq!(out.flits(2)[0].hops, 3); // 0 -> r0 -> r1 -> r2
+    }
+
+    #[test]
+    fn rejects_flit_on_unknown_port() {
+        let mut sim: Simulator<Ev> = Simulator::new(1);
+        let ports = RouterPorts {
+            radix: 2,
+            vcs: 1,
+            flit_links: vec![None, None],
+            credit_links: vec![None, None],
+            downstream_capacity: vec![4, 4],
+        };
+        let routing: RoutingFactory = Box::new(|_, _| {
+            Box::new(crate::testutil::StaticRouting::new(1, 1))
+        });
+        let r = IqRouter::new(IqConfig {
+            id: RouterId(0),
+            ports,
+            input_buffer: 4,
+            core_period: 1,
+            link_period: 1,
+            xbar_latency: 1,
+            flow_control: FlowControl::FlitBuffer,
+            arbiter: "round_robin".into(),
+            sensor: SensorConfig {
+                source: CongestionSource::Downstream,
+                granularity: CongestionGranularity::Vc,
+                delay: 0,
+            },
+            routing,
+        })
+        .unwrap();
+        let id = sim.add_component(Box::new(r));
+        let flit = crate::testutil::test_flit(TerminalId(0), TerminalId(1), 1, 0);
+        sim.schedule(id, Time::at(0), Ev::Flit { port: 9, flit });
+        let stats = sim.run();
+        assert!(!stats.outcome.is_ok());
+    }
+
+    #[test]
+    fn rejects_buffer_overrun() {
+        // Endpoint that ignores credits and floods the router.
+        let mut net = one_router(FlowControl::FlitBuffer, 1, 2, 1);
+        net.endpoint_ignores_credits(0);
+        // Eject buffer 1 with slow draining keeps the router's input
+        // backed up; flooding overruns it.
+        for t in 0..32 {
+            net.inject(0, TerminalId(1), 1, t);
+        }
+        let out = net.run();
+        assert!(!out.outcome.is_ok(), "overrun not detected");
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut net = one_router(FlowControl::FlitBuffer, 2, 4, 16);
+        net.inject(0, TerminalId(1), 4, 0);
+        let out = net.run();
+        let c = out.router_counters[0];
+        assert_eq!(c.flits_in, 4);
+        assert_eq!(c.flits_out, 4);
+        assert!(c.cycles >= 4);
+    }
+
+    #[test]
+    fn link_rate_is_respected() {
+        // link_period 3: consecutive deliveries at least 3 ticks apart.
+        let mut net = TestNet::build(1, 64, |ports, routing| {
+            IqRouter::new(IqConfig {
+                id: RouterId(0),
+                ports,
+                input_buffer: 16,
+                core_period: 1,
+                link_period: 3,
+                xbar_latency: 0,
+                flow_control: FlowControl::FlitBuffer,
+                arbiter: "round_robin".into(),
+                sensor: SensorConfig {
+                    source: CongestionSource::Downstream,
+                    granularity: CongestionGranularity::Vc,
+                    delay: 0,
+                },
+                routing,
+            })
+            .map(|r| Box::new(r) as _)
+        });
+        net.inject(0, TerminalId(1), 6, 0);
+        let out = net.run();
+        let times = out.arrival_ticks(1);
+        assert!(times.windows(2).all(|w| w[1] - w[0] >= 3), "{times:?}");
+    }
+}

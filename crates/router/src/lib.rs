@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Router microarchitectures for SuperSim-rs (paper §IV-C).
+//!
+//! Three flexibly configurable router models, all built from the same
+//! common components (arbiters, allocators, buffers, crossbar schedulers,
+//! and congestion sensors):
+//!
+//! - [`OqRouter`] — the idealistic output-queued architecture: zero
+//!   head-of-line blocking, no scheduling conflicts, infinite or finite
+//!   output queues. Used by case study A (latent congestion detection).
+//! - [`IqRouter`] — the standard input-queued architecture with full
+//!   crossbar input speedup; flits wait in input queues until downstream
+//!   credits are available. Used by case study C (flow control
+//!   techniques).
+//! - [`IoqRouter`] — the combined input/output-queued architecture with
+//!   input and output speedup; flits wait at the inputs only for *output
+//!   queue* credits and at the outputs for downstream credits. Used by
+//!   case study B (congestion credit accounting).
+//!
+//! The building blocks are public so user-defined architectures can be
+//! assembled from them, mirroring the paper's extensibility story.
+
+mod allocator;
+mod arbiter;
+mod buffer;
+mod common;
+mod congestion;
+mod ioq;
+#[cfg(test)]
+mod proptests;
+#[cfg(test)]
+mod testutil;
+mod iq;
+mod oq;
+mod xbar_sched;
+
+pub use allocator::{AllocRequest, SeparableAllocator};
+pub use arbiter::{
+    arbiter_by_name, AgeBasedArbiter, Arbiter, FixedPriorityArbiter, RandomArbiter, Request,
+    RoundRobinArbiter,
+};
+pub use buffer::VcBuffer;
+pub use common::{RouterError, RouterPorts, RoutingFactory};
+pub use congestion::{
+    CongestionGranularity, CongestionSensor, CongestionSource, DelayedValue, SensorConfig,
+};
+pub use ioq::{IoqConfig, IoqRouter};
+pub use iq::{IqConfig, IqRouter, RouterCounters};
+pub use oq::{OqConfig, OqRouter};
+pub use xbar_sched::{FlowControl, OutputScheduler};

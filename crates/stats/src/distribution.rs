@@ -1,0 +1,287 @@
+//! Latency distributions and percentiles.
+//!
+//! The paper's tools put critical importance on "analyzing and viewing
+//! latency distributions, not just average latency": the percentile
+//! distribution (Figure 7) reads off the latency experienced by the
+//! worst 1-in-N packets, the expected latency of N-way parallelism.
+
+use serde::{Deserialize, Serialize};
+
+use crate::streaming::StreamingStats;
+
+/// A collection of latency samples with percentile queries.
+///
+/// Samples are stored exactly (u64 ticks) and sorted lazily on first query.
+///
+/// # Example
+///
+/// ```
+/// use supersim_stats::LatencyDistribution;
+///
+/// let mut d = LatencyDistribution::new();
+/// for x in 1..=1000u64 {
+///     d.push(x);
+/// }
+/// assert_eq!(d.percentile(50.0), Some(500));
+/// assert_eq!(d.percentile(99.9), Some(999));
+/// assert_eq!(d.min(), Some(1));
+/// assert_eq!(d.max(), Some(1000));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyDistribution {
+    samples: Vec<u64>,
+    #[serde(skip)]
+    sorted: bool,
+    stream: StreamingStats,
+}
+
+impl LatencyDistribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        LatencyDistribution { samples: Vec::new(), sorted: true, stream: StreamingStats::new() }
+    }
+
+    /// Adds one latency sample.
+    pub fn push(&mut self, latency: u64) {
+        self.sorted = false;
+        self.samples.push(latency);
+        self.stream.push(latency as f64);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the distribution holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.is_empty()).then(|| self.stream.mean())
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        (!self.is_empty()).then(|| self.stream.population_std_dev())
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.stream.min().map(|x| x as u64)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.stream.max().map(|x| x as u64)
+    }
+
+    /// The `p`-th percentile (nearest-rank method), `0 < p <= 100`.
+    ///
+    /// Returns `None` when the distribution is empty or `p` is out of
+    /// range.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.is_empty() || !(0.0..=100.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        // Small epsilon guards against floating-point noise pushing an
+        // exact rank (e.g. 0.999 * 10000) over the next integer.
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
+    }
+
+    /// The standard percentile set used throughout the paper's plots:
+    /// (label, value) for p50, p90, p99, p99.9, and p99.99.
+    pub fn standard_percentiles(&mut self) -> Vec<(&'static str, Option<u64>)> {
+        vec![
+            ("50%", self.percentile(50.0)),
+            ("90%", self.percentile(90.0)),
+            ("99%", self.percentile(99.0)),
+            ("99.9%", self.percentile(99.9)),
+            ("99.99%", self.percentile(99.99)),
+        ]
+    }
+
+    /// The full percentile curve for a Figure-7 style plot: for each
+    /// sample, the fraction of samples at or below it. Returns
+    /// `(cumulative_fraction, latency)` pairs in non-decreasing latency
+    /// order.
+    pub fn percentile_curve(&mut self) -> Vec<(f64, u64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, &lat)| ((i + 1) as f64 / n as f64, lat))
+            .collect()
+    }
+
+    /// A histogram with `bins` equal-width bins spanning `[min, max]`.
+    /// Returns `(bin_lower_edge, count)` pairs; empty input yields an empty
+    /// vector.
+    pub fn histogram(&mut self, bins: usize) -> Vec<(u64, u64)> {
+        if self.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let lo = self.samples[0];
+        let hi = *self.samples.last().expect("non-empty");
+        let width = ((hi - lo) / bins as u64).max(1);
+        let mut out: Vec<(u64, u64)> =
+            (0..bins).map(|i| (lo + i as u64 * width, 0)).collect();
+        for &s in &self.samples {
+            let idx = (((s - lo) / width) as usize).min(bins - 1);
+            out[idx].1 += 1;
+        }
+        out
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &LatencyDistribution) {
+        self.sorted = false;
+        self.samples.extend_from_slice(&other.samples);
+        self.stream.merge(&other.stream);
+    }
+
+    /// All samples in sorted order.
+    pub fn sorted_samples(&mut self) -> &[u64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+impl FromIterator<u64> for LatencyDistribution {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut d = LatencyDistribution::new();
+        for x in iter {
+            d.push(x);
+        }
+        d
+    }
+}
+
+impl Extend<u64> for LatencyDistribution {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_distribution() {
+        let mut d = LatencyDistribution::new();
+        assert!(d.is_empty());
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.percentile(50.0), None);
+        assert!(d.histogram(4).is_empty());
+        assert!(d.percentile_curve().is_empty());
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let mut d: LatencyDistribution = [42u64].into_iter().collect();
+        assert_eq!(d.percentile(0.001), Some(42));
+        assert_eq!(d.percentile(50.0), Some(42));
+        assert_eq!(d.percentile(100.0), Some(42));
+        assert_eq!(d.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut d: LatencyDistribution = (1..=100u64).collect();
+        assert_eq!(d.percentile(1.0), Some(1));
+        assert_eq!(d.percentile(50.0), Some(50));
+        assert_eq!(d.percentile(99.0), Some(99));
+        assert_eq!(d.percentile(100.0), Some(100));
+        // 99.9th of 100 samples rounds up to the max.
+        assert_eq!(d.percentile(99.9), Some(100));
+    }
+
+    #[test]
+    fn out_of_range_percentiles_rejected() {
+        let mut d: LatencyDistribution = (1..=10u64).collect();
+        assert_eq!(d.percentile(0.0), None);
+        assert_eq!(d.percentile(-1.0), None);
+        assert_eq!(d.percentile(100.1), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut d: LatencyDistribution = [5u64, 1, 9, 3, 7].into_iter().collect();
+        assert_eq!(d.sorted_samples(), &[1, 3, 5, 7, 9]);
+        assert_eq!(d.min(), Some(1));
+        assert_eq!(d.max(), Some(9));
+        d.push(0);
+        assert_eq!(d.percentile(1.0), Some(0));
+    }
+
+    #[test]
+    fn standard_percentile_set() {
+        let mut d: LatencyDistribution = (1..=10_000u64).collect();
+        let ps = d.standard_percentiles();
+        assert_eq!(ps[0], ("50%", Some(5000)));
+        assert_eq!(ps[3], ("99.9%", Some(9990)));
+        assert_eq!(ps[4], ("99.99%", Some(9999)));
+    }
+
+    #[test]
+    fn percentile_curve_is_monotonic() {
+        let mut d: LatencyDistribution = [4u64, 2, 2, 8].into_iter().collect();
+        let curve = d.percentile_curve();
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0], (0.25, 2));
+        assert_eq!(curve[3], (1.0, 8));
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let mut d: LatencyDistribution = (0..100u64).collect();
+        let h = d.histogram(10);
+        assert_eq!(h.len(), 10);
+        assert!(h.iter().all(|&(_, c)| c > 0));
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn histogram_identical_samples() {
+        let mut d: LatencyDistribution = std::iter::repeat(7u64).take(5).collect();
+        let h = d.histogram(3);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a: LatencyDistribution = [1u64, 3].into_iter().collect();
+        let b: LatencyDistribution = [2u64, 4].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sorted_samples(), &[1, 2, 3, 4]);
+        assert_eq!(a.mean(), Some(2.5));
+        assert_eq!(a.max(), Some(4));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let mut d = LatencyDistribution::new();
+        d.extend([2u64, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(d.mean(), Some(5.0));
+        assert!((d.std_dev().unwrap() - 2.0).abs() < 1e-12);
+    }
+}

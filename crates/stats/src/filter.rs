@@ -1,0 +1,275 @@
+//! SSParse's record filter language.
+//!
+//! Filters select subsets of a [`SampleLog`](crate::SampleLog). The paper's
+//! examples: `+app=0` keeps only traffic of application 0; `+send=500-1000`
+//! keeps only traffic sent between ticks 500 and 1000 (inclusive). Multiple
+//! filters compose with logical AND. A leading `-` instead of `+` negates a
+//! term.
+//!
+//! Supported fields: `app`, `src`, `dst`, `send`, `recv`, `hops`, `size`,
+//! `latency` (all accepting `N` or `N-M` ranges) and `kind`
+//! (`packet`/`message`/`transaction`).
+
+use std::fmt;
+
+use crate::record::{RecordKind, SampleRecord};
+
+/// A malformed filter expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    text: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad filter {:?}: {}", self.text, self.reason)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// The field a term inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    App,
+    Src,
+    Dst,
+    Send,
+    Recv,
+    Hops,
+    Size,
+    Latency,
+    Kind(RecordKind),
+}
+
+/// One parsed filter term, e.g. `+send=500-1000`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterTerm {
+    include: bool,
+    field: Field,
+    lo: u64,
+    hi: u64,
+}
+
+impl FilterTerm {
+    /// Parses one term.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FilterError`] on unknown fields, malformed ranges, or a
+    /// missing `+`/`-` prefix.
+    pub fn parse(text: &str) -> Result<FilterTerm, FilterError> {
+        let err = |reason| FilterError { text: text.to_string(), reason };
+        let (include, rest) = match text.as_bytes().first() {
+            Some(b'+') => (true, &text[1..]),
+            Some(b'-') => (false, &text[1..]),
+            _ => return Err(err("filter must start with '+' or '-'")),
+        };
+        let (field_name, value) =
+            rest.split_once('=').ok_or_else(|| err("expected field=value"))?;
+        if field_name == "kind" {
+            let kind =
+                RecordKind::from_name(value).ok_or_else(|| err("unknown record kind"))?;
+            return Ok(FilterTerm { include, field: Field::Kind(kind), lo: 0, hi: 0 });
+        }
+        let field = match field_name {
+            "app" => Field::App,
+            "src" => Field::Src,
+            "dst" => Field::Dst,
+            "send" => Field::Send,
+            "recv" => Field::Recv,
+            "hops" => Field::Hops,
+            "size" => Field::Size,
+            "latency" => Field::Latency,
+            _ => return Err(err("unknown filter field")),
+        };
+        let (lo, hi) = match value.split_once('-') {
+            Some((a, b)) => (
+                a.parse().map_err(|_| err("malformed range start"))?,
+                b.parse().map_err(|_| err("malformed range end"))?,
+            ),
+            None => {
+                let v: u64 = value.parse().map_err(|_| err("malformed value"))?;
+                (v, v)
+            }
+        };
+        if lo > hi {
+            return Err(err("range start exceeds range end"));
+        }
+        Ok(FilterTerm { include, field, lo, hi })
+    }
+
+    /// Whether `record` satisfies this term.
+    pub fn matches(&self, record: &SampleRecord) -> bool {
+        let hit = match self.field {
+            Field::Kind(kind) => record.kind == kind,
+            Field::App => in_range(record.app as u64, self.lo, self.hi),
+            Field::Src => in_range(record.src as u64, self.lo, self.hi),
+            Field::Dst => in_range(record.dst as u64, self.lo, self.hi),
+            Field::Send => in_range(record.send, self.lo, self.hi),
+            Field::Recv => in_range(record.recv, self.lo, self.hi),
+            Field::Hops => in_range(record.hops as u64, self.lo, self.hi),
+            Field::Size => in_range(record.size as u64, self.lo, self.hi),
+            Field::Latency => in_range(record.latency(), self.lo, self.hi),
+        };
+        hit == self.include
+    }
+}
+
+fn in_range(v: u64, lo: u64, hi: u64) -> bool {
+    (lo..=hi).contains(&v)
+}
+
+/// A conjunction of [`FilterTerm`]s.
+///
+/// # Example
+///
+/// ```
+/// use supersim_stats::{Filter, RecordKind, SampleRecord};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = Filter::parse_all(["+app=0", "+send=500-1000"])?;
+/// let rec = SampleRecord {
+///     kind: RecordKind::Packet, app: 0, src: 1, dst: 2,
+///     send: 700, recv: 900, hops: 2, size: 1,
+/// };
+/// assert!(f.matches(&rec));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Filter {
+    terms: Vec<FilterTerm>,
+}
+
+impl Filter {
+    /// The empty filter, which matches every record.
+    pub fn new() -> Self {
+        Filter { terms: Vec::new() }
+    }
+
+    /// Parses a sequence of term strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first term's parse error.
+    pub fn parse_all<I, S>(terms: I) -> Result<Filter, FilterError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let terms = terms
+            .into_iter()
+            .map(|t| FilterTerm::parse(t.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Filter { terms })
+    }
+
+    /// Adds one term.
+    pub fn and(mut self, term: FilterTerm) -> Self {
+        self.terms.push(term);
+        self
+    }
+
+    /// Whether `record` satisfies all terms.
+    pub fn matches(&self, record: &SampleRecord) -> bool {
+        self.terms.iter().all(|t| t.matches(record))
+    }
+
+    /// Applies the filter to a slice of records.
+    pub fn apply<'a>(
+        &'a self,
+        records: &'a [SampleRecord],
+    ) -> impl Iterator<Item = &'a SampleRecord> + 'a {
+        records.iter().filter(move |r| self.matches(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(app: u8, send: u64, recv: u64) -> SampleRecord {
+        SampleRecord { kind: RecordKind::Packet, app, src: 3, dst: 4, send, recv, hops: 2, size: 8 }
+    }
+
+    #[test]
+    fn paper_examples() {
+        let f = Filter::parse_all(["+app=0"]).unwrap();
+        assert!(f.matches(&rec(0, 10, 20)));
+        assert!(!f.matches(&rec(1, 10, 20)));
+
+        let f = Filter::parse_all(["+send=500-1000"]).unwrap();
+        assert!(f.matches(&rec(0, 500, 600)));
+        assert!(f.matches(&rec(0, 1000, 1100)));
+        assert!(!f.matches(&rec(0, 499, 600)));
+        assert!(!f.matches(&rec(0, 1001, 1100)));
+    }
+
+    #[test]
+    fn conjunction() {
+        let f = Filter::parse_all(["+app=0", "+send=100-200"]).unwrap();
+        assert!(f.matches(&rec(0, 150, 160)));
+        assert!(!f.matches(&rec(1, 150, 160)));
+        assert!(!f.matches(&rec(0, 50, 60)));
+    }
+
+    #[test]
+    fn negation() {
+        let f = Filter::parse_all(["-app=0"]).unwrap();
+        assert!(!f.matches(&rec(0, 1, 2)));
+        assert!(f.matches(&rec(1, 1, 2)));
+    }
+
+    #[test]
+    fn kind_and_latency_fields() {
+        let f = Filter::parse_all(["+kind=packet", "+latency=10-20"]).unwrap();
+        assert!(f.matches(&rec(0, 100, 115)));
+        assert!(!f.matches(&rec(0, 100, 190)));
+        let f = Filter::parse_all(["+kind=message"]).unwrap();
+        assert!(!f.matches(&rec(0, 1, 2)));
+    }
+
+    #[test]
+    fn all_numeric_fields_parse() {
+        for field in ["app", "src", "dst", "send", "recv", "hops", "size", "latency"] {
+            assert!(FilterTerm::parse(&format!("+{field}=1")).is_ok());
+            assert!(FilterTerm::parse(&format!("+{field}=1-5")).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        assert!(Filter::new().matches(&rec(7, 0, 0)));
+    }
+
+    #[test]
+    fn apply_iterates_matches() {
+        let records = vec![rec(0, 1, 2), rec(1, 1, 2), rec(0, 5, 6)];
+        let f = Filter::parse_all(["+app=0"]).unwrap();
+        assert_eq!(f.apply(&records).count(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "app=0",      // missing prefix
+            "+app",       // missing value
+            "+app=x",     // not a number
+            "+app=5-2",   // inverted range
+            "+app=1-x",   // bad range end
+            "+what=1",    // unknown field
+            "+kind=flow", // unknown kind
+            "",           // empty
+        ] {
+            assert!(FilterTerm::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FilterTerm::parse("+what=1").unwrap_err();
+        assert!(e.to_string().contains("what"));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Statistics, sampling, and analysis for SuperSim-rs (paper §V).
+//!
+//! During the sampling window a simulation records one [`SampleRecord`] per
+//! delivered packet (and per message / transaction). This crate provides the
+//! machinery the SuperSim tool ecosystem is built on:
+//!
+//! - [`SampleLog`] — the in-memory transaction log, serializable to the
+//!   text format parsed by the `ssparse` tool,
+//! - [`Filter`] — SSParse's filter language (`+app=0`, `+send=500-1000`),
+//! - [`LatencyDistribution`] — means, standard deviations, minima/maxima,
+//!   and *percentile distributions* (the paper stresses that latency
+//!   distributions, not just averages, reveal effects such as phantom
+//!   congestion),
+//! - [`TimeSeries`] — binned latency-versus-time curves (Figure 5),
+//! - [`analysis`] — load-latency sweep aggregation and saturation
+//!   detection (Figure 8 and the case studies),
+//! - [`StreamingStats`] — constant-space mean/variance accumulators.
+
+pub mod analysis;
+mod distribution;
+mod filter;
+mod record;
+mod streaming;
+mod timeseries;
+
+pub use distribution::LatencyDistribution;
+pub use filter::{Filter, FilterError, FilterTerm};
+pub use record::{RecordKind, SampleLog, SampleRecord};
+pub use streaming::StreamingStats;
+pub use timeseries::TimeSeries;

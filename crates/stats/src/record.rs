@@ -1,0 +1,285 @@
+//! The sample log: one record per sampled packet, message, or transaction.
+//!
+//! During the sampling window SuperSim logs network transaction information
+//! to a verbose format that the SSParse tool consumes. [`SampleLog`] is the
+//! in-memory form; [`SampleLog::to_text`] / [`SampleLog::parse`] define the
+//! text format used on disk by the tools crate.
+
+use serde::{Deserialize, Serialize};
+
+/// What a [`SampleRecord`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// Head-flit injection to tail-flit ejection of one packet.
+    Packet,
+    /// Creation of a message to ejection of the last flit of its last
+    /// packet.
+    Message,
+    /// A request/response pair measured by an application.
+    Transaction,
+}
+
+impl RecordKind {
+    /// Short lowercase name used in the log text format and filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::Packet => "packet",
+            RecordKind::Message => "message",
+            RecordKind::Transaction => "transaction",
+        }
+    }
+
+    /// Parses a [`RecordKind::name`] string.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "packet" => Some(RecordKind::Packet),
+            "message" => Some(RecordKind::Message),
+            "transaction" => Some(RecordKind::Transaction),
+            _ => None,
+        }
+    }
+}
+
+/// One sampled network transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// What was measured.
+    pub kind: RecordKind,
+    /// Application that generated the traffic.
+    pub app: u8,
+    /// Source terminal index.
+    pub src: u32,
+    /// Destination terminal index.
+    pub dst: u32,
+    /// Tick the measurement started (e.g. head-flit injection).
+    pub send: u64,
+    /// Tick the measurement ended (e.g. tail-flit ejection).
+    pub recv: u64,
+    /// Router hops traversed (0 for kinds where it is not meaningful).
+    pub hops: u16,
+    /// Size in flits.
+    pub size: u32,
+}
+
+impl SampleRecord {
+    /// End-to-end latency in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `recv < send`, which indicates a modeling
+    /// bug upstream.
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        debug_assert!(self.recv >= self.send, "record ends before it starts");
+        self.recv - self.send
+    }
+
+    fn to_line(self) -> String {
+        format!(
+            "{} {} {} {} {} {} {} {}",
+            self.kind.name(),
+            self.app,
+            self.src,
+            self.dst,
+            self.send,
+            self.recv,
+            self.hops,
+            self.size
+        )
+    }
+
+    fn parse_line(line: &str) -> Option<SampleRecord> {
+        let mut it = line.split_ascii_whitespace();
+        let kind = RecordKind::from_name(it.next()?)?;
+        let rec = SampleRecord {
+            kind,
+            app: it.next()?.parse().ok()?,
+            src: it.next()?.parse().ok()?,
+            dst: it.next()?.parse().ok()?,
+            send: it.next()?.parse().ok()?,
+            recv: it.next()?.parse().ok()?,
+            hops: it.next()?.parse().ok()?,
+            size: it.next()?.parse().ok()?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(rec)
+    }
+}
+
+/// An append-only collection of [`SampleRecord`]s.
+///
+/// # Example
+///
+/// ```
+/// use supersim_stats::{RecordKind, SampleLog, SampleRecord};
+///
+/// let mut log = SampleLog::new();
+/// log.push(SampleRecord {
+///     kind: RecordKind::Packet, app: 0, src: 1, dst: 2,
+///     send: 100, recv: 150, hops: 3, size: 4,
+/// });
+/// let text = log.to_text();
+/// let back = SampleLog::parse(&text).unwrap();
+/// assert_eq!(back.records(), log.records());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleLog {
+    records: Vec<SampleRecord>,
+}
+
+impl SampleLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        SampleLog { records: Vec::new() }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: SampleRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[SampleRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends all records of `other`.
+    pub fn extend_from(&mut self, other: &SampleLog) {
+        self.records.extend_from_slice(&other.records);
+    }
+
+    /// Records of one kind.
+    pub fn of_kind(&self, kind: RecordKind) -> impl Iterator<Item = &SampleRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Serializes to the SSParse text format: a `#` header line followed by
+    /// one whitespace-separated record per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# kind app src dst send recv hops size\n");
+        for r in &self.records {
+            out.push_str(&r.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`SampleLog::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number of the first malformed line.
+    pub fn parse(text: &str) -> Result<SampleLog, usize> {
+        let mut log = SampleLog::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match SampleRecord::parse_line(line) {
+                Some(rec) => log.push(rec),
+                None => return Err(i + 1),
+            }
+        }
+        Ok(log)
+    }
+}
+
+impl FromIterator<SampleRecord> for SampleLog {
+    fn from_iter<I: IntoIterator<Item = SampleRecord>>(iter: I) -> Self {
+        SampleLog { records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<SampleRecord> for SampleLog {
+    fn extend<I: IntoIterator<Item = SampleRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: RecordKind, send: u64, recv: u64) -> SampleRecord {
+        SampleRecord { kind, app: 1, src: 2, dst: 3, send, recv, hops: 4, size: 5 }
+    }
+
+    #[test]
+    fn latency() {
+        assert_eq!(rec(RecordKind::Packet, 10, 35).latency(), 25);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let log: SampleLog = vec![
+            rec(RecordKind::Packet, 1, 2),
+            rec(RecordKind::Message, 3, 9),
+            rec(RecordKind::Transaction, 5, 50),
+        ]
+        .into_iter()
+        .collect();
+        let text = log.to_text();
+        assert!(text.starts_with('#'));
+        let back = SampleLog::parse(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn parse_reports_bad_line() {
+        let err = SampleLog::parse("# header\npacket 0 0 0 1 2 0 1\nbogus line\n").unwrap_err();
+        assert_eq!(err, 3);
+        // Too many fields is also malformed.
+        assert!(SampleLog::parse("packet 0 0 0 1 2 0 1 9\n").is_err());
+        // Unknown kind.
+        assert!(SampleLog::parse("flow 0 0 0 1 2 0 1\n").is_err());
+    }
+
+    #[test]
+    fn parse_skips_blank_and_comment_lines() {
+        let log = SampleLog::parse("\n# c\n  \npacket 0 1 2 3 4 5 6\n").unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].dst, 2);
+    }
+
+    #[test]
+    fn kind_filtering() {
+        let log: SampleLog = vec![
+            rec(RecordKind::Packet, 1, 2),
+            rec(RecordKind::Packet, 1, 3),
+            rec(RecordKind::Message, 1, 4),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(log.of_kind(RecordKind::Packet).count(), 2);
+        assert_eq!(log.of_kind(RecordKind::Transaction).count(), 0);
+    }
+
+    #[test]
+    fn extend_merges_logs() {
+        let mut a: SampleLog = vec![rec(RecordKind::Packet, 1, 2)].into_iter().collect();
+        let b: SampleLog = vec![rec(RecordKind::Packet, 3, 4)].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in [RecordKind::Packet, RecordKind::Message, RecordKind::Transaction] {
+            assert_eq!(RecordKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(RecordKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Binned time series, e.g. mean latency over time (paper Figure 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::SampleRecord;
+use crate::streaming::StreamingStats;
+
+/// Aggregates samples into fixed-width time bins.
+///
+/// Used for transient analyses such as the Blast/Pulse experiment where the
+/// mean latency of one application is plotted over time while another
+/// application disturbs the network.
+///
+/// # Example
+///
+/// ```
+/// use supersim_stats::TimeSeries;
+///
+/// let mut ts = TimeSeries::new(100);
+/// ts.push(50, 10.0);   // bin 0
+/// ts.push(60, 20.0);   // bin 0
+/// ts.push(250, 99.0);  // bin 2
+/// let pts = ts.points();
+/// assert_eq!(pts[0], (0, Some(15.0)));
+/// assert_eq!(pts[1], (100, None));    // empty bin
+/// assert_eq!(pts[2], (200, Some(99.0)));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bin_width: u64,
+    bins: Vec<StreamingStats>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: u64) -> Self {
+        assert!(bin_width > 0, "bin width must be non-zero");
+        TimeSeries { bin_width, bins: Vec::new() }
+    }
+
+    /// The configured bin width in ticks.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Adds a sample value observed at `tick`.
+    pub fn push(&mut self, tick: u64, value: f64) {
+        let idx = (tick / self.bin_width) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize_with(idx + 1, StreamingStats::new);
+        }
+        self.bins[idx].push(value);
+    }
+
+    /// Adds a record's latency at its receive time — the natural way to
+    /// build a latency-over-time curve from a sample log.
+    pub fn push_record(&mut self, record: &SampleRecord) {
+        self.push(record.recv, record.latency() as f64);
+    }
+
+    /// `(bin_start_tick, mean)` for every bin; `None` marks empty bins.
+    pub fn points(&self) -> Vec<(u64, Option<f64>)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mean = (s.count() > 0).then(|| s.mean());
+                (i as u64 * self.bin_width, mean)
+            })
+            .collect()
+    }
+
+    /// `(bin_start_tick, count)` for every bin.
+    pub fn counts(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64 * self.bin_width, s.count()))
+            .collect()
+    }
+
+    /// Number of bins allocated so far.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The largest bin mean, if any bin has samples — a quick measure of a
+    /// transient spike's height.
+    pub fn peak_mean(&self) -> Option<f64> {
+        self.bins
+            .iter()
+            .filter(|s| s.count() > 0)
+            .map(StreamingStats::mean)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    #[test]
+    fn binning() {
+        let mut ts = TimeSeries::new(10);
+        ts.push(0, 1.0);
+        ts.push(9, 3.0);
+        ts.push(10, 5.0);
+        assert_eq!(ts.num_bins(), 2);
+        assert_eq!(ts.points()[0], (0, Some(2.0)));
+        assert_eq!(ts.points()[1], (10, Some(5.0)));
+        assert_eq!(ts.counts(), vec![(0, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn sparse_bins_are_none() {
+        let mut ts = TimeSeries::new(5);
+        ts.push(22, 7.0);
+        let pts = ts.points();
+        assert_eq!(pts.len(), 5);
+        assert!(pts[..4].iter().all(|&(_, m)| m.is_none()));
+        assert_eq!(pts[4], (20, Some(7.0)));
+    }
+
+    #[test]
+    fn push_record_uses_receive_time() {
+        let mut ts = TimeSeries::new(100);
+        ts.push_record(&SampleRecord {
+            kind: RecordKind::Packet,
+            app: 0,
+            src: 0,
+            dst: 1,
+            send: 90,
+            recv: 130,
+            hops: 1,
+            size: 1,
+        });
+        assert_eq!(ts.points()[1], (100, Some(40.0)));
+    }
+
+    #[test]
+    fn peak_mean_finds_spike() {
+        let mut ts = TimeSeries::new(10);
+        ts.push(5, 1.0);
+        ts.push(15, 100.0);
+        ts.push(25, 2.0);
+        assert_eq!(ts.peak_mean(), Some(100.0));
+        assert_eq!(TimeSeries::new(10).peak_mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_width_panics() {
+        let _ = TimeSeries::new(0);
+    }
+}

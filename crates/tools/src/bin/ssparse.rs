@@ -1,0 +1,39 @@
+//! The `ssparse` command-line tool: parse a SuperSim-rs sample log file
+//! and print latency/hop statistics, optionally filtered.
+//!
+//! ```text
+//! ssparse <logfile> [+field=value ...]
+//! ssparse results.log +app=0 +send=500-1000
+//! ```
+//!
+//! Filters follow the paper's syntax: `+app=0` keeps application 0,
+//! `+send=500-1000` keeps records sent in that tick range, a `-` prefix
+//! negates. Fields: `app`, `src`, `dst`, `send`, `recv`, `hops`, `size`,
+//! `latency`, `kind`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, filters)) = args.split_first() else {
+        eprintln!("usage: ssparse <logfile> [+field=value ...]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("ssparse: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match supersim_tools::analyze_text(&text, filters) {
+        Ok(analysis) => {
+            print!("{}", analysis.to_table());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ssparse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

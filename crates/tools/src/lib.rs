@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! The SuperSim tool ecosystem (paper §V).
+//!
+//! The common workflow for a simulation experiment is configure →
+//! simulate → parse → analyze → plot → view; this crate provides the
+//! supporting tools:
+//!
+//! - [`TaskGraph`] — **TaskRun**: dependency-ordered task execution with
+//!   thread workers, counted resources, and conditional execution
+//!   (dependents of failed tasks are skipped).
+//! - [`Sweep`] — **SSSweep**: a few lines per sweep variable expand into
+//!   the cartesian product of simulations, executed in parallel, with
+//!   results collected into tables keyed by permutation ids.
+//! - [`ssparse`] — **SSParse**: parse sample logs, apply `+field=value`
+//!   filters, and compute latency/hop statistics for packets, messages,
+//!   and transactions.
+//! - [`ssplot`] — **SSPlot**: emit the data series behind the paper's
+//!   plots (load-latency with percentile distributions, percentile
+//!   curves, time series) as CSV, plus quick ASCII charts.
+
+pub mod ssparse;
+pub mod ssplot;
+mod sweep;
+mod taskrun;
+
+pub use ssparse::{analyze, analyze_text, Analysis, KindAnalysis, SsparseError};
+pub use ssplot::{ascii_chart, histogram_csv, load_latency_csv, percentile_csv, timeseries_csv};
+pub use sweep::{Permutation, Sweep, SweepResult, SweepVariable};
+pub use taskrun::{TaskGraph, TaskId, TaskReport, TaskStatus};

@@ -1,0 +1,225 @@
+//! SSPlot: render analysis data as CSV series and ASCII charts (paper §V).
+//!
+//! The original SSPlot drives Matplotlib; figures, however, are data
+//! series, and this module emits exactly the series the paper's plots
+//! display — load-versus-latency curves with percentile distributions,
+//! percentile (CDF-style) curves, and latency-over-time series — as CSV
+//! for external plotting plus quick ASCII charts for terminals and logs.
+
+use std::fmt::Write as _;
+
+use supersim_stats::analysis::LoadSweep;
+use supersim_stats::TimeSeries;
+
+/// Renders one or more load-latency sweeps as CSV: one row per offered
+/// load, one column group (delivered, mean, p50, p90, p99, p99.9) per
+/// sweep. Saturated points are cut like the paper's plots (the line stops
+/// at saturation).
+pub fn load_latency_csv(sweeps: &[LoadSweep], saturation_tolerance: f64) -> String {
+    let mut out = String::from("offered");
+    for s in sweeps {
+        for col in ["delivered", "mean", "p50", "p90", "p99", "p999"] {
+            let _ = write!(out, ",{}_{col}", sanitize(&s.label));
+        }
+    }
+    out.push('\n');
+    // Collect the union of offered loads.
+    let mut loads: Vec<f64> = sweeps
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.offered))
+        .collect();
+    loads.sort_by(|a, b| a.partial_cmp(b).expect("finite loads"));
+    loads.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    for load in loads {
+        let _ = write!(out, "{load:.4}");
+        for s in sweeps {
+            let point = s
+                .unsaturated_prefix(saturation_tolerance)
+                .iter()
+                .find(|p| (p.offered - load).abs() < 1e-12)
+                .copied();
+            match point.and_then(|p| p.latency.map(|l| (p, l))) {
+                Some((p, l)) => {
+                    let _ = write!(
+                        out,
+                        ",{:.4},{:.2},{},{},{},{}",
+                        p.delivered, l.mean, l.p50, l.p90, l.p99, l.p999
+                    );
+                }
+                None => out.push_str(",,,,,,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a percentile curve (`(cumulative fraction, latency)` pairs, as
+/// produced by `LatencyDistribution::percentile_curve`) as CSV.
+pub fn percentile_csv(curve: &[(f64, u64)]) -> String {
+    let mut out = String::from("percentile,latency\n");
+    for &(p, lat) in curve {
+        let _ = writeln!(out, "{p:.6},{lat}");
+    }
+    out
+}
+
+/// Renders a latency histogram (a PDF plot's data) as CSV:
+/// `bin_start,count` rows from `LatencyDistribution::histogram`.
+pub fn histogram_csv(bins: &[(u64, u64)]) -> String {
+    let mut out = String::from("bin_start,count\n");
+    for &(start, count) in bins {
+        let _ = writeln!(out, "{start},{count}");
+    }
+    out
+}
+
+/// Renders a time series (e.g. mean latency over time, Figure 5) as CSV.
+pub fn timeseries_csv(series: &TimeSeries) -> String {
+    let mut out = String::from("tick,mean\n");
+    for (tick, mean) in series.points() {
+        match mean {
+            Some(m) => {
+                let _ = writeln!(out, "{tick},{m:.3}");
+            }
+            None => {
+                let _ = writeln!(out, "{tick},");
+            }
+        }
+    }
+    out
+}
+
+/// Draws a quick ASCII chart of one or more `(x, y)` series. Each series
+/// gets its own glyph; axes are linear and auto-scaled.
+pub fn ascii_chart(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = width.max(16);
+    let height = height.max(4);
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+    for row in &grid {
+        let _ = writeln!(out, "|{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, " x: [{x0:.3}, {x1:.3}]  y: [{y0:.3}, {y1:.3}]");
+    for (si, (label, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "   {} {}", GLYPHS[si % GLYPHS.len()], label);
+    }
+    out
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_stats::analysis::{LatencySummary, LoadPoint};
+    use supersim_stats::LatencyDistribution;
+
+    fn sweep(label: &str, points: &[(f64, f64, u64)]) -> LoadSweep {
+        let mut s = LoadSweep::new(label);
+        for &(offered, delivered, lat) in points {
+            let mut d: LatencyDistribution = [lat, lat + 1].into_iter().collect();
+            s.push(LoadPoint { offered, delivered, latency: LatencySummary::of(&mut d) });
+        }
+        s
+    }
+
+    #[test]
+    fn load_latency_csv_cuts_saturated_points() {
+        let s = sweep("fb 2vc", &[(0.1, 0.1, 10), (0.5, 0.3, 90)]);
+        let csv = load_latency_csv(&[s], 0.05);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("offered,fb_2vc_delivered"));
+        assert!(lines[1].starts_with("0.1000,0.1000,10.50"));
+        // The saturated 0.5 point has empty cells.
+        assert!(lines[2].starts_with("0.5000,,"));
+    }
+
+    #[test]
+    fn csv_merges_multiple_sweeps() {
+        let a = sweep("a", &[(0.1, 0.1, 5)]);
+        let b = sweep("b", &[(0.2, 0.2, 7)]);
+        let csv = load_latency_csv(&[a, b], 0.05);
+        assert_eq!(csv.lines().count(), 3); // header + two load rows
+    }
+
+    #[test]
+    fn histogram_csv_rows() {
+        let csv = histogram_csv(&[(0, 5), (10, 2)]);
+        assert_eq!(csv, "bin_start,count\n0,5\n10,2\n");
+    }
+
+    #[test]
+    fn percentile_and_timeseries_csv() {
+        let csv = percentile_csv(&[(0.5, 10), (0.999, 592)]);
+        assert!(csv.contains("0.999000,592"));
+        let mut ts = TimeSeries::new(10);
+        ts.push(5, 2.0);
+        let csv = timeseries_csv(&ts);
+        assert!(csv.starts_with("tick,mean\n0,2.000"));
+    }
+
+    #[test]
+    fn ascii_chart_renders_all_series() {
+        let chart = ascii_chart(
+            "latency",
+            &[
+                ("one", vec![(0.0, 1.0), (1.0, 2.0)]),
+                ("two", vec![(0.0, 2.0), (1.0, 1.0)]),
+            ],
+            24,
+            8,
+        );
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("one"));
+        assert!(chart.lines().count() >= 10);
+    }
+
+    #[test]
+    fn ascii_chart_empty_and_degenerate() {
+        assert!(ascii_chart("t", &[], 20, 5).contains("(no data)"));
+        let c = ascii_chart("t", &[("flat", vec![(1.0, 3.0)])], 20, 5);
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,332 @@
+//! SSSweep: generate and execute simulation sweeps (paper §V, Listing 2).
+//!
+//! A [`Sweep`] takes a base configuration and a list of
+//! [`SweepVariable`]s; each variable contributes a set of values and a
+//! function that applies a value to a configuration (the paper's
+//! `set_latency`-style callbacks). The cartesian product of all variables
+//! becomes one task per permutation, executed through
+//! [`TaskGraph`](crate::TaskGraph) under a CPU resource limit, and the
+//! results are collected into a table keyed by permutation id (e.g.
+//! `CL8_VC2`).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use supersim_config::Value;
+
+/// One sweeping variable.
+pub struct SweepVariable {
+    /// Long name (used in result tables).
+    pub name: String,
+    /// Short tag used in permutation ids (e.g. `"CL"`).
+    pub short: String,
+    /// The values to sweep.
+    pub values: Vec<Value>,
+    /// Applies one value to a configuration.
+    #[allow(clippy::type_complexity)]
+    pub apply: Box<dyn Fn(&Value, &mut Value) -> Result<(), String> + Send + Sync>,
+}
+
+/// One permutation of a sweep: its id, its variable assignment, and the
+/// fully-applied configuration.
+#[derive(Debug, Clone)]
+pub struct Permutation {
+    /// Compact id such as `CL8_VC2`.
+    pub id: String,
+    /// Variable name → value.
+    pub assignment: BTreeMap<String, Value>,
+    /// The configuration with all values applied.
+    pub config: Value,
+}
+
+/// Result of one permutation's run.
+#[derive(Debug, Clone)]
+pub struct SweepResult<R> {
+    /// The permutation that ran.
+    pub permutation: Permutation,
+    /// The user function's output, or the failure message.
+    pub outcome: Result<R, String>,
+}
+
+/// A simulation sweep across one or more variables.
+///
+/// # Example
+///
+/// The paper's Listing 2 — sweeping channel latency — translates to:
+///
+/// ```
+/// use supersim_config::{obj, Value};
+/// use supersim_tools::Sweep;
+///
+/// let mut sweep = Sweep::new(obj! { "network" => obj!{ "channel" => obj!{ "latency" => 1u64 } } });
+/// sweep.add_variable("ChannelLatency", "CL", vec![1u64.into(), 8u64.into()], |v, cfg| {
+///     cfg.set_path("network.channel.latency", v.clone()).map_err(|e| e.to_string())
+/// });
+/// let perms = sweep.permutations();
+/// assert_eq!(perms.len(), 2);
+/// assert_eq!(perms[1].id, "CL8");
+/// ```
+pub struct Sweep {
+    base: Value,
+    variables: Vec<SweepVariable>,
+}
+
+impl Sweep {
+    /// Creates a sweep over `base`.
+    pub fn new(base: Value) -> Self {
+        Sweep { base, variables: Vec::new() }
+    }
+
+    /// Adds a sweeping variable (paper Listing 2's `add_variable`).
+    pub fn add_variable(
+        &mut self,
+        name: impl Into<String>,
+        short: impl Into<String>,
+        values: Vec<Value>,
+        apply: impl Fn(&Value, &mut Value) -> Result<(), String> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.variables.push(SweepVariable {
+            name: name.into(),
+            short: short.into(),
+            values,
+            apply: Box::new(apply),
+        });
+        self
+    }
+
+    /// Number of permutations (product of value counts).
+    pub fn len(&self) -> usize {
+        self.variables.iter().map(|v| v.values.len()).product()
+    }
+
+    /// Whether the sweep has no permutations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generates all permutations in odometer order (last variable fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable's `apply` function rejects one of its own
+    /// values — a sweep definition bug worth failing loudly on.
+    pub fn permutations(&self) -> Vec<Permutation> {
+        let mut out = Vec::with_capacity(self.len());
+        let counts: Vec<usize> = self.variables.iter().map(|v| v.values.len()).collect();
+        if counts.iter().any(|&c| c == 0) {
+            return out;
+        }
+        let mut idx = vec![0usize; counts.len()];
+        loop {
+            let mut config = self.base.clone();
+            let mut id = String::new();
+            let mut assignment = BTreeMap::new();
+            for (vi, var) in self.variables.iter().enumerate() {
+                let value = &var.values[idx[vi]];
+                (var.apply)(value, &mut config)
+                    .unwrap_or_else(|e| panic!("sweep variable {} rejected {value}: {e}", var.name));
+                if !id.is_empty() {
+                    id.push('_');
+                }
+                id.push_str(&var.short);
+                id.push_str(&value_tag(value));
+                assignment.insert(var.name.clone(), value.clone());
+            }
+            out.push(Permutation { id, assignment, config });
+            // Odometer increment.
+            let mut place = counts.len();
+            loop {
+                if place == 0 {
+                    return out;
+                }
+                place -= 1;
+                idx[place] += 1;
+                if idx[place] < counts[place] {
+                    break;
+                }
+                idx[place] = 0;
+            }
+        }
+    }
+
+    /// Runs `f` on every permutation with up to `workers` parallel tasks
+    /// and returns the results in permutation order.
+    pub fn run<R, F>(&self, workers: usize, f: F) -> Vec<SweepResult<R>>
+    where
+        R: Send + 'static,
+        F: Fn(&Permutation) -> Result<R, String> + Send + Sync,
+    {
+        let perms = self.permutations();
+        let slots: Vec<Mutex<Option<Result<R, String>>>> =
+            perms.iter().map(|_| Mutex::new(None)).collect();
+        // Permutation tasks borrow the sweep, so they run on a scoped
+        // worker pool fed by an index queue ([`TaskGraph`](crate::TaskGraph)
+        // requires 'static tasks and is used for composing larger flows).
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers.max(1).min(perms.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= perms.len() {
+                        break;
+                    }
+                    let r = f(&perms[i]);
+                    *slots[i].lock().expect("slot lock") = Some(r);
+                });
+            }
+        });
+        perms
+            .into_iter()
+            .zip(slots)
+            .map(|(permutation, slot)| SweepResult {
+                permutation,
+                outcome: slot.into_inner().expect("slot lock").expect("every slot filled"),
+            })
+            .collect()
+    }
+
+    /// Renders sweep results as a markdown table with one row per
+    /// permutation; `render` turns each successful result into column
+    /// `(name, value)` pairs.
+    pub fn results_markdown<R>(
+        results: &[SweepResult<R>],
+        render: impl Fn(&R) -> Vec<(String, String)>,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut header: Vec<String> = Vec::new();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for r in results {
+            let mut row = vec![r.permutation.id.clone()];
+            let mut names = vec!["permutation".to_string()];
+            match &r.outcome {
+                Ok(value) => {
+                    for (name, cell) in render(value) {
+                        names.push(name);
+                        row.push(cell);
+                    }
+                }
+                Err(e) => {
+                    names.push("error".to_string());
+                    row.push(e.clone());
+                }
+            }
+            if names.len() > header.len() {
+                header = names;
+            }
+            rows.push(row);
+        }
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let _ = writeln!(out, "|{}|", header.iter().map(|_| " --- ").collect::<Vec<_>>().join("|"));
+        for row in rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Compact textual tag of a value for permutation ids.
+fn value_tag(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.chars().filter(|c| c.is_alphanumeric()).collect(),
+        Value::Float(f) => format!("{f}").replace('.', "p").replace('-', "m"),
+        other => other
+            .to_json()
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_config::obj;
+
+    fn base() -> Value {
+        obj! { "a" => 0u64, "b" => "x" }
+    }
+
+    fn sweep2() -> Sweep {
+        let mut s = Sweep::new(base());
+        s.add_variable("Alpha", "A", vec![1u64.into(), 2u64.into()], |v, cfg| {
+            cfg.set_path("a", v.clone()).map_err(|e| e.to_string())
+        });
+        s.add_variable(
+            "Beta",
+            "B",
+            vec!["fb".into(), "pb".into(), "wta".into()],
+            |v, cfg| cfg.set_path("b", v.clone()).map_err(|e| e.to_string()),
+        );
+        s
+    }
+
+    #[test]
+    fn cartesian_product_ids_and_configs() {
+        let s = sweep2();
+        assert_eq!(s.len(), 6);
+        let perms = s.permutations();
+        assert_eq!(perms.len(), 6);
+        assert_eq!(perms[0].id, "A1_Bfb");
+        assert_eq!(perms[5].id, "A2_Bwta");
+        assert_eq!(perms[3].config.req_u64("a").unwrap(), 2);
+        assert_eq!(perms[3].config.req_str("b").unwrap(), "fb");
+        assert_eq!(perms[4].assignment["Beta"].as_str(), Some("pb"));
+    }
+
+    #[test]
+    fn run_collects_in_order() {
+        let s = sweep2();
+        let results = s.run(4, |perm| {
+            Ok::<String, String>(format!(
+                "{}:{}",
+                perm.config.req_u64("a").unwrap(),
+                perm.config.req_str("b").unwrap()
+            ))
+        });
+        assert_eq!(results.len(), 6);
+        assert_eq!(results[0].outcome.as_deref(), Ok("1:fb"));
+        assert_eq!(results[5].outcome.as_deref(), Ok("2:wta"));
+    }
+
+    #[test]
+    fn failures_are_isolated_per_permutation() {
+        let s = sweep2();
+        let results = s.run(2, |perm| {
+            if perm.config.req_str("b").unwrap() == "pb" {
+                Err("nope".to_string())
+            } else {
+                Ok(1u32)
+            }
+        });
+        let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+        assert_eq!(failures, 2);
+    }
+
+    #[test]
+    fn markdown_table_renders() {
+        let s = sweep2();
+        let results = s.run(2, |_| Ok::<u32, String>(7));
+        let md = Sweep::results_markdown(&results, |v| {
+            vec![("throughput".to_string(), v.to_string())]
+        });
+        assert!(md.contains("| permutation | throughput |"));
+        assert!(md.contains("| A1_Bfb | 7 |"));
+    }
+
+    #[test]
+    fn float_and_string_tags() {
+        assert_eq!(value_tag(&Value::Float(0.5)), "0p5");
+        assert_eq!(value_tag(&Value::Str("winner_take_all".into())), "winnertakeall");
+        assert_eq!(value_tag(&Value::Int(32)), "32");
+    }
+
+    #[test]
+    fn empty_variable_yields_no_permutations() {
+        let mut s = Sweep::new(base());
+        s.add_variable("Empty", "E", vec![], |_, _| Ok(()));
+        assert!(s.is_empty());
+        assert!(s.permutations().is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! TaskRun: dependency-ordered task execution with resource management
+//! (paper §V).
+//!
+//! The original TaskRun is a Python package that runs thousands of
+//! simulation / parse / analyze / plot steps with dependencies,
+//! conditional execution, and resource limits, locally or on a cluster.
+//! This is the same scheduling core in Rust: a [`TaskGraph`] of closures
+//! with dependency edges and named counted resources, executed by a
+//! thread pool. Tasks whose dependencies failed are skipped, mirroring
+//! TaskRun's conditional execution.
+
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+
+use parking_lot::Mutex as PlMutex;
+
+/// Identifier of a task within one [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+/// Outcome of one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Ran and returned `Ok`.
+    Completed,
+    /// Ran and returned `Err` with this message.
+    Failed(String),
+    /// Never ran because a (transitive) dependency failed.
+    Skipped,
+}
+
+/// Results of running a [`TaskGraph`].
+#[derive(Debug)]
+pub struct TaskReport {
+    /// `(task name, status)` in task-creation order.
+    pub statuses: Vec<(String, TaskStatus)>,
+}
+
+impl TaskReport {
+    /// Whether every task completed.
+    pub fn all_ok(&self) -> bool {
+        self.statuses.iter().all(|(_, s)| *s == TaskStatus::Completed)
+    }
+
+    /// Number of tasks with the given status.
+    pub fn count(&self, pred: impl Fn(&TaskStatus) -> bool) -> usize {
+        self.statuses.iter().filter(|(_, s)| pred(s)).count()
+    }
+}
+
+type Work = Box<dyn FnOnce() -> Result<(), String> + Send>;
+
+struct Task {
+    name: String,
+    deps: Vec<TaskId>,
+    needs: Vec<(String, u32)>,
+    work: Option<Work>,
+}
+
+/// A graph of dependent tasks and counted resources.
+///
+/// # Example
+///
+/// ```
+/// use supersim_tools::{TaskGraph};
+/// use std::sync::atomic::{AtomicU32, Ordering};
+///
+/// let counter = AtomicU32::new(0);
+/// let mut g = TaskGraph::new();
+/// g.add_resource("cpu", 2);
+/// let a = g.add_task("sim", &[], &[("cpu", 1)], || Ok(()));
+/// let _b = g.add_task("parse", &[a], &[], || Ok(()));
+/// let report = g.run(4);
+/// assert!(report.all_ok());
+/// # let _ = counter.load(Ordering::Relaxed);
+/// ```
+#[derive(Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    resources: BTreeMap<String, u32>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Declares a counted resource (e.g. `("mem_gb", 64)`). Tasks acquire
+    /// their declared amounts for the duration of their execution.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: u32) {
+        self.resources.insert(name.into(), capacity);
+    }
+
+    /// Adds a task depending on `deps` and needing `needs` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is unknown, a resource is undeclared, or
+    /// a single task demands more of a resource than its total capacity
+    /// (it could never run).
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        deps: &[TaskId],
+        needs: &[(&str, u32)],
+        work: impl FnOnce() -> Result<(), String> + Send + 'static,
+    ) -> TaskId {
+        for d in deps {
+            assert!(d.0 < self.tasks.len(), "unknown dependency id");
+        }
+        for (res, amount) in needs {
+            let cap = self
+                .resources
+                .get(*res)
+                .unwrap_or_else(|| panic!("undeclared resource {res:?}"));
+            assert!(amount <= cap, "task demands more {res:?} than exists");
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name: name.into(),
+            deps: deps.to_vec(),
+            needs: needs.iter().map(|&(r, a)| (r.to_string(), a)).collect(),
+            work: Some(Box::new(work)),
+        });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Executes all tasks with up to `workers` threads, honoring
+    /// dependencies and resource limits. Returns per-task statuses.
+    pub fn run(mut self, workers: usize) -> TaskReport {
+        let n = self.tasks.len();
+        let works: Vec<PlMutex<Option<Work>>> =
+            self.tasks.iter_mut().map(|t| PlMutex::new(t.work.take())).collect();
+        // Share only the Sync metadata with the workers; the FnOnce work
+        // items live behind the mutexes above.
+        let meta: Vec<TaskMeta> = self
+            .tasks
+            .iter()
+            .map(|t| TaskMeta { deps: t.deps.clone(), needs: t.needs.clone() })
+            .collect();
+        let state = Mutex::new(SchedState {
+            status: vec![None; n],
+            running: vec![false; n],
+            available: self.resources.clone(),
+        });
+        let cv = Condvar::new();
+        let tasks = &meta;
+        let works = &works;
+        let state_ref = &state;
+        let cv_ref = &cv;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.max(1).min(n.max(1)) {
+                scope.spawn(move || loop {
+                    let mut st = state_ref.lock().expect("scheduler lock");
+                    let pick = loop {
+                        mark_skipped(tasks, &mut st);
+                        match find_runnable(tasks, &st) {
+                            Pick::Task(i) => break Some(i),
+                            Pick::AllDone => break None,
+                            Pick::Wait => {
+                                st = cv_ref.wait(st).expect("scheduler lock");
+                            }
+                        }
+                    };
+                    let Some(i) = pick else {
+                        cv_ref.notify_all();
+                        break;
+                    };
+                    st.running[i] = true;
+                    for (res, amount) in &tasks[i].needs {
+                        *st.available.get_mut(res).expect("declared") -= amount;
+                    }
+                    drop(st);
+
+                    let work = works[i].lock().take().expect("work taken once");
+                    let result = work();
+
+                    let mut st = state_ref.lock().expect("scheduler lock");
+                    st.running[i] = false;
+                    for (res, amount) in &tasks[i].needs {
+                        *st.available.get_mut(res).expect("declared") += amount;
+                    }
+                    st.status[i] = Some(match result {
+                        Ok(()) => TaskStatus::Completed,
+                        Err(msg) => TaskStatus::Failed(msg),
+                    });
+                    drop(st);
+                    cv_ref.notify_all();
+                });
+            }
+        });
+
+        let st = state.into_inner().expect("scheduler lock");
+        let statuses = self
+            .tasks
+            .iter()
+            .zip(st.status)
+            .map(|(t, s)| (t.name.clone(), s.unwrap_or(TaskStatus::Skipped)))
+            .collect();
+        TaskReport { statuses }
+    }
+}
+
+struct TaskMeta {
+    deps: Vec<TaskId>,
+    needs: Vec<(String, u32)>,
+}
+
+struct SchedState {
+    /// `None` = not finished; tasks skipped due to failed deps get their
+    /// status set eagerly.
+    status: Vec<Option<TaskStatus>>,
+    running: Vec<bool>,
+    available: BTreeMap<String, u32>,
+}
+
+enum Pick {
+    Task(usize),
+    Wait,
+    AllDone,
+}
+
+/// Propagates failure: any unfinished task with a failed or skipped
+/// dependency becomes `Skipped`, to fixpoint.
+fn mark_skipped(tasks: &[TaskMeta], st: &mut SchedState) {
+    loop {
+        let mut changed = false;
+        for (i, t) in tasks.iter().enumerate() {
+            if st.status[i].is_some() || st.running[i] {
+                continue;
+            }
+            let dep_failed = t.deps.iter().any(|d| {
+                matches!(&st.status[d.0], Some(s) if *s != TaskStatus::Completed)
+            });
+            if dep_failed {
+                st.status[i] = Some(TaskStatus::Skipped);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+fn find_runnable(tasks: &[TaskMeta], st: &SchedState) -> Pick {
+    let mut any_pending = false;
+    for (i, t) in tasks.iter().enumerate() {
+        if st.status[i].is_some() {
+            continue;
+        }
+        if st.running[i] {
+            any_pending = true;
+            continue;
+        }
+        let deps_ok = t
+            .deps
+            .iter()
+            .all(|d| matches!(&st.status[d.0], Some(TaskStatus::Completed)));
+        if !deps_ok {
+            any_pending = true;
+            continue;
+        }
+        let resources_ok = t
+            .needs
+            .iter()
+            .all(|(res, amount)| st.available.get(res).is_some_and(|a| a >= amount));
+        if resources_ok {
+            return Pick::Task(i);
+        }
+        any_pending = true;
+    }
+    if any_pending {
+        Pick::Wait
+    } else {
+        Pick::AllDone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_in_dependency_order() {
+        let order = Arc::new(PlMutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let o1 = Arc::clone(&order);
+        let a = g.add_task("a", &[], &[], move || {
+            o1.lock().push("a");
+            Ok(())
+        });
+        let o2 = Arc::clone(&order);
+        let b = g.add_task("b", &[a], &[], move || {
+            o2.lock().push("b");
+            Ok(())
+        });
+        let o3 = Arc::clone(&order);
+        g.add_task("c", &[a, b], &[], move || {
+            o3.lock().push("c");
+            Ok(())
+        });
+        let report = g.run(4);
+        assert!(report.all_ok());
+        assert_eq!(*order.lock(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn failure_skips_dependents() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", &[], &[], || Err("boom".to_string()));
+        let b = g.add_task("b", &[a], &[], || Ok(()));
+        g.add_task("c", &[b], &[], || Ok(()));
+        g.add_task("d", &[], &[], || Ok(()));
+        let report = g.run(2);
+        assert!(!report.all_ok());
+        assert_eq!(report.statuses[0].1, TaskStatus::Failed("boom".to_string()));
+        assert_eq!(report.statuses[1].1, TaskStatus::Skipped);
+        assert_eq!(report.statuses[2].1, TaskStatus::Skipped);
+        assert_eq!(report.statuses[3].1, TaskStatus::Completed);
+        assert_eq!(report.count(|s| matches!(s, TaskStatus::Skipped)), 2);
+    }
+
+    #[test]
+    fn resource_limit_caps_concurrency() {
+        let concurrent = Arc::new(AtomicU32::new(0));
+        let peak = Arc::new(AtomicU32::new(0));
+        let mut g = TaskGraph::new();
+        g.add_resource("cpu", 2);
+        for i in 0..8 {
+            let c = Arc::clone(&concurrent);
+            let p = Arc::clone(&peak);
+            g.add_task(format!("t{i}"), &[], &[("cpu", 1)], move || {
+                let now = c.fetch_add(1, Ordering::SeqCst) + 1;
+                p.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                c.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        let report = g.run(8);
+        assert!(report.all_ok());
+        assert!(peak.load(Ordering::SeqCst) <= 2, "resource cap violated");
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        for i in 0..50 {
+            let r = Arc::clone(&runs);
+            g.add_task(format!("t{i}"), &[], &[], move || {
+                r.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        let report = g.run(4);
+        assert!(report.all_ok());
+        assert_eq!(runs.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let report = TaskGraph::new().run(2);
+        assert!(report.all_ok());
+        assert!(report.statuses.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared resource")]
+    fn undeclared_resource_panics() {
+        let mut g = TaskGraph::new();
+        g.add_task("t", &[], &[("gpu", 1)], || Ok(()));
+    }
+}

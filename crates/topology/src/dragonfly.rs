@@ -1,0 +1,329 @@
+//! Dragonfly topology.
+//!
+//! The canonical technology-driven dragonfly: `g` groups of `a` routers;
+//! routers within a group are fully connected by local channels; each
+//! router drives `h` global channels; every pair of groups is connected by
+//! exactly one global channel (requiring `g = a*h + 1` in the balanced
+//! configuration this implementation provides).
+//!
+//! Port layout per router: ports `0..p` attach terminals, the next `a - 1`
+//! ports are local channels (ordered by peer router index with self
+//! skipped), and the last `h` ports are global channels.
+
+use supersim_netbase::{Port, RouterId, TerminalId};
+
+use crate::types::{ChannelClass, Topology, TopologyError};
+
+/// A balanced dragonfly network.
+///
+/// # Example
+///
+/// ```
+/// use supersim_topology::{Dragonfly, Topology};
+///
+/// // a=4 routers/group, h=2 globals/router, p=2 terminals/router:
+/// // g = a*h + 1 = 9 groups, 36 routers, 72 terminals.
+/// let d = Dragonfly::new(4, 2, 2).unwrap();
+/// assert_eq!(d.num_groups(), 9);
+/// assert_eq!(d.num_routers(), 36);
+/// assert_eq!(d.num_terminals(), 72);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dragonfly {
+    /// Routers per group.
+    a: u32,
+    /// Global channels per router.
+    h: u32,
+    /// Terminals per router.
+    p: u32,
+    /// Number of groups (`a * h + 1`).
+    g: u32,
+}
+
+impl Dragonfly {
+    /// Creates a balanced dragonfly with `a` routers per group, `h` global
+    /// channels per router, and `p` terminals per router. The group count
+    /// is `a*h + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is zero or the size overflows.
+    pub fn new(a: u32, h: u32, p: u32) -> Result<Self, TopologyError> {
+        if a == 0 || h == 0 || p == 0 {
+            return Err(TopologyError::new("dragonfly parameters must be non-zero"));
+        }
+        let g = a
+            .checked_mul(h)
+            .and_then(|x| x.checked_add(1))
+            .ok_or_else(|| TopologyError::new("dragonfly size overflows u32"))?;
+        g.checked_mul(a)
+            .and_then(|r| r.checked_mul(p))
+            .ok_or_else(|| TopologyError::new("dragonfly size overflows u32"))?;
+        Ok(Dragonfly { a, h, p, g })
+    }
+
+    /// Routers per group.
+    pub fn routers_per_group(&self) -> u32 {
+        self.a
+    }
+
+    /// Global channels per router.
+    pub fn globals_per_router(&self) -> u32 {
+        self.h
+    }
+
+    /// Terminals per router.
+    pub fn concentration(&self) -> u32 {
+        self.p
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> u32 {
+        self.g
+    }
+
+    /// `(group, router-within-group)` of a router.
+    pub fn router_position(&self, router: RouterId) -> (u32, u32) {
+        (router.0 / self.a, router.0 % self.a)
+    }
+
+    /// Router id from `(group, router-within-group)`.
+    pub fn router_id(&self, group: u32, local: u32) -> RouterId {
+        RouterId(group * self.a + local)
+    }
+
+    /// First local port.
+    pub fn local_port_base(&self) -> Port {
+        self.p
+    }
+
+    /// First global port.
+    pub fn global_port_base(&self) -> Port {
+        self.p + self.a - 1
+    }
+
+    /// The local port on `router` that reaches `peer` (another router in
+    /// the same group) directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is the router itself or out of range.
+    pub fn local_port_toward(&self, router: RouterId, peer: u32) -> Port {
+        let (_, own) = self.router_position(router);
+        assert!(peer < self.a, "peer out of range");
+        assert_ne!(peer, own, "no self-link within a group");
+        self.local_port_base() + if peer < own { peer } else { peer - 1 }
+    }
+
+    /// The group reached by global link index `l` (0-based within the
+    /// group, `l = local_router * h + global_port_offset`) of group `grp`.
+    pub fn global_link_target(&self, grp: u32, l: u32) -> u32 {
+        (grp + 1 + l) % self.g
+    }
+
+    /// The router (and its global port) within `grp` that owns the single
+    /// global channel from `grp` to `dst_group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_group == grp`.
+    pub fn global_exit(&self, grp: u32, dst_group: u32) -> (RouterId, Port) {
+        assert_ne!(grp, dst_group, "no global link within a group");
+        let l = (dst_group + self.g - grp - 1) % self.g;
+        let local = l / self.h;
+        let port = self.global_port_base() + (l % self.h);
+        (self.router_id(grp, local), port)
+    }
+}
+
+impl Topology for Dragonfly {
+    fn name(&self) -> &str {
+        "dragonfly"
+    }
+
+    fn num_routers(&self) -> u32 {
+        self.g * self.a
+    }
+
+    fn num_terminals(&self) -> u32 {
+        self.num_routers() * self.p
+    }
+
+    fn radix(&self, _router: RouterId) -> u32 {
+        self.p + (self.a - 1) + self.h
+    }
+
+    fn terminal_attachment(&self, terminal: TerminalId) -> (RouterId, Port) {
+        (RouterId(terminal.0 / self.p), terminal.0 % self.p)
+    }
+
+    fn terminal_at(&self, router: RouterId, port: Port) -> Option<TerminalId> {
+        (port < self.p).then(|| TerminalId(router.0 * self.p + port))
+    }
+
+    fn neighbor(&self, router: RouterId, port: Port) -> Option<(RouterId, Port)> {
+        let (grp, own) = self.router_position(router);
+        if port < self.p || port >= self.radix(router) {
+            return None;
+        }
+        if port < self.global_port_base() {
+            // Local channel.
+            let rel = port - self.local_port_base();
+            let peer = if rel < own { rel } else { rel + 1 };
+            let peer_router = self.router_id(grp, peer);
+            Some((peer_router, self.local_port_toward(peer_router, own)))
+        } else {
+            // Global channel: link index within this group.
+            let l = own * self.h + (port - self.global_port_base());
+            let dst_group = self.global_link_target(grp, l);
+            // The link back from dst_group to grp.
+            let (peer_router, peer_port) = self.global_exit(dst_group, grp);
+            Some((peer_router, peer_port))
+        }
+    }
+
+    fn channel_class(&self, _router: RouterId, port: Port) -> ChannelClass {
+        if port < self.p {
+            ChannelClass::Terminal
+        } else if port < self.global_port_base() {
+            ChannelClass::Local
+        } else {
+            ChannelClass::Global
+        }
+    }
+
+    fn min_hops(&self, src: TerminalId, dst: TerminalId) -> u32 {
+        let (sr, _) = self.terminal_attachment(src);
+        let (dr, _) = self.terminal_attachment(dst);
+        if sr == dr {
+            return 0;
+        }
+        let (sg, _) = self.router_position(sr);
+        let (dg, _) = self.router_position(dr);
+        if sg == dg {
+            return 1; // one local hop
+        }
+        // Up to: local to the exit router, global, local to dst router.
+        let (exit, _) = self.global_exit(sg, dg);
+        let (entry, _) = self.global_exit(dg, sg);
+        u32::from(exit != sr) + 1 + u32::from(entry != dr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> Dragonfly {
+        Dragonfly::new(4, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Dragonfly::new(0, 1, 1).is_err());
+        assert!(Dragonfly::new(1, 0, 1).is_err());
+        assert!(Dragonfly::new(1, 1, 0).is_err());
+        assert!(Dragonfly::new(70000, 70000, 1).is_err());
+    }
+
+    #[test]
+    fn balanced_sizes() {
+        let d = df();
+        assert_eq!(d.num_groups(), 9);
+        assert_eq!(d.num_routers(), 36);
+        assert_eq!(d.num_terminals(), 72);
+        assert_eq!(d.radix(RouterId(0)), 2 + 3 + 2);
+    }
+
+    #[test]
+    fn every_group_pair_has_exactly_one_global_link() {
+        let d = df();
+        let g = d.num_groups();
+        let mut seen = vec![vec![0u32; g as usize]; g as usize];
+        for grp in 0..g {
+            for l in 0..(d.routers_per_group() * d.globals_per_router()) {
+                let t = d.global_link_target(grp, l);
+                assert_ne!(t, grp, "self-link");
+                seen[grp as usize][t as usize] += 1;
+            }
+        }
+        for i in 0..g as usize {
+            for j in 0..g as usize {
+                let expect = u32::from(i != j);
+                assert_eq!(seen[i][j], expect, "groups {i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_is_involution() {
+        let d = df();
+        for r in 0..d.num_routers() {
+            for p in 0..d.radix(RouterId(r)) {
+                if let Some((nr, np)) = d.neighbor(RouterId(r), p) {
+                    assert_eq!(
+                        d.neighbor(nr, np),
+                        Some((RouterId(r), p)),
+                        "r{r} p{p} not symmetric"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_links_fully_connect_groups() {
+        let d = df();
+        let r = d.router_id(3, 1);
+        let peers: Vec<u32> = (0..3)
+            .map(|i| {
+                let (nr, _) = d.neighbor(r, d.local_port_base() + i).unwrap();
+                d.router_position(nr).1
+            })
+            .collect();
+        assert_eq!(peers, vec![0, 2, 3]);
+        // All within the same group.
+        for i in 0..3 {
+            let (nr, _) = d.neighbor(r, d.local_port_base() + i).unwrap();
+            assert_eq!(d.router_position(nr).0, 3);
+        }
+    }
+
+    #[test]
+    fn channel_classes() {
+        let d = df();
+        let r = RouterId(0);
+        assert_eq!(d.channel_class(r, 0), ChannelClass::Terminal);
+        assert_eq!(d.channel_class(r, d.local_port_base()), ChannelClass::Local);
+        assert_eq!(d.channel_class(r, d.global_port_base()), ChannelClass::Global);
+    }
+
+    #[test]
+    fn global_exit_round_trip() {
+        let d = df();
+        for a in 0..d.num_groups() {
+            for b in 0..d.num_groups() {
+                if a == b {
+                    continue;
+                }
+                let (router, port) = d.global_exit(a, b);
+                let (nr, _) = d.neighbor(router, port).unwrap();
+                assert_eq!(d.router_position(nr).0, b);
+            }
+        }
+    }
+
+    #[test]
+    fn min_hops_cases() {
+        let d = df();
+        // Same router.
+        assert_eq!(d.min_hops(TerminalId(0), TerminalId(1)), 0);
+        // Same group, different router.
+        assert_eq!(d.min_hops(TerminalId(0), TerminalId(3)), 1);
+        // Different groups: between 1 and 3 hops.
+        for t in 8..d.num_terminals() {
+            let h = d.min_hops(TerminalId(0), TerminalId(t));
+            assert!((1..=3).contains(&h), "hops {h} out of range");
+        }
+    }
+}

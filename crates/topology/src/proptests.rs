@@ -1,0 +1,92 @@
+//! Property-based tests over all provided topologies.
+
+use proptest::prelude::*;
+
+use supersim_netbase::{RouterId, TerminalId};
+
+use crate::{Dragonfly, FoldedClos, HyperX, Topology, Torus};
+
+fn check_wiring(t: &dyn Topology) {
+    let mut terminal_seen = vec![false; t.num_terminals() as usize];
+    for r in 0..t.num_routers() {
+        let router = RouterId(r);
+        for p in 0..t.radix(router) {
+            let term = t.terminal_at(router, p);
+            let net = t.neighbor(router, p);
+            assert!(
+                term.is_none() || net.is_none(),
+                "r{r} p{p} is both a terminal and a network port"
+            );
+            if let Some(term) = term {
+                assert!(
+                    !std::mem::replace(&mut terminal_seen[term.index()], true),
+                    "terminal {term} attached twice"
+                );
+                assert_eq!(t.terminal_attachment(term), (router, p));
+            }
+            if let Some((nr, np)) = net {
+                assert_eq!(
+                    t.neighbor(nr, np),
+                    Some((router, p)),
+                    "r{r} p{p}: neighbor not symmetric"
+                );
+                assert_ne!((nr, np), (router, p), "self-loop at r{r} p{p}");
+            }
+        }
+    }
+    assert!(terminal_seen.iter().all(|&s| s), "some terminal never attached");
+}
+
+fn check_min_hops_triangle(t: &dyn Topology, samples: u32) {
+    // min_hops is symmetric, zero iff same router, and obeys the triangle
+    // inequality through any third terminal.
+    let n = t.num_terminals();
+    let step = (n / samples).max(1);
+    for a in (0..n).step_by(step as usize) {
+        for b in (0..n).step_by(step as usize) {
+            let ab = t.min_hops(TerminalId(a), TerminalId(b));
+            let ba = t.min_hops(TerminalId(b), TerminalId(a));
+            assert_eq!(ab, ba, "asymmetric min_hops {a}<->{b}");
+            let (ra, _) = t.terminal_attachment(TerminalId(a));
+            let (rb, _) = t.terminal_attachment(TerminalId(b));
+            assert_eq!(ab == 0, ra == rb);
+            for c in (0..n).step_by((step * 3) as usize) {
+                let ac = t.min_hops(TerminalId(a), TerminalId(c));
+                let cb = t.min_hops(TerminalId(c), TerminalId(b));
+                assert!(ab <= ac + cb, "triangle violated {a}->{c}->{b}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn torus_wiring(dims in prop::collection::vec(2u32..5, 1..4), conc in 1u32..4) {
+        let t = Torus::new(dims, conc).unwrap();
+        check_wiring(&t);
+        check_min_hops_triangle(&t, 6);
+    }
+
+    #[test]
+    fn clos_wiring(levels in 1u32..4, k in 2u32..5) {
+        let t = FoldedClos::new(levels, k).unwrap();
+        check_wiring(&t);
+        check_min_hops_triangle(&t, 6);
+    }
+
+    #[test]
+    fn hyperx_wiring(dims in prop::collection::vec(2u32..5, 1..3), conc in 1u32..4) {
+        let t = HyperX::new(dims, conc).unwrap();
+        check_wiring(&t);
+        check_min_hops_triangle(&t, 6);
+    }
+
+    #[test]
+    fn dragonfly_wiring(a in 2u32..5, h in 1u32..3, p in 1u32..3) {
+        let t = Dragonfly::new(a, h, p).unwrap();
+        check_wiring(&t);
+        check_min_hops_triangle(&t, 6);
+    }
+}

@@ -1,0 +1,303 @@
+//! Injection processes and message size distributions: when traffic is
+//! created and how big it is.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use supersim_des::Tick;
+
+/// Samples the gap (in ticks) until the next message creation.
+pub trait InjectionProcess: Send {
+    /// Short process name.
+    fn name(&self) -> &str;
+
+    /// Ticks until the next message (at least 1).
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Tick;
+}
+
+/// Memoryless injection: every tick creates a message with probability
+/// `p`; gaps are geometric. With message size `S` flits and a target load
+/// of `r` flits per tick, use `p = r / S` (see
+/// [`BernoulliProcess::for_load`]).
+#[derive(Debug, Clone)]
+pub struct BernoulliProcess {
+    p: f64,
+}
+
+impl BernoulliProcess {
+    /// Creates a process with per-tick message probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+        BernoulliProcess { p }
+    }
+
+    /// Creates a process injecting `load` flits per tick with messages of
+    /// `message_flits` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting per-tick probability leaves `(0, 1]` — a
+    /// load above one message per tick cannot be offered by one terminal.
+    pub fn for_load(load: f64, message_flits: u32) -> Self {
+        Self::new(load / message_flits as f64)
+    }
+}
+
+impl InjectionProcess for BernoulliProcess {
+    fn name(&self) -> &str {
+        "bernoulli"
+    }
+
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Tick {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Geometric via inversion: gap >= 1.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (u.ln() / (1.0 - self.p).ln()).floor() as Tick + 1
+    }
+}
+
+/// Fixed-period injection.
+#[derive(Debug, Clone)]
+pub struct PeriodicProcess {
+    period: Tick,
+}
+
+impl PeriodicProcess {
+    /// Creates a process emitting one message every `period` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: Tick) -> Self {
+        assert!(period > 0, "period must be non-zero");
+        PeriodicProcess { period }
+    }
+}
+
+impl InjectionProcess for PeriodicProcess {
+    fn name(&self) -> &str {
+        "periodic"
+    }
+
+    fn next_gap(&mut self, _rng: &mut SmallRng) -> Tick {
+        self.period
+    }
+}
+
+/// Two-state Markov on/off (bursty) injection: in the ON state messages
+/// are created every tick; each ON tick ends the burst with probability
+/// `1/mean_burst`; OFF gaps are geometric with the rate needed to hit the
+/// configured average load.
+#[derive(Debug, Clone)]
+pub struct BurstyProcess {
+    /// Probability that an OFF tick turns ON.
+    p_on: f64,
+    /// Probability that an ON tick stays ON.
+    p_stay: f64,
+    on: bool,
+}
+
+impl BurstyProcess {
+    /// Creates a bursty process with average per-tick message probability
+    /// `p` and mean burst length `mean_burst` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1` and `mean_burst >= 1`.
+    pub fn new(p: f64, mean_burst: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+        assert!(mean_burst >= 1.0, "mean burst must be at least 1");
+        let p_stay = 1.0 - 1.0 / mean_burst;
+        // Duty cycle d = p (fraction of ticks ON); mean ON run = mean_burst
+        // so mean OFF run = mean_burst * (1 - p) / p.
+        let mean_off = mean_burst * (1.0 - p) / p;
+        BurstyProcess { p_on: 1.0 / mean_off, p_stay, on: false }
+    }
+}
+
+impl InjectionProcess for BurstyProcess {
+    fn name(&self) -> &str {
+        "bursty"
+    }
+
+    fn next_gap(&mut self, rng: &mut SmallRng) -> Tick {
+        if self.on && rng.gen_bool(self.p_stay) {
+            return 1;
+        }
+        self.on = false;
+        // Sample the OFF run length, then start a new burst.
+        let mut gap = 1;
+        while !rng.gen_bool(self.p_on.min(1.0)) {
+            gap += 1;
+            if gap > 1_000_000 {
+                break; // numerical guard for extreme loads
+            }
+        }
+        self.on = true;
+        gap
+    }
+}
+
+/// Message sizes in flits.
+#[derive(Debug, Clone)]
+pub enum SizeDistribution {
+    /// All messages have the same size.
+    Fixed(u32),
+    /// Uniform over `[min, max]` inclusive.
+    Uniform {
+        /// Smallest size.
+        min: u32,
+        /// Largest size.
+        max: u32,
+    },
+    /// Weighted choice of sizes.
+    Weighted(Vec<(u32, f64)>),
+}
+
+impl SizeDistribution {
+    /// Samples one message size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed distributions (zero sizes, empty weights,
+    /// inverted ranges).
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        match self {
+            SizeDistribution::Fixed(s) => {
+                assert!(*s > 0, "message size must be non-zero");
+                *s
+            }
+            SizeDistribution::Uniform { min, max } => {
+                assert!(*min > 0 && min <= max, "invalid size range");
+                rng.gen_range(*min..=*max)
+            }
+            SizeDistribution::Weighted(choices) => {
+                assert!(!choices.is_empty(), "empty weighted size distribution");
+                let total: f64 = choices.iter().map(|&(_, w)| w).sum();
+                let mut x = rng.gen_range(0.0..total);
+                for &(size, w) in choices {
+                    if x < w {
+                        assert!(size > 0, "message size must be non-zero");
+                        return size;
+                    }
+                    x -= w;
+                }
+                choices.last().expect("non-empty").0
+            }
+        }
+    }
+
+    /// The mean size in flits.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDistribution::Fixed(s) => *s as f64,
+            SizeDistribution::Uniform { min, max } => (*min + *max) as f64 / 2.0,
+            SizeDistribution::Weighted(choices) => {
+                let total: f64 = choices.iter().map(|&(_, w)| w).sum();
+                choices.iter().map(|&(s, w)| s as f64 * w).sum::<f64>() / total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(33)
+    }
+
+    #[test]
+    fn bernoulli_mean_gap_matches_rate() {
+        let mut p = BernoulliProcess::new(0.25);
+        let mut rng = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean gap {mean}");
+    }
+
+    #[test]
+    fn bernoulli_full_rate_is_every_tick() {
+        let mut p = BernoulliProcess::new(1.0);
+        let mut rng = rng();
+        for _ in 0..10 {
+            assert_eq!(p.next_gap(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn bernoulli_for_load_divides_by_size() {
+        let mut p = BernoulliProcess::for_load(0.5, 4);
+        let mut rng = rng();
+        // p = 0.125 -> mean gap 8.
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        assert!((total as f64 / n as f64 - 8.0).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_rejects_overload() {
+        let _ = BernoulliProcess::for_load(2.0, 1);
+    }
+
+    #[test]
+    fn periodic_is_constant() {
+        let mut p = PeriodicProcess::new(7);
+        let mut rng = rng();
+        assert_eq!(p.next_gap(&mut rng), 7);
+        assert_eq!(p.next_gap(&mut rng), 7);
+    }
+
+    #[test]
+    fn bursty_average_rate_is_close() {
+        let mut p = BurstyProcess::new(0.2, 8.0);
+        let mut rng = rng();
+        let n = 40_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let rate = n as f64 / total as f64;
+        assert!((rate - 0.2).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_produces_runs() {
+        let mut p = BurstyProcess::new(0.2, 8.0);
+        let mut rng = rng();
+        let gaps: Vec<Tick> = (0..1000).map(|_| p.next_gap(&mut rng)).collect();
+        let ones = gaps.iter().filter(|&&g| g == 1).count();
+        assert!(ones > 500, "no burstiness: {ones} unit gaps");
+    }
+
+    #[test]
+    fn size_distributions() {
+        let mut rng = rng();
+        assert_eq!(SizeDistribution::Fixed(4).sample(&mut rng), 4);
+        assert_eq!(SizeDistribution::Fixed(4).mean(), 4.0);
+        let u = SizeDistribution::Uniform { min: 2, max: 6 };
+        for _ in 0..100 {
+            let s = u.sample(&mut rng);
+            assert!((2..=6).contains(&s));
+        }
+        assert_eq!(u.mean(), 4.0);
+        let w = SizeDistribution::Weighted(vec![(1, 3.0), (10, 1.0)]);
+        let mut counts = [0u32; 2];
+        for _ in 0..4000 {
+            match w.sample(&mut rng) {
+                1 => counts[0] += 1,
+                10 => counts[1] += 1,
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        assert!(counts[0] > 2 * counts[1]);
+        assert!((w.mean() - 3.25).abs() < 1e-12);
+    }
+}

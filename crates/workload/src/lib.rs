@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Workload modeling for SuperSim-rs (paper §IV-A).
+//!
+//! The workload layer is strictly isolated from network modeling: traffic
+//! generation has no baked-in assumptions about the topology, and any
+//! network model works under any workload. The pieces:
+//!
+//! - [`TrafficPattern`]s decide destinations ([`UniformRandom`],
+//!   [`BitComplement`], [`Tornado`], [`Transpose`], [`Neighbor`],
+//!   [`CrossSubtree`], [`RandomPermutation`]),
+//! - [`InjectionProcess`]es decide timing ([`BernoulliProcess`],
+//!   [`PeriodicProcess`], [`BurstyProcess`]) with [`SizeDistribution`]s
+//!   for message sizes,
+//! - [`Application`]s build one [`Terminal`] per endpoint ([`BlastApp`],
+//!   [`PulseApp`], [`PingPongApp`]),
+//! - the [`Interface`] component hosts the terminals of all applications
+//!   on one endpoint, injecting and ejecting flits under credit flow
+//!   control,
+//! - the [`WorkloadMonitor`] runs the four-phase handshake
+//!   (warming / generating / finishing / draining) that aligns all
+//!   applications' areas of interest with the sampling window.
+
+mod blast;
+mod injection;
+mod interface;
+mod monitor;
+mod pingpong;
+#[cfg(test)]
+mod proptests;
+mod pulse;
+mod terminal;
+mod traffic;
+
+pub use blast::{BlastApp, BlastConfig};
+pub use injection::{
+    BernoulliProcess, BurstyProcess, InjectionProcess, PeriodicProcess, SizeDistribution,
+};
+pub use interface::{Interface, InterfaceConfig, InterfaceCounters};
+pub use monitor::WorkloadMonitor;
+pub use pingpong::{PingPongApp, PingPongConfig};
+pub use pulse::{PulseApp, PulseConfig};
+pub use terminal::{Application, MessageSpec, Terminal, TerminalAction};
+pub use traffic::{
+    BitComplement, CrossSubtree, Neighbor, RandomPermutation, Tornado, TrafficPattern,
+    Transpose, UniformRandom,
+};

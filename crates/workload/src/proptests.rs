@@ -1,0 +1,161 @@
+//! Property-based tests for workload machinery.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use supersim_netbase::{AppSignal, Phase, TerminalId};
+
+use crate::blast::{BlastApp, BlastConfig};
+use crate::injection::{BernoulliProcess, InjectionProcess, SizeDistribution};
+use crate::terminal::{Application, TerminalAction};
+use crate::traffic::{
+    BitComplement, Neighbor, RandomPermutation, Tornado, TrafficPattern, Transpose,
+    UniformRandom,
+};
+
+fn drive_blast(
+    load: f64,
+    size: u32,
+    warmup: u64,
+    count: u64,
+    seed: u64,
+) -> (u64, u64, bool, bool) {
+    let app = BlastApp::new(BlastConfig {
+        pattern: Arc::new(UniformRandom::new(16)),
+        load,
+        sizes: SizeDistribution::Fixed(size),
+        warmup_ticks: warmup,
+        sample_messages: Some(count),
+        sample_ticks: None,
+    });
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = app.create_terminal(TerminalId(3));
+    let mut sampled = 0u64;
+    let mut unsampled = 0u64;
+    let mut ready = false;
+    let mut complete = false;
+    let mut apply = |actions: Vec<TerminalAction>,
+                     sampled: &mut u64,
+                     unsampled: &mut u64,
+                     ready: &mut bool,
+                     complete: &mut bool| {
+        for a in actions {
+            match a {
+                TerminalAction::Send(spec) => {
+                    if spec.sample {
+                        *sampled += 1;
+                    } else {
+                        *unsampled += 1;
+                    }
+                }
+                TerminalAction::Signal(AppSignal::Ready) => *ready = true,
+                TerminalAction::Signal(AppSignal::Complete) => *complete = true,
+                _ => {}
+            }
+        }
+    };
+    let a = t.enter_phase(Phase::Warming, 0, &mut rng);
+    apply(a, &mut sampled, &mut unsampled, &mut ready, &mut complete);
+    // Drive warming until ready (bounded).
+    let mut now = 0;
+    for _ in 0..100_000 {
+        if ready {
+            break;
+        }
+        let Some(w) = t.next_wake() else { break };
+        now = w;
+        let a = t.wake(now, &mut rng);
+        apply(a, &mut sampled, &mut unsampled, &mut ready, &mut complete);
+    }
+    let a = t.enter_phase(Phase::Generating, now, &mut rng);
+    apply(a, &mut sampled, &mut unsampled, &mut ready, &mut complete);
+    for _ in 0..1_000_000 {
+        if complete {
+            break;
+        }
+        let Some(w) = t.next_wake() else { break };
+        now = w;
+        let a = t.wake(now, &mut rng);
+        apply(a, &mut sampled, &mut unsampled, &mut ready, &mut complete);
+    }
+    (sampled, unsampled, ready, complete)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Blast generates exactly the configured number of sampled messages
+    /// before completing, under any load / size / warm-up combination.
+    #[test]
+    fn blast_samples_exactly_count(
+        load in 0.05f64..1.0,
+        size in 1u32..8,
+        warmup in 0u64..300,
+        count in 1u64..40,
+        seed in 0u64..1000,
+    ) {
+        let (sampled, _unsampled, ready, complete) =
+            drive_blast(load, size, warmup, count, seed);
+        prop_assert!(ready, "never became ready");
+        prop_assert!(complete, "never completed");
+        prop_assert_eq!(sampled, count);
+    }
+
+    /// Warm-up traffic exists (when warmup is long enough for the load)
+    /// and is never flagged for sampling.
+    #[test]
+    fn blast_warmup_is_unsampled(seed in 0u64..200) {
+        let (_sampled, unsampled, ready, _complete) =
+            drive_blast(0.9, 1, 500, 5, seed);
+        prop_assert!(ready);
+        prop_assert!(unsampled > 0, "no warmup traffic at high load");
+    }
+
+    /// Every built-in pattern yields in-range destinations, never equal to
+    /// the source for patterns that exclude it.
+    #[test]
+    fn patterns_stay_in_range(src in 0u32..64, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let patterns: Vec<Arc<dyn TrafficPattern>> = vec![
+            Arc::new(UniformRandom::new(64)),
+            Arc::new(BitComplement::new(64)),
+            Arc::new(Tornado::new(vec![8, 8], 1)),
+            Arc::new(Transpose::new(64)),
+            Arc::new(Neighbor::new(64, 5)),
+            Arc::new(RandomPermutation::new(64, 9)),
+        ];
+        for p in &patterns {
+            let d = p.dest(TerminalId(src), &mut rng);
+            prop_assert!(d.0 < 64, "{} out of range", p.name());
+        }
+        // Self-exclusion where guaranteed.
+        let d = UniformRandom::new(64).dest(TerminalId(src), &mut rng);
+        prop_assert_ne!(d.0, src);
+        let d = RandomPermutation::new(64, 9).dest(TerminalId(src), &mut rng);
+        prop_assert_ne!(d.0, src);
+    }
+
+    /// Bernoulli gaps are always at least one tick and their mean tracks
+    /// the configured rate within sampling error.
+    #[test]
+    fn bernoulli_gap_statistics(p in 0.01f64..0.9, seed in 0u64..100) {
+        let mut proc = BernoulliProcess::new(p);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 4000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let g = proc.next_gap(&mut rng);
+            prop_assert!(g >= 1);
+            total += g;
+        }
+        let mean = total as f64 / n as f64;
+        let expect = 1.0 / p;
+        prop_assert!(
+            (mean - expect).abs() < expect * 0.25 + 0.1,
+            "mean gap {mean} vs expected {expect}"
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! Traffic patterns: who sends to whom.
+//!
+//! Patterns are intentionally decoupled from topologies (paper §IV:
+//! workload modeling has no baked-in assumptions about the network);
+//! topology-aware patterns such as [`Tornado`] receive the relevant
+//! structural parameters through their constructors, exactly as the paper
+//! passes the Torus configuration to the Tornado pattern via JSON.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use supersim_netbase::TerminalId;
+
+/// Picks a destination terminal for each generated message.
+///
+/// Implementations are immutable; all randomness comes from the caller's
+/// deterministic RNG, so patterns can be shared across terminals.
+pub trait TrafficPattern: Send + Sync {
+    /// Short pattern name (e.g. `"uniform_random"`).
+    fn name(&self) -> &str;
+
+    /// Destination for a message from `src`.
+    fn dest(&self, src: TerminalId, rng: &mut SmallRng) -> TerminalId;
+}
+
+/// Uniform random over all terminals, excluding the source itself.
+#[derive(Debug, Clone)]
+pub struct UniformRandom {
+    terminals: u32,
+}
+
+impl UniformRandom {
+    /// Creates the pattern for `terminals` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals < 2` (there would be no legal destination).
+    pub fn new(terminals: u32) -> Self {
+        assert!(terminals >= 2, "uniform random needs at least two terminals");
+        UniformRandom { terminals }
+    }
+}
+
+impl TrafficPattern for UniformRandom {
+    fn name(&self) -> &str {
+        "uniform_random"
+    }
+
+    fn dest(&self, src: TerminalId, rng: &mut SmallRng) -> TerminalId {
+        let mut d = rng.gen_range(0..self.terminals);
+        if d == src.0 {
+            d = (d + 1 + rng.gen_range(0..self.terminals - 1)) % self.terminals;
+        }
+        TerminalId(d)
+    }
+}
+
+/// Bit complement: terminal `i` sends to terminal `N-1-i` (the bitwise
+/// complement when `N` is a power of two). The unbalanced adversary of
+/// case study B.
+#[derive(Debug, Clone)]
+pub struct BitComplement {
+    terminals: u32,
+}
+
+impl BitComplement {
+    /// Creates the pattern for `terminals` endpoints.
+    pub fn new(terminals: u32) -> Self {
+        assert!(terminals >= 2, "bit complement needs at least two terminals");
+        BitComplement { terminals }
+    }
+}
+
+impl TrafficPattern for BitComplement {
+    fn name(&self) -> &str {
+        "bit_complement"
+    }
+
+    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+        TerminalId(self.terminals - 1 - src.0)
+    }
+}
+
+/// Tornado on a torus: each coordinate shifts by `ceil(w/2) - 1` in the
+/// plus direction — the classic adversarial pattern for minimal routing on
+/// rings. Requires the torus shape (widths and concentration).
+#[derive(Debug, Clone)]
+pub struct Tornado {
+    widths: Vec<u32>,
+    concentration: u32,
+}
+
+impl Tornado {
+    /// Creates the pattern for a torus with the given widths and
+    /// concentration.
+    pub fn new(widths: Vec<u32>, concentration: u32) -> Self {
+        assert!(!widths.is_empty() && concentration > 0, "invalid torus shape");
+        Tornado { widths, concentration }
+    }
+}
+
+impl TrafficPattern for Tornado {
+    fn name(&self) -> &str {
+        "tornado"
+    }
+
+    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+        let router = src.0 / self.concentration;
+        let offset = src.0 % self.concentration;
+        let mut rem = router;
+        let mut dst_router = 0u32;
+        let mut mult = 1u32;
+        for &w in &self.widths {
+            let c = rem % w;
+            rem /= w;
+            let shift = w.div_ceil(2) - 1;
+            dst_router += ((c + shift) % w) * mult;
+            mult *= w;
+        }
+        TerminalId(dst_router * self.concentration + offset)
+    }
+}
+
+/// Transpose on a square arrangement: terminal `(i, j)` sends to `(j, i)`.
+/// Requires a square terminal count.
+#[derive(Debug, Clone)]
+pub struct Transpose {
+    side: u32,
+}
+
+impl Transpose {
+    /// Creates the pattern for `terminals` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals` is not a perfect square.
+    pub fn new(terminals: u32) -> Self {
+        let side = (terminals as f64).sqrt() as u32;
+        assert_eq!(side * side, terminals, "transpose needs a square terminal count");
+        Transpose { side }
+    }
+}
+
+impl TrafficPattern for Transpose {
+    fn name(&self) -> &str {
+        "transpose"
+    }
+
+    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+        let (i, j) = (src.0 / self.side, src.0 % self.side);
+        TerminalId(j * self.side + i)
+    }
+}
+
+/// Fixed-offset neighbor pattern: `i` sends to `(i + offset) mod N`.
+#[derive(Debug, Clone)]
+pub struct Neighbor {
+    terminals: u32,
+    offset: u32,
+}
+
+impl Neighbor {
+    /// Creates the pattern.
+    pub fn new(terminals: u32, offset: u32) -> Self {
+        assert!(terminals >= 2, "neighbor needs at least two terminals");
+        Neighbor { terminals, offset: offset % terminals }
+    }
+}
+
+impl TrafficPattern for Neighbor {
+    fn name(&self) -> &str {
+        "neighbor"
+    }
+
+    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+        TerminalId((src.0 + self.offset) % self.terminals)
+    }
+}
+
+/// Uniform random restricted to terminals in a *different* top-level
+/// subtree — the "uniform random to root" pattern of case study A: every
+/// message must climb to the root of the folded Clos.
+#[derive(Debug, Clone)]
+pub struct CrossSubtree {
+    subtrees: u32,
+    per_subtree: u32,
+}
+
+impl CrossSubtree {
+    /// Creates the pattern for `subtrees` top-level subtrees of
+    /// `per_subtree` terminals each.
+    pub fn new(subtrees: u32, per_subtree: u32) -> Self {
+        assert!(subtrees >= 2 && per_subtree >= 1, "need at least two subtrees");
+        CrossSubtree { subtrees, per_subtree }
+    }
+}
+
+impl TrafficPattern for CrossSubtree {
+    fn name(&self) -> &str {
+        "cross_subtree"
+    }
+
+    fn dest(&self, src: TerminalId, rng: &mut SmallRng) -> TerminalId {
+        let my_tree = src.0 / self.per_subtree;
+        let other = (my_tree + 1 + rng.gen_range(0..self.subtrees - 1)) % self.subtrees;
+        TerminalId(other * self.per_subtree + rng.gen_range(0..self.per_subtree))
+    }
+}
+
+/// A fixed random permutation generated at construction (no terminal maps
+/// to itself for sizes above 1 unless the shuffle forces it; self-mappings
+/// are re-rolled best-effort).
+#[derive(Debug, Clone)]
+pub struct RandomPermutation {
+    map: Vec<u32>,
+}
+
+impl RandomPermutation {
+    /// Creates a permutation of `terminals` endpoints from `seed`.
+    pub fn new(terminals: u32, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        assert!(terminals >= 2, "permutation needs at least two terminals");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut map: Vec<u32> = (0..terminals).collect();
+        // Derangement by rejection (expected ~e attempts).
+        for _ in 0..64 {
+            map.shuffle(&mut rng);
+            if map.iter().enumerate().all(|(i, &d)| i as u32 != d) {
+                break;
+            }
+        }
+        RandomPermutation { map }
+    }
+}
+
+impl TrafficPattern for RandomPermutation {
+    fn name(&self) -> &str {
+        "random_permutation"
+    }
+
+    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+        TerminalId(self.map[src.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_random_never_self_and_covers() {
+        let p = UniformRandom::new(8);
+        let mut rng = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            let d = p.dest(TerminalId(3), &mut rng);
+            assert_ne!(d, TerminalId(3));
+            assert!(d.0 < 8);
+            seen.insert(d.0);
+        }
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution() {
+        let p = BitComplement::new(16);
+        let mut rng = rng();
+        for i in 0..16 {
+            let d = p.dest(TerminalId(i), &mut rng);
+            assert_eq!(d.0, 15 - i);
+            assert_eq!(p.dest(d, &mut rng).0, i);
+        }
+    }
+
+    #[test]
+    fn tornado_shifts_half_way() {
+        // 1-D ring of 8 routers, concentration 1: shift = 3.
+        let p = Tornado::new(vec![8], 1);
+        let mut rng = rng();
+        assert_eq!(p.dest(TerminalId(0), &mut rng).0, 3);
+        assert_eq!(p.dest(TerminalId(6), &mut rng).0, 1);
+        // 2-D with concentration 2 keeps the terminal offset.
+        let p = Tornado::new(vec![4, 4], 2);
+        let d = p.dest(TerminalId(1), &mut rng);
+        assert_eq!(d.0 % 2, 1);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let p = Transpose::new(16);
+        let mut rng = rng();
+        // (1,2) -> (2,1): 1*4+2=6 -> 2*4+1=9
+        assert_eq!(p.dest(TerminalId(6), &mut rng).0, 9);
+        // Diagonal maps to itself.
+        assert_eq!(p.dest(TerminalId(5), &mut rng).0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn transpose_rejects_non_square() {
+        let _ = Transpose::new(12);
+    }
+
+    #[test]
+    fn neighbor_wraps() {
+        let p = Neighbor::new(8, 3);
+        let mut rng = rng();
+        assert_eq!(p.dest(TerminalId(6), &mut rng).0, 1);
+    }
+
+    #[test]
+    fn cross_subtree_always_leaves_home() {
+        let p = CrossSubtree::new(4, 16);
+        let mut rng = rng();
+        for src in [0u32, 17, 40, 63] {
+            for _ in 0..64 {
+                let d = p.dest(TerminalId(src), &mut rng);
+                assert_ne!(d.0 / 16, src / 16, "stayed in home subtree");
+                assert!(d.0 < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let p = RandomPermutation::new(32, 123);
+        let mut rng = rng();
+        let mut targets = std::collections::HashSet::new();
+        for i in 0..32 {
+            let d = p.dest(TerminalId(i), &mut rng);
+            assert_ne!(d.0, i);
+            assert!(targets.insert(d.0), "not a bijection");
+        }
+    }
+
+    #[test]
+    fn permutation_is_seed_stable() {
+        let a = RandomPermutation::new(16, 9);
+        let b = RandomPermutation::new(16, 9);
+        let mut rng = rng();
+        for i in 0..16 {
+            assert_eq!(a.dest(TerminalId(i), &mut rng), b.dest(TerminalId(i), &mut rng));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The `supersim` command-line simulator (paper Listing 1):
+//!
+//! ```text
+//! supersim myconfig.json \
+//!     network.router.architecture=string=my_arch \
+//!     network.concentration=uint=16
+//! ```
+//!
+//! Loads a JSON configuration — expanding `$include` files and `$ref`
+//! object references (paper §III-C) — applies `path=type=value` overrides
+//! in order, runs the simulation, prints an SSParse-style summary, and
+//! writes the sample log next to the configuration as `<config>.log`
+//! (parse it later with the `ssparse` tool or `--log <path>` to choose
+//! the location; `--no-log` skips it).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use supersim::config;
+use supersim::core::SuperSim;
+use supersim::stats::Filter;
+use supersim::tools;
+
+struct Args {
+    config_path: PathBuf,
+    overrides: Vec<String>,
+    log_path: Option<PathBuf>,
+    no_log: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config_path = None;
+    let mut overrides = Vec::new();
+    let mut log_path = None;
+    let mut no_log = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log" => {
+                let p = it.next().ok_or("--log needs a path")?;
+                log_path = Some(PathBuf::from(p));
+            }
+            "--no-log" => no_log = true,
+            "--help" | "-h" => {
+                return Err("usage: supersim <config.json> [path=type=value ...] \
+                            [--log <file> | --no-log]"
+                    .to_string())
+            }
+            a if a.contains('=') => overrides.push(a.to_string()),
+            a if config_path.is_none() => config_path = Some(PathBuf::from(a)),
+            a => return Err(format!("unexpected argument {a:?}")),
+        }
+    }
+    Ok(Args {
+        config_path: config_path.ok_or("missing configuration file")?,
+        overrides,
+        log_path,
+        no_log,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = match config::expand_file(&args.config_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("supersim: {}: {e}", args.config_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = config::apply_overrides(&mut cfg, &args.overrides) {
+        eprintln!("supersim: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let sim = match SuperSim::from_config(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("supersim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "supersim: {} — {} terminals, {} routers",
+        sim.topology().name(),
+        sim.topology().num_terminals(),
+        sim.topology().num_routers()
+    );
+    let started = std::time::Instant::now();
+    let out = match sim.run() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("supersim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "supersim: drained at tick {} — {} events in {:.2?} ({:.2} M events/s)",
+        out.engine.end_time.tick(),
+        out.engine.events_executed,
+        started.elapsed(),
+        out.engine.events_per_second() / 1e6
+    );
+    for (phase, tick) in &out.phase_times {
+        eprintln!("supersim: phase {phase} at tick {tick}");
+    }
+
+    print!("{}", tools::analyze(&out.log, &Filter::new()).to_table());
+
+    if !args.no_log {
+        let path = args
+            .log_path
+            .unwrap_or_else(|| args.config_path.with_extension("log"));
+        if let Err(e) = std::fs::write(&path, out.log.to_text()) {
+            eprintln!("supersim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("supersim: wrote {} ({} records)", path.display(), out.log.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,168 @@
+//! Adaptive routing earns its keep: under adversarial traffic on a 1-D
+//! flattened butterfly, minimal routing bottlenecks on the single direct
+//! link per router pair, while Valiant spreads load over all links and
+//! UGAL adaptively matches whichever is better — the behavior UGAL was
+//! designed for (Singh 2005) and the foundation of paper case study B.
+
+use supersim::config::{obj, Value};
+use supersim::core::SuperSim;
+use supersim::stats::Filter;
+
+fn config(algorithm: &str, pattern: &str, load: f64) -> Value {
+    obj! {
+        "seed" => 21u64,
+        "network" => obj! {
+            "topology" => obj! { "name" => "hyperx", "widths" => vec![8u64], "concentration" => 8u64 },
+            "vcs" => 2u64,
+            "routing" => obj! { "algorithm" => algorithm, "threshold" => 0.0f64 },
+            "channel" => obj! { "terminal_latency" => 1u64, "local_latency" => 8u64 },
+            "router" => obj! {
+                "architecture" => "input_output_queued",
+                "input_buffer" => 32u64,
+                "output_queue" => 64u64,
+                "xbar_latency" => 2u64,
+                "flow_control" => "flit_buffer",
+                "arbiter" => "round_robin",
+                "congestion_sensor" => obj! {
+                    "source" => "downstream",
+                    "granularity" => "port",
+                    "delay" => 0u64,
+                },
+            },
+            "interface" => obj! { "eject_buffer" => 32u64, "max_packet_size" => 4u64 },
+        },
+        "workload" => obj! {
+            "applications" => vec![obj! {
+                "name" => "blast",
+                "load" => load,
+                "message_size" => 1u64,
+                "warmup_ticks" => 600u64,
+                "sample_messages" => 80u64,
+                "pattern" => obj! { "name" => pattern },
+            }],
+        },
+    }
+}
+
+fn delivered(algorithm: &str, pattern: &str, load: f64) -> f64 {
+    let out = SuperSim::from_config(&config(algorithm, pattern, load))
+        .unwrap_or_else(|e| panic!("{algorithm}/{pattern}: {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("{algorithm}/{pattern}: {e}"));
+    out.load_point(load, &Filter::new()).expect("window").delivered
+}
+
+#[test]
+fn ugal_beats_minimal_under_bit_complement() {
+    // Bit complement pairs routers; minimal routing funnels each pair's
+    // 8 terminals of traffic over one link (capacity 1/8 = 0.125 of line
+    // rate per terminal).
+    let load = 0.6;
+    let minimal = delivered("minimal", "bit_complement", load);
+    let ugal = delivered("ugal", "bit_complement", load);
+    let valiant = delivered("valiant", "bit_complement", load);
+    assert!(
+        minimal < 0.25,
+        "minimal should bottleneck hard under BC, delivered {minimal:.3}"
+    );
+    assert!(
+        ugal > minimal * 2.0,
+        "ugal ({ugal:.3}) should far exceed minimal ({minimal:.3}) under BC"
+    );
+    assert!(
+        valiant > minimal * 2.0,
+        "valiant ({valiant:.3}) should far exceed minimal ({minimal:.3}) under BC"
+    );
+}
+
+#[test]
+fn minimal_and_ugal_match_under_uniform_random() {
+    // On benign traffic UGAL should stay (mostly) minimal and not give up
+    // meaningful throughput; Valiant pays its 2x path tax.
+    let load = 0.55;
+    let minimal = delivered("minimal", "uniform_random", load);
+    let ugal = delivered("ugal", "uniform_random", load);
+    assert!(
+        (minimal - ugal).abs() < 0.1 * minimal,
+        "ugal ({ugal:.3}) should track minimal ({minimal:.3}) under UR"
+    );
+    assert!((minimal - load).abs() < 0.05, "minimal should deliver the offered load");
+}
+
+fn torus_config(algorithm: &str, vcs: u64, pattern: Value, load: f64) -> Value {
+    obj! {
+        "seed" => 33u64,
+        "network" => obj! {
+            "topology" => obj! { "name" => "torus", "widths" => vec![4u64, 4u64], "concentration" => 1u64 },
+            "vcs" => vcs,
+            "routing" => obj! { "algorithm" => algorithm },
+            "channel" => obj! { "terminal_latency" => 1u64, "local_latency" => 4u64 },
+            "router" => obj! {
+                "architecture" => "input_queued",
+                "input_buffer" => 8u64,
+                "xbar_latency" => 2u64,
+                "flow_control" => "flit_buffer",
+                "arbiter" => "age_based",
+            },
+            "interface" => obj! { "eject_buffer" => 16u64, "max_packet_size" => 4u64 },
+        },
+        "workload" => obj! {
+            "applications" => vec![obj! {
+                "name" => "blast",
+                "load" => load,
+                "message_size" => 4u64,
+                "warmup_ticks" => 400u64,
+                "sample_messages" => 60u64,
+                "pattern" => pattern,
+            }],
+        },
+    }
+}
+
+#[test]
+fn adaptive_torus_survives_saturating_adversarial_traffic() {
+    // High-load multi-flit wormhole traffic with the freedom to pick any
+    // productive dimension: the Duato escape sub-network must keep the
+    // network deadlock-free all the way through the drain.
+    for pattern in [
+        obj! { "name" => "transpose" },
+        obj! { "name" => "tornado", "widths" => vec![4u64, 4u64], "concentration" => 1u64 },
+        obj! { "name" => "uniform_random" },
+    ] {
+        let cfg = torus_config("adaptive", 4, pattern.clone(), 0.9);
+        let out = SuperSim::from_config(&cfg)
+            .unwrap_or_else(|e| panic!("adaptive/{pattern}: {e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("adaptive/{pattern}: {e}"));
+        assert_eq!(
+            out.counters.flits_sent, out.counters.flits_received,
+            "adaptive/{pattern}: flits lost"
+        );
+        assert!(out.packets_delivered() > 0);
+    }
+}
+
+#[test]
+fn adaptive_torus_beats_dor_under_transpose() {
+    // Transpose concentrates row traffic onto single DOR paths; minimal
+    // adaptive routing can spread it across both productive dimensions.
+    let load = 0.75;
+    let dor = SuperSim::from_config(&torus_config("dimension_order", 4, obj! { "name" => "transpose" }, load))
+        .expect("build")
+        .run()
+        .expect("run")
+        .load_point(load, &Filter::new())
+        .expect("window")
+        .delivered;
+    let adaptive = SuperSim::from_config(&torus_config("adaptive", 4, obj! { "name" => "transpose" }, load))
+        .expect("build")
+        .run()
+        .expect("run")
+        .load_point(load, &Filter::new())
+        .expect("window")
+        .delivered;
+    assert!(
+        adaptive >= dor * 0.98,
+        "adaptive ({adaptive:.3}) should at least match DOR ({dor:.3}) under transpose"
+    );
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration: every topology × router architecture
+//! combination builds, runs all four workload phases, drains, and
+//! conserves flits end to end.
+
+use supersim::config::{obj, Value};
+use supersim::core::SuperSim;
+
+/// Builds a small config for the given topology block and router
+/// architecture.
+fn config(topology: Value, vcs: u64, arch: &str, routing: Value) -> Value {
+    let mut router = obj! {
+        "architecture" => arch,
+        "input_buffer" => 16u64,
+        "xbar_latency" => 1u64,
+        "core_latency" => 2u64,
+        "flow_control" => "flit_buffer",
+        "arbiter" => "round_robin",
+    };
+    if arch == "input_output_queued" {
+        router.set_path("output_queue", Value::from(32u64)).expect("object");
+    }
+    obj! {
+        "seed" => 99u64,
+        "network" => obj! {
+            "topology" => topology,
+            "vcs" => vcs,
+            "routing" => routing,
+            "channel" => obj! { "terminal_latency" => 1u64, "local_latency" => 3u64, "global_latency" => 9u64 },
+            "router" => router,
+            "interface" => obj! { "eject_buffer" => 32u64, "max_packet_size" => 4u64 },
+        },
+        "workload" => obj! {
+            "applications" => vec![obj! {
+                "name" => "blast",
+                "load" => 0.2f64,
+                "message_size" => 3u64,
+                "warmup_ticks" => 100u64,
+                "sample_messages" => 30u64,
+                "pattern" => obj! { "name" => "uniform_random" },
+            }],
+        },
+    }
+}
+
+fn run_and_check(cfg: Value, what: &str) {
+    let sim = SuperSim::from_config(&cfg)
+        .unwrap_or_else(|e| panic!("{what}: build failed: {e}"));
+    let terminals = sim.topology().num_terminals();
+    let out = sim.run().unwrap_or_else(|e| panic!("{what}: run failed: {e}"));
+    assert!(out.packets_delivered() > 0, "{what}: nothing sampled");
+    // Flit conservation: after draining, everything injected was ejected.
+    assert_eq!(
+        out.counters.flits_sent, out.counters.flits_received,
+        "{what}: flits lost or duplicated"
+    );
+    assert_eq!(
+        out.counters.messages_sent, out.counters.messages_received,
+        "{what}: messages lost"
+    );
+    // Every terminal generated its share.
+    assert!(
+        out.counters.messages_sent >= 30 * terminals as u64,
+        "{what}: undergenerated"
+    );
+    // The four phases happened in order.
+    let ticks: Vec<u64> = out.phase_times.iter().map(|&(_, t)| t).collect();
+    assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "{what}: phases out of order");
+    assert_eq!(out.phase_times.len(), 4, "{what}: missing phases");
+}
+
+#[test]
+fn torus_with_each_architecture() {
+    for arch in ["input_queued", "output_queued", "input_output_queued"] {
+        let cfg = config(
+            obj! { "name" => "torus", "widths" => vec![4u64, 4u64], "concentration" => 1u64 },
+            2,
+            arch,
+            obj! { "algorithm" => "dimension_order" },
+        );
+        run_and_check(cfg, &format!("torus/{arch}"));
+    }
+}
+
+#[test]
+fn folded_clos_with_each_architecture() {
+    for arch in ["input_queued", "output_queued", "input_output_queued"] {
+        let cfg = config(
+            obj! { "name" => "folded_clos", "levels" => 2u64, "k" => 4u64 },
+            1,
+            arch,
+            obj! { "algorithm" => "adaptive_updown" },
+        );
+        run_and_check(cfg, &format!("clos/{arch}"));
+    }
+}
+
+#[test]
+fn hyperx_minimal_and_ugal() {
+    for algo in ["minimal", "ugal", "valiant"] {
+        let cfg = config(
+            obj! { "name" => "hyperx", "widths" => vec![6u64], "concentration" => 2u64 },
+            2,
+            "input_output_queued",
+            obj! { "algorithm" => algo },
+        );
+        run_and_check(cfg, &format!("hyperx/{algo}"));
+    }
+}
+
+#[test]
+fn dragonfly_minimal_and_ugal() {
+    for (algo, vcs) in [("minimal", 3u64), ("ugal", 6u64)] {
+        let cfg = config(
+            obj! { "name" => "dragonfly", "group_size" => 3u64, "global_ports" => 1u64, "concentration" => 2u64 },
+            vcs,
+            "input_queued",
+            obj! { "algorithm" => algo },
+        );
+        run_and_check(cfg, &format!("dragonfly/{algo}"));
+    }
+}
+
+#[test]
+fn every_flow_control_on_long_messages() {
+    for fc in ["flit_buffer", "packet_buffer", "winner_take_all"] {
+        let mut cfg = config(
+            obj! { "name" => "torus", "widths" => vec![4u64], "concentration" => 2u64 },
+            4,
+            "input_queued",
+            obj! { "algorithm" => "dimension_order" },
+        );
+        cfg.set_path("network.router.flow_control", fc.into()).expect("object");
+        cfg.set_path("workload.applications.0.message_size", Value::from(8u64))
+            .expect("object");
+        cfg.set_path("network.interface.max_packet_size", Value::from(8u64))
+            .expect("object");
+        run_and_check(cfg, &format!("torus/{fc}"));
+    }
+}
+
+#[test]
+fn adversarial_patterns_drain() {
+    for pattern in ["bit_complement", "transpose", "random_permutation"] {
+        let mut cfg = config(
+            obj! { "name" => "torus", "widths" => vec![4u64, 4u64], "concentration" => 1u64 },
+            2,
+            "input_queued",
+            obj! { "algorithm" => "dimension_order" },
+        );
+        cfg.set_path("workload.applications.0.pattern.name", pattern.into())
+            .expect("object");
+        run_and_check(cfg, &format!("torus/{pattern}"));
+    }
+}
+
+#[test]
+fn tornado_on_a_ring() {
+    let mut cfg = config(
+        obj! { "name" => "torus", "widths" => vec![8u64], "concentration" => 1u64 },
+        2,
+        "input_queued",
+        obj! { "algorithm" => "dimension_order" },
+    );
+    cfg.set_path(
+        "workload.applications.0.pattern",
+        obj! { "name" => "tornado", "widths" => vec![8u64], "concentration" => 1u64 },
+    )
+    .expect("object");
+    run_and_check(cfg, "torus/tornado");
+}
+
+#[test]
+fn multi_flit_messages_segment_into_packets() {
+    let mut cfg = config(
+        obj! { "name" => "hyperx", "widths" => vec![4u64], "concentration" => 1u64 },
+        2,
+        "input_queued",
+        obj! { "algorithm" => "minimal" },
+    );
+    // 10-flit messages, max packet 4: 3 packets per message.
+    cfg.set_path("workload.applications.0.message_size", Value::from(10u64)).expect("obj");
+    cfg.set_path("network.interface.max_packet_size", Value::from(4u64)).expect("obj");
+    let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+    assert_eq!(out.counters.packets_sent, out.counters.messages_sent * 3);
+    assert_eq!(out.counters.flits_sent, out.counters.messages_sent * 10);
+    assert_eq!(out.counters.flits_sent, out.counters.flits_received);
+}

@@ -1,0 +1,55 @@
+//! The JSON configurations shipped under `configs/` must stay buildable
+//! and runnable (they are the quickstart path for CLI users).
+
+use supersim::config::{apply_override, expand_file, Value};
+use supersim::core::SuperSim;
+
+fn load(name: &str) -> Value {
+    let path = format!("{}/configs/{name}", env!("CARGO_MANIFEST_DIR"));
+    expand_file(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn every_shipped_config_runs() {
+    for name in [
+        "quickstart.json",
+        "torus_3d_dor.json",
+        "clos_adaptive.json",
+        "dragonfly_ugal.json",
+        "included_demo.json",
+    ] {
+        let mut cfg = load(name);
+        // Keep CI fast: shrink the sample counts, keep everything else.
+        let blast = &cfg.req_str("workload.applications.0.name").map(str::to_string);
+        if blast.as_deref() == Ok("blast")
+            && cfg.path("workload.applications.0.sample_messages").is_some()
+        {
+            apply_override(&mut cfg, "workload.applications.0.sample_messages=uint=20")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        apply_override(&mut cfg, "workload.applications.0.warmup_ticks=uint=100")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = SuperSim::from_config(&cfg)
+            .unwrap_or_else(|e| panic!("{name}: build: {e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: run: {e}"));
+        assert!(out.packets_delivered() > 0, "{name}: no samples");
+        assert_eq!(
+            out.counters.flits_sent, out.counters.flits_received,
+            "{name}: flits lost"
+        );
+    }
+}
+
+#[test]
+fn listing_1_overrides_apply_to_shipped_configs() {
+    // The paper's Listing 1, verbatim mechanics.
+    let mut cfg = load("quickstart.json");
+    apply_override(&mut cfg, "network.topology.concentration=uint=2").expect("valid");
+    apply_override(&mut cfg, "workload.applications.0.sample_messages=uint=10")
+        .expect("valid");
+    let sim = SuperSim::from_config(&cfg).expect("build");
+    assert_eq!(sim.topology().num_terminals(), 8); // 4 routers x 2
+    let out = sim.run().expect("run");
+    assert!(out.packets_delivered() >= 8 * 10);
+}
