@@ -1,0 +1,317 @@
+//! In-tree engine micro-benchmarks (no external harness).
+//!
+//! Replaces the old criterion benches with a plain `--release` binary so
+//! the workspace builds and measures fully offline. Two workload families:
+//!
+//! - **queue**: raw event-queue throughput — push N mixed-time events,
+//!   pop them all. Run against both the calendar queue that now powers the
+//!   engine and an in-binary copy of the seed `BinaryHeap` queue, so the
+//!   speedup is measured on the same machine in the same process.
+//! - **relay ring**: full engine dispatch — a ring of components bouncing
+//!   events one tick apart, the dominant shape of flit/credit traffic.
+//!
+//! Usage:
+//!   bench_engine            # full measurement, prints a table
+//!   bench_engine --smoke    # quick run with floor assertions (CI tier-1)
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use supersim_des::{Component, ComponentId, Context, EventQueue, Simulator, Time};
+
+/// The seed engine's event queue: a global `BinaryHeap` with a per-event
+/// sequence number for FIFO tie-breaks. Kept here verbatim as the
+/// reference baseline for the calendar queue.
+struct RefEntry<E> {
+    time: Time,
+    seq: u64,
+    target: ComponentId,
+    payload: E,
+}
+
+impl<E> PartialEq for RefEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for RefEntry<E> {}
+impl<E> PartialOrd for RefEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for RefEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct RefHeapQueue<E> {
+    heap: BinaryHeap<RefEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> RefHeapQueue<E> {
+    fn new() -> Self {
+        RefHeapQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+    #[inline]
+    fn push(&mut self, target: ComponentId, time: Time, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(RefEntry { time, seq, target, payload });
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(Time, ComponentId, E)> {
+        self.heap.pop().map(|e| (e.time, e.target, e.payload))
+    }
+    #[inline]
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+/// Best-of-`reps` wall time for `f`, as events/second over `events`.
+fn measure(events: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    events as f64 / best
+}
+
+/// Mixed-time push order exercising both near- and far-future paths the
+/// way the seed criterion bench did (Knuth multiplicative scatter).
+fn scatter(i: usize, n: usize) -> u64 {
+    ((i * 2_654_435_761) % n) as u64
+}
+
+fn bench_queue_calendar(n: usize, reps: usize) -> f64 {
+    let target = ComponentId::from_index(0);
+    measure((2 * n) as u64, reps, || {
+        let mut q = EventQueue::<u64>::new();
+        for i in 0..n {
+            q.push(target, Time::at(scatter(i, n)), i as u64);
+        }
+        let mut popped = 0usize;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+    })
+}
+
+fn bench_queue_refheap(n: usize, reps: usize) -> f64 {
+    let target = ComponentId::from_index(0);
+    measure((2 * n) as u64, reps, || {
+        let mut q = RefHeapQueue::<u64>::new();
+        for i in 0..n {
+            q.push(target, Time::at(scatter(i, n)), i as u64);
+        }
+        let mut popped = 0usize;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+    })
+}
+
+/// A relay that forwards each event to the next component one tick later.
+struct Relay {
+    next: ComponentId,
+    remaining: u64,
+}
+
+impl Component<u64> for Relay {
+    fn name(&self) -> &str {
+        "relay"
+    }
+    fn handle(&mut self, ctx: &mut Context<'_, u64>, event: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(self.next, ctx.now().plus_ticks(1), event + 1);
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Engine dispatch rate: `ring` components, `tokens` concurrent events
+/// circulating, each relay firing `hops` times total.
+fn bench_relay_ring(ring: usize, tokens: usize, hops: u64, reps: usize) -> f64 {
+    let events_per_run = ring as u64 * hops + tokens as u64;
+    measure(events_per_run, reps, || {
+        let mut sim = Simulator::new(1);
+        let ids: Vec<ComponentId> = (0..ring)
+            .map(|_| sim.add_component(Box::new(Relay { next: ComponentId::from_index(0), remaining: 0 })))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let relay = sim.component_as_mut::<Relay>(id).expect("relay");
+            relay.next = ids[(i + 1) % ring];
+            relay.remaining = hops;
+        }
+        for t in 0..tokens {
+            sim.schedule(ids[t * ring / tokens.max(1)], Time::at(0), 0);
+        }
+        let stats = sim.run();
+        assert_eq!(stats.events_executed, events_per_run);
+        assert!(stats.queue_high_water >= tokens);
+    })
+}
+
+/// A faithful replica of the seed engine's dispatch shape: boxed dyn
+/// components taken out of their slot per event, a context struct, and
+/// one heap pop (plus one peek) per event — so the relay-ring comparison
+/// isolates the queue + executor-loop difference, not dispatch cost.
+mod refsim {
+    use super::{ComponentId, RefHeapQueue, Time};
+
+    pub struct RefContext<'a> {
+        pub now: Time,
+        queue: &'a mut RefHeapQueue<u64>,
+    }
+
+    impl RefContext<'_> {
+        #[inline]
+        pub fn schedule(&mut self, target: ComponentId, time: Time, payload: u64) {
+            assert!(time >= self.now, "cannot schedule into the past");
+            self.queue.push(target, time, payload);
+        }
+    }
+
+    pub trait RefComponent {
+        fn handle(&mut self, ctx: &mut RefContext<'_>, event: u64);
+    }
+
+    pub struct RefSimulator {
+        components: Vec<Option<Box<dyn RefComponent>>>,
+        queue: RefHeapQueue<u64>,
+        pub events_executed: u64,
+    }
+
+    impl RefSimulator {
+        pub fn new() -> Self {
+            RefSimulator {
+                components: Vec::new(),
+                queue: RefHeapQueue::new(),
+                events_executed: 0,
+            }
+        }
+
+        pub fn add_component(&mut self, c: Box<dyn RefComponent>) -> ComponentId {
+            let id = ComponentId::from_index(self.components.len());
+            self.components.push(Some(c));
+            id
+        }
+
+        pub fn schedule(&mut self, target: ComponentId, time: Time, payload: u64) {
+            self.queue.push(target, time, payload);
+        }
+
+        /// The seed `run_until(Tick::MAX)` loop: peek, pop, dispatch.
+        pub fn run(&mut self) {
+            loop {
+                let Some(_) = self.queue.peek_time() else { break };
+                let (time, target, payload) = self.queue.pop().expect("peeked event vanished");
+                self.events_executed += 1;
+                let slot = self.components.get_mut(target.index()).expect("target");
+                let mut component = slot.take().expect("component re-entered");
+                let mut ctx = RefContext { now: time, queue: &mut self.queue };
+                component.handle(&mut ctx, payload);
+                self.components[target.index()] = Some(component);
+            }
+        }
+    }
+}
+
+struct RefRelay {
+    next: ComponentId,
+    remaining: u64,
+}
+
+impl refsim::RefComponent for RefRelay {
+    fn handle(&mut self, ctx: &mut refsim::RefContext<'_>, event: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(self.next, ctx.now.plus_ticks(1), event + 1);
+        }
+    }
+}
+
+/// The same relay-ring workload driven through the reference engine.
+fn bench_relay_ring_refheap(ring: usize, tokens: usize, hops: u64, reps: usize) -> f64 {
+    let events_per_run = ring as u64 * hops + tokens as u64;
+    measure(events_per_run, reps, || {
+        let mut sim = refsim::RefSimulator::new();
+        let ids: Vec<ComponentId> = (0..ring)
+            .map(|i| {
+                sim.add_component(Box::new(RefRelay {
+                    next: ComponentId::from_index((i + 1) % ring),
+                    remaining: hops,
+                }))
+            })
+            .collect();
+        for t in 0..tokens {
+            sim.schedule(ids[t * ring / tokens.max(1)], Time::at(0), 0);
+        }
+        sim.run();
+        assert_eq!(sim.events_executed, events_per_run);
+    })
+}
+
+fn human(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:7.2} M/s", rate / 1e6)
+    } else {
+        format!("{:7.0} /s ", rate)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, sizes, ring_hops) =
+        if smoke { (2, vec![1_000usize], 200u64) } else { (7, vec![1_000usize, 100_000], 5_000u64) };
+
+    println!("engine micro-benchmarks ({})", if smoke { "smoke" } else { "full" });
+    println!("{:<28} {:>12} {:>12} {:>8}", "workload", "calendar", "binary-heap", "speedup");
+
+    let mut floors_ok = true;
+    for &n in &sizes {
+        let cal = bench_queue_calendar(n, reps);
+        let heap = bench_queue_refheap(n, reps);
+        println!(
+            "{:<28} {:>12} {:>12} {:>7.2}x",
+            format!("queue/push_pop_{n}"),
+            human(cal),
+            human(heap),
+            cal / heap
+        );
+        floors_ok &= cal > 0.0 && heap > 0.0;
+    }
+
+    for &(ring, tokens) in &[(64usize, 16usize), (1024, 256)] {
+        let cal = bench_relay_ring(ring, tokens, ring_hops, reps);
+        let heap = bench_relay_ring_refheap(ring, tokens, ring_hops, reps);
+        println!(
+            "{:<28} {:>12} {:>12} {:>7.2}x",
+            format!("relay_ring/{ring}x{tokens}"),
+            human(cal),
+            human(heap),
+            cal / heap
+        );
+        floors_ok &= cal > 0.0 && heap > 0.0;
+    }
+
+    // Floor assertions: the harness must observe real forward progress.
+    // (The relay benches also assert exact event counts and a non-trivial
+    // queue high-water mark inside each run.)
+    assert!(floors_ok, "benchmark reported a zero event rate");
+    println!("floors ok: all rates > 0 events/s, run stats non-empty");
+}

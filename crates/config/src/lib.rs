@@ -47,5 +47,5 @@ pub use overrides::{apply_override, apply_overrides, parse_override, Override, O
 pub use parse::parse;
 pub use value::{Map, Value};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -1,0 +1,103 @@
+//! Deterministic "property" tests for the configuration subsystem.
+//!
+//! These port the most valuable proptest properties (JSON round-trip,
+//! path set/get, override installation, parser totality) to in-tree
+//! generators driven by the workspace PRNG, so they run under a plain
+//! `cargo test -q` with no registry dependencies. Every run explores the
+//! same inputs; a failure reproduces from the case index alone.
+
+use supersim_config::{apply_override, parse, Value};
+use supersim_des::Rng;
+
+/// Characters the generator draws string content from — includes JSON
+/// metacharacters, escapes, and multi-byte UTF-8 to stress the
+/// serializer/parser pair.
+const STR_ALPHABET: &[char] =
+    &['a', 'Z', '0', ' ', '_', '.', '-', '"', '\\', '\n', '\t', 'é', '世', '🌐'];
+
+fn arb_string(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| STR_ALPHABET[rng.gen_range(0..STR_ALPHABET.len())]).collect()
+}
+
+fn arb_key(rng: &mut Rng) -> String {
+    let len = rng.gen_range(1..7usize);
+    (0..len).map(|_| char::from(b'a' + rng.gen_range(0u8..26))).collect()
+}
+
+/// Arbitrary JSON value with bounded depth and width (mirrors the old
+/// proptest strategy: leaves at depth 0, arrays/objects above).
+fn arb_value(rng: &mut Rng, depth: u32) -> Value {
+    let pick = if depth == 0 { rng.gen_range(0..5u32) } else { rng.gen_range(0..7u32) };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_u64() as i64),
+        // Finite floats only: JSON cannot represent NaN/Inf.
+        3 => Value::Float(rng.gen_range(-1e12f64..1e12f64)),
+        4 => Value::Str(arb_string(rng, 12)),
+        5 => {
+            let n = rng.gen_range(0..6usize);
+            Value::Array((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..6usize);
+            let mut obj = Value::object();
+            for _ in 0..n {
+                obj.set_path(&arb_key(rng), arb_value(rng, depth - 1)).expect("object");
+            }
+            obj
+        }
+    }
+}
+
+#[test]
+fn json_round_trip_compact_and_pretty() {
+    let mut rng = Rng::new(0x5EED_C0FF_EE00_0001);
+    for case in 0..256 {
+        let v = arb_value(&mut rng, 4);
+        let back = parse(&v.to_json()).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(back, v, "compact round-trip diverged at case {case}");
+        let back = parse(&v.to_json_pretty()).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(back, v, "pretty round-trip diverged at case {case}");
+    }
+}
+
+#[test]
+fn set_then_get_returns_stored_value() {
+    let mut rng = Rng::new(2);
+    for case in 0..128 {
+        let segs: Vec<String> = (0..rng.gen_range(1..5usize)).map(|_| arb_key(&mut rng)).collect();
+        let path = segs.join(".");
+        let x = rng.gen_u64() as i64;
+        let mut root = Value::object();
+        root.set_path(&path, Value::Int(x)).expect("object");
+        assert_eq!(root.path(&path).and_then(Value::as_i64), Some(x), "case {case}: {path}");
+    }
+}
+
+#[test]
+fn override_uint_installs_parsed_integer() {
+    let mut rng = Rng::new(3);
+    for case in 0..128 {
+        let segs: Vec<String> = (0..rng.gen_range(1..4usize)).map(|_| arb_key(&mut rng)).collect();
+        let path = segs.join(".");
+        let x = rng.gen_u64() >> 32;
+        let mut root = Value::object();
+        apply_override(&mut root, &format!("{path}=uint={x}")).expect("valid override");
+        assert_eq!(root.req_u64(&path).unwrap(), x, "case {case}: {path}");
+    }
+}
+
+#[test]
+fn parser_never_panics_on_garbage() {
+    let mut rng = Rng::new(4);
+    for _ in 0..512 {
+        // Printable-ish garbage plus JSON punctuation fragments.
+        let garbage = arb_string(&mut rng, 64);
+        let _ = parse(&garbage);
+        let truncated: String =
+            garbage.chars().take(rng.gen_range(0..8usize)).chain("{[\"".chars()).collect();
+        let _ = parse(&truncated);
+    }
+}

@@ -1,43 +1,85 @@
-//! The event priority queue (paper §III-A, Figure 1).
+//! The event queue (paper §III-A, Figure 1): a two-level calendar queue.
 //!
 //! Events are ordered by their [`Time`] (tick first, then epsilon). Events
 //! with identical times are executed in the order they were enqueued, which
 //! keeps simulations deterministic.
+//!
+//! # Why a calendar queue
+//!
+//! A flit-level simulation schedules almost everything a handful of ticks
+//! into the future: channel traversals at fixed channel latencies, credit
+//! returns, and clock edges at fixed periods. A global `BinaryHeap` pays an
+//! `O(log n)` comparator-heavy sift on every one of those operations and
+//! needs an explicit sequence number on every event just to keep equal-time
+//! pops FIFO. This queue instead keeps a **ring of per-tick buckets**
+//! covering a near-future horizon: pushes within the horizon are `O(1)`,
+//! pops take the front of the current bucket, and FIFO order for equal
+//! `(tick, epsilon)` events is structural — bucket insertion order *is*
+//! enqueue order, no tie-break needed. Events beyond the horizon go to a
+//! small overflow `BinaryHeap` (they are rare: long warmup timers,
+//! far-future monitors) and drain into the ring as the horizon advances
+//! past them. An occupancy bitmap (one bit per bucket) lets the queue skip
+//! runs of empty ticks a word at a time.
+//!
+//! # Storage: slab + intrusive lists
+//!
+//! Buckets are **not** `Vec`s. Every pending ring event lives in one shared
+//! slab (`Vec<Slot<E>>`), and each bucket is just a `(head, tail)` pair of
+//! slab indices threading an intrusive singly-linked list through the slab.
+//! A push is a slab append (amortized `O(1)`, reusing freed slots via a
+//! free list) plus one link write — crucially there is **no per-bucket
+//! allocation**, so workloads that scatter events thinly over many ticks
+//! (one event per bucket) do not pay one `malloc` per event the way
+//! `Vec`-buckets would. This is the classic timing-wheel representation.
+//!
+//! The executor additionally drains whole same-`(tick, epsilon)` batches
+//! through [`EventQueue::take_batch`] so the hot loop does not re-examine
+//! the queue between events that are already known to be ready.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::component::ComponentId;
-use crate::time::Time;
+use crate::time::{Epsilon, Tick, Time};
 
 /// One scheduled event: when to run, who runs it, and its payload.
 #[derive(Debug, Clone)]
 pub struct EventEntry<E> {
     /// Execution time of the event.
     pub time: Time,
-    /// Tie-break sequence number (enqueue order).
-    pub seq: u64,
     /// The component that will execute the event.
     pub target: ComponentId,
     /// Component-specific payload.
     pub payload: E,
 }
 
-impl<E> PartialEq for EventEntry<E> {
+/// An event parked beyond the ring horizon, waiting in the overflow heap.
+///
+/// Only overflow events need an explicit FIFO sequence number: ring
+/// buckets get FIFO from insertion order.
+#[derive(Debug)]
+struct OverflowEntry<E> {
+    time: Time,
+    seq: u64,
+    target: ComponentId,
+    payload: E,
+}
+
+impl<E> PartialEq for OverflowEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for EventEntry<E> {}
+impl<E> Eq for OverflowEntry<E> {}
 
-impl<E> PartialOrd for EventEntry<E> {
+impl<E> PartialOrd for OverflowEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for EventEntry<E> {
+impl<E> Ord for OverflowEntry<E> {
     /// Reverse ordering so that the `BinaryHeap` (a max-heap) presents the
     /// *earliest* event at its head.
     fn cmp(&self, other: &Self) -> Ordering {
@@ -48,57 +90,496 @@ impl<E> Ord for EventEntry<E> {
     }
 }
 
-/// The simulator's global event queue.
+/// Default near-future horizon in ticks (must be a power of two).
 ///
-/// A thin wrapper around [`BinaryHeap`] that assigns FIFO sequence numbers
-/// and tracks the high-water mark for engine statistics.
+/// Flit, credit, and clock events land within a few ticks of `now`; 4096
+/// ticks of headroom keeps even long channel pipelines and slow clocks in
+/// the O(1) ring while costing only 32 KiB of bucket list heads.
+const DEFAULT_HORIZON: usize = 4096;
+
+/// Upper bound for adaptive horizon growth (2^20 buckets = 8 MiB of
+/// bucket list heads). Workloads spread wider than this keep using the
+/// overflow heap beyond the ring.
+const MAX_HORIZON: usize = 1 << 20;
+
+/// Sentinel slab index: "no slot".
+const NIL: u32 = u32::MAX;
+
+/// One slab cell: a pending ring event plus its intrusive `next` link.
+///
+/// Free cells keep `payload: None` and reuse `next` as the free-list link.
+#[derive(Debug)]
+struct Slot<E> {
+    time: Time,
+    target: ComponentId,
+    next: u32,
+    payload: Option<E>,
+}
+
+/// A bucket: head/tail slab indices of its intrusive event list
+/// (`NIL`/`NIL` when empty). 8 bytes, so a cache line covers 8 buckets.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+}
+
+impl Bucket {
+    const EMPTY: Bucket = Bucket { head: NIL, tail: NIL };
+}
+
+/// The simulator's global event queue: per-tick ring buckets over a
+/// near-future horizon, backed by an overflow heap for far-future events.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<EventEntry<E>>,
-    next_seq: u64,
+    /// Backing store for all ring events; freed cells chain from
+    /// `free_head`.
+    slab: Vec<Slot<E>>,
+    /// Head of the free-slot chain through `slab` (`NIL` when exhausted).
+    free_head: u32,
+    /// `buckets[t & mask]` lists the events for tick `t`, for `t` in
+    /// `[cur_tick, cur_tick + horizon)`, in enqueue order.
+    buckets: Box<[Bucket]>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupancy: Box<[u64]>,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: usize,
+    /// The earliest tick the ring can currently hold (the cursor).
+    cur_tick: u64,
+    /// Events currently stored in ring buckets.
+    ring_len: usize,
+    /// Far-future events, ordered by `(time, seq)`.
+    overflow: BinaryHeap<OverflowEntry<E>>,
+    /// FIFO tie-break for overflow events only.
+    overflow_seq: u64,
+    /// Lifetime count of pushes (explicit — not derived from any seq).
+    total_enqueued: u64,
+    /// Largest `len()` ever observed.
     max_len: usize,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default near-future horizon.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, max_len: 0 }
+        Self::with_horizon(DEFAULT_HORIZON)
+    }
+
+    /// Creates an empty queue whose ring covers `horizon` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon` is a power of two of at least 64.
+    pub fn with_horizon(horizon: usize) -> Self {
+        assert!(
+            horizon >= 64 && horizon.is_power_of_two(),
+            "horizon must be a power of two >= 64, got {horizon}"
+        );
+        EventQueue {
+            slab: Vec::new(),
+            free_head: NIL,
+            buckets: vec![Bucket::EMPTY; horizon].into_boxed_slice(),
+            occupancy: vec![0u64; horizon / 64].into_boxed_slice(),
+            mask: horizon - 1,
+            cur_tick: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            overflow_seq: 0,
+            total_enqueued: 0,
+            max_len: 0,
+        }
+    }
+
+    /// The number of ticks the ring covers.
+    #[inline]
+    pub fn horizon(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, idx: usize) {
+        self.occupancy[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, idx: usize) {
+        self.occupancy[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// Takes a slab cell (reusing a freed one if possible) and fills it.
+    #[inline]
+    fn alloc_slot(&mut self, time: Time, target: ComponentId, payload: E) -> u32 {
+        if self.free_head != NIL {
+            let i = self.free_head;
+            let slot = &mut self.slab[i as usize];
+            self.free_head = slot.next;
+            slot.time = time;
+            slot.target = target;
+            slot.next = NIL;
+            slot.payload = Some(payload);
+            i
+        } else {
+            let i = self.slab.len();
+            assert!(i < NIL as usize, "event slab exhausted u32 index space");
+            self.slab.push(Slot { time, target, next: NIL, payload: Some(payload) });
+            i as u32
+        }
+    }
+
+    /// Returns cell `i` to the free list and yields its event.
+    #[inline]
+    fn free_slot(&mut self, i: u32) -> EventEntry<E> {
+        let slot = &mut self.slab[i as usize];
+        let payload = slot.payload.take().expect("freeing an empty slot");
+        let entry = EventEntry { time: slot.time, target: slot.target, payload };
+        slot.next = self.free_head;
+        self.free_head = i;
+        entry
+    }
+
+    /// Appends slab cell `slot` to bucket `idx` and updates occupancy.
+    #[inline]
+    fn link_back(&mut self, idx: usize, slot: u32) {
+        let bucket = self.buckets[idx];
+        if bucket.tail == NIL {
+            self.buckets[idx] = Bucket { head: slot, tail: slot };
+            self.set_occupied(idx);
+        } else {
+            self.slab[bucket.tail as usize].next = slot;
+            self.buckets[idx].tail = slot;
+        }
+        self.ring_len += 1;
     }
 
     /// Enqueues an event for `target` at `time`.
+    ///
+    /// Callers must not schedule before the time of the last popped event
+    /// (the simulator enforces this with its not-into-the-past assertion).
     #[inline]
     pub fn push(&mut self, target: ComponentId, time: Time, payload: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(EventEntry { time, seq, target, payload });
-        self.max_len = self.max_len.max(self.heap.len());
+        debug_assert!(
+            time.tick() >= self.cur_tick,
+            "push at tick {} behind queue cursor {}",
+            time.tick(),
+            self.cur_tick
+        );
+        self.total_enqueued += 1;
+        if time.tick().wrapping_sub(self.cur_tick) <= self.mask as u64 {
+            let idx = time.tick() as usize & self.mask;
+            let slot = self.alloc_slot(time, target, payload);
+            self.link_back(idx, slot);
+        } else {
+            let seq = self.overflow_seq;
+            self.overflow_seq += 1;
+            self.overflow.push(OverflowEntry { time, seq, target, payload });
+            self.maybe_grow();
+        }
+        let len = self.len();
+        if len > self.max_len {
+            self.max_len = len;
+        }
+    }
+
+    /// Adaptive resize: when the overflow heap holds more than a quarter
+    /// as many events as the ring has buckets — i.e. the workload's
+    /// scheduling span outgrew the horizon — double the horizon
+    /// (re-bucketing ring events and pulling in the overflow events that
+    /// now fit), as a classic calendar queue adapts its bucket count.
+    /// Growth is amortized `O(1)` per push and only triggered when the
+    /// nearest overflow event would actually fit the doubled horizon, so a
+    /// few far-future stragglers (timeouts, monitors) never inflate the
+    /// ring.
+    fn maybe_grow(&mut self) {
+        while self.overflow.len() > self.buckets.len() / 4
+            && self.buckets.len() < MAX_HORIZON
+            && self
+                .overflow
+                .peek()
+                .is_some_and(|head| head.time.tick() - self.cur_tick <= 2 * self.mask as u64 + 1)
+        {
+            let new_horizon = self.buckets.len() * 2;
+            let old_buckets = std::mem::replace(
+                &mut self.buckets,
+                vec![Bucket::EMPTY; new_horizon].into_boxed_slice(),
+            );
+            self.occupancy = vec![0u64; new_horizon / 64].into_boxed_slice();
+            self.mask = new_horizon - 1;
+            // Re-thread every event into its new bucket. Walking each old
+            // list head-to-tail preserves per-tick FIFO order (each old
+            // bucket held exactly one tick's events).
+            self.ring_len = 0;
+            for bucket in old_buckets.iter() {
+                let mut cur = bucket.head;
+                while cur != NIL {
+                    let next = self.slab[cur as usize].next;
+                    let idx = self.slab[cur as usize].time.tick() as usize & self.mask;
+                    self.slab[cur as usize].next = NIL;
+                    self.link_back(idx, cur);
+                    cur = next;
+                }
+            }
+            // Pull in overflow events that the wider horizon now covers.
+            self.advance_to(self.cur_tick);
+        }
+    }
+
+    /// Advances the cursor to `tick`, moving overflow events that have
+    /// entered the horizon into their ring buckets.
+    fn advance_to(&mut self, tick: u64) {
+        debug_assert!(tick >= self.cur_tick);
+        self.cur_tick = tick;
+        let horizon = self.mask as u64;
+        while let Some(head) = self.overflow.peek() {
+            if head.time.tick() - self.cur_tick > horizon {
+                break;
+            }
+            let OverflowEntry { time, target, payload, .. } =
+                self.overflow.pop().expect("peeked overflow entry vanished");
+            let idx = time.tick() as usize & self.mask;
+            let slot = self.alloc_slot(time, target, payload);
+            self.link_back(idx, slot);
+        }
+    }
+
+    /// Moves the cursor forward to the tick of the earliest pending event
+    /// and returns its bucket index, or `None` if the queue is empty.
+    fn seek(&mut self) -> Option<usize> {
+        if self.ring_len == 0 {
+            // Ring empty: jump straight to the earliest overflow event.
+            let tick = self.overflow.peek()?.time.tick();
+            self.advance_to(tick);
+            return Some(tick as usize & self.mask);
+        }
+        // Scan the occupancy bitmap from the cursor; the ring is non-empty
+        // so a set bit exists within `horizon` buckets.
+        let horizon = self.horizon();
+        let mut tick = self.cur_tick;
+        let mut scanned = 0usize;
+        loop {
+            let idx = tick as usize & self.mask;
+            // Examine the remainder of this bitmap word in one load.
+            let word_idx = idx >> 6;
+            let bit = idx & 63;
+            let word = self.occupancy[word_idx] >> bit;
+            if word != 0 {
+                let skip = word.trailing_zeros() as u64;
+                let found = tick + skip;
+                if found != self.cur_tick {
+                    self.advance_to(found);
+                }
+                return Some(found as usize & self.mask);
+            }
+            let step = 64 - bit;
+            tick += step as u64;
+            scanned += step;
+            debug_assert!(scanned <= horizon + 64, "occupancy bitmap out of sync");
+        }
+    }
+
+    /// Smallest epsilon in bucket `idx` (which must be non-empty).
+    fn min_epsilon(&self, idx: usize) -> Epsilon {
+        let mut cur = self.buckets[idx].head;
+        debug_assert!(cur != NIL, "min_epsilon of empty bucket");
+        let mut eps = Epsilon::MAX;
+        while cur != NIL {
+            let slot = &self.slab[cur as usize];
+            eps = eps.min(slot.time.epsilon());
+            cur = slot.next;
+        }
+        eps
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
+    ///
+    /// Equal-`(tick, epsilon)` events pop in enqueue order (FIFO).
     #[inline]
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        self.heap.pop()
+        let idx = self.seek()?;
+        let eps = self.min_epsilon(idx);
+        // Unlink the first event carrying that epsilon.
+        let mut prev = NIL;
+        let mut cur = self.buckets[idx].head;
+        while self.slab[cur as usize].time.epsilon() != eps {
+            prev = cur;
+            cur = self.slab[cur as usize].next;
+        }
+        let next = self.slab[cur as usize].next;
+        if prev == NIL {
+            self.buckets[idx].head = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.buckets[idx].tail = prev;
+        }
+        if self.buckets[idx].head == NIL {
+            self.clear_occupied(idx);
+        }
+        self.ring_len -= 1;
+        Some(self.free_slot(cur))
+    }
+
+    /// Tick of the earliest pending event without moving the cursor.
+    ///
+    /// One occupancy-bitmap scan when the ring is non-empty, one heap peek
+    /// otherwise.
+    fn next_tick(&self) -> Option<Tick> {
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|e| e.time.tick());
+        }
+        let horizon = self.horizon();
+        let mut tick = self.cur_tick;
+        let mut scanned = 0usize;
+        loop {
+            let idx = tick as usize & self.mask;
+            let bit = idx & 63;
+            let word = self.occupancy[idx >> 6] >> bit;
+            if word != 0 {
+                return Some(tick + word.trailing_zeros() as u64);
+            }
+            let step = 64 - bit;
+            tick += step as u64;
+            scanned += step;
+            debug_assert!(scanned <= horizon + 64, "occupancy bitmap out of sync");
+        }
+    }
+
+    /// Drains the earliest same-`(tick, epsilon)` batch into `out`
+    /// (cleared first) — but only if its tick is at most `tick_limit` —
+    /// and returns the batch time.
+    ///
+    /// Returns `None` (leaving the queue untouched, cursor included) when
+    /// the queue is empty or the next event lies beyond `tick_limit`;
+    /// disambiguate with [`EventQueue::is_empty`]. Not advancing the
+    /// cursor on the limit path matters: after a paused run, the engine
+    /// may legally schedule events earlier than the event the scan found.
+    ///
+    /// This is the executor's hot-path interface — one scan serves peek,
+    /// limit check, and batch extraction. Everything in one batch is ready
+    /// simultaneously, so the hot loop can dispatch the whole slice
+    /// without consulting the queue again. Events scheduled *during* batch
+    /// execution at the same `(tick, epsilon)` land behind the batch and
+    /// form the next one, preserving global FIFO order.
+    pub fn take_batch_until(
+        &mut self,
+        tick_limit: Tick,
+        out: &mut Vec<EventEntry<E>>,
+    ) -> Option<Time> {
+        out.clear();
+        let tick = self.next_tick()?;
+        if tick > tick_limit {
+            return None;
+        }
+        self.advance_to(tick);
+        let idx = tick as usize & self.mask;
+        self.drain_min_epsilon(idx, out);
+        debug_assert!(!out.is_empty(), "scanned tick had no events");
+        Some(out[0].time)
+    }
+
+    /// Drains **all** events at the earliest `(tick, epsilon)` into `out`
+    /// (cleared first), in FIFO order, and returns how many there were.
+    pub fn take_batch(&mut self, out: &mut Vec<EventEntry<E>>) -> usize {
+        self.take_batch_until(Tick::MAX, out);
+        out.len()
+    }
+
+    /// Moves the min-epsilon slice of bucket `idx` (non-empty) into `out`,
+    /// preserving both the drained and the surviving events' FIFO order.
+    fn drain_min_epsilon(&mut self, idx: usize, out: &mut Vec<EventEntry<E>>) {
+        let eps = self.min_epsilon(idx);
+        let mut keep = Bucket::EMPTY;
+        let mut cur = self.buckets[idx].head;
+        while cur != NIL {
+            let next = self.slab[cur as usize].next;
+            if self.slab[cur as usize].time.epsilon() == eps {
+                out.push(self.free_slot(cur));
+            } else if keep.tail == NIL {
+                keep = Bucket { head: cur, tail: cur };
+            } else {
+                self.slab[keep.tail as usize].next = cur;
+                keep.tail = cur;
+            }
+            cur = next;
+        }
+        if keep.tail != NIL {
+            self.slab[keep.tail as usize].next = NIL;
+        }
+        self.buckets[idx] = keep;
+        if keep.head == NIL {
+            self.clear_occupied(idx);
+        }
+        self.ring_len -= out.len();
+    }
+
+    /// Reinserts not-yet-executed batch events at the *front* of their
+    /// bucket, undoing part of a [`EventQueue::take_batch`].
+    ///
+    /// Used when the executor aborts mid-batch (stop, failure): the
+    /// remaining events were enqueued before anything scheduled during the
+    /// batch, so they must run first when the simulation resumes.
+    pub fn requeue_front(&mut self, entries: impl Iterator<Item = EventEntry<E>>) {
+        let mut chain = Bucket::EMPTY;
+        let mut count = 0usize;
+        let mut tick = 0u64;
+        for e in entries {
+            debug_assert!(chain.head == NIL || e.time.tick() == tick);
+            tick = e.time.tick();
+            let slot = self.alloc_slot(e.time, e.target, e.payload);
+            if chain.tail == NIL {
+                chain = Bucket { head: slot, tail: slot };
+            } else {
+                self.slab[chain.tail as usize].next = slot;
+                chain.tail = slot;
+            }
+            count += 1;
+        }
+        if chain.head == NIL {
+            return;
+        }
+        debug_assert!(tick >= self.cur_tick && tick - self.cur_tick <= self.mask as u64);
+        let idx = tick as usize & self.mask;
+        let old = self.buckets[idx];
+        self.slab[chain.tail as usize].next = old.head;
+        self.buckets[idx] = Bucket {
+            head: chain.head,
+            tail: if old.tail == NIL { chain.tail } else { old.tail },
+        };
+        self.set_occupied(idx);
+        self.ring_len += count;
     }
 
     /// The time of the earliest pending event, if any.
-    #[inline]
+    ///
+    /// Does not advance the cursor past empty buckets; cost is bounded by
+    /// one occupancy-bitmap scan.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|e| e.time);
+        }
+        let tick = self.next_tick().expect("ring non-empty");
+        let eps = self.min_epsilon(tick as usize & self.mask);
+        Some(Time::new(tick, eps))
     }
 
-    /// Number of pending events.
+    /// Number of pending events (ring + overflow).
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Largest number of events ever pending at once.
+    /// Number of pending events currently parked beyond the ring horizon.
+    #[inline]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Largest number of events ever pending at once, across both levels.
     #[inline]
     pub fn high_water_mark(&self) -> usize {
         self.max_len
@@ -107,7 +588,7 @@ impl<E> EventQueue<E> {
     /// Total number of events ever enqueued.
     #[inline]
     pub fn total_enqueued(&self) -> u64 {
-        self.next_seq
+        self.total_enqueued
     }
 }
 
@@ -168,5 +649,162 @@ mod tests {
         q.push(id(0), Time::at(9), ());
         q.push(id(0), Time::at(3), ());
         assert_eq!(q.peek_time(), Some(Time::at(3)));
+    }
+
+    #[test]
+    fn peek_time_includes_epsilon() {
+        let mut q = EventQueue::new();
+        q.push(id(0), Time::new(4, 2), ());
+        q.push(id(0), Time::new(4, 1), ());
+        assert_eq!(q.peek_time(), Some(Time::new(4, 1)));
+    }
+
+    #[test]
+    fn far_future_events_go_to_overflow_and_come_back() {
+        let mut q = EventQueue::with_horizon(64);
+        q.push(id(0), Time::at(1_000_000), "far");
+        q.push(id(0), Time::at(2), "near");
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().payload, "near");
+        assert_eq!(q.pop().unwrap().payload, "far");
+        assert_eq!(q.overflow_len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_preserves_fifo_for_equal_times() {
+        let mut q = EventQueue::with_horizon(64);
+        for i in 0..10 {
+            q.push(id(0), Time::at(500), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expect: Vec<i32> = (0..10).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn fifo_across_overflow_drain_and_direct_push() {
+        let mut q = EventQueue::with_horizon(64);
+        // "early" is pushed while tick 100 is beyond the horizon...
+        q.push(id(0), Time::at(100), "early");
+        // ...advance the cursor by draining a near event at tick 90...
+        q.push(id(0), Time::at(90), "bridge");
+        assert_eq!(q.pop().unwrap().payload, "bridge");
+        // ...now tick 100 is within the horizon; push lands behind "early".
+        q.push(id(0), Time::at(100), "late");
+        assert_eq!(q.pop().unwrap().payload, "early");
+        assert_eq!(q.pop().unwrap().payload, "late");
+    }
+
+    #[test]
+    fn ring_wraps_around_many_horizons() {
+        let mut q = EventQueue::with_horizon(64);
+        let mut popped = Vec::new();
+        let mut t = 0u64;
+        for round in 0..10 {
+            // Pushes spread over several wraps of the 64-tick ring.
+            q.push(id(0), Time::at(t + 3), (round, 0));
+            q.push(id(0), Time::at(t + 61), (round, 1));
+            q.push(id(0), Time::at(t + 130), (round, 2));
+            while let Some(e) = q.pop() {
+                popped.push((e.time, e.payload));
+                t = e.time.tick();
+            }
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_by_key(|&(time, _)| time);
+        assert_eq!(popped, sorted, "pop order must be time order");
+        assert_eq!(popped.len(), 30);
+    }
+
+    #[test]
+    fn take_batch_returns_whole_equal_time_slice() {
+        let mut q = EventQueue::new();
+        q.push(id(0), Time::at(5), 0);
+        q.push(id(1), Time::at(5), 1);
+        q.push(id(2), Time::new(5, 1), 2);
+        q.push(id(3), Time::at(6), 3);
+        let mut batch = Vec::new();
+        assert_eq!(q.take_batch(&mut batch), 2);
+        assert_eq!(batch.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(q.take_batch(&mut batch), 1);
+        assert_eq!(batch[0].payload, 2);
+        assert_eq!(batch[0].time, Time::new(5, 1));
+        assert_eq!(q.take_batch(&mut batch), 1);
+        assert_eq!(batch[0].payload, 3);
+        assert_eq!(q.take_batch(&mut batch), 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn requeue_front_restores_order() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.push(id(0), Time::at(5), i);
+        }
+        let mut batch = Vec::new();
+        q.take_batch(&mut batch);
+        // Execute only the first event; a new same-time event arrives.
+        let mut it = batch.drain(..);
+        let first = it.next().unwrap();
+        assert_eq!(first.payload, 0);
+        q.push(id(0), Time::at(5), 99);
+        q.requeue_front(it);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3, 99]);
+    }
+
+    #[test]
+    fn len_spans_both_levels() {
+        let mut q = EventQueue::with_horizon(64);
+        q.push(id(0), Time::at(1), ());
+        q.push(id(0), Time::at(10_000), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.high_water_mark(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn sparse_times_cross_bitmap_words() {
+        let mut q = EventQueue::with_horizon(256);
+        // One event per bitmap word, none in the first.
+        for &t in &[70u64, 140, 200, 255] {
+            q.push(id(0), Time::at(t), t);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![70, 140, 200, 255]);
+    }
+
+    #[test]
+    fn slab_slots_are_reused() {
+        // Steady-state traffic must not grow the slab without bound.
+        let mut q = EventQueue::with_horizon(64);
+        q.push(id(0), Time::at(0), 0u64);
+        for t in 0..10_000u64 {
+            let e = q.pop().expect("event");
+            q.push(id(0), Time::at(t + 1), e.payload + 1);
+        }
+        assert!(q.slab.len() <= 2, "slab grew to {} slots for 1 live event", q.slab.len());
+    }
+
+    #[test]
+    fn mixed_epsilon_bucket_survives_partial_drain() {
+        let mut q = EventQueue::new();
+        q.push(id(0), Time::new(3, 1), "b1");
+        q.push(id(0), Time::new(3, 0), "a1");
+        q.push(id(0), Time::new(3, 2), "c1");
+        q.push(id(0), Time::new(3, 1), "b2");
+        let mut batch = Vec::new();
+        assert_eq!(q.take_batch(&mut batch), 1);
+        assert_eq!(batch[0].payload, "a1");
+        assert_eq!(q.take_batch(&mut batch), 2);
+        assert_eq!(batch.iter().map(|e| e.payload).collect::<Vec<_>>(), vec!["b1", "b2"]);
+        assert_eq!(q.take_batch(&mut batch), 1);
+        assert_eq!(batch[0].payload, "c1");
+        assert!(q.is_empty());
     }
 }

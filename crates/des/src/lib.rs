@@ -49,15 +49,17 @@
 //! ```
 
 mod clock;
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;
 mod component;
 mod event;
+mod rng;
 mod simulator;
 mod time;
 
 pub use clock::Clock;
 pub use component::{Component, ComponentId};
 pub use event::{EventEntry, EventQueue};
+pub use rng::{Rng, SampleRange};
 pub use simulator::{Context, RunOutcome, RunStats, Simulator};
 pub use time::{Epsilon, Tick, Time};

@@ -4,11 +4,9 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use crate::component::{Component, ComponentId};
-use crate::event::EventQueue;
+use crate::event::{EventEntry, EventQueue};
+use crate::rng::Rng;
 use crate::time::{Tick, Time};
 
 /// Why a [`Simulator::run`] call returned.
@@ -80,7 +78,7 @@ pub struct Context<'a, E> {
     now: Time,
     self_id: ComponentId,
     queue: &'a mut EventQueue<E>,
-    rng: &'a mut SmallRng,
+    rng: &'a mut Rng,
     stop_requested: &'a mut bool,
     failure: &'a mut Option<String>,
 }
@@ -131,7 +129,7 @@ impl<'a, E> Context<'a, E> {
     /// All stochastic decisions must draw from this generator so that a
     /// `(configuration, seed)` pair reproduces bit-identical simulations.
     #[inline]
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut Rng {
         self.rng
     }
 
@@ -157,8 +155,10 @@ impl<'a, E> Context<'a, E> {
 pub struct Simulator<E> {
     components: Vec<Option<Box<dyn Component<E>>>>,
     queue: EventQueue<E>,
+    /// Scratch buffer for batch draining, reused across `run` calls.
+    batch: Vec<EventEntry<E>>,
     now: Time,
-    rng: SmallRng,
+    rng: Rng,
     events_executed: u64,
 }
 
@@ -168,8 +168,9 @@ impl<E: 'static> Simulator<E> {
         Simulator {
             components: Vec::new(),
             queue: EventQueue::new(),
+            batch: Vec::new(),
             now: Time::ZERO,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
             events_executed: 0,
         }
     }
@@ -228,51 +229,66 @@ impl<E: 'static> Simulator<E> {
 
     /// Runs until the queue drains, a component stops or fails, or the next
     /// event would execute at a tick strictly greater than `tick_limit`.
+    ///
+    /// The executor drains the queue in same-`(tick, epsilon)` batches:
+    /// every event in a batch is known to be ready, so the hot loop
+    /// dispatches the whole slice without re-examining the queue between
+    /// events. If a component stops or fails mid-batch, the unexecuted
+    /// remainder is requeued ahead of anything scheduled during the batch,
+    /// so resuming the run observes the exact single-pop order.
     pub fn run_until(&mut self, tick_limit: Tick) -> RunStats {
         let start = Instant::now();
         let start_events = self.events_executed;
         let mut stop_requested = false;
         let mut failure: Option<String> = None;
-        let outcome = loop {
-            let Some(next_time) = self.queue.peek_time() else {
-                break RunOutcome::Drained;
+        let mut batch = std::mem::take(&mut self.batch);
+        let outcome = 'run: loop {
+            let Some(next_time) = self.queue.take_batch_until(tick_limit, &mut batch) else {
+                break if self.queue.is_empty() {
+                    RunOutcome::Drained
+                } else {
+                    RunOutcome::TickLimit
+                };
             };
-            if next_time.tick() > tick_limit {
-                break RunOutcome::TickLimit;
-            }
-            let entry = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(entry.time >= self.now, "event queue went backwards");
-            self.now = entry.time;
-            self.events_executed += 1;
+            debug_assert!(next_time >= self.now, "event queue went backwards");
+            self.now = next_time;
 
-            let slot = match self.components.get_mut(entry.target.index()) {
-                Some(slot) => slot,
-                None => {
-                    break RunOutcome::Failed(format!(
-                        "event targeted unregistered {}",
-                        entry.target
-                    ))
+            let mut pending = batch.drain(..);
+            while let Some(entry) = pending.next() {
+                self.events_executed += 1;
+                let slot = match self.components.get_mut(entry.target.index()) {
+                    Some(slot) => slot,
+                    None => {
+                        let target = entry.target;
+                        self.queue.requeue_front(pending);
+                        break 'run RunOutcome::Failed(format!(
+                            "event targeted unregistered {target}"
+                        ));
+                    }
+                };
+                let mut component = slot.take().expect("component re-entered while active");
+                let mut ctx = Context {
+                    now: self.now,
+                    self_id: entry.target,
+                    queue: &mut self.queue,
+                    rng: &mut self.rng,
+                    stop_requested: &mut stop_requested,
+                    failure: &mut failure,
+                };
+                component.handle(&mut ctx, entry.payload);
+                self.components[entry.target.index()] = Some(component);
+
+                if let Some(msg) = failure.take() {
+                    self.queue.requeue_front(pending);
+                    break 'run RunOutcome::Failed(msg);
                 }
-            };
-            let mut component = slot.take().expect("component re-entered while active");
-            let mut ctx = Context {
-                now: self.now,
-                self_id: entry.target,
-                queue: &mut self.queue,
-                rng: &mut self.rng,
-                stop_requested: &mut stop_requested,
-                failure: &mut failure,
-            };
-            component.handle(&mut ctx, entry.payload);
-            self.components[entry.target.index()] = Some(component);
-
-            if let Some(msg) = failure.take() {
-                break RunOutcome::Failed(msg);
-            }
-            if stop_requested {
-                break RunOutcome::Stopped;
+                if stop_requested {
+                    self.queue.requeue_front(pending);
+                    break 'run RunOutcome::Stopped;
+                }
             }
         };
+        self.batch = batch;
         RunStats {
             events_executed: self.events_executed - start_events,
             end_time: self.now,
@@ -403,11 +419,10 @@ mod tests {
 
     #[test]
     fn deterministic_rng_across_runs() {
-        use rand::Rng;
         let mut a = Simulator::<Ev>::new(42);
         let mut b = Simulator::<Ev>::new(42);
-        let xa: u64 = a.rng.gen();
-        let xb: u64 = b.rng.gen();
+        let xa: u64 = a.rng.gen_u64();
+        let xb: u64 = b.rng.gen_u64();
         assert_eq!(xa, xb);
     }
 

@@ -25,7 +25,7 @@ mod flit;
 mod ids;
 mod link;
 mod phase;
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;
 
 pub use check::{CheckError, DeliveryChecker};

@@ -45,8 +45,6 @@ proptest! {
         sizes in prop::collection::vec(1u32..6, 1..8),
         seed in 0u64..1000,
     ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let dst = TerminalId(0);
         let mut checker = DeliveryChecker::new(dst);
         // One cursor per packet; pick a random non-exhausted packet each
@@ -71,13 +69,14 @@ proptest! {
             })
             .collect();
         let mut cursors = vec![0usize; packets.len()];
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut rng = supersim_des::Rng::new(seed);
         let total: usize = sizes.iter().map(|&s| s as usize).sum();
         for _ in 0..total {
             let live: Vec<usize> = (0..packets.len())
                 .filter(|&i| cursors[i] < packets[i].len())
                 .collect();
-            let &i = live.choose(&mut rng).expect("flits remain");
+            prop_assert!(!live.is_empty(), "flits remain");
+            let i = live[rng.gen_range(0..live.len())];
             let flit = &packets[i][cursors[i]];
             cursors[i] += 1;
             let done = checker.deliver(flit).expect("in-order delivery must pass");

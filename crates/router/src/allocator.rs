@@ -7,7 +7,7 @@
 //! output among the surviving inputs. This is the classic building block
 //! for virtual-channel and switch allocation in input-queued routers.
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use crate::arbiter::{Arbiter, Request};
 
@@ -28,11 +28,10 @@ pub struct AllocRequest {
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// use supersim_router::{AllocRequest, SeparableAllocator};
+////// use supersim_router::{AllocRequest, SeparableAllocator};
 ///
 /// let mut alloc = SeparableAllocator::new(2, 2, "round_robin").unwrap();
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut rng = supersim_des::Rng::seed_from_u64(1);
 /// let grants = alloc.allocate(
 ///     &[
 ///         AllocRequest { input: 0, output: 0, age: 0 },
@@ -71,7 +70,7 @@ impl SeparableAllocator {
     pub fn allocate(
         &mut self,
         requests: &[AllocRequest],
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Vec<AllocRequest> {
         // Stage 1: each input picks one of its requested outputs.
         let mut per_input: Vec<Vec<&AllocRequest>> = vec![Vec::new(); self.input_stage.len()];
@@ -122,10 +121,9 @@ impl std::fmt::Debug for SeparableAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(5)
+    fn rng() -> Rng {
+        Rng::new(5)
     }
 
     fn assert_matching(grants: &[AllocRequest]) {

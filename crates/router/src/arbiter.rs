@@ -6,8 +6,7 @@
 //! (round-robin unfairness fixed by age-based arbitration) is a direct
 //! comparison of two of these policies.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use supersim_des::Rng;
 
 /// One arbitration request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +29,7 @@ pub trait Arbiter: Send {
     fn name(&self) -> &str;
 
     /// Chooses a winner among `requests`.
-    fn grant(&mut self, requests: &[Request], rng: &mut SmallRng) -> Option<usize>;
+    fn grant(&mut self, requests: &[Request], rng: &mut Rng) -> Option<usize>;
 }
 
 /// Builds an arbiter by policy name: `"round_robin"`, `"age_based"`,
@@ -66,7 +65,7 @@ impl Arbiter for RoundRobinArbiter {
         "round_robin"
     }
 
-    fn grant(&mut self, requests: &[Request], _rng: &mut SmallRng) -> Option<usize> {
+    fn grant(&mut self, requests: &[Request], _rng: &mut Rng) -> Option<usize> {
         if requests.is_empty() {
             return None;
         }
@@ -102,7 +101,7 @@ impl Arbiter for AgeBasedArbiter {
         "age_based"
     }
 
-    fn grant(&mut self, requests: &[Request], _rng: &mut SmallRng) -> Option<usize> {
+    fn grant(&mut self, requests: &[Request], _rng: &mut Rng) -> Option<usize> {
         requests
             .iter()
             .enumerate()
@@ -127,7 +126,7 @@ impl Arbiter for RandomArbiter {
         "random"
     }
 
-    fn grant(&mut self, requests: &[Request], rng: &mut SmallRng) -> Option<usize> {
+    fn grant(&mut self, requests: &[Request], rng: &mut Rng) -> Option<usize> {
         if requests.is_empty() {
             None
         } else {
@@ -153,7 +152,7 @@ impl Arbiter for FixedPriorityArbiter {
         "fixed_priority"
     }
 
-    fn grant(&mut self, requests: &[Request], _rng: &mut SmallRng) -> Option<usize> {
+    fn grant(&mut self, requests: &[Request], _rng: &mut Rng) -> Option<usize> {
         requests
             .iter()
             .enumerate()
@@ -165,10 +164,9 @@ impl Arbiter for FixedPriorityArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(99)
+    fn rng() -> Rng {
+        Rng::new(99)
     }
 
     fn reqs(ids: &[u32]) -> Vec<Request> {

@@ -12,7 +12,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
 use supersim_netbase::{CreditCounter, Ev, Flit, RouterId};
@@ -253,7 +253,7 @@ impl IoqRouter {
 
     /// Output stage: per link period, each port sends at most one ready
     /// flit with downstream credit.
-    fn queues_to_channels(&mut self, ctx: &mut Context<'_, Ev>, rng: &mut SmallRng) -> bool {
+    fn queues_to_channels(&mut self, ctx: &mut Context<'_, Ev>, rng: &mut Rng) -> bool {
         let tick = ctx.now().tick();
         let mut progress = false;
         for out_port in 0..self.ports.radix {
@@ -308,8 +308,7 @@ impl IoqRouter {
         }
         let moved_in = self.inputs_to_queues(ctx);
         let mut rng = {
-            use rand::{RngCore, SeedableRng};
-            SmallRng::seed_from_u64(ctx.rng().next_u64())
+            Rng::new(ctx.rng().gen_u64())
         };
         let moved_out = self.queues_to_channels(ctx, &mut rng);
         let progress = moved_in || moved_out;

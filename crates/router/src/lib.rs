@@ -27,7 +27,7 @@ mod buffer;
 mod common;
 mod congestion;
 mod ioq;
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;
 #[cfg(test)]
 mod testutil;

@@ -10,7 +10,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
 use supersim_netbase::{CreditCounter, Ev, Flit, RouterId};
@@ -238,7 +238,7 @@ impl OqRouter {
 
     /// Stage 3: each output port drains at most one ready flit per link
     /// period, honoring downstream credits.
-    fn queues_to_channels(&mut self, ctx: &mut Context<'_, Ev>, rng_dummy: &mut SmallRng) -> bool {
+    fn queues_to_channels(&mut self, ctx: &mut Context<'_, Ev>, rng_dummy: &mut Rng) -> bool {
         let tick = ctx.now().tick();
         let mut progress = false;
         for out_port in 0..self.ports.radix {
@@ -298,12 +298,11 @@ impl OqRouter {
             return;
         }
         let moved_in = self.inputs_to_queues(ctx);
-        // The drain arbiter is deterministic; SmallRng is only part of the
+        // The drain arbiter is deterministic; Rng is only part of the
         // Arbiter interface. Borrow the context's RNG via a reseeded copy
         // to keep the borrows disjoint.
         let mut rng = {
-            use rand::{RngCore, SeedableRng};
-            SmallRng::seed_from_u64(ctx.rng().next_u64())
+            Rng::new(ctx.rng().gen_u64())
         };
         let moved_out = self.queues_to_channels(ctx, &mut rng);
         let progress = moved_in || moved_out;

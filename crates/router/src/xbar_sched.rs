@@ -15,7 +15,7 @@
 //!   with the port locked to the winner; a credit stall unlocks the port
 //!   so other packets with credits can take over.
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_netbase::Vc;
 
@@ -121,7 +121,7 @@ impl OutputScheduler {
     pub fn pick(
         &mut self,
         candidates: &[XbarCandidate],
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Option<usize> {
         // A WTA lock breaks on a credit stall of the owner.
         if self.fc == FlowControl::WinnerTakeAll {
@@ -230,10 +230,9 @@ impl std::fmt::Debug for OutputScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(21)
+    fn rng() -> Rng {
+        Rng::new(21)
     }
 
     fn cand(key: u32, vc: Vc, seq: u32, size: u32, credits: u32) -> XbarCandidate {

@@ -5,14 +5,13 @@
 //! latency distribution, with the plot line stopping where the network
 //! saturates (a saturated network yields unbounded latency).
 
-use serde::{Deserialize, Serialize};
 
 use crate::distribution::LatencyDistribution;
 use crate::filter::Filter;
 use crate::record::{RecordKind, SampleLog};
 
 /// A compact summary of one latency distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     /// Number of samples.
     pub count: u64,
@@ -55,7 +54,7 @@ impl LatencySummary {
 }
 
 /// One point of a load-latency sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadPoint {
     /// Offered load in flits per tick per terminal.
     pub offered: f64,
@@ -126,7 +125,7 @@ impl WindowAnalysis {
 }
 
 /// A named series of load points — one line of a load-latency plot.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LoadSweep {
     /// Legend label for the series.
     pub label: String,

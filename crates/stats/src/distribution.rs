@@ -5,7 +5,6 @@
 //! distribution (Figure 7) reads off the latency experienced by the
 //! worst 1-in-N packets, the expected latency of N-way parallelism.
 
-use serde::{Deserialize, Serialize};
 
 use crate::streaming::StreamingStats;
 
@@ -27,10 +26,9 @@ use crate::streaming::StreamingStats;
 /// assert_eq!(d.min(), Some(1));
 /// assert_eq!(d.max(), Some(1000));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyDistribution {
     samples: Vec<u64>,
-    #[serde(skip)]
     sorted: bool,
     stream: StreamingStats,
 }

@@ -1,6 +1,5 @@
 //! Constant-space statistical accumulators.
 
-use serde::{Deserialize, Serialize};
 
 /// Accumulates count, mean, variance (Welford's algorithm), minimum, and
 /// maximum of a stream of samples in O(1) space.
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,

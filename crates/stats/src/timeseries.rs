@@ -1,6 +1,5 @@
 //! Binned time series, e.g. mean latency over time (paper Figure 5).
 
-use serde::{Deserialize, Serialize};
 
 use crate::record::SampleRecord;
 use crate::streaming::StreamingStats;
@@ -25,7 +24,7 @@ use crate::streaming::StreamingStats;
 /// assert_eq!(pts[1], (100, None));    // empty bin
 /// assert_eq!(pts[2], (200, Some(99.0)));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     bin_width: u64,
     bins: Vec<StreamingStats>,

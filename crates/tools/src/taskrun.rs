@@ -12,8 +12,6 @@
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex};
 
-use parking_lot::Mutex as PlMutex;
-
 /// Identifier of a task within one [`TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskId(usize);
@@ -140,8 +138,8 @@ impl TaskGraph {
     /// dependencies and resource limits. Returns per-task statuses.
     pub fn run(mut self, workers: usize) -> TaskReport {
         let n = self.tasks.len();
-        let works: Vec<PlMutex<Option<Work>>> =
-            self.tasks.iter_mut().map(|t| PlMutex::new(t.work.take())).collect();
+        let works: Vec<Mutex<Option<Work>>> =
+            self.tasks.iter_mut().map(|t| Mutex::new(t.work.take())).collect();
         // Share only the Sync metadata with the workers; the FnOnce work
         // items live behind the mutexes above.
         let meta: Vec<TaskMeta> = self
@@ -184,7 +182,7 @@ impl TaskGraph {
                     }
                     drop(st);
 
-                    let work = works[i].lock().take().expect("work taken once");
+                    let work = works[i].lock().expect("work lock").take().expect("work taken once");
                     let result = work();
 
                     let mut st = state_ref.lock().expect("scheduler lock");
@@ -297,26 +295,26 @@ mod tests {
 
     #[test]
     fn runs_in_dependency_order() {
-        let order = Arc::new(PlMutex::new(Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
         let mut g = TaskGraph::new();
         let o1 = Arc::clone(&order);
         let a = g.add_task("a", &[], &[], move || {
-            o1.lock().push("a");
+            o1.lock().unwrap().push("a");
             Ok(())
         });
         let o2 = Arc::clone(&order);
         let b = g.add_task("b", &[a], &[], move || {
-            o2.lock().push("b");
+            o2.lock().unwrap().push("b");
             Ok(())
         });
         let o3 = Arc::clone(&order);
         g.add_task("c", &[a, b], &[], move || {
-            o3.lock().push("c");
+            o3.lock().unwrap().push("c");
             Ok(())
         });
         let report = g.run(4);
         assert!(report.all_ok());
-        assert_eq!(*order.lock(), vec!["a", "b", "c"]);
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b", "c"]);
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use routing::{
 pub use torus::Torus;
 pub use types::{ChannelClass, Topology, TopologyError};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -95,8 +95,7 @@ impl RoutingAlgorithm for DimOrderRouting {
 mod tests {
     use super::*;
     use crate::routing::ZeroCongestion;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use supersim_des::Rng;
     use supersim_netbase::{AppId, MessageId, PacketBuilder, PacketId, RouterId, TerminalId};
 
     fn head(dst: u32) -> Flit {
@@ -120,14 +119,14 @@ mod tests {
         router: RouterId,
         input_port: u32,
         input_vc: u32,
-        rng: &'a mut SmallRng,
+        rng: &'a mut Rng,
     ) -> RoutingContext<'a> {
         RoutingContext { router, input_port, input_vc, congestion: &ZeroCongestion, rng }
     }
 
     /// Walk a packet from src to dst, returning visited routers and VCs.
     fn walk(t: &Arc<Torus>, src: u32, dst: u32) -> (Vec<u32>, Vec<u32>) {
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::new(7);
         let mut algo = DimOrderRouting::new(Arc::clone(t), 2);
         let mut flit = head(dst);
         flit.pkt = Arc::new(supersim_netbase::PacketInfo {

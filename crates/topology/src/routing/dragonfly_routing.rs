@@ -12,7 +12,6 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
 
 use supersim_netbase::{Flit, Port, RouterId, Vc};
 
@@ -163,8 +162,7 @@ impl RoutingAlgorithm for DragonflyRouting {
 mod tests {
     use super::*;
     use crate::routing::{CongestionView, ZeroCongestion};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use supersim_des::Rng;
     use supersim_netbase::{AppId, MessageId, PacketBuilder, PacketId, TerminalId};
 
     fn head(src: u32, dst: u32) -> Flit {
@@ -192,7 +190,7 @@ mod tests {
         dst: u32,
         seed: u64,
     ) -> Vec<u32> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut flit = head(src, dst);
         let (mut router, mut in_port) = t.terminal_attachment(TerminalId(src));
         let mut path = vec![router.0];
@@ -239,7 +237,7 @@ mod tests {
     fn ladder_vcs_increase_along_path() {
         let t = Arc::new(Dragonfly::new(3, 2, 2).unwrap());
         let mut algo = DragonflyRouting::new(Arc::clone(&t), DragonflyMode::Minimal, 3);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         let mut flit = head(0, t.num_terminals() - 1);
         let (mut router, mut in_port) = t.terminal_attachment(TerminalId(0));
         let mut vcs = vec![];

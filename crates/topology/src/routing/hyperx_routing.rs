@@ -15,7 +15,6 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
 
 use supersim_netbase::{Flit, Port, RouterId, Vc};
 
@@ -177,8 +176,7 @@ impl RoutingAlgorithm for HyperXRouting {
 mod tests {
     use super::*;
     use crate::routing::{CongestionView, ZeroCongestion};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use supersim_des::Rng;
     use supersim_netbase::{AppId, MessageId, PacketBuilder, PacketId, TerminalId};
 
     fn head(src: u32, dst: u32) -> Flit {
@@ -206,7 +204,7 @@ mod tests {
         dst: u32,
         seed: u64,
     ) -> Vec<u32> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut flit = head(src, dst);
         let (mut router, mut in_port) = t.terminal_attachment(TerminalId(src));
         let mut in_vc = 0;

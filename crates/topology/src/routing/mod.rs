@@ -14,7 +14,7 @@ pub mod dragonfly_routing;
 pub mod hyperx_routing;
 pub mod updown;
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_netbase::{Flit, Port, RouterId, Vc};
 
@@ -58,7 +58,7 @@ pub struct RoutingContext<'a> {
     /// The router's congestion view.
     pub congestion: &'a dyn CongestionView,
     /// Deterministic randomness for oblivious decisions.
-    pub rng: &'a mut SmallRng,
+    pub rng: &'a mut Rng,
 }
 
 /// The outcome of routing one head flit.

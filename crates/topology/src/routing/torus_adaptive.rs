@@ -149,8 +149,7 @@ impl RoutingAlgorithm for AdaptiveTorusRouting {
 mod tests {
     use super::*;
     use crate::routing::ZeroCongestion;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use supersim_des::Rng;
     use supersim_netbase::{AppId, MessageId, PacketBuilder, TerminalId};
 
     fn head(id: u64, src: u32, dst: u32) -> Flit {
@@ -171,7 +170,7 @@ mod tests {
     }
 
     fn walk(t: &Arc<Torus>, src: u32, dst: u32, seed: u64) -> Vec<u32> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut algo = AdaptiveTorusRouting::new(Arc::clone(t), 4);
         let mut flit = head(seed, src, dst);
         let (mut router, mut in_port) = t.terminal_attachment(TerminalId(src));
@@ -254,7 +253,7 @@ mod tests {
     fn forced_escape_fires_periodically() {
         let t = Arc::new(Torus::new(vec![4, 4], 1).unwrap());
         let mut algo = AdaptiveTorusRouting::new(Arc::clone(&t), 4);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         let mut flit = head(1, 0, 5); // router (0,0) -> (1,1): two productive dims
         let mut escape_hits = 0;
         for _ in 0..16 {
@@ -277,7 +276,7 @@ mod tests {
     fn adaptive_vcs_used_when_uncongested() {
         let t = Arc::new(Torus::new(vec![4, 4], 1).unwrap());
         let mut algo = AdaptiveTorusRouting::new(Arc::clone(&t), 4);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         let mut flit = head(1, 0, 5);
         let mut ctx = RoutingContext {
             router: supersim_netbase::RouterId(0),

@@ -10,7 +10,6 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
 
 use supersim_netbase::{Flit, Port};
 
@@ -106,8 +105,7 @@ mod tests {
     use super::*;
     use crate::routing::{CongestionView, ZeroCongestion};
     use crate::types::Topology;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use supersim_des::Rng;
     use supersim_netbase::{
         AppId, MessageId, PacketBuilder, PacketId, TerminalId, Vc,
     };
@@ -130,7 +128,7 @@ mod tests {
     }
 
     fn walk(t: &Arc<FoldedClos>, mode: UpDownMode, src: u32, dst: u32) -> Vec<u32> {
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = Rng::new(11);
         let mut algo = UpDownRouting::new(Arc::clone(t), mode, 1);
         let mut flit = head(src, dst);
         let (mut router, mut in_port) = t.terminal_attachment(TerminalId(src));
@@ -209,7 +207,7 @@ mod tests {
     fn adaptive_mode_avoids_congested_up_port() {
         let t = Arc::new(FoldedClos::new(2, 4).unwrap());
         let mut algo = UpDownRouting::new(Arc::clone(&t), UpDownMode::Adaptive, 1);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::new(3);
         let bad = t.up_port_base() + 1;
         let view = BiasedView { bad_port: bad };
         // Destination outside the leaf's subtree forces an up hop.
@@ -233,7 +231,7 @@ mod tests {
     fn adaptive_tie_break_spreads_choices() {
         let t = Arc::new(FoldedClos::new(2, 4).unwrap());
         let mut algo = UpDownRouting::new(Arc::clone(&t), UpDownMode::Adaptive, 1);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::new(3);
         let (router, _) = t.terminal_attachment(TerminalId(0));
         let mut seen = std::collections::HashSet::new();
         for _ in 0..64 {

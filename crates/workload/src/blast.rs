@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_des::Tick;
 use supersim_netbase::{AppSignal, Phase, TerminalId};
@@ -90,7 +90,7 @@ struct BlastTerminal {
 }
 
 impl BlastTerminal {
-    fn arm_generation(&mut self, now: Tick, rng: &mut SmallRng) {
+    fn arm_generation(&mut self, now: Tick, rng: &mut Rng) {
         if let Some(inj) = &mut self.injection {
             if self.phase.allows_generation() {
                 self.next_gen = Some(now + inj.next_gap(rng));
@@ -100,7 +100,7 @@ impl BlastTerminal {
         self.next_gen = None;
     }
 
-    fn make_message(&mut self, rng: &mut SmallRng) -> MessageSpec {
+    fn make_message(&mut self, rng: &mut Rng) -> MessageSpec {
         let dst = self.config.pattern.dest(self.me, rng);
         let size = self.config.sizes.sample(rng);
         let sample = self.phase.samples();
@@ -135,7 +135,7 @@ impl Terminal for BlastTerminal {
         &mut self,
         phase: Phase,
         now: Tick,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Vec<TerminalAction> {
         self.phase = phase;
         let mut actions = Vec::new();
@@ -180,7 +180,7 @@ impl Terminal for BlastTerminal {
         }
     }
 
-    fn wake(&mut self, now: Tick, rng: &mut SmallRng) -> Vec<TerminalAction> {
+    fn wake(&mut self, now: Tick, rng: &mut Rng) -> Vec<TerminalAction> {
         let mut actions = Vec::new();
         if let Some((t, sig)) = self.signal_at {
             if t <= now {
@@ -207,7 +207,7 @@ impl Terminal for BlastTerminal {
         _src: TerminalId,
         _size: u32,
         _now: Tick,
-        _rng: &mut SmallRng,
+        _rng: &mut Rng,
     ) -> Vec<TerminalAction> {
         Vec::new() // blast is one-way traffic
     }
@@ -217,10 +217,9 @@ impl Terminal for BlastTerminal {
 mod tests {
     use super::*;
     use crate::traffic::UniformRandom;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(5)
+    fn rng() -> Rng {
+        Rng::new(5)
     }
 
     fn app(load: f64, warmup: Tick, count: Option<u64>, ticks: Option<Tick>) -> BlastApp {

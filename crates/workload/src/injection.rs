@@ -1,8 +1,7 @@
 //! Injection processes and message size distributions: when traffic is
 //! created and how big it is.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use supersim_des::Rng;
 
 use supersim_des::Tick;
 
@@ -12,7 +11,7 @@ pub trait InjectionProcess: Send {
     fn name(&self) -> &str;
 
     /// Ticks until the next message (at least 1).
-    fn next_gap(&mut self, rng: &mut SmallRng) -> Tick;
+    fn next_gap(&mut self, rng: &mut Rng) -> Tick;
 }
 
 /// Memoryless injection: every tick creates a message with probability
@@ -52,7 +51,7 @@ impl InjectionProcess for BernoulliProcess {
         "bernoulli"
     }
 
-    fn next_gap(&mut self, rng: &mut SmallRng) -> Tick {
+    fn next_gap(&mut self, rng: &mut Rng) -> Tick {
         if self.p >= 1.0 {
             return 1;
         }
@@ -85,7 +84,7 @@ impl InjectionProcess for PeriodicProcess {
         "periodic"
     }
 
-    fn next_gap(&mut self, _rng: &mut SmallRng) -> Tick {
+    fn next_gap(&mut self, _rng: &mut Rng) -> Tick {
         self.period
     }
 }
@@ -126,7 +125,7 @@ impl InjectionProcess for BurstyProcess {
         "bursty"
     }
 
-    fn next_gap(&mut self, rng: &mut SmallRng) -> Tick {
+    fn next_gap(&mut self, rng: &mut Rng) -> Tick {
         if self.on && rng.gen_bool(self.p_stay) {
             return 1;
         }
@@ -167,7 +166,7 @@ impl SizeDistribution {
     ///
     /// Panics on malformed distributions (zero sizes, empty weights,
     /// inverted ranges).
-    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
         match self {
             SizeDistribution::Fixed(s) => {
                 assert!(*s > 0, "message size must be non-zero");
@@ -209,10 +208,9 @@ impl SizeDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(33)
+    fn rng() -> Rng {
+        Rng::new(33)
     }
 
     #[test]

@@ -26,7 +26,7 @@ mod injection;
 mod interface;
 mod monitor;
 mod pingpong;
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;
 mod pulse;
 mod terminal;

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_des::Tick;
 use supersim_netbase::{AppSignal, Phase, TerminalId};
@@ -81,7 +81,7 @@ struct PingPongTerminal {
 }
 
 impl PingPongTerminal {
-    fn request(&mut self, now: Tick, rng: &mut SmallRng) -> TerminalAction {
+    fn request(&mut self, now: Tick, rng: &mut Rng) -> TerminalAction {
         let dst = self.config.pattern.dest(self.me, rng);
         self.in_flight.push_back(now);
         TerminalAction::Send(MessageSpec {
@@ -101,7 +101,7 @@ impl Terminal for PingPongTerminal {
         &mut self,
         phase: Phase,
         now: Tick,
-        _rng: &mut SmallRng,
+        _rng: &mut Rng,
     ) -> Vec<TerminalAction> {
         self.phase = phase;
         match phase {
@@ -127,7 +127,7 @@ impl Terminal for PingPongTerminal {
         self.fire_at
     }
 
-    fn wake(&mut self, now: Tick, rng: &mut SmallRng) -> Vec<TerminalAction> {
+    fn wake(&mut self, now: Tick, rng: &mut Rng) -> Vec<TerminalAction> {
         if self.fire_at.is_some_and(|t| t <= now) {
             self.fire_at = None;
             vec![self.request(now, rng)]
@@ -141,7 +141,7 @@ impl Terminal for PingPongTerminal {
         src: TerminalId,
         size: u32,
         now: Tick,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Vec<TerminalAction> {
         if size == self.config.request_size {
             // Serve the request: reply even during finishing so peers can
@@ -179,10 +179,9 @@ impl Terminal for PingPongTerminal {
 mod tests {
     use super::*;
     use crate::traffic::Neighbor;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(77)
+    fn rng() -> Rng {
+        Rng::new(77)
     }
 
     fn app(transactions: u64) -> PingPongApp {

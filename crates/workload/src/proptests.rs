@@ -3,8 +3,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use supersim_des::Rng;
 
 use supersim_netbase::{AppSignal, Phase, TerminalId};
 
@@ -31,7 +30,7 @@ fn drive_blast(
         sample_messages: Some(count),
         sample_ticks: None,
     });
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut t = app.create_terminal(TerminalId(3));
     let mut sampled = 0u64;
     let mut unsampled = 0u64;
@@ -118,7 +117,7 @@ proptest! {
     /// the source for patterns that exclude it.
     #[test]
     fn patterns_stay_in_range(src in 0u32..64, seed in 0u64..500) {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let patterns: Vec<Arc<dyn TrafficPattern>> = vec![
             Arc::new(UniformRandom::new(64)),
             Arc::new(BitComplement::new(64)),
@@ -143,7 +142,7 @@ proptest! {
     #[test]
     fn bernoulli_gap_statistics(p in 0.01f64..0.9, seed in 0u64..100) {
         let mut proc = BernoulliProcess::new(p);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let n = 4000;
         let mut total = 0u64;
         for _ in 0..n {

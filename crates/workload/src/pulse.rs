@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_des::Tick;
 use supersim_netbase::{AppSignal, Phase, TerminalId};
@@ -89,7 +89,7 @@ impl Terminal for PulseTerminal {
         &mut self,
         phase: Phase,
         now: Tick,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Vec<TerminalAction> {
         self.phase = phase;
         match phase {
@@ -118,7 +118,7 @@ impl Terminal for PulseTerminal {
         self.next_gen
     }
 
-    fn wake(&mut self, now: Tick, rng: &mut SmallRng) -> Vec<TerminalAction> {
+    fn wake(&mut self, now: Tick, rng: &mut Rng) -> Vec<TerminalAction> {
         let mut actions = Vec::new();
         if self.next_gen.is_some_and(|t| t <= now) && self.remaining > 0 {
             let dst = self.config.pattern.dest(self.me, rng);
@@ -144,7 +144,7 @@ impl Terminal for PulseTerminal {
         _src: TerminalId,
         _size: u32,
         _now: Tick,
-        _rng: &mut SmallRng,
+        _rng: &mut Rng,
     ) -> Vec<TerminalAction> {
         Vec::new()
     }
@@ -154,10 +154,9 @@ impl Terminal for PulseTerminal {
 mod tests {
     use super::*;
     use crate::traffic::Neighbor;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(13)
+    fn rng() -> Rng {
+        Rng::new(13)
     }
 
     fn app(count: u64, delay: Tick) -> PulseApp {

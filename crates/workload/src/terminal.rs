@@ -5,7 +5,7 @@
 //! changes, timed wake-ups, and message-arrival callbacks, and carries out
 //! the actions they return.
 
-use rand::rngs::SmallRng;
+use supersim_des::Rng;
 
 use supersim_des::Tick;
 use supersim_netbase::{AppSignal, Phase, TerminalId};
@@ -47,7 +47,7 @@ pub trait Terminal: Send {
 
     /// Called when the application's phase changes (including the initial
     /// entry into [`Phase::Warming`] at time 0).
-    fn enter_phase(&mut self, phase: Phase, now: Tick, rng: &mut SmallRng)
+    fn enter_phase(&mut self, phase: Phase, now: Tick, rng: &mut Rng)
         -> Vec<TerminalAction>;
 
     /// The next tick this terminal wants [`Terminal::wake`] called, if
@@ -56,7 +56,7 @@ pub trait Terminal: Send {
 
     /// Timed callback at the tick previously returned by
     /// [`Terminal::next_wake`].
-    fn wake(&mut self, now: Tick, rng: &mut SmallRng) -> Vec<TerminalAction>;
+    fn wake(&mut self, now: Tick, rng: &mut Rng) -> Vec<TerminalAction>;
 
     /// A complete message of `size` flits from `src` arrived for this
     /// terminal.
@@ -65,7 +65,7 @@ pub trait Terminal: Send {
         src: TerminalId,
         size: u32,
         now: Tick,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Vec<TerminalAction>;
 }
 

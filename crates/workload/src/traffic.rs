@@ -6,8 +6,7 @@
 //! structural parameters through their constructors, exactly as the paper
 //! passes the Torus configuration to the Tornado pattern via JSON.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use supersim_des::Rng;
 
 use supersim_netbase::TerminalId;
 
@@ -20,7 +19,7 @@ pub trait TrafficPattern: Send + Sync {
     fn name(&self) -> &str;
 
     /// Destination for a message from `src`.
-    fn dest(&self, src: TerminalId, rng: &mut SmallRng) -> TerminalId;
+    fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId;
 }
 
 /// Uniform random over all terminals, excluding the source itself.
@@ -46,7 +45,7 @@ impl TrafficPattern for UniformRandom {
         "uniform_random"
     }
 
-    fn dest(&self, src: TerminalId, rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId {
         let mut d = rng.gen_range(0..self.terminals);
         if d == src.0 {
             d = (d + 1 + rng.gen_range(0..self.terminals - 1)) % self.terminals;
@@ -76,7 +75,7 @@ impl TrafficPattern for BitComplement {
         "bit_complement"
     }
 
-    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, _rng: &mut Rng) -> TerminalId {
         TerminalId(self.terminals - 1 - src.0)
     }
 }
@@ -104,7 +103,7 @@ impl TrafficPattern for Tornado {
         "tornado"
     }
 
-    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, _rng: &mut Rng) -> TerminalId {
         let router = src.0 / self.concentration;
         let offset = src.0 % self.concentration;
         let mut rem = router;
@@ -146,7 +145,7 @@ impl TrafficPattern for Transpose {
         "transpose"
     }
 
-    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, _rng: &mut Rng) -> TerminalId {
         let (i, j) = (src.0 / self.side, src.0 % self.side);
         TerminalId(j * self.side + i)
     }
@@ -172,7 +171,7 @@ impl TrafficPattern for Neighbor {
         "neighbor"
     }
 
-    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, _rng: &mut Rng) -> TerminalId {
         TerminalId((src.0 + self.offset) % self.terminals)
     }
 }
@@ -200,7 +199,7 @@ impl TrafficPattern for CrossSubtree {
         "cross_subtree"
     }
 
-    fn dest(&self, src: TerminalId, rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId {
         let my_tree = src.0 / self.per_subtree;
         let other = (my_tree + 1 + rng.gen_range(0..self.subtrees - 1)) % self.subtrees;
         TerminalId(other * self.per_subtree + rng.gen_range(0..self.per_subtree))
@@ -218,14 +217,12 @@ pub struct RandomPermutation {
 impl RandomPermutation {
     /// Creates a permutation of `terminals` endpoints from `seed`.
     pub fn new(terminals: u32, seed: u64) -> Self {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         assert!(terminals >= 2, "permutation needs at least two terminals");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut map: Vec<u32> = (0..terminals).collect();
         // Derangement by rejection (expected ~e attempts).
         for _ in 0..64 {
-            map.shuffle(&mut rng);
+            rng.shuffle(&mut map);
             if map.iter().enumerate().all(|(i, &d)| i as u32 != d) {
                 break;
             }
@@ -239,7 +236,7 @@ impl TrafficPattern for RandomPermutation {
         "random_permutation"
     }
 
-    fn dest(&self, src: TerminalId, _rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, _rng: &mut Rng) -> TerminalId {
         TerminalId(self.map[src.index()])
     }
 }
@@ -247,10 +244,9 @@ impl TrafficPattern for RandomPermutation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(7)
+    fn rng() -> Rng {
+        Rng::new(7)
     }
 
     #[test]

@@ -15,8 +15,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use supersim_des::Rng;
 
 use supersim::config::obj;
 use supersim::core::factory::{Factories, NetworkPlan};
@@ -41,7 +40,7 @@ impl TrafficPattern for Hotspot {
     fn name(&self) -> &str {
         "hotspot"
     }
-    fn dest(&self, src: TerminalId, rng: &mut SmallRng) -> TerminalId {
+    fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId {
         if rng.gen_bool(self.fraction) && src.0 != self.hot {
             return TerminalId(self.hot);
         }

@@ -22,7 +22,7 @@ impl TrafficPattern for AllToZero {
     fn name(&self) -> &str {
         "all_to_zero"
     }
-    fn dest(&self, _src: TerminalId, _rng: &mut rand::rngs::SmallRng) -> TerminalId {
+    fn dest(&self, _src: TerminalId, _rng: &mut supersim_des::Rng) -> TerminalId {
         TerminalId(0)
     }
 }
