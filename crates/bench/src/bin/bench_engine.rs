@@ -13,11 +13,18 @@
 //! Usage:
 //!   bench_engine            # full measurement, prints a table
 //!   bench_engine --smoke    # quick run with floor assertions (CI tier-1)
+//!
+//! Both modes additionally compare every calendar-queue rate against the
+//! floors in `BENCH_BASELINE.json` at the repository root (override the
+//! path with the `BENCH_BASELINE` environment variable) and exit non-zero
+//! when any measured rate falls below its floor. The floors are
+//! hand-maintained and never auto-bumped.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+use supersim_config::Value;
 use supersim_des::{Component, ComponentId, Context, EventQueue, Simulator, Time};
 
 /// The seed engine's event queue: a global `BinaryHeap` with a per-event
@@ -43,7 +50,10 @@ impl<E> PartialOrd for RefEntry<E> {
 }
 impl<E> Ord for RefEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -54,21 +64,25 @@ struct RefHeapQueue<E> {
 
 impl<E> RefHeapQueue<E> {
     fn new() -> Self {
-        RefHeapQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        RefHeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
     #[inline]
     fn push(&mut self, target: ComponentId, time: Time, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(RefEntry { time, seq, target, payload });
+        self.heap.push(RefEntry {
+            time,
+            seq,
+            target,
+            payload,
+        });
     }
     #[inline]
     fn pop(&mut self) -> Option<(Time, ComponentId, E)> {
         self.heap.pop().map(|e| (e.time, e.target, e.payload))
-    }
-    #[inline]
-    fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
     }
 }
 
@@ -150,7 +164,12 @@ fn bench_relay_ring(ring: usize, tokens: usize, hops: u64, reps: usize) -> f64 {
     measure(events_per_run, reps, || {
         let mut sim = Simulator::new(1);
         let ids: Vec<ComponentId> = (0..ring)
-            .map(|_| sim.add_component(Box::new(Relay { next: ComponentId::from_index(0), remaining: 0 })))
+            .map(|_| {
+                sim.add_component(Box::new(Relay {
+                    next: ComponentId::from_index(0),
+                    remaining: 0,
+                }))
+            })
             .collect();
         for (i, &id) in ids.iter().enumerate() {
             let relay = sim.component_as_mut::<Relay>(id).expect("relay");
@@ -217,13 +236,14 @@ mod refsim {
 
         /// The seed `run_until(Tick::MAX)` loop: peek, pop, dispatch.
         pub fn run(&mut self) {
-            loop {
-                let Some(_) = self.queue.peek_time() else { break };
-                let (time, target, payload) = self.queue.pop().expect("peeked event vanished");
+            while let Some((time, target, payload)) = self.queue.pop() {
                 self.events_executed += 1;
                 let slot = self.components.get_mut(target.index()).expect("target");
                 let mut component = slot.take().expect("component re-entered");
-                let mut ctx = RefContext { now: time, queue: &mut self.queue };
+                let mut ctx = RefContext {
+                    now: time,
+                    queue: &mut self.queue,
+                };
                 component.handle(&mut ctx, payload);
                 self.components[target.index()] = Some(component);
             }
@@ -266,6 +286,44 @@ fn bench_relay_ring_refheap(ring: usize, tokens: usize, hops: u64, reps: usize) 
     })
 }
 
+/// Loads the floor table: `$BENCH_BASELINE` if set, else
+/// `BENCH_BASELINE.json` at the repository root. A missing or malformed
+/// file disables floor checking with a warning (the binary stays usable
+/// outside the repository); CI always has the file.
+fn load_baseline() -> Option<Value> {
+    let path = std::env::var("BENCH_BASELINE").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_BASELINE.json").into()
+    });
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_engine: no baseline at {path}: {e} (floors disabled)");
+            return None;
+        }
+    };
+    match supersim_config::parse(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("bench_engine: malformed baseline {path}: {e} (floors disabled)");
+            None
+        }
+    }
+}
+
+/// Records a violation when `rate` is below the named workload's floor.
+fn check_floor(baseline: Option<&Value>, name: &str, rate: f64, below: &mut Vec<String>) {
+    let Some(floor) = baseline
+        .and_then(|b| b.get("floors_events_per_sec"))
+        .and_then(|f| f.get(name))
+        .and_then(Value::as_f64)
+    else {
+        return;
+    };
+    if rate < floor {
+        below.push(format!("{name}: {rate:.0} events/s < floor {floor:.0}"));
+    }
+}
+
 fn human(rate: f64) -> String {
     if rate >= 1e6 {
         format!("{:7.2} M/s", rate / 1e6)
@@ -276,42 +334,62 @@ fn human(rate: f64) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (reps, sizes, ring_hops) =
-        if smoke { (2, vec![1_000usize], 200u64) } else { (7, vec![1_000usize, 100_000], 5_000u64) };
+    let (reps, sizes, ring_hops) = if smoke {
+        (2, vec![1_000usize], 200u64)
+    } else {
+        (7, vec![1_000usize, 100_000], 5_000u64)
+    };
 
-    println!("engine micro-benchmarks ({})", if smoke { "smoke" } else { "full" });
-    println!("{:<28} {:>12} {:>12} {:>8}", "workload", "calendar", "binary-heap", "speedup");
+    println!(
+        "engine micro-benchmarks ({})",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "workload", "calendar", "binary-heap", "speedup"
+    );
 
+    let baseline = load_baseline();
+    let mut below = Vec::new();
     let mut floors_ok = true;
     for &n in &sizes {
+        let name = format!("queue/push_pop_{n}");
         let cal = bench_queue_calendar(n, reps);
         let heap = bench_queue_refheap(n, reps);
         println!(
-            "{:<28} {:>12} {:>12} {:>7.2}x",
-            format!("queue/push_pop_{n}"),
+            "{name:<28} {:>12} {:>12} {:>7.2}x",
             human(cal),
             human(heap),
             cal / heap
         );
         floors_ok &= cal > 0.0 && heap > 0.0;
+        check_floor(baseline.as_ref(), &name, cal, &mut below);
     }
 
     for &(ring, tokens) in &[(64usize, 16usize), (1024, 256)] {
+        let name = format!("relay_ring/{ring}x{tokens}");
         let cal = bench_relay_ring(ring, tokens, ring_hops, reps);
         let heap = bench_relay_ring_refheap(ring, tokens, ring_hops, reps);
         println!(
-            "{:<28} {:>12} {:>12} {:>7.2}x",
-            format!("relay_ring/{ring}x{tokens}"),
+            "{name:<28} {:>12} {:>12} {:>7.2}x",
             human(cal),
             human(heap),
             cal / heap
         );
         floors_ok &= cal > 0.0 && heap > 0.0;
+        check_floor(baseline.as_ref(), &name, cal, &mut below);
     }
 
     // Floor assertions: the harness must observe real forward progress.
     // (The relay benches also assert exact event counts and a non-trivial
     // queue high-water mark inside each run.)
     assert!(floors_ok, "benchmark reported a zero event rate");
-    println!("floors ok: all rates > 0 events/s, run stats non-empty");
+    if !below.is_empty() {
+        eprintln!("bench_engine: measured rates below baseline floors:");
+        for b in &below {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+    println!("floors ok: all rates > 0 events/s and above baseline floors");
 }

@@ -34,7 +34,12 @@ fn main() {
         .collect();
     println!(
         "{}",
-        tools::ascii_chart("blast mean packet latency (ticks) vs time", &[("blast", points)], 72, 18)
+        tools::ascii_chart(
+            "blast mean packet latency (ticks) vs time",
+            &[("blast", points)],
+            72,
+            18
+        )
     );
 
     let gen_start = out
@@ -50,7 +55,10 @@ fn main() {
     let baseline = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
     let peak = series.peak_mean().expect("samples exist");
     println!("steady-state latency : {baseline:.1} ticks");
-    println!("peak during pulse    : {peak:.1} ticks ({:.1}x)", peak / baseline);
+    println!(
+        "peak during pulse    : {peak:.1} ticks ({:.1}x)",
+        peak / baseline
+    );
     println!(
         "paper shape: flat steady-state latency, a sharp spike when the pulse \
          hits, decaying back to the steady state"

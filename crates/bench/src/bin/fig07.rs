@@ -32,12 +32,18 @@ fn main() {
     config.set_path("seed", Value::from(7u64)).expect("object");
     let out = run(&config, "fig07");
 
-    let mut dist: LatencyDistribution =
-        out.log.of_kind(RecordKind::Packet).map(|r| r.latency()).collect();
+    let mut dist: LatencyDistribution = out
+        .log
+        .of_kind(RecordKind::Packet)
+        .map(|r| r.latency())
+        .collect();
     println!("=== Figure 7: percentile latency distribution ===");
     println!("samples: {}", dist.count());
     for (label, value) in dist.standard_percentiles() {
-        println!("  {label:>7}: {} ticks", value.expect("non-empty distribution"));
+        println!(
+            "  {label:>7}: {} ticks",
+            value.expect("non-empty distribution")
+        );
     }
     let p999 = dist.percentile(99.9).expect("non-empty");
     println!(

@@ -7,7 +7,9 @@
 //! cargo run --release -p supersim-bench --bin fig08 [--full]
 //! ```
 
-use supersim_bench::{nonminimal_fraction, percentile_row, run, write_artifact, Scale, PERCENTILE_HEADER};
+use supersim_bench::{
+    nonminimal_fraction, percentile_row, run, write_artifact, Scale, PERCENTILE_HEADER,
+};
 use supersim_config::Value;
 use supersim_core::presets;
 use supersim_stats::Filter;
@@ -39,19 +41,24 @@ fn main() {
     let loads = [0.02, 0.06, 0.12, 0.2, 0.3, 0.4, 0.5, 0.6];
     for (i, &load) in loads.iter().enumerate() {
         let mut cfg = base.clone();
-        cfg.set_path("workload.applications.0.load", Value::Float(load)).expect("object");
-        cfg.set_path("seed", Value::from(100 + i as u64)).expect("object");
+        cfg.set_path("workload.applications.0.load", Value::Float(load))
+            .expect("object");
+        cfg.set_path("seed", Value::from(100 + i as u64))
+            .expect("object");
         let out = run(&cfg, "fig08");
         // On a 1-D flattened butterfly the minimal path touches 2 routers
         // (1 when source and destination share a router); more means the
         // packet went around.
-        let nonmin = nonminimal_fraction(&out, |src, dst| {
-            if src / conc == dst / conc {
-                1
-            } else {
-                2
-            }
-        });
+        let nonmin = nonminimal_fraction(
+            &out,
+            |src, dst| {
+                if src / conc == dst / conc {
+                    1
+                } else {
+                    2
+                }
+            },
+        );
         let point = out.load_point(load, &Filter::new()).expect("window");
         let row = format!("{},{nonmin:.4}", percentile_row(&point));
         println!("{row}");

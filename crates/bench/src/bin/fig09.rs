@@ -27,35 +27,44 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let only_a = args.iter().any(|a| a == "--9a");
     let only_b = args.iter().any(|a| a == "--9b");
-    let (run_a, run_b) = if only_a || only_b { (only_a, only_b) } else { (true, true) };
+    let (run_a, run_b) = if only_a || only_b {
+        (only_a, only_b)
+    } else {
+        (true, true)
+    };
 
     // --- Fig. 9a: infinite output queues, load-latency curves ----------
     if run_a {
-    println!("=== Figure 9a: infinite output queues (latency impact) ===");
-    let loads_a = [0.2, 0.4, 0.6, 0.8];
-    let mut csv_a = format!("delay,{PERCENTILE_HEADER}\n");
-    let mut latency_series = Vec::new();
-    for &delay in delays {
-        let cfg = presets::latent_congestion(levels, k, delay, None, 50, 50, 0.1, samples);
-        let sw = sweep(&cfg, &format!("9a delay={delay}"), &loads_a);
-        let mut pts = Vec::new();
-        for p in &sw.points {
-            csv_a.push_str(&format!("{delay},{}\n", percentile_row(p)));
-            if let Some(l) = p.latency {
-                pts.push((p.offered, l.mean));
+        println!("=== Figure 9a: infinite output queues (latency impact) ===");
+        let loads_a = [0.2, 0.4, 0.6, 0.8];
+        let mut csv_a = format!("delay,{PERCENTILE_HEADER}\n");
+        let mut latency_series = Vec::new();
+        for &delay in delays {
+            let cfg = presets::latent_congestion(levels, k, delay, None, 50, 50, 0.1, samples);
+            let sw = sweep(&cfg, &format!("9a delay={delay}"), &loads_a);
+            let mut pts = Vec::new();
+            for p in &sw.points {
+                csv_a.push_str(&format!("{delay},{}\n", percentile_row(p)));
+                if let Some(l) = p.latency {
+                    pts.push((p.offered, l.mean));
+                }
             }
+            latency_series.push((format!("delay {delay}"), pts));
         }
-        latency_series.push((format!("delay {delay}"), pts));
-    }
-    let series_refs: Vec<(&str, Vec<(f64, f64)>)> = latency_series
-        .iter()
-        .map(|(l, p)| (l.as_str(), p.clone()))
-        .collect();
-    println!(
-        "{}",
-        tools::ascii_chart("9a: mean latency (ticks) vs offered load", &series_refs, 72, 16)
-    );
-    write_artifact("fig09a_infinite.csv", &csv_a);
+        let series_refs: Vec<(&str, Vec<(f64, f64)>)> = latency_series
+            .iter()
+            .map(|(l, p)| (l.as_str(), p.clone()))
+            .collect();
+        println!(
+            "{}",
+            tools::ascii_chart(
+                "9a: mean latency (ticks) vs offered load",
+                &series_refs,
+                72,
+                16
+            )
+        );
+        write_artifact("fig09a_infinite.csv", &csv_a);
     }
 
     // --- Fig. 9b: finite 64-flit output queues, throughput collapse ----
@@ -69,8 +78,7 @@ fn main() {
     let mut best = f64::MIN;
     let mut results = Vec::new();
     for &delay in delays {
-        let mut cfg =
-            presets::latent_congestion(levels, k, delay, Some(64), 50, 50, 0.1, samples);
+        let mut cfg = presets::latent_congestion(levels, k, delay, Some(64), 50, 50, 0.1, samples);
         // A long warmup at an offered load far above the collapsed
         // capacity only builds an enormous drain backlog; congestion sets
         // in within a few channel round trips.

@@ -22,9 +22,7 @@ fn main() {
 
     for (fig, pattern) in [("10a", "uniform_random"), ("10b", "bit_complement")] {
         println!("=== Figure {fig}: credit accounting styles under {pattern} ===");
-        let mut csv = String::from(
-            "style,offered,delivered,mean,p99\n",
-        );
+        let mut csv = String::from("style,offered,delivered,mean,p99\n");
         let mut summary = Vec::new();
         for granularity in ["vc", "port"] {
             for source in ["output", "downstream", "both"] {
@@ -46,7 +44,8 @@ fn main() {
                         "{style},{:.2},{:.4},{},{}\n",
                         p.offered,
                         p.delivered,
-                        p.latency.map_or(String::new(), |l| format!("{:.1}", l.mean)),
+                        p.latency
+                            .map_or(String::new(), |l| format!("{:.1}", l.mean)),
                         p.latency.map_or(String::new(), |l| l.p99.to_string()),
                     ));
                 }

@@ -21,7 +21,10 @@ fn main() {
     let mut csv = String::from("vcs,message_flits,technique,offered,delivered\n");
     for &vcs in &vcs_list {
         println!("=== Figure 11 ({vcs} VCs): saturation throughput by message size ===");
-        println!("{:<8} {:>14} {:>14} {:>14}", "flits", techniques[0], techniques[1], techniques[2]);
+        println!(
+            "{:<8} {:>14} {:>14} {:>14}",
+            "flits", techniques[0], techniques[1], techniques[2]
+        );
         for &size in &sizes {
             let mut row = format!("{size:<8}");
             for technique in techniques {

@@ -53,7 +53,12 @@ fn main() {
     }
     println!(
         "{}",
-        tools::ascii_chart("mean message-packet latency (ticks) vs offered load", &chart, 72, 18)
+        tools::ascii_chart(
+            "mean message-packet latency (ticks) vs offered load",
+            &chart,
+            72,
+            18
+        )
     );
     // Blocking shows up in the tail of the distribution at high load: rank
     // the techniques by their 99th/99.9th percentiles at 0.8 offered.

@@ -11,7 +11,8 @@ use supersim_config::Value;
 use supersim_core::presets;
 
 fn cell(cfg: &Value, path: &str) -> String {
-    cfg.path(path).map_or_else(|| "n/a".to_string(), |v| v.to_json())
+    cfg.path(path)
+        .map_or_else(|| "n/a".to_string(), |v| v.to_json())
 }
 
 fn main() {
@@ -21,7 +22,8 @@ fn main() {
     let (levels, k) = scale.pick((3u32, 8u32), (3, 16));
     let a = presets::latent_congestion(levels, k, 1, Some(64), 50, 50, 0.5, 300);
     let (rb, cb) = scale.pick((16u32, 16u32), (32, 32));
-    let b = presets::credit_accounting(rb, cb, "output", "vc", "uniform_random", 100, 100, 0.5, 300);
+    let b =
+        presets::credit_accounting(rb, cb, "output", "vc", "uniform_random", 100, 100, 0.5, 300);
     let widths: Vec<u64> = scale.pick(vec![4, 4, 4], vec![8, 8, 8, 8]);
     let c = presets::flow_control(widths, 1, 2, "flit_buffer", 1, 5, 25, 0.5, 300);
 

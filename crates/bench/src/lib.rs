@@ -62,14 +62,16 @@ pub fn write_artifact(name: &str, contents: &str) {
 pub fn run(config: &Value, what: &str) -> RunOutput {
     let sim = SuperSim::from_config(config)
         .unwrap_or_else(|e| panic!("{what}: configuration rejected: {e}"));
-    sim.run().unwrap_or_else(|e| panic!("{what}: simulation failed: {e}"))
+    sim.run()
+        .unwrap_or_else(|e| panic!("{what}: simulation failed: {e}"))
 }
 
 /// Runs one configuration at a given offered load and returns its load
 /// point (throughput + latency distribution summary).
 pub fn run_point(config: &Value, load: f64, what: &str) -> LoadPoint {
     let mut cfg = config.clone();
-    cfg.set_path("workload.applications.0.load", Value::Float(load)).expect("object config");
+    cfg.set_path("workload.applications.0.load", Value::Float(load))
+        .expect("object config");
     let out = run(&cfg, what);
     out.load_point(load, &Filter::new())
         .unwrap_or_else(|| panic!("{what}: no sampling window"))
@@ -82,7 +84,8 @@ pub fn sweep(config: &Value, label: &str, loads: &[f64]) -> LoadSweep {
     let mut sweep = LoadSweep::new(label);
     for (i, &load) in loads.iter().enumerate() {
         let mut cfg = config.clone();
-        cfg.set_path("seed", Value::from(1000 + i as u64)).expect("object config");
+        cfg.set_path("seed", Value::from(1000 + i as u64))
+            .expect("object config");
         let point = run_point(&cfg, load, label);
         eprintln!(
             "  {label} load={load:.2}: delivered={:.3} mean={:.1}",
@@ -144,7 +147,11 @@ mod tests {
 
     #[test]
     fn percentile_row_formats() {
-        let p = LoadPoint { offered: 0.5, delivered: 0.49, latency: None };
+        let p = LoadPoint {
+            offered: 0.5,
+            delivered: 0.49,
+            latency: None,
+        };
         assert_eq!(percentile_row(&p), "0.500,0.490,,,,,,");
         assert_eq!(PERCENTILE_HEADER.split(',').count(), 8);
     }

@@ -1,0 +1,58 @@
+//! The benchmark floor gate must actually gate: point `bench_engine` at
+//! a baseline with impossible floors and it must exit non-zero, point it
+//! at a missing baseline and it must degrade to floors-disabled success.
+//!
+//! These spawn the real binary (`CARGO_BIN_EXE_bench_engine`), so the
+//! exit codes tested here are exactly what the CI bench-smoke job sees.
+
+use std::process::Command;
+
+fn run_smoke(baseline: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_engine"))
+        .env("BENCH_BASELINE", baseline)
+        .arg("--smoke")
+        .output()
+        .expect("spawn bench_engine")
+}
+
+#[test]
+fn inflated_baseline_fails_the_gate() {
+    // No machine reaches 10^15 events/s; every workload must be "below".
+    let path = std::env::temp_dir().join(format!("inflated_baseline_{}.json", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"{"floors_events_per_sec": {
+            "queue/push_pop_1000": 1000000000000000,
+            "relay_ring/64x16": 1000000000000000,
+            "relay_ring/1024x256": 1000000000000000
+        }}"#,
+    )
+    .expect("write inflated baseline");
+    let out = run_smoke(path.to_str().expect("utf-8 temp path"));
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        !out.status.success(),
+        "bench_engine must exit non-zero under an unreachable floor; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("below baseline floors"),
+        "failure must name the floors; stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn missing_baseline_disables_floors() {
+    let out = run_smoke("/nonexistent/bench_baseline.json");
+    assert!(
+        out.status.success(),
+        "a missing baseline must warn, not fail; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("floors disabled"),
+        "must warn about the missing baseline"
+    );
+}

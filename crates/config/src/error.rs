@@ -104,7 +104,10 @@ pub enum ConfigError {
 impl ConfigError {
     /// Convenience constructor for [`ConfigError::Invalid`].
     pub fn invalid(path: impl Into<String>, reason: impl Into<String>) -> Self {
-        ConfigError::Invalid { path: path.into(), reason: reason.into() }
+        ConfigError::Invalid {
+            path: path.into(),
+            reason: reason.into(),
+        }
     }
 }
 
@@ -112,10 +115,17 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::Parse { kind, line, column } => {
-                write!(f, "json parse error at line {line}, column {column}: {kind}")
+                write!(
+                    f,
+                    "json parse error at line {line}, column {column}: {kind}"
+                )
             }
             ConfigError::Missing { path } => write!(f, "missing required setting {path:?}"),
-            ConfigError::WrongType { path, expected, found } => {
+            ConfigError::WrongType {
+                path,
+                expected,
+                found,
+            } => {
                 write!(f, "setting {path:?}: expected {expected}, found {found}")
             }
             ConfigError::BadPath { path } => write!(f, "malformed settings path {path:?}"),
@@ -155,8 +165,7 @@ mod tests {
 
     #[test]
     fn error_trait_object_safe() {
-        let e: Box<dyn Error + Send + Sync> =
-            Box::new(ConfigError::BadPath { path: "x".into() });
+        let e: Box<dyn Error + Send + Sync> = Box::new(ConfigError::BadPath { path: "x".into() });
         assert!(e.to_string().contains("x"));
     }
 }

@@ -205,7 +205,8 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("supersim_expand_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("supersim_expand_{tag}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create temp dir");
         dir
     }
@@ -213,7 +214,11 @@ mod tests {
     #[test]
     fn include_inlines_and_overlays() {
         let dir = tmpdir("overlay");
-        write(&dir, "base.json", r#"{"network": {"vcs": 2, "router": {"input_buffer": 16}}}"#);
+        write(
+            &dir,
+            "base.json",
+            r#"{"network": {"vcs": 2, "router": {"input_buffer": 16}}}"#,
+        );
         let top = write(
             &dir,
             "top.json",
@@ -230,7 +235,11 @@ mod tests {
         let dir = tmpdir("nested");
         std::fs::create_dir_all(dir.join("sub")).expect("mkdir");
         write(&dir, "sub/inner.json", r#"{"x": 1}"#);
-        write(&dir, "sub/mid.json", r#"{"$include": "inner.json", "y": 2}"#);
+        write(
+            &dir,
+            "sub/mid.json",
+            r#"{"$include": "inner.json", "y": 2}"#,
+        );
         let top = write(&dir, "top.json", r#"{"a": {"$include": "sub/mid.json"}}"#);
         let v = expand_file(&top).expect("expands");
         assert_eq!(v.req_u64("a.x").unwrap(), 1);
@@ -279,10 +288,8 @@ mod tests {
 
     #[test]
     fn ref_chains_resolve() {
-        let mut v = crate::parse(
-            r#"{"a": 7, "b": {"$ref": "a"}, "c": {"$ref": "b"}}"#,
-        )
-        .expect("valid json");
+        let mut v = crate::parse(r#"{"a": 7, "b": {"$ref": "a"}, "c": {"$ref": "b"}}"#)
+            .expect("valid json");
         expand_refs(&mut v).expect("chain resolves");
         assert_eq!(v.req_u64("c").unwrap(), 7);
     }
@@ -291,8 +298,8 @@ mod tests {
     fn dangling_and_cyclic_refs_are_errors() {
         let mut v = crate::parse(r#"{"a": {"$ref": "nope"}}"#).expect("valid json");
         assert!(expand_refs(&mut v).is_err());
-        let mut v = crate::parse(r#"{"a": {"$ref": "b"}, "b": {"$ref": "a"}}"#)
-            .expect("valid json");
+        let mut v =
+            crate::parse(r#"{"a": {"$ref": "b"}, "b": {"$ref": "a"}}"#).expect("valid json");
         assert!(expand_refs(&mut v).is_err());
     }
 

@@ -79,33 +79,38 @@ pub fn parse_override(text: &str) -> Result<Override, ConfigError> {
         text: text.to_string(),
         reason: reason.to_string(),
     };
-    let (path, rest) = text.split_once('=').ok_or_else(|| bad("expected path=type=value"))?;
-    let (ty, raw) = rest.split_once('=').ok_or_else(|| bad("expected path=type=value"))?;
+    let (path, rest) = text
+        .split_once('=')
+        .ok_or_else(|| bad("expected path=type=value"))?;
+    let (ty, raw) = rest
+        .split_once('=')
+        .ok_or_else(|| bad("expected path=type=value"))?;
     if path.is_empty() || path.split('.').any(str::is_empty) {
         return Err(bad("empty settings path segment"));
     }
     let value = match ty {
         "string" => OverrideValue::Str(raw.to_string()),
-        "uint" => OverrideValue::UInt(
-            raw.parse().map_err(|_| bad("value is not a valid uint"))?,
-        ),
-        "int" => {
-            OverrideValue::Int(raw.parse().map_err(|_| bad("value is not a valid int"))?)
+        "uint" => OverrideValue::UInt(raw.parse().map_err(|_| bad("value is not a valid uint"))?),
+        "int" => OverrideValue::Int(raw.parse().map_err(|_| bad("value is not a valid int"))?),
+        "float" => {
+            OverrideValue::Float(raw.parse().map_err(|_| bad("value is not a valid float"))?)
         }
-        "float" => OverrideValue::Float(
-            raw.parse().map_err(|_| bad("value is not a valid float"))?,
-        ),
         "bool" => match raw {
             "true" => OverrideValue::Bool(true),
             "false" => OverrideValue::Bool(false),
             _ => return Err(bad("bool value must be `true` or `false`")),
         },
-        "json" => OverrideValue::Json(
-            parse(raw).map_err(|e| bad(&format!("json value: {e}")))?,
-        ),
-        _ => return Err(bad("unknown type (expected string/uint/int/float/bool/json)")),
+        "json" => OverrideValue::Json(parse(raw).map_err(|e| bad(&format!("json value: {e}")))?),
+        _ => {
+            return Err(bad(
+                "unknown type (expected string/uint/int/float/bool/json)",
+            ))
+        }
     };
-    Ok(Override { path: path.to_string(), value })
+    Ok(Override {
+        path: path.to_string(),
+        value,
+    })
 }
 
 /// Parses and applies one override to `config`.
@@ -150,10 +155,16 @@ mod tests {
         };
         apply_overrides(
             &mut cfg,
-            ["network.router.architecture=string=my_arch", "network.concentration=uint=16"],
+            [
+                "network.router.architecture=string=my_arch",
+                "network.concentration=uint=16",
+            ],
         )
         .unwrap();
-        assert_eq!(cfg.req_str("network.router.architecture").unwrap(), "my_arch");
+        assert_eq!(
+            cfg.req_str("network.router.architecture").unwrap(),
+            "my_arch"
+        );
         assert_eq!(cfg.req_u64("network.concentration").unwrap(), 16);
     }
 

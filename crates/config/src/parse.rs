@@ -29,7 +29,10 @@ const MAX_DEPTH: usize = 128;
 /// # }
 /// ```
 pub fn parse(text: &str) -> Result<Value, ConfigError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.value(0)?;
     p.skip_ws();
@@ -250,7 +253,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ConfigError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err(ParseErrorKind::BadUnicode))?;
@@ -300,8 +305,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number characters are ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number characters are ascii");
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
@@ -375,10 +380,9 @@ mod tests {
 
     #[test]
     fn comments_are_whitespace() {
-        let v = parse(
-            "// header comment\n{\n  \"a\": 1, // trailing\n  // whole line\n  \"b\": 2\n}",
-        )
-        .unwrap();
+        let v =
+            parse("// header comment\n{\n  \"a\": 1, // trailing\n  // whole line\n  \"b\": 2\n}")
+                .unwrap();
         assert_eq!(v.path("a").unwrap().as_i64(), Some(1));
         assert_eq!(v.path("b").unwrap().as_i64(), Some(2));
     }
@@ -404,9 +408,28 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "[", "\"", "{]", "[}", "{\"a\"}", "{\"a\":}", "[1,]", "{\"a\":1,}",
-            "01", "1.", ".5", "1e", "+1", "tru", "nul", "\"\\x\"", "{'a':1}", "[1 2]",
-            "{\"a\":1 \"b\":2}", "1 2",
+            "",
+            "{",
+            "[",
+            "\"",
+            "{]",
+            "[}",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1,}",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "tru",
+            "nul",
+            "\"\\x\"",
+            "{'a':1}",
+            "[1 2]",
+            "{\"a\":1 \"b\":2}",
+            "1 2",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -428,7 +451,10 @@ mod tests {
         let doc = "[".repeat(200) + &"]".repeat(200);
         assert!(matches!(
             parse(&doc),
-            Err(ConfigError::Parse { kind: ParseErrorKind::TooDeep, .. })
+            Err(ConfigError::Parse {
+                kind: ParseErrorKind::TooDeep,
+                ..
+            })
         ));
     }
 

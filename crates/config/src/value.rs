@@ -174,7 +174,9 @@ impl Value {
     pub fn set_path(&mut self, path: &str, value: Value) -> Result<(), ConfigError> {
         let segments: Vec<&str> = path.split('.').collect();
         if segments.iter().any(|s| s.is_empty()) {
-            return Err(ConfigError::BadPath { path: path.to_string() });
+            return Err(ConfigError::BadPath {
+                path: path.to_string(),
+            });
         }
         let mut cur = self;
         for (i, seg) in segments.iter().enumerate() {
@@ -185,17 +187,15 @@ impl Value {
                         m.insert((*seg).to_string(), value);
                         return Ok(());
                     }
-                    cur = m
-                        .entry((*seg).to_string())
-                        .or_insert_with(Value::object);
+                    cur = m.entry((*seg).to_string()).or_insert_with(Value::object);
                 }
                 Value::Array(a) => {
-                    let idx: usize = seg
-                        .parse()
-                        .map_err(|_| ConfigError::BadPath { path: path.to_string() })?;
-                    let slot = a
-                        .get_mut(idx)
-                        .ok_or_else(|| ConfigError::BadPath { path: path.to_string() })?;
+                    let idx: usize = seg.parse().map_err(|_| ConfigError::BadPath {
+                        path: path.to_string(),
+                    })?;
+                    let slot = a.get_mut(idx).ok_or_else(|| ConfigError::BadPath {
+                        path: path.to_string(),
+                    })?;
                     if last {
                         *slot = value;
                         return Ok(());
@@ -221,32 +221,44 @@ impl Value {
     /// Returns [`ConfigError::Missing`] when the path does not exist and
     /// [`ConfigError::WrongType`] when it has the wrong JSON type.
     pub fn req_u64(&self, path: &str) -> Result<u64, ConfigError> {
-        self.req(path)?.as_u64().ok_or_else(|| wrong(self, path, "uint"))
+        self.req(path)?
+            .as_u64()
+            .ok_or_else(|| wrong(self, path, "uint"))
     }
 
     /// See [`Value::req_u64`].
     pub fn req_i64(&self, path: &str) -> Result<i64, ConfigError> {
-        self.req(path)?.as_i64().ok_or_else(|| wrong(self, path, "int"))
+        self.req(path)?
+            .as_i64()
+            .ok_or_else(|| wrong(self, path, "int"))
     }
 
     /// See [`Value::req_u64`].
     pub fn req_f64(&self, path: &str) -> Result<f64, ConfigError> {
-        self.req(path)?.as_f64().ok_or_else(|| wrong(self, path, "float"))
+        self.req(path)?
+            .as_f64()
+            .ok_or_else(|| wrong(self, path, "float"))
     }
 
     /// See [`Value::req_u64`].
     pub fn req_bool(&self, path: &str) -> Result<bool, ConfigError> {
-        self.req(path)?.as_bool().ok_or_else(|| wrong(self, path, "bool"))
+        self.req(path)?
+            .as_bool()
+            .ok_or_else(|| wrong(self, path, "bool"))
     }
 
     /// See [`Value::req_u64`].
     pub fn req_str(&self, path: &str) -> Result<&str, ConfigError> {
-        self.req(path)?.as_str().ok_or_else(|| wrong(self, path, "string"))
+        self.req(path)?
+            .as_str()
+            .ok_or_else(|| wrong(self, path, "string"))
     }
 
     /// See [`Value::req_u64`].
     pub fn req_array(&self, path: &str) -> Result<&[Value], ConfigError> {
-        self.req(path)?.as_array().ok_or_else(|| wrong(self, path, "array"))
+        self.req(path)?
+            .as_array()
+            .ok_or_else(|| wrong(self, path, "array"))
     }
 
     /// Required sub-object lookup; component constructors use this to pass
@@ -306,7 +318,9 @@ impl Value {
     }
 
     fn req(&self, path: &str) -> Result<&Value, ConfigError> {
-        self.path(path).ok_or_else(|| ConfigError::Missing { path: path.to_string() })
+        self.path(path).ok_or_else(|| ConfigError::Missing {
+            path: path.to_string(),
+        })
     }
 }
 

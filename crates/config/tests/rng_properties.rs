@@ -12,23 +12,32 @@ use supersim_des::Rng;
 /// Characters the generator draws string content from — includes JSON
 /// metacharacters, escapes, and multi-byte UTF-8 to stress the
 /// serializer/parser pair.
-const STR_ALPHABET: &[char] =
-    &['a', 'Z', '0', ' ', '_', '.', '-', '"', '\\', '\n', '\t', 'é', '世', '🌐'];
+const STR_ALPHABET: &[char] = &[
+    'a', 'Z', '0', ' ', '_', '.', '-', '"', '\\', '\n', '\t', 'é', '世', '🌐',
+];
 
 fn arb_string(rng: &mut Rng, max_len: usize) -> String {
     let len = rng.gen_range(0..max_len + 1);
-    (0..len).map(|_| STR_ALPHABET[rng.gen_range(0..STR_ALPHABET.len())]).collect()
+    (0..len)
+        .map(|_| STR_ALPHABET[rng.gen_range(0..STR_ALPHABET.len())])
+        .collect()
 }
 
 fn arb_key(rng: &mut Rng) -> String {
     let len = rng.gen_range(1..7usize);
-    (0..len).map(|_| char::from(b'a' + rng.gen_range(0u8..26))).collect()
+    (0..len)
+        .map(|_| char::from(b'a' + rng.gen_range(0u8..26)))
+        .collect()
 }
 
 /// Arbitrary JSON value with bounded depth and width (mirrors the old
 /// proptest strategy: leaves at depth 0, arrays/objects above).
 fn arb_value(rng: &mut Rng, depth: u32) -> Value {
-    let pick = if depth == 0 { rng.gen_range(0..5u32) } else { rng.gen_range(0..7u32) };
+    let pick = if depth == 0 {
+        rng.gen_range(0..5u32)
+    } else {
+        rng.gen_range(0..7u32)
+    };
     match pick {
         0 => Value::Null,
         1 => Value::Bool(rng.gen_bool(0.5)),
@@ -44,7 +53,8 @@ fn arb_value(rng: &mut Rng, depth: u32) -> Value {
             let n = rng.gen_range(0..6usize);
             let mut obj = Value::object();
             for _ in 0..n {
-                obj.set_path(&arb_key(rng), arb_value(rng, depth - 1)).expect("object");
+                obj.set_path(&arb_key(rng), arb_value(rng, depth - 1))
+                    .expect("object");
             }
             obj
         }
@@ -67,12 +77,18 @@ fn json_round_trip_compact_and_pretty() {
 fn set_then_get_returns_stored_value() {
     let mut rng = Rng::new(2);
     for case in 0..128 {
-        let segs: Vec<String> = (0..rng.gen_range(1..5usize)).map(|_| arb_key(&mut rng)).collect();
+        let segs: Vec<String> = (0..rng.gen_range(1..5usize))
+            .map(|_| arb_key(&mut rng))
+            .collect();
         let path = segs.join(".");
         let x = rng.gen_u64() as i64;
         let mut root = Value::object();
         root.set_path(&path, Value::Int(x)).expect("object");
-        assert_eq!(root.path(&path).and_then(Value::as_i64), Some(x), "case {case}: {path}");
+        assert_eq!(
+            root.path(&path).and_then(Value::as_i64),
+            Some(x),
+            "case {case}: {path}"
+        );
     }
 }
 
@@ -80,7 +96,9 @@ fn set_then_get_returns_stored_value() {
 fn override_uint_installs_parsed_integer() {
     let mut rng = Rng::new(3);
     for case in 0..128 {
-        let segs: Vec<String> = (0..rng.gen_range(1..4usize)).map(|_| arb_key(&mut rng)).collect();
+        let segs: Vec<String> = (0..rng.gen_range(1..4usize))
+            .map(|_| arb_key(&mut rng))
+            .collect();
         let path = segs.join(".");
         let x = rng.gen_u64() >> 32;
         let mut root = Value::object();
@@ -96,8 +114,11 @@ fn parser_never_panics_on_garbage() {
         // Printable-ish garbage plus JSON punctuation fragments.
         let garbage = arb_string(&mut rng, 64);
         let _ = parse(&garbage);
-        let truncated: String =
-            garbage.chars().take(rng.gen_range(0..8usize)).chain("{[\"".chars()).collect();
+        let truncated: String = garbage
+            .chars()
+            .take(rng.gen_range(0..8usize))
+            .chain("{[\"".chars())
+            .collect();
         let _ = parse(&truncated);
     }
 }

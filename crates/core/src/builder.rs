@@ -8,8 +8,11 @@
 
 use supersim_config::Value;
 use supersim_des::{ComponentId, Simulator, Tick, Time};
-use supersim_netbase::{Ev, LinkTarget, RouterId, TerminalId};
-use supersim_router::RouterPorts;
+use supersim_netbase::{
+    Ev, FlitTracer, LinkTarget, RouterId, SharedTracer, TerminalId, TraceFilter, TraceKind,
+};
+use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterPorts};
+use supersim_stats::MetricsRegistry;
 use supersim_topology::{ChannelClass, Topology};
 use supersim_workload::{Interface, InterfaceConfig, WorkloadMonitor};
 
@@ -22,12 +25,48 @@ use crate::factory::{AppCtx, Factories, RouterCtx};
 pub(crate) struct Built {
     pub sim: Simulator<Ev>,
     pub interfaces: Vec<ComponentId>,
-    #[allow(dead_code)] // inspected by tests and instrumentation hooks
     pub routers: Vec<ComponentId>,
     pub monitor: ComponentId,
     pub topology: Arc<dyn Topology>,
     pub tick_limit: Tick,
     pub link_period: Tick,
+    pub registry: MetricsRegistry,
+    pub tracer: SharedTracer,
+}
+
+/// Parses the optional `observability.trace` block into a tracer; absent
+/// or disabled blocks yield the free-when-off disabled tracer.
+fn build_tracer(cfg: &Value) -> Result<SharedTracer, BuildError> {
+    if !cfg.opt_bool("observability.trace.enabled", false)? {
+        return Ok(SharedTracer::disabled());
+    }
+    let capacity = cfg.opt_u64("observability.trace.capacity", 65_536)?;
+    if capacity == 0 {
+        return Err(BuildError::invalid(
+            "observability.trace.capacity must be non-zero",
+        ));
+    }
+    let mut filter = TraceFilter::default();
+    if let Ok(names) = cfg.req_array("observability.trace.kinds") {
+        let mut mask = 0u8;
+        for n in names {
+            let s = n.as_str().ok_or_else(|| {
+                BuildError::invalid("observability.trace.kinds entries must be strings")
+            })?;
+            let kind = TraceKind::from_name(s)
+                .ok_or_else(|| BuildError::invalid(format!("unknown trace kind {s:?}")))?;
+            mask |= kind.bit();
+        }
+        filter.kinds = mask;
+    }
+    if let Ok(src) = cfg.req_u64("observability.trace.src") {
+        filter.src = Some(src as u32);
+    }
+    filter.packet_lo = cfg.opt_u64("observability.trace.packet_lo", 0)?;
+    filter.packet_hi = cfg.opt_u64("observability.trace.packet_hi", u64::MAX)?;
+    let mut tracer = FlitTracer::with_capacity(capacity as usize);
+    tracer.set_filter(filter);
+    Ok(SharedTracer::new(tracer))
 }
 
 pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
@@ -69,15 +108,31 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
     let workload = cfg.req_obj("workload")?;
     let app_blocks = workload.req_array("applications")?;
     if app_blocks.is_empty() || app_blocks.len() > u8::MAX as usize {
-        return Err(BuildError::invalid("workload needs between 1 and 255 applications"));
+        return Err(BuildError::invalid(
+            "workload needs between 1 and 255 applications",
+        ));
     }
     let mut apps = Vec::new();
     for (i, block) in app_blocks.iter().enumerate() {
         let name = block
             .req_str("name")
             .map_err(|_| BuildError::invalid(format!("application {i} is missing a name")))?;
-        let ctx = AppCtx { terminals, link_period, seed, patterns: &factories.patterns };
+        let ctx = AppCtx {
+            terminals,
+            link_period,
+            seed,
+            patterns: &factories.patterns,
+        };
         apps.push(factories.apps.build(name, block, ctx)?);
+    }
+
+    // --- observability -------------------------------------------------
+    let tracer = build_tracer(cfg)?;
+    let mut registry = MetricsRegistry::new();
+    registry.register("engine");
+    registry.register("workload");
+    for r in 0..routers {
+        registry.register(format!("router_{r}"));
     }
 
     // --- component id layout: interfaces, then routers, then monitor ---
@@ -90,7 +145,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
     for t in 0..terminals {
         let terminal = TerminalId(t);
         let (router, port) = topology.terminal_attachment(terminal);
-        let iface = Interface::new(InterfaceConfig {
+        let mut iface = Interface::new(InterfaceConfig {
             terminal,
             vcs,
             to_router: LinkTarget::new(router_cid(router.0), port, lat_terminal),
@@ -102,6 +157,9 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
             monitor: monitor_cid,
             terminals: apps.iter().map(|a| a.create_terminal(terminal)).collect(),
         });
+        if tracer.is_enabled() {
+            iface.set_tracer(tracer.clone());
+        }
         let id = sim.add_component(Box::new(iface));
         debug_assert_eq!(id, iface_cid(t));
         interface_ids.push(id);
@@ -158,6 +216,17 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         };
         let id = sim.add_component(factories.routers.build(arch, ctx)?);
         debug_assert_eq!(id, router_cid(r));
+        // Built-in architectures accept the tracer via downcast; custom
+        // router components simply run untraced.
+        if tracer.is_enabled() {
+            if let Some(rt) = sim.component_as_mut::<IqRouter>(id) {
+                rt.set_tracer(tracer.clone());
+            } else if let Some(rt) = sim.component_as_mut::<OqRouter>(id) {
+                rt.set_tracer(tracer.clone());
+            } else if let Some(rt) = sim.component_as_mut::<IoqRouter>(id) {
+                rt.set_tracer(tracer.clone());
+            }
+        }
         router_ids.push(id);
     }
 
@@ -180,5 +249,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         topology,
         tick_limit,
         link_period,
+        registry,
+        tracer,
     })
 }

@@ -6,13 +6,12 @@ use supersim_config::Value;
 use supersim_des::{Component, Tick};
 use supersim_netbase::Ev;
 use supersim_router::{
-    CongestionGranularity, CongestionSource, FlowControl, IoqConfig, IoqRouter, IqConfig,
-    IqRouter, OqConfig, OqRouter, SensorConfig,
+    CongestionGranularity, CongestionSource, FlowControl, IoqConfig, IoqRouter, IqConfig, IqRouter,
+    OqConfig, OqRouter, SensorConfig,
 };
 use supersim_topology::{
-    AdaptiveTorusRouting, DimOrderRouting, Dragonfly, DragonflyMode, DragonflyRouting,
-    FoldedClos, HyperX, HyperXMode, HyperXRouting, RoutingAlgorithm, Torus, UpDownMode,
-    UpDownRouting,
+    AdaptiveTorusRouting, DimOrderRouting, Dragonfly, DragonflyMode, DragonflyRouting, FoldedClos,
+    HyperX, HyperXMode, HyperXRouting, RoutingAlgorithm, Torus, UpDownMode, UpDownRouting,
 };
 use supersim_workload::{
     Application, BitComplement, BlastApp, BlastConfig, CrossSubtree, Neighbor, PingPongApp,
@@ -48,36 +47,37 @@ fn register_networks(f: &mut Factories) {
         let widths = u32s(net.req_u64_array("topology.widths")?);
         let conc = net.req_u64("topology.concentration")? as u32;
         let vcs = vcs_of(net)?;
-        let algo = net.opt_str("routing.algorithm", "dimension_order")?.to_string();
+        let algo = net
+            .opt_str("routing.algorithm", "dimension_order")?
+            .to_string();
         let topology = Arc::new(Torus::new(widths, conc)?);
-        let routing: Arc<dyn Fn(_, _) -> Box<dyn RoutingAlgorithm> + Send + Sync> = match algo
-            .as_str()
-        {
-            "dimension_order" => {
-                if vcs < 2 || vcs % 2 != 0 {
-                    return Err(BuildError::invalid(
-                        "dimension order routing on a torus needs an even number of VCs",
-                    ));
+        let routing: Arc<dyn Fn(_, _) -> Box<dyn RoutingAlgorithm> + Send + Sync> =
+            match algo.as_str() {
+                "dimension_order" => {
+                    if vcs < 2 || vcs % 2 != 0 {
+                        return Err(BuildError::invalid(
+                            "dimension order routing on a torus needs an even number of VCs",
+                        ));
+                    }
+                    let t = Arc::clone(&topology);
+                    Arc::new(move |_, _| Box::new(DimOrderRouting::new(Arc::clone(&t), vcs)))
                 }
-                let t = Arc::clone(&topology);
-                Arc::new(move |_, _| Box::new(DimOrderRouting::new(Arc::clone(&t), vcs)))
-            }
-            "adaptive" => {
-                if vcs < 3 {
-                    return Err(BuildError::invalid(
-                        "adaptive torus routing needs at least 3 VCs (2 escape + adaptive)",
-                    ));
+                "adaptive" => {
+                    if vcs < 3 {
+                        return Err(BuildError::invalid(
+                            "adaptive torus routing needs at least 3 VCs (2 escape + adaptive)",
+                        ));
+                    }
+                    let t = Arc::clone(&topology);
+                    Arc::new(move |_, _| Box::new(AdaptiveTorusRouting::new(Arc::clone(&t), vcs)))
                 }
-                let t = Arc::clone(&topology);
-                Arc::new(move |_, _| Box::new(AdaptiveTorusRouting::new(Arc::clone(&t), vcs)))
-            }
-            other => {
-                return Err(BuildError::UnknownModel {
-                    registry: "torus routing algorithm",
-                    name: other.to_string(),
-                })
-            }
-        };
+                other => {
+                    return Err(BuildError::UnknownModel {
+                        registry: "torus routing algorithm",
+                        name: other.to_string(),
+                    })
+                }
+            };
         Ok(NetworkPlan { topology, routing })
     });
 
@@ -85,7 +85,9 @@ fn register_networks(f: &mut Factories) {
         let levels = net.req_u64("topology.levels")? as u32;
         let k = net.req_u64("topology.k")? as u32;
         let vcs = vcs_of(net)?;
-        let algo = net.opt_str("routing.algorithm", "adaptive_updown")?.to_string();
+        let algo = net
+            .opt_str("routing.algorithm", "adaptive_updown")?
+            .to_string();
         let topology = Arc::new(FoldedClos::new(levels, k)?);
         let mode = match algo.as_str() {
             "adaptive_updown" => UpDownMode::Adaptive,
@@ -121,7 +123,9 @@ fn register_networks(f: &mut Factories) {
                 if vcs < 2 {
                     return Err(BuildError::invalid("ugal needs at least 2 VCs"));
                 }
-                HyperXMode::Ugal { threshold: net.opt_f64("routing.threshold", 0.0)? }
+                HyperXMode::Ugal {
+                    threshold: net.opt_f64("routing.threshold", 0.0)?,
+                }
             }
             other => {
                 return Err(BuildError::UnknownModel {
@@ -146,7 +150,9 @@ fn register_networks(f: &mut Factories) {
         let (mode, need) = match algo.as_str() {
             "minimal" => (DragonflyMode::Minimal, 3),
             "ugal" => (
-                DragonflyMode::Ugal { threshold: net.opt_f64("routing.threshold", 0.0)? },
+                DragonflyMode::Ugal {
+                    threshold: net.opt_f64("routing.threshold", 0.0)?,
+                },
                 6,
             ),
             other => {
@@ -170,26 +176,28 @@ fn register_networks(f: &mut Factories) {
 
 fn sensor_config(cfg: &Value) -> Result<SensorConfig, BuildError> {
     let source_name = cfg.opt_str("congestion_sensor.source", "downstream")?;
-    let source = CongestionSource::from_name(source_name).ok_or_else(|| {
-        BuildError::UnknownModel {
+    let source =
+        CongestionSource::from_name(source_name).ok_or_else(|| BuildError::UnknownModel {
             registry: "congestion source",
             name: source_name.to_string(),
-        }
-    })?;
+        })?;
     let gran_name = cfg.opt_str("congestion_sensor.granularity", "vc")?;
-    let granularity = CongestionGranularity::from_name(gran_name).ok_or_else(|| {
-        BuildError::UnknownModel {
+    let granularity =
+        CongestionGranularity::from_name(gran_name).ok_or_else(|| BuildError::UnknownModel {
             registry: "congestion granularity",
             name: gran_name.to_string(),
-        }
-    })?;
+        })?;
     let delay = cfg.opt_u64("congestion_sensor.delay", 0)?;
-    Ok(SensorConfig { source, granularity, delay })
+    Ok(SensorConfig {
+        source,
+        granularity,
+        delay,
+    })
 }
 
 fn core_period(cfg: &Value, link_period: Tick) -> Result<Tick, BuildError> {
     let speedup = cfg.opt_u64("speedup", 1)?;
-    if speedup == 0 || link_period % speedup != 0 {
+    if speedup == 0 || !link_period.is_multiple_of(speedup) {
         return Err(BuildError::invalid(format!(
             "frequency speedup {speedup} must evenly divide the link period {link_period} \
              (pick a finer tick)"
@@ -245,23 +253,24 @@ fn register_routers(f: &mut Factories) {
         Ok(Box::new(router) as Box<dyn Component<Ev>>)
     });
 
-    f.routers.register("input_output_queued", |ctx: RouterCtx<'_>| {
-        let cfg = ctx.config;
-        let router = IoqRouter::new(IoqConfig {
-            id: ctx.id,
-            ports: ctx.ports,
-            input_buffer: cfg.req_u64("input_buffer")? as u32,
-            output_queue: cfg.req_u64("output_queue")? as u32,
-            core_period: core_period(cfg, ctx.link_period)?,
-            link_period: ctx.link_period,
-            xbar_latency: cfg.opt_u64("xbar_latency", 1)?,
-            flow_control: flow_control_of(cfg)?,
-            arbiter: cfg.opt_str("arbiter", "round_robin")?.to_string(),
-            sensor: sensor_config(cfg)?,
-            routing: ctx.routing,
-        })?;
-        Ok(Box::new(router) as Box<dyn Component<Ev>>)
-    });
+    f.routers
+        .register("input_output_queued", |ctx: RouterCtx<'_>| {
+            let cfg = ctx.config;
+            let router = IoqRouter::new(IoqConfig {
+                id: ctx.id,
+                ports: ctx.ports,
+                input_buffer: cfg.req_u64("input_buffer")? as u32,
+                output_queue: cfg.req_u64("output_queue")? as u32,
+                core_period: core_period(cfg, ctx.link_period)?,
+                link_period: ctx.link_period,
+                xbar_latency: cfg.opt_u64("xbar_latency", 1)?,
+                flow_control: flow_control_of(cfg)?,
+                arbiter: cfg.opt_str("arbiter", "round_robin")?.to_string(),
+                sensor: sensor_config(cfg)?,
+                routing: ctx.routing,
+            })?;
+            Ok(Box::new(router) as Box<dyn Component<Ev>>)
+        });
 }
 
 /// Parses `message_size` (fixed) or `message_sizes` (weighted array of
@@ -303,7 +312,9 @@ fn register_apps(f: &mut Factories) {
     f.apps.register("blast", |cfg, ctx| {
         let pattern_name = cfg.opt_str("pattern.name", "uniform_random")?.to_string();
         let pattern_cfg = cfg.path("pattern").cloned().unwrap_or_default();
-        let pattern = ctx.patterns.build(&pattern_name, &pattern_cfg, ctx.terminals)?;
+        let pattern = ctx
+            .patterns
+            .build(&pattern_name, &pattern_cfg, ctx.terminals)?;
         let load = cfg.req_f64("load")?;
         if !(0.0..=1.0).contains(&load) {
             return Err(BuildError::invalid(
@@ -332,7 +343,9 @@ fn register_apps(f: &mut Factories) {
     f.apps.register("pulse", |cfg, ctx| {
         let pattern_name = cfg.opt_str("pattern.name", "uniform_random")?.to_string();
         let pattern_cfg = cfg.path("pattern").cloned().unwrap_or_default();
-        let pattern = ctx.patterns.build(&pattern_name, &pattern_cfg, ctx.terminals)?;
+        let pattern = ctx
+            .patterns
+            .build(&pattern_name, &pattern_cfg, ctx.terminals)?;
         let load = cfg.req_f64("load")?;
         if !(0.0 < load && load <= 1.0) {
             return Err(BuildError::invalid(
@@ -352,7 +365,9 @@ fn register_apps(f: &mut Factories) {
     f.apps.register("pingpong", |cfg, ctx| {
         let pattern_name = cfg.opt_str("pattern.name", "uniform_random")?.to_string();
         let pattern_cfg = cfg.path("pattern").cloned().unwrap_or_default();
-        let pattern = ctx.patterns.build(&pattern_name, &pattern_cfg, ctx.terminals)?;
+        let pattern = ctx
+            .patterns
+            .build(&pattern_name, &pattern_cfg, ctx.terminals)?;
         let request_size = cfg.opt_u64("request_size", 1)? as u32;
         let reply_size = cfg.opt_u64("reply_size", 2)? as u32;
         if request_size == reply_size || request_size == 0 || reply_size == 0 {
@@ -372,13 +387,17 @@ fn register_apps(f: &mut Factories) {
 fn register_patterns(f: &mut Factories) {
     f.patterns.register("uniform_random", |_cfg, terminals| {
         if terminals < 2 {
-            return Err(BuildError::invalid("uniform random needs at least 2 terminals"));
+            return Err(BuildError::invalid(
+                "uniform random needs at least 2 terminals",
+            ));
         }
         Ok(Arc::new(UniformRandom::new(terminals)) as Arc<dyn TrafficPattern>)
     });
     f.patterns.register("bit_complement", |_cfg, terminals| {
         if terminals < 2 {
-            return Err(BuildError::invalid("bit complement needs at least 2 terminals"));
+            return Err(BuildError::invalid(
+                "bit complement needs at least 2 terminals",
+            ));
         }
         Ok(Arc::new(BitComplement::new(terminals)) as Arc<dyn TrafficPattern>)
     });
@@ -386,14 +405,18 @@ fn register_patterns(f: &mut Factories) {
         let widths = u32s(cfg.req_u64_array("widths")?);
         let conc = cfg.req_u64("concentration")? as u32;
         if widths.is_empty() || conc == 0 {
-            return Err(BuildError::invalid("tornado needs torus widths and concentration"));
+            return Err(BuildError::invalid(
+                "tornado needs torus widths and concentration",
+            ));
         }
         Ok(Arc::new(Tornado::new(widths, conc)) as Arc<dyn TrafficPattern>)
     });
     f.patterns.register("transpose", |_cfg, terminals| {
         let side = (terminals as f64).sqrt() as u32;
         if side * side != terminals {
-            return Err(BuildError::invalid("transpose needs a square terminal count"));
+            return Err(BuildError::invalid(
+                "transpose needs a square terminal count",
+            ));
         }
         Ok(Arc::new(Transpose::new(terminals)) as Arc<dyn TrafficPattern>)
     });
@@ -416,7 +439,9 @@ fn register_patterns(f: &mut Factories) {
     });
     f.patterns.register("random_permutation", |cfg, terminals| {
         if terminals < 2 {
-            return Err(BuildError::invalid("permutation needs at least 2 terminals"));
+            return Err(BuildError::invalid(
+                "permutation needs at least 2 terminals",
+            ));
         }
         let seed = cfg.opt_u64("seed", 1)?;
         Ok(Arc::new(RandomPermutation::new(terminals, seed)) as Arc<dyn TrafficPattern>)

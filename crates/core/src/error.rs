@@ -109,8 +109,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = BuildError::UnknownModel { registry: "network", name: "warp".into() };
-        assert_eq!(e.to_string(), "no network model named \"warp\" is registered");
+        let e = BuildError::UnknownModel {
+            registry: "network",
+            name: "warp".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "no network model named \"warp\" is registered"
+        );
         let e = SimError::Stalled { tick: 99 };
         assert!(e.to_string().contains("99"));
     }

@@ -82,19 +82,26 @@ impl std::error::Error for SweepError {}
 
 /// Runs one point of a sweep.
 fn run_point(spec: &LoadSweepSpec, index: usize, load: f64) -> Result<LoadPoint, SweepError> {
-    let filter = Filter::parse_all(&spec.filter)
-        .map_err(|e| SweepError::Filter(e.to_string()))?;
+    let filter = Filter::parse_all(&spec.filter).map_err(|e| SweepError::Filter(e.to_string()))?;
     let mut cfg = spec.base.clone();
     for path in &spec.load_paths {
         cfg.set_path(path, Value::Float(load))
-            .map_err(|e| SweepError::Build { load, source: BuildError::Config(e) })?;
+            .map_err(|e| SweepError::Build {
+                load,
+                source: BuildError::Config(e),
+            })?;
     }
     // Decorrelate the points without losing reproducibility.
     let seed = cfg.opt_u64("seed", 1).unwrap_or(1) + index as u64;
     cfg.set_path("seed", Value::from(seed))
-        .map_err(|e| SweepError::Build { load, source: BuildError::Config(e) })?;
+        .map_err(|e| SweepError::Build {
+            load,
+            source: BuildError::Config(e),
+        })?;
     let sim = SuperSim::from_config(&cfg).map_err(|source| SweepError::Build { load, source })?;
-    let output = sim.run().map_err(|source| SweepError::Sim { load, source })?;
+    let output = sim
+        .run()
+        .map_err(|source| SweepError::Sim { load, source })?;
     output
         .load_point(load, &filter)
         .ok_or_else(|| SweepError::Sim {
@@ -110,7 +117,9 @@ fn run_point(spec: &LoadSweepSpec, index: usize, load: f64) -> Result<LoadPoint,
 ///
 /// Returns the first failing point's error.
 pub fn run_load_sweep(spec: &LoadSweepSpec) -> Result<LoadSweep, SweepError> {
-    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
     let mut results: Vec<Option<Result<LoadPoint, SweepError>>> =
         (0..spec.loads.len()).map(|_| None).collect();
     if workers <= 1 || spec.loads.len() <= 1 {
@@ -147,11 +156,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_monotone_series() {
-        let spec = LoadSweepSpec::simple(
-            presets::quickstart(),
-            "quickstart",
-            vec![0.05, 0.2],
-        );
+        let spec = LoadSweepSpec::simple(presets::quickstart(), "quickstart", vec![0.05, 0.2]);
         let sweep = run_load_sweep(&spec).expect("sweep runs");
         assert_eq!(sweep.points.len(), 2);
         assert!(sweep.points[0].delivered > 0.0);

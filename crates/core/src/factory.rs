@@ -34,15 +34,21 @@ use supersim_workload::{Application, TrafficPattern};
 
 use crate::error::BuildError;
 
+/// A boxed constructor stored by a [`Registry`].
+type Constructor<T> = Box<dyn Fn(&Value) -> Result<T, BuildError> + Send + Sync>;
+
 /// A name → constructor map for one abstract component type.
 pub struct Registry<T> {
     kind: &'static str,
-    entries: BTreeMap<String, Box<dyn Fn(&Value) -> Result<T, BuildError> + Send + Sync>>,
+    entries: BTreeMap<String, Constructor<T>>,
 }
 
 impl<T> Registry<T> {
     fn new(kind: &'static str) -> Self {
-        Registry { kind, entries: BTreeMap::new() }
+        Registry {
+            kind,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Registers (or replaces) a constructor under `name`.
@@ -71,10 +77,13 @@ impl<T> Registry<T> {
     /// Returns [`BuildError::UnknownModel`] for unregistered names, or the
     /// constructor's error.
     pub fn build(&self, name: &str, config: &Value) -> Result<T, BuildError> {
-        let ctor = self.entries.get(name).ok_or_else(|| BuildError::UnknownModel {
-            registry: self.kind,
-            name: name.to_string(),
-        })?;
+        let ctor = self
+            .entries
+            .get(name)
+            .ok_or_else(|| BuildError::UnknownModel {
+                registry: self.kind,
+                name: name.to_string(),
+            })?;
         ctor(config)
     }
 }
@@ -148,9 +157,7 @@ pub struct AppCtx<'a> {
 type RouterCtor =
     Box<dyn Fn(RouterCtx<'_>) -> Result<Box<dyn Component<Ev>>, BuildError> + Send + Sync>;
 type AppCtor = Box<
-    dyn for<'a> Fn(&Value, AppCtx<'a>) -> Result<Box<dyn Application>, BuildError>
-        + Send
-        + Sync,
+    dyn for<'a> Fn(&Value, AppCtx<'a>) -> Result<Box<dyn Application>, BuildError> + Send + Sync,
 >;
 type PatternCtor =
     Box<dyn Fn(&Value, u32) -> Result<Arc<dyn TrafficPattern>, BuildError> + Send + Sync>;
@@ -190,10 +197,13 @@ impl PatternRegistry {
         config: &Value,
         terminals: u32,
     ) -> Result<Arc<dyn TrafficPattern>, BuildError> {
-        let ctor = self.entries.get(name).ok_or_else(|| BuildError::UnknownModel {
-            registry: "traffic pattern",
-            name: name.to_string(),
-        })?;
+        let ctor = self
+            .entries
+            .get(name)
+            .ok_or_else(|| BuildError::UnknownModel {
+                registry: "traffic pattern",
+                name: name.to_string(),
+            })?;
         ctor(config, terminals)
     }
 }
@@ -231,10 +241,13 @@ impl RouterRegistry {
         name: &str,
         ctx: RouterCtx<'_>,
     ) -> Result<Box<dyn Component<Ev>>, BuildError> {
-        let ctor = self.entries.get(name).ok_or_else(|| BuildError::UnknownModel {
-            registry: "router architecture",
-            name: name.to_string(),
-        })?;
+        let ctor = self
+            .entries
+            .get(name)
+            .ok_or_else(|| BuildError::UnknownModel {
+                registry: "router architecture",
+                name: name.to_string(),
+            })?;
         ctor(ctx)
     }
 }
@@ -273,10 +286,13 @@ impl AppRegistry {
         config: &Value,
         ctx: AppCtx<'_>,
     ) -> Result<Box<dyn Application>, BuildError> {
-        let ctor = self.entries.get(name).ok_or_else(|| BuildError::UnknownModel {
-            registry: "application",
-            name: name.to_string(),
-        })?;
+        let ctor = self
+            .entries
+            .get(name)
+            .ok_or_else(|| BuildError::UnknownModel {
+                registry: "application",
+                name: name.to_string(),
+            })?;
         ctor(config, ctx)
     }
 }
@@ -299,9 +315,15 @@ impl Factories {
     pub fn empty() -> Self {
         Factories {
             networks: Registry::new("network"),
-            routers: RouterRegistry { entries: BTreeMap::new() },
-            apps: AppRegistry { entries: BTreeMap::new() },
-            patterns: PatternRegistry { entries: BTreeMap::new() },
+            routers: RouterRegistry {
+                entries: BTreeMap::new(),
+            },
+            apps: AppRegistry {
+                entries: BTreeMap::new(),
+            },
+            patterns: PatternRegistry {
+                entries: BTreeMap::new(),
+            },
         }
     }
 
@@ -322,10 +344,16 @@ impl Default for Factories {
 impl std::fmt::Debug for Factories {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Factories")
-            .field("networks", &self.networks.entries.keys().collect::<Vec<_>>())
+            .field(
+                "networks",
+                &self.networks.entries.keys().collect::<Vec<_>>(),
+            )
             .field("routers", &self.routers.entries.keys().collect::<Vec<_>>())
             .field("apps", &self.apps.entries.keys().collect::<Vec<_>>())
-            .field("patterns", &self.patterns.entries.keys().collect::<Vec<_>>())
+            .field(
+                "patterns",
+                &self.patterns.entries.keys().collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

@@ -89,7 +89,9 @@ pub fn latent_congestion(
         },
     };
     if let Some(q) = output_queue {
-        router.set_path("output_queue", Value::from(u64::from(q))).expect("object root");
+        router
+            .set_path("output_queue", Value::from(u64::from(q)))
+            .expect("object root");
     }
     obj! {
         "seed" => 1u64,

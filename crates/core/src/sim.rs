@@ -3,10 +3,11 @@
 use std::sync::Arc;
 
 use supersim_config::Value;
-use supersim_des::{RunOutcome, RunStats, Tick};
-use supersim_netbase::Phase;
+use supersim_des::{ComponentId, RunOutcome, RunStats, Simulator, Tick};
+use supersim_netbase::{Ev, Phase};
+use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterMetrics};
 use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
-use supersim_stats::{Filter, RecordKind, SampleLog};
+use supersim_stats::{Filter, Histogram, MetricValue, MetricsSnapshot, RecordKind, SampleLog};
 use supersim_topology::Topology;
 use supersim_workload::{Interface, InterfaceCounters};
 
@@ -52,7 +53,9 @@ impl SuperSim {
     /// Returns a [`BuildError`] on malformed configuration or unknown
     /// model names.
     pub fn with_factories(config: &Value, factories: &Factories) -> Result<Self, BuildError> {
-        Ok(SuperSim { built: build(config, factories)? })
+        Ok(SuperSim {
+            built: build(config, factories)?,
+        })
     }
 
     /// The network shape of this simulation.
@@ -74,13 +77,19 @@ impl SuperSim {
             RunOutcome::Drained => {}
             RunOutcome::Failed(msg) => return Err(SimError::Model(msg.clone())),
             RunOutcome::TickLimit | RunOutcome::Stopped => {
-                return Err(SimError::Stalled { tick: stats.end_time.tick() })
+                return Err(SimError::Stalled {
+                    tick: stats.end_time.tick(),
+                })
             }
         }
         let mut log = SampleLog::new();
         let mut counters = InterfaceCounters::default();
         let mut max_queue_depth = 0;
         let mut window_flits = 0u64;
+        let mut inject_stalls = 0u64;
+        let mut queue_depth_now = 0u64;
+        let mut queue_depth_high = 0u64;
+        let mut phase_latency = [Histogram::new(); 4];
         for &id in &self.built.interfaces {
             let iface = self
                 .built
@@ -100,7 +109,92 @@ impl SuperSim {
             counters.flits_received += iface.counters.flits_received;
             counters.messages_received += iface.counters.messages_received;
             max_queue_depth = max_queue_depth.max(iface.queue_depth());
+            inject_stalls += iface.metrics.inject_stalls.get();
+            queue_depth_now += iface.metrics.queue_depth.get();
+            queue_depth_high = queue_depth_high.max(iface.metrics.queue_depth.max());
+            for (agg, h) in phase_latency
+                .iter_mut()
+                .zip(iface.metrics.phase_latency.iter())
+            {
+                agg.merge(h);
+            }
         }
+
+        // --- metrics snapshot (assembled on demand, paper-style) -------
+        let mut metrics = self.built.registry.snapshot();
+        let em = self.built.sim.metrics();
+        metrics.push_counter("engine", "events_executed", em.events_executed);
+        metrics.push_counter("engine", "batches", em.batches);
+        metrics.push_counter("engine", "total_enqueued", em.total_enqueued);
+        metrics.push_counter("engine", "horizon", em.horizon as u64);
+        metrics.push_counter("engine", "horizon_resizes", em.horizon_resizes);
+        metrics.push_counter("engine", "overflow_spills", em.overflow_spills);
+        metrics.push_counter("engine", "overflow_len", em.overflow_len as u64);
+        metrics.push_counter(
+            "engine",
+            "events_per_second",
+            stats.events_per_second() as u64,
+        );
+        metrics.push(
+            "engine",
+            "queue_len",
+            MetricValue::Gauge {
+                value: em.queue_len as u64,
+                max: em.queue_high_water as u64,
+            },
+        );
+        metrics.push_histogram(
+            "engine",
+            "batch_size",
+            &Histogram::from_log2_counts(&em.batch_counts, em.batches, em.events_executed),
+        );
+
+        metrics.push_counter("workload", "messages_sent", counters.messages_sent);
+        metrics.push_counter("workload", "packets_sent", counters.packets_sent);
+        metrics.push_counter("workload", "flits_sent", counters.flits_sent);
+        metrics.push_counter("workload", "flits_received", counters.flits_received);
+        metrics.push_counter("workload", "messages_received", counters.messages_received);
+        metrics.push_counter("workload", "inject_stalls", inject_stalls);
+        metrics.push(
+            "workload",
+            "queue_depth",
+            MetricValue::Gauge {
+                value: queue_depth_now,
+                max: queue_depth_high,
+            },
+        );
+        for phase in Phase::ALL {
+            metrics.push_histogram(
+                "workload",
+                &format!("packet_latency_{phase}"),
+                &phase_latency[phase.index()],
+            );
+        }
+
+        for (r, &id) in self.built.routers.iter().enumerate() {
+            if let Some(rm) = router_metrics(&self.built.sim, id) {
+                let name = format!("router_{r}");
+                metrics.push_counter(&name, "grants", rm.grants.get());
+                metrics.push_counter(&name, "denials", rm.denials.get());
+                metrics.push_counter(&name, "credit_stalls", rm.credit_stalls.get());
+                for (p, g) in rm.occupancy().iter().enumerate() {
+                    metrics.push(
+                        &name,
+                        format!("occupancy_port_{p}"),
+                        MetricValue::Gauge {
+                            value: g.get(),
+                            max: g.max(),
+                        },
+                    );
+                }
+            }
+        }
+
+        let trace = self
+            .built
+            .tracer
+            .is_enabled()
+            .then(|| self.built.tracer.to_json_lines());
         let monitor = self
             .built
             .sim
@@ -114,8 +208,25 @@ impl SuperSim {
             counters,
             window_flits,
             link_period: self.built.link_period,
+            metrics,
+            trace,
         })
     }
+}
+
+/// The metrics of a built-in router architecture, found by downcast.
+/// Custom router components report no router-plane metrics.
+fn router_metrics(sim: &Simulator<Ev>, id: ComponentId) -> Option<&RouterMetrics> {
+    if let Some(r) = sim.component_as::<IqRouter>(id) {
+        return Some(&r.metrics);
+    }
+    if let Some(r) = sim.component_as::<OqRouter>(id) {
+        return Some(&r.metrics);
+    }
+    if let Some(r) = sim.component_as::<IoqRouter>(id) {
+        return Some(&r.metrics);
+    }
+    None
 }
 
 impl std::fmt::Debug for SuperSim {
@@ -146,6 +257,11 @@ pub struct RunOutput {
     pub window_flits: u64,
     /// Channel cycle time in ticks; one flit per link period is 100% load.
     pub link_period: Tick,
+    /// End-of-run metrics snapshot of every registered component
+    /// (engine, workload, and per-router planes).
+    pub metrics: MetricsSnapshot,
+    /// JSON-lines flit trace, when `observability.trace.enabled` was set.
+    pub trace: Option<String>,
 }
 
 impl RunOutput {
@@ -163,7 +279,10 @@ impl RunOutput {
 
     /// The tick a phase was entered, if it was.
     pub fn phase_start(&self, phase: Phase) -> Option<Tick> {
-        self.phase_times.iter().find(|&&(p, _)| p == phase).map(|&(_, t)| t)
+        self.phase_times
+            .iter()
+            .find(|&&(p, _)| p == phase)
+            .map(|&(_, t)| t)
     }
 
     /// A [`WindowAnalysis`] over the sampling window.
@@ -187,8 +306,7 @@ impl RunOutput {
         let (start, end) = self.window()?;
         // Normalize to a fraction of the line rate so offered and
         // delivered are directly comparable at any link period.
-        point.delivered = self.window_flits as f64 / (end - start) as f64
-            / self.terminals as f64
+        point.delivered = self.window_flits as f64 / (end - start) as f64 / self.terminals as f64
             * self.link_period as f64;
         Some(point)
     }

@@ -122,7 +122,7 @@ impl Clock {
     /// Whether `tick` falls exactly on a clock edge.
     #[inline]
     pub fn is_edge(&self, tick: Tick) -> bool {
-        tick >= self.phase && (tick - self.phase) % self.period == 0
+        tick >= self.phase && (tick - self.phase).is_multiple_of(self.period)
     }
 }
 

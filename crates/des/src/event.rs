@@ -125,7 +125,10 @@ struct Bucket {
 }
 
 impl Bucket {
-    const EMPTY: Bucket = Bucket { head: NIL, tail: NIL };
+    const EMPTY: Bucket = Bucket {
+        head: NIL,
+        tail: NIL,
+    };
 }
 
 /// The simulator's global event queue: per-tick ring buckets over a
@@ -156,6 +159,10 @@ pub struct EventQueue<E> {
     total_enqueued: u64,
     /// Largest `len()` ever observed.
     max_len: usize,
+    /// Lifetime count of pushes that landed in the overflow heap.
+    overflow_spills: u64,
+    /// Lifetime count of horizon doublings performed by `maybe_grow`.
+    horizon_resizes: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -186,6 +193,8 @@ impl<E> EventQueue<E> {
             overflow_seq: 0,
             total_enqueued: 0,
             max_len: 0,
+            overflow_spills: 0,
+            horizon_resizes: 0,
         }
     }
 
@@ -220,7 +229,12 @@ impl<E> EventQueue<E> {
         } else {
             let i = self.slab.len();
             assert!(i < NIL as usize, "event slab exhausted u32 index space");
-            self.slab.push(Slot { time, target, next: NIL, payload: Some(payload) });
+            self.slab.push(Slot {
+                time,
+                target,
+                next: NIL,
+                payload: Some(payload),
+            });
             i as u32
         }
     }
@@ -230,7 +244,11 @@ impl<E> EventQueue<E> {
     fn free_slot(&mut self, i: u32) -> EventEntry<E> {
         let slot = &mut self.slab[i as usize];
         let payload = slot.payload.take().expect("freeing an empty slot");
-        let entry = EventEntry { time: slot.time, target: slot.target, payload };
+        let entry = EventEntry {
+            time: slot.time,
+            target: slot.target,
+            payload,
+        };
         slot.next = self.free_head;
         self.free_head = i;
         entry
@@ -241,7 +259,10 @@ impl<E> EventQueue<E> {
     fn link_back(&mut self, idx: usize, slot: u32) {
         let bucket = self.buckets[idx];
         if bucket.tail == NIL {
-            self.buckets[idx] = Bucket { head: slot, tail: slot };
+            self.buckets[idx] = Bucket {
+                head: slot,
+                tail: slot,
+            };
             self.set_occupied(idx);
         } else {
             self.slab[bucket.tail as usize].next = slot;
@@ -270,7 +291,13 @@ impl<E> EventQueue<E> {
         } else {
             let seq = self.overflow_seq;
             self.overflow_seq += 1;
-            self.overflow.push(OverflowEntry { time, seq, target, payload });
+            self.overflow_spills += 1;
+            self.overflow.push(OverflowEntry {
+                time,
+                seq,
+                target,
+                payload,
+            });
             self.maybe_grow();
         }
         let len = self.len();
@@ -296,6 +323,7 @@ impl<E> EventQueue<E> {
                 .peek()
                 .is_some_and(|head| head.time.tick() - self.cur_tick <= 2 * self.mask as u64 + 1)
         {
+            self.horizon_resizes += 1;
             let new_horizon = self.buckets.len() * 2;
             let old_buckets = std::mem::replace(
                 &mut self.buckets,
@@ -332,8 +360,12 @@ impl<E> EventQueue<E> {
             if head.time.tick() - self.cur_tick > horizon {
                 break;
             }
-            let OverflowEntry { time, target, payload, .. } =
-                self.overflow.pop().expect("peeked overflow entry vanished");
+            let OverflowEntry {
+                time,
+                target,
+                payload,
+                ..
+            } = self.overflow.pop().expect("peeked overflow entry vanished");
             let idx = time.tick() as usize & self.mask;
             let slot = self.alloc_slot(time, target, payload);
             self.link_back(idx, slot);
@@ -494,7 +526,10 @@ impl<E> EventQueue<E> {
             if self.slab[cur as usize].time.epsilon() == eps {
                 out.push(self.free_slot(cur));
             } else if keep.tail == NIL {
-                keep = Bucket { head: cur, tail: cur };
+                keep = Bucket {
+                    head: cur,
+                    tail: cur,
+                };
             } else {
                 self.slab[keep.tail as usize].next = cur;
                 keep.tail = cur;
@@ -526,7 +561,10 @@ impl<E> EventQueue<E> {
             tick = e.time.tick();
             let slot = self.alloc_slot(e.time, e.target, e.payload);
             if chain.tail == NIL {
-                chain = Bucket { head: slot, tail: slot };
+                chain = Bucket {
+                    head: slot,
+                    tail: slot,
+                };
             } else {
                 self.slab[chain.tail as usize].next = slot;
                 chain.tail = slot;
@@ -542,7 +580,11 @@ impl<E> EventQueue<E> {
         self.slab[chain.tail as usize].next = old.head;
         self.buckets[idx] = Bucket {
             head: chain.head,
-            tail: if old.tail == NIL { chain.tail } else { old.tail },
+            tail: if old.tail == NIL {
+                chain.tail
+            } else {
+                old.tail
+            },
         };
         self.set_occupied(idx);
         self.ring_len += count;
@@ -589,6 +631,19 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn total_enqueued(&self) -> u64 {
         self.total_enqueued
+    }
+
+    /// Lifetime count of pushes that missed the ring and parked in the
+    /// overflow heap.
+    #[inline]
+    pub fn overflow_spills(&self) -> u64 {
+        self.overflow_spills
+    }
+
+    /// Lifetime count of adaptive horizon doublings.
+    #[inline]
+    pub fn horizon_resizes(&self) -> u64 {
+        self.horizon_resizes
     }
 }
 
@@ -727,7 +782,10 @@ mod tests {
         q.push(id(3), Time::at(6), 3);
         let mut batch = Vec::new();
         assert_eq!(q.take_batch(&mut batch), 2);
-        assert_eq!(batch.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            batch.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
         assert_eq!(q.take_batch(&mut batch), 1);
         assert_eq!(batch[0].payload, 2);
         assert_eq!(batch[0].time, Time::new(5, 1));
@@ -788,7 +846,11 @@ mod tests {
             let e = q.pop().expect("event");
             q.push(id(0), Time::at(t + 1), e.payload + 1);
         }
-        assert!(q.slab.len() <= 2, "slab grew to {} slots for 1 live event", q.slab.len());
+        assert!(
+            q.slab.len() <= 2,
+            "slab grew to {} slots for 1 live event",
+            q.slab.len()
+        );
     }
 
     #[test]
@@ -802,7 +864,10 @@ mod tests {
         assert_eq!(q.take_batch(&mut batch), 1);
         assert_eq!(batch[0].payload, "a1");
         assert_eq!(q.take_batch(&mut batch), 2);
-        assert_eq!(batch.iter().map(|e| e.payload).collect::<Vec<_>>(), vec!["b1", "b2"]);
+        assert_eq!(
+            batch.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec!["b1", "b2"]
+        );
         assert_eq!(q.take_batch(&mut batch), 1);
         assert_eq!(batch[0].payload, "c1");
         assert!(q.is_empty());

@@ -49,10 +49,10 @@
 //! ```
 
 mod clock;
-#[cfg(all(test, feature = "proptest"))]
-mod proptests;
 mod component;
 mod event;
+#[cfg(all(test, feature = "proptest"))]
+mod proptests;
 mod rng;
 mod simulator;
 mod time;
@@ -61,5 +61,5 @@ pub use clock::Clock;
 pub use component::{Component, ComponentId};
 pub use event::{EventEntry, EventQueue};
 pub use rng::{Rng, SampleRange};
-pub use simulator::{Context, RunOutcome, RunStats, Simulator};
+pub use simulator::{Context, EngineMetrics, RunOutcome, RunStats, Simulator, BATCH_BUCKETS};
 pub use time::{Epsilon, Tick, Time};

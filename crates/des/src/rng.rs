@@ -246,7 +246,10 @@ mod tests {
         for _ in 0..1000 {
             seen[rng.gen_range(0..8usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "8-value range missed a value in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "8-value range missed a value in 1000 draws"
+        );
     }
 
     #[test]
@@ -266,7 +269,10 @@ mod tests {
     fn gen_bool_roughly_fair() {
         let mut rng = Rng::new(17);
         let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
-        assert!((4_500..5_500).contains(&heads), "biased coin: {heads}/10000");
+        assert!(
+            (4_500..5_500).contains(&heads),
+            "biased coin: {heads}/10000"
+        );
     }
 
     #[test]
@@ -305,7 +311,9 @@ mod tests {
         let mut parent = Rng::new(37);
         let mut child = parent.fork();
         // The child diverges from the parent's continued stream.
-        let same = (0..16).filter(|_| parent.gen_u64() == child.gen_u64()).count();
+        let same = (0..16)
+            .filter(|_| parent.gen_u64() == child.gen_u64())
+            .count();
         assert_eq!(same, 0);
     }
 

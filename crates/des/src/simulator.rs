@@ -69,6 +69,52 @@ impl RunStats {
     }
 }
 
+/// Number of log₂ batch-size buckets: bucket 0 is unused (a batch has at
+/// least one event), bucket `i` covers sizes in `[2^(i-1), 2^i)`.
+pub const BATCH_BUCKETS: usize = 65;
+
+/// Engine self-metrics accumulated over the simulator's lifetime.
+///
+/// The `des` crate sits below the stats crate in the dependency order, so
+/// the batch-size distribution is exposed as a raw log₂-bucketed count
+/// array; higher layers convert it into their histogram type.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Events executed since construction.
+    pub events_executed: u64,
+    /// Same-`(tick, epsilon)` batches dispatched.
+    pub batches: u64,
+    /// Log₂-bucketed distribution of executed batch sizes: bucket `i > 0`
+    /// counts batches of `[2^(i-1), 2^i)` events. Sums to `batches`; the
+    /// weighted sum of sizes is `events_executed`.
+    pub batch_counts: [u64; BATCH_BUCKETS],
+    /// Events pending right now.
+    pub queue_len: usize,
+    /// Largest number of simultaneously pending events ever observed.
+    pub queue_high_water: usize,
+    /// Events ever enqueued.
+    pub total_enqueued: u64,
+    /// Current ring horizon in ticks.
+    pub horizon: usize,
+    /// Adaptive horizon doublings performed.
+    pub horizon_resizes: u64,
+    /// Pushes that landed in the overflow heap instead of the ring.
+    pub overflow_spills: u64,
+    /// Events currently parked in the overflow heap.
+    pub overflow_len: usize,
+}
+
+/// Log₂ bucket index shared with the stats crate's histogram: 0 → 0,
+/// otherwise `64 - leading_zeros(v)`.
+#[inline]
+fn log2_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
 /// The execution context handed to a component while it processes an event.
 ///
 /// Through the context a component can read the current time, schedule new
@@ -160,6 +206,8 @@ pub struct Simulator<E> {
     now: Time,
     rng: Rng,
     events_executed: u64,
+    batches: u64,
+    batch_counts: [u64; BATCH_BUCKETS],
 }
 
 impl<E: 'static> Simulator<E> {
@@ -172,6 +220,8 @@ impl<E: 'static> Simulator<E> {
             now: Time::ZERO,
             rng: Rng::new(seed),
             events_executed: 0,
+            batches: 0,
+            batch_counts: [0; BATCH_BUCKETS],
         }
     }
 
@@ -211,7 +261,8 @@ impl<E: 'static> Simulator<E> {
 
     /// Downcasts a component to its concrete type for post-run inspection.
     pub fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
-        self.component(id).and_then(|c| c.as_any().downcast_ref::<T>())
+        self.component(id)
+            .and_then(|c| c.as_any().downcast_ref::<T>())
     }
 
     /// Mutable variant of [`Simulator::component_as`].
@@ -220,6 +271,33 @@ impl<E: 'static> Simulator<E> {
             .get_mut(id.index())
             .and_then(|c| c.as_deref_mut())
             .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Folds one finished (or aborted) batch into the engine counters.
+    #[inline]
+    fn record_batch(&mut self, done: u64) {
+        if done == 0 {
+            return;
+        }
+        self.events_executed += done;
+        self.batches += 1;
+        self.batch_counts[log2_bucket(done)] += 1;
+    }
+
+    /// Engine self-metrics accumulated since construction.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            events_executed: self.events_executed,
+            batches: self.batches,
+            batch_counts: self.batch_counts,
+            queue_len: self.queue.len(),
+            queue_high_water: self.queue.high_water_mark(),
+            total_enqueued: self.queue.total_enqueued(),
+            horizon: self.queue.horizon(),
+            horizon_resizes: self.queue.horizon_resizes(),
+            overflow_spills: self.queue.overflow_spills(),
+            overflow_len: self.queue.overflow_len(),
+        }
     }
 
     /// Runs until the event queue drains, a component stops or fails.
@@ -253,13 +331,18 @@ impl<E: 'static> Simulator<E> {
             debug_assert!(next_time >= self.now, "event queue went backwards");
             self.now = next_time;
 
+            // Engine stats update once per batch, not per event: `done`
+            // counts executed events in a register and folds into the
+            // simulator's counters when the batch ends (normally or via an
+            // abort path), keeping the per-event loop free of stats writes.
+            let mut done = 0u64;
             let mut pending = batch.drain(..);
             while let Some(entry) = pending.next() {
-                self.events_executed += 1;
                 let slot = match self.components.get_mut(entry.target.index()) {
                     Some(slot) => slot,
                     None => {
                         let target = entry.target;
+                        self.record_batch(done + 1);
                         self.queue.requeue_front(pending);
                         break 'run RunOutcome::Failed(format!(
                             "event targeted unregistered {target}"
@@ -277,16 +360,20 @@ impl<E: 'static> Simulator<E> {
                 };
                 component.handle(&mut ctx, entry.payload);
                 self.components[entry.target.index()] = Some(component);
+                done += 1;
 
                 if let Some(msg) = failure.take() {
+                    self.record_batch(done);
                     self.queue.requeue_front(pending);
                     break 'run RunOutcome::Failed(msg);
                 }
                 if stop_requested {
+                    self.record_batch(done);
                     self.queue.requeue_front(pending);
                     break 'run RunOutcome::Stopped;
                 }
             }
+            self.record_batch(done);
         };
         self.batch = batch;
         RunStats {
@@ -357,8 +444,16 @@ mod tests {
 
     fn echo_pair(limit: u32) -> (Simulator<Ev>, ComponentId, ComponentId) {
         let mut sim = Simulator::new(1);
-        let a = sim.add_component(Box::new(Echo { peer: None, received: vec![], limit }));
-        let b = sim.add_component(Box::new(Echo { peer: Some(a), received: vec![], limit }));
+        let a = sim.add_component(Box::new(Echo {
+            peer: None,
+            received: vec![],
+            limit,
+        }));
+        let b = sim.add_component(Box::new(Echo {
+            peer: Some(a),
+            received: vec![],
+            limit,
+        }));
         sim.component_as_mut::<Echo>(a).unwrap().peer = Some(b);
         (sim, a, b)
     }
@@ -392,7 +487,10 @@ mod tests {
         let (mut sim, a, _) = echo_pair(1);
         sim.schedule(a, Time::at(0), Ev::Fail);
         let stats = sim.run();
-        assert_eq!(stats.outcome, RunOutcome::Failed("synthetic failure".into()));
+        assert_eq!(
+            stats.outcome,
+            RunOutcome::Failed("synthetic failure".into())
+        );
     }
 
     #[test]
@@ -424,6 +522,44 @@ mod tests {
         let xa: u64 = a.rng.gen_u64();
         let xb: u64 = b.rng.gen_u64();
         assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn batch_metrics_account_every_event_once() {
+        let (mut sim, a, _) = echo_pair(9);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        let m = sim.metrics();
+        assert_eq!(m.events_executed, stats.events_executed);
+        assert_eq!(m.batch_counts.iter().sum::<u64>(), m.batches);
+        // Ping-pong runs one event per (tick, epsilon): all batches size 1.
+        assert_eq!(m.batches, m.events_executed);
+        assert_eq!(m.batch_counts[1], m.batches, "size-1 batches fill bucket 1");
+        assert_eq!(m.total_enqueued, stats.total_enqueued);
+        assert_eq!(m.queue_len, 0);
+    }
+
+    #[test]
+    fn aborted_batch_still_counts_executed_events() {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_component(Box::new(Echo {
+            peer: None,
+            received: vec![],
+            limit: 0,
+        }));
+        // Three same-time events; the second stops the run mid-batch.
+        sim.schedule(a, Time::at(1), Ev::Ping(0));
+        sim.schedule(a, Time::at(1), Ev::Stop);
+        sim.schedule(a, Time::at(1), Ev::Ping(1));
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Stopped);
+        assert_eq!(stats.events_executed, 2);
+        let m = sim.metrics();
+        assert_eq!(m.events_executed, 2);
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.batch_counts[2], 1, "partial batch of 2 lands in bucket 2");
+        assert_eq!(m.queue_len, 1, "unexecuted remainder stays pending");
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub struct Time {
 
 impl Time {
     /// The zero of time: tick 0, epsilon 0.
-    pub const ZERO: Time = Time { tick: 0, epsilon: 0 };
+    pub const ZERO: Time = Time {
+        tick: 0,
+        epsilon: 0,
+    };
 
     /// Creates a time at the given tick and epsilon.
     #[inline]
@@ -73,7 +76,10 @@ impl Time {
     /// Panics in debug builds on tick overflow.
     #[inline]
     pub fn plus_ticks(self, ticks: Tick) -> Self {
-        Time { tick: self.tick + ticks, epsilon: 0 }
+        Time {
+            tick: self.tick + ticks,
+            epsilon: 0,
+        }
     }
 
     /// Returns this time with the epsilon advanced by one.
@@ -96,7 +102,10 @@ impl Time {
     /// Returns this time with the given epsilon.
     #[inline]
     pub fn with_epsilon(self, epsilon: Epsilon) -> Self {
-        Time { tick: self.tick, epsilon }
+        Time {
+            tick: self.tick,
+            epsilon,
+        }
     }
 }
 

@@ -27,7 +27,9 @@ impl RefModel {
     }
 
     fn pop(&mut self) -> Option<(Time, u32)> {
-        self.heap.pop().map(|Reverse((time, _, payload))| (time, payload))
+        self.heap
+            .pop()
+            .map(|Reverse((time, _, payload))| (time, payload))
     }
 
     fn peek_time(&self) -> Option<Time> {
@@ -70,13 +72,25 @@ fn cross_check(seed: u64, horizon: usize, tick_span: u64, ops: usize) {
             );
             floor = got.time;
         }
-        assert_eq!(calendar.len(), model.heap.len(), "length divergence at op {op}");
-        assert_eq!(calendar.peek_time(), model.peek_time(), "peek divergence at op {op}");
+        assert_eq!(
+            calendar.len(),
+            model.heap.len(),
+            "length divergence at op {op}"
+        );
+        assert_eq!(
+            calendar.peek_time(),
+            model.peek_time(),
+            "peek divergence at op {op}"
+        );
     }
     // Drain: the full remaining order must match.
     while let Some(want) = model.pop() {
         let got = calendar.pop().expect("calendar drained early");
-        assert_eq!((got.time, got.payload), want, "drain divergence (seed {seed})");
+        assert_eq!(
+            (got.time, got.payload),
+            want,
+            "drain divergence (seed {seed})"
+        );
     }
     assert!(calendar.is_empty());
 }

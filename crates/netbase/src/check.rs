@@ -42,11 +42,19 @@ pub enum CheckError {
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CheckError::WrongDestination { expected, actual, packet } => write!(
+            CheckError::WrongDestination {
+                expected,
+                actual,
+                packet,
+            } => write!(
                 f,
                 "{packet} addressed to {expected} was delivered to {actual}"
             ),
-            CheckError::OutOfOrder { packet, expected_seq, actual_seq } => write!(
+            CheckError::OutOfOrder {
+                packet,
+                expected_seq,
+                actual_seq,
+            } => write!(
                 f,
                 "{packet} delivered flit {actual_seq} while expecting flit {expected_seq}"
             ),
@@ -114,7 +122,9 @@ impl DeliveryChecker {
         }
         let entry = self.expected.entry(flit.pkt.id).or_insert(0);
         if *entry >= flit.pkt.size {
-            return Err(CheckError::AfterTail { packet: flit.pkt.id });
+            return Err(CheckError::AfterTail {
+                packet: flit.pkt.id,
+            });
         }
         if flit.seq != *entry {
             return Err(CheckError::OutOfOrder {
@@ -213,7 +223,11 @@ mod tests {
         let err = c.deliver(&flits[2]).unwrap_err();
         assert!(matches!(
             err,
-            CheckError::OutOfOrder { expected_seq: 1, actual_seq: 2, .. }
+            CheckError::OutOfOrder {
+                expected_seq: 1,
+                actual_seq: 2,
+                ..
+            }
         ));
     }
 

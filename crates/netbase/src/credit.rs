@@ -54,7 +54,10 @@ impl CreditCounter {
     /// Creates a counter for a downstream buffer of `capacity` flits,
     /// initially full.
     pub fn new(capacity: u32) -> Self {
-        CreditCounter { capacity, available: capacity }
+        CreditCounter {
+            capacity,
+            available: capacity,
+        }
     }
 
     /// Credits currently available.
@@ -179,7 +182,10 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert_eq!(CreditError::Underflow.to_string(), "credit counter went negative");
+        assert_eq!(
+            CreditError::Underflow.to_string(),
+            "credit counter went negative"
+        );
         assert!(CreditError::Overflow.to_string().contains("capacity"));
     }
 }

@@ -142,7 +142,13 @@ impl PacketBuilder {
             sample: self.sample,
         });
         (0..self.size)
-            .map(|seq| Flit { pkt: Arc::clone(&info), seq, vc: 0, hops: 0, inter: None })
+            .map(|seq| Flit {
+                pkt: Arc::clone(&info),
+                seq,
+                vc: 0,
+                hops: 0,
+                inter: None,
+            })
             .collect()
     }
 }
@@ -196,6 +202,8 @@ mod tests {
     #[test]
     fn flits_start_on_vc_zero_with_no_hops() {
         let flits = builder(2).build();
-        assert!(flits.iter().all(|f| f.vc == 0 && f.hops == 0 && f.inter.is_none()));
+        assert!(flits
+            .iter()
+            .all(|f| f.vc == 0 && f.hops == 0 && f.inter.is_none()));
     }
 }

@@ -16,7 +16,10 @@
 //!   [`PhaseCommand`]; paper §IV-A Figure 4),
 //! - the error-detection invariants of paper §IV-D
 //!   ([`DeliveryChecker`], [`CreditCounter`] underflow checks, buffer
-//!   overrun guards).
+//!   overrun guards),
+//! - the flit-event tracing plane ([`FlitTracer`], [`SharedTracer`]) — a
+//!   filtered ring buffer of compact per-flit records that is free when
+//!   disabled and serializes to JSON-lines.
 
 mod check;
 mod credit;
@@ -27,6 +30,7 @@ mod link;
 mod phase;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
+mod trace;
 
 pub use check::{CheckError, DeliveryChecker};
 pub use credit::{CreditCounter, CreditError};
@@ -35,3 +39,4 @@ pub use flit::{Flit, PacketBuilder, PacketInfo};
 pub use ids::{AppId, MessageId, PacketId, Port, RouterId, TerminalId, Vc};
 pub use link::LinkTarget;
 pub use phase::{AppSignal, Phase, PhaseCommand};
+pub use trace::{FlitTracer, SharedTracer, TraceFilter, TraceKind, TraceRecord};

@@ -27,7 +27,11 @@ pub struct LinkTarget {
 impl LinkTarget {
     /// Creates a link target.
     pub fn new(component: ComponentId, port: Port, latency: Tick) -> Self {
-        LinkTarget { component, port, latency }
+        LinkTarget {
+            component,
+            port,
+            latency,
+        }
     }
 }
 

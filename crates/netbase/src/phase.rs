@@ -27,6 +27,24 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// All phases in protocol order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Warming,
+        Phase::Generating,
+        Phase::Finishing,
+        Phase::Draining,
+    ];
+
+    /// Stable index in protocol order (0..4), for per-phase arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Warming => 0,
+            Phase::Generating => 1,
+            Phase::Finishing => 2,
+            Phase::Draining => 3,
+        }
+    }
+
     /// Whether applications may create *new* traffic in this phase.
     pub fn allows_generation(self) -> bool {
         !matches!(self, Phase::Draining)

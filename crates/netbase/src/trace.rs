@@ -1,0 +1,413 @@
+//! Flit-event tracing: a compact ring buffer of per-flit events.
+//!
+//! The metrics plane (`supersim-stats::metrics`) answers *how much*;
+//! tracing answers *what happened to this flit*. Every record is four
+//! integers — flit identity, component, event kind, `(tick, epsilon)` —
+//! stored in a fixed-capacity ring buffer so a trace of the interesting
+//! window survives arbitrarily long runs without unbounded memory.
+//!
+//! Tracing must be free when it is off: components hold a [`SharedTracer`]
+//! (single-threaded `Rc<RefCell<..>>`; the simulator has no threads) and
+//! every [`SharedTracer::record`] call starts with one enabled check
+//! before touching anything else. The [`TraceFilter`] narrows collection
+//! to event kinds, one component, or a packet-id range, so a
+//! paper-style investigation ("follow packet 93124 through the Clos")
+//! costs only the flits it watches.
+//!
+//! Serialization is JSON-lines through the workspace's own JSON writer
+//! (`supersim-config`), one record per line, in chronological order —
+//! byte-identical across runs of the same `(configuration, seed)`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use supersim_config::Value;
+use supersim_des::Time;
+
+use crate::flit::Flit;
+
+/// What happened to the flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// An interface injected the flit toward its router.
+    Inject = 0,
+    /// An interface ejected the flit from the network.
+    Eject = 1,
+    /// A router accepted the flit into an input buffer.
+    RouterArrive = 2,
+    /// A router sent the flit out of an output port.
+    RouterDepart = 3,
+}
+
+impl TraceKind {
+    /// All kinds, in tag order.
+    pub const ALL: [TraceKind; 4] = [
+        TraceKind::Inject,
+        TraceKind::Eject,
+        TraceKind::RouterArrive,
+        TraceKind::RouterDepart,
+    ];
+
+    /// Short lowercase name used in the JSON-lines form.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Inject => "inject",
+            TraceKind::Eject => "eject",
+            TraceKind::RouterArrive => "router_arrive",
+            TraceKind::RouterDepart => "router_depart",
+        }
+    }
+
+    /// Parses a [`TraceKind::name`] string.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// This kind's bit in a [`TraceFilter::kinds`] mask.
+    #[inline]
+    pub fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+}
+
+/// One traced flit event. 32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: Time,
+    /// Component the event happened at: the terminal index for
+    /// interface-side kinds, the router index for router-side kinds.
+    pub src: u32,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The flit's packet id.
+    pub packet: u64,
+    /// The flit's position within its packet.
+    pub flit: u32,
+}
+
+impl TraceRecord {
+    /// Compact one-line JSON form.
+    pub fn to_json(&self) -> String {
+        let mut v = Value::object();
+        v.set_path("tick", Value::Int(self.time.tick() as i64))
+            .expect("object");
+        v.set_path("eps", Value::Int(self.time.epsilon() as i64))
+            .expect("object");
+        v.set_path("src", Value::Int(self.src as i64))
+            .expect("object");
+        v.set_path("kind", Value::Str(self.kind.name().to_string()))
+            .expect("object");
+        v.set_path("packet", Value::Int(self.packet as i64))
+            .expect("object");
+        v.set_path("flit", Value::Int(self.flit as i64))
+            .expect("object");
+        v.to_json()
+    }
+}
+
+/// What the tracer collects. The default filter accepts everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Bitmask of accepted [`TraceKind`]s ([`TraceKind::bit`]).
+    pub kinds: u8,
+    /// Only events at this component index, when set.
+    pub src: Option<u32>,
+    /// Inclusive packet-id range.
+    pub packet_lo: u64,
+    /// Inclusive packet-id range.
+    pub packet_hi: u64,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter {
+            kinds: u8::MAX,
+            src: None,
+            packet_lo: 0,
+            packet_hi: u64::MAX,
+        }
+    }
+}
+
+impl TraceFilter {
+    /// Whether a record with these fields passes the filter.
+    #[inline]
+    pub fn accepts(&self, src: u32, kind: TraceKind, packet: u64) -> bool {
+        self.kinds & kind.bit() != 0
+            && self.src.is_none_or(|s| s == src)
+            && (self.packet_lo..=self.packet_hi).contains(&packet)
+    }
+}
+
+/// A fixed-capacity ring buffer of [`TraceRecord`]s.
+#[derive(Debug)]
+pub struct FlitTracer {
+    enabled: bool,
+    filter: TraceFilter,
+    capacity: usize,
+    ring: Vec<TraceRecord>,
+    /// Next write position once the ring is full (wrap cursor).
+    next: usize,
+    /// Records accepted over the tracer's lifetime (kept + overwritten).
+    recorded: u64,
+}
+
+impl Default for FlitTracer {
+    /// A disabled tracer (the free-when-off default every component
+    /// starts with).
+    fn default() -> Self {
+        FlitTracer {
+            enabled: false,
+            filter: TraceFilter::default(),
+            capacity: 0,
+            ring: Vec::new(),
+            next: 0,
+            recorded: 0,
+        }
+    }
+}
+
+impl FlitTracer {
+    /// An enabled tracer keeping the most recent `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be non-zero");
+        FlitTracer {
+            enabled: true,
+            capacity,
+            ..FlitTracer::default()
+        }
+    }
+
+    /// Whether the tracer is collecting.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Replaces the collection filter.
+    pub fn set_filter(&mut self, filter: TraceFilter) {
+        self.filter = filter;
+    }
+
+    /// The collection filter.
+    pub fn filter(&self) -> TraceFilter {
+        self.filter
+    }
+
+    /// Records one event if enabled and accepted by the filter.
+    #[inline]
+    pub fn record(&mut self, time: Time, src: u32, kind: TraceKind, packet: u64, flit: u32) {
+        if !self.enabled || !self.filter.accepts(src, kind, packet) {
+            return;
+        }
+        let rec = TraceRecord {
+            time,
+            src,
+            kind,
+            packet,
+            flit,
+        };
+        self.recorded += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(rec);
+        } else {
+            self.ring[self.next] = rec;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Records kept (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing was kept.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records accepted over the tracer's lifetime, including those the
+    /// ring has since overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Accepted records the ring overwrote (lifetime − kept).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+
+    /// The kept records in chronological order (unwrapping the ring).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.next..]);
+        out.extend_from_slice(&self.ring[..self.next]);
+        out
+    }
+
+    /// JSON-lines serialization: one compact JSON object per record, in
+    /// chronological order.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for rec in self.records() {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A cheaply clonable handle to one [`FlitTracer`], shared by every
+/// component of a simulation (single-threaded, so `Rc<RefCell>`).
+#[derive(Debug, Clone, Default)]
+pub struct SharedTracer(Rc<RefCell<FlitTracer>>);
+
+impl SharedTracer {
+    /// A disabled tracer: every [`SharedTracer::record`] call is one
+    /// flag check.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a tracer for sharing.
+    pub fn new(tracer: FlitTracer) -> Self {
+        SharedTracer(Rc::new(RefCell::new(tracer)))
+    }
+
+    /// Whether the underlying tracer is collecting.
+    pub fn is_enabled(&self) -> bool {
+        self.0.borrow().is_enabled()
+    }
+
+    /// Records a flit event (see [`FlitTracer::record`]).
+    #[inline]
+    pub fn record(&self, time: Time, src: u32, kind: TraceKind, flit: &Flit) {
+        let mut t = self.0.borrow_mut();
+        if t.enabled {
+            t.record(time, src, kind, flit.pkt.id.0, flit.seq);
+        }
+    }
+
+    /// Runs `f` with the underlying tracer borrowed.
+    pub fn with<R>(&self, f: impl FnOnce(&FlitTracer) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` with the underlying tracer borrowed mutably.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut FlitTracer) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// JSON-lines form of the kept records.
+    pub fn to_json_lines(&self) -> String {
+        self.0.borrow().to_json_lines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::PacketBuilder;
+    use crate::ids::{AppId, MessageId, PacketId, TerminalId};
+
+    fn t(tick: u64) -> Time {
+        Time::at(tick)
+    }
+
+    fn flit(packet: u64, seq: u32) -> Flit {
+        let mut flits = PacketBuilder {
+            id: PacketId(packet),
+            message: MessageId(0),
+            app: AppId(0),
+            src: TerminalId(0),
+            dst: TerminalId(1),
+            size: seq + 1,
+            message_size: seq + 1,
+            inject_tick: 0,
+            message_tick: 0,
+            sample: false,
+        }
+        .build();
+        flits.remove(seq as usize)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = FlitTracer::default();
+        tr.record(t(1), 0, TraceKind::Inject, 1, 0);
+        assert!(tr.is_empty());
+        assert_eq!(tr.total_recorded(), 0);
+        let shared = SharedTracer::disabled();
+        shared.record(t(1), 0, TraceKind::Inject, &flit(1, 0));
+        assert!(!shared.is_enabled());
+        assert_eq!(shared.with(|t| t.len()), 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_records() {
+        let mut tr = FlitTracer::with_capacity(3);
+        for i in 0..5u64 {
+            tr.record(t(i), 0, TraceKind::Inject, i, 0);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.total_recorded(), 5);
+        assert_eq!(tr.dropped(), 2);
+        let packets: Vec<u64> = tr.records().iter().map(|r| r.packet).collect();
+        assert_eq!(packets, vec![2, 3, 4], "chronological, oldest overwritten");
+    }
+
+    #[test]
+    fn filter_narrows_collection() {
+        let mut tr = FlitTracer::with_capacity(16);
+        tr.set_filter(TraceFilter {
+            kinds: TraceKind::Eject.bit(),
+            src: Some(7),
+            packet_lo: 10,
+            packet_hi: 20,
+        });
+        tr.record(t(1), 7, TraceKind::Inject, 15, 0); // wrong kind
+        tr.record(t(2), 6, TraceKind::Eject, 15, 0); // wrong src
+        tr.record(t(3), 7, TraceKind::Eject, 9, 0); // packet below range
+        tr.record(t(4), 7, TraceKind::Eject, 15, 0); // accepted
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.records()[0].time, t(4));
+    }
+
+    #[test]
+    fn json_lines_are_parseable_and_ordered() {
+        let mut tr = FlitTracer::with_capacity(4);
+        tr.record(Time::new(5, 1), 3, TraceKind::RouterArrive, 42, 2);
+        tr.record(t(6), 0, TraceKind::Eject, 42, 2);
+        let text = tr.to_json_lines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let v = supersim_config::parse(lines[0]).expect("valid json line");
+        assert_eq!(v.get("tick").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("eps").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("router_arrive"));
+        assert_eq!(v.get("packet").and_then(Value::as_u64), Some(42));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in TraceKind::ALL {
+            assert_eq!(TraceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(TraceKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn shared_tracer_clones_share_state() {
+        let shared = SharedTracer::new(FlitTracer::with_capacity(8));
+        let clone = shared.clone();
+        clone.record(t(1), 2, TraceKind::Inject, &flit(5, 0));
+        assert_eq!(shared.with(|t| t.len()), 1);
+        assert!(shared.to_json_lines().contains("\"packet\":5"));
+    }
+}

@@ -28,10 +28,10 @@ pub struct AllocRequest {
 /// # Example
 ///
 /// ```
-////// use supersim_router::{AllocRequest, SeparableAllocator};
+/// use supersim_router::{AllocRequest, SeparableAllocator};
 ///
 /// let mut alloc = SeparableAllocator::new(2, 2, "round_robin").unwrap();
-/// let mut rng = supersim_des::Rng::seed_from_u64(1);
+/// let mut rng = supersim_des::Rng::new(1);
 /// let grants = alloc.allocate(
 ///     &[
 ///         AllocRequest { input: 0, output: 0, age: 0 },
@@ -56,9 +56,14 @@ impl SeparableAllocator {
     /// Returns `None` for an unknown policy name.
     pub fn new(inputs: u32, outputs: u32, policy: &str) -> Option<Self> {
         let mk = |n: u32| -> Option<Vec<Box<dyn Arbiter>>> {
-            (0..n).map(|_| crate::arbiter::arbiter_by_name(policy)).collect()
+            (0..n)
+                .map(|_| crate::arbiter::arbiter_by_name(policy))
+                .collect()
         };
-        Some(SeparableAllocator { input_stage: mk(inputs)?, output_stage: mk(outputs)? })
+        Some(SeparableAllocator {
+            input_stage: mk(inputs)?,
+            output_stage: mk(outputs)?,
+        })
     }
 
     /// Resolves one allocation round, returning the granted requests.
@@ -67,11 +72,7 @@ impl SeparableAllocator {
     ///
     /// Panics in debug builds if a request indexes outside the configured
     /// input/output ranges.
-    pub fn allocate(
-        &mut self,
-        requests: &[AllocRequest],
-        rng: &mut Rng,
-    ) -> Vec<AllocRequest> {
+    pub fn allocate(&mut self, requests: &[AllocRequest], rng: &mut Rng) -> Vec<AllocRequest> {
         // Stage 1: each input picks one of its requested outputs.
         let mut per_input: Vec<Vec<&AllocRequest>> = vec![Vec::new(); self.input_stage.len()];
         for r in requests {
@@ -82,15 +83,19 @@ impl SeparableAllocator {
             if reqs.is_empty() {
                 continue;
             }
-            let arb_reqs: Vec<Request> =
-                reqs.iter().map(|r| Request { id: r.output, age: r.age }).collect();
+            let arb_reqs: Vec<Request> = reqs
+                .iter()
+                .map(|r| Request {
+                    id: r.output,
+                    age: r.age,
+                })
+                .collect();
             if let Some(win) = self.input_stage[input].grant(&arb_reqs, rng) {
                 survivors.push(reqs[win]);
             }
         }
         // Stage 2: each output picks one surviving input.
-        let mut per_output: Vec<Vec<&AllocRequest>> =
-            vec![Vec::new(); self.output_stage.len()];
+        let mut per_output: Vec<Vec<&AllocRequest>> = vec![Vec::new(); self.output_stage.len()];
         for r in survivors {
             per_output[r.output as usize].push(r);
         }
@@ -99,8 +104,13 @@ impl SeparableAllocator {
             if reqs.is_empty() {
                 continue;
             }
-            let arb_reqs: Vec<Request> =
-                reqs.iter().map(|r| Request { id: r.input, age: r.age }).collect();
+            let arb_reqs: Vec<Request> = reqs
+                .iter()
+                .map(|r| Request {
+                    id: r.input,
+                    age: r.age,
+                })
+                .collect();
             if let Some(win) = self.output_stage[output].grant(&arb_reqs, rng) {
                 grants.push(*reqs[win]);
             }
@@ -140,7 +150,13 @@ mod tests {
         let mut alloc = SeparableAllocator::new(4, 4, "round_robin").unwrap();
         let mut rng = rng();
         let requests: Vec<AllocRequest> = (0..4)
-            .flat_map(|i| (0..4).map(move |o| AllocRequest { input: i, output: o, age: 0 }))
+            .flat_map(|i| {
+                (0..4).map(move |o| AllocRequest {
+                    input: i,
+                    output: o,
+                    age: 0,
+                })
+            })
             .collect();
         for _ in 0..8 {
             let grants = alloc.allocate(&requests, &mut rng);
@@ -153,8 +169,13 @@ mod tests {
     fn full_diagonal_requests_all_granted() {
         let mut alloc = SeparableAllocator::new(3, 3, "age_based").unwrap();
         let mut rng = rng();
-        let requests: Vec<AllocRequest> =
-            (0..3).map(|i| AllocRequest { input: i, output: i, age: 0 }).collect();
+        let requests: Vec<AllocRequest> = (0..3)
+            .map(|i| AllocRequest {
+                input: i,
+                output: i,
+                age: 0,
+            })
+            .collect();
         let grants = alloc.allocate(&requests, &mut rng);
         assert_eq!(grants.len(), 3);
     }
@@ -163,8 +184,13 @@ mod tests {
     fn hotspot_output_grants_one() {
         let mut alloc = SeparableAllocator::new(4, 2, "round_robin").unwrap();
         let mut rng = rng();
-        let requests: Vec<AllocRequest> =
-            (0..4).map(|i| AllocRequest { input: i, output: 0, age: 0 }).collect();
+        let requests: Vec<AllocRequest> = (0..4)
+            .map(|i| AllocRequest {
+                input: i,
+                output: 0,
+                age: 0,
+            })
+            .collect();
         let grants = alloc.allocate(&requests, &mut rng);
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].output, 0);
@@ -174,8 +200,13 @@ mod tests {
     fn round_robin_rotates_hotspot_winners() {
         let mut alloc = SeparableAllocator::new(3, 1, "round_robin").unwrap();
         let mut rng = rng();
-        let requests: Vec<AllocRequest> =
-            (0..3).map(|i| AllocRequest { input: i, output: 0, age: 0 }).collect();
+        let requests: Vec<AllocRequest> = (0..3)
+            .map(|i| AllocRequest {
+                input: i,
+                output: 0,
+                age: 0,
+            })
+            .collect();
         let mut winners = vec![];
         for _ in 0..6 {
             winners.push(alloc.allocate(&requests, &mut rng)[0].input);
@@ -188,8 +219,16 @@ mod tests {
         let mut alloc = SeparableAllocator::new(2, 1, "age_based").unwrap();
         let mut rng = rng();
         let requests = vec![
-            AllocRequest { input: 0, output: 0, age: 900 },
-            AllocRequest { input: 1, output: 0, age: 100 },
+            AllocRequest {
+                input: 0,
+                output: 0,
+                age: 900,
+            },
+            AllocRequest {
+                input: 1,
+                output: 0,
+                age: 100,
+            },
         ];
         let grants = alloc.allocate(&requests, &mut rng);
         assert_eq!(grants[0].input, 1);

@@ -191,8 +191,9 @@ mod tests {
         let mut a = RoundRobinArbiter::new();
         let mut rng = rng();
         let r = reqs(&[0, 1, 2]);
-        let winners: Vec<u32> =
-            (0..6).map(|_| r[a.grant(&r, &mut rng).unwrap()].id).collect();
+        let winners: Vec<u32> = (0..6)
+            .map(|_| r[a.grant(&r, &mut rng).unwrap()].id)
+            .collect();
         assert_eq!(winners, vec![0, 1, 2, 0, 1, 2]);
     }
 

@@ -19,7 +19,10 @@ pub struct VcBuffer {
 impl VcBuffer {
     /// Creates a buffer holding up to `capacity` flits.
     pub fn new(capacity: u32) -> Self {
-        VcBuffer { flits: VecDeque::with_capacity(capacity.min(1024) as usize), capacity }
+        VcBuffer {
+            flits: VecDeque::with_capacity(capacity.min(1024) as usize),
+            capacity,
+        }
     }
 
     /// Capacity in flits.

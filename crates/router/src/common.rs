@@ -71,7 +71,9 @@ pub struct RouterError {
 impl RouterError {
     /// Creates an error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        RouterError { message: message.into() }
+        RouterError {
+            message: message.into(),
+        }
     }
 }
 

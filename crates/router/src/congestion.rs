@@ -47,7 +47,11 @@ impl DelayedValue {
     /// Creates a delayed value with the given propagation delay and
     /// initial value (visible from time 0).
     pub fn new(delay: Tick, initial: f64) -> Self {
-        DelayedValue { delay, history: VecDeque::new(), current: initial }
+        DelayedValue {
+            delay,
+            history: VecDeque::new(),
+            current: initial,
+        }
     }
 
     /// The configured delay in ticks.
@@ -189,7 +193,9 @@ impl CongestionSensor {
             vcs,
             output: vec![0; n],
             downstream: vec![0; n],
-            vc_values: (0..n).map(|_| DelayedValue::new(config.delay, 0.0)).collect(),
+            vc_values: (0..n)
+                .map(|_| DelayedValue::new(config.delay, 0.0))
+                .collect(),
             port_values: (0..ports as usize)
                 .map(|_| DelayedValue::new(config.delay, 0.0))
                 .collect(),
@@ -230,7 +236,9 @@ impl CongestionSensor {
             CongestionSource::Downstream => &mut self.downstream[i],
             CongestionSource::Both => unreachable!("remove() takes a concrete source"),
         };
-        *counter = counter.checked_sub(1).expect("congestion counter underflow");
+        *counter = counter
+            .checked_sub(1)
+            .expect("congestion counter underflow");
         self.publish(tick, port, vc);
     }
 
@@ -337,7 +345,15 @@ mod tests {
     }
 
     fn sensor(source: CongestionSource, gran: CongestionGranularity) -> CongestionSensor {
-        CongestionSensor::new(2, 2, SensorConfig { source, granularity: gran, delay: 0 })
+        CongestionSensor::new(
+            2,
+            2,
+            SensorConfig {
+                source,
+                granularity: gran,
+                delay: 0,
+            },
+        )
     }
 
     #[test]
@@ -416,12 +432,18 @@ mod tests {
 
     #[test]
     fn style_names_parse() {
-        assert_eq!(CongestionSource::from_name("output"), Some(CongestionSource::Output));
+        assert_eq!(
+            CongestionSource::from_name("output"),
+            Some(CongestionSource::Output)
+        );
         assert_eq!(
             CongestionSource::from_name("downstream"),
             Some(CongestionSource::Downstream)
         );
-        assert_eq!(CongestionSource::from_name("both"), Some(CongestionSource::Both));
+        assert_eq!(
+            CongestionSource::from_name("both"),
+            Some(CongestionSource::Both)
+        );
         assert_eq!(CongestionSource::from_name("x"), None);
         assert_eq!(
             CongestionGranularity::from_name("vc"),

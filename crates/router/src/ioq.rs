@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
-use supersim_netbase::{CreditCounter, Ev, Flit, RouterId};
+use supersim_netbase::{CreditCounter, Ev, Flit, RouterId, SharedTracer, TraceKind};
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
 use crate::arbiter::{Arbiter, Request, RoundRobinArbiter};
@@ -23,6 +23,7 @@ use crate::buffer::VcBuffer;
 use crate::common::{RouterError, RouterPorts, RoutingFactory};
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
 use crate::iq::RouterCounters;
+use crate::metrics::RouterMetrics;
 use crate::xbar_sched::{FlowControl, OutputScheduler, XbarCandidate};
 
 /// Configuration of an [`IoqRouter`].
@@ -79,6 +80,9 @@ pub struct IoqRouter {
     last_cycle: Option<Tick>,
     /// Operation counters.
     pub counters: RouterCounters,
+    /// Allocation / flow-control metrics.
+    pub metrics: RouterMetrics,
+    tracer: SharedTracer,
 }
 
 impl IoqRouter {
@@ -129,8 +133,15 @@ impl IoqRouter {
             next_pipeline: None,
             last_cycle: None,
             counters: RouterCounters::default(),
+            metrics: RouterMetrics::new(radix),
+            tracer: SharedTracer::disabled(),
             ports: config.ports,
         })
+    }
+
+    /// Installs a flit tracer (disabled by default).
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// Input buffer depth per (port, VC).
@@ -158,7 +169,9 @@ impl IoqRouter {
                 continue;
             }
             let (in_port, in_vc) = self.ports.unkey(k);
-            let Some(front) = self.inputs[k].front() else { continue };
+            let Some(front) = self.inputs[k].front() else {
+                continue;
+            };
             if !front.is_head() {
                 ctx.fail(format!(
                     "{}: body flit of {} at buffer head without a route",
@@ -206,11 +219,19 @@ impl IoqRouter {
         for out_port in 0..self.ports.radix {
             let mut cands: Vec<XbarCandidate> = Vec::new();
             for k in 0..self.inputs.len() {
-                let Some(route) = self.route_table[k] else { continue };
+                let Some(route) = self.route_table[k] else {
+                    continue;
+                };
                 if route.port != out_port {
                     continue;
                 }
-                let Some(flit) = self.inputs[k].front() else { continue };
+                let Some(flit) = self.inputs[k].front() else {
+                    continue;
+                };
+                let credits = self.oq_free[self.ports.key(out_port, route.vc)];
+                if credits == 0 {
+                    self.metrics.credit_stalls.inc();
+                }
                 cands.push(XbarCandidate {
                     input_key: k as u32,
                     age: flit.pkt.inject_tick,
@@ -218,26 +239,33 @@ impl IoqRouter {
                     is_head: flit.is_head(),
                     is_tail: flit.is_tail(),
                     packet_size: flit.pkt.size,
-                    credits: self.oq_free[self.ports.key(out_port, route.vc)],
+                    credits,
                 });
             }
-            let Some(w) = self.schedulers[out_port as usize].pick(&cands, ctx.rng())
-            else {
+            let Some(w) = self.schedulers[out_port as usize].pick(&cands, ctx.rng()) else {
+                if !cands.is_empty() {
+                    self.metrics.denials.inc();
+                }
                 continue;
             };
+            self.metrics.grants.inc();
             let c = cands[w];
             let k = c.input_key as usize;
             let mut flit = self.inputs[k].pop().expect("candidate had a flit");
             let okey = self.ports.key(out_port, c.out_vc);
             debug_assert!(self.oq_free[okey] > 0, "scheduler granted without OQ space");
             self.oq_free[okey] -= 1;
-            self.sensor.add(tick, CongestionSource::Output, out_port, c.out_vc);
+            self.sensor
+                .add(tick, CongestionSource::Output, out_port, c.out_vc);
             let (in_port, in_vc) = self.ports.unkey(k);
             if let Some(cl) = self.ports.credit_links[in_port as usize] {
                 ctx.schedule(
                     cl.component,
                     Time::at(tick + cl.latency),
-                    Ev::Credit { port: cl.port, vc: in_vc },
+                    Ev::Credit {
+                        port: cl.port,
+                        vc: in_vc,
+                    },
                 );
             }
             if flit.is_tail() {
@@ -245,6 +273,7 @@ impl IoqRouter {
             }
             flit.hops += 1;
             flit.vc = c.out_vc;
+            self.metrics.flit_unbuffered(in_port);
             self.oq[okey].push_back((tick + self.xbar_latency, flit));
             progress = true;
         }
@@ -257,36 +286,54 @@ impl IoqRouter {
         let tick = ctx.now().tick();
         let mut progress = false;
         for out_port in 0..self.ports.radix {
-            if self.last_send[out_port as usize]
-                .is_some_and(|t| tick < t + self.link_period)
-            {
+            if self.last_send[out_port as usize].is_some_and(|t| tick < t + self.link_period) {
                 continue;
             }
             let mut requests: Vec<Request> = Vec::new();
             for vc in 0..self.ports.vcs {
                 let okey = self.ports.key(out_port, vc);
-                let Some(&(ready, ref flit)) = self.oq[okey].front() else { continue };
+                let Some(&(ready, ref flit)) = self.oq[okey].front() else {
+                    continue;
+                };
                 if ready > tick || !self.credits[okey].has_credit() {
+                    if ready <= tick {
+                        self.metrics.credit_stalls.inc();
+                    }
                     continue;
                 }
-                requests.push(Request { id: vc, age: flit.pkt.inject_tick });
+                requests.push(Request {
+                    id: vc,
+                    age: flit.pkt.inject_tick,
+                });
             }
             let Some(w) = self.drain_arb[out_port as usize].grant(&requests, rng) else {
+                if !requests.is_empty() {
+                    self.metrics.denials.inc();
+                }
                 continue;
             };
+            self.metrics.grants.inc();
             let vc = requests[w].id;
             let okey = self.ports.key(out_port, vc);
             let (_, flit) = self.oq[okey].pop_front().expect("candidate had a flit");
             self.oq_free[okey] += 1;
-            self.credits[okey].consume().expect("eligibility checked credit");
-            self.sensor.remove(tick, CongestionSource::Output, out_port, vc);
-            self.sensor.add(tick, CongestionSource::Downstream, out_port, vc);
-            let fl = self.ports.flit_links[out_port as usize]
-                .expect("validated at route time");
+            self.credits[okey]
+                .consume()
+                .expect("eligibility checked credit");
+            self.sensor
+                .remove(tick, CongestionSource::Output, out_port, vc);
+            self.sensor
+                .add(tick, CongestionSource::Downstream, out_port, vc);
+            self.tracer
+                .record(ctx.now(), self.id.0, TraceKind::RouterDepart, &flit);
+            let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
             ctx.schedule(
                 fl.component,
                 Time::at(tick + fl.latency),
-                Ev::Flit { port: fl.port, flit },
+                Ev::Flit {
+                    port: fl.port,
+                    flit,
+                },
             );
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
@@ -307,14 +354,12 @@ impl IoqRouter {
             return;
         }
         let moved_in = self.inputs_to_queues(ctx);
-        let mut rng = {
-            Rng::new(ctx.rng().gen_u64())
-        };
+        let mut rng = { Rng::new(ctx.rng().gen_u64()) };
         let moved_out = self.queues_to_channels(ctx, &mut rng);
         let progress = moved_in || moved_out;
 
-        let work_pending = self.inputs.iter().any(|b| !b.is_empty())
-            || self.oq.iter().any(|q| !q.is_empty());
+        let work_pending =
+            self.inputs.iter().any(|b| !b.is_empty()) || self.oq.iter().any(|q| !q.is_empty());
         if progress && work_pending {
             self.ensure_pipeline(ctx, self.core_clock.next_edge(tick));
         } else if work_pending {
@@ -363,6 +408,8 @@ impl Component<Ev> for IoqRouter {
                     return;
                 }
                 self.counters.flits_in += 1;
+                self.tracer
+                    .record(ctx.now(), self.id.0, TraceKind::RouterArrive, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
                     ctx.fail(format!(
@@ -371,6 +418,7 @@ impl Component<Ev> for IoqRouter {
                     ));
                     return;
                 }
+                self.metrics.flit_buffered(port);
                 let now = ctx.now().tick();
                 self.ensure_pipeline(ctx, now);
             }
@@ -391,7 +439,8 @@ impl Component<Ev> for IoqRouter {
                     ));
                     return;
                 }
-                self.sensor.remove(ctx.now().tick(), CongestionSource::Downstream, port, vc);
+                self.sensor
+                    .remove(ctx.now().tick(), CongestionSource::Downstream, port, vc);
                 let now = ctx.now().tick();
                 self.ensure_pipeline(ctx, now);
             }

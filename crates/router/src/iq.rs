@@ -11,12 +11,13 @@
 use std::any::Any;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
-use supersim_netbase::{CreditCounter, Ev, RouterId};
+use supersim_netbase::{CreditCounter, Ev, RouterId, SharedTracer, TraceKind};
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
 use crate::buffer::VcBuffer;
 use crate::common::{RouterError, RouterPorts, RoutingFactory};
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
+use crate::metrics::RouterMetrics;
 use crate::xbar_sched::{FlowControl, OutputScheduler, XbarCandidate};
 
 /// Configuration of an [`IqRouter`].
@@ -80,6 +81,9 @@ pub struct IqRouter {
     last_cycle: Option<Tick>,
     /// Operation counters.
     pub counters: RouterCounters,
+    /// Allocation / flow-control metrics.
+    pub metrics: RouterMetrics,
+    tracer: SharedTracer,
 }
 
 impl IqRouter {
@@ -125,8 +129,15 @@ impl IqRouter {
             next_pipeline: None,
             last_cycle: None,
             counters: RouterCounters::default(),
+            metrics: RouterMetrics::new(radix),
+            tracer: SharedTracer::disabled(),
             ports: config.ports,
         })
+    }
+
+    /// Installs a flit tracer (disabled by default).
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// Input buffer depth per (port, VC) — the credit count granted to
@@ -166,7 +177,9 @@ impl IqRouter {
             {
                 continue;
             }
-            let Some(front) = self.inputs[k].front() else { continue };
+            let Some(front) = self.inputs[k].front() else {
+                continue;
+            };
             if !front.is_head() {
                 if self.route_table[k].is_some() {
                     continue; // body flit streaming on a frozen route
@@ -211,18 +224,24 @@ impl IqRouter {
         // the channel rate.
         let mut progress = false;
         for out_port in 0..self.ports.radix {
-            if self.last_send[out_port as usize]
-                .is_some_and(|t| tick < t + self.link_period)
-            {
+            if self.last_send[out_port as usize].is_some_and(|t| tick < t + self.link_period) {
                 continue; // channel still serializing the previous flit
             }
             let mut cands: Vec<XbarCandidate> = Vec::new();
             for k in 0..self.inputs.len() {
-                let Some(route) = self.route_table[k] else { continue };
+                let Some(route) = self.route_table[k] else {
+                    continue;
+                };
                 if route.port != out_port {
                     continue;
                 }
-                let Some(flit) = self.inputs[k].front() else { continue };
+                let Some(flit) = self.inputs[k].front() else {
+                    continue;
+                };
+                let credits = self.credits[self.ports.key(out_port, route.vc)].available();
+                if credits == 0 {
+                    self.metrics.credit_stalls.inc();
+                }
                 cands.push(XbarCandidate {
                     input_key: k as u32,
                     age: flit.pkt.inject_tick,
@@ -230,27 +249,40 @@ impl IqRouter {
                     is_head: flit.is_head(),
                     is_tail: flit.is_tail(),
                     packet_size: flit.pkt.size,
-                    credits: self.credits[self.ports.key(out_port, route.vc)].available(),
+                    credits,
                 });
             }
-            let Some(w) = self.schedulers[out_port as usize].pick(&cands, ctx.rng())
-            else {
+            let Some(w) = self.schedulers[out_port as usize].pick(&cands, ctx.rng()) else {
+                if !cands.is_empty() {
+                    self.metrics.denials.inc();
+                }
                 continue;
             };
+            self.metrics.grants.inc();
             let c = cands[w];
             let k = c.input_key as usize;
             let mut flit = self.inputs[k].pop().expect("candidate had a head flit");
-            if self.credits[self.ports.key(out_port, c.out_vc)].consume().is_err() {
-                ctx.fail(format!("{}: credit underflow on output {out_port}", self.name));
+            if self.credits[self.ports.key(out_port, c.out_vc)]
+                .consume()
+                .is_err()
+            {
+                ctx.fail(format!(
+                    "{}: credit underflow on output {out_port}",
+                    self.name
+                ));
                 return;
             }
-            self.sensor.add(tick, CongestionSource::Downstream, out_port, c.out_vc);
+            self.sensor
+                .add(tick, CongestionSource::Downstream, out_port, c.out_vc);
             let (in_port, in_vc) = self.ports.unkey(k);
             if let Some(cl) = self.ports.credit_links[in_port as usize] {
                 ctx.schedule(
                     cl.component,
                     Time::at(tick + cl.latency),
-                    Ev::Credit { port: cl.port, vc: in_vc },
+                    Ev::Credit {
+                        port: cl.port,
+                        vc: in_vc,
+                    },
                 );
             }
             if flit.is_head() {
@@ -262,12 +294,17 @@ impl IqRouter {
             }
             flit.hops += 1;
             flit.vc = c.out_vc;
-            let fl = self.ports.flit_links[out_port as usize]
-                .expect("validated at route time");
+            self.metrics.flit_unbuffered(in_port);
+            self.tracer
+                .record(ctx.now(), self.id.0, TraceKind::RouterDepart, &flit);
+            let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
             ctx.schedule(
                 fl.component,
                 Time::at(tick + self.xbar_latency + fl.latency),
-                Ev::Flit { port: fl.port, flit },
+                Ev::Flit {
+                    port: fl.port,
+                    flit,
+                },
             );
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
@@ -299,6 +336,8 @@ impl Component<Ev> for IqRouter {
                     return;
                 }
                 self.counters.flits_in += 1;
+                self.tracer
+                    .record(ctx.now(), self.id.0, TraceKind::RouterArrive, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
                     ctx.fail(format!(
@@ -307,6 +346,7 @@ impl Component<Ev> for IqRouter {
                     ));
                     return;
                 }
+                self.metrics.flit_buffered(port);
                 let now = ctx.now().tick();
                 self.ensure_pipeline(ctx, now);
             }
@@ -327,7 +367,8 @@ impl Component<Ev> for IqRouter {
                     ));
                     return;
                 }
-                self.sensor.remove(ctx.now().tick(), CongestionSource::Downstream, port, vc);
+                self.sensor
+                    .remove(ctx.now().tick(), CongestionSource::Downstream, port, vc);
                 let now = ctx.now().tick();
                 self.ensure_pipeline(ctx, now);
             }
@@ -363,12 +404,7 @@ mod tests {
 
     /// Builds a 1-router "network": endpoint 0 -> router port 0 -> endpoint 1
     /// on router port 1, using a trivial static routing algorithm.
-    fn one_router(
-        fc: FlowControl,
-        vcs: u32,
-        input_buffer: u32,
-        eject_buffer: u32,
-    ) -> TestNet {
+    fn one_router(fc: FlowControl, vcs: u32, input_buffer: u32, eject_buffer: u32) -> TestNet {
         TestNet::build(vcs, eject_buffer, move |ports, routing| {
             IqRouter::new(IqConfig {
                 id: RouterId(0),
@@ -496,9 +532,8 @@ mod tests {
             credit_links: vec![None, None],
             downstream_capacity: vec![4, 4],
         };
-        let routing: RoutingFactory = Box::new(|_, _| {
-            Box::new(crate::testutil::StaticRouting::new(1, 1))
-        });
+        let routing: RoutingFactory =
+            Box::new(|_, _| Box::new(crate::testutil::StaticRouting::new(1, 1)));
         let r = IqRouter::new(IqConfig {
             id: RouterId(0),
             ports,

@@ -27,12 +27,13 @@ mod buffer;
 mod common;
 mod congestion;
 mod ioq;
+mod iq;
+mod metrics;
+mod oq;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
 #[cfg(test)]
 mod testutil;
-mod iq;
-mod oq;
 mod xbar_sched;
 
 pub use allocator::{AllocRequest, SeparableAllocator};
@@ -47,5 +48,6 @@ pub use congestion::{
 };
 pub use ioq::{IoqConfig, IoqRouter};
 pub use iq::{IqConfig, IqRouter, RouterCounters};
+pub use metrics::RouterMetrics;
 pub use oq::{OqConfig, OqRouter};
 pub use xbar_sched::{FlowControl, OutputScheduler};

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
-use supersim_netbase::{CreditCounter, Ev, Flit, RouterId};
+use supersim_netbase::{CreditCounter, Ev, Flit, RouterId, SharedTracer, TraceKind};
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
 use crate::arbiter::{Arbiter, Request, RoundRobinArbiter};
@@ -21,6 +21,7 @@ use crate::buffer::VcBuffer;
 use crate::common::{RouterError, RouterPorts, RoutingFactory};
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
 use crate::iq::RouterCounters;
+use crate::metrics::RouterMetrics;
 
 /// Configuration of an [`OqRouter`].
 pub struct OqConfig {
@@ -72,6 +73,9 @@ pub struct OqRouter {
     last_cycle: Option<Tick>,
     /// Operation counters.
     pub counters: RouterCounters,
+    /// Allocation / flow-control metrics.
+    pub metrics: RouterMetrics,
+    tracer: SharedTracer,
 }
 
 impl OqRouter {
@@ -119,8 +123,15 @@ impl OqRouter {
             next_pipeline: None,
             last_cycle: None,
             counters: RouterCounters::default(),
+            metrics: RouterMetrics::new(radix),
+            tracer: SharedTracer::disabled(),
             ports: config.ports,
         })
+    }
+
+    /// Installs a flit tracer (disabled by default).
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// Input buffer depth per (port, VC).
@@ -148,7 +159,9 @@ impl OqRouter {
                 continue;
             }
             let (in_port, in_vc) = self.ports.unkey(k);
-            let Some(front) = self.inputs[k].front() else { continue };
+            let Some(front) = self.inputs[k].front() else {
+                continue;
+            };
             if !front.is_head() {
                 ctx.fail(format!(
                     "{}: body flit of {} at buffer head without a route",
@@ -193,8 +206,12 @@ impl OqRouter {
         let tick = ctx.now().tick();
         let mut progress = false;
         for k in 0..self.inputs.len() {
-            let Some(route) = self.route_table[k] else { continue };
-            let Some(front) = self.inputs[k].front() else { continue };
+            let Some(route) = self.route_table[k] else {
+                continue;
+            };
+            let Some(front) = self.inputs[k].front() else {
+                continue;
+            };
             let okey = self.ports.key(route.port, route.vc);
             // Wormhole atomicity: one packet owns the output VC queue from
             // head to tail enqueue.
@@ -207,6 +224,7 @@ impl OqRouter {
             }
             if let Some(free) = &self.oq_free {
                 if free[okey] == 0 {
+                    self.metrics.credit_stalls.inc();
                     continue; // finite queue full: backpressure
                 }
             }
@@ -214,22 +232,26 @@ impl OqRouter {
             if let Some(free) = &mut self.oq_free {
                 free[okey] -= 1;
             }
-            self.sensor.add(tick, CongestionSource::Output, route.port, route.vc);
+            self.sensor
+                .add(tick, CongestionSource::Output, route.port, route.vc);
             let (in_port, in_vc) = self.ports.unkey(k);
             if let Some(cl) = self.ports.credit_links[in_port as usize] {
                 ctx.schedule(
                     cl.component,
                     Time::at(tick + cl.latency),
-                    Ev::Credit { port: cl.port, vc: in_vc },
+                    Ev::Credit {
+                        port: cl.port,
+                        vc: in_vc,
+                    },
                 );
             }
-            self.oq_owner[okey] =
-                if flit.is_tail() { None } else { Some(k as u32) };
+            self.oq_owner[okey] = if flit.is_tail() { None } else { Some(k as u32) };
             if flit.is_tail() {
                 self.route_table[k] = None;
             }
             flit.hops += 1;
             flit.vc = route.vc;
+            self.metrics.flit_unbuffered(in_port);
             self.oq[okey].push_back((tick + self.core_latency, flit));
             progress = true;
         }
@@ -242,42 +264,57 @@ impl OqRouter {
         let tick = ctx.now().tick();
         let mut progress = false;
         for out_port in 0..self.ports.radix {
-            if self.last_send[out_port as usize]
-                .is_some_and(|t| tick < t + self.link_period)
-            {
+            if self.last_send[out_port as usize].is_some_and(|t| tick < t + self.link_period) {
                 continue;
             }
             let mut requests: Vec<Request> = Vec::new();
             for vc in 0..self.ports.vcs {
                 let okey = self.ports.key(out_port, vc);
-                let Some(&(ready, ref flit)) = self.oq[okey].front() else { continue };
+                let Some(&(ready, ref flit)) = self.oq[okey].front() else {
+                    continue;
+                };
                 if ready > tick {
                     continue;
                 }
                 if !self.credits[okey].has_credit() {
+                    self.metrics.credit_stalls.inc();
                     continue;
                 }
-                requests.push(Request { id: vc, age: flit.pkt.inject_tick });
+                requests.push(Request {
+                    id: vc,
+                    age: flit.pkt.inject_tick,
+                });
             }
-            let Some(w) = self.drain_arb[out_port as usize].grant(&requests, rng_dummy)
-            else {
+            let Some(w) = self.drain_arb[out_port as usize].grant(&requests, rng_dummy) else {
+                if !requests.is_empty() {
+                    self.metrics.denials.inc();
+                }
                 continue;
             };
+            self.metrics.grants.inc();
             let vc = requests[w].id;
             let okey = self.ports.key(out_port, vc);
             let (_, flit) = self.oq[okey].pop_front().expect("candidate had a flit");
             if let Some(free) = &mut self.oq_free {
                 free[okey] += 1;
             }
-            self.credits[okey].consume().expect("eligibility checked credit");
-            self.sensor.remove(tick, CongestionSource::Output, out_port, vc);
-            self.sensor.add(tick, CongestionSource::Downstream, out_port, vc);
-            let fl = self.ports.flit_links[out_port as usize]
-                .expect("validated at route time");
+            self.credits[okey]
+                .consume()
+                .expect("eligibility checked credit");
+            self.sensor
+                .remove(tick, CongestionSource::Output, out_port, vc);
+            self.sensor
+                .add(tick, CongestionSource::Downstream, out_port, vc);
+            self.tracer
+                .record(ctx.now(), self.id.0, TraceKind::RouterDepart, &flit);
+            let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
             ctx.schedule(
                 fl.component,
                 Time::at(tick + fl.latency),
-                Ev::Flit { port: fl.port, flit },
+                Ev::Flit {
+                    port: fl.port,
+                    flit,
+                },
             );
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
@@ -301,17 +338,15 @@ impl OqRouter {
         // The drain arbiter is deterministic; Rng is only part of the
         // Arbiter interface. Borrow the context's RNG via a reseeded copy
         // to keep the borrows disjoint.
-        let mut rng = {
-            Rng::new(ctx.rng().gen_u64())
-        };
+        let mut rng = { Rng::new(ctx.rng().gen_u64()) };
         let moved_out = self.queues_to_channels(ctx, &mut rng);
         let progress = moved_in || moved_out;
 
         // Re-arm: next edge while progress keeps state moving; plus the
         // earliest in-flight ready time (core-latency transits have no
         // triggering event of their own).
-        let work_pending = self.inputs.iter().any(|b| !b.is_empty())
-            || self.oq.iter().any(|q| !q.is_empty());
+        let work_pending =
+            self.inputs.iter().any(|b| !b.is_empty()) || self.oq.iter().any(|q| !q.is_empty());
         if progress && work_pending {
             self.ensure_pipeline(ctx, self.clock.next_edge(tick));
         } else if work_pending {
@@ -345,6 +380,8 @@ impl Component<Ev> for OqRouter {
                     return;
                 }
                 self.counters.flits_in += 1;
+                self.tracer
+                    .record(ctx.now(), self.id.0, TraceKind::RouterArrive, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
                     ctx.fail(format!(
@@ -353,6 +390,7 @@ impl Component<Ev> for OqRouter {
                     ));
                     return;
                 }
+                self.metrics.flit_buffered(port);
                 let now = ctx.now().tick();
                 self.ensure_pipeline(ctx, now);
             }
@@ -373,7 +411,8 @@ impl Component<Ev> for OqRouter {
                     ));
                     return;
                 }
-                self.sensor.remove(ctx.now().tick(), CongestionSource::Downstream, port, vc);
+                self.sensor
+                    .remove(ctx.now().tick(), CongestionSource::Downstream, port, vc);
                 let now = ctx.now().tick();
                 self.ensure_pipeline(ctx, now);
             }

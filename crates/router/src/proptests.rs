@@ -27,7 +27,12 @@ fn arb_injections() -> impl Strategy<Value = Vec<Injection>> {
         (0usize..3, 0u32..3, 1u32..6, 0u64..120).prop_filter_map(
             "distinct src/dst",
             |(src, dst, size, tick)| {
-                (src != dst as usize).then_some(Injection { src, dst, size, tick })
+                (src != dst as usize).then_some(Injection {
+                    src,
+                    dst,
+                    size,
+                    tick,
+                })
             },
         ),
         1..40,

@@ -71,7 +71,10 @@ impl RoutingAlgorithm for StaticRouting {
     }
     fn route(&mut self, _ctx: &mut RoutingContext<'_>, flit: &mut Flit) -> RouteChoice {
         debug_assert!(flit.pkt.dst.0 < self.radix);
-        RouteChoice { port: flit.pkt.dst.0, vc: 0 }
+        RouteChoice {
+            port: flit.pkt.dst.0,
+            vc: 0,
+        }
     }
 }
 
@@ -143,7 +146,9 @@ impl Endpoint {
             name: format!("endpoint_{}", terminal.0),
             to_router,
             credit_to,
-            send_credits: (0..vcs).map(|_| CreditCounter::new(router_input_buffer)).collect(),
+            send_credits: (0..vcs)
+                .map(|_| CreditCounter::new(router_input_buffer))
+                .collect(),
             pending: BTreeMap::new(),
             queue: VecDeque::new(),
             last_send: None,
@@ -168,7 +173,9 @@ impl Endpoint {
 
     /// Whether every send credit has returned home.
     pub fn credits_home(&self) -> bool {
-        self.send_credits.iter().all(|c| c.available() == c.capacity())
+        self.send_credits
+            .iter()
+            .all(|c| c.available() == c.capacity())
     }
 
     fn pump(&mut self, ctx: &mut Context<'_, Ev>) {
@@ -191,7 +198,10 @@ impl Endpoint {
                     ctx.schedule(
                         self.to_router.component,
                         Time::at(tick + self.to_router.latency),
-                        Ev::Flit { port: self.to_router.port, flit },
+                        Ev::Flit {
+                            port: self.to_router.port,
+                            flit,
+                        },
                     );
                     self.last_send = Some(tick);
                 }
@@ -228,11 +238,9 @@ impl Component<Ev> for Endpoint {
                 self.pump(ctx);
             }
             Ev::Credit { port: _, vc } => {
-                if !self.ignore_credits {
-                    if self.send_credits[vc as usize].release().is_err() {
-                        ctx.fail(format!("{}: send credit overflow", self.name));
-                        return;
-                    }
+                if !self.ignore_credits && self.send_credits[vc as usize].release().is_err() {
+                    ctx.fail(format!("{}: send credit overflow", self.name));
+                    return;
                 }
                 self.pump(ctx);
             }
@@ -249,7 +257,10 @@ impl Component<Ev> for Endpoint {
                 ctx.schedule(
                     self.credit_to.component,
                     Time::at(self.drain_busy_until + self.credit_to.latency),
-                    Ev::Credit { port: self.credit_to.port, vc },
+                    Ev::Credit {
+                        port: self.credit_to.port,
+                        vc,
+                    },
                 );
                 self.received.push((tick, flit));
             }
@@ -343,15 +354,24 @@ impl TestNet {
                 .collect(),
             downstream_capacity: vec![eject_buffer; n as usize],
         };
-        let routing: RoutingFactory =
-            Box::new(move |_, _| Box::new(StaticRouting::new(n, vcs)));
+        let routing: RoutingFactory = Box::new(move |_, _| Box::new(StaticRouting::new(n, vcs)));
         let router = make_router(ports, routing).expect("router construction failed");
         let input_buffer = router
             .as_any()
             .downcast_ref::<IqRouter>()
             .map(|r| r.input_buffer())
-            .or_else(|| router.as_any().downcast_ref::<OqRouter>().map(|r| r.input_buffer()))
-            .or_else(|| router.as_any().downcast_ref::<IoqRouter>().map(|r| r.input_buffer()))
+            .or_else(|| {
+                router
+                    .as_any()
+                    .downcast_ref::<OqRouter>()
+                    .map(|r| r.input_buffer())
+            })
+            .or_else(|| {
+                router
+                    .as_any()
+                    .downcast_ref::<IoqRouter>()
+                    .map(|r| r.input_buffer())
+            })
             .expect("unknown router type");
         let rid = sim.add_component(router);
         assert_eq!(rid, router_id, "router id prediction broke");
@@ -360,7 +380,12 @@ impl TestNet {
             let ep = sim.component_as_mut::<Endpoint>(eid).expect("endpoint");
             ep.send_credits = (0..vcs).map(|_| CreditCounter::new(input_buffer)).collect();
         }
-        TestNet { sim, endpoint_ids, router_ids: vec![router_id], next_packet: 1 }
+        TestNet {
+            sim,
+            endpoint_ids,
+            router_ids: vec![router_id],
+            next_packet: 1,
+        }
     }
 
     /// Queues a packet of `size` flits from endpoint `src` to terminal
@@ -410,7 +435,12 @@ impl TestNet {
                     .expect("unknown router type")
             })
             .collect();
-        TestOutput { outcome, received, router_counters, all_credits_home }
+        TestOutput {
+            outcome,
+            received,
+            router_counters,
+            all_credits_home,
+        }
     }
 }
 
@@ -465,5 +495,10 @@ where
         router_ids.push(sim.add_component(router));
         assert_eq!(*router_ids.last().expect("just pushed"), router_cid(r));
     }
-    TestNet { sim, endpoint_ids, router_ids, next_packet: 1 }
+    TestNet {
+        sim,
+        endpoint_ids,
+        router_ids,
+        next_packet: 1,
+    }
 }

@@ -93,7 +93,12 @@ impl OutputScheduler {
     pub fn new(fc: FlowControl, vcs: u32, arbiter_policy: &str) -> Self {
         let arbiter = arbiter_by_name(arbiter_policy)
             .unwrap_or_else(|| panic!("unknown arbiter policy {arbiter_policy:?}"));
-        OutputScheduler { fc, arbiter, vc_owner: vec![None; vcs as usize], lock: None }
+        OutputScheduler {
+            fc,
+            arbiter,
+            vc_owner: vec![None; vcs as usize],
+            lock: None,
+        }
     }
 
     /// The flow control technique.
@@ -118,11 +123,7 @@ impl OutputScheduler {
     /// The caller must present, per input (port, VC), only the flit at the
     /// head of that buffer, and must deliver the granted flit (the state
     /// update assumes the grant is used).
-    pub fn pick(
-        &mut self,
-        candidates: &[XbarCandidate],
-        rng: &mut Rng,
-    ) -> Option<usize> {
+    pub fn pick(&mut self, candidates: &[XbarCandidate], rng: &mut Rng) -> Option<usize> {
         // A WTA lock breaks on a credit stall of the owner.
         if self.fc == FlowControl::WinnerTakeAll {
             if let Some(owner) = self.lock {
@@ -162,7 +163,10 @@ impl OutputScheduler {
         } else {
             let requests: Vec<Request> = eligible
                 .iter()
-                .map(|&i| Request { id: candidates[i].input_key, age: candidates[i].age })
+                .map(|&i| Request {
+                    id: candidates[i].input_key,
+                    age: candidates[i].age,
+                })
                 .collect();
             let w = self.arbiter.grant(&requests, rng)?;
             eligible[w]
@@ -250,8 +254,14 @@ mod tests {
     #[test]
     fn names_parse() {
         assert_eq!(FlowControl::from_name("fb"), Some(FlowControl::FlitBuffer));
-        assert_eq!(FlowControl::from_name("packet_buffer"), Some(FlowControl::PacketBuffer));
-        assert_eq!(FlowControl::from_name("wta"), Some(FlowControl::WinnerTakeAll));
+        assert_eq!(
+            FlowControl::from_name("packet_buffer"),
+            Some(FlowControl::PacketBuffer)
+        );
+        assert_eq!(
+            FlowControl::from_name("wta"),
+            Some(FlowControl::WinnerTakeAll)
+        );
         assert_eq!(FlowControl::from_name("x"), None);
         assert_eq!(FlowControl::WinnerTakeAll.name(), "winner_take_all");
     }
@@ -264,10 +274,7 @@ mod tests {
         let mut seqs = [0u32, 0u32];
         let mut winners = vec![];
         for _ in 0..8 {
-            let cands = vec![
-                cand(0, 0, seqs[0], 4, 10),
-                cand(1, 1, seqs[1], 4, 10),
-            ];
+            let cands = vec![cand(0, 0, seqs[0], 4, 10), cand(1, 1, seqs[1], 4, 10)];
             let w = s.pick(&cands, &mut rng).unwrap();
             winners.push(cands[w].input_key);
             seqs[cands[w].input_key as usize] += 1;
@@ -351,7 +358,8 @@ mod tests {
         // The first packet's body still cannot interleave into the lock.
         assert_eq!(s.pick(&[cand(0, 0, 1, 4, 5)], &mut rng), None);
         // New owner finishes (tail): unlock; old packet resumes.
-        s.pick(&[cand(1, 1, 1, 2, 3), cand(0, 0, 1, 4, 5)], &mut rng).unwrap();
+        s.pick(&[cand(1, 1, 1, 2, 3), cand(0, 0, 1, 4, 5)], &mut rng)
+            .unwrap();
         assert_eq!(s.locked_to(), None);
         let cands = vec![cand(0, 0, 1, 4, 5)];
         assert!(s.pick(&cands, &mut rng).is_some());
@@ -361,8 +369,11 @@ mod tests {
     fn single_flit_packets_behave_identically_across_techniques() {
         // With single-flit messages the three techniques act the same —
         // the explanation the paper gives for Figure 11's convergence.
-        for fc in [FlowControl::FlitBuffer, FlowControl::PacketBuffer, FlowControl::WinnerTakeAll]
-        {
+        for fc in [
+            FlowControl::FlitBuffer,
+            FlowControl::PacketBuffer,
+            FlowControl::WinnerTakeAll,
+        ] {
             let mut s = OutputScheduler::new(fc, 1, "round_robin");
             let mut rng = rng();
             let mut winners = vec![];

@@ -5,7 +5,6 @@
 //! latency distribution, with the plot line stopping where the network
 //! saturates (a saturated network yields unbounded latency).
 
-
 use crate::distribution::LatencyDistribution;
 use crate::filter::Filter;
 use crate::record::{RecordKind, SampleLog};
@@ -136,7 +135,10 @@ pub struct LoadSweep {
 impl LoadSweep {
     /// Creates an empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        LoadSweep { label: label.into(), points: Vec::new() }
+        LoadSweep {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -177,11 +179,24 @@ mod tests {
     use crate::record::SampleRecord;
 
     fn packet(send: u64, recv: u64, size: u32) -> SampleRecord {
-        SampleRecord { kind: RecordKind::Packet, app: 0, src: 0, dst: 1, send, recv, hops: 1, size }
+        SampleRecord {
+            kind: RecordKind::Packet,
+            app: 0,
+            src: 0,
+            dst: 1,
+            send,
+            recv,
+            hops: 1,
+            size,
+        }
     }
 
     fn window() -> WindowAnalysis {
-        WindowAnalysis { window_start: 100, window_end: 200, terminals: 2 }
+        WindowAnalysis {
+            window_start: 100,
+            window_end: 200,
+            terminals: 2,
+        }
     }
 
     #[test]
@@ -205,7 +220,11 @@ mod tests {
         let p = window().load_point(&log, &Filter::new(), 0.5);
         assert_eq!(p.offered, 0.5);
         assert!(p.is_saturated(0.05));
-        let healthy = LoadPoint { offered: 0.02, delivered: 0.02, latency: None };
+        let healthy = LoadPoint {
+            offered: 0.02,
+            delivered: 0.02,
+            latency: None,
+        };
         assert!(!healthy.is_saturated(0.05));
     }
 
@@ -225,7 +244,11 @@ mod tests {
     fn sweep_cuts_at_saturation() {
         let mut sweep = LoadSweep::new("fb");
         for (offered, delivered) in [(0.1, 0.1), (0.2, 0.2), (0.3, 0.21), (0.4, 0.21)] {
-            sweep.push(LoadPoint { offered, delivered, latency: None });
+            sweep.push(LoadPoint {
+                offered,
+                delivered,
+                latency: None,
+            });
         }
         assert_eq!(sweep.unsaturated_prefix(0.05).len(), 2);
         assert!((sweep.saturation_throughput().unwrap() - 0.21).abs() < 1e-12);
@@ -233,7 +256,9 @@ mod tests {
 
     #[test]
     fn filtered_latencies() {
-        let log: SampleLog = vec![packet(100, 110, 1), packet(100, 190, 1)].into_iter().collect();
+        let log: SampleLog = vec![packet(100, 110, 1), packet(100, 190, 1)]
+            .into_iter()
+            .collect();
         let f = Filter::parse_all(["+latency=0-50"]).unwrap();
         let dist = window().packet_latencies(&log, &f);
         assert_eq!(dist.count(), 1);

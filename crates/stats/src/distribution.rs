@@ -5,7 +5,6 @@
 //! distribution (Figure 7) reads off the latency experienced by the
 //! worst 1-in-N packets, the expected latency of N-way parallelism.
 
-
 use crate::streaming::StreamingStats;
 
 /// A collection of latency samples with percentile queries.
@@ -36,7 +35,11 @@ pub struct LatencyDistribution {
 impl LatencyDistribution {
     /// Creates an empty distribution.
     pub fn new() -> Self {
-        LatencyDistribution { samples: Vec::new(), sorted: true, stream: StreamingStats::new() }
+        LatencyDistribution {
+            samples: Vec::new(),
+            sorted: true,
+            stream: StreamingStats::new(),
+        }
     }
 
     /// Adds one latency sample.
@@ -129,8 +132,7 @@ impl LatencyDistribution {
         let lo = self.samples[0];
         let hi = *self.samples.last().expect("non-empty");
         let width = ((hi - lo) / bins as u64).max(1);
-        let mut out: Vec<(u64, u64)> =
-            (0..bins).map(|i| (lo + i as u64 * width, 0)).collect();
+        let mut out: Vec<(u64, u64)> = (0..bins).map(|i| (lo + i as u64 * width, 0)).collect();
         for &s in &self.samples {
             let idx = (((s - lo) / width) as usize).min(bins - 1);
             out[idx].1 += 1;
@@ -245,7 +247,9 @@ mod tests {
         assert_eq!(curve.len(), 4);
         assert_eq!(curve[0], (0.25, 2));
         assert_eq!(curve[3], (1.0, 8));
-        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
     }
 
     #[test]
@@ -259,7 +263,7 @@ mod tests {
 
     #[test]
     fn histogram_identical_samples() {
-        let mut d: LatencyDistribution = std::iter::repeat(7u64).take(5).collect();
+        let mut d: LatencyDistribution = std::iter::repeat_n(7u64, 5).collect();
         let h = d.histogram(3);
         assert_eq!(h.iter().map(|&(_, c)| c).sum::<u64>(), 5);
     }

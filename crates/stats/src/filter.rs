@@ -60,18 +60,26 @@ impl FilterTerm {
     /// Returns a [`FilterError`] on unknown fields, malformed ranges, or a
     /// missing `+`/`-` prefix.
     pub fn parse(text: &str) -> Result<FilterTerm, FilterError> {
-        let err = |reason| FilterError { text: text.to_string(), reason };
+        let err = |reason| FilterError {
+            text: text.to_string(),
+            reason,
+        };
         let (include, rest) = match text.as_bytes().first() {
             Some(b'+') => (true, &text[1..]),
             Some(b'-') => (false, &text[1..]),
             _ => return Err(err("filter must start with '+' or '-'")),
         };
-        let (field_name, value) =
-            rest.split_once('=').ok_or_else(|| err("expected field=value"))?;
+        let (field_name, value) = rest
+            .split_once('=')
+            .ok_or_else(|| err("expected field=value"))?;
         if field_name == "kind" {
-            let kind =
-                RecordKind::from_name(value).ok_or_else(|| err("unknown record kind"))?;
-            return Ok(FilterTerm { include, field: Field::Kind(kind), lo: 0, hi: 0 });
+            let kind = RecordKind::from_name(value).ok_or_else(|| err("unknown record kind"))?;
+            return Ok(FilterTerm {
+                include,
+                field: Field::Kind(kind),
+                lo: 0,
+                hi: 0,
+            });
         }
         let field = match field_name {
             "app" => Field::App,
@@ -97,7 +105,12 @@ impl FilterTerm {
         if lo > hi {
             return Err(err("range start exceeds range end"));
         }
-        Ok(FilterTerm { include, field, lo, hi })
+        Ok(FilterTerm {
+            include,
+            field,
+            lo,
+            hi,
+        })
     }
 
     /// Whether `record` satisfies this term.
@@ -191,7 +204,16 @@ mod tests {
     use super::*;
 
     fn rec(app: u8, send: u64, recv: u64) -> SampleRecord {
-        SampleRecord { kind: RecordKind::Packet, app, src: 3, dst: 4, send, recv, hops: 2, size: 8 }
+        SampleRecord {
+            kind: RecordKind::Packet,
+            app,
+            src: 3,
+            dst: 4,
+            send,
+            recv,
+            hops: 2,
+            size: 8,
+        }
     }
 
     #[test]
@@ -233,7 +255,9 @@ mod tests {
 
     #[test]
     fn all_numeric_fields_parse() {
-        for field in ["app", "src", "dst", "send", "recv", "hops", "size", "latency"] {
+        for field in [
+            "app", "src", "dst", "send", "recv", "hops", "size", "latency",
+        ] {
             assert!(FilterTerm::parse(&format!("+{field}=1")).is_ok());
             assert!(FilterTerm::parse(&format!("+{field}=1-5")).is_ok());
         }

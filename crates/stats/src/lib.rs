@@ -16,17 +16,25 @@
 //! - [`TimeSeries`] — binned latency-versus-time curves (Figure 5),
 //! - [`analysis`] — load-latency sweep aggregation and saturation
 //!   detection (Figure 8 and the case studies),
-//! - [`StreamingStats`] — constant-space mean/variance accumulators.
+//! - [`StreamingStats`] — constant-space mean/variance accumulators,
+//! - [`metrics`] — the observability plane: zero-allocation counters,
+//!   gauges, and log₂-bucketed histograms embedded in hot components,
+//!   plus the [`MetricsRegistry`]/[`MetricsSnapshot`] naming and
+//!   snapshot layer serialized through the in-tree JSON writer.
 
 pub mod analysis;
 mod distribution;
 mod filter;
+pub mod metrics;
 mod record;
 mod streaming;
 mod timeseries;
 
 pub use distribution::LatencyDistribution;
 pub use filter::{Filter, FilterError, FilterTerm};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
 pub use record::{RecordKind, SampleLog, SampleRecord};
 pub use streaming::StreamingStats;
 pub use timeseries::TimeSeries;

@@ -9,7 +9,6 @@
 
 use supersim_config::Value;
 
-
 /// What a [`SampleRecord`] measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecordKind {
@@ -94,14 +93,22 @@ impl SampleRecord {
     /// Converts this record to a JSON object value.
     pub fn to_value(&self) -> Value {
         let mut v = Value::object();
-        v.set_path("kind", Value::Str(self.kind.name().to_string())).expect("object");
-        v.set_path("app", Value::Int(self.app as i64)).expect("object");
-        v.set_path("src", Value::Int(self.src as i64)).expect("object");
-        v.set_path("dst", Value::Int(self.dst as i64)).expect("object");
-        v.set_path("send", Value::Int(self.send as i64)).expect("object");
-        v.set_path("recv", Value::Int(self.recv as i64)).expect("object");
-        v.set_path("hops", Value::Int(self.hops as i64)).expect("object");
-        v.set_path("size", Value::Int(self.size as i64)).expect("object");
+        v.set_path("kind", Value::Str(self.kind.name().to_string()))
+            .expect("object");
+        v.set_path("app", Value::Int(self.app as i64))
+            .expect("object");
+        v.set_path("src", Value::Int(self.src as i64))
+            .expect("object");
+        v.set_path("dst", Value::Int(self.dst as i64))
+            .expect("object");
+        v.set_path("send", Value::Int(self.send as i64))
+            .expect("object");
+        v.set_path("recv", Value::Int(self.recv as i64))
+            .expect("object");
+        v.set_path("hops", Value::Int(self.hops as i64))
+            .expect("object");
+        v.set_path("size", Value::Int(self.size as i64))
+            .expect("object");
         v
     }
 
@@ -163,7 +170,9 @@ pub struct SampleLog {
 impl SampleLog {
     /// Creates an empty log.
     pub fn new() -> Self {
-        SampleLog { records: Vec::new() }
+        SampleLog {
+            records: Vec::new(),
+        }
     }
 
     /// Appends one record.
@@ -254,7 +263,9 @@ impl SampleLog {
 
 impl FromIterator<SampleRecord> for SampleLog {
     fn from_iter<I: IntoIterator<Item = SampleRecord>>(iter: I) -> Self {
-        SampleLog { records: iter.into_iter().collect() }
+        SampleLog {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -269,7 +280,16 @@ mod tests {
     use super::*;
 
     fn rec(kind: RecordKind, send: u64, recv: u64) -> SampleRecord {
-        SampleRecord { kind, app: 1, src: 2, dst: 3, send, recv, hops: 4, size: 5 }
+        SampleRecord {
+            kind,
+            app: 1,
+            src: 2,
+            dst: 3,
+            send,
+            recv,
+            hops: 4,
+            size: 5,
+        }
     }
 
     #[test]
@@ -322,7 +342,10 @@ mod tests {
         let back = SampleLog::from_json(&json).unwrap();
         assert_eq!(back, log);
         // Empty logs round-trip too.
-        assert_eq!(SampleLog::from_json(&SampleLog::new().to_json()).unwrap(), SampleLog::new());
+        assert_eq!(
+            SampleLog::from_json(&SampleLog::new().to_json()).unwrap(),
+            SampleLog::new()
+        );
     }
 
     #[test]
@@ -355,7 +378,11 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for k in [RecordKind::Packet, RecordKind::Message, RecordKind::Transaction] {
+        for k in [
+            RecordKind::Packet,
+            RecordKind::Message,
+            RecordKind::Transaction,
+        ] {
             assert_eq!(RecordKind::from_name(k.name()), Some(k));
         }
         assert_eq!(RecordKind::from_name("nope"), None);

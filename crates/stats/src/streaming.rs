@@ -1,6 +1,5 @@
 //! Constant-space statistical accumulators.
 
-
 /// Accumulates count, mean, variance (Welford's algorithm), minimum, and
 /// maximum of a stream of samples in O(1) space.
 ///
@@ -29,7 +28,13 @@ pub struct StreamingStats {
 impl StreamingStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        StreamingStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.

@@ -1,6 +1,5 @@
 //! Binned time series, e.g. mean latency over time (paper Figure 5).
 
-
 use crate::record::SampleRecord;
 use crate::streaming::StreamingStats;
 
@@ -38,7 +37,10 @@ impl TimeSeries {
     /// Panics if `bin_width` is zero.
     pub fn new(bin_width: u64) -> Self {
         assert!(bin_width > 0, "bin width must be non-zero");
-        TimeSeries { bin_width, bins: Vec::new() }
+        TimeSeries {
+            bin_width,
+            bins: Vec::new(),
+        }
     }
 
     /// The configured bin width in ticks.

@@ -2,8 +2,8 @@
 //!
 //! Runs, in order, entirely offline:
 //!
-//! 1. `cargo build --release --offline`
-//! 2. `cargo test -q --offline`
+//! 1. `cargo build --release --locked --offline`
+//! 2. `cargo test -q --locked --offline`
 //! 3. the engine benchmark in smoke mode (`bench_engine --smoke`), which
 //!    asserts its own floors (every workload > 0 events/s, run stats
 //!    non-empty) so a scheduler regression fails the gate, not just a
@@ -38,13 +38,14 @@ fn main() -> ExitCode {
     // The bench smoke step additionally requires its floor line on stdout;
     // `--smoke` keeps it fast enough for tier-1 (a few hundred ms).
     let steps: &[(&str, &[&str])] = &[
-        ("build", &["build", "--release", "--offline"]),
-        ("test", &["test", "-q", "--offline"]),
+        ("build", &["build", "--release", "--locked", "--offline"]),
+        ("test", &["test", "-q", "--locked", "--offline"]),
         (
             "bench smoke",
             &[
                 "run",
                 "--release",
+                "--locked",
                 "--offline",
                 "-q",
                 "-p",

@@ -1,0 +1,64 @@
+//! The `ssreport` command-line tool: render a metrics snapshot JSON file
+//! (as emitted by `supersim --metrics`) for reading or plotting.
+//!
+//! ```text
+//! ssreport <snapshot.json>                  # per-component text report
+//! ssreport <snapshot.json> --csv            # scalar metrics as CSV
+//! ssreport <snapshot.json> --hist <component> <metric>
+//!                                           # one histogram as
+//!                                           # bin_start,count CSV
+//! ssreport <snapshot.json> --list-hist      # histogram metric names
+//! ```
+
+use std::process::ExitCode;
+
+use supersim_stats::MetricsSnapshot;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: ssreport <snapshot.json> [--csv | --list-hist | --hist <component> <metric>]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("ssreport: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap = match MetricsSnapshot::from_json(&text) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("ssreport: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match rest {
+        [] => print!("{}", supersim_tools::report_text(&snap)),
+        [flag] if flag == "--csv" => print!("{}", supersim_tools::counters_csv(&snap)),
+        [flag] if flag == "--list-hist" => {
+            for (component, name) in supersim_tools::histogram_names(&snap) {
+                println!("{component} {name}");
+            }
+        }
+        [flag, component, metric] if flag == "--hist" => {
+            match supersim_tools::histogram_report(&snap, component, metric) {
+                Some(csv) => print!("{csv}"),
+                None => {
+                    eprintln!("ssreport: no histogram metric {component}/{metric}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: ssreport <snapshot.json> [--csv | --list-hist | --hist <component> <metric>]"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -18,13 +18,18 @@
 //! - [`ssplot`] — **SSPlot**: emit the data series behind the paper's
 //!   plots (load-latency with percentile distributions, percentile
 //!   curves, time series) as CSV, plus quick ASCII charts.
+//! - [`ssreport`] — **SSReport**: render end-of-run metrics snapshots
+//!   (the observability plane) as text reports and as the CSV shapes
+//!   SSPlot already consumes.
 
 pub mod ssparse;
 pub mod ssplot;
+pub mod ssreport;
 mod sweep;
 mod taskrun;
 
 pub use ssparse::{analyze, analyze_text, Analysis, KindAnalysis, SsparseError};
 pub use ssplot::{ascii_chart, histogram_csv, load_latency_csv, percentile_csv, timeseries_csv};
+pub use ssreport::{counters_csv, histogram_names, histogram_report, report_text};
 pub use sweep::{Permutation, Sweep, SweepResult, SweepVariable};
 pub use taskrun::{TaskGraph, TaskId, TaskReport, TaskStatus};

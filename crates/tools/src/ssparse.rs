@@ -60,7 +60,10 @@ pub struct Analysis {
 impl Analysis {
     /// The analysis for one kind.
     pub fn of(&self, kind: RecordKind) -> &KindAnalysis {
-        self.kinds.iter().find(|k| k.kind == kind).expect("all kinds present")
+        self.kinds
+            .iter()
+            .find(|k| k.kind == kind)
+            .expect("all kinds present")
     }
 
     /// Renders a human-readable summary table.
@@ -102,18 +105,35 @@ impl Analysis {
 pub fn analyze(log: &SampleLog, filter: &Filter) -> Analysis {
     let mut kinds = Vec::new();
     let mut matched = 0;
-    for kind in [RecordKind::Packet, RecordKind::Message, RecordKind::Transaction] {
+    for kind in [
+        RecordKind::Packet,
+        RecordKind::Message,
+        RecordKind::Transaction,
+    ] {
         let mut dist = LatencyDistribution::new();
         let mut hops = StreamingStats::new();
-        for r in log.records().iter().filter(|r| r.kind == kind && filter.matches(r)) {
+        for r in log
+            .records()
+            .iter()
+            .filter(|r| r.kind == kind && filter.matches(r))
+        {
             dist.push(r.latency());
             hops.push(r.hops as f64);
             matched += 1;
         }
         let latency = LatencySummary::of(&mut dist);
-        kinds.push(KindAnalysis { kind, latency, mean_hops: hops.mean(), distribution: dist });
+        kinds.push(KindAnalysis {
+            kind,
+            latency,
+            mean_hops: hops.mean(),
+            distribution: dist,
+        });
     }
-    Analysis { kinds, matched, total: log.len() }
+    Analysis {
+        kinds,
+        matched,
+        total: log.len(),
+    }
 }
 
 /// Parses log text (the format written by
@@ -125,8 +145,8 @@ pub fn analyze(log: &SampleLog, filter: &Filter) -> Analysis {
 /// [`SsparseError::BadFilter`] for malformed filter terms.
 pub fn analyze_text<S: AsRef<str>>(text: &str, filters: &[S]) -> Result<Analysis, SsparseError> {
     let log = SampleLog::parse(text).map_err(SsparseError::BadLog)?;
-    let filter = Filter::parse_all(filters.iter().map(|s| s.as_ref()))
-        .map_err(SsparseError::BadFilter)?;
+    let filter =
+        Filter::parse_all(filters.iter().map(|s| s.as_ref())).map_err(SsparseError::BadFilter)?;
     Ok(analyze(&log, &filter))
 }
 

@@ -101,16 +101,22 @@ pub fn ascii_chart(
     const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
     let width = width.max(16);
     let height = height.max(4);
-    let points: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     if points.is_empty() {
         out.push_str("(no data)\n");
         return out;
     }
-    let (mut x0, mut x1, mut y0, mut y1) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut x0, mut x1, mut y0, mut y1) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in &points {
         x0 = x0.min(x);
         x1 = x1.max(x);
@@ -159,7 +165,11 @@ mod tests {
         let mut s = LoadSweep::new(label);
         for &(offered, delivered, lat) in points {
             let mut d: LatencyDistribution = [lat, lat + 1].into_iter().collect();
-            s.push(LoadPoint { offered, delivered, latency: LatencySummary::of(&mut d) });
+            s.push(LoadPoint {
+                offered,
+                delivered,
+                latency: LatencySummary::of(&mut d),
+            });
         }
         s
     }

@@ -1,0 +1,160 @@
+//! SSReport: render a metrics snapshot for humans and for the existing
+//! tool formats.
+//!
+//! The observability plane ends a run with a [`MetricsSnapshot`] (see
+//! `supersim-stats::metrics`). This module turns that snapshot into
+//!
+//! - a per-component text report for terminals and logs,
+//! - a flat `component,name,kind,value,max` CSV of scalar metrics, and
+//! - per-histogram `bin_start,count` CSV in exactly the shape
+//!   [`histogram_csv`](crate::ssplot::histogram_csv) (and therefore
+//!   SSPlot's PDF plots) already consume — no new downstream format.
+
+use std::fmt::Write as _;
+
+use supersim_stats::{MetricValue, MetricsSnapshot};
+
+/// Renders the snapshot as a per-component text report.
+///
+/// Components appear in first-sample order; histograms are summarized by
+/// count / mean / p50 / p99 rather than dumped bucket-by-bucket.
+pub fn report_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut current: Option<&str> = None;
+    for s in snap.samples() {
+        if current != Some(s.component.as_str()) {
+            if current.is_some() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "[{}]", s.component);
+            current = Some(s.component.as_str());
+        }
+        match &s.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "  {:<24} {v}", s.name);
+            }
+            MetricValue::Gauge { value, max } => {
+                let _ = writeln!(out, "  {:<24} {value} (max {max})", s.name);
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(out, "  {:<24} count {}", s.name, h.count());
+                if let Some(mean) = h.mean() {
+                    let _ = write!(
+                        out,
+                        "  mean {mean:.2}  p50 {}  p99 {}",
+                        h.percentile(0.5).expect("non-empty"),
+                        h.percentile(0.99).expect("non-empty"),
+                    );
+                }
+                out.push('\n');
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(empty snapshot)\n");
+    }
+    out
+}
+
+/// Renders the scalar metrics (counters and gauges) as CSV rows of
+/// `component,name,kind,value,max`; counters leave `max` empty.
+/// Histograms are omitted — they have their own CSV form
+/// ([`histogram_report`]).
+pub fn counters_csv(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("component,name,kind,value,max\n");
+    for s in snap.samples() {
+        match &s.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{},{},counter,{v},", s.component, s.name);
+            }
+            MetricValue::Gauge { value, max } => {
+                let _ = writeln!(out, "{},{},gauge,{value},{max}", s.component, s.name);
+            }
+            MetricValue::Histogram(_) => {}
+        }
+    }
+    out
+}
+
+/// Renders one snapshotted histogram as `bin_start,count` CSV — the
+/// SSPlot histogram shape — or `None` when the metric does not exist or
+/// is not a histogram.
+pub fn histogram_report(snap: &MetricsSnapshot, component: &str, name: &str) -> Option<String> {
+    match snap.get(component, name)? {
+        MetricValue::Histogram(h) => Some(crate::ssplot::histogram_csv(&h.nonzero_bins())),
+        _ => None,
+    }
+}
+
+/// All `(component, name)` pairs of histogram metrics in the snapshot.
+pub fn histogram_names(snap: &MetricsSnapshot) -> Vec<(String, String)> {
+    snap.samples()
+        .iter()
+        .filter(|s| matches!(s.value, MetricValue::Histogram(_)))
+        .map(|s| (s.component.clone(), s.name.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_stats::Histogram;
+
+    fn snapshot() -> MetricsSnapshot {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(9);
+        h.record(9);
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("engine", "events_executed", 42);
+        snap.push(
+            "engine",
+            "queue_len",
+            MetricValue::Gauge { value: 3, max: 17 },
+        );
+        snap.push_histogram("workload", "packet_latency_generating", &h);
+        snap
+    }
+
+    #[test]
+    fn text_report_groups_by_component() {
+        let text = report_text(&snapshot());
+        assert!(text.contains("[engine]"));
+        assert!(text.contains("[workload]"));
+        assert!(text.contains("events_executed"));
+        assert!(text.contains("(max 17)"));
+        assert!(text.contains("count 3"));
+        assert!(report_text(&MetricsSnapshot::new()).contains("empty"));
+    }
+
+    #[test]
+    fn counters_csv_skips_histograms() {
+        let csv = counters_csv(&snapshot());
+        assert!(csv.starts_with("component,name,kind,value,max\n"));
+        assert!(csv.contains("engine,events_executed,counter,42,\n"));
+        assert!(csv.contains("engine,queue_len,gauge,3,17\n"));
+        assert!(!csv.contains("packet_latency"));
+    }
+
+    #[test]
+    fn histogram_report_matches_ssplot_shape() {
+        let snap = snapshot();
+        let csv = histogram_report(&snap, "workload", "packet_latency_generating").unwrap();
+        // Identical shape to ssplot::histogram_csv output.
+        assert_eq!(csv, "bin_start,count\n0,1\n8,2\n");
+        assert!(histogram_report(&snap, "workload", "nope").is_none());
+        assert!(histogram_report(&snap, "engine", "events_executed").is_none());
+    }
+
+    #[test]
+    fn histogram_names_lists_only_histograms() {
+        let names = histogram_names(&snapshot());
+        assert_eq!(
+            names,
+            vec![(
+                "workload".to_string(),
+                "packet_latency_generating".to_string()
+            )]
+        );
+    }
+}

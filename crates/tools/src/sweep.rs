@@ -74,7 +74,10 @@ pub struct Sweep {
 impl Sweep {
     /// Creates a sweep over `base`.
     pub fn new(base: Value) -> Self {
-        Sweep { base, variables: Vec::new() }
+        Sweep {
+            base,
+            variables: Vec::new(),
+        }
     }
 
     /// Adds a sweeping variable (paper Listing 2's `add_variable`).
@@ -113,7 +116,7 @@ impl Sweep {
     pub fn permutations(&self) -> Vec<Permutation> {
         let mut out = Vec::with_capacity(self.len());
         let counts: Vec<usize> = self.variables.iter().map(|v| v.values.len()).collect();
-        if counts.iter().any(|&c| c == 0) {
+        if counts.contains(&0) {
             return out;
         }
         let mut idx = vec![0usize; counts.len()];
@@ -123,8 +126,9 @@ impl Sweep {
             let mut assignment = BTreeMap::new();
             for (vi, var) in self.variables.iter().enumerate() {
                 let value = &var.values[idx[vi]];
-                (var.apply)(value, &mut config)
-                    .unwrap_or_else(|e| panic!("sweep variable {} rejected {value}: {e}", var.name));
+                (var.apply)(value, &mut config).unwrap_or_else(|e| {
+                    panic!("sweep variable {} rejected {value}: {e}", var.name)
+                });
                 if !id.is_empty() {
                     id.push('_');
                 }
@@ -132,7 +136,11 @@ impl Sweep {
                 id.push_str(&value_tag(value));
                 assignment.insert(var.name.clone(), value.clone());
             }
-            out.push(Permutation { id, assignment, config });
+            out.push(Permutation {
+                id,
+                assignment,
+                config,
+            });
             // Odometer increment.
             let mut place = counts.len();
             loop {
@@ -181,7 +189,10 @@ impl Sweep {
             .zip(slots)
             .map(|(permutation, slot)| SweepResult {
                 permutation,
-                outcome: slot.into_inner().expect("slot lock").expect("every slot filled"),
+                outcome: slot
+                    .into_inner()
+                    .expect("slot lock")
+                    .expect("every slot filled"),
             })
             .collect()
     }
@@ -218,7 +229,11 @@ impl Sweep {
             rows.push(row);
         }
         let _ = writeln!(out, "| {} |", header.join(" | "));
-        let _ = writeln!(out, "|{}|", header.iter().map(|_| " --- ").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            header.iter().map(|_| " --- ").collect::<Vec<_>>().join("|")
+        );
         for row in rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
@@ -318,7 +333,10 @@ mod tests {
     #[test]
     fn float_and_string_tags() {
         assert_eq!(value_tag(&Value::Float(0.5)), "0p5");
-        assert_eq!(value_tag(&Value::Str("winner_take_all".into())), "winnertakeall");
+        assert_eq!(
+            value_tag(&Value::Str("winner_take_all".into())),
+            "winnertakeall"
+        );
         assert_eq!(value_tag(&Value::Int(32)), "32");
     }
 

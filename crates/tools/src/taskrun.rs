@@ -37,7 +37,9 @@ pub struct TaskReport {
 impl TaskReport {
     /// Whether every task completed.
     pub fn all_ok(&self) -> bool {
-        self.statuses.iter().all(|(_, s)| *s == TaskStatus::Completed)
+        self.statuses
+            .iter()
+            .all(|(_, s)| *s == TaskStatus::Completed)
     }
 
     /// Number of tasks with the given status.
@@ -138,14 +140,20 @@ impl TaskGraph {
     /// dependencies and resource limits. Returns per-task statuses.
     pub fn run(mut self, workers: usize) -> TaskReport {
         let n = self.tasks.len();
-        let works: Vec<Mutex<Option<Work>>> =
-            self.tasks.iter_mut().map(|t| Mutex::new(t.work.take())).collect();
+        let works: Vec<Mutex<Option<Work>>> = self
+            .tasks
+            .iter_mut()
+            .map(|t| Mutex::new(t.work.take()))
+            .collect();
         // Share only the Sync metadata with the workers; the FnOnce work
         // items live behind the mutexes above.
         let meta: Vec<TaskMeta> = self
             .tasks
             .iter()
-            .map(|t| TaskMeta { deps: t.deps.clone(), needs: t.needs.clone() })
+            .map(|t| TaskMeta {
+                deps: t.deps.clone(),
+                needs: t.needs.clone(),
+            })
             .collect();
         let state = Mutex::new(SchedState {
             status: vec![None; n],
@@ -182,7 +190,11 @@ impl TaskGraph {
                     }
                     drop(st);
 
-                    let work = works[i].lock().expect("work lock").take().expect("work taken once");
+                    let work = works[i]
+                        .lock()
+                        .expect("work lock")
+                        .take()
+                        .expect("work taken once");
                     let result = work();
 
                     let mut st = state_ref.lock().expect("scheduler lock");
@@ -239,9 +251,10 @@ fn mark_skipped(tasks: &[TaskMeta], st: &mut SchedState) {
             if st.status[i].is_some() || st.running[i] {
                 continue;
             }
-            let dep_failed = t.deps.iter().any(|d| {
-                matches!(&st.status[d.0], Some(s) if *s != TaskStatus::Completed)
-            });
+            let dep_failed = t
+                .deps
+                .iter()
+                .any(|d| matches!(&st.status[d.0], Some(s) if *s != TaskStatus::Completed));
             if dep_failed {
                 st.status[i] = Some(TaskStatus::Skipped);
                 changed = true;

@@ -59,7 +59,11 @@ impl FoldedClos {
                 .ok_or_else(|| TopologyError::new("folded clos size overflows u32"))?;
         }
         let routers_per_level = terminals / k;
-        Ok(FoldedClos { levels, k, routers_per_level })
+        Ok(FoldedClos {
+            levels,
+            k,
+            routers_per_level,
+        })
     }
 
     /// Number of levels.

@@ -247,10 +247,10 @@ mod tests {
                 seen[grp as usize][t as usize] += 1;
             }
         }
-        for i in 0..g as usize {
-            for j in 0..g as usize {
+        for (i, row) in seen.iter().enumerate() {
+            for (j, &n) in row.iter().enumerate() {
                 let expect = u32::from(i != j);
-                assert_eq!(seen[i][j], expect, "groups {i}->{j}");
+                assert_eq!(n, expect, "groups {i}->{j}");
             }
         }
     }
@@ -295,7 +295,10 @@ mod tests {
         let r = RouterId(0);
         assert_eq!(d.channel_class(r, 0), ChannelClass::Terminal);
         assert_eq!(d.channel_class(r, d.local_port_base()), ChannelClass::Local);
-        assert_eq!(d.channel_class(r, d.global_port_base()), ChannelClass::Global);
+        assert_eq!(
+            d.channel_class(r, d.global_port_base()),
+            ChannelClass::Global
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl HyperX {
             return Err(TopologyError::new("hyperx widths must be at least 2"));
         }
         if concentration == 0 {
-            return Err(TopologyError::new("hyperx concentration must be at least 1"));
+            return Err(TopologyError::new(
+                "hyperx concentration must be at least 1",
+            ));
         }
         let num_routers = widths
             .iter()
@@ -64,7 +66,12 @@ impl HyperX {
             dim_port_base.push(base);
             base += w - 1;
         }
-        Ok(HyperX { widths, concentration, num_routers, dim_port_base })
+        Ok(HyperX {
+            widths,
+            concentration,
+            num_routers,
+            dim_port_base,
+        })
     }
 
     /// Per-dimension widths.
@@ -114,10 +121,7 @@ impl HyperX {
         if port < self.concentration {
             return None;
         }
-        let dim = match self.dim_port_base.iter().rposition(|&b| b <= port) {
-            Some(d) => d,
-            None => return None,
-        };
+        let dim = self.dim_port_base.iter().rposition(|&b| b <= port)?;
         let rel = port - self.dim_port_base[dim];
         if rel >= self.widths[dim] - 1 {
             return None;
@@ -145,12 +149,14 @@ impl Topology for HyperX {
     }
 
     fn terminal_attachment(&self, terminal: TerminalId) -> (RouterId, Port) {
-        (RouterId(terminal.0 / self.concentration), terminal.0 % self.concentration)
+        (
+            RouterId(terminal.0 / self.concentration),
+            terminal.0 % self.concentration,
+        )
     }
 
     fn terminal_at(&self, router: RouterId, port: Port) -> Option<TerminalId> {
-        (port < self.concentration)
-            .then(|| TerminalId(router.0 * self.concentration + port))
+        (port < self.concentration).then(|| TerminalId(router.0 * self.concentration + port))
     }
 
     fn neighbor(&self, router: RouterId, port: Port) -> Option<(RouterId, Port)> {
@@ -206,9 +212,9 @@ mod tests {
         for r in 0..h.num_routers() {
             let router = RouterId(r);
             let coords = h.router_coords(router);
-            for dim in 0..h.dims() {
+            for (dim, &here) in coords.iter().enumerate() {
                 for to in 0..h.widths()[dim] {
-                    if to == coords[dim] {
+                    if to == here {
                         continue;
                     }
                     let port = h.port_toward(router, dim, to);

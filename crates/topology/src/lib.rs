@@ -42,13 +42,11 @@ pub use clos::FoldedClos;
 pub use dragonfly::Dragonfly;
 pub use hyperx::HyperX;
 pub use routing::dor::DimOrderRouting;
-pub use routing::torus_adaptive::AdaptiveTorusRouting;
 pub use routing::dragonfly_routing::{DragonflyMode, DragonflyRouting};
 pub use routing::hyperx_routing::{HyperXMode, HyperXRouting};
+pub use routing::torus_adaptive::AdaptiveTorusRouting;
 pub use routing::updown::{UpDownMode, UpDownRouting};
-pub use routing::{
-    CongestionView, RouteChoice, RoutingAlgorithm, RoutingContext, ZeroCongestion,
-};
+pub use routing::{CongestionView, RouteChoice, RoutingAlgorithm, RoutingContext, ZeroCongestion};
 pub use torus::Torus;
 pub use types::{ChannelClass, Topology, TopologyError};
 

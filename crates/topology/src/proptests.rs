@@ -34,7 +34,10 @@ fn check_wiring(t: &dyn Topology) {
             }
         }
     }
-    assert!(terminal_seen.iter().all(|&s| s), "some terminal never attached");
+    assert!(
+        terminal_seen.iter().all(|&s| s),
+        "some terminal never attached"
+    );
 }
 
 fn check_min_hops_triangle(t: &dyn Topology, samples: u32) {

@@ -36,7 +36,10 @@ impl DimOrderRouting {
     /// Panics if `vcs` is not an even number of at least 2 — the dateline
     /// scheme needs two equal VC classes.
     pub fn new(topology: Arc<Torus>, vcs: u32) -> Self {
-        assert!(vcs >= 2 && vcs % 2 == 0, "dateline DOR needs an even number of VCs (>= 2)");
+        assert!(
+            vcs >= 2 && vcs.is_multiple_of(2),
+            "dateline DOR needs an even number of VCs (>= 2)"
+        );
         DimOrderRouting { topology, vcs }
     }
 
@@ -72,7 +75,6 @@ impl RoutingAlgorithm for DimOrderRouting {
             .zip(&dst)
             .enumerate()
             .find(|(_, (a, b))| a != b)
-            .map(|(i, p)| (i, p))
             .expect("not at destination router, so some coordinate differs");
         let w = t.widths()[dim];
         let (_, plus) = Torus::ring_step(c, d, w).expect("coordinates differ");
@@ -85,7 +87,11 @@ impl RoutingAlgorithm for DimOrderRouting {
             .port_direction(ctx.input_port)
             .is_some_and(|(in_dim, _)| in_dim == dim);
         let in_class = u32::from(ctx.input_vc >= self.vcs / 2);
-        let class = if crossing_now || (same_dim && in_class == 1) { 1 } else { 0 };
+        let class = if crossing_now || (same_dim && in_class == 1) {
+            1
+        } else {
+            0
+        };
         let vc = least_congested_vc(ctx.congestion, port, self.class_vcs(class));
         RouteChoice { port, vc }
     }
@@ -121,7 +127,13 @@ mod tests {
         input_vc: u32,
         rng: &'a mut Rng,
     ) -> RoutingContext<'a> {
-        RoutingContext { router, input_port, input_vc, congestion: &ZeroCongestion, rng }
+        RoutingContext {
+            router,
+            input_port,
+            input_vc,
+            congestion: &ZeroCongestion,
+            rng,
+        }
     }
 
     /// Walk a packet from src to dst, returning visited routers and VCs.
@@ -169,7 +181,7 @@ mod tests {
         let t = Arc::new(Torus::new(vec![4, 4], 1).unwrap());
         // src (1,0), dst (3,1): dim0 first (1->2->3 the short way), then dim1.
         let src = 1;
-        let dst = 3 + 1 * 4;
+        let dst = 3 + 4;
         let (routers, _) = walk(&t, src, dst);
         assert_eq!(routers, vec![1, 2, 3, 3 + 4]);
     }
@@ -190,7 +202,7 @@ mod tests {
         // src (3,3) dst (1,1): dim0 wraps 3->0->1 (class 1 after cross),
         // then dim1 wraps 3->0->1 but restarts in class 0 until its cross.
         let src = 3 + 3 * 4;
-        let dst = 1 + 1 * 4;
+        let dst = 1 + 4;
         let (_, vcs) = walk(&t, src, dst);
         assert_eq!(vcs, vec![1, 1, 1, 1]);
         // dim0: 3->0 crosses immediately (class 1), 0->1 class 1;

@@ -12,7 +12,6 @@
 
 use std::sync::Arc;
 
-
 use supersim_netbase::{Flit, Port, RouterId, Vc};
 
 use crate::dragonfly::Dragonfly;
@@ -52,7 +51,11 @@ impl DragonflyRouting {
             DragonflyMode::Ugal { .. } => 6,
         };
         assert!(vcs >= need, "dragonfly {mode:?} needs at least {need} VCs");
-        DragonflyRouting { topology, mode, vcs }
+        DragonflyRouting {
+            topology,
+            mode,
+            vcs,
+        }
     }
 
     /// Next output port of the minimal path from `router` toward
@@ -120,7 +123,10 @@ impl RoutingAlgorithm for DragonflyRouting {
         }
 
         if ctx.router == dst_router && flit.inter.is_none() {
-            return RouteChoice { port: dst_port, vc: self.ladder_vc(flit) };
+            return RouteChoice {
+                port: dst_port,
+                vc: self.ladder_vc(flit),
+            };
         }
 
         let at_source = t.terminal_at(ctx.router, ctx.input_port).is_some();
@@ -135,18 +141,20 @@ impl RoutingAlgorithm for DragonflyRouting {
                     while ig == my_group || ig == dst_group {
                         ig = ctx.rng.gen_range(0..g);
                     }
-                    let inter =
-                        t.router_id(ig, ctx.rng.gen_range(0..t.routers_per_group()));
+                    let inter = t.router_id(ig, ctx.rng.gen_range(0..t.routers_per_group()));
                     let h_min = self.hops_between(ctx.router, dst_router);
-                    let h_non = self.hops_between(ctx.router, inter)
-                        + self.hops_between(inter, dst_router);
+                    let h_non =
+                        self.hops_between(ctx.router, inter) + self.hops_between(inter, dst_router);
                     let p_min = self.min_port(ctx.router, dst_router).expect("differs");
                     let p_non = self.min_port(ctx.router, inter).expect("differs");
                     let q_min = ctx.congestion.port_congestion(p_min);
                     let q_non = ctx.congestion.port_congestion(p_non);
                     if q_min * h_min as f64 > q_non * h_non as f64 + threshold {
                         flit.inter = Some(inter);
-                        return RouteChoice { port: p_non, vc: self.ladder_vc(flit) };
+                        return RouteChoice {
+                            port: p_non,
+                            vc: self.ladder_vc(flit),
+                        };
                     }
                 }
             }
@@ -154,7 +162,10 @@ impl RoutingAlgorithm for DragonflyRouting {
 
         let target = flit.inter.unwrap_or(dst_router);
         let port = self.min_port(ctx.router, target).expect("target differs");
-        RouteChoice { port, vc: self.ladder_vc(flit) }
+        RouteChoice {
+            port,
+            vc: self.ladder_vc(flit),
+        }
     }
 }
 
@@ -259,7 +270,10 @@ mod tests {
             router = next;
             in_port = arrive;
         }
-        assert!(vcs.windows(2).all(|w| w[0] < w[1]), "vcs not increasing: {vcs:?}");
+        assert!(
+            vcs.windows(2).all(|w| w[0] < w[1]),
+            "vcs not increasing: {vcs:?}"
+        );
     }
 
     #[test]

@@ -15,7 +15,6 @@
 
 use std::sync::Arc;
 
-
 use supersim_netbase::{Flit, Port, RouterId, Vc};
 
 use crate::hyperx::HyperX;
@@ -63,7 +62,11 @@ impl HyperXRouting {
         if matches!(mode, HyperXMode::Ugal { .. } | HyperXMode::Valiant) {
             assert!(vcs >= 2, "two-phase routing needs at least 2 VCs");
         }
-        HyperXRouting { topology, mode, vcs }
+        HyperXRouting {
+            topology,
+            mode,
+            vcs,
+        }
     }
 
     /// First-hop port of the dimension-order minimal path from `from`
@@ -136,8 +139,8 @@ impl RoutingAlgorithm for HyperXRouting {
                 HyperXMode::Valiant => true,
                 HyperXMode::Ugal { threshold } => {
                     let h_min = self.hops_between(ctx.router, dst_router);
-                    let h_non = self.hops_between(ctx.router, inter)
-                        + self.hops_between(inter, dst_router);
+                    let h_non =
+                        self.hops_between(ctx.router, inter) + self.hops_between(inter, dst_router);
                     let p_min = self.min_port(ctx.router, dst_router).expect("not at dst");
                     let p_non = self.min_port(ctx.router, inter).expect("inter differs");
                     let q_min = ctx.congestion.vc_congestion(p_min, VC_MIN);
@@ -292,7 +295,11 @@ mod tests {
         let direct = t.port_toward(supersim_netbase::RouterId(0), 0, 4);
         let view = HotPort { port: direct };
         let path = walk(&t, &mut algo, &view, 0, 17, 13);
-        assert_eq!(path.len(), 3, "expected a two-hop valiant path, got {path:?}");
+        assert_eq!(
+            path.len(),
+            3,
+            "expected a two-hop valiant path, got {path:?}"
+        );
         assert_ne!(path[1], 4);
     }
 

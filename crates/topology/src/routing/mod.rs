@@ -9,9 +9,9 @@
 //! reports*.
 
 pub mod dor;
-pub mod torus_adaptive;
 pub mod dragonfly_routing;
 pub mod hyperx_routing;
+pub mod torus_adaptive;
 pub mod updown;
 
 use supersim_des::Rng;

@@ -48,8 +48,16 @@ impl AdaptiveTorusRouting {
     /// Panics if `vcs < 3`: two escape classes plus at least one adaptive
     /// VC are required.
     pub fn new(topology: Arc<Torus>, vcs: u32) -> Self {
-        assert!(vcs >= 3, "adaptive torus routing needs at least 3 VCs (2 escape + adaptive)");
-        AdaptiveTorusRouting { topology, vcs, attempts: 0, last_packet: None }
+        assert!(
+            vcs >= 3,
+            "adaptive torus routing needs at least 3 VCs (2 escape + adaptive)"
+        );
+        AdaptiveTorusRouting {
+            topology,
+            vcs,
+            attempts: 0,
+            last_packet: None,
+        }
     }
 
     /// The history-free dateline class for a hop in `dim` from coordinate
@@ -105,7 +113,6 @@ impl RoutingAlgorithm for AdaptiveTorusRouting {
             .zip(&dst)
             .enumerate()
             .find(|(_, (a, b))| a != b)
-            .map(|(i, p)| (i, p))
             .expect("not at destination router");
         let (_, esc_plus) =
             Torus::ring_step(ec, ed, t.widths()[esc_dim]).expect("coordinates differ");
@@ -269,7 +276,10 @@ mod tests {
                 escape_hits += 1;
             }
         }
-        assert_eq!(escape_hits, 4, "every 4th attempt must take the escape path");
+        assert_eq!(
+            escape_hits, 4,
+            "every 4th attempt must take the escape path"
+        );
     }
 
     #[test]
@@ -286,7 +296,11 @@ mod tests {
             rng: &mut rng,
         };
         let choice = algo.route(&mut ctx, &mut flit);
-        assert!(choice.vc >= 2, "first attempt should be adaptive, got vc {}", choice.vc);
+        assert!(
+            choice.vc >= 2,
+            "first attempt should be adaptive, got vc {}",
+            choice.vc
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 
 use std::sync::Arc;
 
-
 use supersim_netbase::{Flit, Port};
 
 use crate::clos::FoldedClos;
@@ -41,7 +40,11 @@ impl UpDownRouting {
     /// Panics if `vcs` is zero.
     pub fn new(topology: Arc<FoldedClos>, mode: UpDownMode, vcs: u32) -> Self {
         assert!(vcs > 0, "at least one VC required");
-        UpDownRouting { topology, mode, vcs }
+        UpDownRouting {
+            topology,
+            mode,
+            vcs,
+        }
     }
 
     fn pick_up_port(&self, ctx: &mut RoutingContext<'_>, flit: &Flit) -> Port {
@@ -106,9 +109,7 @@ mod tests {
     use crate::routing::{CongestionView, ZeroCongestion};
     use crate::types::Topology;
     use supersim_des::Rng;
-    use supersim_netbase::{
-        AppId, MessageId, PacketBuilder, PacketId, TerminalId, Vc,
-    };
+    use supersim_netbase::{AppId, MessageId, PacketBuilder, PacketId, TerminalId, Vc};
 
     fn head(src: u32, dst: u32) -> Flit {
         PacketBuilder {

@@ -46,10 +46,15 @@ impl Torus {
         if concentration == 0 {
             return Err(TopologyError::new("torus concentration must be at least 1"));
         }
-        let num_routers = widths.iter().try_fold(1u32, |acc, &w| acc.checked_mul(w)).ok_or_else(
-            || TopologyError::new("torus size overflows u32"),
-        )?;
-        Ok(Torus { widths, concentration, num_routers })
+        let num_routers = widths
+            .iter()
+            .try_fold(1u32, |acc, &w| acc.checked_mul(w))
+            .ok_or_else(|| TopologyError::new("torus size overflows u32"))?;
+        Ok(Torus {
+            widths,
+            concentration,
+            num_routers,
+        })
     }
 
     /// Per-dimension widths.
@@ -99,7 +104,7 @@ impl Torus {
         if dim >= self.widths.len() {
             return None;
         }
-        Some((dim, rel % 2 == 0))
+        Some((dim, rel.is_multiple_of(2)))
     }
 
     /// Signed minimal offset from `from` to `to` along a ring of width `w`:
@@ -137,19 +142,25 @@ impl Topology for Torus {
     }
 
     fn terminal_attachment(&self, terminal: TerminalId) -> (RouterId, Port) {
-        (RouterId(terminal.0 / self.concentration), terminal.0 % self.concentration)
+        (
+            RouterId(terminal.0 / self.concentration),
+            terminal.0 % self.concentration,
+        )
     }
 
     fn terminal_at(&self, router: RouterId, port: Port) -> Option<TerminalId> {
-        (port < self.concentration)
-            .then(|| TerminalId(router.0 * self.concentration + port))
+        (port < self.concentration).then(|| TerminalId(router.0 * self.concentration + port))
     }
 
     fn neighbor(&self, router: RouterId, port: Port) -> Option<(RouterId, Port)> {
         let (dim, plus) = self.port_direction(port)?;
         let mut coords = self.router_coords(router);
         let w = self.widths[dim];
-        coords[dim] = if plus { (coords[dim] + 1) % w } else { (coords[dim] + w - 1) % w };
+        coords[dim] = if plus {
+            (coords[dim] + 1) % w
+        } else {
+            (coords[dim] + w - 1) % w
+        };
         let other = self.router_at(&coords);
         // Arriving on the opposite-direction port of the neighbor.
         Some((other, self.port_toward(dim, !plus)))
@@ -219,7 +230,10 @@ mod tests {
         let t = Torus::new(vec![4], 1).unwrap();
         // Router 3 plus-direction wraps to router 0.
         let plus = t.port_toward(0, true);
-        assert_eq!(t.neighbor(RouterId(3), plus), Some((RouterId(0), t.port_toward(0, false))));
+        assert_eq!(
+            t.neighbor(RouterId(3), plus),
+            Some((RouterId(0), t.port_toward(0, false)))
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub struct TopologyError {
 impl TopologyError {
     /// Creates an error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        TopologyError { message: message.into() }
+        TopologyError {
+            message: message.into(),
+        }
     }
 }
 
@@ -102,7 +104,10 @@ pub(crate) fn from_coords(coords: &[u32], widths: &[u32]) -> u32 {
     debug_assert_eq!(coords.len(), widths.len());
     let mut index = 0u32;
     for (i, (&c, &w)) in coords.iter().zip(widths).enumerate().rev() {
-        debug_assert!(c < w, "coordinate {c} out of range for width {w} in dim {i}");
+        debug_assert!(
+            c < w,
+            "coordinate {c} out of range for width {w} in dim {i}"
+        );
         index = index * w + c;
     }
     index

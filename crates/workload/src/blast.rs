@@ -66,9 +66,7 @@ impl Application for BlastApp {
             config: self.config.clone(),
             phase: Phase::Warming,
             injection: (self.config.load > 0.0).then(|| {
-                BernoulliProcess::new(
-                    (self.config.load / self.config.sizes.mean()).min(1.0),
-                )
+                BernoulliProcess::new((self.config.load / self.config.sizes.mean()).min(1.0))
             }),
             next_gen: None,
             signal_at: None,
@@ -131,12 +129,7 @@ impl Terminal for BlastTerminal {
         "blast_terminal"
     }
 
-    fn enter_phase(
-        &mut self,
-        phase: Phase,
-        now: Tick,
-        rng: &mut Rng,
-    ) -> Vec<TerminalAction> {
+    fn enter_phase(&mut self, phase: Phase, now: Tick, rng: &mut Rng) -> Vec<TerminalAction> {
         self.phase = phase;
         let mut actions = Vec::new();
         match phase {

@@ -116,7 +116,11 @@ impl BurstyProcess {
         // Duty cycle d = p (fraction of ticks ON); mean ON run = mean_burst
         // so mean OFF run = mean_burst * (1 - p) / p.
         let mean_off = mean_burst * (1.0 - p) / p;
-        BurstyProcess { p_on: 1.0 / mean_off, p_stay, on: false }
+        BurstyProcess {
+            p_on: 1.0 / mean_off,
+            p_stay,
+            on: false,
+        }
     }
 }
 

@@ -36,12 +36,12 @@ pub use blast::{BlastApp, BlastConfig};
 pub use injection::{
     BernoulliProcess, BurstyProcess, InjectionProcess, PeriodicProcess, SizeDistribution,
 };
-pub use interface::{Interface, InterfaceConfig, InterfaceCounters};
+pub use interface::{Interface, InterfaceConfig, InterfaceCounters, InterfaceMetrics};
 pub use monitor::WorkloadMonitor;
 pub use pingpong::{PingPongApp, PingPongConfig};
 pub use pulse::{PulseApp, PulseConfig};
 pub use terminal::{Application, MessageSpec, Terminal, TerminalAction};
 pub use traffic::{
-    BitComplement, CrossSubtree, Neighbor, RandomPermutation, Tornado, TrafficPattern,
-    Transpose, UniformRandom,
+    BitComplement, CrossSubtree, Neighbor, RandomPermutation, Tornado, TrafficPattern, Transpose,
+    UniformRandom,
 };

@@ -35,7 +35,10 @@ impl WorkloadMonitor {
     /// Panics when `apps` is zero or `interfaces` is empty.
     pub fn new(apps: u8, interfaces: Vec<ComponentId>) -> Self {
         assert!(apps > 0, "workload needs at least one application");
-        assert!(!interfaces.is_empty(), "workload needs at least one interface");
+        assert!(
+            !interfaces.is_empty(),
+            "workload needs at least one interface"
+        );
         WorkloadMonitor {
             name: "workload".to_string(),
             terminals_per_app: interfaces.len() as u32,
@@ -55,7 +58,10 @@ impl WorkloadMonitor {
 
     /// The tick the given phase was entered, if it has been.
     pub fn phase_start(&self, phase: Phase) -> Option<Tick> {
-        self.phase_times.iter().find(|&&(p, _)| p == phase).map(|&(_, t)| t)
+        self.phase_times
+            .iter()
+            .find(|&&(p, _)| p == phase)
+            .map(|&(_, t)| t)
     }
 
     fn broadcast(&mut self, ctx: &mut Context<'_, Ev>, cmd: PhaseCommand) {
@@ -162,13 +168,19 @@ mod tests {
                 }))
             })
             .collect();
-        let monitor =
-            sim.add_component(Box::new(WorkloadMonitor::new(apps, iface_ids.clone())));
+        let monitor = sim.add_component(Box::new(WorkloadMonitor::new(apps, iface_ids.clone())));
         (sim, iface_ids, monitor)
     }
 
     fn signal(sim: &mut Simulator<Ev>, monitor: ComponentId, t: Tick, app: u8, s: AppSignal) {
-        sim.schedule(monitor, Time::at(t), Ev::Signal { app: AppId(app), signal: s });
+        sim.schedule(
+            monitor,
+            Time::at(t),
+            Ev::Signal {
+                app: AppId(app),
+                signal: s,
+            },
+        );
     }
 
     #[test]

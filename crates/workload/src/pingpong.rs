@@ -48,7 +48,10 @@ impl PingPongApp {
             config.request_size != config.reply_size,
             "request and reply sizes must differ to be distinguishable"
         );
-        assert!(config.request_size > 0 && config.reply_size > 0, "sizes must be non-zero");
+        assert!(
+            config.request_size > 0 && config.reply_size > 0,
+            "sizes must be non-zero"
+        );
         PingPongApp { config }
     }
 }
@@ -97,12 +100,7 @@ impl Terminal for PingPongTerminal {
         "pingpong_terminal"
     }
 
-    fn enter_phase(
-        &mut self,
-        phase: Phase,
-        now: Tick,
-        _rng: &mut Rng,
-    ) -> Vec<TerminalAction> {
+    fn enter_phase(&mut self, phase: Phase, now: Tick, _rng: &mut Rng) -> Vec<TerminalAction> {
         self.phase = phase;
         match phase {
             Phase::Warming => vec![TerminalAction::Signal(AppSignal::Ready)],
@@ -167,8 +165,7 @@ impl Terminal for PingPongTerminal {
         self.completed += 1;
         if self.completed == self.config.transactions {
             actions.push(TerminalAction::Signal(AppSignal::Complete));
-        } else if self.completed < self.config.transactions && self.phase == Phase::Generating
-        {
+        } else if self.completed < self.config.transactions && self.phase == Phase::Generating {
             actions.push(self.request(now, rng));
         }
         actions
@@ -213,12 +210,19 @@ mod tests {
         // First request fires from a wake.
         let w = t.next_wake().expect("armed");
         let actions = t.wake(w, &mut rng);
-        assert!(matches!(actions[0], TerminalAction::Send(MessageSpec { size: 1, .. })));
+        assert!(matches!(
+            actions[0],
+            TerminalAction::Send(MessageSpec { size: 1, .. })
+        ));
         // Reply arrives: one transaction recorded, next request sent.
         let actions = t.on_message(TerminalId(1), 2, 50, &mut rng);
         assert!(matches!(
             actions[0],
-            TerminalAction::RecordTransaction { start: 10, size: 3, .. }
+            TerminalAction::RecordTransaction {
+                start: 10,
+                size: 3,
+                ..
+            }
         ));
         assert!(matches!(actions[1], TerminalAction::Send(_)));
         // Second reply completes the app.

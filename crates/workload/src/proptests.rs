@@ -11,17 +11,10 @@ use crate::blast::{BlastApp, BlastConfig};
 use crate::injection::{BernoulliProcess, InjectionProcess, SizeDistribution};
 use crate::terminal::{Application, TerminalAction};
 use crate::traffic::{
-    BitComplement, Neighbor, RandomPermutation, Tornado, TrafficPattern, Transpose,
-    UniformRandom,
+    BitComplement, Neighbor, RandomPermutation, Tornado, TrafficPattern, Transpose, UniformRandom,
 };
 
-fn drive_blast(
-    load: f64,
-    size: u32,
-    warmup: u64,
-    count: u64,
-    seed: u64,
-) -> (u64, u64, bool, bool) {
+fn drive_blast(load: f64, size: u32, warmup: u64, count: u64, seed: u64) -> (u64, u64, bool, bool) {
     let app = BlastApp::new(BlastConfig {
         pattern: Arc::new(UniformRandom::new(16)),
         load,

@@ -85,12 +85,7 @@ impl Terminal for PulseTerminal {
         "pulse_terminal"
     }
 
-    fn enter_phase(
-        &mut self,
-        phase: Phase,
-        now: Tick,
-        rng: &mut Rng,
-    ) -> Vec<TerminalAction> {
+    fn enter_phase(&mut self, phase: Phase, now: Tick, rng: &mut Rng) -> Vec<TerminalAction> {
         self.phase = phase;
         match phase {
             Phase::Warming => vec![TerminalAction::Signal(AppSignal::Ready)],
@@ -98,8 +93,7 @@ impl Terminal for PulseTerminal {
                 if self.remaining == 0 {
                     vec![TerminalAction::Signal(AppSignal::Complete)]
                 } else {
-                    self.next_gen =
-                        Some(now + self.config.delay + self.injection.next_gap(rng));
+                    self.next_gen = Some(now + self.config.delay + self.injection.next_gap(rng));
                     Vec::new()
                 }
             }

@@ -47,8 +47,7 @@ pub trait Terminal: Send {
 
     /// Called when the application's phase changes (including the initial
     /// entry into [`Phase::Warming`] at time 0).
-    fn enter_phase(&mut self, phase: Phase, now: Tick, rng: &mut Rng)
-        -> Vec<TerminalAction>;
+    fn enter_phase(&mut self, phase: Phase, now: Tick, rng: &mut Rng) -> Vec<TerminalAction>;
 
     /// The next tick this terminal wants [`Terminal::wake`] called, if
     /// any. Must be non-decreasing between wakes.

@@ -35,7 +35,10 @@ impl UniformRandom {
     ///
     /// Panics if `terminals < 2` (there would be no legal destination).
     pub fn new(terminals: u32) -> Self {
-        assert!(terminals >= 2, "uniform random needs at least two terminals");
+        assert!(
+            terminals >= 2,
+            "uniform random needs at least two terminals"
+        );
         UniformRandom { terminals }
     }
 }
@@ -65,7 +68,10 @@ pub struct BitComplement {
 impl BitComplement {
     /// Creates the pattern for `terminals` endpoints.
     pub fn new(terminals: u32) -> Self {
-        assert!(terminals >= 2, "bit complement needs at least two terminals");
+        assert!(
+            terminals >= 2,
+            "bit complement needs at least two terminals"
+        );
         BitComplement { terminals }
     }
 }
@@ -93,8 +99,14 @@ impl Tornado {
     /// Creates the pattern for a torus with the given widths and
     /// concentration.
     pub fn new(widths: Vec<u32>, concentration: u32) -> Self {
-        assert!(!widths.is_empty() && concentration > 0, "invalid torus shape");
-        Tornado { widths, concentration }
+        assert!(
+            !widths.is_empty() && concentration > 0,
+            "invalid torus shape"
+        );
+        Tornado {
+            widths,
+            concentration,
+        }
     }
 }
 
@@ -135,7 +147,11 @@ impl Transpose {
     /// Panics if `terminals` is not a perfect square.
     pub fn new(terminals: u32) -> Self {
         let side = (terminals as f64).sqrt() as u32;
-        assert_eq!(side * side, terminals, "transpose needs a square terminal count");
+        assert_eq!(
+            side * side,
+            terminals,
+            "transpose needs a square terminal count"
+        );
         Transpose { side }
     }
 }
@@ -162,7 +178,10 @@ impl Neighbor {
     /// Creates the pattern.
     pub fn new(terminals: u32, offset: u32) -> Self {
         assert!(terminals >= 2, "neighbor needs at least two terminals");
-        Neighbor { terminals, offset: offset % terminals }
+        Neighbor {
+            terminals,
+            offset: offset % terminals,
+        }
     }
 }
 
@@ -189,8 +208,14 @@ impl CrossSubtree {
     /// Creates the pattern for `subtrees` top-level subtrees of
     /// `per_subtree` terminals each.
     pub fn new(subtrees: u32, per_subtree: u32) -> Self {
-        assert!(subtrees >= 2 && per_subtree >= 1, "need at least two subtrees");
-        CrossSubtree { subtrees, per_subtree }
+        assert!(
+            subtrees >= 2 && per_subtree >= 1,
+            "need at least two subtrees"
+        );
+        CrossSubtree {
+            subtrees,
+            per_subtree,
+        }
     }
 }
 
@@ -341,7 +366,10 @@ mod tests {
         let b = RandomPermutation::new(16, 9);
         let mut rng = rng();
         for i in 0..16 {
-            assert_eq!(a.dest(TerminalId(i), &mut rng), b.dest(TerminalId(i), &mut rng));
+            assert_eq!(
+                a.dest(TerminalId(i), &mut rng),
+                b.dest(TerminalId(i), &mut rng)
+            );
         }
     }
 }

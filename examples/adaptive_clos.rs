@@ -18,14 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2-level folded Clos of radix-16 routers: 64 terminals, one level of
     // path diversity, 10-tick channels.
     let base = presets::latent_congestion(
-        2,       // levels
-        8,       // k (up/down ports)
-        1,       // congestion sense delay
+        2,        // levels
+        8,        // k (up/down ports)
+        1,        // congestion sense delay
         Some(16), // finite output queues
-        10,      // channel latency
-        10,      // core latency
-        0.1,     // load (rewritten by the sweep)
-        200,     // sampled messages per terminal
+        10,       // channel latency
+        10,       // core latency
+        0.1,      // load (rewritten by the sweep)
+        200,      // sampled messages per terminal
     );
     let loads: Vec<f64> = (1..=9).map(|i| i as f64 * 0.1).collect();
 
@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (s.label.as_str(), pts)
         })
         .collect();
-    println!("\n{}", tools::ascii_chart("load vs mean latency (ticks)", &series, 60, 16));
+    println!(
+        "\n{}",
+        tools::ascii_chart("load vs mean latency (ticks)", &series, 60, 16)
+    );
     println!("{}", tools::load_latency_csv(&sweeps, 0.05));
 
     let adaptive = sweeps[0].saturation_throughput().unwrap_or(0.0);

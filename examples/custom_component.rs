@@ -22,9 +22,7 @@ use supersim::core::factory::{Factories, NetworkPlan};
 use supersim::core::SuperSim;
 use supersim::netbase::{Flit, Port, RouterId, TerminalId};
 use supersim::stats::Filter;
-use supersim::topology::{
-    HyperX, RouteChoice, RoutingAlgorithm, RoutingContext, Topology,
-};
+use supersim::topology::{HyperX, RouteChoice, RoutingAlgorithm, RoutingContext, Topology};
 use supersim::workload::TrafficPattern;
 
 /// A pattern sending `fraction` of messages to a single hot terminal and
@@ -73,7 +71,10 @@ impl RoutingAlgorithm for ShuffleRouting {
         let t = &self.topology;
         let (dst_router, dst_port) = t.terminal_attachment(flit.pkt.dst);
         if ctx.router == dst_router {
-            return RouteChoice { port: dst_port, vc: flit.vc % self.vcs };
+            return RouteChoice {
+                port: dst_port,
+                vc: flit.vc % self.vcs,
+            };
         }
         // 1-D HyperX: go straight to the destination router (every pair is
         // directly connected), choosing the emptier VC.
@@ -96,13 +97,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Register the custom pattern: zero framework edits, just a name.
     factories.patterns.register("hotspot", |cfg, terminals| {
-        let hot = cfg.opt_u64("hot", 0).map_err(supersim::core::BuildError::from)? as u32;
-        let fraction =
-            cfg.opt_f64("fraction", 0.2).map_err(supersim::core::BuildError::from)?;
+        let hot = cfg
+            .opt_u64("hot", 0)
+            .map_err(supersim::core::BuildError::from)? as u32;
+        let fraction = cfg
+            .opt_f64("fraction", 0.2)
+            .map_err(supersim::core::BuildError::from)?;
         if hot >= terminals || !(0.0..=1.0).contains(&fraction) {
-            return Err(supersim::core::BuildError::invalid("bad hotspot parameters"));
+            return Err(supersim::core::BuildError::invalid(
+                "bad hotspot parameters",
+            ));
         }
-        Ok(Arc::new(Hotspot { terminals, hot, fraction }) as Arc<dyn TrafficPattern>)
+        Ok(Arc::new(Hotspot {
+            terminals,
+            hot,
+            fraction,
+        }) as Arc<dyn TrafficPattern>)
     });
 
     // Register the custom network model (topology + routing pair).
@@ -112,11 +122,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let vcs = net.req_u64("vcs")? as u32;
         let topology = Arc::new(HyperX::new(vec![routers], conc)?);
         let t = Arc::clone(&topology);
-        let routing: Arc<
-            dyn Fn(RouterId, Port) -> Box<dyn RoutingAlgorithm> + Send + Sync,
-        > = Arc::new(move |_, _| {
-            Box::new(ShuffleRouting { topology: Arc::clone(&t), vcs })
-        });
+        let routing: Arc<dyn Fn(RouterId, Port) -> Box<dyn RoutingAlgorithm> + Send + Sync> =
+            Arc::new(move |_, _| {
+                Box::new(ShuffleRouting {
+                    topology: Arc::clone(&t),
+                    vcs,
+                })
+            });
         Ok(NetworkPlan { topology, routing })
     });
 
@@ -159,7 +171,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The hotspot should receive far more traffic than anyone else — show
     // it with an SSParse filter.
-    let all = output.log.of_kind(supersim::stats::RecordKind::Packet).count();
+    let all = output
+        .log
+        .of_kind(supersim::stats::RecordKind::Packet)
+        .count();
     let hot = Filter::parse_all(["+dst=3"])?;
     let to_hot = output
         .log
@@ -172,6 +187,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * to_hot as f64 / all as f64,
         100.0 / 16.0
     );
-    assert!(to_hot as f64 > all as f64 / 16.0 * 2.0, "hotspot had no effect?");
+    assert!(
+        to_hot as f64 > all as f64 / 16.0 * 2.0,
+        "hotspot had no effect?"
+    );
     Ok(())
 }

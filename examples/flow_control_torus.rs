@@ -32,9 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sweep.add_variable(
         "FlowControl",
         "FC",
-        vec!["flit_buffer".into(), "packet_buffer".into(), "winner_take_all".into()],
+        vec![
+            "flit_buffer".into(),
+            "packet_buffer".into(),
+            "winner_take_all".into(),
+        ],
         |v, cfg| {
-            cfg.set_path("network.router.flow_control", v.clone()).map_err(|e| e.to_string())
+            cfg.set_path("network.router.flow_control", v.clone())
+                .map_err(|e| e.to_string())
         },
     );
     sweep.add_variable(
@@ -53,21 +58,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("running {} simulations...", sweep.len());
     let results = sweep.run(
-        std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
         |perm| {
             let sim = SuperSim::from_config(&perm.config).map_err(|e| e.to_string())?;
             let out = sim.run().map_err(|e| e.to_string())?;
-            let load = perm.config.req_f64("workload.applications.0.load").map_err(|e| e.to_string())?;
+            let load = perm
+                .config
+                .req_f64("workload.applications.0.load")
+                .map_err(|e| e.to_string())?;
             let point = out
                 .load_point(load, &Filter::new())
                 .ok_or_else(|| "no sampling window".to_string())?;
-            Ok((point.delivered, point.latency.map(|l| l.mean).unwrap_or(f64::NAN)))
+            Ok((
+                point.delivered,
+                point.latency.map(|l| l.mean).unwrap_or(f64::NAN),
+            ))
         },
     );
 
     let table = Sweep::results_markdown(&results, |(delivered, mean)| {
         vec![
-            ("delivered (flits/tick/term)".to_string(), format!("{delivered:.3}")),
+            (
+                "delivered (flits/tick/term)".to_string(),
+                format!("{delivered:.3}"),
+            ),
             ("mean latency (ticks)".to_string(), format!("{mean:.1}")),
         ]
     });

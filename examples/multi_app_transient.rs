@@ -41,12 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!(
         "{}",
-        tools::ascii_chart("blast mean latency over time (disrupted by pulse)", &[("blast", points)], 70, 18)
+        tools::ascii_chart(
+            "blast mean latency over time (disrupted by pulse)",
+            &[("blast", points)],
+            70,
+            18
+        )
     );
     println!("{}", tools::timeseries_csv(&series));
 
     let peak = series.peak_mean().unwrap_or(0.0);
-    let gen_start = output.phase_start(supersim::netbase::Phase::Generating).unwrap_or(0);
+    let gen_start = output
+        .phase_start(supersim::netbase::Phase::Generating)
+        .unwrap_or(0);
     let baseline: Vec<f64> = series
         .points()
         .iter()

@@ -12,6 +12,11 @@
 //! writes the sample log next to the configuration as `<config>.log`
 //! (parse it later with the `ssparse` tool or `--log <path>` to choose
 //! the location; `--no-log` skips it).
+//!
+//! Observability outputs: `--metrics <file>` writes the end-of-run
+//! metrics snapshot as JSON (render it with `ssreport`), and
+//! `--trace <file>` writes the JSON-lines flit trace (requires
+//! `observability.trace.enabled=bool=true` in the configuration).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,6 +31,8 @@ struct Args {
     overrides: Vec<String>,
     log_path: Option<PathBuf>,
     no_log: bool,
+    metrics_path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
     let mut overrides = Vec::new();
     let mut log_path = None;
     let mut no_log = false;
+    let mut metrics_path = None;
+    let mut trace_path = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,9 +50,17 @@ fn parse_args() -> Result<Args, String> {
                 log_path = Some(PathBuf::from(p));
             }
             "--no-log" => no_log = true,
+            "--metrics" => {
+                let p = it.next().ok_or("--metrics needs a path")?;
+                metrics_path = Some(PathBuf::from(p));
+            }
+            "--trace" => {
+                let p = it.next().ok_or("--trace needs a path")?;
+                trace_path = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => {
                 return Err("usage: supersim <config.json> [path=type=value ...] \
-                            [--log <file> | --no-log]"
+                            [--log <file> | --no-log] [--metrics <file>] [--trace <file>]"
                     .to_string())
             }
             a if a.contains('=') => overrides.push(a.to_string()),
@@ -56,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         overrides,
         log_path,
         no_log,
+        metrics_path,
+        trace_path,
     })
 }
 
@@ -121,7 +140,40 @@ fn main() -> ExitCode {
             eprintln!("supersim: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("supersim: wrote {} ({} records)", path.display(), out.log.len());
+        eprintln!(
+            "supersim: wrote {} ({} records)",
+            path.display(),
+            out.log.len()
+        );
+    }
+    if let Some(path) = &args.metrics_path {
+        if let Err(e) = std::fs::write(path, out.metrics.to_json()) {
+            eprintln!("supersim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "supersim: wrote {} ({} metrics)",
+            path.display(),
+            out.metrics.len()
+        );
+    }
+    if let Some(path) = &args.trace_path {
+        let Some(trace) = &out.trace else {
+            eprintln!(
+                "supersim: --trace needs observability.trace.enabled=bool=true \
+                 in the configuration"
+            );
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("supersim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "supersim: wrote {} ({} trace lines)",
+            path.display(),
+            trace.lines().count()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -49,7 +49,9 @@ fn delivered(algorithm: &str, pattern: &str, load: f64) -> f64 {
         .unwrap_or_else(|e| panic!("{algorithm}/{pattern}: {e}"))
         .run()
         .unwrap_or_else(|e| panic!("{algorithm}/{pattern}: {e}"));
-    out.load_point(load, &Filter::new()).expect("window").delivered
+    out.load_point(load, &Filter::new())
+        .expect("window")
+        .delivered
 }
 
 #[test]
@@ -86,7 +88,10 @@ fn minimal_and_ugal_match_under_uniform_random() {
         (minimal - ugal).abs() < 0.1 * minimal,
         "ugal ({ugal:.3}) should track minimal ({minimal:.3}) under UR"
     );
-    assert!((minimal - load).abs() < 0.05, "minimal should deliver the offered load");
+    assert!(
+        (minimal - load).abs() < 0.05,
+        "minimal should deliver the offered load"
+    );
 }
 
 fn torus_config(algorithm: &str, vcs: u64, pattern: Value, load: f64) -> Value {
@@ -147,20 +152,30 @@ fn adaptive_torus_beats_dor_under_transpose() {
     // Transpose concentrates row traffic onto single DOR paths; minimal
     // adaptive routing can spread it across both productive dimensions.
     let load = 0.75;
-    let dor = SuperSim::from_config(&torus_config("dimension_order", 4, obj! { "name" => "transpose" }, load))
-        .expect("build")
-        .run()
-        .expect("run")
-        .load_point(load, &Filter::new())
-        .expect("window")
-        .delivered;
-    let adaptive = SuperSim::from_config(&torus_config("adaptive", 4, obj! { "name" => "transpose" }, load))
-        .expect("build")
-        .run()
-        .expect("run")
-        .load_point(load, &Filter::new())
-        .expect("window")
-        .delivered;
+    let dor = SuperSim::from_config(&torus_config(
+        "dimension_order",
+        4,
+        obj! { "name" => "transpose" },
+        load,
+    ))
+    .expect("build")
+    .run()
+    .expect("run")
+    .load_point(load, &Filter::new())
+    .expect("window")
+    .delivered;
+    let adaptive = SuperSim::from_config(&torus_config(
+        "adaptive",
+        4,
+        obj! { "name" => "transpose" },
+        load,
+    ))
+    .expect("build")
+    .run()
+    .expect("run")
+    .load_point(load, &Filter::new())
+    .expect("window")
+    .delivered;
     assert!(
         adaptive >= dor * 0.98,
         "adaptive ({adaptive:.3}) should at least match DOR ({dor:.3}) under transpose"

@@ -9,8 +9,14 @@ use supersim::des::{Component, ComponentId, Context, Simulator, Time};
 #[test]
 fn same_seed_is_bit_identical() {
     let cfg = presets::quickstart();
-    let a = SuperSim::from_config(&cfg).expect("build").run().expect("run");
-    let b = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+    let a = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
+    let b = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
     assert_eq!(a.log.to_text(), b.log.to_text());
     // The final engine stats must match exactly (everything except wall
     // time, which is non-deterministic by nature): same events executed,
@@ -66,7 +72,12 @@ impl Component<u64> for Tracer {
 fn run_trace(seed: u64) -> (Vec<Vec<(Time, u64)>>, supersim::des::RunStats) {
     let mut sim = Simulator::new(seed);
     let ids: Vec<ComponentId> = (0..8)
-        .map(|_| sim.add_component(Box::new(Tracer { peers: Vec::new(), trace: Vec::new() })))
+        .map(|_| {
+            sim.add_component(Box::new(Tracer {
+                peers: Vec::new(),
+                trace: Vec::new(),
+            }))
+        })
         .collect();
     for &id in &ids {
         sim.component_as_mut::<Tracer>(id).expect("tracer").peers = ids.clone();
@@ -75,8 +86,15 @@ fn run_trace(seed: u64) -> (Vec<Vec<(Time, u64)>>, supersim::des::RunStats) {
         sim.schedule(id, Time::at(i as u64), 6);
     }
     let stats = sim.run();
-    let traces =
-        ids.iter().map(|&id| sim.component_as::<Tracer>(id).expect("tracer").trace.clone()).collect();
+    let traces = ids
+        .iter()
+        .map(|&id| {
+            sim.component_as::<Tracer>(id)
+                .expect("tracer")
+                .trace
+                .clone()
+        })
+        .collect();
     (traces, stats)
 }
 
@@ -84,7 +102,10 @@ fn run_trace(seed: u64) -> (Vec<Vec<(Time, u64)>>, supersim::des::RunStats) {
 fn identical_seed_yields_identical_event_trace_and_stats() {
     let (trace_a, stats_a) = run_trace(0xDE7E_2A11);
     let (trace_b, stats_b) = run_trace(0xDE7E_2A11);
-    assert_eq!(trace_a, trace_b, "event traces diverged for identical (config, seed)");
+    assert_eq!(
+        trace_a, trace_b,
+        "event traces diverged for identical (config, seed)"
+    );
     assert_eq!(stats_a.events_executed, stats_b.events_executed);
     assert_eq!(stats_a.end_time, stats_b.end_time);
     assert_eq!(stats_a.queue_high_water, stats_b.queue_high_water);
@@ -100,8 +121,14 @@ fn different_seed_changes_details_not_contracts() {
     let cfg = presets::quickstart();
     let mut cfg2 = cfg.clone();
     cfg2.set_path("seed", Value::from(4242u64)).expect("object");
-    let a = SuperSim::from_config(&cfg).expect("build").run().expect("run");
-    let b = SuperSim::from_config(&cfg2).expect("build").run().expect("run");
+    let a = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
+    let b = SuperSim::from_config(&cfg2)
+        .expect("build")
+        .run()
+        .expect("run");
     // Stochastic details differ...
     assert_ne!(a.log.to_text(), b.log.to_text());
     // ...but the workload contract holds for both: 50 sampled messages per
@@ -119,8 +146,14 @@ fn config_round_trip_preserves_results() {
     let cfg = presets::quickstart();
     let text = cfg.to_json_pretty();
     let reparsed = supersim::config::parse(&text).expect("valid json");
-    let a = SuperSim::from_config(&cfg).expect("build").run().expect("run");
-    let b = SuperSim::from_config(&reparsed).expect("build").run().expect("run");
+    let a = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
+    let b = SuperSim::from_config(&reparsed)
+        .expect("build")
+        .run()
+        .expect("run");
     assert_eq!(a.log.to_text(), b.log.to_text());
 }
 
@@ -134,7 +167,13 @@ fn overrides_behave_like_edits() {
     by_edit
         .set_path("workload.applications.0.load", Value::Float(0.4))
         .expect("object");
-    let a = SuperSim::from_config(&by_override).expect("build").run().expect("run");
-    let b = SuperSim::from_config(&by_edit).expect("build").run().expect("run");
+    let a = SuperSim::from_config(&by_override)
+        .expect("build")
+        .run()
+        .expect("run");
+    let b = SuperSim::from_config(&by_edit)
+        .expect("build")
+        .run()
+        .expect("run");
     assert_eq!(a.log.to_text(), b.log.to_text());
 }

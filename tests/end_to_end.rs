@@ -17,7 +17,9 @@ fn config(topology: Value, vcs: u64, arch: &str, routing: Value) -> Value {
         "arbiter" => "round_robin",
     };
     if arch == "input_output_queued" {
-        router.set_path("output_queue", Value::from(32u64)).expect("object");
+        router
+            .set_path("output_queue", Value::from(32u64))
+            .expect("object");
     }
     obj! {
         "seed" => 99u64,
@@ -43,10 +45,11 @@ fn config(topology: Value, vcs: u64, arch: &str, routing: Value) -> Value {
 }
 
 fn run_and_check(cfg: Value, what: &str) {
-    let sim = SuperSim::from_config(&cfg)
-        .unwrap_or_else(|e| panic!("{what}: build failed: {e}"));
+    let sim = SuperSim::from_config(&cfg).unwrap_or_else(|e| panic!("{what}: build failed: {e}"));
     let terminals = sim.topology().num_terminals();
-    let out = sim.run().unwrap_or_else(|e| panic!("{what}: run failed: {e}"));
+    let out = sim
+        .run()
+        .unwrap_or_else(|e| panic!("{what}: run failed: {e}"));
     assert!(out.packets_delivered() > 0, "{what}: nothing sampled");
     // Flit conservation: after draining, everything injected was ejected.
     assert_eq!(
@@ -64,7 +67,10 @@ fn run_and_check(cfg: Value, what: &str) {
     );
     // The four phases happened in order.
     let ticks: Vec<u64> = out.phase_times.iter().map(|&(_, t)| t).collect();
-    assert!(ticks.windows(2).all(|w| w[0] <= w[1]), "{what}: phases out of order");
+    assert!(
+        ticks.windows(2).all(|w| w[0] <= w[1]),
+        "{what}: phases out of order"
+    );
     assert_eq!(out.phase_times.len(), 4, "{what}: missing phases");
 }
 
@@ -129,7 +135,8 @@ fn every_flow_control_on_long_messages() {
             "input_queued",
             obj! { "algorithm" => "dimension_order" },
         );
-        cfg.set_path("network.router.flow_control", fc.into()).expect("object");
+        cfg.set_path("network.router.flow_control", fc.into())
+            .expect("object");
         cfg.set_path("workload.applications.0.message_size", Value::from(8u64))
             .expect("object");
         cfg.set_path("network.interface.max_packet_size", Value::from(8u64))
@@ -178,9 +185,14 @@ fn multi_flit_messages_segment_into_packets() {
         obj! { "algorithm" => "minimal" },
     );
     // 10-flit messages, max packet 4: 3 packets per message.
-    cfg.set_path("workload.applications.0.message_size", Value::from(10u64)).expect("obj");
-    cfg.set_path("network.interface.max_packet_size", Value::from(4u64)).expect("obj");
-    let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+    cfg.set_path("workload.applications.0.message_size", Value::from(10u64))
+        .expect("obj");
+    cfg.set_path("network.interface.max_packet_size", Value::from(4u64))
+        .expect("obj");
+    let out = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
     assert_eq!(out.counters.packets_sent, out.counters.messages_sent * 3);
     assert_eq!(out.counters.flits_sent, out.counters.messages_sent * 10);
     assert_eq!(out.counters.flits_sent, out.counters.flits_received);

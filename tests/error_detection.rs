@@ -47,10 +47,16 @@ impl RoutingAlgorithm for IllegalVcRouting {
     fn route(&mut self, ctx: &mut RoutingContext<'_>, flit: &mut Flit) -> RouteChoice {
         let (dst_router, dst_port) = self.topology.terminal_attachment(flit.pkt.dst);
         if ctx.router == dst_router {
-            return RouteChoice { port: dst_port, vc: 99 }; // unregistered VC
+            return RouteChoice {
+                port: dst_port,
+                vc: 99,
+            }; // unregistered VC
         }
         let coord = self.topology.router_coords(dst_router)[0];
-        RouteChoice { port: self.topology.port_toward(ctx.router, 0, coord), vc: 0 }
+        RouteChoice {
+            port: self.topology.port_toward(ctx.router, 0, coord),
+            vc: 0,
+        }
     }
 }
 
@@ -85,11 +91,17 @@ impl RoutingAlgorithm for MisdeliverRouting {
     }
 }
 
-fn factories_with(name: &'static str, make: fn(Arc<HyperX>) -> Box<dyn RoutingAlgorithm>) -> Factories {
+fn factories_with(
+    name: &'static str,
+    make: fn(Arc<HyperX>) -> Box<dyn RoutingAlgorithm>,
+) -> Factories {
     let mut f = Factories::with_defaults();
     f.networks.register_raw(name, move |net| {
-        let widths: Vec<u32> =
-            net.req_u64_array("topology.widths")?.iter().map(|&x| x as u32).collect();
+        let widths: Vec<u32> = net
+            .req_u64_array("topology.widths")?
+            .iter()
+            .map(|&x| x as u32)
+            .collect();
         let conc = net.req_u64("topology.concentration")? as u32;
         let topology = Arc::new(HyperX::new(widths, conc)?);
         let t = Arc::clone(&topology);
@@ -104,7 +116,8 @@ fn factories_with(name: &'static str, make: fn(Arc<HyperX>) -> Box<dyn RoutingAl
 fn unregistered_vc_use_is_caught() {
     let factories = factories_with("buggy", |t| Box::new(IllegalVcRouting { topology: t }));
     let mut cfg = tiny_config("buggy");
-    cfg.set_path("network.topology.name", "buggy".into()).expect("object");
+    cfg.set_path("network.topology.name", "buggy".into())
+        .expect("object");
     let err = SuperSim::with_factories(&cfg, &factories)
         .expect("builds fine")
         .run()
@@ -117,7 +130,8 @@ fn unregistered_vc_use_is_caught() {
 fn unused_output_port_is_rejected() {
     let factories = factories_with("wild", |_| Box::new(WildPortRouting));
     let mut cfg = tiny_config("wild");
-    cfg.set_path("network.topology.name", "wild".into()).expect("object");
+    cfg.set_path("network.topology.name", "wild".into())
+        .expect("object");
     let err = SuperSim::with_factories(&cfg, &factories)
         .expect("builds fine")
         .run()
@@ -129,7 +143,8 @@ fn unused_output_port_is_rejected() {
 fn wrong_destination_delivery_is_caught() {
     let factories = factories_with("misdeliver", |_| Box::new(MisdeliverRouting));
     let mut cfg = tiny_config("misdeliver");
-    cfg.set_path("network.topology.name", "misdeliver".into()).expect("object");
+    cfg.set_path("network.topology.name", "misdeliver".into())
+        .expect("object");
     let err = SuperSim::with_factories(&cfg, &factories)
         .expect("builds fine")
         .run()
@@ -142,12 +157,14 @@ fn wrong_destination_delivery_is_caught() {
 fn build_errors_are_descriptive() {
     // Unknown models.
     let mut cfg = tiny_config("hyperx");
-    cfg.set_path("network.topology.name", "klein_bottle".into()).expect("object");
+    cfg.set_path("network.topology.name", "klein_bottle".into())
+        .expect("object");
     let err = SuperSim::from_config(&cfg).expect_err("unknown topology");
     assert!(err.to_string().contains("klein_bottle"));
 
     let mut cfg = tiny_config("hyperx");
-    cfg.set_path("network.router.architecture", "quantum".into()).expect("object");
+    cfg.set_path("network.router.architecture", "quantum".into())
+        .expect("object");
     let err = SuperSim::from_config(&cfg).expect_err("unknown architecture");
     assert!(matches!(err, BuildError::UnknownModel { .. }));
 
@@ -164,8 +181,10 @@ fn build_errors_are_descriptive() {
 
     // Structurally invalid: UGAL with one VC.
     let mut cfg = tiny_config("hyperx");
-    cfg.set_path("network.vcs", Value::from(1u64)).expect("object");
-    cfg.set_path("network.routing.algorithm", "ugal".into()).expect("object");
+    cfg.set_path("network.vcs", Value::from(1u64))
+        .expect("object");
+    cfg.set_path("network.routing.algorithm", "ugal".into())
+        .expect("object");
     let err = SuperSim::from_config(&cfg).expect_err("ugal needs 2 vcs");
     assert!(err.to_string().contains("2 VCs"));
 }
@@ -174,6 +193,7 @@ fn build_errors_are_descriptive() {
 fn overload_configurations_are_rejected() {
     // A load above one flit/tick/terminal cannot be offered.
     let mut cfg = tiny_config("hyperx");
-    cfg.set_path("workload.applications.0.load", Value::Float(1.5)).expect("object");
+    cfg.set_path("workload.applications.0.load", Value::Float(1.5))
+        .expect("object");
     assert!(SuperSim::from_config(&cfg).is_err());
 }

@@ -1,0 +1,41 @@
+//! The zero-registry-dependency invariant, as a test.
+//!
+//! The workspace builds fully offline: every crate in `Cargo.lock` must
+//! be one of our own `supersim*` workspace members. A registry dependency
+//! sneaking in (via a hasty `cargo add`, or a transitive dependency of
+//! one) breaks offline builds and the reproducibility story, so it fails
+//! here — and in the CI job that runs the same check with `grep` before
+//! any compilation happens.
+
+#[test]
+fn cargo_lock_contains_only_workspace_packages() {
+    let lock = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.lock"))
+        .expect("workspace Cargo.lock");
+    let mut packages = 0;
+    for line in lock.lines() {
+        if let Some(name) = line.strip_prefix("name = \"") {
+            let name = name.trim_end_matches('"');
+            assert!(
+                name.starts_with("supersim"),
+                "non-workspace dependency in Cargo.lock: {name} \
+                 (the workspace must build fully offline)"
+            );
+            packages += 1;
+        }
+    }
+    assert!(packages > 0, "Cargo.lock lists no packages — parse drift?");
+}
+
+#[test]
+fn lockfile_has_no_registry_sources() {
+    let lock = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.lock"))
+        .expect("workspace Cargo.lock");
+    assert!(
+        !lock.contains("registry+"),
+        "Cargo.lock references a registry source; the workspace must build fully offline"
+    );
+    assert!(
+        !lock.contains("source = "),
+        "Cargo.lock pins an external source"
+    );
+}

@@ -63,12 +63,14 @@ fn config(arbiter: &str) -> Value {
 /// also send but from the plus side).
 fn per_source_share(arbiter: &str) -> Vec<u64> {
     let mut factories = Factories::with_defaults();
-    factories.patterns.register("all_to_zero", |_cfg, terminals| {
-        if terminals < 2 {
-            return Err(BuildError::invalid("need at least 2 terminals"));
-        }
-        Ok(Arc::new(AllToZero) as Arc<dyn TrafficPattern>)
-    });
+    factories
+        .patterns
+        .register("all_to_zero", |_cfg, terminals| {
+            if terminals < 2 {
+                return Err(BuildError::invalid("need at least 2 terminals"));
+            }
+            Ok(Arc::new(AllToZero) as Arc<dyn TrafficPattern>)
+        });
     let out = SuperSim::with_factories(&config(arbiter), &factories)
         .expect("build")
         .run()

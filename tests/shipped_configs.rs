@@ -20,9 +20,13 @@ fn every_shipped_config_runs() {
     ] {
         let mut cfg = load(name);
         // Keep CI fast: shrink the sample counts, keep everything else.
-        let blast = &cfg.req_str("workload.applications.0.name").map(str::to_string);
+        let blast = &cfg
+            .req_str("workload.applications.0.name")
+            .map(str::to_string);
         if blast.as_deref() == Ok("blast")
-            && cfg.path("workload.applications.0.sample_messages").is_some()
+            && cfg
+                .path("workload.applications.0.sample_messages")
+                .is_some()
         {
             apply_override(&mut cfg, "workload.applications.0.sample_messages=uint=20")
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -46,8 +50,7 @@ fn listing_1_overrides_apply_to_shipped_configs() {
     // The paper's Listing 1, verbatim mechanics.
     let mut cfg = load("quickstart.json");
     apply_override(&mut cfg, "network.topology.concentration=uint=2").expect("valid");
-    apply_override(&mut cfg, "workload.applications.0.sample_messages=uint=10")
-        .expect("valid");
+    apply_override(&mut cfg, "workload.applications.0.sample_messages=uint=10").expect("valid");
     let sim = SuperSim::from_config(&cfg).expect("build");
     assert_eq!(sim.topology().num_terminals(), 8); // 4 routers x 2
     let out = sim.run().expect("run");

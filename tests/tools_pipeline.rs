@@ -20,17 +20,20 @@ fn log_text_round_trips_through_ssparse() {
 
     let analysis = tools::analyze_text::<&str>(&text, &[]).expect("analyzable");
     assert_eq!(
-        analysis.of(RecordKind::Packet).latency.expect("sampled").count,
+        analysis
+            .of(RecordKind::Packet)
+            .latency
+            .expect("sampled")
+            .count,
         out.packets_delivered()
     );
 
     // Paper-style filters slice the data consistently.
     let (start, end) = out.window().expect("window");
     let mid = (start + end) / 2;
-    let early = tools::analyze_text(&text, &[format!("+send={start}-{mid}")])
-        .expect("filterable");
-    let late = tools::analyze_text(&text, &[format!("+send={}-{end}", mid + 1)])
-        .expect("filterable");
+    let early = tools::analyze_text(&text, &[format!("+send={start}-{mid}")]).expect("filterable");
+    let late =
+        tools::analyze_text(&text, &[format!("+send={}-{end}", mid + 1)]).expect("filterable");
     let total = analysis.of(RecordKind::Packet).latency.unwrap().count;
     let e = early.of(RecordKind::Packet).latency.map_or(0, |l| l.count);
     let l = late.of(RecordKind::Packet).latency.map_or(0, |l| l.count);
@@ -52,7 +55,9 @@ fn percentile_distribution_like_figure_7() {
     let curve = kind.distribution.percentile_curve();
     assert!(!curve.is_empty());
     // Monotone in both axes.
-    assert!(curve.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    assert!(curve
+        .windows(2)
+        .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
     let csv = tools::percentile_csv(&curve);
     assert!(csv.lines().count() == curve.len() + 1);
     // The tail percentile read off the curve matches the summary.
@@ -68,7 +73,8 @@ fn sweep_grid_runs_real_simulations() {
         "L",
         vec![Value::Float(0.1), Value::Float(0.3)],
         |v, cfg| {
-            cfg.set_path("workload.applications.0.load", v.clone()).map_err(|e| e.to_string())
+            cfg.set_path("workload.applications.0.load", v.clone())
+                .map_err(|e| e.to_string())
         },
     );
     sweep.add_variable(
@@ -76,7 +82,8 @@ fn sweep_grid_runs_real_simulations() {
         "ARB",
         vec!["round_robin".into(), "age_based".into()],
         |v, cfg| {
-            cfg.set_path("network.router.arbiter", v.clone()).map_err(|e| e.to_string())
+            cfg.set_path("network.router.arbiter", v.clone())
+                .map_err(|e| e.to_string())
         },
     );
     assert_eq!(sweep.len(), 4);
@@ -85,7 +92,8 @@ fn sweep_grid_runs_real_simulations() {
             .map_err(|e| e.to_string())?
             .run()
             .map_err(|e| e.to_string())?;
-        out.mean_packet_latency().ok_or_else(|| "no samples".to_string())
+        out.mean_packet_latency()
+            .ok_or_else(|| "no samples".to_string())
     });
     assert_eq!(results.len(), 4);
     for r in &results {
@@ -105,11 +113,8 @@ fn sweep_grid_runs_real_simulations() {
 
 #[test]
 fn load_latency_csv_from_real_sweep() {
-    let spec = supersim::core::LoadSweepSpec::simple(
-        presets::quickstart(),
-        "quickstart",
-        vec![0.1, 0.25],
-    );
+    let spec =
+        supersim::core::LoadSweepSpec::simple(presets::quickstart(), "quickstart", vec![0.1, 0.25]);
     let sweep = supersim::core::run_load_sweep(&spec).expect("sweep");
     let csv = tools::load_latency_csv(&[sweep], 0.05);
     let lines: Vec<&str> = csv.lines().collect();

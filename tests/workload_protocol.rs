@@ -9,7 +9,10 @@ use supersim::stats::RecordKind;
 #[test]
 fn sampled_packets_were_sent_inside_the_window() {
     let cfg = presets::quickstart();
-    let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+    let out = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
     let (start, end) = out.window().expect("window exists");
     // The end boundary is inclusive: a message created at the same tick
     // the Stop command arrives was generated while its terminal was still
@@ -30,12 +33,20 @@ fn warmup_traffic_is_not_sampled() {
     let mut cfg = presets::quickstart();
     cfg.set_path("workload.applications.0.warmup_ticks", Value::from(2000u64))
         .expect("object");
-    let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
-    let start = out.phase_start(Phase::Generating).expect("generating happened");
+    let out = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
+    let start = out
+        .phase_start(Phase::Generating)
+        .expect("generating happened");
     assert!(start >= 2000, "warmup was cut short");
     // Traffic flowed during warming...
     let warm_flits: u64 = out.window_flits;
-    assert!(out.counters.flits_received > warm_flits, "no warmup traffic");
+    assert!(
+        out.counters.flits_received > warm_flits,
+        "no warmup traffic"
+    );
     // ...but every logged record was sampled inside the window.
     assert!(out.log.records().iter().all(|r| r.send >= start));
 }
@@ -43,7 +54,10 @@ fn warmup_traffic_is_not_sampled() {
 #[test]
 fn blast_and_pulse_interoperate() {
     let cfg = presets::transient(0.2, 2000, 0.8, 20, 500);
-    let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+    let out = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
     // Both applications contributed samples.
     let blast = out.log.records().iter().filter(|r| r.app == 0).count();
     let pulse = out.log.records().iter().filter(|r| r.app == 1).count();
@@ -58,7 +72,10 @@ fn blast_and_pulse_interoperate() {
     assert_eq!(pulse_msgs, 20 * 32);
     // The generating phase lasted at least the configured sample time.
     let (start, end) = out.window().expect("window");
-    assert!(end - start >= 2000, "sampling window shorter than blast asked for");
+    assert!(
+        end - start >= 2000,
+        "sampling window shorter than blast asked for"
+    );
 }
 
 #[test]
@@ -75,7 +92,10 @@ fn pingpong_transactions_are_recorded() {
         },
     )
     .expect("object");
-    let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+    let out = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
     let txns = out.log.of_kind(RecordKind::Transaction).count();
     // 16 terminals × 5 transactions each.
     assert_eq!(txns, 16 * 5);
@@ -104,7 +124,10 @@ fn messages_latencies_bound_packet_latencies() {
     // A message completes no earlier than its last packet; with one packet
     // per message the two records agree exactly.
     let cfg = presets::quickstart();
-    let out = SuperSim::from_config(&cfg).expect("build").run().expect("run");
+    let out = SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run");
     let packets = out.log.of_kind(RecordKind::Packet).count();
     let messages = out.log.of_kind(RecordKind::Message).count();
     assert!(messages > 0);
