@@ -9,10 +9,18 @@
 //!   speedup is measured on the same machine in the same process.
 //! - **relay ring**: full engine dispatch — a ring of components bouncing
 //!   events one tick apart, the dominant shape of flit/credit traffic.
+//! - **work ring**: the relay ring with a fixed per-event compute load,
+//!   run on the sequential engine and on the sharded engine at several
+//!   shard counts — the engine-scaling measurement. (The plain relay ring
+//!   is also measured sharded: with near-zero per-event work it is
+//!   barrier-dominated and shows the overhead honestly.)
 //!
 //! Usage:
-//!   bench_engine            # full measurement, prints a table
-//!   bench_engine --smoke    # quick run with floor assertions (CI tier-1)
+//!   bench_engine                      # full measurement, prints a table
+//!   bench_engine --smoke              # quick run with floor assertions (CI tier-1)
+//!   bench_engine --engine seq        # skip the sharded rows
+//!   bench_engine --engine sharded    # only the sharded rows
+//!   bench_engine --shards N          # measure one shard count instead of 2 and 4
 //!
 //! Both modes additionally compare every calendar-queue rate against the
 //! floors in `BENCH_BASELINE.json` at the repository root (override the
@@ -265,6 +273,94 @@ impl refsim::RefComponent for RefRelay {
     }
 }
 
+/// A relay with a fixed per-event compute load: `work` rounds of an
+/// xorshift mix whose result is kept live in an accumulator so the
+/// optimizer cannot discard it. This models a router pipeline doing real
+/// allocation work per event, the regime where sharding pays.
+struct WorkRelay {
+    next: ComponentId,
+    remaining: u64,
+    work: u32,
+    acc: u64,
+}
+
+#[inline]
+fn spin_work(mut x: u64, rounds: u32) -> u64 {
+    for _ in 0..rounds {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    x
+}
+
+impl Component<u64> for WorkRelay {
+    fn name(&self) -> &str {
+        "work_relay"
+    }
+    fn handle(&mut self, ctx: &mut Context<'_, u64>, event: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            self.acc = self.acc.wrapping_add(spin_work(event | 1, self.work));
+            ctx.schedule(self.next, ctx.now().plus_ticks(1), event + 1);
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Builds the work-ring simulation: `ring` relays, `tokens` events in
+/// flight (evenly spread, so every generation carries `tokens` events),
+/// each relay firing `hops` times.
+fn build_work_ring(ring: usize, tokens: usize, hops: u64, work: u32) -> Simulator<u64> {
+    let mut sim = Simulator::new(1);
+    let ids: Vec<ComponentId> = (0..ring)
+        .map(|i| {
+            sim.add_component(Box::new(WorkRelay {
+                next: ComponentId::from_index((i + 1) % ring),
+                remaining: hops,
+                work,
+                acc: 0,
+            }))
+        })
+        .collect();
+    for t in 0..tokens {
+        sim.schedule(ids[t * ring / tokens.max(1)], Time::at(0), 0);
+    }
+    sim
+}
+
+/// Work-ring throughput on the chosen engine. `shards <= 1` runs the
+/// sequential engine; otherwise the ring is cut into `shards` contiguous
+/// arcs (two cut links per boundary) and run sharded.
+fn bench_work_ring(
+    ring: usize,
+    tokens: usize,
+    hops: u64,
+    work: u32,
+    shards: usize,
+    reps: usize,
+) -> f64 {
+    let events_per_run = ring as u64 * hops + tokens as u64;
+    measure(events_per_run, reps, || {
+        let sim = build_work_ring(ring, tokens, hops, work);
+        let executed = if shards <= 1 {
+            let mut sim = sim;
+            sim.run().events_executed
+        } else {
+            let shard_of: Vec<u32> = (0..ring).map(|i| (i * shards / ring) as u32).collect();
+            let mut sharded = sim.into_sharded(shards, shard_of);
+            sharded.run().events_executed
+        };
+        assert_eq!(executed, events_per_run);
+    })
+}
+
 /// The same relay-ring workload driven through the reference engine.
 fn bench_relay_ring_refheap(ring: usize, tokens: usize, hops: u64, reps: usize) -> f64 {
     let events_per_run = ring as u64 * hops + tokens as u64;
@@ -333,51 +429,114 @@ fn human(rate: f64) -> String {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (reps, sizes, ring_hops) = if smoke {
-        (2, vec![1_000usize], 200u64)
+    let mut smoke = false;
+    let mut run_seq = true;
+    let mut run_sharded = true;
+    let mut shard_counts = vec![2usize, 4];
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--engine" => match it.next().as_deref() {
+                Some("seq") | Some("sequential") => run_sharded = false,
+                Some("sharded") => run_seq = false,
+                other => {
+                    eprintln!("bench_engine: --engine must be seq or sharded, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--shards" => {
+                let Some(n) = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("bench_engine: --shards needs a positive integer");
+                    std::process::exit(2);
+                };
+                shard_counts = vec![n];
+            }
+            other => {
+                eprintln!("bench_engine: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (reps, sizes, ring_hops, work_hops) = if smoke {
+        (2, vec![1_000usize], 200u64, 40u64)
     } else {
-        (7, vec![1_000usize, 100_000], 5_000u64)
+        (7, vec![1_000usize, 100_000], 5_000u64, 400u64)
     };
 
     println!(
         "engine micro-benchmarks ({})",
         if smoke { "smoke" } else { "full" }
     );
-    println!(
-        "{:<28} {:>12} {:>12} {:>8}",
-        "workload", "calendar", "binary-heap", "speedup"
-    );
 
     let baseline = load_baseline();
     let mut below = Vec::new();
     let mut floors_ok = true;
-    for &n in &sizes {
-        let name = format!("queue/push_pop_{n}");
-        let cal = bench_queue_calendar(n, reps);
-        let heap = bench_queue_refheap(n, reps);
+    if run_seq {
         println!(
-            "{name:<28} {:>12} {:>12} {:>7.2}x",
-            human(cal),
-            human(heap),
-            cal / heap
+            "{:<28} {:>12} {:>12} {:>8}",
+            "workload", "calendar", "binary-heap", "speedup"
         );
-        floors_ok &= cal > 0.0 && heap > 0.0;
-        check_floor(baseline.as_ref(), &name, cal, &mut below);
+        for &n in &sizes {
+            let name = format!("queue/push_pop_{n}");
+            let cal = bench_queue_calendar(n, reps);
+            let heap = bench_queue_refheap(n, reps);
+            println!(
+                "{name:<28} {:>12} {:>12} {:>7.2}x",
+                human(cal),
+                human(heap),
+                cal / heap
+            );
+            floors_ok &= cal > 0.0 && heap > 0.0;
+            check_floor(baseline.as_ref(), &name, cal, &mut below);
+        }
+
+        for &(ring, tokens) in &[(64usize, 16usize), (1024, 256)] {
+            let name = format!("relay_ring/{ring}x{tokens}");
+            let cal = bench_relay_ring(ring, tokens, ring_hops, reps);
+            let heap = bench_relay_ring_refheap(ring, tokens, ring_hops, reps);
+            println!(
+                "{name:<28} {:>12} {:>12} {:>7.2}x",
+                human(cal),
+                human(heap),
+                cal / heap
+            );
+            floors_ok &= cal > 0.0 && heap > 0.0;
+            check_floor(baseline.as_ref(), &name, cal, &mut below);
+        }
     }
 
-    for &(ring, tokens) in &[(64usize, 16usize), (1024, 256)] {
-        let name = format!("relay_ring/{ring}x{tokens}");
-        let cal = bench_relay_ring(ring, tokens, ring_hops, reps);
-        let heap = bench_relay_ring_refheap(ring, tokens, ring_hops, reps);
+    // --- engine scaling: sequential vs sharded on the same workload -----
+    if run_sharded {
         println!(
-            "{name:<28} {:>12} {:>12} {:>7.2}x",
-            human(cal),
-            human(heap),
-            cal / heap
+            "{:<28} {:>12} {:>12} {:>8}",
+            "workload", "sharded", "sequential", "speedup"
         );
-        floors_ok &= cal > 0.0 && heap > 0.0;
-        check_floor(baseline.as_ref(), &name, cal, &mut below);
+        const WORK: u32 = 256; // xorshift rounds per event, ~router-pipeline cost
+        for &(ring, tokens, work) in &[(1024usize, 256usize, 0u32), (1024, 256, WORK)] {
+            let family = if work == 0 { "relay_ring" } else { "work_ring" };
+            let seq = bench_work_ring(ring, tokens, work_hops, work, 1, reps);
+            let seq_name = format!("{family}_engine/{ring}x{tokens}/seq");
+            println!("{seq_name:<28} {:>12} {:>12} {:>7.2}x", "", human(seq), 1.0);
+            floors_ok &= seq > 0.0;
+            check_floor(baseline.as_ref(), &seq_name, seq, &mut below);
+            for &s in &shard_counts {
+                let name = format!("{family}_engine/{ring}x{tokens}/s{s}");
+                let rate = bench_work_ring(ring, tokens, work_hops, work, s, reps);
+                println!(
+                    "{name:<28} {:>12} {:>12} {:>7.2}x",
+                    human(rate),
+                    human(seq),
+                    rate / seq
+                );
+                floors_ok &= rate > 0.0;
+                check_floor(baseline.as_ref(), &name, rate, &mut below);
+            }
+        }
     }
 
     // Floor assertions: the harness must observe real forward progress.

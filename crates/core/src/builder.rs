@@ -7,13 +7,11 @@
 //! block (and its `pattern` sub-block) to the application factory.
 
 use supersim_config::Value;
-use supersim_des::{ComponentId, Simulator, Tick, Time};
-use supersim_netbase::{
-    Ev, FlitTracer, LinkTarget, RouterId, SharedTracer, TerminalId, TraceFilter, TraceKind,
-};
-use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterPorts};
+use supersim_des::{ComponentId, Engine, Simulator, Tick, Time};
+use supersim_netbase::{Ev, LinkTarget, RouterId, TerminalId, TraceFilter, TraceKind};
+use supersim_router::RouterPorts;
 use supersim_stats::MetricsRegistry;
-use supersim_topology::{ChannelClass, Topology};
+use supersim_topology::{partition_routers, ChannelClass, Topology};
 use supersim_workload::{Interface, InterfaceConfig, WorkloadMonitor};
 
 use std::sync::Arc;
@@ -23,7 +21,7 @@ use crate::factory::{AppCtx, Factories, RouterCtx};
 
 /// A fully wired simulation, ready to run.
 pub(crate) struct Built {
-    pub sim: Simulator<Ev>,
+    pub engine: Box<dyn Engine<Ev>>,
     pub interfaces: Vec<ComponentId>,
     pub routers: Vec<ComponentId>,
     pub monitor: ComponentId,
@@ -31,14 +29,54 @@ pub(crate) struct Built {
     pub tick_limit: Tick,
     pub link_period: Tick,
     pub registry: MetricsRegistry,
-    pub tracer: SharedTracer,
 }
 
-/// Parses the optional `observability.trace` block into a tracer; absent
-/// or disabled blocks yield the free-when-off disabled tracer.
-fn build_tracer(cfg: &Value) -> Result<SharedTracer, BuildError> {
+/// Which execution backend to assemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineChoice {
+    Sequential,
+    Sharded(usize),
+}
+
+/// Parses the optional `engine` block: `engine.kind` is `"sequential"`
+/// (default) or `"sharded"`, `engine.shards` the worker count. The
+/// `SUPERSIM_ENGINE` / `SUPERSIM_SHARDS` environment variables supply
+/// defaults when the configuration does not say — explicit configuration
+/// always wins, so a config that pins an engine stays pinned under a CI
+/// job that exports the sharded default.
+fn engine_choice(cfg: &Value) -> Result<EngineChoice, BuildError> {
+    let kind = match cfg.req_str("engine.kind") {
+        Ok(s) => s.to_string(),
+        Err(_) => std::env::var("SUPERSIM_ENGINE").unwrap_or_else(|_| "sequential".into()),
+    };
+    let shards = match cfg.req_u64("engine.shards") {
+        Ok(n) => n,
+        Err(_) => match std::env::var("SUPERSIM_SHARDS") {
+            Ok(s) => s.parse().map_err(|_| {
+                BuildError::invalid(format!("SUPERSIM_SHARDS must be an integer, got {s:?}"))
+            })?,
+            Err(_) => 2,
+        },
+    };
+    match kind.as_str() {
+        "sequential" => Ok(EngineChoice::Sequential),
+        "sharded" => {
+            if shards == 0 {
+                return Err(BuildError::invalid("engine.shards must be non-zero"));
+            }
+            Ok(EngineChoice::Sharded(shards as usize))
+        }
+        other => Err(BuildError::invalid(format!(
+            "unknown engine.kind {other:?} (expected \"sequential\" or \"sharded\")"
+        ))),
+    }
+}
+
+/// Parses the optional `observability.trace` block; `None` when tracing
+/// is absent or disabled (the free-when-off default).
+fn trace_config(cfg: &Value) -> Result<Option<(TraceFilter, usize)>, BuildError> {
     if !cfg.opt_bool("observability.trace.enabled", false)? {
-        return Ok(SharedTracer::disabled());
+        return Ok(None);
     }
     let capacity = cfg.opt_u64("observability.trace.capacity", 65_536)?;
     if capacity == 0 {
@@ -64,9 +102,7 @@ fn build_tracer(cfg: &Value) -> Result<SharedTracer, BuildError> {
     }
     filter.packet_lo = cfg.opt_u64("observability.trace.packet_lo", 0)?;
     filter.packet_hi = cfg.opt_u64("observability.trace.packet_hi", u64::MAX)?;
-    let mut tracer = FlitTracer::with_capacity(capacity as usize);
-    tracer.set_filter(filter);
-    Ok(SharedTracer::new(tracer))
+    Ok(Some((filter, capacity as usize)))
 }
 
 pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
@@ -126,10 +162,19 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         apps.push(factories.apps.build(name, block, ctx)?);
     }
 
-    // --- observability -------------------------------------------------
-    let tracer = build_tracer(cfg)?;
+    // --- engine + observability ----------------------------------------
+    let choice = engine_choice(cfg)?;
+    // More shards than routers would only add idle spinners.
+    let num_shards = match choice {
+        EngineChoice::Sequential => 1,
+        EngineChoice::Sharded(n) => n.min(routers as usize).max(1),
+    };
+    let trace = trace_config(cfg)?;
     let mut registry = MetricsRegistry::new();
     registry.register("engine");
+    for s in 0..num_shards {
+        registry.register(format!("engine_shard_{s}"));
+    }
     registry.register("workload");
     for r in 0..routers {
         registry.register(format!("router_{r}"));
@@ -145,7 +190,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
     for t in 0..terminals {
         let terminal = TerminalId(t);
         let (router, port) = topology.terminal_attachment(terminal);
-        let mut iface = Interface::new(InterfaceConfig {
+        let iface = Interface::new(InterfaceConfig {
             terminal,
             vcs,
             to_router: LinkTarget::new(router_cid(router.0), port, lat_terminal),
@@ -157,9 +202,6 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
             monitor: monitor_cid,
             terminals: apps.iter().map(|a| a.create_terminal(terminal)).collect(),
         });
-        if tracer.is_enabled() {
-            iface.set_tracer(tracer.clone());
-        }
         let id = sim.add_component(Box::new(iface));
         debug_assert_eq!(id, iface_cid(t));
         interface_ids.push(id);
@@ -216,17 +258,6 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         };
         let id = sim.add_component(factories.routers.build(arch, ctx)?);
         debug_assert_eq!(id, router_cid(r));
-        // Built-in architectures accept the tracer via downcast; custom
-        // router components simply run untraced.
-        if tracer.is_enabled() {
-            if let Some(rt) = sim.component_as_mut::<IqRouter>(id) {
-                rt.set_tracer(tracer.clone());
-            } else if let Some(rt) = sim.component_as_mut::<OqRouter>(id) {
-                rt.set_tracer(tracer.clone());
-            } else if let Some(rt) = sim.component_as_mut::<IoqRouter>(id) {
-                rt.set_tracer(tracer.clone());
-            }
-        }
         router_ids.push(id);
     }
 
@@ -241,8 +272,33 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         sim.schedule(id, Time::at(0), Ev::Inject);
     }
 
+    if let Some((filter, capacity)) = trace {
+        sim.set_trace(filter.to_spec(), capacity);
+    }
+
+    // Components are registered and kicked on a sequential engine; the
+    // sharded backend takes over the finished layout. Routers partition by
+    // topology locality, each interface rides with its attached router
+    // (the terminal channel is the hottest link in the graph), and the
+    // monitor lands on shard 0.
+    let engine: Box<dyn Engine<Ev>> = if num_shards > 1 {
+        let rpart = partition_routers(topology.as_ref(), num_shards);
+        let mut shard_of = vec![0u32; sim.num_components()];
+        for t in 0..terminals {
+            let (router, _) = topology.terminal_attachment(TerminalId(t));
+            shard_of[iface_cid(t).index()] = rpart[router.0 as usize];
+        }
+        for r in 0..routers {
+            shard_of[router_cid(r).index()] = rpart[r as usize];
+        }
+        shard_of[monitor.index()] = 0;
+        Box::new(sim.into_sharded(num_shards, shard_of))
+    } else {
+        Box::new(sim)
+    };
+
     Ok(Built {
-        sim,
+        engine,
         interfaces: interface_ids,
         routers: router_ids,
         monitor,
@@ -250,6 +306,5 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         tick_limit,
         link_period,
         registry,
-        tracer,
     })
 }

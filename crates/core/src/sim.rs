@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use supersim_config::Value;
-use supersim_des::{ComponentId, RunOutcome, RunStats, Simulator, Tick};
-use supersim_netbase::{Ev, Phase};
+use supersim_des::{ComponentId, Engine, RunOutcome, RunStats, Tick};
+use supersim_netbase::{trace_json_lines, Ev, Phase};
 use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterMetrics};
 use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
 use supersim_stats::{Filter, Histogram, MetricValue, MetricsSnapshot, RecordKind, SampleLog};
@@ -72,7 +72,7 @@ impl SuperSim {
     /// its tick limit without draining.
     pub fn run(mut self) -> Result<RunOutput, SimError> {
         let tick_limit = self.built.tick_limit;
-        let stats = self.built.sim.run_until(tick_limit);
+        let stats = self.built.engine.run_until(tick_limit);
         match &stats.outcome {
             RunOutcome::Drained => {}
             RunOutcome::Failed(msg) => return Err(SimError::Model(msg.clone())),
@@ -93,7 +93,8 @@ impl SuperSim {
         for &id in &self.built.interfaces {
             let iface = self
                 .built
-                .sim
+                .engine
+                .as_ref()
                 .component_as::<Interface>(id)
                 .expect("interface component");
             if let (Some(start), Some(end)) = (
@@ -121,33 +122,46 @@ impl SuperSim {
         }
 
         // --- metrics snapshot (assembled on demand, paper-style) -------
+        // The `engine` plane holds only values the determinism contract
+        // pins across backends; scheduler diagnostics (batching, queue
+        // capacity, horizon) vary with the partition and live in one
+        // `engine_shard_<i>` plane per shard (the sequential engine is
+        // shard 0). Wall-clock throughput is reported by the CLI from
+        // `RunStats`, not recorded in the snapshot.
         let mut metrics = self.built.registry.snapshot();
-        let em = self.built.sim.metrics();
-        metrics.push_counter("engine", "events_executed", em.events_executed);
-        metrics.push_counter("engine", "batches", em.batches);
-        metrics.push_counter("engine", "total_enqueued", em.total_enqueued);
-        metrics.push_counter("engine", "horizon", em.horizon as u64);
-        metrics.push_counter("engine", "horizon_resizes", em.horizon_resizes);
-        metrics.push_counter("engine", "overflow_spills", em.overflow_spills);
-        metrics.push_counter("engine", "overflow_len", em.overflow_len as u64);
         metrics.push_counter(
             "engine",
-            "events_per_second",
-            stats.events_per_second() as u64,
+            "events_executed",
+            self.built.engine.events_executed(),
         );
-        metrics.push(
+        metrics.push_counter(
             "engine",
-            "queue_len",
-            MetricValue::Gauge {
-                value: em.queue_len as u64,
-                max: em.queue_high_water as u64,
-            },
+            "total_enqueued",
+            self.built.engine.total_enqueued(),
         );
-        metrics.push_histogram(
-            "engine",
-            "batch_size",
-            &Histogram::from_log2_counts(&em.batch_counts, em.batches, em.events_executed),
-        );
+        for (s, em) in self.built.engine.shard_metrics().iter().enumerate() {
+            let name = format!("engine_shard_{s}");
+            metrics.push_counter(&name, "events_executed", em.events_executed);
+            metrics.push_counter(&name, "batches", em.batches);
+            metrics.push_counter(&name, "total_enqueued", em.total_enqueued);
+            metrics.push_counter(&name, "horizon", em.horizon as u64);
+            metrics.push_counter(&name, "horizon_resizes", em.horizon_resizes);
+            metrics.push_counter(&name, "overflow_spills", em.overflow_spills);
+            metrics.push_counter(&name, "overflow_len", em.overflow_len as u64);
+            metrics.push(
+                &name,
+                "queue_len",
+                MetricValue::Gauge {
+                    value: em.queue_len as u64,
+                    max: em.queue_high_water as u64,
+                },
+            );
+            metrics.push_histogram(
+                &name,
+                "batch_size",
+                &Histogram::from_log2_counts(&em.batch_counts, em.batches, em.events_executed),
+            );
+        }
 
         metrics.push_counter("workload", "messages_sent", counters.messages_sent);
         metrics.push_counter("workload", "packets_sent", counters.packets_sent);
@@ -172,7 +186,7 @@ impl SuperSim {
         }
 
         for (r, &id) in self.built.routers.iter().enumerate() {
-            if let Some(rm) = router_metrics(&self.built.sim, id) {
+            if let Some(rm) = router_metrics(self.built.engine.as_ref(), id) {
                 let name = format!("router_{r}");
                 metrics.push_counter(&name, "grants", rm.grants.get());
                 metrics.push_counter(&name, "denials", rm.denials.get());
@@ -192,12 +206,13 @@ impl SuperSim {
 
         let trace = self
             .built
-            .tracer
-            .is_enabled()
-            .then(|| self.built.tracer.to_json_lines());
+            .engine
+            .trace_enabled()
+            .then(|| trace_json_lines(&self.built.engine.trace_records()));
         let monitor = self
             .built
-            .sim
+            .engine
+            .as_ref()
             .component_as::<supersim_workload::WorkloadMonitor>(self.built.monitor)
             .expect("monitor component");
         Ok(RunOutput {
@@ -216,14 +231,14 @@ impl SuperSim {
 
 /// The metrics of a built-in router architecture, found by downcast.
 /// Custom router components report no router-plane metrics.
-fn router_metrics(sim: &Simulator<Ev>, id: ComponentId) -> Option<&RouterMetrics> {
-    if let Some(r) = sim.component_as::<IqRouter>(id) {
+fn router_metrics(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&RouterMetrics> {
+    if let Some(r) = engine.component_as::<IqRouter>(id) {
         return Some(&r.metrics);
     }
-    if let Some(r) = sim.component_as::<OqRouter>(id) {
+    if let Some(r) = engine.component_as::<OqRouter>(id) {
         return Some(&r.metrics);
     }
-    if let Some(r) = sim.component_as::<IoqRouter>(id) {
+    if let Some(r) = engine.component_as::<IoqRouter>(id) {
         return Some(&r.metrics);
     }
     None

@@ -9,7 +9,7 @@
 use std::any::Any;
 use std::fmt;
 
-use crate::simulator::Context;
+use crate::engine::Context;
 
 /// Identifier of a component registered with a
 /// [`Simulator`](crate::Simulator).
@@ -31,9 +31,27 @@ impl ComponentId {
     /// Intended for wiring tables that store component indices compactly;
     /// scheduling an event at an id that was never registered is reported as
     /// a simulation error by the executor.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when `index` does not fit the compact `u32`
+    /// representation; release builds must use
+    /// [`ComponentId::try_from_index`] when the index is not known to be
+    /// in range, since silent truncation would alias two components.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        debug_assert!(
+            index <= u32::MAX as usize,
+            "component index {index} exceeds the u32 id space"
+        );
         ComponentId(index as u32)
+    }
+
+    /// Checked variant of [`ComponentId::from_index`]: `None` when `index`
+    /// exceeds the `u32` id space instead of truncating.
+    #[inline]
+    pub fn try_from_index(index: usize) -> Option<Self> {
+        u32::try_from(index).ok().map(ComponentId)
     }
 }
 
@@ -53,7 +71,12 @@ impl fmt::Display for ComponentId {
 /// back to their concrete types after the run, e.g. to extract recorded
 /// statistics. A typical implementation is two one-line methods returning
 /// `self`.
-pub trait Component<E>: Any {
+///
+/// Components are required to be [`Send`] so that the sharded engine can
+/// move them onto worker threads; a component still only ever runs on one
+/// thread at a time (no `Sync` requirement), so ordinary owned state needs
+/// no synchronization.
+pub trait Component<E>: Any + Send {
     /// Short human-readable name used in error messages and traces.
     fn name(&self) -> &str;
 
@@ -81,5 +104,22 @@ mod tests {
     #[test]
     fn id_ordering_is_index_ordering() {
         assert!(ComponentId::from_index(1) < ComponentId::from_index(2));
+    }
+
+    #[test]
+    fn try_from_index_rejects_oversized_indices() {
+        assert_eq!(
+            ComponentId::try_from_index(u32::MAX as usize),
+            Some(ComponentId(u32::MAX))
+        );
+        assert_eq!(ComponentId::try_from_index(u32::MAX as usize + 1), None);
+        assert_eq!(ComponentId::try_from_index(usize::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id space")]
+    #[cfg(debug_assertions)]
+    fn from_index_asserts_on_truncation() {
+        let _ = ComponentId::from_index(1usize << 40);
     }
 }

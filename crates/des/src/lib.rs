@@ -50,16 +50,24 @@
 
 mod clock;
 mod component;
+mod engine;
 mod event;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
 mod rng;
+mod sharded;
 mod simulator;
 mod time;
+mod trace;
 
 pub use clock::Clock;
 pub use component::{Component, ComponentId};
+pub use engine::{
+    Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats, BATCH_BUCKETS, EXTERNAL_SRC,
+};
 pub use event::{EventEntry, EventQueue};
 pub use rng::{Rng, SampleRange};
-pub use simulator::{Context, EngineMetrics, RunOutcome, RunStats, Simulator, BATCH_BUCKETS};
+pub use sharded::ShardedEngine;
+pub use simulator::{SequentialEngine, Simulator};
 pub use time::{Epsilon, Tick, Time};
+pub use trace::{TraceBuffer, TraceEvent, TraceSpec};

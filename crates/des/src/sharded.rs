@@ -1,0 +1,775 @@
+//! The sharded engine: components partitioned across worker threads,
+//! advancing in conservatively synchronized generations.
+//!
+//! # Synchronization protocol
+//!
+//! The sequential executor already runs the simulation as a sequence of
+//! *generations* — all events at the earliest pending `(tick, epsilon)`,
+//! dispatched in canonical stamp order (see the [`engine`](crate::engine)
+//! module). The sharded engine executes the same sequence of generations,
+//! one barrier round per generation:
+//!
+//! 1. **Publish.** Each shard publishes the head time of its local queue,
+//!    then waits on a barrier.
+//! 2. **Execute.** Every shard independently computes the global minimum
+//!    `m` of the published peeks (identical inputs → identical result,
+//!    so no coordinator is needed). If no shard has events, the run is
+//!    drained; if `m` exceeds the tick limit, the run pauses — both
+//!    decisions are unanimous. Otherwise each shard whose head equals `m`
+//!    drains that generation, sorts it by stamp, and executes it.
+//!    Events for local components go straight into the local queue;
+//!    events for remote components accumulate in per-destination
+//!    outboxes. A second barrier ends the round.
+//! 3. **Deliver.** Each shard drains its inboxes into its local queue,
+//!    and the first shard merges the round's trace records (sorted by
+//!    stamp) into the shared ring. Stop/failure flags raised during the
+//!    round are observed here, consistently by all shards.
+//!
+//! Because cross-shard events are delivered at the end of the round, an
+//! event scheduled *during* generation `m` at time `m` joins the *next*
+//! generation — exactly the sequential batch semantics, so zero-latency
+//! messages need no lookahead special case.
+//!
+//! # Divergence from the sequential engine
+//!
+//! For runs that end by draining the queue, the sharded engine is
+//! bit-identical to the sequential engine (events, random draws, trace
+//! bytes, component state). Two halt paths are looser: `stop`/`fail`
+//! complete the current generation before halting (the sequential engine
+//! aborts mid-generation), and when several components fail in one
+//! generation, the failure with the smallest event stamp is reported —
+//! which is the same failure the sequential engine would have hit first.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::component::{Component, ComponentId};
+use crate::engine::{
+    flush_trace, Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats, SinkRef,
+    Stamped, TaggedTrace, TraceSink, EXTERNAL_SRC,
+};
+use crate::event::{EventEntry, EventQueue};
+use crate::rng::Rng;
+use crate::simulator::{SequentialEngine, TraceState};
+use crate::time::{Tick, Time};
+use crate::trace::{TraceEvent, TraceSpec};
+
+/// A sense-reversing spin barrier.
+///
+/// Rounds are as fine-grained as one generation (often a handful of
+/// events), so parking threads on a mutex/condvar barrier would dominate
+/// the run time. Threads spin briefly, then yield. The atomics form the
+/// usual release/acquire chain, so writes made before a `wait` are
+/// visible to every thread after it.
+struct SpinBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    n: usize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            n,
+        }
+    }
+
+    /// Blocks until all `n` threads arrive. `local_sense` is each
+    /// thread's private phase flag. Panics (poisoning every waiter) if
+    /// `poisoned` is raised — see [`PanicFence`].
+    fn wait(&self, local_sense: &mut bool, poisoned: &AtomicBool) {
+        *local_sense = !*local_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Release);
+            self.sense.store(*local_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != *local_sense {
+                if poisoned.load(Ordering::Acquire) {
+                    panic!("a sibling shard thread panicked");
+                }
+                spins = spins.wrapping_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Raises the poison flag if dropped during a panic, so sibling threads
+/// spinning at a barrier abort instead of waiting forever.
+struct PanicFence<'a> {
+    poisoned: &'a AtomicBool,
+    armed: bool,
+}
+
+impl Drop for PanicFence<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// One shard: a slice of the component space plus its own event queue and
+/// executor counters. `components` is full-length (indexed by component
+/// id) with `None` in the slots other shards own, so dispatch needs no id
+/// translation.
+struct Shard<E> {
+    components: Vec<Option<Box<dyn Component<E>>>>,
+    rngs: Vec<Rng>,
+    seqs: Vec<u64>,
+    queue: EventQueue<Stamped<E>>,
+    batch: Vec<EventEntry<Stamped<E>>>,
+    events_executed: u64,
+    batches: u64,
+    batch_counts: [u64; crate::engine::BATCH_BUCKETS],
+}
+
+impl<E> Shard<E> {
+    fn record_batch(&mut self, done: u64) {
+        if done == 0 {
+            return;
+        }
+        self.events_executed += done;
+        self.batches += 1;
+        self.batch_counts[crate::engine::log2_bucket(done)] += 1;
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            events_executed: self.events_executed,
+            batches: self.batches,
+            batch_counts: self.batch_counts,
+            queue_len: self.queue.len(),
+            queue_high_water: self.queue.high_water_mark(),
+            total_enqueued: self.queue.total_enqueued(),
+            horizon: self.queue.horizon(),
+            horizon_resizes: self.queue.horizon_resizes(),
+            overflow_spills: self.queue.overflow_spills(),
+            overflow_len: self.queue.overflow_len(),
+        }
+    }
+}
+
+/// What a worker thread reports; the failure message itself travels
+/// through a shared slot keyed by event stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerOutcome {
+    Drained,
+    Stopped,
+    TickLimit,
+    Failed,
+}
+
+/// The multi-threaded engine: a [`SequentialEngine`]'s components
+/// partitioned across shards, one worker thread per shard.
+///
+/// Built with [`SequentialEngine::into_sharded`]. Runs are bit-identical
+/// to the sequential engine for the same `(configuration, seed)` — see
+/// the [module docs](self) for the protocol and the halt-path caveats.
+pub struct ShardedEngine<E> {
+    shards: Vec<Shard<E>>,
+    /// Component index → owning shard.
+    shard_of: Vec<u32>,
+    now: Time,
+    ext_seq: u64,
+    trace: Option<TraceState>,
+}
+
+impl<E: Send + 'static> SequentialEngine<E> {
+    /// Converts this engine into a [`ShardedEngine`] with `num_shards`
+    /// worker shards, assigning each component `c` to shard
+    /// `shard_of[c]`. Pending events move to their target's shard;
+    /// simulation time, trace state, and per-component random streams are
+    /// preserved, so a run may even be split across engines at a pause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero, `shard_of` is not exactly one
+    /// entry per registered component, or any entry is out of range.
+    pub fn into_sharded(mut self, num_shards: usize, shard_of: Vec<u32>) -> ShardedEngine<E> {
+        assert!(num_shards > 0, "need at least one shard");
+        assert_eq!(
+            shard_of.len(),
+            self.components.len(),
+            "shard map must cover every component"
+        );
+        assert!(
+            shard_of.iter().all(|&s| (s as usize) < num_shards),
+            "shard map entry out of range"
+        );
+        let n = self.components.len();
+        let mut shards: Vec<Shard<E>> = (0..num_shards)
+            .map(|_| Shard {
+                components: Vec::with_capacity(n),
+                rngs: self.rngs.clone(),
+                seqs: self.seqs.clone(),
+                queue: EventQueue::new(),
+                batch: Vec::new(),
+                events_executed: 0,
+                batches: 0,
+                batch_counts: [0; crate::engine::BATCH_BUCKETS],
+            })
+            .collect();
+        // Executor counters carry over to shard 0 so lifetime totals
+        // (events executed so far) survive the conversion.
+        shards[0].events_executed = Engine::events_executed(&self);
+        for shard in shards.iter_mut() {
+            shard.components.resize_with(n, || None);
+        }
+        for (idx, slot) in self.components.drain(..).enumerate() {
+            shards[shard_of[idx] as usize].components[idx] = slot;
+        }
+        // Per-component send counters and random streams live with the
+        // owning shard; the full-length copies in other shards are inert.
+        let mut pending = Vec::new();
+        while self.queue.take_batch(&mut pending) > 0 {
+            for e in pending.drain(..) {
+                let owner = shard_of.get(e.target.index()).copied().unwrap_or(0) as usize;
+                shards[owner].queue.push(e.target, e.time, e.payload);
+            }
+        }
+        ShardedEngine {
+            shards,
+            shard_of,
+            now: self.now,
+            ext_seq: self.ext_seq,
+            trace: self.trace.take(),
+        }
+    }
+}
+
+impl<E: Send + 'static> ShardedEngine<E> {
+    /// Enqueues an initial event from outside any component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current simulation time.
+    pub fn schedule(&mut self, target: ComponentId, time: Time, payload: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        let stamp = EventStamp {
+            src: EXTERNAL_SRC,
+            seq: self.ext_seq,
+        };
+        self.ext_seq += 1;
+        let owner = self.shard_of.get(target.index()).copied().unwrap_or(0) as usize;
+        self.shards[owner]
+            .queue
+            .push(target, time, Stamped { stamp, payload });
+    }
+
+    /// Runs until every queue drains, a component stops or fails, or the
+    /// next generation would execute at a tick strictly greater than
+    /// `tick_limit`. See the [module docs](self) for the round protocol.
+    pub fn run_until(&mut self, tick_limit: Tick) -> RunStats {
+        let start = Instant::now();
+        let start_events: u64 = self.shards.iter().map(|s| s.events_executed).sum();
+        let n = self.shards.len();
+        let barrier = SpinBarrier::new(n);
+        let poisoned = AtomicBool::new(false);
+        let peeks: Vec<Mutex<Option<Time>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // outboxes[dst][src]: receivers drain in sender order.
+        type Outbox<E> = Mutex<Vec<(ComponentId, Time, Stamped<E>)>>;
+        let outboxes: Vec<Vec<Outbox<E>>> = (0..n)
+            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let round_traces: Vec<Mutex<Vec<TaggedTrace>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let stop_flag = AtomicBool::new(false);
+        let failure: Mutex<Option<(EventStamp, String)>> = Mutex::new(None);
+        let trace_spec = self.trace.as_ref().map(|t| t.spec);
+        let shard_of: &[u32] = &self.shard_of;
+        let start_now = self.now;
+
+        let mut trace_state = self.trace.as_mut();
+        let (outcome, end_now) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                let mut buffer = if s == 0 {
+                    trace_state.take().map(|t| &mut t.buffer)
+                } else {
+                    None
+                };
+                let barrier = &barrier;
+                let poisoned = &poisoned;
+                let peeks = &peeks;
+                let outboxes = &outboxes;
+                let round_traces = &round_traces;
+                let stop_flag = &stop_flag;
+                let failure = &failure;
+                handles.push(scope.spawn(move || {
+                    let mut fence = PanicFence {
+                        poisoned,
+                        armed: true,
+                    };
+                    let mut local_sense = false;
+                    let mut local_now = start_now;
+                    let mut local_out: Vec<Vec<(ComponentId, Time, Stamped<E>)>> =
+                        (0..n).map(|_| Vec::new()).collect();
+                    let mut round_trace: Vec<TaggedTrace> = Vec::new();
+                    let mut merge_scratch: Vec<TaggedTrace> = Vec::new();
+                    let mut batch = std::mem::take(&mut shard.batch);
+                    let outcome = loop {
+                        // Phase 1: publish the local head time.
+                        *peeks[s].lock().unwrap() = shard.queue.peek_time();
+                        barrier.wait(&mut local_sense, poisoned);
+
+                        // Phase 2: identical global-minimum computation.
+                        let mut m: Option<Time> = None;
+                        for p in peeks {
+                            let v = *p.lock().unwrap();
+                            m = match (m, v) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, b) => a.or(b),
+                            };
+                        }
+                        // Both break decisions are unanimous: every shard
+                        // computed the same `m` from the same peeks.
+                        let Some(m) = m else {
+                            break WorkerOutcome::Drained;
+                        };
+                        if m.tick() > tick_limit {
+                            break WorkerOutcome::TickLimit;
+                        }
+                        local_now = m;
+
+                        if shard.queue.peek_time() == Some(m) {
+                            let t = shard.queue.take_batch_until(tick_limit, &mut batch);
+                            debug_assert_eq!(t, Some(m));
+                            if batch.len() > 1 {
+                                batch.sort_unstable_by_key(|e| e.payload.stamp);
+                            }
+                            let mut done = 0u64;
+                            let mut stop_local = false;
+                            for entry in batch.drain(..) {
+                                let idx = entry.target.index();
+                                let mut fail_local: Option<String> = None;
+                                let taken =
+                                    shard.components.get_mut(idx).and_then(|slot| slot.take());
+                                match taken {
+                                    Some(mut component) => {
+                                        let mut ctx = Context {
+                                            now: m,
+                                            self_id: entry.target,
+                                            sink: SinkRef::Sharded {
+                                                queue: &mut shard.queue,
+                                                shard_of,
+                                                my_shard: s as u32,
+                                                outboxes: &mut local_out,
+                                            },
+                                            seq: &mut shard.seqs[idx],
+                                            rng: &mut shard.rngs[idx],
+                                            stop_requested: &mut stop_local,
+                                            failure: &mut fail_local,
+                                            trace: trace_spec.map(|spec| TraceSink {
+                                                spec,
+                                                stamp: entry.payload.stamp,
+                                                recno: 0,
+                                                out: &mut round_trace,
+                                            }),
+                                        };
+                                        component.handle(&mut ctx, entry.payload.payload);
+                                        shard.components[idx] = Some(component);
+                                        done += 1;
+                                    }
+                                    None => {
+                                        fail_local = Some(format!(
+                                            "event targeted unregistered {}",
+                                            entry.target
+                                        ));
+                                    }
+                                }
+                                if let Some(msg) = fail_local {
+                                    // Smallest-stamp failure wins: the one
+                                    // the sequential engine would hit first.
+                                    let mut slot = failure.lock().unwrap();
+                                    if slot
+                                        .as_ref()
+                                        .is_none_or(|(st, _)| entry.payload.stamp < *st)
+                                    {
+                                        *slot = Some((entry.payload.stamp, msg));
+                                    }
+                                }
+                            }
+                            shard.record_batch(done);
+                            if stop_local {
+                                stop_flag.store(true, Ordering::Release);
+                            }
+                        }
+
+                        // Ship remote events and this round's traces.
+                        for (dst, out) in local_out.iter_mut().enumerate() {
+                            if !out.is_empty() {
+                                outboxes[dst][s].lock().unwrap().append(out);
+                            }
+                        }
+                        if !round_trace.is_empty() {
+                            round_traces[s].lock().unwrap().append(&mut round_trace);
+                        }
+                        barrier.wait(&mut local_sense, poisoned);
+
+                        // Phase 3: merge traces (shard 0), deliver
+                        // inboxes, observe halt flags — all consistent
+                        // because the flags were raised before the
+                        // barrier.
+                        if let Some(buffer) = buffer.as_deref_mut() {
+                            for rt in round_traces {
+                                merge_scratch.append(&mut rt.lock().unwrap());
+                            }
+                            merge_scratch.sort_unstable_by_key(|t| (t.stamp, t.recno));
+                            flush_trace(buffer, &mut merge_scratch);
+                        }
+                        for src in outboxes[s].iter() {
+                            let mut v = std::mem::take(&mut *src.lock().unwrap());
+                            for (target, time, stamped) in v.drain(..) {
+                                shard.queue.push(target, time, stamped);
+                            }
+                        }
+                        if failure.lock().unwrap().is_some() {
+                            break WorkerOutcome::Failed;
+                        }
+                        if stop_flag.load(Ordering::Acquire) {
+                            break WorkerOutcome::Stopped;
+                        }
+                    };
+                    shard.batch = batch;
+                    fence.armed = false;
+                    (outcome, local_now)
+                }));
+            }
+            let mut agreed: Option<(WorkerOutcome, Time)> = None;
+            for h in handles {
+                let r = h.join().expect("shard thread panicked");
+                debug_assert!(
+                    agreed.is_none_or(|a| a == r),
+                    "shards disagreed on the run outcome"
+                );
+                agreed = Some(r);
+            }
+            agreed.expect("at least one shard")
+        });
+        // `end_now` is the time of the last *executed* generation (a
+        // tick-limit pause stops before advancing), matching the
+        // sequential engine.
+        self.now = end_now;
+        let outcome = match outcome {
+            WorkerOutcome::Drained => RunOutcome::Drained,
+            WorkerOutcome::Stopped => RunOutcome::Stopped,
+            WorkerOutcome::TickLimit => RunOutcome::TickLimit,
+            WorkerOutcome::Failed => {
+                let msg = failure
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .map(|(_, msg)| msg)
+                    .unwrap_or_else(|| "unknown failure".into());
+                RunOutcome::Failed(msg)
+            }
+        };
+        let events_executed: u64 =
+            self.shards.iter().map(|s| s.events_executed).sum::<u64>() - start_events;
+        RunStats {
+            events_executed,
+            end_time: self.now,
+            queue_high_water: self.shards.iter().map(|s| s.queue.high_water_mark()).sum(),
+            total_enqueued: self.shards.iter().map(|s| s.queue.total_enqueued()).sum(),
+            wall: start.elapsed(),
+            outcome,
+        }
+    }
+
+    /// Runs until every queue drains, a component stops or fails.
+    pub fn run(&mut self) -> RunStats {
+        self.run_until(Tick::MAX)
+    }
+
+    fn owner_of(&self, id: ComponentId) -> Option<usize> {
+        self.shard_of.get(id.index()).map(|&s| s as usize)
+    }
+}
+
+impl<E: Send + 'static> Engine<E> for ShardedEngine<E> {
+    fn schedule(&mut self, target: ComponentId, time: Time, payload: E) {
+        ShardedEngine::schedule(self, target, time, payload);
+    }
+
+    fn run_until(&mut self, tick_limit: Tick) -> RunStats {
+        ShardedEngine::run_until(self, tick_limit)
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn num_components(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn component(&self, id: ComponentId) -> Option<&dyn Component<E>> {
+        let owner = self.owner_of(id)?;
+        self.shards[owner]
+            .components
+            .get(id.index())
+            .and_then(|c| c.as_deref())
+    }
+
+    fn component_dyn_mut(&mut self, id: ComponentId) -> Option<&mut dyn Component<E>> {
+        let owner = self.owner_of(id)?;
+        self.shards[owner]
+            .components
+            .get_mut(id.index())
+            .and_then(|c| c.as_deref_mut())
+    }
+
+    fn shard_metrics(&self) -> Vec<EngineMetrics> {
+        self.shards.iter().map(|s| s.metrics()).collect()
+    }
+
+    fn events_executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_executed).sum()
+    }
+
+    fn total_enqueued(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue.total_enqueued()).sum()
+    }
+
+    fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {
+        self.trace = Some(TraceState {
+            spec,
+            buffer: crate::trace::TraceBuffer::with_capacity(capacity),
+        });
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn trace_records(&self) -> Vec<TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(|t| t.buffer.records())
+            .unwrap_or_default()
+    }
+}
+
+impl<E> fmt::Debug for ShardedEngine<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("components", &self.shard_of.len())
+            .field(
+                "pending_events",
+                &self.shards.iter().map(|s| s.queue.len()).sum::<usize>(),
+            )
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulator, TraceSpec};
+    use std::any::Any;
+
+    #[derive(Debug, Clone)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+        Fail,
+    }
+
+    /// A ring relay: forwards a token to the next component, drawing one
+    /// random value and tracing each hop.
+    struct Relay {
+        next: ComponentId,
+        hops_left: u32,
+        seen: Vec<u32>,
+        draws: Vec<u64>,
+    }
+
+    impl Component<Ev> for Relay {
+        fn name(&self) -> &str {
+            "relay"
+        }
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+            match event {
+                Ev::Ping(n) => {
+                    self.seen.push(n);
+                    self.draws.push(ctx.rng().gen_u64());
+                    ctx.trace(0, ctx.self_id().index() as u32, n as u64, 0);
+                    if self.hops_left > 0 {
+                        self.hops_left -= 1;
+                        ctx.schedule(self.next, ctx.now().plus_ticks(1), Ev::Ping(n + 1));
+                    }
+                }
+                Ev::Stop => ctx.stop(),
+                Ev::Fail => ctx.fail("sharded failure"),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Builds a ring of `size` relays with `tokens` tokens injected at
+    /// evenly spaced components, each forwarded `hops` times.
+    fn build_ring(seed: u64, size: usize, tokens: usize, hops: u32) -> Simulator<Ev> {
+        let mut sim = Simulator::new(seed);
+        let ids: Vec<ComponentId> = (0..size)
+            .map(|i| {
+                sim.add_component(Box::new(Relay {
+                    next: ComponentId::from_index((i + 1) % size),
+                    hops_left: hops,
+                    seen: vec![],
+                    draws: vec![],
+                }))
+            })
+            .collect();
+        for t in 0..tokens {
+            let at = ids[(t * size) / tokens];
+            sim.schedule(at, Time::at(0), Ev::Ping(0));
+        }
+        sim
+    }
+
+    /// Round-robin component → shard map.
+    fn striped(n: usize, shards: u32) -> Vec<u32> {
+        (0..n).map(|i| (i as u32) % shards).collect()
+    }
+
+    fn state_of(engine: &dyn Engine<Ev>) -> Vec<(Vec<u32>, Vec<u64>)> {
+        (0..engine.num_components())
+            .map(|i| {
+                let r = engine
+                    .component_as::<Relay>(ComponentId::from_index(i))
+                    .unwrap();
+                (r.seen.clone(), r.draws.clone())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bit_for_bit() {
+        for shards in [1u32, 2, 3, 4] {
+            let mut seq = build_ring(9, 8, 3, 40);
+            seq.set_trace(TraceSpec::default(), 4096);
+            let seq_stats = seq.run();
+            assert_eq!(seq_stats.outcome, RunOutcome::Drained);
+
+            let mut sharded = build_ring(9, 8, 3, 40);
+            sharded.set_trace(TraceSpec::default(), 4096);
+            let mut sharded = sharded.into_sharded(shards as usize, striped(8, shards));
+            let stats = sharded.run();
+            assert_eq!(stats.outcome, RunOutcome::Drained);
+
+            assert_eq!(stats.events_executed, seq_stats.events_executed);
+            assert_eq!(stats.total_enqueued, seq_stats.total_enqueued);
+            assert_eq!(Engine::now(&sharded), Engine::now(&seq), "end time");
+            assert_eq!(
+                state_of(&sharded),
+                state_of(&seq),
+                "component state diverged at {shards} shards"
+            );
+            assert_eq!(
+                Engine::trace_records(&sharded),
+                Engine::trace_records(&seq),
+                "trace diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_shard_ping_pong_drains() {
+        // Both components on different shards: every hop crosses.
+        let sim = build_ring(1, 2, 1, 10);
+        let mut sharded = sim.into_sharded(2, striped(2, 2));
+        // Each relay has a budget of 10 forwards: 20 hops + 1 injection.
+        let stats = sharded.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        assert_eq!(stats.events_executed, 21);
+        assert_eq!(Engine::now(&sharded), Time::at(20));
+    }
+
+    #[test]
+    fn stop_halts_at_round_boundary_and_resumes() {
+        let mut sim = build_ring(3, 4, 1, 50);
+        sim.schedule(ComponentId::from_index(2), Time::at(5), Ev::Stop);
+        let mut sharded = sim.into_sharded(2, striped(4, 2));
+        let stats = sharded.run();
+        assert_eq!(stats.outcome, RunOutcome::Stopped);
+        let resumed = sharded.run();
+        assert_eq!(resumed.outcome, RunOutcome::Drained);
+        // 4 relays × 50 forwards + 1 injection + 1 stop event.
+        assert_eq!(stats.events_executed + resumed.events_executed, 202);
+    }
+
+    #[test]
+    fn failure_is_surfaced_with_message() {
+        let mut sim = build_ring(5, 4, 1, 50);
+        sim.schedule(ComponentId::from_index(1), Time::at(3), Ev::Fail);
+        let mut sharded = sim.into_sharded(4, striped(4, 4));
+        let stats = sharded.run();
+        assert_eq!(stats.outcome, RunOutcome::Failed("sharded failure".into()));
+    }
+
+    #[test]
+    fn unknown_target_fails() {
+        let mut sim = build_ring(7, 2, 0, 0);
+        sim.schedule(ComponentId::from_index(99), Time::at(0), Ev::Ping(0));
+        let mut sharded = sim.into_sharded(2, striped(2, 2));
+        let stats = sharded.run();
+        assert!(
+            matches!(&stats.outcome, RunOutcome::Failed(m) if m.contains("component#99")),
+            "got {:?}",
+            stats.outcome
+        );
+    }
+
+    #[test]
+    fn tick_limit_pauses_and_resumes() {
+        let sim = build_ring(11, 4, 2, 30);
+        let mut sharded = sim.into_sharded(2, striped(4, 2));
+        let stats = sharded.run_until(10);
+        assert_eq!(stats.outcome, RunOutcome::TickLimit);
+        assert!(Engine::now(&sharded).tick() <= 10);
+        let stats = sharded.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        let total: u64 = stats.events_executed;
+        assert!(total > 0);
+        let all: u64 = Engine::events_executed(&sharded);
+        assert_eq!(all, 122, "4 relays × 30 forwards + 2 injections");
+    }
+
+    #[test]
+    fn shard_metrics_account_every_event_once() {
+        let sim = build_ring(13, 6, 2, 20);
+        let mut sharded = sim.into_sharded(3, striped(6, 3));
+        let stats = sharded.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        let per_shard = Engine::shard_metrics(&sharded);
+        assert_eq!(per_shard.len(), 3);
+        let total: u64 = per_shard.iter().map(|m| m.events_executed).sum();
+        assert_eq!(total, Engine::events_executed(&sharded));
+        assert_eq!(total, stats.events_executed);
+        for m in &per_shard {
+            assert_eq!(m.batch_counts.iter().sum::<u64>(), m.batches);
+            assert_eq!(m.queue_len, 0, "drained shard still has events");
+        }
+    }
+}

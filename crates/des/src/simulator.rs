@@ -1,224 +1,77 @@
-//! The simulation engine: component storage, executor, and run statistics
-//! (paper §III-A, Figure 1).
+//! The sequential engine: component storage, calendar-queue executor, and
+//! run statistics (paper §III-A, Figure 1).
+//!
+//! This is the original `Simulator` (the name survives as a type alias),
+//! now one of two [`Engine`](crate::Engine) backends. It executes the
+//! whole simulation on the calling thread, draining same-`(tick,
+//! epsilon)` *generations* in canonical stamp order — see the
+//! [`engine`](crate::engine) module for the determinism contract shared
+//! with the sharded backend.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use crate::component::{Component, ComponentId};
+use crate::engine::{
+    flush_trace, log2_bucket, Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats,
+    SinkRef, Stamped, TaggedTrace, TraceSink, BATCH_BUCKETS, EXTERNAL_SRC,
+};
 use crate::event::{EventEntry, EventQueue};
 use crate::rng::Rng;
 use crate::time::{Tick, Time};
+use crate::trace::{TraceBuffer, TraceEvent, TraceSpec};
 
-/// Why a [`Simulator::run`] call returned.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RunOutcome {
-    /// The event queue ran empty: the simulation is over.
-    Drained,
-    /// A component requested an orderly stop via [`Context::stop`].
-    Stopped,
-    /// The tick limit given to [`Simulator::run_until`] was reached.
-    TickLimit,
-    /// A component reported a fatal modeling error via [`Context::fail`].
-    Failed(String),
+/// Trace collection state: the spec plus the ring it fills.
+#[derive(Debug)]
+pub(crate) struct TraceState {
+    pub(crate) spec: TraceSpec,
+    pub(crate) buffer: TraceBuffer,
 }
 
-impl RunOutcome {
-    /// Whether the run ended without a component-reported error.
-    pub fn is_ok(&self) -> bool {
-        !matches!(self, RunOutcome::Failed(_))
-    }
-}
-
-impl fmt::Display for RunOutcome {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RunOutcome::Drained => write!(f, "event queue drained"),
-            RunOutcome::Stopped => write!(f, "stopped by component request"),
-            RunOutcome::TickLimit => write!(f, "tick limit reached"),
-            RunOutcome::Failed(msg) => write!(f, "failed: {msg}"),
-        }
-    }
-}
-
-/// Engine statistics for one run.
-#[derive(Debug, Clone)]
-pub struct RunStats {
-    /// Events executed during the run.
-    pub events_executed: u64,
-    /// Simulation time of the last executed event.
-    pub end_time: Time,
-    /// Largest number of simultaneously pending events.
-    pub queue_high_water: usize,
-    /// Total events enqueued over the lifetime of the simulator.
-    pub total_enqueued: u64,
-    /// Wall-clock duration of the run.
-    pub wall: Duration,
-    /// How the run ended.
-    pub outcome: RunOutcome,
-}
-
-impl RunStats {
-    /// Events executed per wall-clock second, or 0 for an empty run.
-    pub fn events_per_second(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs > 0.0 {
-            self.events_executed as f64 / secs
-        } else {
-            0.0
-        }
-    }
-}
-
-/// Number of log₂ batch-size buckets: bucket 0 is unused (a batch has at
-/// least one event), bucket `i` covers sizes in `[2^(i-1), 2^i)`.
-pub const BATCH_BUCKETS: usize = 65;
-
-/// Engine self-metrics accumulated over the simulator's lifetime.
-///
-/// The `des` crate sits below the stats crate in the dependency order, so
-/// the batch-size distribution is exposed as a raw log₂-bucketed count
-/// array; higher layers convert it into their histogram type.
-#[derive(Debug, Clone)]
-pub struct EngineMetrics {
-    /// Events executed since construction.
-    pub events_executed: u64,
-    /// Same-`(tick, epsilon)` batches dispatched.
-    pub batches: u64,
-    /// Log₂-bucketed distribution of executed batch sizes: bucket `i > 0`
-    /// counts batches of `[2^(i-1), 2^i)` events. Sums to `batches`; the
-    /// weighted sum of sizes is `events_executed`.
-    pub batch_counts: [u64; BATCH_BUCKETS],
-    /// Events pending right now.
-    pub queue_len: usize,
-    /// Largest number of simultaneously pending events ever observed.
-    pub queue_high_water: usize,
-    /// Events ever enqueued.
-    pub total_enqueued: u64,
-    /// Current ring horizon in ticks.
-    pub horizon: usize,
-    /// Adaptive horizon doublings performed.
-    pub horizon_resizes: u64,
-    /// Pushes that landed in the overflow heap instead of the ring.
-    pub overflow_spills: u64,
-    /// Events currently parked in the overflow heap.
-    pub overflow_len: usize,
-}
-
-/// Log₂ bucket index shared with the stats crate's histogram: 0 → 0,
-/// otherwise `64 - leading_zeros(v)`.
-#[inline]
-fn log2_bucket(v: u64) -> usize {
-    if v == 0 {
-        0
-    } else {
-        64 - v.leading_zeros() as usize
-    }
-}
-
-/// The execution context handed to a component while it processes an event.
-///
-/// Through the context a component can read the current time, schedule new
-/// events (for itself or any other component), draw deterministic random
-/// numbers, and signal stop or failure.
-pub struct Context<'a, E> {
-    now: Time,
-    self_id: ComponentId,
-    queue: &'a mut EventQueue<E>,
-    rng: &'a mut Rng,
-    stop_requested: &'a mut bool,
-    failure: &'a mut Option<String>,
-}
-
-impl<'a, E> Context<'a, E> {
-    /// The time of the event currently being processed.
-    #[inline]
-    pub fn now(&self) -> Time {
-        self.now
-    }
-
-    /// The id of the component currently processing an event.
-    #[inline]
-    pub fn self_id(&self) -> ComponentId {
-        self.self_id
-    }
-
-    /// Schedules `payload` for `target` at `time`.
-    ///
-    /// `time` must not be in the past. Scheduling at exactly the current
-    /// `(tick, epsilon)` is allowed and runs after the current event (FIFO);
-    /// use [`Time::next_epsilon`] to make intra-tick ordering explicit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `time` is earlier than [`Context::now`] — scheduling into
-    /// the past is always a bug in a component model.
-    #[inline]
-    pub fn schedule(&mut self, target: ComponentId, time: Time, payload: E) {
-        assert!(
-            time >= self.now,
-            "component {} scheduled an event into the past ({} < {})",
-            self.self_id,
-            time,
-            self.now
-        );
-        self.queue.push(target, time, payload);
-    }
-
-    /// Schedules `payload` for this component itself at `time`.
-    #[inline]
-    pub fn schedule_self(&mut self, time: Time, payload: E) {
-        self.schedule(self.self_id, time, payload);
-    }
-
-    /// The simulation's deterministic random number generator.
-    ///
-    /// All stochastic decisions must draw from this generator so that a
-    /// `(configuration, seed)` pair reproduces bit-identical simulations.
-    #[inline]
-    pub fn rng(&mut self) -> &mut Rng {
-        self.rng
-    }
-
-    /// Requests an orderly stop: the executor returns after the current
-    /// event completes, leaving remaining events pending.
-    pub fn stop(&mut self) {
-        *self.stop_requested = true;
-    }
-
-    /// Reports a fatal modeling error (paper §IV-D error detection). The
-    /// executor halts and surfaces the message in [`RunOutcome::Failed`].
-    pub fn fail(&mut self, message: impl Into<String>) {
-        if self.failure.is_none() {
-            *self.failure = Some(message.into());
-        }
-    }
-}
-
-/// The discrete event simulator: owns the components, the global event
-/// queue, and the executor loop.
+/// The single-threaded discrete event engine: owns the components, the
+/// global event queue, and the executor loop.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
-pub struct Simulator<E> {
-    components: Vec<Option<Box<dyn Component<E>>>>,
-    queue: EventQueue<E>,
+pub struct SequentialEngine<E> {
+    pub(crate) components: Vec<Option<Box<dyn Component<E>>>>,
+    /// Per-component random streams, derived from `(seed, index)`.
+    pub(crate) rngs: Vec<Rng>,
+    /// Per-component send counters (event stamp sources).
+    pub(crate) seqs: Vec<u64>,
+    pub(crate) queue: EventQueue<Stamped<E>>,
     /// Scratch buffer for batch draining, reused across `run` calls.
-    batch: Vec<EventEntry<E>>,
-    now: Time,
-    rng: Rng,
+    batch: Vec<EventEntry<Stamped<E>>>,
+    /// Scratch buffer for per-generation trace records.
+    trace_scratch: Vec<TaggedTrace>,
+    pub(crate) now: Time,
+    pub(crate) seed: u64,
+    /// Send counter for external ([`SequentialEngine::schedule`]) events.
+    pub(crate) ext_seq: u64,
+    pub(crate) trace: Option<TraceState>,
     events_executed: u64,
     batches: u64,
     batch_counts: [u64; BATCH_BUCKETS],
 }
 
-impl<E: 'static> Simulator<E> {
-    /// Creates a simulator whose random stream is derived from `seed`.
+/// The historical name of the sequential engine. Existing models,
+/// examples, and tests keep using `Simulator`; code that selects a
+/// backend at run time uses the [`Engine`] trait instead.
+pub type Simulator<E> = SequentialEngine<E>;
+
+impl<E: 'static> SequentialEngine<E> {
+    /// Creates an engine whose random streams are derived from `seed`.
     pub fn new(seed: u64) -> Self {
-        Simulator {
+        SequentialEngine {
             components: Vec::new(),
+            rngs: Vec::new(),
+            seqs: Vec::new(),
             queue: EventQueue::new(),
             batch: Vec::new(),
+            trace_scratch: Vec::new(),
             now: Time::ZERO,
-            rng: Rng::new(seed),
+            seed,
+            ext_seq: 0,
+            trace: None,
             events_executed: 0,
             batches: 0,
             batch_counts: [0; BATCH_BUCKETS],
@@ -227,7 +80,9 @@ impl<E: 'static> Simulator<E> {
 
     /// Registers a component and returns its id.
     pub fn add_component(&mut self, component: Box<dyn Component<E>>) -> ComponentId {
-        let id = ComponentId(self.components.len() as u32);
+        let id = ComponentId::from_index(self.components.len());
+        self.rngs.push(Rng::stream(self.seed, id.0 as u64));
+        self.seqs.push(0);
         self.components.push(Some(component));
         id
     }
@@ -249,7 +104,12 @@ impl<E: 'static> Simulator<E> {
     /// Panics if `time` is earlier than the current simulation time.
     pub fn schedule(&mut self, target: ComponentId, time: Time, payload: E) {
         assert!(time >= self.now, "cannot schedule into the past");
-        self.queue.push(target, time, payload);
+        let stamp = EventStamp {
+            src: EXTERNAL_SRC,
+            seq: self.ext_seq,
+        };
+        self.ext_seq += 1;
+        self.queue.push(target, time, Stamped { stamp, payload });
     }
 
     /// Borrows a component by id.
@@ -265,12 +125,20 @@ impl<E: 'static> Simulator<E> {
             .and_then(|c| c.as_any().downcast_ref::<T>())
     }
 
-    /// Mutable variant of [`Simulator::component_as`].
+    /// Mutable variant of [`SequentialEngine::component_as`].
     pub fn component_as_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
         self.components
             .get_mut(id.index())
             .and_then(|c| c.as_deref_mut())
             .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Enables trace collection (see [`Engine::set_trace`]).
+    pub fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {
+        self.trace = Some(TraceState {
+            spec,
+            buffer: TraceBuffer::with_capacity(capacity),
+        });
     }
 
     /// Folds one finished (or aborted) batch into the engine counters.
@@ -308,18 +176,21 @@ impl<E: 'static> Simulator<E> {
     /// Runs until the queue drains, a component stops or fails, or the next
     /// event would execute at a tick strictly greater than `tick_limit`.
     ///
-    /// The executor drains the queue in same-`(tick, epsilon)` batches:
-    /// every event in a batch is known to be ready, so the hot loop
-    /// dispatches the whole slice without re-examining the queue between
-    /// events. If a component stops or fails mid-batch, the unexecuted
-    /// remainder is requeued ahead of anything scheduled during the batch,
-    /// so resuming the run observes the exact single-pop order.
+    /// The executor drains the queue in same-`(tick, epsilon)` generations
+    /// sorted by [`EventStamp`]: every event in a generation is known to be
+    /// ready, so the hot loop dispatches the whole slice without
+    /// re-examining the queue between events. If a component stops or fails
+    /// mid-generation, the unexecuted remainder is requeued ahead of
+    /// anything scheduled during the generation, so resuming the run
+    /// observes the exact canonical order.
     pub fn run_until(&mut self, tick_limit: Tick) -> RunStats {
         let start = Instant::now();
         let start_events = self.events_executed;
         let mut stop_requested = false;
         let mut failure: Option<String> = None;
         let mut batch = std::mem::take(&mut self.batch);
+        let mut scratch = std::mem::take(&mut self.trace_scratch);
+        let trace_spec = self.trace.as_ref().map(|t| t.spec);
         let outcome = 'run: loop {
             let Some(next_time) = self.queue.take_batch_until(tick_limit, &mut batch) else {
                 break if self.queue.is_empty() {
@@ -330,15 +201,23 @@ impl<E: 'static> Simulator<E> {
             };
             debug_assert!(next_time >= self.now, "event queue went backwards");
             self.now = next_time;
+            if batch.len() > 1 {
+                // Canonical generation order (see the engine module docs):
+                // unique stamps make this a deterministic total order.
+                batch.sort_unstable_by_key(|e| e.payload.stamp);
+            }
 
-            // Engine stats update once per batch, not per event: `done`
-            // counts executed events in a register and folds into the
-            // simulator's counters when the batch ends (normally or via an
-            // abort path), keeping the per-event loop free of stats writes.
+            // Engine stats update once per generation, not per event:
+            // `done` counts executed events in a register and folds into
+            // the engine's counters when the generation ends (normally or
+            // via an abort path), keeping the per-event loop free of stats
+            // writes.
             let mut done = 0u64;
+            scratch.clear();
             let mut pending = batch.drain(..);
             while let Some(entry) = pending.next() {
-                let slot = match self.components.get_mut(entry.target.index()) {
+                let idx = entry.target.index();
+                let slot = match self.components.get_mut(idx) {
                     Some(slot) => slot,
                     None => {
                         let target = entry.target;
@@ -353,13 +232,20 @@ impl<E: 'static> Simulator<E> {
                 let mut ctx = Context {
                     now: self.now,
                     self_id: entry.target,
-                    queue: &mut self.queue,
-                    rng: &mut self.rng,
+                    sink: SinkRef::Local(&mut self.queue),
+                    seq: &mut self.seqs[idx],
+                    rng: &mut self.rngs[idx],
                     stop_requested: &mut stop_requested,
                     failure: &mut failure,
+                    trace: trace_spec.map(|spec| TraceSink {
+                        spec,
+                        stamp: entry.payload.stamp,
+                        recno: 0,
+                        out: &mut scratch,
+                    }),
                 };
-                component.handle(&mut ctx, entry.payload);
-                self.components[entry.target.index()] = Some(component);
+                component.handle(&mut ctx, entry.payload.payload);
+                self.components[idx] = Some(component);
                 done += 1;
 
                 if let Some(msg) = failure.take() {
@@ -374,8 +260,16 @@ impl<E: 'static> Simulator<E> {
                 }
             }
             self.record_batch(done);
+            if let Some(t) = &mut self.trace {
+                flush_trace(&mut t.buffer, &mut scratch);
+            }
         };
+        // Records made by events that did execute survive an abort.
+        if let Some(t) = &mut self.trace {
+            flush_trace(&mut t.buffer, &mut scratch);
+        }
         self.batch = batch;
+        self.trace_scratch = scratch;
         RunStats {
             events_executed: self.events_executed - start_events,
             end_time: self.now,
@@ -387,9 +281,68 @@ impl<E: 'static> Simulator<E> {
     }
 }
 
-impl<E> fmt::Debug for Simulator<E> {
+impl<E: 'static> Engine<E> for SequentialEngine<E> {
+    fn schedule(&mut self, target: ComponentId, time: Time, payload: E) {
+        SequentialEngine::schedule(self, target, time, payload);
+    }
+
+    fn run_until(&mut self, tick_limit: Tick) -> RunStats {
+        SequentialEngine::run_until(self, tick_limit)
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn component(&self, id: ComponentId) -> Option<&dyn Component<E>> {
+        SequentialEngine::component(self, id)
+    }
+
+    fn component_dyn_mut(&mut self, id: ComponentId) -> Option<&mut dyn Component<E>> {
+        self.components
+            .get_mut(id.index())
+            .and_then(|c| c.as_deref_mut())
+    }
+
+    fn shard_metrics(&self) -> Vec<EngineMetrics> {
+        vec![self.metrics()]
+    }
+
+    fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    fn total_enqueued(&self) -> u64 {
+        self.queue.total_enqueued()
+    }
+
+    fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {
+        SequentialEngine::set_trace(self, spec, capacity);
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn trace_records(&self) -> Vec<TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(|t| t.buffer.records())
+            .unwrap_or_default()
+    }
+}
+
+impl<E> fmt::Debug for SequentialEngine<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Simulator")
+        f.debug_struct("SequentialEngine")
             .field("components", &self.components.len())
             .field("pending_events", &self.queue.len())
             .field("now", &self.now)
@@ -515,13 +468,53 @@ mod tests {
         assert!(matches!(stats.outcome, RunOutcome::Failed(_)));
     }
 
+    /// A component that records one draw from its private stream.
+    struct Drawer {
+        drawn: Vec<u64>,
+    }
+
+    impl Component<Ev> for Drawer {
+        fn name(&self) -> &str {
+            "drawer"
+        }
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, _event: Ev) {
+            let v = ctx.rng().gen_u64();
+            self.drawn.push(v);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
     #[test]
-    fn deterministic_rng_across_runs() {
-        let mut a = Simulator::<Ev>::new(42);
-        let mut b = Simulator::<Ev>::new(42);
-        let xa: u64 = a.rng.gen_u64();
-        let xb: u64 = b.rng.gen_u64();
-        assert_eq!(xa, xb);
+    fn per_component_rng_streams_are_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::<Ev>::new(seed);
+            let a = sim.add_component(Box::new(Drawer { drawn: vec![] }));
+            let b = sim.add_component(Box::new(Drawer { drawn: vec![] }));
+            // b runs before a: execution order must not affect streams.
+            sim.schedule(b, Time::at(0), Ev::Ping(0));
+            sim.schedule(a, Time::at(1), Ev::Ping(0));
+            sim.run();
+            (
+                sim.component_as::<Drawer>(a).unwrap().drawn.clone(),
+                sim.component_as::<Drawer>(b).unwrap().drawn.clone(),
+            )
+        };
+        let (a1, b1) = run(42);
+        let (a2, b2) = run(42);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_ne!(a1, b1, "components must own unrelated streams");
+        // The stream is a pure function of (seed, index), matching
+        // Rng::stream directly.
+        assert_eq!(a1[0], Rng::stream(42, 0).gen_u64());
+        assert_eq!(b1[0], Rng::stream(42, 1).gen_u64());
+        let (a3, _) = run(43);
+        assert_ne!(a1, a3, "stream ignored the seed");
     }
 
     #[test]
@@ -570,5 +563,64 @@ mod tests {
         assert!(stats.events_per_second() >= 0.0);
         assert_eq!(stats.total_enqueued, 4);
         assert!(stats.queue_high_water >= 1);
+    }
+
+    /// A component that traces every event it handles.
+    struct TracerComp;
+
+    impl Component<Ev> for TracerComp {
+        fn name(&self) -> &str {
+            "tracer"
+        }
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
+            if let Ev::Ping(n) = event {
+                ctx.trace(0, ctx.self_id().index() as u32, n as u64, 0);
+                ctx.trace(1, ctx.self_id().index() as u32, n as u64, 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn context_trace_collects_through_spec() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_component(Box::new(TracerComp));
+        sim.set_trace(
+            TraceSpec {
+                kinds: 0b01, // kind 0 only
+                ..TraceSpec::default()
+            },
+            16,
+        );
+        sim.schedule(a, Time::at(1), Ev::Ping(7));
+        sim.schedule(a, Time::at(2), Ev::Ping(8));
+        sim.run();
+        let recs = Engine::trace_records(&sim);
+        assert_eq!(recs.len(), 2, "kind-1 records filtered out");
+        assert_eq!(recs[0].id, 7);
+        assert_eq!(recs[1].id, 8);
+        assert_eq!(recs[0].kind, 0);
+        assert_eq!(recs[0].time, Time::at(1));
+    }
+
+    #[test]
+    fn engine_trait_object_runs_and_downcasts() {
+        let (sim, a, _) = echo_pair(5);
+        let mut engine: Box<dyn Engine<Ev>> = Box::new(sim);
+        engine.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = engine.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+        assert_eq!(engine.num_shards(), 1);
+        assert_eq!(engine.events_executed(), 6);
+        let echo = engine
+            .as_ref()
+            .component_as::<Echo>(a)
+            .expect("downcast through dyn Engine");
+        assert_eq!(echo.received, vec![0, 2, 4]);
     }
 }

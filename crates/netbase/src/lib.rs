@@ -17,9 +17,11 @@
 //! - the error-detection invariants of paper §IV-D
 //!   ([`DeliveryChecker`], [`CreditCounter`] underflow checks, buffer
 //!   overrun guards),
-//! - the flit-event tracing plane ([`FlitTracer`], [`SharedTracer`]) — a
-//!   filtered ring buffer of compact per-flit records that is free when
-//!   disabled and serializes to JSON-lines.
+//! - the flit-event tracing vocabulary ([`TraceKind`], [`TraceFilter`],
+//!   [`FlitTraceExt`]) over the engine's generic trace plane — filtered
+//!   collection that is free when disabled, engine-agnostic (the sharded
+//!   backend merges records back into canonical order), and serializes
+//!   to JSON-lines ([`trace_json_lines`]).
 
 mod check;
 mod credit;
@@ -39,4 +41,4 @@ pub use flit::{Flit, PacketBuilder, PacketInfo};
 pub use ids::{AppId, MessageId, PacketId, Port, RouterId, TerminalId, Vc};
 pub use link::LinkTarget;
 pub use phase::{AppSignal, Phase, PhaseCommand};
-pub use trace::{FlitTracer, SharedTracer, TraceFilter, TraceKind, TraceRecord};
+pub use trace::{trace_json_lines, FlitTraceExt, TraceFilter, TraceKind, TraceRecord};

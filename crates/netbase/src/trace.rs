@@ -1,29 +1,33 @@
-//! Flit-event tracing: a compact ring buffer of per-flit events.
+//! Flit-event tracing: the network-level vocabulary over the engine's
+//! trace plane.
 //!
 //! The metrics plane (`supersim-stats::metrics`) answers *how much*;
-//! tracing answers *what happened to this flit*. Every record is four
-//! integers — flit identity, component, event kind, `(tick, epsilon)` —
-//! stored in a fixed-capacity ring buffer so a trace of the interesting
-//! window survives arbitrarily long runs without unbounded memory.
+//! tracing answers *what happened to this flit*. Collection lives in the
+//! DES engine (`supersim_des::TraceBuffer`): a component records through
+//! its execution context, and the engine keeps a fixed-capacity ring of
+//! compact generic records so a trace of the interesting window survives
+//! arbitrarily long runs without unbounded memory. Crucially, this also
+//! works on the sharded engine — records merge back into canonical order
+//! at every synchronization round, so the serialized trace is
+//! byte-identical across engines (and across runs) for one
+//! `(configuration, seed)`.
 //!
-//! Tracing must be free when it is off: components hold a [`SharedTracer`]
-//! (single-threaded `Rc<RefCell<..>>`; the simulator has no threads) and
-//! every [`SharedTracer::record`] call starts with one enabled check
-//! before touching anything else. The [`TraceFilter`] narrows collection
-//! to event kinds, one component, or a packet-id range, so a
-//! paper-style investigation ("follow packet 93124 through the Clos")
-//! costs only the flits it watches.
+//! This module maps the engine's generic records onto the network
+//! vocabulary: [`TraceKind`] names the event (`kind` tag), the packet id
+//! rides in the record's `id`, and the flit's position in `sub`.
+//! Components record through [`FlitTraceExt::trace_flit`], which is free
+//! when tracing is off (one `Option` check in the engine). The
+//! [`TraceFilter`] narrows collection to event kinds, one component, or a
+//! packet-id range, so a paper-style investigation ("follow packet 93124
+//! through the Clos") costs only the flits it watches.
 //!
 //! Serialization is JSON-lines through the workspace's own JSON writer
-//! (`supersim-config`), one record per line, in chronological order —
-//! byte-identical across runs of the same `(configuration, seed)`.
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//! (`supersim-config`), one record per line, in canonical order.
 
 use supersim_config::Value;
-use supersim_des::Time;
+use supersim_des::{Context, Time, TraceEvent, TraceSpec};
 
+use crate::event::Ev;
 use crate::flit::Flit;
 
 /// What happened to the flit.
@@ -64,6 +68,11 @@ impl TraceKind {
         Self::ALL.into_iter().find(|k| k.name() == s)
     }
 
+    /// Parses the numeric tag carried in a generic engine record.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| *k as u8 == tag)
+    }
+
     /// This kind's bit in a [`TraceFilter::kinds`] mask.
     #[inline]
     pub fn bit(self) -> u8 {
@@ -88,6 +97,19 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
+    /// Decodes a generic engine record recorded by
+    /// [`FlitTraceExt::trace_flit`]. `None` if the `kind` tag is not a
+    /// flit event.
+    pub fn from_event(ev: &TraceEvent) -> Option<Self> {
+        Some(TraceRecord {
+            time: ev.time,
+            src: ev.src,
+            kind: TraceKind::from_tag(ev.kind)?,
+            packet: ev.id,
+            flit: ev.sub,
+        })
+    }
+
     /// Compact one-line JSON form.
     pub fn to_json(&self) -> String {
         let mut v = Value::object();
@@ -107,7 +129,7 @@ impl TraceRecord {
     }
 }
 
-/// What the tracer collects. The default filter accepts everything.
+/// What the engine collects. The default filter accepts everything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceFilter {
     /// Bitmask of accepted [`TraceKind`]s ([`TraceKind::bit`]).
@@ -139,252 +161,111 @@ impl TraceFilter {
             && self.src.is_none_or(|s| s == src)
             && (self.packet_lo..=self.packet_hi).contains(&packet)
     }
-}
 
-/// A fixed-capacity ring buffer of [`TraceRecord`]s.
-#[derive(Debug)]
-pub struct FlitTracer {
-    enabled: bool,
-    filter: TraceFilter,
-    capacity: usize,
-    ring: Vec<TraceRecord>,
-    /// Next write position once the ring is full (wrap cursor).
-    next: usize,
-    /// Records accepted over the tracer's lifetime (kept + overwritten).
-    recorded: u64,
-}
-
-impl Default for FlitTracer {
-    /// A disabled tracer (the free-when-off default every component
-    /// starts with).
-    fn default() -> Self {
-        FlitTracer {
-            enabled: false,
-            filter: TraceFilter::default(),
-            capacity: 0,
-            ring: Vec::new(),
-            next: 0,
-            recorded: 0,
+    /// The engine-level spec enforcing this filter at collection time.
+    pub fn to_spec(&self) -> TraceSpec {
+        TraceSpec {
+            kinds: self.kinds,
+            src: self.src,
+            id_lo: self.packet_lo,
+            id_hi: self.packet_hi,
         }
     }
 }
 
-impl FlitTracer {
-    /// An enabled tracer keeping the most recent `capacity` records.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity > 0, "tracer capacity must be non-zero");
-        FlitTracer {
-            enabled: true,
-            capacity,
-            ..FlitTracer::default()
-        }
-    }
-
-    /// Whether the tracer is collecting.
-    #[inline]
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Replaces the collection filter.
-    pub fn set_filter(&mut self, filter: TraceFilter) {
-        self.filter = filter;
-    }
-
-    /// The collection filter.
-    pub fn filter(&self) -> TraceFilter {
-        self.filter
-    }
-
-    /// Records one event if enabled and accepted by the filter.
-    #[inline]
-    pub fn record(&mut self, time: Time, src: u32, kind: TraceKind, packet: u64, flit: u32) {
-        if !self.enabled || !self.filter.accepts(src, kind, packet) {
-            return;
-        }
-        let rec = TraceRecord {
-            time,
-            src,
-            kind,
-            packet,
-            flit,
-        };
-        self.recorded += 1;
-        if self.ring.len() < self.capacity {
-            self.ring.push(rec);
-        } else {
-            self.ring[self.next] = rec;
-            self.next = (self.next + 1) % self.capacity;
-        }
-    }
-
-    /// Records kept (at most the capacity).
-    pub fn len(&self) -> usize {
-        self.ring.len()
-    }
-
-    /// Whether nothing was kept.
-    pub fn is_empty(&self) -> bool {
-        self.ring.is_empty()
-    }
-
-    /// Records accepted over the tracer's lifetime, including those the
-    /// ring has since overwritten.
-    pub fn total_recorded(&self) -> u64 {
-        self.recorded
-    }
-
-    /// Accepted records the ring overwrote (lifetime − kept).
-    pub fn dropped(&self) -> u64 {
-        self.recorded - self.ring.len() as u64
-    }
-
-    /// The kept records in chronological order (unwrapping the ring).
-    pub fn records(&self) -> Vec<TraceRecord> {
-        let mut out = Vec::with_capacity(self.ring.len());
-        out.extend_from_slice(&self.ring[self.next..]);
-        out.extend_from_slice(&self.ring[..self.next]);
-        out
-    }
-
-    /// JSON-lines serialization: one compact JSON object per record, in
-    /// chronological order.
-    pub fn to_json_lines(&self) -> String {
-        let mut out = String::new();
-        for rec in self.records() {
+/// Renders engine trace records as JSON-lines: one compact object per
+/// flit record, in canonical order. Records whose `kind` tag is not a
+/// flit event are skipped.
+pub fn trace_json_lines(records: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in records {
+        if let Some(rec) = TraceRecord::from_event(ev) {
             out.push_str(&rec.to_json());
             out.push('\n');
         }
-        out
     }
+    out
 }
 
-/// A cheaply clonable handle to one [`FlitTracer`], shared by every
-/// component of a simulation (single-threaded, so `Rc<RefCell>`).
-#[derive(Debug, Clone, Default)]
-pub struct SharedTracer(Rc<RefCell<FlitTracer>>);
+/// Flit-level tracing sugar for the execution context: encodes the flit's
+/// identity into a generic engine record.
+pub trait FlitTraceExt {
+    /// Records `kind` happening to `flit` at component index `src`
+    /// (terminal index for interface-side kinds, router index for
+    /// router-side kinds). Free when tracing is off.
+    fn trace_flit(&mut self, kind: TraceKind, src: u32, flit: &Flit);
+}
 
-impl SharedTracer {
-    /// A disabled tracer: every [`SharedTracer::record`] call is one
-    /// flag check.
-    pub fn disabled() -> Self {
-        Self::default()
-    }
-
-    /// Wraps a tracer for sharing.
-    pub fn new(tracer: FlitTracer) -> Self {
-        SharedTracer(Rc::new(RefCell::new(tracer)))
-    }
-
-    /// Whether the underlying tracer is collecting.
-    pub fn is_enabled(&self) -> bool {
-        self.0.borrow().is_enabled()
-    }
-
-    /// Records a flit event (see [`FlitTracer::record`]).
+impl FlitTraceExt for Context<'_, Ev> {
     #[inline]
-    pub fn record(&self, time: Time, src: u32, kind: TraceKind, flit: &Flit) {
-        let mut t = self.0.borrow_mut();
-        if t.enabled {
-            t.record(time, src, kind, flit.pkt.id.0, flit.seq);
-        }
-    }
-
-    /// Runs `f` with the underlying tracer borrowed.
-    pub fn with<R>(&self, f: impl FnOnce(&FlitTracer) -> R) -> R {
-        f(&self.0.borrow())
-    }
-
-    /// Runs `f` with the underlying tracer borrowed mutably.
-    pub fn with_mut<R>(&self, f: impl FnOnce(&mut FlitTracer) -> R) -> R {
-        f(&mut self.0.borrow_mut())
-    }
-
-    /// JSON-lines form of the kept records.
-    pub fn to_json_lines(&self) -> String {
-        self.0.borrow().to_json_lines()
+    fn trace_flit(&mut self, kind: TraceKind, src: u32, flit: &Flit) {
+        self.trace(kind as u8, src, flit.pkt.id.0, flit.seq);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::PacketBuilder;
-    use crate::ids::{AppId, MessageId, PacketId, TerminalId};
 
-    fn t(tick: u64) -> Time {
-        Time::at(tick)
-    }
-
-    fn flit(packet: u64, seq: u32) -> Flit {
-        let mut flits = PacketBuilder {
-            id: PacketId(packet),
-            message: MessageId(0),
-            app: AppId(0),
-            src: TerminalId(0),
-            dst: TerminalId(1),
-            size: seq + 1,
-            message_size: seq + 1,
-            inject_tick: 0,
-            message_tick: 0,
-            sample: false,
+    fn ev(tick: u64, kind: u8, packet: u64) -> TraceEvent {
+        TraceEvent {
+            time: Time::at(tick),
+            src: 3,
+            kind,
+            id: packet,
+            sub: 2,
         }
-        .build();
-        flits.remove(seq as usize)
     }
 
     #[test]
-    fn disabled_tracer_records_nothing() {
-        let mut tr = FlitTracer::default();
-        tr.record(t(1), 0, TraceKind::Inject, 1, 0);
-        assert!(tr.is_empty());
-        assert_eq!(tr.total_recorded(), 0);
-        let shared = SharedTracer::disabled();
-        shared.record(t(1), 0, TraceKind::Inject, &flit(1, 0));
-        assert!(!shared.is_enabled());
-        assert_eq!(shared.with(|t| t.len()), 0);
-    }
-
-    #[test]
-    fn ring_keeps_most_recent_records() {
-        let mut tr = FlitTracer::with_capacity(3);
-        for i in 0..5u64 {
-            tr.record(t(i), 0, TraceKind::Inject, i, 0);
+    fn kind_names_and_tags_round_trip() {
+        for k in TraceKind::ALL {
+            assert_eq!(TraceKind::from_name(k.name()), Some(k));
+            assert_eq!(TraceKind::from_tag(k as u8), Some(k));
         }
-        assert_eq!(tr.len(), 3);
-        assert_eq!(tr.total_recorded(), 5);
-        assert_eq!(tr.dropped(), 2);
-        let packets: Vec<u64> = tr.records().iter().map(|r| r.packet).collect();
-        assert_eq!(packets, vec![2, 3, 4], "chronological, oldest overwritten");
+        assert_eq!(TraceKind::from_name("nope"), None);
+        assert_eq!(TraceKind::from_tag(7), None);
     }
 
     #[test]
-    fn filter_narrows_collection() {
-        let mut tr = FlitTracer::with_capacity(16);
-        tr.set_filter(TraceFilter {
+    fn filter_matches_its_spec() {
+        let filter = TraceFilter {
             kinds: TraceKind::Eject.bit(),
             src: Some(7),
             packet_lo: 10,
             packet_hi: 20,
-        });
-        tr.record(t(1), 7, TraceKind::Inject, 15, 0); // wrong kind
-        tr.record(t(2), 6, TraceKind::Eject, 15, 0); // wrong src
-        tr.record(t(3), 7, TraceKind::Eject, 9, 0); // packet below range
-        tr.record(t(4), 7, TraceKind::Eject, 15, 0); // accepted
-        assert_eq!(tr.len(), 1);
-        assert_eq!(tr.records()[0].time, t(4));
+        };
+        let spec = filter.to_spec();
+        for (src, kind, packet) in [
+            (7u32, TraceKind::Eject, 15u64),
+            (7, TraceKind::Inject, 15),
+            (6, TraceKind::Eject, 15),
+            (7, TraceKind::Eject, 9),
+            (7, TraceKind::Eject, 21),
+        ] {
+            assert_eq!(
+                filter.accepts(src, kind, packet),
+                spec.accepts(kind as u8, src, packet),
+                "filter and spec disagree on ({src}, {kind:?}, {packet})"
+            );
+        }
+        assert!(filter.accepts(7, TraceKind::Eject, 15));
+        assert!(!filter.accepts(7, TraceKind::Inject, 15));
     }
 
     #[test]
     fn json_lines_are_parseable_and_ordered() {
-        let mut tr = FlitTracer::with_capacity(4);
-        tr.record(Time::new(5, 1), 3, TraceKind::RouterArrive, 42, 2);
-        tr.record(t(6), 0, TraceKind::Eject, 42, 2);
-        let text = tr.to_json_lines();
+        let records = vec![
+            TraceEvent {
+                time: Time::new(5, 1),
+                src: 3,
+                kind: TraceKind::RouterArrive as u8,
+                id: 42,
+                sub: 2,
+            },
+            ev(6, TraceKind::Eject as u8, 42),
+        ];
+        let text = trace_json_lines(&records);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         let v = supersim_config::parse(lines[0]).expect("valid json line");
@@ -395,19 +276,11 @@ mod tests {
     }
 
     #[test]
-    fn kind_names_round_trip() {
-        for k in TraceKind::ALL {
-            assert_eq!(TraceKind::from_name(k.name()), Some(k));
-        }
-        assert_eq!(TraceKind::from_name("nope"), None);
-    }
-
-    #[test]
-    fn shared_tracer_clones_share_state() {
-        let shared = SharedTracer::new(FlitTracer::with_capacity(8));
-        let clone = shared.clone();
-        clone.record(t(1), 2, TraceKind::Inject, &flit(5, 0));
-        assert_eq!(shared.with(|t| t.len()), 1);
-        assert!(shared.to_json_lines().contains("\"packet\":5"));
+    fn unknown_kind_tags_are_skipped() {
+        let records = vec![ev(1, 6, 5), ev(2, TraceKind::Inject as u8, 5)];
+        let text = trace_json_lines(&records);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"kind\":\"inject\""));
+        assert_eq!(TraceRecord::from_event(&records[0]), None);
     }
 }

@@ -11,7 +11,7 @@
 use std::any::Any;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
-use supersim_netbase::{CreditCounter, Ev, RouterId, SharedTracer, TraceKind};
+use supersim_netbase::{CreditCounter, Ev, FlitTraceExt, RouterId, TraceKind};
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
 use crate::buffer::VcBuffer;
@@ -83,7 +83,6 @@ pub struct IqRouter {
     pub counters: RouterCounters,
     /// Allocation / flow-control metrics.
     pub metrics: RouterMetrics,
-    tracer: SharedTracer,
 }
 
 impl IqRouter {
@@ -130,14 +129,8 @@ impl IqRouter {
             last_cycle: None,
             counters: RouterCounters::default(),
             metrics: RouterMetrics::new(radix),
-            tracer: SharedTracer::disabled(),
             ports: config.ports,
         })
-    }
-
-    /// Installs a flit tracer (disabled by default).
-    pub fn set_tracer(&mut self, tracer: SharedTracer) {
-        self.tracer = tracer;
     }
 
     /// Input buffer depth per (port, VC) — the credit count granted to
@@ -295,8 +288,7 @@ impl IqRouter {
             flit.hops += 1;
             flit.vc = c.out_vc;
             self.metrics.flit_unbuffered(in_port);
-            self.tracer
-                .record(ctx.now(), self.id.0, TraceKind::RouterDepart, &flit);
+            ctx.trace_flit(TraceKind::RouterDepart, self.id.0, &flit);
             let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
             ctx.schedule(
                 fl.component,
@@ -336,8 +328,7 @@ impl Component<Ev> for IqRouter {
                     return;
                 }
                 self.counters.flits_in += 1;
-                self.tracer
-                    .record(ctx.now(), self.id.0, TraceKind::RouterArrive, &flit);
+                ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
                     ctx.fail(format!(

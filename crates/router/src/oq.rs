@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
-use supersim_netbase::{CreditCounter, Ev, Flit, RouterId, SharedTracer, TraceKind};
+use supersim_netbase::{CreditCounter, Ev, Flit, FlitTraceExt, RouterId, TraceKind};
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
 use crate::arbiter::{Arbiter, Request, RoundRobinArbiter};
@@ -75,7 +75,6 @@ pub struct OqRouter {
     pub counters: RouterCounters,
     /// Allocation / flow-control metrics.
     pub metrics: RouterMetrics,
-    tracer: SharedTracer,
 }
 
 impl OqRouter {
@@ -124,14 +123,8 @@ impl OqRouter {
             last_cycle: None,
             counters: RouterCounters::default(),
             metrics: RouterMetrics::new(radix),
-            tracer: SharedTracer::disabled(),
             ports: config.ports,
         })
-    }
-
-    /// Installs a flit tracer (disabled by default).
-    pub fn set_tracer(&mut self, tracer: SharedTracer) {
-        self.tracer = tracer;
     }
 
     /// Input buffer depth per (port, VC).
@@ -305,8 +298,7 @@ impl OqRouter {
                 .remove(tick, CongestionSource::Output, out_port, vc);
             self.sensor
                 .add(tick, CongestionSource::Downstream, out_port, vc);
-            self.tracer
-                .record(ctx.now(), self.id.0, TraceKind::RouterDepart, &flit);
+            ctx.trace_flit(TraceKind::RouterDepart, self.id.0, &flit);
             let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
             ctx.schedule(
                 fl.component,
@@ -380,8 +372,7 @@ impl Component<Ev> for OqRouter {
                     return;
                 }
                 self.counters.flits_in += 1;
-                self.tracer
-                    .record(ctx.now(), self.id.0, TraceKind::RouterArrive, &flit);
+                ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
                     ctx.fail(format!(

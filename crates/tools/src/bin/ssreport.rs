@@ -8,6 +8,8 @@
 //!                                           # one histogram as
 //!                                           # bin_start,count CSV
 //! ssreport <snapshot.json> --list-hist      # histogram metric names
+//! ssreport <snapshot.json> --shards         # per-shard engine breakdown
+//!                                           # with aggregate totals
 //! ```
 
 use std::process::ExitCode;
@@ -18,7 +20,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((path, rest)) = args.split_first() else {
         eprintln!(
-            "usage: ssreport <snapshot.json> [--csv | --list-hist | --hist <component> <metric>]"
+            "usage: ssreport <snapshot.json> [--csv | --shards | --list-hist | --hist <component> <metric>]"
         );
         return ExitCode::FAILURE;
     };
@@ -39,6 +41,13 @@ fn main() -> ExitCode {
     match rest {
         [] => print!("{}", supersim_tools::report_text(&snap)),
         [flag] if flag == "--csv" => print!("{}", supersim_tools::counters_csv(&snap)),
+        [flag] if flag == "--shards" => match supersim_tools::shard_report(&snap) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("ssreport: snapshot has no engine_shard planes");
+                return ExitCode::FAILURE;
+            }
+        },
         [flag] if flag == "--list-hist" => {
             for (component, name) in supersim_tools::histogram_names(&snap) {
                 println!("{component} {name}");
@@ -55,7 +64,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: ssreport <snapshot.json> [--csv | --list-hist | --hist <component> <metric>]"
+                "usage: ssreport <snapshot.json> [--csv | --shards | --list-hist | --hist <component> <metric>]"
             );
             return ExitCode::FAILURE;
         }

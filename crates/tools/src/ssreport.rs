@@ -86,6 +86,80 @@ pub fn histogram_report(snap: &MetricsSnapshot, component: &str, name: &str) -> 
     }
 }
 
+/// Renders the per-shard engine breakdown of a snapshot: one row per
+/// `engine_shard_<i>` plane with the shard's event/batch/enqueue counters,
+/// queue high-water mark, and its share of all executed events, followed
+/// by an aggregate `total` row. A sequential run reports one shard
+/// (shard 0); a sharded run reports one row per worker, making partition
+/// imbalance visible at a glance. `None` when the snapshot predates the
+/// engine-shard planes.
+pub fn shard_report(snap: &MetricsSnapshot) -> Option<String> {
+    let mut shards: Vec<usize> = snap
+        .samples()
+        .iter()
+        .filter_map(|s| s.component.strip_prefix("engine_shard_"))
+        .filter_map(|i| i.parse().ok())
+        .collect();
+    shards.sort_unstable();
+    shards.dedup();
+    if shards.is_empty() {
+        return None;
+    }
+    let counter = |shard: usize, name: &str| -> u64 {
+        match snap.get(&format!("engine_shard_{shard}"), name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    };
+    let queue_high = |shard: usize| -> u64 {
+        match snap.get(&format!("engine_shard_{shard}"), "queue_len") {
+            Some(MetricValue::Gauge { max, .. }) => *max,
+            _ => 0,
+        }
+    };
+    let total_events: u64 = shards.iter().map(|&s| counter(s, "events_executed")).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>16} {:>12} {:>16} {:>12} {:>7}",
+        "shard", "events", "batches", "enqueued", "queue_max", "share"
+    );
+    let mut agg = [0u64; 4];
+    for &s in &shards {
+        let row = [
+            counter(s, "events_executed"),
+            counter(s, "batches"),
+            counter(s, "total_enqueued"),
+            queue_high(s),
+        ];
+        let share = if total_events > 0 {
+            row[0] as f64 / total_events as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{s:<8} {:>16} {:>12} {:>16} {:>12} {share:>6.1}%",
+            row[0], row[1], row[2], row[3]
+        );
+        agg[0] += row[0];
+        agg[1] += row[1];
+        agg[2] += row[2];
+        agg[3] = agg[3].max(row[3]);
+    }
+    let _ = writeln!(
+        out,
+        "{:<8} {:>16} {:>12} {:>16} {:>12} {:>6.1}%",
+        "total",
+        agg[0],
+        agg[1],
+        agg[2],
+        agg[3],
+        if total_events > 0 { 100.0 } else { 0.0 }
+    );
+    Some(out)
+}
+
 /// All `(component, name)` pairs of histogram metrics in the snapshot.
 pub fn histogram_names(snap: &MetricsSnapshot) -> Vec<(String, String)> {
     snap.samples()
@@ -144,6 +218,36 @@ mod tests {
         assert_eq!(csv, "bin_start,count\n0,1\n8,2\n");
         assert!(histogram_report(&snap, "workload", "nope").is_none());
         assert!(histogram_report(&snap, "engine", "events_executed").is_none());
+    }
+
+    #[test]
+    fn shard_report_breaks_down_and_aggregates() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("engine", "events_executed", 100);
+        for (s, events) in [(0u32, 60u64), (1, 40)] {
+            let name = format!("engine_shard_{s}");
+            snap.push_counter(&name, "events_executed", events);
+            snap.push_counter(&name, "batches", events / 10);
+            snap.push_counter(&name, "total_enqueued", events + 1);
+            snap.push(
+                &name,
+                "queue_len",
+                MetricValue::Gauge {
+                    value: 0,
+                    max: 5 + s as u64,
+                },
+            );
+        }
+        let text = shard_report(&snap).expect("shard planes present");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header, two shards, total:\n{text}");
+        assert!(lines[1].starts_with('0') && lines[1].contains("60.0%"));
+        assert!(lines[2].starts_with('1') && lines[2].contains("40.0%"));
+        // Totals: counters sum, the queue high-water is a max.
+        assert!(lines[3].starts_with("total") && lines[3].contains("100"));
+        assert!(lines[3].contains(" 6 ") || lines[3].trim_end().ends_with("100.0%"));
+        // No shard planes → no report.
+        assert!(shard_report(&snapshot()).is_none());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 mod clos;
 mod dragonfly;
 mod hyperx;
+mod partition;
 pub mod routing;
 mod torus;
 mod types;
@@ -41,6 +42,7 @@ mod types;
 pub use clos::FoldedClos;
 pub use dragonfly::Dragonfly;
 pub use hyperx::HyperX;
+pub use partition::{cut_links, partition_routers};
 pub use routing::dor::DimOrderRouting;
 pub use routing::dragonfly_routing::{DragonflyMode, DragonflyRouting};
 pub use routing::hyperx_routing::{HyperXMode, HyperXRouting};

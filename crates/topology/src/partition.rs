@@ -1,0 +1,242 @@
+//! Router partitioning for the sharded engine.
+//!
+//! The sharded engine assigns each component to a worker shard; how good
+//! that assignment is decides how much traffic crosses shards (cross-shard
+//! events pay an outbox/inbox round trip instead of a direct queue push)
+//! and how evenly work spreads. [`partition_routers`] produces a
+//! deterministic router → shard map that is:
+//!
+//! - **locality-preserving** — routers are laid out along a breadth-first
+//!   order from router 0 (visiting ports in index order), so each shard is
+//!   a contiguous neighborhood of the topology rather than a random
+//!   scatter. For tori and meshes this yields compact slabs; for a folded
+//!   Clos it groups subtree-adjacent routers;
+//! - **load-balanced by radix** — a router's event rate scales with its
+//!   port count, so shard boundaries are placed by cumulative radix
+//!   weight, not router count;
+//! - **refined at the boundaries** — a final pass moves individual
+//!   boundary routers to the neighboring shard when that strictly reduces
+//!   the number of cut links without unbalancing the shards.
+//!
+//! Determinism matters more than cut quality here: the map is a pure
+//! function of the topology and shard count, so a `(configuration, seed)`
+//! pair yields the same partition — and therefore the same simulation —
+//! on every machine. (The simulation *result* is engine-invariant anyway;
+//! the partition only shapes performance.)
+
+use supersim_netbase::RouterId;
+
+use crate::types::Topology;
+
+/// Assigns every router to one of `num_shards` shards. Returns a
+/// full-length map `router index → shard`.
+///
+/// # Panics
+///
+/// Panics if `num_shards` is zero.
+pub fn partition_routers(topo: &dyn Topology, num_shards: usize) -> Vec<u32> {
+    assert!(num_shards > 0, "need at least one shard");
+    let n = topo.num_routers() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    if num_shards == 1 {
+        return vec![0; n];
+    }
+
+    // 1. Breadth-first layout from router 0, ports in index order. Seeds
+    // restart at the lowest unvisited router so disconnected topologies
+    // are still fully covered.
+    let order = bfs_order(topo, n);
+
+    // 2. Contiguous blocks along the BFS order, balanced by radix weight.
+    let weight = |r: usize| topo.radix(RouterId(r as u32)) as u64;
+    let total: u64 = (0..n).map(weight).sum();
+    let mut shard_of = vec![0u32; n];
+    let mut shard = 0usize;
+    let mut acc = 0u64;
+    for &r in &order {
+        // Close the shard once it reaches its proportional share of the
+        // remaining weight; never leave a later shard empty.
+        let target = total.div_ceil(num_shards as u64) * (shard as u64 + 1);
+        if acc >= target && shard + 1 < num_shards {
+            shard += 1;
+        }
+        shard_of[r] = shard as u32;
+        acc += weight(r);
+    }
+
+    // 3. Boundary refinement: move a router to an adjacent shard when that
+    // strictly reduces its cut degree and the donor shard keeps at least
+    // one router. A few fixed sweeps keep this deterministic and cheap.
+    let mut shard_sizes = vec![0usize; num_shards];
+    for &s in &shard_of {
+        shard_sizes[s as usize] += 1;
+    }
+    for _ in 0..2 {
+        let mut moved = false;
+        for r in 0..n {
+            let here = shard_of[r];
+            if shard_sizes[here as usize] <= 1 {
+                continue;
+            }
+            // Count links into each neighboring shard.
+            let mut local = 0i64;
+            let mut best: Option<(u32, i64)> = None;
+            let radix = topo.radix(RouterId(r as u32));
+            let mut neighbor_count = vec![0i64; num_shards];
+            for p in 0..radix {
+                if let Some((nr, _)) = topo.neighbor(RouterId(r as u32), p) {
+                    let s = shard_of[nr.0 as usize];
+                    if s == here {
+                        local += 1;
+                    } else {
+                        neighbor_count[s as usize] += 1;
+                    }
+                }
+            }
+            for (s, &c) in neighbor_count.iter().enumerate() {
+                if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
+                    best = Some((s as u32, c));
+                }
+            }
+            if let Some((s, c)) = best {
+                if c > local {
+                    shard_of[r] = s;
+                    shard_sizes[here as usize] -= 1;
+                    shard_sizes[s as usize] += 1;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    shard_of
+}
+
+/// BFS order over routers from router 0, ports in index order, restarting
+/// at the lowest unvisited router for disconnected graphs.
+fn bfs_order(topo: &dyn Topology, n: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for seed in 0..n {
+        if seen[seed] {
+            continue;
+        }
+        seen[seed] = true;
+        queue.push_back(seed);
+        while let Some(r) = queue.pop_front() {
+            order.push(r);
+            let radix = topo.radix(RouterId(r as u32));
+            for p in 0..radix {
+                if let Some((nr, _)) = topo.neighbor(RouterId(r as u32), p) {
+                    let nr = nr.0 as usize;
+                    if !seen[nr] {
+                        seen[nr] = true;
+                        queue.push_back(nr);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Number of topology links whose endpoints land on different shards —
+/// the partition quality measure (each bidirectional channel counts
+/// once).
+pub fn cut_links(topo: &dyn Topology, shard_of: &[u32]) -> usize {
+    let mut cut = 0;
+    for r in 0..topo.num_routers() {
+        for p in 0..topo.radix(RouterId(r)) {
+            if let Some((nr, _)) = topo.neighbor(RouterId(r), p) {
+                if nr.0 > r && shard_of[r as usize] != shard_of[nr.0 as usize] {
+                    cut += 1;
+                }
+            }
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FoldedClos, Torus};
+
+    fn torus_2d(k: u32) -> Torus {
+        Torus::new(vec![k, k], 1).expect("valid torus")
+    }
+
+    #[test]
+    fn covers_every_router_in_range() {
+        let topo = torus_2d(4);
+        for shards in [1usize, 2, 3, 4, 7] {
+            let map = partition_routers(&topo, shards);
+            assert_eq!(map.len(), 16);
+            assert!(map.iter().all(|&s| (s as usize) < shards));
+            // Every shard gets at least one router when possible.
+            for s in 0..shards.min(16) {
+                assert!(
+                    map.iter().any(|&m| m as usize == s),
+                    "shard {s} empty at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let topo = torus_2d(8);
+        assert_eq!(partition_routers(&topo, 4), partition_routers(&topo, 4));
+    }
+
+    #[test]
+    fn single_shard_is_trivial() {
+        let topo = torus_2d(4);
+        assert_eq!(partition_routers(&topo, 1), vec![0; 16]);
+    }
+
+    #[test]
+    fn balances_by_weight() {
+        let topo = torus_2d(8); // 64 routers, uniform radix
+        let map = partition_routers(&topo, 4);
+        let mut sizes = [0usize; 4];
+        for &s in &map {
+            sizes[s as usize] += 1;
+        }
+        for &size in &sizes {
+            assert!(
+                (8..=24).contains(&size),
+                "unbalanced shard sizes: {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn beats_striping_on_a_torus() {
+        let topo = torus_2d(8);
+        let map = partition_routers(&topo, 4);
+        let striped: Vec<u32> = (0..64).map(|i| i % 4).collect();
+        let ours = cut_links(&topo, &map);
+        let theirs = cut_links(&topo, &striped);
+        assert!(
+            ours < theirs,
+            "locality partition ({ours} cut links) should beat striping ({theirs})"
+        );
+    }
+
+    #[test]
+    fn works_on_a_folded_clos() {
+        let topo = FoldedClos::new(2, 4).expect("valid clos");
+        let n = topo.num_routers() as usize;
+        for shards in [2usize, 3] {
+            let map = partition_routers(&topo, shards);
+            assert_eq!(map.len(), n);
+            assert!(map.iter().all(|&s| (s as usize) < shards));
+        }
+    }
+}

@@ -17,6 +17,13 @@
 //! metrics snapshot as JSON (render it with `ssreport`), and
 //! `--trace <file>` writes the JSON-lines flit trace (requires
 //! `observability.trace.enabled=bool=true` in the configuration).
+//!
+//! Engine selection: `--engine sequential|sharded` picks the execution
+//! backend and `--shards <n>` the worker count (sharded only). Both are
+//! shorthand for the `engine.kind` / `engine.shards` configuration paths
+//! and take precedence over the configuration file and the
+//! `SUPERSIM_ENGINE` / `SUPERSIM_SHARDS` environment variables. Results
+//! are bit-identical across engines for one `(configuration, seed)`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,6 +40,8 @@ struct Args {
     no_log: bool,
     metrics_path: Option<PathBuf>,
     trace_path: Option<PathBuf>,
+    engine: Option<String>,
+    shards: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
     let mut no_log = false;
     let mut metrics_path = None;
     let mut trace_path = None;
+    let mut engine = None;
+    let mut shards = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -58,9 +69,29 @@ fn parse_args() -> Result<Args, String> {
                 let p = it.next().ok_or("--trace needs a path")?;
                 trace_path = Some(PathBuf::from(p));
             }
+            "--engine" => {
+                let k = it.next().ok_or("--engine needs a kind")?;
+                if k != "sequential" && k != "sharded" {
+                    return Err(format!(
+                        "--engine must be \"sequential\" or \"sharded\", got {k:?}"
+                    ));
+                }
+                engine = Some(k);
+            }
+            "--shards" => {
+                let n = it.next().ok_or("--shards needs a count")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--shards must be an integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--shards must be non-zero".to_string());
+                }
+                shards = Some(n);
+            }
             "--help" | "-h" => {
                 return Err("usage: supersim <config.json> [path=type=value ...] \
-                            [--log <file> | --no-log] [--metrics <file>] [--trace <file>]"
+                            [--log <file> | --no-log] [--metrics <file>] [--trace <file>] \
+                            [--engine sequential|sharded] [--shards <n>]"
                     .to_string())
             }
             a if a.contains('=') => overrides.push(a.to_string()),
@@ -75,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         no_log,
         metrics_path,
         trace_path,
+        engine,
+        shards,
     })
 }
 
@@ -96,6 +129,25 @@ fn main() -> ExitCode {
     if let Err(e) = config::apply_overrides(&mut cfg, &args.overrides) {
         eprintln!("supersim: {e}");
         return ExitCode::FAILURE;
+    }
+    // Flags outrank both the configuration file and the environment.
+    if let Some(kind) = &args.engine {
+        if cfg
+            .set_path("engine.kind", config::Value::Str(kind.clone()))
+            .is_err()
+        {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(n) = args.shards {
+        if cfg
+            .set_path("engine.shards", config::Value::Int(n as i64))
+            .is_err()
+        {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
     }
 
     let sim = match SuperSim::from_config(&cfg) {

@@ -1,0 +1,139 @@
+//! The tentpole contract of the engine split: for one `(configuration,
+//! seed)` the sharded engine produces results byte-identical to the
+//! sequential engine — same sample log, same flit trace, same metrics
+//! snapshot (minus the per-shard scheduler-diagnostic planes, which
+//! legitimately depend on the partition), same engine totals.
+//!
+//! Property-style: the whole contract is checked across a grid of seeds ×
+//! topologies × shard counts, so a synchronization bug that only shows up
+//! under a particular partition or event interleaving still trips it.
+
+use supersim::config::Value;
+use supersim::core::{presets, RunOutput, SuperSim};
+use supersim::stats::MetricSample;
+
+/// Pins the engine through configuration (which outranks the
+/// `SUPERSIM_ENGINE` / `SUPERSIM_SHARDS` environment, so this test means
+/// the same thing under the sharded CI job).
+fn with_engine(cfg: &Value, kind: &str, shards: u64) -> Value {
+    let mut cfg = cfg.clone();
+    cfg.set_path("engine.kind", Value::Str(kind.into()))
+        .expect("object");
+    cfg.set_path("engine.shards", Value::Int(shards as i64))
+        .expect("object");
+    cfg
+}
+
+fn run(cfg: &Value) -> RunOutput {
+    SuperSim::from_config(cfg)
+        .expect("build")
+        .run()
+        .expect("run")
+}
+
+/// The snapshot with the partition-dependent planes stripped: everything
+/// that remains must be bit-identical across engines.
+fn stripped_samples(out: &RunOutput) -> Vec<MetricSample> {
+    out.metrics
+        .samples()
+        .iter()
+        .filter(|s| !s.component.starts_with("engine_shard_"))
+        .cloned()
+        .collect()
+}
+
+/// Small topologies spanning the factory families: a 1-D HyperX (the
+/// quickstart), a folded Clos, and a flattened butterfly under IOQ
+/// routers.
+fn topologies() -> Vec<(&'static str, Value)> {
+    let mut cfgs = vec![("hyperx", presets::quickstart())];
+    let mut clos = presets::latent_congestion(2, 4, 1, Some(64), 3, 1, 0.3, 20);
+    clos.set_path("observability.trace.capacity", Value::Int(1 << 15))
+        .expect("object");
+    cfgs.push(("folded_clos", clos));
+    cfgs.push((
+        "flatbfly",
+        presets::credit_accounting(4, 4, "both", "vc", "uniform_random", 3, 1, 0.3, 20),
+    ));
+    cfgs
+}
+
+#[test]
+fn sharded_run_is_byte_identical_to_sequential() {
+    for (name, base) in topologies() {
+        for seed in [1u64, 0x5eed, 0xDE7E_2A11] {
+            let mut cfg = base.clone();
+            cfg.set_path("seed", Value::Int(seed as i64))
+                .expect("object");
+            cfg.set_path("observability.trace.enabled", Value::Bool(true))
+                .expect("object");
+            let seq = run(&with_engine(&cfg, "sequential", 1));
+            let seq_samples = stripped_samples(&seq);
+            for shards in [2u64, 3, 4] {
+                let sh = run(&with_engine(&cfg, "sharded", shards));
+                let label = format!("{name} seed={seed:#x} shards={shards}");
+                assert_eq!(
+                    seq.log.to_text(),
+                    sh.log.to_text(),
+                    "sample log diverged: {label}"
+                );
+                assert_eq!(seq.trace, sh.trace, "flit trace diverged: {label}");
+                assert_eq!(
+                    seq_samples,
+                    stripped_samples(&sh),
+                    "metrics snapshot diverged: {label}"
+                );
+                assert_eq!(
+                    seq.engine.events_executed, sh.engine.events_executed,
+                    "event count diverged: {label}"
+                );
+                assert_eq!(
+                    seq.engine.total_enqueued, sh.engine.total_enqueued,
+                    "enqueue count diverged: {label}"
+                );
+                assert_eq!(
+                    seq.engine.end_time, sh.engine.end_time,
+                    "end time diverged: {label}"
+                );
+                assert_eq!(seq.phase_times, sh.phase_times, "phases diverged: {label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_planes_report_every_shard() {
+    let cfg = with_engine(&presets::quickstart(), "sharded", 2);
+    let out = run(&cfg);
+    // Both worker shards surface a diagnostics plane, and together they
+    // account for every executed event.
+    let mut per_shard = 0u64;
+    for s in 0..2 {
+        match out
+            .metrics
+            .get(&format!("engine_shard_{s}"), "events_executed")
+            .expect("shard plane")
+        {
+            supersim::stats::MetricValue::Counter(n) => per_shard += n,
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+    assert_eq!(per_shard, out.engine.events_executed);
+}
+
+#[test]
+fn requesting_more_shards_than_routers_still_runs() {
+    // The builder clamps the worker count to the router count; a tiny
+    // network under a huge shard request must still drain identically.
+    let seq = run(&with_engine(&presets::quickstart(), "sequential", 1));
+    let sh = run(&with_engine(&presets::quickstart(), "sharded", 64));
+    assert_eq!(seq.log.to_text(), sh.log.to_text());
+}
+
+#[test]
+fn unknown_engine_kind_is_rejected() {
+    let mut cfg = presets::quickstart();
+    cfg.set_path("engine.kind", Value::Str("warp".into()))
+        .expect("object");
+    assert!(SuperSim::from_config(&cfg).is_err());
+}
