@@ -112,7 +112,7 @@ fn scatter(i: usize, n: usize) -> u64 {
 }
 
 fn bench_queue_calendar(n: usize, reps: usize) -> f64 {
-    let target = ComponentId::from_index(0);
+    let target = ComponentId::try_from_index(0).expect("bench index fits the id space");
     measure((2 * n) as u64, reps, || {
         let mut q = EventQueue::<u64>::new();
         for i in 0..n {
@@ -127,7 +127,7 @@ fn bench_queue_calendar(n: usize, reps: usize) -> f64 {
 }
 
 fn bench_queue_refheap(n: usize, reps: usize) -> f64 {
-    let target = ComponentId::from_index(0);
+    let target = ComponentId::try_from_index(0).expect("bench index fits the id space");
     measure((2 * n) as u64, reps, || {
         let mut q = RefHeapQueue::<u64>::new();
         for i in 0..n {
@@ -174,7 +174,7 @@ fn bench_relay_ring(ring: usize, tokens: usize, hops: u64, reps: usize) -> f64 {
         let ids: Vec<ComponentId> = (0..ring)
             .map(|_| {
                 sim.add_component(Box::new(Relay {
-                    next: ComponentId::from_index(0),
+                    next: ComponentId::try_from_index(0).expect("bench index fits the id space"),
                     remaining: 0,
                 }))
             })
@@ -233,7 +233,8 @@ mod refsim {
         }
 
         pub fn add_component(&mut self, c: Box<dyn RefComponent>) -> ComponentId {
-            let id = ComponentId::from_index(self.components.len());
+            let id = ComponentId::try_from_index(self.components.len())
+                .expect("bench index fits the id space");
             self.components.push(Some(c));
             id
         }
@@ -322,7 +323,8 @@ fn build_work_ring(ring: usize, tokens: usize, hops: u64, work: u32) -> Simulato
     let ids: Vec<ComponentId> = (0..ring)
         .map(|i| {
             sim.add_component(Box::new(WorkRelay {
-                next: ComponentId::from_index((i + 1) % ring),
+                next: ComponentId::try_from_index((i + 1) % ring)
+                    .expect("bench index fits the id space"),
                 remaining: hops,
                 work,
                 acc: 0,
@@ -369,7 +371,8 @@ fn bench_relay_ring_refheap(ring: usize, tokens: usize, hops: u64, reps: usize) 
         let ids: Vec<ComponentId> = (0..ring)
             .map(|i| {
                 sim.add_component(Box::new(RefRelay {
-                    next: ComponentId::from_index((i + 1) % ring),
+                    next: ComponentId::try_from_index((i + 1) % ring)
+                        .expect("bench index fits the id space"),
                     remaining: hops,
                 }))
             })

@@ -121,7 +121,12 @@ pub fn parse_override(text: &str) -> Result<Override, ConfigError> {
 /// be installed (e.g. it descends through a scalar).
 pub fn apply_override(config: &mut Value, text: &str) -> Result<(), ConfigError> {
     let o = parse_override(text)?;
-    config.set_path(&o.path, o.value.into())
+    config
+        .set_path(&o.path, o.value.into())
+        .map_err(|e| ConfigError::BadOverride {
+            text: text.to_string(),
+            reason: format!("cannot install at path {:?}: {e}", o.path),
+        })
 }
 
 /// Applies a sequence of overrides in order (later overrides win).
@@ -144,6 +149,38 @@ where
 mod tests {
     use super::*;
     use crate::obj;
+
+    #[test]
+    fn malformed_overrides_report_typed_errors_with_context() {
+        let mut cfg = obj! { "scalar" => 1u64 };
+        // Each failure mode must surface as BadOverride carrying the
+        // offending text — never a panic.
+        for text in [
+            "no-equals-at-all",
+            "path=only-one-equals",
+            "=uint=5",
+            "a..b=uint=5",
+            "x=uint=-3",
+            "x=uint=nope",
+            "x=bool=yes",
+            "x=json={not json",
+            "x=complex=5",
+            // Descending through an existing scalar cannot be installed.
+            "scalar.below=uint=5",
+        ] {
+            let err = apply_override(&mut cfg, text).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::BadOverride { .. }),
+                "{text}: expected BadOverride, got {err:?}"
+            );
+            assert!(
+                err.to_string().contains(text.split('=').next().unwrap()),
+                "{text}: error lacks context: {err}"
+            );
+        }
+        // The scalar survived every failed attempt.
+        assert_eq!(cfg.req_u64("scalar").unwrap(), 1);
+    }
 
     #[test]
     fn listing_1_from_paper() {

@@ -217,13 +217,18 @@ impl<'a> Parser<'a> {
                 Some(b) if b < 0x20 => return Err(self.err(ParseErrorKind::ControlInString)),
                 Some(b) if b < 0x80 => out.push(b as char),
                 Some(b) => {
-                    // Multi-byte UTF-8: the input is a &str, so the sequence
-                    // is valid; copy the remaining continuation bytes.
+                    // Multi-byte UTF-8: the input arrived as a &str, so the
+                    // sequence should be complete and valid — but a parser
+                    // must never panic on its input, so a truncated or
+                    // malformed sequence is reported at its position.
                     let len = utf8_len(b);
                     let start = self.pos - 1;
-                    self.pos = start + len;
-                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .expect("input was a valid &str");
+                    self.pos = (start + len).min(self.bytes.len());
+                    let s = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|raw| std::str::from_utf8(raw).ok())
+                        .ok_or_else(|| self.err_at(ParseErrorKind::BadEscape, start))?;
                     out.push_str(s);
                 }
             }
@@ -305,8 +310,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number characters are ascii");
+        // Every byte matched above is ASCII, so this cannot fail — but a
+        // parser must never panic on its input.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err_at(ParseErrorKind::BadNumber, start))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)

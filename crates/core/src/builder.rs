@@ -8,7 +8,10 @@
 
 use supersim_config::Value;
 use supersim_des::{ComponentId, Engine, Simulator, Tick, Time};
-use supersim_netbase::{Ev, LinkTarget, RouterId, TerminalId, TraceFilter, TraceKind};
+use supersim_netbase::{
+    Ev, FaultConfig, FaultPlane, LinkId, LinkTarget, RouterId, ScheduledOutage, TerminalId,
+    TraceFilter, TraceKind,
+};
 use supersim_router::RouterPorts;
 use supersim_stats::MetricsRegistry;
 use supersim_topology::{partition_routers, ChannelClass, Topology};
@@ -29,6 +32,7 @@ pub(crate) struct Built {
     pub tick_limit: Tick,
     pub link_period: Tick,
     pub registry: MetricsRegistry,
+    pub fault: Option<Arc<FaultPlane>>,
 }
 
 /// Which execution backend to assemble.
@@ -105,6 +109,84 @@ fn trace_config(cfg: &Value) -> Result<Option<(TraceFilter, usize)>, BuildError>
     Ok(Some((filter, capacity as usize)))
 }
 
+/// Parses the optional `fault` block into a shared fault plane; `None`
+/// unless `fault.enabled` is set (the free-when-off default: components
+/// built without a plane skip the protocol entirely).
+fn fault_config(cfg: &Value) -> Result<Option<Arc<FaultPlane>>, BuildError> {
+    if !cfg.opt_bool("fault.enabled", false)? {
+        return Ok(None);
+    }
+    let fault = FaultConfig {
+        bit_error_rate: cfg.opt_f64("fault.bit_error_rate", 0.0)?,
+        credit_loss_rate: cfg.opt_f64("fault.credit_loss_rate", 0.0)?,
+        outage_rate: cfg.opt_f64("fault.outage.rate", 0.0)?,
+        outage_duration: cfg.opt_u64("fault.outage.duration", 100)?,
+        max_retries: cfg.opt_u64("fault.retry.max", 8)? as u32,
+        backoff_base: cfg.opt_u64("fault.retry.backoff", 1)?,
+        outages: fault_outages(cfg)?,
+    };
+    for (key, rate) in [
+        ("fault.bit_error_rate", fault.bit_error_rate),
+        ("fault.credit_loss_rate", fault.credit_loss_rate),
+        ("fault.outage.rate", fault.outage_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(BuildError::invalid(format!(
+                "{key} must be a probability in [0, 1], got {rate}"
+            )));
+        }
+    }
+    if fault.backoff_base == 0 {
+        return Err(BuildError::invalid("fault.retry.backoff must be non-zero"));
+    }
+    if fault.outage_rate > 0.0 && fault.outage_duration == 0 {
+        return Err(BuildError::invalid(
+            "fault.outage.duration must be non-zero when fault.outage.rate is set",
+        ));
+    }
+    Ok(Some(Arc::new(FaultPlane::new(fault))))
+}
+
+/// Parses the `fault.outages` array: each entry names a link — either
+/// `{"router": r, "port": p, ...}` or `{"terminal": t, ...}` — plus a
+/// half-open `[start, end)` tick interval.
+fn fault_outages(cfg: &Value) -> Result<Vec<ScheduledOutage>, BuildError> {
+    let Some(list) = cfg.path("fault.outages") else {
+        return Ok(Vec::new());
+    };
+    let list = list
+        .as_array()
+        .ok_or_else(|| BuildError::invalid("fault.outages must be an array"))?;
+    let mut outages = Vec::with_capacity(list.len());
+    for (i, o) in list.iter().enumerate() {
+        let bad = |msg: String| BuildError::invalid(format!("fault.outages[{i}]: {msg}"));
+        let link = if let Some(t) = o.path("terminal") {
+            let t = t
+                .as_u64()
+                .ok_or_else(|| bad("terminal must be an integer".into()))?;
+            LinkId::Terminal { terminal: t as u32 }
+        } else {
+            let router = o
+                .req_u64("router")
+                .map_err(|e| bad(format!("needs a router or terminal link ({e})")))?;
+            let port = o.req_u64("port").map_err(|e| bad(e.to_string()))?;
+            LinkId::Router {
+                router: router as u32,
+                port: port as u32,
+            }
+        };
+        let start = o.req_u64("start").map_err(|e| bad(e.to_string()))?;
+        let end = o.req_u64("end").map_err(|e| bad(e.to_string()))?;
+        if end <= start {
+            return Err(bad(format!(
+                "outage interval [{start}, {end}) is empty or inverted"
+            )));
+        }
+        outages.push(ScheduledOutage { link, start, end });
+    }
+    Ok(outages)
+}
+
 pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
     let seed = cfg.opt_u64("seed", 0x5eed)?;
     let tick_limit = cfg.opt_u64("tick_limit", 100_000_000)?;
@@ -170,40 +252,55 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         EngineChoice::Sharded(n) => n.min(routers as usize).max(1),
     };
     let trace = trace_config(cfg)?;
+    let fault = fault_config(cfg)?;
+    let watchdog = cfg.opt_u64("watchdog.ticks", 0)?;
     let mut registry = MetricsRegistry::new();
     registry.register("engine");
     for s in 0..num_shards {
         registry.register(format!("engine_shard_{s}"));
     }
     registry.register("workload");
+    registry.register("run");
+    if fault.is_some() {
+        registry.register("fault");
+    }
     for r in 0..routers {
         registry.register(format!("router_{r}"));
     }
 
     // --- component id layout: interfaces, then routers, then monitor ---
     let mut sim: Simulator<Ev> = Simulator::new(seed);
-    let iface_cid = |t: u32| ComponentId::from_index(t as usize);
-    let router_cid = |r: u32| ComponentId::from_index((terminals + r) as usize);
-    let monitor_cid = ComponentId::from_index((terminals + routers) as usize);
+    let cid = |index: usize| {
+        ComponentId::try_from_index(index).ok_or_else(|| {
+            BuildError::invalid(format!(
+                "component index {index} exceeds the component id space"
+            ))
+        })
+    };
+    let iface_cid = |t: u32| cid(t as usize);
+    let router_cid = |r: u32| cid(terminals as usize + r as usize);
+    let monitor_cid = cid(terminals as usize + routers as usize)?;
 
     let mut interface_ids = Vec::with_capacity(terminals as usize);
     for t in 0..terminals {
         let terminal = TerminalId(t);
         let (router, port) = topology.terminal_attachment(terminal);
+        let attached = router_cid(router.0)?;
         let iface = Interface::new(InterfaceConfig {
             terminal,
             vcs,
-            to_router: LinkTarget::new(router_cid(router.0), port, lat_terminal),
-            credit_to: LinkTarget::new(router_cid(router.0), port, lat_terminal),
+            to_router: LinkTarget::new(attached, port, lat_terminal),
+            credit_to: LinkTarget::new(attached, port, lat_terminal),
             router_credits: input_buffer,
             inject_period: link_period,
             drain_period,
             max_packet_size: max_packet,
             monitor: monitor_cid,
             terminals: apps.iter().map(|a| a.create_terminal(terminal)).collect(),
+            fault: fault.clone(),
         });
         let id = sim.add_component(Box::new(iface));
-        debug_assert_eq!(id, iface_cid(t));
+        debug_assert_eq!(id, iface_cid(t)?);
         interface_ids.push(id);
     }
 
@@ -216,7 +313,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         let mut downstream = Vec::with_capacity(radix as usize);
         for p in 0..radix {
             if let Some(term) = topology.terminal_at(router, p) {
-                let link = LinkTarget::new(iface_cid(term.0), 0, lat_terminal);
+                let link = LinkTarget::new(iface_cid(term.0)?, 0, lat_terminal);
                 flit_links.push(Some(link));
                 credit_links.push(Some(link));
                 downstream.push(eject_buffer);
@@ -232,7 +329,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
                 };
                 // By the neighbor involution, both flits (downstream) and
                 // credits (upstream) address (neighbor, its port).
-                let link = LinkTarget::new(router_cid(nr.0), np, lat);
+                let link = LinkTarget::new(router_cid(nr.0)?, np, lat);
                 flit_links.push(Some(link));
                 credit_links.push(Some(link));
                 downstream.push(input_buffer);
@@ -255,9 +352,10 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
             routing: plan.routing_factory(),
             config: router_cfg,
             link_period,
+            fault: fault.clone(),
         };
         let id = sim.add_component(factories.routers.build(arch, ctx)?);
-        debug_assert_eq!(id, router_cid(r));
+        debug_assert_eq!(id, router_cid(r)?);
         router_ids.push(id);
     }
 
@@ -281,21 +379,22 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
     // topology locality, each interface rides with its attached router
     // (the terminal channel is the hottest link in the graph), and the
     // monitor lands on shard 0.
-    let engine: Box<dyn Engine<Ev>> = if num_shards > 1 {
+    let mut engine: Box<dyn Engine<Ev>> = if num_shards > 1 {
         let rpart = partition_routers(topology.as_ref(), num_shards);
         let mut shard_of = vec![0u32; sim.num_components()];
         for t in 0..terminals {
             let (router, _) = topology.terminal_attachment(TerminalId(t));
-            shard_of[iface_cid(t).index()] = rpart[router.0 as usize];
+            shard_of[iface_cid(t)?.index()] = rpart[router.0 as usize];
         }
         for r in 0..routers {
-            shard_of[router_cid(r).index()] = rpart[r as usize];
+            shard_of[router_cid(r)?.index()] = rpart[r as usize];
         }
         shard_of[monitor.index()] = 0;
         Box::new(sim.into_sharded(num_shards, shard_of))
     } else {
         Box::new(sim)
     };
+    engine.set_watchdog(watchdog);
 
     Ok(Built {
         engine,
@@ -306,5 +405,6 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         tick_limit,
         link_period,
         registry,
+        fault,
     })
 }

@@ -232,6 +232,7 @@ fn register_routers(f: &mut Factories) {
             link_period: ctx.link_period,
             sensor: sensor_config(cfg)?,
             routing: ctx.routing,
+            fault: ctx.fault.clone(),
         })?;
         Ok(Box::new(router) as Box<dyn Component<Ev>>)
     });
@@ -249,6 +250,7 @@ fn register_routers(f: &mut Factories) {
             arbiter: cfg.opt_str("arbiter", "round_robin")?.to_string(),
             sensor: sensor_config(cfg)?,
             routing: ctx.routing,
+            fault: ctx.fault.clone(),
         })?;
         Ok(Box::new(router) as Box<dyn Component<Ev>>)
     });
@@ -268,6 +270,7 @@ fn register_routers(f: &mut Factories) {
                 arbiter: cfg.opt_str("arbiter", "round_robin")?.to_string(),
                 sensor: sensor_config(cfg)?,
                 routing: ctx.routing,
+                fault: ctx.fault.clone(),
             })?;
             Ok(Box::new(router) as Box<dyn Component<Ev>>)
         });

@@ -88,6 +88,21 @@ pub enum SimError {
         /// The tick at which the run was cut off.
         tick: Tick,
     },
+    /// The no-progress watchdog fired: events kept executing (or the
+    /// queue went quiet) but no flit reached a terminal for a whole
+    /// watchdog window — deadlock or livelock.
+    Watchdog {
+        /// Simulated time when the watchdog tripped.
+        tick: Tick,
+        /// The last tick at which a flit was delivered.
+        last_progress: Tick,
+    },
+    /// The event queue drained before the workload finished — traffic was
+    /// lost in flight (e.g. credits destroyed by fault injection).
+    Incomplete {
+        /// Simulated time when the queue went empty.
+        tick: Tick,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -97,6 +112,19 @@ impl fmt::Display for SimError {
             SimError::Stalled { tick } => {
                 write!(f, "simulation did not drain by tick {tick} (deadlock?)")
             }
+            SimError::Watchdog {
+                tick,
+                last_progress,
+            } => write!(
+                f,
+                "watchdog: no forward progress since tick {last_progress} \
+                 (tripped at tick {tick}) — deadlock or livelock"
+            ),
+            SimError::Incomplete { tick } => write!(
+                f,
+                "event queue drained at tick {tick} before the workload \
+                 finished — traffic was lost in flight"
+            ),
         }
     }
 }

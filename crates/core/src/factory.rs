@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use supersim_config::Value;
 use supersim_des::{Component, Tick};
-use supersim_netbase::{Ev, Port, RouterId};
+use supersim_netbase::{Ev, FaultPlane, Port, RouterId};
 use supersim_router::{RouterPorts, RoutingFactory};
 use supersim_topology::{RoutingAlgorithm, Topology};
 use supersim_workload::{Application, TrafficPattern};
@@ -136,6 +136,8 @@ pub struct RouterCtx<'a> {
     pub config: &'a Value,
     /// Channel cycle time in ticks.
     pub link_period: Tick,
+    /// Shared fault plane; `None` disables fault injection entirely.
+    pub fault: Option<Arc<FaultPlane>>,
 }
 
 /// Everything an application constructor receives besides its own block.

@@ -46,4 +46,4 @@ mod sim;
 pub use error::{BuildError, SimError};
 pub use experiment::{run_load_sweep, LoadSweepSpec, SweepError};
 pub use factory::{AppCtx, Factories, NetworkPlan, RouterCtx};
-pub use sim::{RunOutput, SuperSim};
+pub use sim::{DiagnosticSnapshot, RouterDiag, RunOutput, RunReport, SuperSim};

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use supersim_config::Value;
 use supersim_des::{ComponentId, Engine, RunOutcome, RunStats, Tick};
-use supersim_netbase::{trace_json_lines, Ev, Phase};
+use supersim_netbase::{trace_json_lines, Ev, FaultCounters, LinkFaults, Phase};
 use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterMetrics};
 use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
 use supersim_stats::{Filter, Histogram, MetricValue, MetricsSnapshot, RecordKind, SampleLog};
@@ -70,18 +70,22 @@ impl SuperSim {
     /// Returns [`SimError::Model`] when a component detects an invariant
     /// violation (paper §IV-D) and [`SimError::Stalled`] when the run hits
     /// its tick limit without draining.
-    pub fn run(mut self) -> Result<RunOutput, SimError> {
+    pub fn run(self) -> Result<RunOutput, SimError> {
+        let report = self.run_report();
+        match report.error {
+            None => Ok(report.output),
+            Some(error) => Err(error),
+        }
+    }
+
+    /// Runs the simulation and reports the outcome without discarding
+    /// partial results: even a degraded run (deadlock, watchdog trip,
+    /// model error) yields whatever samples, metrics, and traces were
+    /// collected — marked `degraded` in the `run` metrics plane — plus a
+    /// diagnostic snapshot of where the network stood when it stopped.
+    pub fn run_report(mut self) -> RunReport {
         let tick_limit = self.built.tick_limit;
         let stats = self.built.engine.run_until(tick_limit);
-        match &stats.outcome {
-            RunOutcome::Drained => {}
-            RunOutcome::Failed(msg) => return Err(SimError::Model(msg.clone())),
-            RunOutcome::TickLimit | RunOutcome::Stopped => {
-                return Err(SimError::Stalled {
-                    tick: stats.end_time.tick(),
-                })
-            }
-        }
         let mut log = SampleLog::new();
         let mut counters = InterfaceCounters::default();
         let mut max_queue_depth = 0;
@@ -215,17 +219,117 @@ impl SuperSim {
             .as_ref()
             .component_as::<supersim_workload::WorkloadMonitor>(self.built.monitor)
             .expect("monitor component");
-        Ok(RunOutput {
+        let phase_times = monitor.phase_times.clone();
+
+        // --- outcome classification ------------------------------------
+        // A drained queue is only success when the workload actually got
+        // through its phase protocol; draining early means traffic (or
+        // credits) evaporated in flight.
+        let error = match &stats.outcome {
+            RunOutcome::Drained => {
+                if phase_times.iter().any(|&(p, _)| p == Phase::Draining) {
+                    None
+                } else {
+                    Some(SimError::Incomplete {
+                        tick: stats.end_time.tick(),
+                    })
+                }
+            }
+            RunOutcome::Failed(msg) => Some(SimError::Model(msg.clone())),
+            RunOutcome::TickLimit | RunOutcome::Stopped => Some(SimError::Stalled {
+                tick: stats.end_time.tick(),
+            }),
+            RunOutcome::Watchdog { last_progress } => Some(SimError::Watchdog {
+                tick: stats.end_time.tick(),
+                last_progress: *last_progress,
+            }),
+        };
+        metrics.push_counter("run", "degraded", u64::from(error.is_some()));
+
+        // --- fault plane counters --------------------------------------
+        let engine = self.built.engine.as_ref();
+        let fault_summary = self.built.fault.is_some().then(|| {
+            let mut agg = FaultCounters::default();
+            let mut held = 0u64;
+            for &id in &self.built.interfaces {
+                let f = engine
+                    .component_as::<Interface>(id)
+                    .and_then(|i| i.fault.as_ref());
+                if let Some(f) = f {
+                    agg.absorb(&f.counters);
+                    held += f.held_flits();
+                }
+            }
+            for &id in &self.built.routers {
+                if let Some(f) = router_faults(engine, id) {
+                    agg.absorb(&f.counters);
+                    held += f.held_flits();
+                }
+            }
+            (agg, held)
+        });
+        if let Some((agg, held)) = &fault_summary {
+            metrics.push_counter("fault", "injected", agg.injected);
+            metrics.push_counter("fault", "detected", agg.detected);
+            metrics.push_counter("fault", "recovered", agg.recovered);
+            metrics.push_counter("fault", "escalated", agg.escalated);
+            metrics.push_counter("fault", "held_flits", *held);
+        }
+
+        // --- diagnostic snapshot of a degraded run ---------------------
+        let diagnostic = error.as_ref().map(|_| {
+            let last_progress = match &stats.outcome {
+                RunOutcome::Watchdog { last_progress } => Some(*last_progress),
+                _ => None,
+            };
+            let routers = self
+                .built
+                .routers
+                .iter()
+                .enumerate()
+                .map(|(r, &id)| {
+                    let (buffered_flits, credits) =
+                        router_occupancy(engine, id).unwrap_or_default();
+                    RouterDiag {
+                        router: r as u32,
+                        buffered_flits,
+                        credits,
+                    }
+                })
+                .collect();
+            DiagnosticSnapshot {
+                tick: stats.end_time.tick(),
+                last_progress,
+                events_executed: engine.events_executed(),
+                events_pending: engine
+                    .total_enqueued()
+                    .saturating_sub(engine.events_executed()),
+                shard_queue_depths: engine
+                    .shard_metrics()
+                    .iter()
+                    .map(|m| m.queue_len as u64)
+                    .collect(),
+                routers,
+                fault: fault_summary.map(|(agg, _)| agg),
+            }
+        });
+
+        let output = RunOutput {
             log,
             engine: stats,
-            phase_times: monitor.phase_times.clone(),
+            phase_times,
             terminals: self.built.topology.num_terminals(),
             counters,
             window_flits,
             link_period: self.built.link_period,
             metrics,
             trace,
-        })
+        };
+        RunReport {
+            output,
+            error,
+            diagnostic,
+        }
     }
 }
 
@@ -244,6 +348,35 @@ fn router_metrics(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&RouterMet
     None
 }
 
+/// The fault state of a built-in router architecture, found by downcast.
+fn router_faults(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&LinkFaults> {
+    if let Some(r) = engine.component_as::<IqRouter>(id) {
+        return r.fault.as_ref();
+    }
+    if let Some(r) = engine.component_as::<OqRouter>(id) {
+        return r.fault.as_ref();
+    }
+    if let Some(r) = engine.component_as::<IoqRouter>(id) {
+        return r.fault.as_ref();
+    }
+    None
+}
+
+/// Buffer occupancy and per-`(port, vc)` credit state of a built-in
+/// router architecture, found by downcast.
+fn router_occupancy(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<(u64, Vec<(u32, u32)>)> {
+    if let Some(r) = engine.component_as::<IqRouter>(id) {
+        return Some((r.buffered_flits(), r.credit_state()));
+    }
+    if let Some(r) = engine.component_as::<OqRouter>(id) {
+        return Some((r.buffered_flits(), r.credit_state()));
+    }
+    if let Some(r) = engine.component_as::<IoqRouter>(id) {
+        return Some((r.buffered_flits(), r.credit_state()));
+    }
+    None
+}
+
 impl std::fmt::Debug for SuperSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SuperSim")
@@ -251,6 +384,90 @@ impl std::fmt::Debug for SuperSim {
             .field("terminals", &self.built.topology.num_terminals())
             .field("routers", &self.built.topology.num_routers())
             .finish()
+    }
+}
+
+/// The full report of a run: the (possibly partial) output, the error
+/// that degraded it, and — for degraded runs — a diagnostic snapshot.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Everything the run produced. Always assembled, even for degraded
+    /// runs, so partial metrics and traces survive a deadlock.
+    pub output: RunOutput,
+    /// Why the run degraded; `None` for a clean, complete run.
+    pub error: Option<SimError>,
+    /// Where the network stood when a degraded run stopped.
+    pub diagnostic: Option<DiagnosticSnapshot>,
+}
+
+impl RunReport {
+    /// Whether the run completed cleanly.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// A point-in-time dump of engine and network state, taken when a run
+/// degrades — the raw material for diagnosing a deadlock or livelock.
+#[derive(Debug, Clone)]
+pub struct DiagnosticSnapshot {
+    /// Simulated time when the run stopped.
+    pub tick: Tick,
+    /// The last tick a flit was delivered (watchdog trips only).
+    pub last_progress: Option<Tick>,
+    /// Events executed over the whole run.
+    pub events_executed: u64,
+    /// Events still pending in the queues.
+    pub events_pending: u64,
+    /// Pending-event queue depth per shard.
+    pub shard_queue_depths: Vec<u64>,
+    /// Per-router buffer occupancy and credit state.
+    pub routers: Vec<RouterDiag>,
+    /// Aggregate fault counters, when the fault plane was enabled.
+    pub fault: Option<FaultCounters>,
+}
+
+/// One router's state in a [`DiagnosticSnapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct RouterDiag {
+    /// The router's index in the topology.
+    pub router: u32,
+    /// Flits parked in its buffers, queues, and retransmission holds.
+    pub buffered_flits: u64,
+    /// `(available, capacity)` per `(port, vc)` credit counter.
+    pub credits: Vec<(u32, u32)>,
+}
+
+impl std::fmt::Display for DiagnosticSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "diagnostic snapshot at tick {}", self.tick)?;
+        if let Some(lp) = self.last_progress {
+            writeln!(f, "  last forward progress: tick {lp}")?;
+        }
+        writeln!(
+            f,
+            "  events: {} executed, {} pending (per-shard queue depths: {:?})",
+            self.events_executed, self.events_pending, self.shard_queue_depths
+        )?;
+        if let Some(fc) = &self.fault {
+            writeln!(
+                f,
+                "  faults: {} injected, {} detected, {} recovered, {} escalated",
+                fc.injected, fc.detected, fc.recovered, fc.escalated
+            )?;
+        }
+        for r in &self.routers {
+            let missing: u32 = r.credits.iter().map(|&(avail, cap)| cap - avail).sum();
+            if r.buffered_flits == 0 && missing == 0 {
+                continue; // quiet router: nothing stuck here
+            }
+            writeln!(
+                f,
+                "  router {}: {} buffered flits, {} credits outstanding",
+                r.router, r.buffered_flits, missing
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -93,12 +93,21 @@ pub enum RunOutcome {
     TickLimit,
     /// A component reported a fatal modeling error via [`Context::fail`].
     Failed(String),
+    /// The no-progress watchdog fired: events kept executing (or were
+    /// pending) but no component reported progress via
+    /// [`Context::progress`] for longer than the configured window —
+    /// livelock, or a deadlock still burning idle events.
+    Watchdog {
+        /// The last tick at which progress was reported (0 if never).
+        last_progress: Tick,
+    },
 }
 
 impl RunOutcome {
-    /// Whether the run ended without a component-reported error.
+    /// Whether the run ended without a component-reported error or a
+    /// watchdog trip.
     pub fn is_ok(&self) -> bool {
-        !matches!(self, RunOutcome::Failed(_))
+        !matches!(self, RunOutcome::Failed(_) | RunOutcome::Watchdog { .. })
     }
 }
 
@@ -109,6 +118,10 @@ impl fmt::Display for RunOutcome {
             RunOutcome::Stopped => write!(f, "stopped by component request"),
             RunOutcome::TickLimit => write!(f, "tick limit reached"),
             RunOutcome::Failed(msg) => write!(f, "failed: {msg}"),
+            RunOutcome::Watchdog { last_progress } => write!(
+                f,
+                "watchdog: no progress since tick {last_progress} (deadlock or livelock)"
+            ),
         }
     }
 }
@@ -232,6 +245,9 @@ pub struct Context<'a, E> {
     pub(crate) rng: &'a mut Rng,
     pub(crate) stop_requested: &'a mut bool,
     pub(crate) failure: &'a mut Option<String>,
+    /// Set by [`Context::progress`]; the engine folds it into its
+    /// no-progress watchdog after each generation.
+    pub(crate) progress: &'a mut bool,
     /// `None` while tracing is disabled — the off path is one branch.
     pub(crate) trace: Option<TraceSink<'a>>,
 }
@@ -355,6 +371,17 @@ impl<E> Context<'_, E> {
             *self.failure = Some(message.into());
         }
     }
+
+    /// Reports forward progress to the no-progress watchdog. Models call
+    /// this on externally meaningful work (the network interfaces call it
+    /// per delivered flit); mere event churn does not count, so livelock
+    /// — events executing forever without delivering anything — trips the
+    /// watchdog just like deadlock. Free when no watchdog is armed (the
+    /// engine only reads the flag).
+    #[inline]
+    pub fn progress(&mut self) {
+        *self.progress = true;
+    }
 }
 
 /// An execution backend: owns registered components and pending events,
@@ -405,6 +432,14 @@ pub trait Engine<E: 'static>: fmt::Debug {
 
     /// Events ever enqueued, across all shards.
     fn total_enqueued(&self) -> u64;
+
+    /// Arms the no-progress watchdog: a run breaks with
+    /// [`RunOutcome::Watchdog`] when the next pending event lies more
+    /// than `window` ticks after the last reported progress
+    /// ([`Context::progress`]). `window = 0` disarms it. The check is a
+    /// pure function of the deterministic event stream, so the trip tick
+    /// is identical on every backend and shard count.
+    fn set_watchdog(&mut self, window: Tick);
 
     /// Enables trace collection into a ring of `capacity` records
     /// matching `spec`. Replaces any previous trace state.

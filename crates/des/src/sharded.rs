@@ -167,6 +167,7 @@ enum WorkerOutcome {
     Stopped,
     TickLimit,
     Failed,
+    Watchdog,
 }
 
 /// The multi-threaded engine: a [`SequentialEngine`]'s components
@@ -182,6 +183,10 @@ pub struct ShardedEngine<E> {
     now: Time,
     ext_seq: u64,
     trace: Option<TraceState>,
+    /// No-progress watchdog window in ticks; 0 = disarmed.
+    watchdog: Tick,
+    /// Tick of the last globally agreed progress report.
+    last_progress: Tick,
 }
 
 impl<E: Send + 'static> SequentialEngine<E> {
@@ -243,6 +248,8 @@ impl<E: Send + 'static> SequentialEngine<E> {
             now: self.now,
             ext_seq: self.ext_seq,
             trace: self.trace.take(),
+            watchdog: self.watchdog,
+            last_progress: self.last_progress,
         }
     }
 }
@@ -275,7 +282,14 @@ impl<E: Send + 'static> ShardedEngine<E> {
         let n = self.shards.len();
         let barrier = SpinBarrier::new(n);
         let poisoned = AtomicBool::new(false);
-        let peeks: Vec<Mutex<Option<Time>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Each shard publishes (head time, local last-progress tick); the
+        // folds over both are identical on every shard, so the watchdog
+        // break below is unanimous.
+        let peeks: Vec<Mutex<(Option<Time>, Tick)>> = (0..n)
+            .map(|_| Mutex::new((None, self.last_progress)))
+            .collect();
+        let watchdog = self.watchdog;
+        let start_progress = self.last_progress;
         // outboxes[dst][src]: receivers drain in sender order.
         type Outbox<E> = Mutex<Vec<(ComponentId, Time, Stamped<E>)>>;
         let outboxes: Vec<Vec<Outbox<E>>> = (0..n)
@@ -290,7 +304,7 @@ impl<E: Send + 'static> ShardedEngine<E> {
         let start_now = self.now;
 
         let mut trace_state = self.trace.as_mut();
-        let (outcome, end_now) = std::thread::scope(|scope| {
+        let (outcome, end_now, end_progress) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (s, shard) in self.shards.iter_mut().enumerate() {
                 let mut buffer = if s == 0 {
@@ -317,27 +331,38 @@ impl<E: Send + 'static> ShardedEngine<E> {
                     let mut round_trace: Vec<TaggedTrace> = Vec::new();
                     let mut merge_scratch: Vec<TaggedTrace> = Vec::new();
                     let mut batch = std::mem::take(&mut shard.batch);
+                    let mut local_progress = start_progress;
+                    // Assigned by the phase-2 fold before every loop exit.
+                    let mut global_progress;
                     let outcome = loop {
-                        // Phase 1: publish the local head time.
-                        *peeks[s].lock().unwrap() = shard.queue.peek_time();
+                        // Phase 1: publish the local head time and the
+                        // tick of this shard's last productive generation.
+                        *peeks[s].lock().unwrap() = (shard.queue.peek_time(), local_progress);
                         barrier.wait(&mut local_sense, poisoned);
 
-                        // Phase 2: identical global-minimum computation.
+                        // Phase 2: identical global-minimum (and global
+                        // max-progress) computation.
                         let mut m: Option<Time> = None;
+                        global_progress = start_progress;
                         for p in peeks {
-                            let v = *p.lock().unwrap();
+                            let (v, lp) = *p.lock().unwrap();
                             m = match (m, v) {
                                 (Some(a), Some(b)) => Some(a.min(b)),
                                 (a, b) => a.or(b),
                             };
+                            global_progress = global_progress.max(lp);
                         }
-                        // Both break decisions are unanimous: every shard
-                        // computed the same `m` from the same peeks.
+                        // All break decisions are unanimous: every shard
+                        // computed the same `m` and `global_progress` from
+                        // the same peeks.
                         let Some(m) = m else {
                             break WorkerOutcome::Drained;
                         };
                         if m.tick() > tick_limit {
                             break WorkerOutcome::TickLimit;
+                        }
+                        if watchdog > 0 && m.tick().saturating_sub(global_progress) > watchdog {
+                            break WorkerOutcome::Watchdog;
                         }
                         local_now = m;
 
@@ -349,6 +374,7 @@ impl<E: Send + 'static> ShardedEngine<E> {
                             }
                             let mut done = 0u64;
                             let mut stop_local = false;
+                            let mut progress_local = false;
                             for entry in batch.drain(..) {
                                 let idx = entry.target.index();
                                 let mut fail_local: Option<String> = None;
@@ -368,6 +394,7 @@ impl<E: Send + 'static> ShardedEngine<E> {
                                             seq: &mut shard.seqs[idx],
                                             rng: &mut shard.rngs[idx],
                                             stop_requested: &mut stop_local,
+                                            progress: &mut progress_local,
                                             failure: &mut fail_local,
                                             trace: trace_spec.map(|spec| TraceSink {
                                                 spec,
@@ -400,6 +427,9 @@ impl<E: Send + 'static> ShardedEngine<E> {
                                 }
                             }
                             shard.record_batch(done);
+                            if progress_local {
+                                local_progress = m.tick();
+                            }
                             if stop_local {
                                 stop_flag.store(true, Ordering::Release);
                             }
@@ -442,10 +472,10 @@ impl<E: Send + 'static> ShardedEngine<E> {
                     };
                     shard.batch = batch;
                     fence.armed = false;
-                    (outcome, local_now)
+                    (outcome, local_now, global_progress)
                 }));
             }
-            let mut agreed: Option<(WorkerOutcome, Time)> = None;
+            let mut agreed: Option<(WorkerOutcome, Time, Tick)> = None;
             for h in handles {
                 let r = h.join().expect("shard thread panicked");
                 debug_assert!(
@@ -460,10 +490,14 @@ impl<E: Send + 'static> ShardedEngine<E> {
         // tick-limit pause stops before advancing), matching the
         // sequential engine.
         self.now = end_now;
+        self.last_progress = end_progress;
         let outcome = match outcome {
             WorkerOutcome::Drained => RunOutcome::Drained,
             WorkerOutcome::Stopped => RunOutcome::Stopped,
             WorkerOutcome::TickLimit => RunOutcome::TickLimit,
+            WorkerOutcome::Watchdog => RunOutcome::Watchdog {
+                last_progress: end_progress,
+            },
             WorkerOutcome::Failed => {
                 let msg = failure
                     .lock()
@@ -489,6 +523,16 @@ impl<E: Send + 'static> ShardedEngine<E> {
     /// Runs until every queue drains, a component stops or fails.
     pub fn run(&mut self) -> RunStats {
         self.run_until(Tick::MAX)
+    }
+
+    /// Arms the no-progress watchdog: if the gap between the next
+    /// generation's tick and the last tick at which any component
+    /// reported progress exceeds `window`, the run halts with
+    /// [`RunOutcome::Watchdog`]. `0` disarms. The decision is unanimous
+    /// across shards, so it fires at the identical point on every shard
+    /// count.
+    pub fn set_watchdog(&mut self, window: Tick) {
+        self.watchdog = window;
     }
 
     fn owner_of(&self, id: ComponentId) -> Option<usize> {
@@ -545,6 +589,10 @@ impl<E: Send + 'static> Engine<E> for ShardedEngine<E> {
         self.shards.iter().map(|s| s.queue.total_enqueued()).sum()
     }
 
+    fn set_watchdog(&mut self, window: Tick) {
+        ShardedEngine::set_watchdog(self, window);
+    }
+
     fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {
         self.trace = Some(TraceState {
             spec,
@@ -598,6 +646,7 @@ mod tests {
         hops_left: u32,
         seen: Vec<u32>,
         draws: Vec<u64>,
+        productive: bool,
     }
 
     impl Component<Ev> for Relay {
@@ -609,6 +658,9 @@ mod tests {
                 Ev::Ping(n) => {
                     self.seen.push(n);
                     self.draws.push(ctx.rng().gen_u64());
+                    if self.productive {
+                        ctx.progress();
+                    }
                     ctx.trace(0, ctx.self_id().index() as u32, n as u64, 0);
                     if self.hops_left > 0 {
                         self.hops_left -= 1;
@@ -630,6 +682,16 @@ mod tests {
     /// Builds a ring of `size` relays with `tokens` tokens injected at
     /// evenly spaced components, each forwarded `hops` times.
     fn build_ring(seed: u64, size: usize, tokens: usize, hops: u32) -> Simulator<Ev> {
+        build_ring_with(seed, size, tokens, hops, false)
+    }
+
+    fn build_ring_with(
+        seed: u64,
+        size: usize,
+        tokens: usize,
+        hops: u32,
+        productive: bool,
+    ) -> Simulator<Ev> {
         let mut sim = Simulator::new(seed);
         let ids: Vec<ComponentId> = (0..size)
             .map(|i| {
@@ -638,6 +700,7 @@ mod tests {
                     hops_left: hops,
                     seen: vec![],
                     draws: vec![],
+                    productive,
                 }))
             })
             .collect();
@@ -739,6 +802,48 @@ mod tests {
             "got {:?}",
             stats.outcome
         );
+    }
+
+    #[test]
+    fn watchdog_trips_identically_across_shard_counts() {
+        // Nobody reports progress, so last_progress stays 0 and the
+        // watchdog must trip at the identical point on every backend.
+        let mut seq = build_ring(13, 6, 2, 60);
+        Engine::set_watchdog(&mut seq, 10);
+        let seq_stats = seq.run();
+        assert_eq!(
+            seq_stats.outcome,
+            RunOutcome::Watchdog { last_progress: 0 },
+            "sequential"
+        );
+        for shards in [1u32, 2, 4] {
+            let sim = build_ring(13, 6, 2, 60);
+            let mut sharded = sim.into_sharded(shards as usize, striped(6, shards));
+            Engine::set_watchdog(&mut sharded, 10);
+            let stats = sharded.run();
+            assert_eq!(stats.outcome, seq_stats.outcome, "{shards} shards");
+            assert_eq!(
+                Engine::now(&sharded),
+                Engine::now(&seq),
+                "trip time at {shards} shards"
+            );
+            assert_eq!(
+                stats.events_executed, seq_stats.events_executed,
+                "events at {shards} shards"
+            );
+            // Pending events survive for diagnostics, not torn down.
+            assert!(Engine::total_enqueued(&sharded) > Engine::events_executed(&sharded));
+        }
+    }
+
+    #[test]
+    fn watchdog_spares_productive_runs() {
+        // Every hop reports progress, so even a tiny window never fires.
+        let sim = build_ring_with(13, 6, 2, 60, true);
+        let mut sharded = sim.into_sharded(3, striped(6, 3));
+        Engine::set_watchdog(&mut sharded, 2);
+        let stats = sharded.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct SequentialEngine<E> {
     /// Send counter for external ([`SequentialEngine::schedule`]) events.
     pub(crate) ext_seq: u64,
     pub(crate) trace: Option<TraceState>,
+    /// No-progress watchdog window in ticks; 0 = disarmed.
+    pub(crate) watchdog: Tick,
+    /// Tick of the last [`Context::progress`] report.
+    pub(crate) last_progress: Tick,
     events_executed: u64,
     batches: u64,
     batch_counts: [u64; BATCH_BUCKETS],
@@ -72,6 +76,8 @@ impl<E: 'static> SequentialEngine<E> {
             seed,
             ext_seq: 0,
             trace: None,
+            watchdog: 0,
+            last_progress: 0,
             events_executed: 0,
             batches: 0,
             batch_counts: [0; BATCH_BUCKETS],
@@ -79,8 +85,13 @@ impl<E: 'static> SequentialEngine<E> {
     }
 
     /// Registers a component and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component count would exceed the 32-bit id space.
     pub fn add_component(&mut self, component: Box<dyn Component<E>>) -> ComponentId {
-        let id = ComponentId::from_index(self.components.len());
+        let id = ComponentId::try_from_index(self.components.len())
+            .expect("component count exceeds the 32-bit id space");
         self.rngs.push(Rng::stream(self.seed, id.0 as u64));
         self.seqs.push(0);
         self.components.push(Some(component));
@@ -131,6 +142,11 @@ impl<E: 'static> SequentialEngine<E> {
             .get_mut(id.index())
             .and_then(|c| c.as_deref_mut())
             .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Arms the no-progress watchdog (see [`Engine::set_watchdog`]).
+    pub fn set_watchdog(&mut self, window: Tick) {
+        self.watchdog = window;
     }
 
     /// Enables trace collection (see [`Engine::set_trace`]).
@@ -188,10 +204,26 @@ impl<E: 'static> SequentialEngine<E> {
         let start_events = self.events_executed;
         let mut stop_requested = false;
         let mut failure: Option<String> = None;
+        let mut progress = false;
         let mut batch = std::mem::take(&mut self.batch);
         let mut scratch = std::mem::take(&mut self.trace_scratch);
         let trace_spec = self.trace.as_ref().map(|t| t.spec);
         let outcome = 'run: loop {
+            // No-progress watchdog: trips when the next runnable event
+            // lies more than `watchdog` ticks past the last progress
+            // report. Checked before the batch is taken, so the pending
+            // queue survives intact for diagnostics.
+            if self.watchdog > 0 {
+                if let Some(next) = self.queue.peek_time() {
+                    if next.tick() <= tick_limit
+                        && next.tick().saturating_sub(self.last_progress) > self.watchdog
+                    {
+                        break RunOutcome::Watchdog {
+                            last_progress: self.last_progress,
+                        };
+                    }
+                }
+            }
             let Some(next_time) = self.queue.take_batch_until(tick_limit, &mut batch) else {
                 break if self.queue.is_empty() {
                     RunOutcome::Drained
@@ -237,6 +269,7 @@ impl<E: 'static> SequentialEngine<E> {
                     rng: &mut self.rngs[idx],
                     stop_requested: &mut stop_requested,
                     failure: &mut failure,
+                    progress: &mut progress,
                     trace: trace_spec.map(|spec| TraceSink {
                         spec,
                         stamp: entry.payload.stamp,
@@ -260,6 +293,10 @@ impl<E: 'static> SequentialEngine<E> {
                 }
             }
             self.record_batch(done);
+            if progress {
+                self.last_progress = self.now.tick();
+                progress = false;
+            }
             if let Some(t) = &mut self.trace {
                 flush_trace(&mut t.buffer, &mut scratch);
             }
@@ -322,6 +359,10 @@ impl<E: 'static> Engine<E> for SequentialEngine<E> {
 
     fn total_enqueued(&self) -> u64 {
         self.queue.total_enqueued()
+    }
+
+    fn set_watchdog(&mut self, window: Tick) {
+        SequentialEngine::set_watchdog(self, window);
     }
 
     fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {
@@ -606,6 +647,96 @@ mod tests {
         assert_eq!(recs[1].id, 8);
         assert_eq!(recs[0].kind, 0);
         assert_eq!(recs[0].time, Time::at(1));
+    }
+
+    /// Self-schedules every `step` ticks for `count` rounds, reporting
+    /// progress only when `productive`.
+    struct Stepper {
+        step: Tick,
+        count: u32,
+        productive: bool,
+    }
+
+    impl Component<Ev> for Stepper {
+        fn name(&self) -> &str {
+            "stepper"
+        }
+        fn handle(&mut self, ctx: &mut Context<'_, Ev>, _event: Ev) {
+            if self.productive {
+                ctx.progress();
+            }
+            if self.count > 0 {
+                self.count -= 1;
+                ctx.schedule_self(ctx.now().plus_ticks(self.step), Ev::Ping(0));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_unproductive_churn() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_component(Box::new(Stepper {
+            step: 5,
+            count: 1000,
+            productive: false,
+        }));
+        sim.set_watchdog(20);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Watchdog { last_progress: 0 });
+        assert!(!stats.outcome.is_ok());
+        // The pending queue survives for diagnostics.
+        assert!(sim.metrics().queue_len > 0);
+        // The trip is prompt: the first event past the window breaks.
+        assert!(sim.now().tick() <= 25);
+    }
+
+    #[test]
+    fn watchdog_resets_on_progress() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_component(Box::new(Stepper {
+            step: 5,
+            count: 50,
+            productive: true,
+        }));
+        sim.set_watchdog(20);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Drained);
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_component(Box::new(Stepper {
+            step: 50,
+            count: 10,
+            productive: false,
+        }));
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        assert_eq!(sim.run().outcome, RunOutcome::Drained);
+    }
+
+    #[test]
+    fn watchdog_defers_to_tick_limit() {
+        // Events beyond the tick limit must not trip the watchdog: the
+        // run pauses as TickLimit exactly as without one.
+        let mut sim = Simulator::new(0);
+        let a = sim.add_component(Box::new(Stepper {
+            step: 100,
+            count: 5,
+            productive: false,
+        }));
+        sim.set_watchdog(30);
+        sim.schedule(a, Time::at(0), Ev::Ping(0));
+        let stats = sim.run_until(50);
+        assert_eq!(stats.outcome, RunOutcome::TickLimit);
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub enum Ev {
         /// The signal.
         signal: AppSignal,
     },
+    /// Retransmission acknowledgment: the receiver on the far side of
+    /// `port` (the receiving component's *output* port, addressed like a
+    /// returning credit) got a clean copy after a corruption episode.
+    Ack {
+        /// Output port of the receiving (original sender) component.
+        port: Port,
+    },
+    /// Retransmission request: the far side of `port` received a flit
+    /// whose header checksum failed and discarded it.
+    Nack {
+        /// Output port of the receiving (original sender) component.
+        port: Port,
+    },
     /// Four-phase protocol command from the workload monitor to terminals.
     Command(PhaseCommand),
     /// Component-private event with an opaque tag; lets user-defined models

@@ -17,6 +17,12 @@
 //! - the error-detection invariants of paper §IV-D
 //!   ([`DeliveryChecker`], [`CreditCounter`] underflow checks, buffer
 //!   overrun guards),
+//! - the deterministic fault plane ([`FaultPlane`], [`LinkFaults`],
+//!   [`FaultError`]): stochastic/scheduled link outages, bit-error
+//!   corruption caught by the flit header checksum, credit loss, and the
+//!   stop-and-wait link-level retransmission protocol that recovers from
+//!   them — bit-identical across engine backends for one
+//!   `(configuration, seed)`,
 //! - the flit-event tracing vocabulary ([`TraceKind`], [`TraceFilter`],
 //!   [`FlitTraceExt`]) over the engine's generic trace plane — filtered
 //!   collection that is free when disabled, engine-agnostic (the sharded
@@ -26,6 +32,7 @@
 mod check;
 mod credit;
 mod event;
+mod fault;
 mod flit;
 mod ids;
 mod link;
@@ -37,6 +44,10 @@ mod trace;
 pub use check::{CheckError, DeliveryChecker};
 pub use credit::{CreditCounter, CreditError};
 pub use event::Ev;
+pub use fault::{
+    retry_port, retry_tag, FaultConfig, FaultCounters, FaultError, FaultPlane, LinkFaults, LinkId,
+    ScheduledOutage, RETRY_TAG,
+};
 pub use flit::{Flit, PacketBuilder, PacketInfo};
 pub use ids::{AppId, MessageId, PacketId, Port, RouterId, TerminalId, Vc};
 pub use link::LinkTarget;

@@ -42,15 +42,28 @@ pub enum TraceKind {
     RouterArrive = 2,
     /// A router sent the flit out of an output port.
     RouterDepart = 3,
+    /// The fault plane injected a fault on this flit's transmission
+    /// (drop or corruption; recorded at the sender).
+    FaultInject = 4,
+    /// A receiver's checksum caught a corrupted copy and nacked it.
+    FaultNack = 5,
+    /// A fault episode resolved: the flit was cleanly redelivered.
+    FaultRecover = 6,
+    /// Retransmission gave up on this flit (retries exhausted).
+    FaultEscalate = 7,
 }
 
 impl TraceKind {
     /// All kinds, in tag order.
-    pub const ALL: [TraceKind; 4] = [
+    pub const ALL: [TraceKind; 8] = [
         TraceKind::Inject,
         TraceKind::Eject,
         TraceKind::RouterArrive,
         TraceKind::RouterDepart,
+        TraceKind::FaultInject,
+        TraceKind::FaultNack,
+        TraceKind::FaultRecover,
+        TraceKind::FaultEscalate,
     ];
 
     /// Short lowercase name used in the JSON-lines form.
@@ -60,6 +73,10 @@ impl TraceKind {
             TraceKind::Eject => "eject",
             TraceKind::RouterArrive => "router_arrive",
             TraceKind::RouterDepart => "router_depart",
+            TraceKind::FaultInject => "fault_inject",
+            TraceKind::FaultNack => "fault_nack",
+            TraceKind::FaultRecover => "fault_recover",
+            TraceKind::FaultEscalate => "fault_escalate",
         }
     }
 
@@ -224,7 +241,7 @@ mod tests {
             assert_eq!(TraceKind::from_tag(k as u8), Some(k));
         }
         assert_eq!(TraceKind::from_name("nope"), None);
-        assert_eq!(TraceKind::from_tag(7), None);
+        assert_eq!(TraceKind::from_tag(8), None);
     }
 
     #[test]
@@ -277,7 +294,7 @@ mod tests {
 
     #[test]
     fn unknown_kind_tags_are_skipped() {
-        let records = vec![ev(1, 6, 5), ev(2, TraceKind::Inject as u8, 5)];
+        let records = vec![ev(1, 8, 5), ev(2, TraceKind::Inject as u8, 5)];
         let text = trace_json_lines(&records);
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("\"kind\":\"inject\""));

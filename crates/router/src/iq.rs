@@ -9,13 +9,19 @@
 //! [`FlowControl`] technique.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
-use supersim_netbase::{CreditCounter, Ev, FlitTraceExt, RouterId, TraceKind};
+use supersim_netbase::{
+    retry_port, CreditCounter, Ev, FaultPlane, FlitTraceExt, LinkFaults, RouterId, TraceKind,
+};
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
 use crate::buffer::VcBuffer;
-use crate::common::{RouterError, RouterPorts, RoutingFactory};
+use crate::common::{
+    handle_fault_protocol, router_faults, FaultProtocolEvent, RouterError, RouterPorts,
+    RoutingFactory,
+};
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
 use crate::metrics::RouterMetrics;
 use crate::xbar_sched::{FlowControl, OutputScheduler, XbarCandidate};
@@ -43,6 +49,8 @@ pub struct IqConfig {
     pub sensor: SensorConfig,
     /// Constructor for per-input-port routing engines.
     pub routing: RoutingFactory,
+    /// Shared fault plane; `None` disables fault injection entirely.
+    pub fault: Option<Arc<FaultPlane>>,
 }
 
 /// Operation counters of a router, for engine-level statistics.
@@ -83,6 +91,8 @@ pub struct IqRouter {
     pub counters: RouterCounters,
     /// Allocation / flow-control metrics.
     pub metrics: RouterMetrics,
+    /// Per-port fault and retransmission state; `None` = fault-free.
+    pub fault: Option<LinkFaults>,
 }
 
 impl IqRouter {
@@ -129,6 +139,7 @@ impl IqRouter {
             last_cycle: None,
             counters: RouterCounters::default(),
             metrics: RouterMetrics::new(radix),
+            fault: router_faults(config.fault, config.id, radix),
             ports: config.ports,
         })
     }
@@ -142,6 +153,37 @@ impl IqRouter {
     /// The congestion sensor (for tests and instrumentation).
     pub fn sensor(&self) -> &CongestionSensor {
         &self.sensor
+    }
+
+    /// Flits currently buffered (input buffers + flits parked in fault
+    /// hold queues), for diagnostic snapshots.
+    pub fn buffered_flits(&self) -> u64 {
+        self.inputs
+            .iter()
+            .map(|b| b.occupancy() as u64)
+            .sum::<u64>()
+            + self.fault.as_ref().map_or(0, |f| f.held_flits())
+    }
+
+    /// Per-(port, vc) downstream credit state as `(available, capacity)`,
+    /// for diagnostic snapshots.
+    pub fn credit_state(&self) -> Vec<(u32, u32)> {
+        self.credits
+            .iter()
+            .map(|c| (c.available(), c.capacity()))
+            .collect()
+    }
+
+    fn fault_protocol(&mut self, ctx: &mut Context<'_, Ev>, port: u32, kind: FaultProtocolEvent) {
+        handle_fault_protocol(
+            &mut self.fault,
+            &self.ports,
+            &self.name,
+            self.id.0,
+            ctx,
+            port,
+            kind,
+        );
     }
 
     fn ensure_pipeline(&mut self, ctx: &mut Context<'_, Ev>, desired: Tick) {
@@ -269,14 +311,17 @@ impl IqRouter {
                 .add(tick, CongestionSource::Downstream, out_port, c.out_vc);
             let (in_port, in_vc) = self.ports.unkey(k);
             if let Some(cl) = self.ports.credit_links[in_port as usize] {
-                ctx.schedule(
-                    cl.component,
-                    Time::at(tick + cl.latency),
-                    Ev::Credit {
-                        port: cl.port,
-                        vc: in_vc,
-                    },
-                );
+                let lost = self.fault.as_mut().is_some_and(|f| f.credit_lost(ctx));
+                if !lost {
+                    ctx.schedule(
+                        cl.component,
+                        Time::at(tick + cl.latency),
+                        Ev::Credit {
+                            port: cl.port,
+                            vc: in_vc,
+                        },
+                    );
+                }
             }
             if flit.is_head() {
                 self.route_started[k] = true;
@@ -290,14 +335,25 @@ impl IqRouter {
             self.metrics.flit_unbuffered(in_port);
             ctx.trace_flit(TraceKind::RouterDepart, self.id.0, &flit);
             let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
-            ctx.schedule(
-                fl.component,
-                Time::at(tick + self.xbar_latency + fl.latency),
-                Ev::Flit {
-                    port: fl.port,
+            if let Some(fault) = &mut self.fault {
+                fault.send(
+                    ctx,
+                    out_port,
+                    &fl,
+                    self.xbar_latency + fl.latency,
                     flit,
-                },
-            );
+                    self.id.0,
+                );
+            } else {
+                ctx.schedule(
+                    fl.component,
+                    Time::at(tick + self.xbar_latency + fl.latency),
+                    Ev::Flit {
+                        port: fl.port,
+                        flit,
+                    },
+                );
+            }
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
             progress = true;
@@ -327,6 +383,16 @@ impl Component<Ev> for IqRouter {
                     ));
                     return;
                 }
+                let flit = match &mut self.fault {
+                    Some(fault) => {
+                        let reply = self.ports.credit_links[port as usize];
+                        match fault.receive(ctx, port, reply, flit, self.id.0) {
+                            Some(flit) => flit,
+                            None => return, // corrupt copy discarded and nacked
+                        }
+                    }
+                    None => flit,
+                };
                 self.counters.flits_in += 1;
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
@@ -370,6 +436,12 @@ impl Component<Ev> for IqRouter {
                 }
                 self.cycle(ctx);
             }
+            Ev::Ack { port } => self.fault_protocol(ctx, port, FaultProtocolEvent::Ack),
+            Ev::Nack { port } => self.fault_protocol(ctx, port, FaultProtocolEvent::Nack),
+            Ev::Internal(tag) if retry_port(tag).is_some() => {
+                let port = retry_port(tag).expect("guard matched");
+                self.fault_protocol(ctx, port, FaultProtocolEvent::Retry);
+            }
             other => {
                 ctx.fail(format!("{}: unexpected event {other:?}", self.name));
             }
@@ -412,6 +484,7 @@ mod tests {
                     delay: 0,
                 },
                 routing,
+                fault: None,
             })
             .map(|r| Box::new(r) as _)
         })
@@ -502,6 +575,7 @@ mod tests {
                     delay: 0,
                 },
                 routing,
+                fault: None,
             })
             .map(|r| Box::new(r) as _)
         });
@@ -540,6 +614,7 @@ mod tests {
                 delay: 0,
             },
             routing,
+            fault: None,
         })
         .unwrap();
         let id = sim.add_component(Box::new(r));
@@ -593,6 +668,7 @@ mod tests {
                     delay: 0,
                 },
                 routing,
+                fault: None,
             })
             .map(|r| Box::new(r) as _)
         });

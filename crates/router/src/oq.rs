@@ -9,16 +9,22 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
-use supersim_netbase::{CreditCounter, Ev, Flit, FlitTraceExt, RouterId, TraceKind};
+use supersim_netbase::{
+    retry_port, CreditCounter, Ev, FaultPlane, Flit, FlitTraceExt, LinkFaults, RouterId, TraceKind,
+};
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
 use crate::arbiter::{Arbiter, Request, RoundRobinArbiter};
 use crate::buffer::VcBuffer;
-use crate::common::{RouterError, RouterPorts, RoutingFactory};
+use crate::common::{
+    handle_fault_protocol, router_faults, FaultProtocolEvent, RouterError, RouterPorts,
+    RoutingFactory,
+};
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
 use crate::iq::RouterCounters;
 use crate::metrics::RouterMetrics;
@@ -44,6 +50,8 @@ pub struct OqConfig {
     pub sensor: SensorConfig,
     /// Constructor for per-input-port routing engines.
     pub routing: RoutingFactory,
+    /// Shared fault plane; `None` disables fault injection entirely.
+    pub fault: Option<Arc<FaultPlane>>,
 }
 
 /// The output-queued router component.
@@ -75,6 +83,8 @@ pub struct OqRouter {
     pub counters: RouterCounters,
     /// Allocation / flow-control metrics.
     pub metrics: RouterMetrics,
+    /// Per-port fault and retransmission state; `None` = fault-free.
+    pub fault: Option<LinkFaults>,
 }
 
 impl OqRouter {
@@ -123,6 +133,7 @@ impl OqRouter {
             last_cycle: None,
             counters: RouterCounters::default(),
             metrics: RouterMetrics::new(radix),
+            fault: router_faults(config.fault, config.id, radix),
             ports: config.ports,
         })
     }
@@ -135,6 +146,38 @@ impl OqRouter {
     /// The congestion sensor (for tests and instrumentation).
     pub fn sensor(&self) -> &CongestionSensor {
         &self.sensor
+    }
+
+    /// Flits currently buffered (input buffers + output queues + flits
+    /// parked in fault hold queues), for diagnostic snapshots.
+    pub fn buffered_flits(&self) -> u64 {
+        self.inputs
+            .iter()
+            .map(|b| b.occupancy() as u64)
+            .sum::<u64>()
+            + self.oq.iter().map(|q| q.len() as u64).sum::<u64>()
+            + self.fault.as_ref().map_or(0, |f| f.held_flits())
+    }
+
+    /// Per-(port, vc) downstream credit state as `(available, capacity)`,
+    /// for diagnostic snapshots.
+    pub fn credit_state(&self) -> Vec<(u32, u32)> {
+        self.credits
+            .iter()
+            .map(|c| (c.available(), c.capacity()))
+            .collect()
+    }
+
+    fn fault_protocol(&mut self, ctx: &mut Context<'_, Ev>, port: u32, kind: FaultProtocolEvent) {
+        handle_fault_protocol(
+            &mut self.fault,
+            &self.ports,
+            &self.name,
+            self.id.0,
+            ctx,
+            port,
+            kind,
+        );
     }
 
     fn ensure_pipeline(&mut self, ctx: &mut Context<'_, Ev>, desired: Tick) {
@@ -229,14 +272,17 @@ impl OqRouter {
                 .add(tick, CongestionSource::Output, route.port, route.vc);
             let (in_port, in_vc) = self.ports.unkey(k);
             if let Some(cl) = self.ports.credit_links[in_port as usize] {
-                ctx.schedule(
-                    cl.component,
-                    Time::at(tick + cl.latency),
-                    Ev::Credit {
-                        port: cl.port,
-                        vc: in_vc,
-                    },
-                );
+                let lost = self.fault.as_mut().is_some_and(|f| f.credit_lost(ctx));
+                if !lost {
+                    ctx.schedule(
+                        cl.component,
+                        Time::at(tick + cl.latency),
+                        Ev::Credit {
+                            port: cl.port,
+                            vc: in_vc,
+                        },
+                    );
+                }
             }
             self.oq_owner[okey] = if flit.is_tail() { None } else { Some(k as u32) };
             if flit.is_tail() {
@@ -300,14 +346,18 @@ impl OqRouter {
                 .add(tick, CongestionSource::Downstream, out_port, vc);
             ctx.trace_flit(TraceKind::RouterDepart, self.id.0, &flit);
             let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
-            ctx.schedule(
-                fl.component,
-                Time::at(tick + fl.latency),
-                Ev::Flit {
-                    port: fl.port,
-                    flit,
-                },
-            );
+            if let Some(fault) = &mut self.fault {
+                fault.send(ctx, out_port, &fl, fl.latency, flit, self.id.0);
+            } else {
+                ctx.schedule(
+                    fl.component,
+                    Time::at(tick + fl.latency),
+                    Ev::Flit {
+                        port: fl.port,
+                        flit,
+                    },
+                );
+            }
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
             progress = true;
@@ -371,6 +421,16 @@ impl Component<Ev> for OqRouter {
                     ));
                     return;
                 }
+                let flit = match &mut self.fault {
+                    Some(fault) => {
+                        let reply = self.ports.credit_links[port as usize];
+                        match fault.receive(ctx, port, reply, flit, self.id.0) {
+                            Some(flit) => flit,
+                            None => return, // corrupt copy discarded and nacked
+                        }
+                    }
+                    None => flit,
+                };
                 self.counters.flits_in += 1;
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
@@ -414,6 +474,12 @@ impl Component<Ev> for OqRouter {
                 }
                 self.cycle(ctx);
             }
+            Ev::Ack { port } => self.fault_protocol(ctx, port, FaultProtocolEvent::Ack),
+            Ev::Nack { port } => self.fault_protocol(ctx, port, FaultProtocolEvent::Nack),
+            Ev::Internal(tag) if retry_port(tag).is_some() => {
+                let port = retry_port(tag).expect("guard matched");
+                self.fault_protocol(ctx, port, FaultProtocolEvent::Retry);
+            }
             other => {
                 ctx.fail(format!("{}: unexpected event {other:?}", self.name));
             }
@@ -452,6 +518,7 @@ mod tests {
                     delay: 0,
                 },
                 routing,
+                fault: None,
             })
             .map(|r| Box::new(r) as _)
         })
@@ -557,6 +624,7 @@ mod tests {
                 delay: 0,
             },
             routing,
+            fault: None,
         });
         assert!(err.is_err());
     }

@@ -87,6 +87,7 @@ fn build_net(arch: Arch, vcs: u32, eject: u32) -> TestNet {
                 arbiter: "age_based".into(),
                 sensor: sensor(),
                 routing,
+                fault: None,
             })
             .map(|r| Box::new(r) as _)
         }),
@@ -101,6 +102,7 @@ fn build_net(arch: Arch, vcs: u32, eject: u32) -> TestNet {
                 link_period: 1,
                 sensor: sensor(),
                 routing,
+                fault: None,
             })
             .map(|r| Box::new(r) as _)
         }),
@@ -117,6 +119,7 @@ fn build_net(arch: Arch, vcs: u32, eject: u32) -> TestNet {
                 arbiter: "round_robin".into(),
                 sensor: sensor(),
                 routing,
+                fault: None,
             })
             .map(|r| Box::new(r) as _)
         }),

@@ -10,6 +10,8 @@
 //! ssreport <snapshot.json> --list-hist      # histogram metric names
 //! ssreport <snapshot.json> --shards         # per-shard engine breakdown
 //!                                           # with aggregate totals
+//! ssreport <snapshot.json> --faults         # fault-plane lifecycle
+//!                                           # summary + degraded flag
 //! ```
 
 use std::process::ExitCode;
@@ -20,7 +22,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((path, rest)) = args.split_first() else {
         eprintln!(
-            "usage: ssreport <snapshot.json> [--csv | --shards | --list-hist | --hist <component> <metric>]"
+            "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | --hist <component> <metric>]"
         );
         return ExitCode::FAILURE;
     };
@@ -48,6 +50,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        [flag] if flag == "--faults" => match supersim_tools::fault_report(&snap) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("ssreport: snapshot has no fault plane (run with fault.enabled)");
+                return ExitCode::FAILURE;
+            }
+        },
         [flag] if flag == "--list-hist" => {
             for (component, name) in supersim_tools::histogram_names(&snap) {
                 println!("{component} {name}");
@@ -64,7 +73,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: ssreport <snapshot.json> [--csv | --shards | --list-hist | --hist <component> <metric>]"
+                "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | --hist <component> <metric>]"
             );
             return ExitCode::FAILURE;
         }

@@ -30,6 +30,8 @@ mod taskrun;
 
 pub use ssparse::{analyze, analyze_text, Analysis, KindAnalysis, SsparseError};
 pub use ssplot::{ascii_chart, histogram_csv, load_latency_csv, percentile_csv, timeseries_csv};
-pub use ssreport::{counters_csv, histogram_names, histogram_report, report_text, shard_report};
+pub use ssreport::{
+    counters_csv, fault_report, histogram_names, histogram_report, report_text, shard_report,
+};
 pub use sweep::{Permutation, Sweep, SweepResult, SweepVariable};
 pub use taskrun::{TaskGraph, TaskId, TaskReport, TaskStatus};

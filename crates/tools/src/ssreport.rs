@@ -160,6 +160,46 @@ pub fn shard_report(snap: &MetricsSnapshot) -> Option<String> {
     Some(out)
 }
 
+/// Renders the fault summary of a snapshot: the run's degraded flag plus
+/// the aggregate fault-lifecycle counters (injected, detected, recovered,
+/// escalated) and the flits still parked in retransmission holds.
+/// `None` when the snapshot has no `fault` plane (the fault plane was
+/// disabled, or the snapshot predates it).
+pub fn fault_report(snap: &MetricsSnapshot) -> Option<String> {
+    let counter = |name: &str| -> Option<u64> {
+        match snap.get("fault", name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    };
+    let injected = counter("injected")?;
+    let detected = counter("detected").unwrap_or(0);
+    let recovered = counter("recovered").unwrap_or(0);
+    let escalated = counter("escalated").unwrap_or(0);
+    let held = counter("held_flits").unwrap_or(0);
+    let degraded = matches!(snap.get("run", "degraded"), Some(MetricValue::Counter(1)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run: {}",
+        if degraded { "DEGRADED" } else { "complete" }
+    );
+    let _ = writeln!(out, "{:<12} {injected}", "injected");
+    let _ = writeln!(out, "{:<12} {detected}", "detected");
+    let _ = writeln!(out, "{:<12} {recovered}", "recovered");
+    let _ = writeln!(out, "{:<12} {escalated}", "escalated");
+    let _ = writeln!(out, "{:<12} {held}", "held_flits");
+    if detected > 0 {
+        let _ = writeln!(
+            out,
+            "{:<12} {:.1}%",
+            "recovery",
+            recovered as f64 / detected as f64 * 100.0
+        );
+    }
+    Some(out)
+}
+
 /// All `(component, name)` pairs of histogram metrics in the snapshot.
 pub fn histogram_names(snap: &MetricsSnapshot) -> Vec<(String, String)> {
     snap.samples()
@@ -248,6 +288,29 @@ mod tests {
         assert!(lines[3].contains(" 6 ") || lines[3].trim_end().ends_with("100.0%"));
         // No shard planes → no report.
         assert!(shard_report(&snapshot()).is_none());
+    }
+
+    #[test]
+    fn fault_report_summarizes_lifecycle() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("run", "degraded", 1);
+        snap.push_counter("fault", "injected", 10);
+        snap.push_counter("fault", "detected", 8);
+        snap.push_counter("fault", "recovered", 6);
+        snap.push_counter("fault", "escalated", 1);
+        snap.push_counter("fault", "held_flits", 3);
+        let text = fault_report(&snap).expect("fault plane present");
+        assert!(text.contains("DEGRADED"));
+        assert!(text.contains("injected     10"));
+        assert!(text.contains("escalated    1"));
+        assert!(text.contains("recovery     75.0%"));
+        // No fault plane → no report.
+        assert!(fault_report(&snapshot()).is_none());
+        // A clean fault-enabled run reports complete.
+        let mut clean = MetricsSnapshot::new();
+        clean.push_counter("run", "degraded", 0);
+        clean.push_counter("fault", "injected", 0);
+        assert!(fault_report(&clean).unwrap().contains("complete"));
     }
 
     #[test]

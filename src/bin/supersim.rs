@@ -42,6 +42,8 @@ struct Args {
     trace_path: Option<PathBuf>,
     engine: Option<String>,
     shards: Option<u64>,
+    faults: Option<f64>,
+    watchdog_ticks: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_path = None;
     let mut engine = None;
     let mut shards = None;
+    let mut faults = None;
+    let mut watchdog_ticks = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -88,10 +92,28 @@ fn parse_args() -> Result<Args, String> {
                 }
                 shards = Some(n);
             }
+            "--faults" => {
+                let r = it.next().ok_or("--faults needs a bit-error rate")?;
+                let r: f64 = r
+                    .parse()
+                    .map_err(|_| format!("--faults must be a probability, got {r:?}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--faults must be in [0, 1], got {r}"));
+                }
+                faults = Some(r);
+            }
+            "--watchdog-ticks" => {
+                let n = it.next().ok_or("--watchdog-ticks needs a tick count")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--watchdog-ticks must be an integer, got {n:?}"))?;
+                watchdog_ticks = Some(n);
+            }
             "--help" | "-h" => {
                 return Err("usage: supersim <config.json> [path=type=value ...] \
                             [--log <file> | --no-log] [--metrics <file>] [--trace <file>] \
-                            [--engine sequential|sharded] [--shards <n>]"
+                            [--engine sequential|sharded] [--shards <n>] \
+                            [--faults <bit-error-rate>] [--watchdog-ticks <n>]"
                     .to_string())
             }
             a if a.contains('=') => overrides.push(a.to_string()),
@@ -108,6 +130,8 @@ fn parse_args() -> Result<Args, String> {
         trace_path,
         engine,
         shards,
+        faults,
+        watchdog_ticks,
     })
 }
 
@@ -149,6 +173,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(rate) = args.faults {
+        let enabled = cfg.set_path("fault.enabled", config::Value::Bool(true));
+        let ber = cfg.set_path("fault.bit_error_rate", config::Value::Float(rate));
+        if enabled.is_err() || ber.is_err() {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(n) = args.watchdog_ticks {
+        if cfg
+            .set_path("watchdog.ticks", config::Value::Int(n as i64))
+            .is_err()
+        {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let sim = match SuperSim::from_config(&cfg) {
         Ok(s) => s,
@@ -164,20 +205,28 @@ fn main() -> ExitCode {
         sim.topology().num_routers()
     );
     let started = std::time::Instant::now();
-    let out = match sim.run() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("supersim: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!(
-        "supersim: drained at tick {} — {} events in {:.2?} ({:.2} M events/s)",
-        out.engine.end_time.tick(),
-        out.engine.events_executed,
-        started.elapsed(),
-        out.engine.events_per_second() / 1e6
-    );
+    // A degraded run (deadlock, watchdog trip, model error) still flushes
+    // every requested output below — marked degraded in the metrics — and
+    // exits nonzero after printing the diagnostic snapshot.
+    let report = sim.run_report();
+    let out = &report.output;
+    match &report.error {
+        None => eprintln!(
+            "supersim: drained at tick {} — {} events in {:.2?} ({:.2} M events/s)",
+            out.engine.end_time.tick(),
+            out.engine.events_executed,
+            started.elapsed(),
+            out.engine.events_per_second() / 1e6
+        ),
+        Some(e) => eprintln!(
+            "supersim: DEGRADED after {} events in {:.2?}: {e}",
+            out.engine.events_executed,
+            started.elapsed(),
+        ),
+    }
+    if let Some(diag) = &report.diagnostic {
+        eprint!("supersim: {diag}");
+    }
     for (phase, tick) in &out.phase_times {
         eprintln!("supersim: phase {phase} at tick {tick}");
     }
@@ -226,6 +275,9 @@ fn main() -> ExitCode {
             path.display(),
             trace.lines().count()
         );
+    }
+    if report.error.is_some() {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

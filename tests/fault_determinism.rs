@@ -1,0 +1,245 @@
+//! The fault-plane contract: fault injection is part of the simulation,
+//! not an observer of it — so for one `(configuration, seed)` the fault
+//! schedule (which flits corrupt, which credits vanish, which links blip)
+//! is bit-identical across the sequential and sharded engines at any
+//! shard count. On top of that schedule, link-level retransmission must
+//! deliver every packet exactly once, and when recovery is impossible the
+//! no-progress watchdog must convert the hang into a typed error plus a
+//! diagnostic snapshot.
+
+use supersim::config::Value;
+use supersim::core::{presets, RunOutput, SimError, SuperSim};
+use supersim::stats::{MetricSample, MetricValue};
+
+fn with_engine(cfg: &Value, kind: &str, shards: u64) -> Value {
+    let mut cfg = cfg.clone();
+    cfg.set_path("engine.kind", Value::Str(kind.into()))
+        .expect("object");
+    cfg.set_path("engine.shards", Value::Int(shards as i64))
+        .expect("object");
+    cfg
+}
+
+fn with_faults(cfg: &Value, seed: u64, bit_error_rate: f64) -> Value {
+    let mut cfg = cfg.clone();
+    cfg.set_path("seed", Value::Int(seed as i64)).expect("obj");
+    cfg.set_path("fault.enabled", Value::Bool(true))
+        .expect("obj");
+    cfg.set_path("fault.bit_error_rate", Value::Float(bit_error_rate))
+        .expect("obj");
+    cfg
+}
+
+fn run(cfg: &Value) -> RunOutput {
+    SuperSim::from_config(cfg)
+        .expect("build")
+        .run()
+        .expect("run")
+}
+
+/// The snapshot minus the partition-dependent scheduler planes: the part
+/// the determinism contract pins, now including the `fault` plane.
+fn stripped_samples(out: &RunOutput) -> Vec<MetricSample> {
+    out.metrics
+        .samples()
+        .iter()
+        .filter(|s| !s.component.starts_with("engine_shard_"))
+        .cloned()
+        .collect()
+}
+
+/// Only the fault-event lines of the flit trace.
+fn fault_trace(out: &RunOutput) -> String {
+    out.trace
+        .as_ref()
+        .expect("trace enabled")
+        .lines()
+        .filter(|l| l.contains("\"fault_"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn fault_counter(out: &RunOutput, name: &str) -> u64 {
+    match out.metrics.get("fault", name) {
+        Some(MetricValue::Counter(v)) => *v,
+        other => panic!("fault/{name}: expected counter, got {other:?}"),
+    }
+}
+
+/// Two topology families from different factory branches; both small
+/// enough that the grid below stays fast.
+fn topologies() -> Vec<(&'static str, Value)> {
+    vec![
+        ("hyperx", presets::quickstart()),
+        (
+            "flatbfly",
+            presets::credit_accounting(4, 4, "both", "vc", "uniform_random", 3, 1, 0.3, 20),
+        ),
+    ]
+}
+
+#[test]
+fn fault_schedule_is_identical_across_engines() {
+    for (name, base) in topologies() {
+        for seed in [1u64, 0x5eed, 0xFA17] {
+            let mut cfg = with_faults(&base, seed, 4e-3);
+            cfg.set_path("observability.trace.enabled", Value::Bool(true))
+                .expect("obj");
+            cfg.set_path("observability.trace.capacity", Value::Int(1 << 16))
+                .expect("obj");
+            let seq = run(&with_engine(&cfg, "sequential", 1));
+            // A fault-determinism test proves nothing on a quiet run.
+            assert!(
+                fault_counter(&seq, "injected") > 0,
+                "{name} seed={seed:#x}: no faults injected — raise the rate"
+            );
+            let seq_faults = fault_trace(&seq);
+            let seq_samples = stripped_samples(&seq);
+            for shards in [2u64, 4] {
+                let sh = run(&with_engine(&cfg, "sharded", shards));
+                let label = format!("{name} seed={seed:#x} shards={shards}");
+                assert_eq!(
+                    seq_faults,
+                    fault_trace(&sh),
+                    "fault-event trace diverged: {label}"
+                );
+                assert_eq!(seq.trace, sh.trace, "full trace diverged: {label}");
+                assert_eq!(
+                    seq_samples,
+                    stripped_samples(&sh),
+                    "metrics snapshot diverged: {label}"
+                );
+                assert_eq!(
+                    seq.log.to_text(),
+                    sh.log.to_text(),
+                    "sample log diverged: {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn retransmission_delivers_every_packet_exactly_once() {
+    // Property-style sweep: across seeds and bit-error rates spanning the
+    // acceptance floor (1e-3) and beyond, every flit sent is received
+    // exactly once — duplicates would make received exceed sent, loss
+    // would wedge the drain — and nothing escalates.
+    let base = presets::quickstart();
+    let mut detected_total = 0u64;
+    for seed in [2u64, 33, 0xBEEF] {
+        for ber in [1e-4, 1e-3, 5e-3, 2e-2] {
+            let out = run(&with_faults(&base, seed, ber));
+            let label = format!("seed={seed} ber={ber}");
+            assert_eq!(
+                out.counters.flits_sent, out.counters.flits_received,
+                "flits duplicated or lost: {label}"
+            );
+            assert_eq!(
+                out.counters.messages_sent, out.counters.messages_received,
+                "messages duplicated or lost: {label}"
+            );
+            assert!(out.packets_delivered() > 0, "no samples: {label}");
+            assert_eq!(
+                fault_counter(&out, "escalated"),
+                0,
+                "retries exhausted: {label}"
+            );
+            assert_eq!(
+                fault_counter(&out, "held_flits"),
+                0,
+                "flits still parked in retransmission holds: {label}"
+            );
+            detected_total += fault_counter(&out, "detected");
+        }
+    }
+    assert!(detected_total > 0, "sweep never exercised a retransmission");
+}
+
+#[test]
+fn total_credit_loss_trips_the_watchdog() {
+    // Destroying every returning credit wedges the network: buffers fill,
+    // injection stalls, and the interfaces burn wake events forever
+    // without delivering a flit. The watchdog must cut that off — on both
+    // engines, at the same simulated time.
+    let mut cfg = presets::quickstart();
+    cfg.set_path("fault.enabled", Value::Bool(true))
+        .expect("obj");
+    cfg.set_path("fault.credit_loss_rate", Value::Float(1.0))
+        .expect("obj");
+    cfg.set_path("watchdog.ticks", Value::Int(1000))
+        .expect("obj");
+    let mut trips = Vec::new();
+    for (kind, shards) in [("sequential", 1u64), ("sharded", 2)] {
+        let report = SuperSim::from_config(&with_engine(&cfg, kind, shards))
+            .expect("build")
+            .run_report();
+        let err = report.error.as_ref().expect("run must degrade");
+        let (tick, last_progress) = match err {
+            SimError::Watchdog {
+                tick,
+                last_progress,
+            } => (*tick, *last_progress),
+            other => panic!("{kind}: expected watchdog trip, got {other}"),
+        };
+        assert!(
+            tick > last_progress,
+            "{kind}: trip tick {tick} not past last progress {last_progress}"
+        );
+        let diag = report.diagnostic.as_ref().expect("diagnostic snapshot");
+        assert_eq!(diag.last_progress, Some(last_progress));
+        assert!(
+            diag.routers.iter().any(|r| {
+                r.buffered_flits > 0 || r.credits.iter().any(|&(avail, cap)| avail < cap)
+            }),
+            "{kind}: snapshot shows no stuck state"
+        );
+        // Graceful degradation: the partial output is still assembled and
+        // marked degraded.
+        assert!(matches!(
+            report.output.metrics.get("run", "degraded"),
+            Some(MetricValue::Counter(1))
+        ));
+        trips.push((tick, last_progress));
+    }
+    assert_eq!(trips[0], trips[1], "watchdog trip diverged across engines");
+}
+
+#[test]
+fn clean_runs_are_unmarked_and_fault_free_runs_have_no_fault_plane() {
+    let out = run(&presets::quickstart());
+    assert!(matches!(
+        out.metrics.get("run", "degraded"),
+        Some(MetricValue::Counter(0))
+    ));
+    // The fault plane is pay-for-what-you-use: disabled runs do not even
+    // register the metrics plane.
+    assert!(out.metrics.get("fault", "injected").is_none());
+}
+
+#[test]
+fn scheduled_outage_recovers_and_is_deterministic() {
+    // A finite scheduled outage on one router link: flits sent into the
+    // outage are dropped and retransmitted after it lifts, so the run
+    // still completes with exactly-once delivery.
+    let mut cfg = presets::quickstart();
+    cfg.set_path("fault.enabled", Value::Bool(true))
+        .expect("obj");
+    cfg.set_path(
+        "fault.outages",
+        Value::Array(vec![{
+            let mut o = Value::object();
+            o.set_path("router", Value::Int(0)).expect("obj");
+            o.set_path("port", Value::Int(4)).expect("obj");
+            o.set_path("start", Value::Int(250)).expect("obj");
+            o.set_path("end", Value::Int(400)).expect("obj");
+            o
+        }]),
+    )
+    .expect("obj");
+    let seq = run(&with_engine(&cfg, "sequential", 1));
+    assert_eq!(seq.counters.flits_sent, seq.counters.flits_received);
+    let sh = run(&with_engine(&cfg, "sharded", 2));
+    assert_eq!(stripped_samples(&seq), stripped_samples(&sh));
+    assert_eq!(seq.log.to_text(), sh.log.to_text());
+}

@@ -17,6 +17,10 @@ fn every_shipped_config_runs() {
         "clos_adaptive.json",
         "dragonfly_ugal.json",
         "included_demo.json",
+        // deadlock_2router.json is deliberately absent: it exists to trip
+        // the watchdog (see fault_determinism.rs and the tier1-faults CI
+        // job) and never completes cleanly.
+        "fault_smoke.json",
     ] {
         let mut cfg = load(name);
         // Keep CI fast: shrink the sample counts, keep everything else.
@@ -55,4 +59,22 @@ fn listing_1_overrides_apply_to_shipped_configs() {
     assert_eq!(sim.topology().num_terminals(), 8); // 4 routers x 2
     let out = sim.run().expect("run");
     assert!(out.packets_delivered() >= 8 * 10);
+}
+
+#[test]
+fn shipped_deadlock_config_trips_the_watchdog() {
+    // The one shipped config that must NOT complete: total credit loss
+    // wedges the 2-router network and the watchdog converts the hang into
+    // a typed error plus diagnostic within its tick window.
+    let cfg = load("deadlock_2router.json");
+    let report = SuperSim::from_config(&cfg).expect("build").run_report();
+    assert!(
+        matches!(
+            report.error,
+            Some(supersim::core::SimError::Watchdog { .. })
+        ),
+        "expected watchdog trip, got {:?}",
+        report.error
+    );
+    assert!(report.diagnostic.is_some(), "no diagnostic snapshot");
 }
