@@ -13,7 +13,7 @@ use supersim_netbase::{
     TraceFilter, TraceKind,
 };
 use supersim_router::RouterPorts;
-use supersim_stats::MetricsRegistry;
+use supersim_stats::{ComponentSampler, MetricsRegistry};
 use supersim_topology::{partition_routers, ChannelClass, Topology};
 use supersim_workload::{Interface, InterfaceConfig, WorkloadMonitor};
 
@@ -33,6 +33,10 @@ pub(crate) struct Built {
     pub link_period: Tick,
     pub registry: MetricsRegistry,
     pub fault: Option<Arc<FaultPlane>>,
+    /// Sampling window width in ticks; zero = sampling disabled.
+    pub sample_interval: Tick,
+    /// Whether per-packet latency-attribution spans are enabled.
+    pub spans: bool,
 }
 
 /// Which execution backend to assemble.
@@ -187,6 +191,20 @@ fn fault_outages(cfg: &Value) -> Result<Vec<ScheduledOutage>, BuildError> {
     Ok(outages)
 }
 
+/// Parses the optional `sample` block: `sample.interval` is the window
+/// width in ticks (0 = disabled, the free-when-off default),
+/// `sample.capacity` the per-component ring size in windows.
+fn sample_config(cfg: &Value) -> Result<(Tick, usize), BuildError> {
+    let interval = cfg.opt_u64("sample.interval", 0)?;
+    let capacity = cfg.opt_u64("sample.capacity", 4096)?;
+    if interval > 0 && capacity == 0 {
+        return Err(BuildError::invalid(
+            "sample.capacity must be non-zero when sample.interval is set",
+        ));
+    }
+    Ok((interval, capacity as usize))
+}
+
 pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
     let seed = cfg.opt_u64("seed", 0x5eed)?;
     let tick_limit = cfg.opt_u64("tick_limit", 100_000_000)?;
@@ -254,6 +272,9 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
     let trace = trace_config(cfg)?;
     let fault = fault_config(cfg)?;
     let watchdog = cfg.opt_u64("watchdog.ticks", 0)?;
+    let (sample_interval, sample_capacity) = sample_config(cfg)?;
+    let spans_enabled = cfg.opt_bool("spans.enabled", false)?;
+    let spans_min_latency = cfg.opt_u64("spans.min_latency", 0)?;
     let mut registry = MetricsRegistry::new();
     registry.register("engine");
     for s in 0..num_shards {
@@ -286,7 +307,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         let terminal = TerminalId(t);
         let (router, port) = topology.terminal_attachment(terminal);
         let attached = router_cid(router.0)?;
-        let iface = Interface::new(InterfaceConfig {
+        let mut iface = Interface::new(InterfaceConfig {
             terminal,
             vcs,
             to_router: LinkTarget::new(attached, port, lat_terminal),
@@ -299,6 +320,11 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
             terminals: apps.iter().map(|a| a.create_terminal(terminal)).collect(),
             fault: fault.clone(),
         });
+        if sample_interval > 0 {
+            iface.sampler = Some(ComponentSampler::new(sample_capacity));
+        }
+        iface.spans_enabled = spans_enabled;
+        iface.spans_min_latency = spans_min_latency;
         let id = sim.add_component(Box::new(iface));
         debug_assert_eq!(id, iface_cid(t)?);
         interface_ids.push(id);
@@ -353,6 +379,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
             config: router_cfg,
             link_period,
             fault: fault.clone(),
+            sampler: (sample_interval > 0).then_some(sample_capacity),
         };
         let id = sim.add_component(factories.routers.build(arch, ctx)?);
         debug_assert_eq!(id, router_cid(r)?);
@@ -395,6 +422,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         Box::new(sim)
     };
     engine.set_watchdog(watchdog);
+    engine.set_sampler(sample_interval);
 
     Ok(Built {
         engine,
@@ -406,5 +434,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         link_period,
         registry,
         fault,
+        sample_interval,
+        spans: spans_enabled,
     })
 }

@@ -9,6 +9,7 @@ use supersim_router::{
     CongestionGranularity, CongestionSource, FlowControl, IoqConfig, IoqRouter, IqConfig, IqRouter,
     OqConfig, OqRouter, SensorConfig,
 };
+use supersim_stats::ComponentSampler;
 use supersim_topology::{
     AdaptiveTorusRouting, DimOrderRouting, Dragonfly, DragonflyMode, DragonflyRouting, FoldedClos,
     HyperX, HyperXMode, HyperXRouting, RoutingAlgorithm, Torus, UpDownMode, UpDownRouting,
@@ -222,7 +223,7 @@ fn register_routers(f: &mut Factories) {
             Some(v) if v.as_str() == Some("infinite") => None,
             Some(_) => Some(cfg.req_u64("output_queue")? as u32),
         };
-        let router = OqRouter::new(OqConfig {
+        let mut router = OqRouter::new(OqConfig {
             id: ctx.id,
             ports: ctx.ports,
             input_buffer: cfg.req_u64("input_buffer")? as u32,
@@ -234,12 +235,13 @@ fn register_routers(f: &mut Factories) {
             routing: ctx.routing,
             fault: ctx.fault.clone(),
         })?;
+        router.sampler = ctx.sampler.map(ComponentSampler::new);
         Ok(Box::new(router) as Box<dyn Component<Ev>>)
     });
 
     f.routers.register("input_queued", |ctx: RouterCtx<'_>| {
         let cfg = ctx.config;
-        let router = IqRouter::new(IqConfig {
+        let mut router = IqRouter::new(IqConfig {
             id: ctx.id,
             ports: ctx.ports,
             input_buffer: cfg.req_u64("input_buffer")? as u32,
@@ -252,13 +254,14 @@ fn register_routers(f: &mut Factories) {
             routing: ctx.routing,
             fault: ctx.fault.clone(),
         })?;
+        router.sampler = ctx.sampler.map(ComponentSampler::new);
         Ok(Box::new(router) as Box<dyn Component<Ev>>)
     });
 
     f.routers
         .register("input_output_queued", |ctx: RouterCtx<'_>| {
             let cfg = ctx.config;
-            let router = IoqRouter::new(IoqConfig {
+            let mut router = IoqRouter::new(IoqConfig {
                 id: ctx.id,
                 ports: ctx.ports,
                 input_buffer: cfg.req_u64("input_buffer")? as u32,
@@ -272,6 +275,7 @@ fn register_routers(f: &mut Factories) {
                 routing: ctx.routing,
                 fault: ctx.fault.clone(),
             })?;
+            router.sampler = ctx.sampler.map(ComponentSampler::new);
             Ok(Box::new(router) as Box<dyn Component<Ev>>)
         });
 }

@@ -138,6 +138,9 @@ pub struct RouterCtx<'a> {
     pub link_period: Tick,
     /// Shared fault plane; `None` disables fault injection entirely.
     pub fault: Option<Arc<FaultPlane>>,
+    /// Window ring capacity when the sampling plane is armed; `None`
+    /// disables sampling (constructors leave the router's sampler unset).
+    pub sampler: Option<usize>,
 }
 
 /// Everything an application constructor receives besides its own block.

@@ -7,9 +7,12 @@ use supersim_des::{ComponentId, Engine, RunOutcome, RunStats, Tick};
 use supersim_netbase::{trace_json_lines, Ev, FaultCounters, LinkFaults, Phase};
 use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterMetrics};
 use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
-use supersim_stats::{Filter, Histogram, MetricValue, MetricsSnapshot, RecordKind, SampleLog};
+use supersim_stats::{
+    fold_windows, timeseries_json_lines, ComponentSampler, Filter, FoldedWindow, Histogram,
+    MetricValue, MetricsSnapshot, RecordKind, SampleLog,
+};
 use supersim_topology::Topology;
-use supersim_workload::{Interface, InterfaceCounters};
+use supersim_workload::{Interface, InterfaceCounters, SpanMetrics, SpanRecord};
 
 use crate::builder::{build, Built};
 use crate::error::{BuildError, SimError};
@@ -94,6 +97,8 @@ impl SuperSim {
         let mut queue_depth_now = 0u64;
         let mut queue_depth_high = 0u64;
         let mut phase_latency = [Histogram::new(); 4];
+        let mut span_metrics = SpanMetrics::default();
+        let mut span_records: Vec<SpanRecord> = Vec::new();
         for &id in &self.built.interfaces {
             let iface = self
                 .built
@@ -123,7 +128,12 @@ impl SuperSim {
             {
                 agg.merge(h);
             }
+            span_metrics.merge(&iface.metrics.spans);
+            span_records.extend(iface.span_log.iter().copied());
         }
+        // Per-packet records sort by (recv, packet): a total order that is
+        // engine-independent, unlike interface iteration order vs. time.
+        span_records.sort_by_key(|r| (r.recv, r.packet));
 
         // --- metrics snapshot (assembled on demand, paper-style) -------
         // The `engine` plane holds only values the determinism contract
@@ -187,6 +197,11 @@ impl SuperSim {
                 &format!("packet_latency_{phase}"),
                 &phase_latency[phase.index()],
             );
+        }
+        if self.built.spans {
+            for (name, h) in span_metrics.named() {
+                metrics.push_histogram("workload", &format!("span_{name}"), h);
+            }
         }
 
         for (r, &id) in self.built.routers.iter().enumerate() {
@@ -276,6 +291,32 @@ impl SuperSim {
             metrics.push_counter("fault", "held_flits", *held);
         }
 
+        // --- windowed time-series fold ---------------------------------
+        // Component rings are gathered in a fixed order (interfaces, then
+        // routers, by index), but the fold itself is order-independent:
+        // every per-window merge is commutative integer arithmetic, so the
+        // emitted JSON-lines are byte-identical across engines and shard
+        // counts.
+        let folded = (self.built.sample_interval > 0).then(|| {
+            let mut samplers: Vec<&ComponentSampler> = Vec::new();
+            for &id in &self.built.interfaces {
+                if let Some(s) = engine
+                    .component_as::<Interface>(id)
+                    .and_then(|i| i.sampler.as_ref())
+                {
+                    samplers.push(s);
+                }
+            }
+            for &id in &self.built.routers {
+                if let Some(s) = router_sampler(engine, id) {
+                    samplers.push(s);
+                }
+            }
+            fold_windows(samplers)
+        });
+        let timeseries = folded.as_deref().map(timeseries_json_lines);
+        let spans_dump = self.built.spans.then(|| spans_json_lines(&span_records));
+
         // --- diagnostic snapshot of a degraded run ---------------------
         let diagnostic = error.as_ref().map(|_| {
             let last_progress = match &stats.outcome {
@@ -311,6 +352,8 @@ impl SuperSim {
                     .collect(),
                 routers,
                 fault: fault_summary.map(|(agg, _)| agg),
+                last_window: folded.as_ref().and_then(|f| f.last().cloned()),
+                spans: self.built.spans.then(|| span_metrics.clone()),
             }
         });
 
@@ -324,6 +367,8 @@ impl SuperSim {
             link_period: self.built.link_period,
             metrics,
             trace,
+            timeseries,
+            spans: spans_dump,
         };
         RunReport {
             output,
@@ -360,6 +405,48 @@ fn router_faults(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&LinkFaults
         return r.fault.as_ref();
     }
     None
+}
+
+/// The window-sampler ring of a built-in router architecture, found by
+/// downcast. Custom router components contribute no `router.*` series.
+fn router_sampler(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&ComponentSampler> {
+    if let Some(r) = engine.component_as::<IqRouter>(id) {
+        return r.sampler.as_ref();
+    }
+    if let Some(r) = engine.component_as::<OqRouter>(id) {
+        return r.sampler.as_ref();
+    }
+    if let Some(r) = engine.component_as::<IoqRouter>(id) {
+        return r.sampler.as_ref();
+    }
+    None
+}
+
+/// Serializes per-packet span records as deterministic JSON-lines, one
+/// packet per line, integer fields only.
+fn spans_json_lines(records: &[SpanRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in records {
+        let b = &r.breakdown;
+        let _ = writeln!(
+            out,
+            "{{\"packet\":{},\"src\":{},\"dst\":{},\"recv\":{},\"total\":{},\"queueing\":{},\
+             \"alloc\":{},\"serialization\":{},\"channel\":{},\"credit\":{},\"residual\":{}}}",
+            r.packet,
+            r.src,
+            r.dst,
+            r.recv,
+            b.total,
+            b.queueing,
+            b.alloc,
+            b.serialization,
+            b.channel,
+            b.credit,
+            b.residual,
+        );
+    }
+    out
 }
 
 /// Buffer occupancy and per-`(port, vc)` credit state of a built-in
@@ -425,6 +512,11 @@ pub struct DiagnosticSnapshot {
     pub routers: Vec<RouterDiag>,
     /// Aggregate fault counters, when the fault plane was enabled.
     pub fault: Option<FaultCounters>,
+    /// The last complete sample window, when the sampling plane was
+    /// armed — what the network looked like just before the run ended.
+    pub last_window: Option<FoldedWindow>,
+    /// Aggregate span histograms, when latency attribution was enabled.
+    pub spans: Option<SpanMetrics>,
 }
 
 /// One router's state in a [`DiagnosticSnapshot`].
@@ -455,6 +547,29 @@ impl std::fmt::Display for DiagnosticSnapshot {
                 "  faults: {} injected, {} detected, {} recovered, {} escalated",
                 fc.injected, fc.detected, fc.recovered, fc.escalated
             )?;
+        }
+        if let Some(w) = &self.last_window {
+            let sum = |name: &str| w.get(name).map_or(0, |a| a.sum());
+            writeln!(
+                f,
+                "  last window (edge {}): {} offered, {} accepted, {} buffered, {} credit stalls",
+                w.edge,
+                sum("iface.offered_flits"),
+                sum("iface.accepted_flits"),
+                sum("router.buffered_flits"),
+                sum("router.credit_stalls")
+            )?;
+        }
+        if let Some(s) = &self.spans {
+            let total = &s.total;
+            if total.count() > 0 {
+                writeln!(
+                    f,
+                    "  spans: {} packets attributed, mean latency {} ticks",
+                    total.count(),
+                    total.sum() / total.count()
+                )?;
+            }
         }
         for r in &self.routers {
             let missing: u32 = r.credits.iter().map(|&(avail, cap)| cap - avail).sum();
@@ -494,6 +609,12 @@ pub struct RunOutput {
     pub metrics: MetricsSnapshot,
     /// JSON-lines flit trace, when `observability.trace.enabled` was set.
     pub trace: Option<String>,
+    /// JSON-lines windowed time-series, when `sample.interval` was set.
+    /// One line per closed window edge; byte-identical across engines.
+    pub timeseries: Option<String>,
+    /// JSON-lines per-packet latency spans, when `spans.enabled` was
+    /// set, sorted by `(recv, packet)`.
+    pub spans: Option<String>,
 }
 
 impl RunOutput {

@@ -10,6 +10,7 @@ use std::any::Any;
 use std::fmt;
 
 use crate::engine::Context;
+use crate::time::Tick;
 
 /// Identifier of a component registered with a
 /// [`Simulator`](crate::Simulator).
@@ -82,6 +83,20 @@ pub trait Component<E>: Any + Send {
 
     /// Processes one event addressed to this component.
     fn handle(&mut self, ctx: &mut Context<'_, E>, event: E);
+
+    /// Closes one sampling window at the window edge `edge` (a multiple
+    /// of the interval armed via
+    /// [`Engine::set_sampler`](crate::Engine::set_sampler)).
+    ///
+    /// The engine guarantees that every event with a tick strictly below
+    /// `edge` has executed and no event at or beyond `edge` has, so the
+    /// component's state is exactly its state at the window boundary —
+    /// on every backend and shard count. Components that participate in
+    /// the time-series plane snapshot their counters here; the default
+    /// is a no-op so ordinary components ignore sampling entirely.
+    fn sample(&mut self, edge: Tick) {
+        let _ = edge;
+    }
 
     /// Upcast for post-run inspection.
     fn as_any(&self) -> &dyn Any;

@@ -194,6 +194,15 @@ pub struct EngineMetrics {
     pub overflow_len: usize,
 }
 
+/// The first sampling-window edge strictly after `now`: edges lie at
+/// `k * interval` for `k = 1, 2, …` (saturating, so an absurdly large
+/// interval simply never fires).
+#[inline]
+pub(crate) fn next_edge_after(now: Tick, interval: Tick) -> Tick {
+    debug_assert!(interval > 0, "sampler must be armed");
+    (now / interval).saturating_add(1).saturating_mul(interval)
+}
+
 /// Log₂ bucket index shared with the stats crate's histogram: 0 → 0,
 /// otherwise `64 - leading_zeros(v)`.
 #[inline]
@@ -440,6 +449,19 @@ pub trait Engine<E: 'static>: fmt::Debug {
     /// pure function of the deterministic event stream, so the trip tick
     /// is identical on every backend and shard count.
     fn set_watchdog(&mut self, window: Tick);
+
+    /// Arms the windowed sampler: before executing the first generation
+    /// at or past each window edge `k * interval` (`k = 1, 2, …`), the
+    /// engine calls [`Component::sample`] with that edge on every
+    /// component. Edges are crossed in order and each exactly once, even
+    /// when a single generation jumps several windows; a run that ends
+    /// mid-window never closes the trailing partial window. The edge
+    /// sequence is a pure function of the global generation sequence, so
+    /// sampling is identical on every backend and shard count (each shard
+    /// samples its own components at the barrier round covering the
+    /// edge). `interval = 0` disarms the sampler; the disabled path costs
+    /// one branch per generation.
+    fn set_sampler(&mut self, interval: Tick);
 
     /// Enables trace collection into a ring of `capacity` records
     /// matching `spec`. Replaces any previous trace state.

@@ -47,8 +47,8 @@ use std::time::Instant;
 
 use crate::component::{Component, ComponentId};
 use crate::engine::{
-    flush_trace, Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats, SinkRef,
-    Stamped, TaggedTrace, TraceSink, EXTERNAL_SRC,
+    flush_trace, next_edge_after, Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats,
+    SinkRef, Stamped, TaggedTrace, TraceSink, EXTERNAL_SRC,
 };
 use crate::event::{EventEntry, EventQueue};
 use crate::rng::Rng;
@@ -185,6 +185,8 @@ pub struct ShardedEngine<E> {
     trace: Option<TraceState>,
     /// No-progress watchdog window in ticks; 0 = disarmed.
     watchdog: Tick,
+    /// Sampling window width in ticks; 0 = disarmed.
+    sample_interval: Tick,
     /// Tick of the last globally agreed progress report.
     last_progress: Tick,
 }
@@ -249,6 +251,7 @@ impl<E: Send + 'static> SequentialEngine<E> {
             ext_seq: self.ext_seq,
             trace: self.trace.take(),
             watchdog: self.watchdog,
+            sample_interval: self.sample_interval,
             last_progress: self.last_progress,
         }
     }
@@ -289,6 +292,7 @@ impl<E: Send + 'static> ShardedEngine<E> {
             .map(|_| Mutex::new((None, self.last_progress)))
             .collect();
         let watchdog = self.watchdog;
+        let sample_interval = self.sample_interval;
         let start_progress = self.last_progress;
         // outboxes[dst][src]: receivers drain in sender order.
         type Outbox<E> = Mutex<Vec<(ComponentId, Time, Stamped<E>)>>;
@@ -332,6 +336,12 @@ impl<E: Send + 'static> ShardedEngine<E> {
                     let mut merge_scratch: Vec<TaggedTrace> = Vec::new();
                     let mut batch = std::mem::take(&mut shard.batch);
                     let mut local_progress = start_progress;
+                    // Every shard advances its edge cursor from the same
+                    // global `m` sequence, so all cursors stay in lockstep
+                    // and together the shards sample exactly the component
+                    // set the sequential engine would.
+                    let mut next_edge = (sample_interval > 0)
+                        .then(|| next_edge_after(start_now.tick(), sample_interval));
                     // Assigned by the phase-2 fold before every loop exit.
                     let mut global_progress;
                     let outcome = loop {
@@ -363,6 +373,20 @@ impl<E: Send + 'static> ShardedEngine<E> {
                         }
                         if watchdog > 0 && m.tick().saturating_sub(global_progress) > watchdog {
                             break WorkerOutcome::Watchdog;
+                        }
+                        // This barrier round covers any window edges up to
+                        // `m`: every event below the edge executed in an
+                        // earlier round, so each shard closes the window
+                        // over its own components before generation `m`
+                        // runs — the per-shard half of the sequential
+                        // engine's pre-generation sweep.
+                        while let Some(edge) = next_edge.filter(|&e| e <= m.tick()) {
+                            for slot in shard.components.iter_mut() {
+                                if let Some(c) = slot.as_deref_mut() {
+                                    c.sample(edge);
+                                }
+                            }
+                            next_edge = edge.checked_add(sample_interval);
                         }
                         local_now = m;
 
@@ -535,6 +559,14 @@ impl<E: Send + 'static> ShardedEngine<E> {
         self.watchdog = window;
     }
 
+    /// Arms the windowed sampler (see [`Engine::set_sampler`]). Each
+    /// shard samples its own components when the barrier round covering
+    /// a window edge begins, so the union across shards is exactly the
+    /// sequential engine's pre-generation sweep.
+    pub fn set_sampler(&mut self, interval: Tick) {
+        self.sample_interval = interval;
+    }
+
     fn owner_of(&self, id: ComponentId) -> Option<usize> {
         self.shard_of.get(id.index()).map(|&s| s as usize)
     }
@@ -591,6 +623,10 @@ impl<E: Send + 'static> Engine<E> for ShardedEngine<E> {
 
     fn set_watchdog(&mut self, window: Tick) {
         ShardedEngine::set_watchdog(self, window);
+    }
+
+    fn set_sampler(&mut self, interval: Tick) {
+        ShardedEngine::set_sampler(self, interval);
     }
 
     fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {

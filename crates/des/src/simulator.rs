@@ -13,8 +13,8 @@ use std::time::Instant;
 
 use crate::component::{Component, ComponentId};
 use crate::engine::{
-    flush_trace, log2_bucket, Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats,
-    SinkRef, Stamped, TaggedTrace, TraceSink, BATCH_BUCKETS, EXTERNAL_SRC,
+    flush_trace, log2_bucket, next_edge_after, Context, Engine, EngineMetrics, EventStamp,
+    RunOutcome, RunStats, SinkRef, Stamped, TaggedTrace, TraceSink, BATCH_BUCKETS, EXTERNAL_SRC,
 };
 use crate::event::{EventEntry, EventQueue};
 use crate::rng::Rng;
@@ -50,6 +50,8 @@ pub struct SequentialEngine<E> {
     pub(crate) trace: Option<TraceState>,
     /// No-progress watchdog window in ticks; 0 = disarmed.
     pub(crate) watchdog: Tick,
+    /// Sampling window width in ticks; 0 = disarmed.
+    pub(crate) sample_interval: Tick,
     /// Tick of the last [`Context::progress`] report.
     pub(crate) last_progress: Tick,
     events_executed: u64,
@@ -77,6 +79,7 @@ impl<E: 'static> SequentialEngine<E> {
             ext_seq: 0,
             trace: None,
             watchdog: 0,
+            sample_interval: 0,
             last_progress: 0,
             events_executed: 0,
             batches: 0,
@@ -149,6 +152,11 @@ impl<E: 'static> SequentialEngine<E> {
         self.watchdog = window;
     }
 
+    /// Arms the windowed sampler (see [`Engine::set_sampler`]).
+    pub fn set_sampler(&mut self, interval: Tick) {
+        self.sample_interval = interval;
+    }
+
     /// Enables trace collection (see [`Engine::set_trace`]).
     pub fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {
         self.trace = Some(TraceState {
@@ -208,6 +216,11 @@ impl<E: 'static> SequentialEngine<E> {
         let mut batch = std::mem::take(&mut self.batch);
         let mut scratch = std::mem::take(&mut self.trace_scratch);
         let trace_spec = self.trace.as_ref().map(|t| t.spec);
+        // The next window edge is a pure function of (now, interval), so a
+        // paused-and-resumed run samples exactly the edges a continuous run
+        // would: every edge up to `now` was crossed before `now` advanced.
+        let mut next_edge = (self.sample_interval > 0)
+            .then(|| next_edge_after(self.now.tick(), self.sample_interval));
         let outcome = 'run: loop {
             // No-progress watchdog: trips when the next runnable event
             // lies more than `watchdog` ticks past the last progress
@@ -232,6 +245,17 @@ impl<E: 'static> SequentialEngine<E> {
                 };
             };
             debug_assert!(next_time >= self.now, "event queue went backwards");
+            // Window edges crossed by this generation close before any of
+            // its events run: everything below the edge has executed,
+            // nothing at or past it has (see `Engine::set_sampler`).
+            while let Some(edge) = next_edge.filter(|&e| e <= next_time.tick()) {
+                for slot in self.components.iter_mut() {
+                    if let Some(c) = slot.as_deref_mut() {
+                        c.sample(edge);
+                    }
+                }
+                next_edge = edge.checked_add(self.sample_interval);
+            }
             self.now = next_time;
             if batch.len() > 1 {
                 // Canonical generation order (see the engine module docs):
@@ -363,6 +387,10 @@ impl<E: 'static> Engine<E> for SequentialEngine<E> {
 
     fn set_watchdog(&mut self, window: Tick) {
         SequentialEngine::set_watchdog(self, window);
+    }
+
+    fn set_sampler(&mut self, interval: Tick) {
+        SequentialEngine::set_sampler(self, interval);
     }
 
     fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {

@@ -37,6 +37,155 @@ pub struct PacketInfo {
     pub sample: bool,
 }
 
+/// Per-flit latency attribution carried across phase boundaries the flit
+/// already crosses: injection enqueue, switch-allocation grant,
+/// serialization start, channel traversal, credit-stall resume, and
+/// ejection.
+///
+/// The five accumulators partition the flit's end-to-end latency into the
+/// waiting it did at each kind of resource. Every attribution interval is
+/// a sub-interval of the flit's disjoint residence segments, so in a
+/// fault-free run the components sum *exactly* to
+/// `eject_tick - enqueue_tick`; link-level retransmission delays (fault
+/// plane holds and replays) are the only unattributed time and surface as
+/// a non-negative residual in [`FlitSpan::breakdown`].
+///
+/// Spans ride on the flit behind an `Option<Box<_>>`: the disabled path
+/// is a null-pointer check per touch point, exactly like the fault and
+/// trace planes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlitSpan {
+    /// Tick the flit entered the source interface queue.
+    pub enqueue: Tick,
+    /// Start of the current residence segment (last arrival).
+    pub arrive: Tick,
+    /// Tick the flit was first seen blocked on a zero-credit output at
+    /// the current router, if it is currently credit-stalled.
+    pub stall_start: Option<Tick>,
+    /// Ticks spent waiting in the source interface queue.
+    pub queueing: Tick,
+    /// Ticks spent waiting for VC/switch allocation (router residence
+    /// minus credit stalls).
+    pub alloc: Tick,
+    /// Ticks spent traversing crossbars / router cores.
+    pub serialization: Tick,
+    /// Ticks spent traversing channels.
+    pub channel: Tick,
+    /// Ticks spent blocked on exhausted downstream credits.
+    pub credit: Tick,
+}
+
+impl FlitSpan {
+    /// A fresh span for a flit enqueued at `now`.
+    pub fn new(now: Tick) -> Self {
+        FlitSpan {
+            enqueue: now,
+            arrive: now,
+            stall_start: None,
+            queueing: 0,
+            alloc: 0,
+            serialization: 0,
+            channel: 0,
+            credit: 0,
+        }
+    }
+
+    /// The flit leaves the source interface queue at `now` onto a channel
+    /// of `link` ticks: the wait since enqueue was queueing.
+    #[inline]
+    pub fn inject(&mut self, now: Tick, link: Tick) {
+        self.queueing = self
+            .queueing
+            .saturating_add(now.saturating_sub(self.enqueue));
+        self.channel = self.channel.saturating_add(link);
+    }
+
+    /// The flit arrives at a router input at `now`: a new residence
+    /// segment begins.
+    #[inline]
+    pub fn enter(&mut self, now: Tick) {
+        self.arrive = now;
+        self.stall_start = None;
+    }
+
+    /// The switch allocator saw the flit blocked on a zero-credit output
+    /// at `now`. Only the first stall of a residence segment is kept: the
+    /// stall runs until the grant.
+    #[inline]
+    pub fn stall(&mut self, now: Tick) {
+        if self.stall_start.is_none() {
+            self.stall_start = Some(now);
+        }
+    }
+
+    /// Credits returned while the flit was credit-stalled: the stall
+    /// interval `stall_start..now` becomes credit wait, the pre-stall wait
+    /// `arrive..stall_start` becomes allocation wait, and a fresh
+    /// allocation segment begins at `now`. No-op if the flit was not
+    /// stalled.
+    #[inline]
+    pub fn resume(&mut self, now: Tick) {
+        if let Some(st) = self.stall_start.take() {
+            self.credit = self.credit.saturating_add(now.saturating_sub(st));
+            self.alloc = self.alloc.saturating_add(st.saturating_sub(self.arrive));
+            self.arrive = now;
+        }
+    }
+
+    /// Granted the crossbar at `now`, spending `switch` ticks in the
+    /// switch and `link` ticks on the outgoing channel. Splits the
+    /// residence `arrive..now` into allocation wait and credit stall
+    /// (closing any still-open stall first).
+    #[inline]
+    pub fn grant(&mut self, now: Tick, switch: Tick, link: Tick) {
+        self.resume(now);
+        self.alloc = self.alloc.saturating_add(now.saturating_sub(self.arrive));
+        self.serialization = self.serialization.saturating_add(switch);
+        self.channel = self.channel.saturating_add(link);
+    }
+
+    /// Decomposes the end-to-end latency of a flit ejected at `now`.
+    pub fn breakdown(&self, now: Tick) -> SpanBreakdown {
+        let total = now.saturating_sub(self.enqueue);
+        let attributed = self
+            .queueing
+            .saturating_add(self.alloc)
+            .saturating_add(self.serialization)
+            .saturating_add(self.channel)
+            .saturating_add(self.credit);
+        SpanBreakdown {
+            total,
+            queueing: self.queueing,
+            alloc: self.alloc,
+            serialization: self.serialization,
+            channel: self.channel,
+            credit: self.credit,
+            residual: total.saturating_sub(attributed),
+        }
+    }
+}
+
+/// A packet's end-to-end latency decomposed into component waits (built
+/// from the tail flit's [`FlitSpan`] at ejection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanBreakdown {
+    /// End-to-end latency: ejection tick minus enqueue tick.
+    pub total: Tick,
+    /// Source interface queue wait.
+    pub queueing: Tick,
+    /// VC/switch allocation wait.
+    pub alloc: Tick,
+    /// Crossbar / router core traversal.
+    pub serialization: Tick,
+    /// Channel traversal.
+    pub channel: Tick,
+    /// Credit-stall wait.
+    pub credit: Tick,
+    /// Unattributed time — zero in fault-free runs, retransmission holds
+    /// otherwise.
+    pub residual: Tick,
+}
+
 /// One flow control digit.
 ///
 /// Flits are cheap to clone: the packet metadata is behind an [`Arc`].
@@ -58,6 +207,9 @@ pub struct Flit {
     /// The fault plane flips bits here to model in-flight corruption;
     /// receivers verify with [`Flit::crc_ok`].
     pub crc: u16,
+    /// Latency-attribution stamps, `None` unless the span plane is
+    /// enabled (the source interface allocates one per flit at enqueue).
+    pub span: Option<Box<FlitSpan>>,
 }
 
 impl Flit {
@@ -170,6 +322,7 @@ impl PacketBuilder {
                 hops: 0,
                 inter: None,
                 crc: Flit::compute_crc(info.id.0, seq),
+                span: None,
             })
             .collect()
     }
@@ -239,6 +392,62 @@ mod tests {
         let mut bad = flits[0].clone();
         bad.crc ^= 1;
         assert!(!bad.crc_ok());
+    }
+
+    #[test]
+    fn span_telescopes_exactly() {
+        // enqueue 10, inject at 14 onto a 3-tick link, arrive 17, stall
+        // seen at 20 (re-seen at 22), credits back at 26, granted at 30
+        // through a 2-tick switch onto a 5-tick link, arrive 37, granted
+        // straight through onto a 1-tick ejection link, ejected at 38.
+        let mut s = FlitSpan::new(10);
+        s.inject(14, 3);
+        s.enter(17);
+        s.stall(20);
+        s.stall(22);
+        s.resume(26);
+        s.grant(30, 2, 5);
+        s.enter(37);
+        s.grant(37, 0, 1);
+        let b = s.breakdown(38);
+        assert_eq!(b.total, 28);
+        assert_eq!(b.queueing, 4);
+        assert_eq!(b.alloc, 7);
+        assert_eq!(b.serialization, 2);
+        assert_eq!(b.channel, 9);
+        assert_eq!(b.credit, 6);
+        assert_eq!(b.residual, 0);
+        assert_eq!(
+            b.queueing + b.alloc + b.serialization + b.channel + b.credit + b.residual,
+            b.total
+        );
+    }
+
+    #[test]
+    fn span_open_stall_closes_at_grant() {
+        let mut s = FlitSpan::new(0);
+        s.inject(0, 1);
+        s.enter(1);
+        s.stall(4);
+        s.grant(9, 1, 1);
+        let b = s.breakdown(11);
+        assert_eq!(b.alloc, 3);
+        assert_eq!(b.credit, 5);
+        assert_eq!(b.serialization, 1);
+        assert_eq!(b.channel, 2);
+        assert_eq!(b.residual, 0);
+        assert_eq!(b.total, 11);
+    }
+
+    #[test]
+    fn span_resume_without_stall_is_noop() {
+        let mut s = FlitSpan::new(0);
+        s.enter(5);
+        s.resume(8);
+        s.grant(10, 0, 0);
+        let b = s.breakdown(10);
+        assert_eq!(b.alloc, 5);
+        assert_eq!(b.credit, 0);
     }
 
     #[test]

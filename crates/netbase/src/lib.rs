@@ -48,7 +48,7 @@ pub use fault::{
     retry_port, retry_tag, FaultConfig, FaultCounters, FaultError, FaultPlane, LinkFaults, LinkId,
     ScheduledOutage, RETRY_TAG,
 };
-pub use flit::{Flit, PacketBuilder, PacketInfo};
+pub use flit::{Flit, FlitSpan, PacketBuilder, PacketInfo, SpanBreakdown};
 pub use ids::{AppId, MessageId, PacketId, Port, RouterId, TerminalId, Vc};
 pub use link::LinkTarget;
 pub use phase::{AppSignal, Phase, PhaseCommand};

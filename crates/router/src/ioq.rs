@@ -29,8 +29,9 @@ use crate::common::{
 };
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
 use crate::iq::RouterCounters;
-use crate::metrics::RouterMetrics;
+use crate::metrics::{close_router_window, RouterMetrics, RouterSampleBase};
 use crate::xbar_sched::{FlowControl, OutputScheduler, XbarCandidate};
+use supersim_stats::ComponentSampler;
 
 /// Configuration of an [`IoqRouter`].
 pub struct IoqConfig {
@@ -92,6 +93,9 @@ pub struct IoqRouter {
     pub metrics: RouterMetrics,
     /// Per-port fault and retransmission state; `None` = fault-free.
     pub fault: Option<LinkFaults>,
+    /// Windowed time-series ring; `None` = sampling disabled.
+    pub sampler: Option<ComponentSampler>,
+    win_base: RouterSampleBase,
 }
 
 impl IoqRouter {
@@ -145,6 +149,8 @@ impl IoqRouter {
             metrics: RouterMetrics::new(radix),
             fault: router_faults(config.fault, config.id, radix),
             ports: config.ports,
+            sampler: None,
+            win_base: RouterSampleBase::default(),
         })
     }
 
@@ -264,17 +270,31 @@ impl IoqRouter {
                 let Some(flit) = self.inputs[k].front() else {
                     continue;
                 };
+                let (age, is_head, is_tail, packet_size) = (
+                    flit.pkt.inject_tick,
+                    flit.is_head(),
+                    flit.is_tail(),
+                    flit.pkt.size,
+                );
                 let credits = self.oq_free[self.ports.key(out_port, route.vc)];
+                let span = self.inputs[k]
+                    .front_mut()
+                    .and_then(|f| f.span.as_deref_mut());
                 if credits == 0 {
                     self.metrics.credit_stalls.inc();
+                    if let Some(s) = span {
+                        s.stall(tick);
+                    }
+                } else if let Some(s) = span {
+                    s.resume(tick);
                 }
                 cands.push(XbarCandidate {
                     input_key: k as u32,
-                    age: flit.pkt.inject_tick,
+                    age,
                     out_vc: route.vc,
-                    is_head: flit.is_head(),
-                    is_tail: flit.is_tail(),
-                    packet_size: flit.pkt.size,
+                    is_head,
+                    is_tail,
+                    packet_size,
                     credits,
                 });
             }
@@ -312,6 +332,13 @@ impl IoqRouter {
             }
             flit.hops += 1;
             flit.vc = c.out_vc;
+            if let Some(s) = flit.span.as_deref_mut() {
+                // Input residence ends at the crossbar grant; the crossbar
+                // transit is serialization, then a fresh residence segment
+                // begins in the output queue.
+                s.grant(tick, self.xbar_latency, 0);
+                s.enter(tick + self.xbar_latency);
+            }
             self.metrics.flit_unbuffered(in_port);
             self.oq[okey].push_back((tick + self.xbar_latency, flit));
             progress = true;
@@ -337,6 +364,12 @@ impl IoqRouter {
                 if ready > tick || !self.credits[okey].has_credit() {
                     if ready <= tick {
                         self.metrics.credit_stalls.inc();
+                        if let Some(s) = self.oq[okey]
+                            .front_mut()
+                            .and_then(|(_, f)| f.span.as_deref_mut())
+                        {
+                            s.stall(tick);
+                        }
                     }
                     continue;
                 }
@@ -354,7 +387,7 @@ impl IoqRouter {
             self.metrics.grants.inc();
             let vc = requests[w].id;
             let okey = self.ports.key(out_port, vc);
-            let (_, flit) = self.oq[okey].pop_front().expect("candidate had a flit");
+            let (_, mut flit) = self.oq[okey].pop_front().expect("candidate had a flit");
             self.oq_free[okey] += 1;
             self.credits[okey]
                 .consume()
@@ -365,6 +398,9 @@ impl IoqRouter {
                 .add(tick, CongestionSource::Downstream, out_port, vc);
             ctx.trace_flit(TraceKind::RouterDepart, self.id.0, &flit);
             let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
+            if let Some(s) = flit.span.as_deref_mut() {
+                s.grant(tick, 0, fl.latency);
+            }
             if let Some(fault) = &mut self.fault {
                 fault.send(ctx, out_port, &fl, fl.latency, flit, self.id.0);
             } else {
@@ -449,7 +485,7 @@ impl Component<Ev> for IoqRouter {
                     ));
                     return;
                 }
-                let flit = match &mut self.fault {
+                let mut flit = match &mut self.fault {
                     Some(fault) => {
                         let reply = self.ports.credit_links[port as usize];
                         match fault.receive(ctx, port, reply, flit, self.id.0) {
@@ -460,6 +496,9 @@ impl Component<Ev> for IoqRouter {
                     None => flit,
                 };
                 self.counters.flits_in += 1;
+                if let Some(s) = flit.span.as_deref_mut() {
+                    s.enter(ctx.now().tick());
+                }
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
@@ -512,6 +551,23 @@ impl Component<Ev> for IoqRouter {
                 ctx.fail(format!("{}: unexpected event {other:?}", self.name));
             }
         }
+    }
+
+    fn sample(&mut self, edge: Tick) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let buffered = self.buffered_flits();
+        let sampler = self.sampler.as_mut().expect("checked above");
+        close_router_window(
+            sampler,
+            &mut self.win_base,
+            edge,
+            &self.metrics,
+            self.counters.flits_in,
+            self.counters.flits_out,
+            buffered,
+        );
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -23,8 +23,9 @@ use crate::common::{
     RoutingFactory,
 };
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
-use crate::metrics::RouterMetrics;
+use crate::metrics::{close_router_window, RouterMetrics, RouterSampleBase};
 use crate::xbar_sched::{FlowControl, OutputScheduler, XbarCandidate};
+use supersim_stats::ComponentSampler;
 
 /// Configuration of an [`IqRouter`].
 pub struct IqConfig {
@@ -93,6 +94,9 @@ pub struct IqRouter {
     pub metrics: RouterMetrics,
     /// Per-port fault and retransmission state; `None` = fault-free.
     pub fault: Option<LinkFaults>,
+    /// Windowed time-series ring; `None` = sampling disabled.
+    pub sampler: Option<ComponentSampler>,
+    win_base: RouterSampleBase,
 }
 
 impl IqRouter {
@@ -141,6 +145,8 @@ impl IqRouter {
             metrics: RouterMetrics::new(radix),
             fault: router_faults(config.fault, config.id, radix),
             ports: config.ports,
+            sampler: None,
+            win_base: RouterSampleBase::default(),
         })
     }
 
@@ -273,17 +279,31 @@ impl IqRouter {
                 let Some(flit) = self.inputs[k].front() else {
                     continue;
                 };
+                let (age, is_head, is_tail, packet_size) = (
+                    flit.pkt.inject_tick,
+                    flit.is_head(),
+                    flit.is_tail(),
+                    flit.pkt.size,
+                );
                 let credits = self.credits[self.ports.key(out_port, route.vc)].available();
+                let span = self.inputs[k]
+                    .front_mut()
+                    .and_then(|f| f.span.as_deref_mut());
                 if credits == 0 {
                     self.metrics.credit_stalls.inc();
+                    if let Some(s) = span {
+                        s.stall(tick);
+                    }
+                } else if let Some(s) = span {
+                    s.resume(tick);
                 }
                 cands.push(XbarCandidate {
                     input_key: k as u32,
-                    age: flit.pkt.inject_tick,
+                    age,
                     out_vc: route.vc,
-                    is_head: flit.is_head(),
-                    is_tail: flit.is_tail(),
-                    packet_size: flit.pkt.size,
+                    is_head,
+                    is_tail,
+                    packet_size,
                     credits,
                 });
             }
@@ -335,6 +355,9 @@ impl IqRouter {
             self.metrics.flit_unbuffered(in_port);
             ctx.trace_flit(TraceKind::RouterDepart, self.id.0, &flit);
             let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
+            if let Some(s) = flit.span.as_deref_mut() {
+                s.grant(tick, self.xbar_latency, fl.latency);
+            }
             if let Some(fault) = &mut self.fault {
                 fault.send(
                     ctx,
@@ -383,7 +406,7 @@ impl Component<Ev> for IqRouter {
                     ));
                     return;
                 }
-                let flit = match &mut self.fault {
+                let mut flit = match &mut self.fault {
                     Some(fault) => {
                         let reply = self.ports.credit_links[port as usize];
                         match fault.receive(ctx, port, reply, flit, self.id.0) {
@@ -394,6 +417,9 @@ impl Component<Ev> for IqRouter {
                     None => flit,
                 };
                 self.counters.flits_in += 1;
+                if let Some(s) = flit.span.as_deref_mut() {
+                    s.enter(ctx.now().tick());
+                }
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
@@ -446,6 +472,23 @@ impl Component<Ev> for IqRouter {
                 ctx.fail(format!("{}: unexpected event {other:?}", self.name));
             }
         }
+    }
+
+    fn sample(&mut self, edge: Tick) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let buffered = self.buffered_flits();
+        let sampler = self.sampler.as_mut().expect("checked above");
+        close_router_window(
+            sampler,
+            &mut self.win_base,
+            edge,
+            &self.metrics,
+            self.counters.flits_in,
+            self.counters.flits_out,
+            buffered,
+        );
     }
 
     fn as_any(&self) -> &dyn Any {

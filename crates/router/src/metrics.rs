@@ -9,7 +9,7 @@
 //! per update.
 
 use supersim_netbase::Port;
-use supersim_stats::{Counter, Gauge};
+use supersim_stats::{ComponentSampler, Counter, Gauge};
 
 /// Allocation and flow-control metrics of one router.
 #[derive(Debug, Clone, Default)]
@@ -55,6 +55,49 @@ impl RouterMetrics {
     pub fn occupancy(&self) -> &[Gauge] {
         &self.occupancy
     }
+}
+
+/// Counter values at the last closed sampling window edge — the delta
+/// basis shared by the IQ/OQ/IOQ `Component::sample` implementations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterSampleBase {
+    credit_stalls: u64,
+    grants: u64,
+    flits_in: u64,
+    flits_out: u64,
+}
+
+/// Closes one sampling window of a router: monotonic counter deltas since
+/// the previous edge plus a point-in-time buffered-flit occupancy
+/// snapshot. All three router microarchitectures report the same series,
+/// so the per-window fold sees one uniform `router.*` plane.
+pub fn close_router_window(
+    sampler: &mut ComponentSampler,
+    base: &mut RouterSampleBase,
+    edge: u64,
+    metrics: &RouterMetrics,
+    flits_in: u64,
+    flits_out: u64,
+    buffered: u64,
+) {
+    let credit_stalls = metrics.credit_stalls.get();
+    let grants = metrics.grants.get();
+    sampler.close(
+        edge,
+        vec![
+            ("router.flits_in", flits_in - base.flits_in),
+            ("router.flits_out", flits_out - base.flits_out),
+            ("router.grants", grants - base.grants),
+            ("router.credit_stalls", credit_stalls - base.credit_stalls),
+            ("router.buffered_flits", buffered),
+        ],
+    );
+    *base = RouterSampleBase {
+        credit_stalls,
+        grants,
+        flits_in,
+        flits_out,
+    };
 }
 
 #[cfg(test)]

@@ -27,7 +27,8 @@ use crate::common::{
 };
 use crate::congestion::{CongestionSensor, CongestionSource, SensorConfig};
 use crate::iq::RouterCounters;
-use crate::metrics::RouterMetrics;
+use crate::metrics::{close_router_window, RouterMetrics, RouterSampleBase};
+use supersim_stats::ComponentSampler;
 
 /// Configuration of an [`OqRouter`].
 pub struct OqConfig {
@@ -85,6 +86,9 @@ pub struct OqRouter {
     pub metrics: RouterMetrics,
     /// Per-port fault and retransmission state; `None` = fault-free.
     pub fault: Option<LinkFaults>,
+    /// Windowed time-series ring; `None` = sampling disabled.
+    pub sampler: Option<ComponentSampler>,
+    win_base: RouterSampleBase,
 }
 
 impl OqRouter {
@@ -135,6 +139,8 @@ impl OqRouter {
             metrics: RouterMetrics::new(radix),
             fault: router_faults(config.fault, config.id, radix),
             ports: config.ports,
+            sampler: None,
+            win_base: RouterSampleBase::default(),
         })
     }
 
@@ -261,12 +267,25 @@ impl OqRouter {
             if let Some(free) = &self.oq_free {
                 if free[okey] == 0 {
                     self.metrics.credit_stalls.inc();
+                    if let Some(s) = self.inputs[k]
+                        .front_mut()
+                        .and_then(|f| f.span.as_deref_mut())
+                    {
+                        s.stall(tick);
+                    }
                     continue; // finite queue full: backpressure
                 }
             }
             let mut flit = self.inputs[k].pop().expect("front existed");
             if let Some(free) = &mut self.oq_free {
                 free[okey] -= 1;
+            }
+            if let Some(s) = flit.span.as_deref_mut() {
+                // Input residence ends here; the queue-to-queue transfer is
+                // the OQ model's serialization stage, then a fresh residence
+                // segment begins in the output queue.
+                s.grant(tick, self.core_latency, 0);
+                s.enter(tick + self.core_latency);
             }
             self.sensor
                 .add(tick, CongestionSource::Output, route.port, route.vc);
@@ -317,6 +336,12 @@ impl OqRouter {
                 }
                 if !self.credits[okey].has_credit() {
                     self.metrics.credit_stalls.inc();
+                    if let Some(s) = self.oq[okey]
+                        .front_mut()
+                        .and_then(|(_, f)| f.span.as_deref_mut())
+                    {
+                        s.stall(tick);
+                    }
                     continue;
                 }
                 requests.push(Request {
@@ -333,7 +358,7 @@ impl OqRouter {
             self.metrics.grants.inc();
             let vc = requests[w].id;
             let okey = self.ports.key(out_port, vc);
-            let (_, flit) = self.oq[okey].pop_front().expect("candidate had a flit");
+            let (_, mut flit) = self.oq[okey].pop_front().expect("candidate had a flit");
             if let Some(free) = &mut self.oq_free {
                 free[okey] += 1;
             }
@@ -346,6 +371,9 @@ impl OqRouter {
                 .add(tick, CongestionSource::Downstream, out_port, vc);
             ctx.trace_flit(TraceKind::RouterDepart, self.id.0, &flit);
             let fl = self.ports.flit_links[out_port as usize].expect("validated at route time");
+            if let Some(s) = flit.span.as_deref_mut() {
+                s.grant(tick, 0, fl.latency);
+            }
             if let Some(fault) = &mut self.fault {
                 fault.send(ctx, out_port, &fl, fl.latency, flit, self.id.0);
             } else {
@@ -421,7 +449,7 @@ impl Component<Ev> for OqRouter {
                     ));
                     return;
                 }
-                let flit = match &mut self.fault {
+                let mut flit = match &mut self.fault {
                     Some(fault) => {
                         let reply = self.ports.credit_links[port as usize];
                         match fault.receive(ctx, port, reply, flit, self.id.0) {
@@ -432,6 +460,9 @@ impl Component<Ev> for OqRouter {
                     None => flit,
                 };
                 self.counters.flits_in += 1;
+                if let Some(s) = flit.span.as_deref_mut() {
+                    s.enter(ctx.now().tick());
+                }
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
                 if let Err(flit) = self.inputs[k].push(flit) {
@@ -484,6 +515,23 @@ impl Component<Ev> for OqRouter {
                 ctx.fail(format!("{}: unexpected event {other:?}", self.name));
             }
         }
+    }
+
+    fn sample(&mut self, edge: Tick) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let buffered = self.buffered_flits();
+        let sampler = self.sampler.as_mut().expect("checked above");
+        close_router_window(
+            sampler,
+            &mut self.win_base,
+            edge,
+            &self.metrics,
+            self.counters.flits_in,
+            self.counters.flits_out,
+            buffered,
+        );
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -14,6 +14,9 @@
 //!   distributions, not just averages, reveal effects such as phantom
 //!   congestion),
 //! - [`TimeSeries`] — binned latency-versus-time curves (Figure 5),
+//! - [`ComponentSampler`]/[`WindowAggregate`] — the windowed time-series
+//!   plane: ring-buffered per-window integer aggregates filled by the
+//!   engine's sampling hook, with order-independent mean/max/p99 folds,
 //! - [`analysis`] — load-latency sweep aggregation and saturation
 //!   detection (Figure 8 and the case studies),
 //! - [`StreamingStats`] — constant-space mean/variance accumulators,
@@ -37,4 +40,7 @@ pub use metrics::{
 };
 pub use record::{RecordKind, SampleLog, SampleRecord};
 pub use streaming::StreamingStats;
-pub use timeseries::TimeSeries;
+pub use timeseries::{
+    fold_windows, timeseries_json_lines, ComponentSampler, FoldedWindow, TimeSeries,
+    WindowAggregate, WindowSample,
+};

@@ -1,5 +1,13 @@
-//! Binned time series, e.g. mean latency over time (paper Figure 5).
+//! Binned time series, e.g. mean latency over time (paper Figure 5),
+//! plus the windowed sampling plane: ring-buffered per-window aggregates
+//! ([`ComponentSampler`]) filled by the engine's
+//! `Component::sample` hook and folded into deterministic JSON-lines at
+//! the end of a run.
 
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::metrics::Histogram;
 use crate::record::SampleRecord;
 use crate::streaming::StreamingStats;
 
@@ -100,6 +108,280 @@ impl TimeSeries {
     }
 }
 
+/// Integer-only aggregate of one series over one sampling window.
+///
+/// Everything reported from a window — count, sum, max, and the log₂
+/// bucket array behind the p99 estimator — is built from saturating
+/// integer arithmetic, so merging aggregates is associative and
+/// commutative and the fold over shards/components is byte-identical in
+/// any order. Means are derived at reporting time as `sum / count`; the
+/// p99 uses the same bucket-upper-bound estimator as
+/// [`Histogram::percentile`], which depends only on the bucket counts,
+/// never on observation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowAggregate {
+    hist: Histogram,
+    max: u64,
+}
+
+impl Default for WindowAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowAggregate {
+    /// An empty aggregate.
+    pub const fn new() -> Self {
+        WindowAggregate {
+            hist: Histogram::new(),
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.hist.record(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another aggregate into this one (exact: merging partials in
+    /// any order yields the same result as recording every observation
+    /// into one aggregate).
+    pub fn merge(&mut self, other: &WindowAggregate) {
+        self.hist.merge(&other.hist);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.hist.sum()
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then_some(self.max)
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        self.hist.mean()
+    }
+
+    /// Order-independent p99 estimate (log₂ bucket upper bound), or
+    /// `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.hist.percentile(0.99)
+    }
+
+    /// General percentile with the same bucket estimator as
+    /// [`Histogram::percentile`].
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.hist.percentile(p)
+    }
+}
+
+/// One closed sampling window of one component: the window's closing edge
+/// plus the values the component reported.
+///
+/// `scalars` are single per-window observations (a counter delta, a
+/// queue-depth snapshot); `dists` carry full distributions accumulated
+/// during the window (e.g. the latency of every packet delivered in it).
+/// Both fold across components into [`WindowAggregate`]s.
+#[derive(Debug, Clone)]
+pub struct WindowSample {
+    /// The closing edge tick: the window covers `[edge - interval, edge)`.
+    pub edge: u64,
+    /// `(series, value)` single observations, in the component's fixed
+    /// reporting order.
+    pub scalars: Vec<(&'static str, u64)>,
+    /// `(series, aggregate)` distributions accumulated during the window.
+    pub dists: Vec<(&'static str, WindowAggregate)>,
+}
+
+/// A component's ring buffer of closed sampling windows.
+///
+/// Components record distribution observations as they happen
+/// ([`ComponentSampler::record`]) and close the pending window when the
+/// engine crosses a window edge ([`ComponentSampler::close`]). The ring
+/// keeps the most recent `capacity` windows; older windows are evicted
+/// oldest-first and counted, so a bounded-memory run still reports how
+/// much history it dropped. Every component of a run uses the same
+/// capacity and closes the same edges, so all rings retain exactly the
+/// same window set — the fold over components never sees ragged history.
+#[derive(Debug, Clone)]
+pub struct ComponentSampler {
+    capacity: usize,
+    windows: VecDeque<WindowSample>,
+    pending: Vec<(&'static str, WindowAggregate)>,
+    evicted: u64,
+}
+
+impl ComponentSampler {
+    /// Creates a sampler retaining at most `capacity` closed windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sampler capacity must be non-zero");
+        ComponentSampler {
+            capacity,
+            windows: VecDeque::new(),
+            pending: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Records one observation of a distribution series into the pending
+    /// (not yet closed) window.
+    pub fn record(&mut self, series: &'static str, v: u64) {
+        match self.pending.iter_mut().find(|(s, _)| *s == series) {
+            Some((_, agg)) => agg.record(v),
+            None => {
+                let mut agg = WindowAggregate::new();
+                agg.record(v);
+                self.pending.push((series, agg));
+            }
+        }
+    }
+
+    /// Closes the pending window at `edge`, attaching the given scalar
+    /// observations, and starts a fresh pending window. Evicts the oldest
+    /// closed window when the ring is full.
+    pub fn close(&mut self, edge: u64, scalars: Vec<(&'static str, u64)>) {
+        if self.windows.len() == self.capacity {
+            self.windows.pop_front();
+            self.evicted += 1;
+        }
+        let mut dists = std::mem::take(&mut self.pending);
+        dists.sort_by_key(|(s, _)| *s);
+        self.windows.push_back(WindowSample {
+            edge,
+            scalars,
+            dists,
+        });
+    }
+
+    /// The retained closed windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowSample> {
+        self.windows.iter()
+    }
+
+    /// Number of retained closed windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has been closed (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Closed windows evicted to respect the ring capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The ring capacity in windows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// One sampling window folded across every component of the run: the
+/// closing edge plus one [`WindowAggregate`] per series name.
+///
+/// Per-component scalars fold in as one observation each (so
+/// `router.buffered_flits` aggregated over 16 routers has `count() == 16`
+/// and `sum()` equal to the network-wide total); per-component
+/// distributions merge bucket-wise. Both operations are integer-exact,
+/// associative, and commutative, so the fold yields identical bytes no
+/// matter how the run's components were partitioned across shards.
+#[derive(Debug, Clone)]
+pub struct FoldedWindow {
+    /// The closing edge tick: the window covers `[edge - interval, edge)`.
+    pub edge: u64,
+    /// `(series, aggregate)` pairs, sorted by series name.
+    pub series: Vec<(&'static str, WindowAggregate)>,
+}
+
+impl FoldedWindow {
+    /// The aggregate of one series, if it was reported this window.
+    pub fn get(&self, series: &str) -> Option<&WindowAggregate> {
+        self.series
+            .iter()
+            .find(|(s, _)| *s == series)
+            .map(|(_, a)| a)
+    }
+}
+
+/// Folds the closed windows of many component samplers into one global
+/// per-edge sequence, sorted by edge.
+///
+/// The result is independent of the component iteration order: every
+/// series aggregate is a commutative integer merge. The engine closes the
+/// same edge set on every component (all rings share one capacity), so
+/// the fold never sees ragged history; a component that reported nothing
+/// for a series in some window simply contributes nothing to it.
+pub fn fold_windows<'a>(
+    samplers: impl IntoIterator<Item = &'a ComponentSampler>,
+) -> Vec<FoldedWindow> {
+    let mut edges: BTreeMap<u64, BTreeMap<&'static str, WindowAggregate>> = BTreeMap::new();
+    for sampler in samplers {
+        for w in sampler.windows() {
+            let fold = edges.entry(w.edge).or_default();
+            for &(name, v) in &w.scalars {
+                fold.entry(name).or_default().record(v);
+            }
+            for (name, agg) in &w.dists {
+                fold.entry(name).or_default().merge(agg);
+            }
+        }
+    }
+    edges
+        .into_iter()
+        .map(|(edge, series)| FoldedWindow {
+            edge,
+            series: series.into_iter().collect(),
+        })
+        .collect()
+}
+
+/// Serializes folded windows as deterministic JSON-lines: one window per
+/// line, series sorted by name, integer fields only (`count`, `sum`,
+/// `max`, `p99`). Means are for consumers to derive as `sum / count` —
+/// keeping the emitter free of floating point is what makes the output
+/// byte-identical across engines and shard counts.
+pub fn timeseries_json_lines(windows: &[FoldedWindow]) -> String {
+    let mut out = String::new();
+    for w in windows {
+        let _ = write!(out, "{{\"edge\":{},\"series\":{{", w.edge);
+        for (i, (name, agg)) in w.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p99\":{}}}",
+                name,
+                agg.count(),
+                agg.sum(),
+                agg.max().unwrap_or(0),
+                agg.p99().unwrap_or(0),
+            );
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +439,129 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_width_panics() {
         let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn window_aggregate_merge_equals_direct_recording() {
+        let values = [3u64, 17, 17, 255, 1, 0, 9000];
+        let mut direct = WindowAggregate::new();
+        for &v in &values {
+            direct.record(v);
+        }
+        // Any split into partials merged in any order is identical.
+        let mut a = WindowAggregate::new();
+        let mut b = WindowAggregate::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, direct);
+        assert_eq!(ba, direct);
+        assert_eq!(direct.count(), 7);
+        assert_eq!(direct.max(), Some(9000));
+        assert_eq!(ab.p99(), direct.p99());
+    }
+
+    #[test]
+    fn sampler_ring_wraparound_evicts_oldest() {
+        let mut s = ComponentSampler::new(3);
+        for edge in 1..=5u64 {
+            s.record("x", edge * 10);
+            s.close(edge * 100, vec![("scalar", edge)]);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 2);
+        let edges: Vec<u64> = s.windows().map(|w| w.edge).collect();
+        assert_eq!(edges, vec![300, 400, 500]);
+        // The retained windows keep their own data, not the evicted ones'.
+        let first = s.windows().next().unwrap();
+        assert_eq!(first.scalars, vec![("scalar", 3)]);
+        assert_eq!(first.dists[0].1.sum(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_sampler_panics() {
+        let _ = ComponentSampler::new(0);
+    }
+
+    #[test]
+    fn fold_is_component_order_independent() {
+        let mut a = ComponentSampler::new(8);
+        a.record("lat", 5);
+        a.record("lat", 100);
+        a.close(100, vec![("depth", 3)]);
+        let mut b = ComponentSampler::new(8);
+        b.record("lat", 7);
+        b.close(100, vec![("depth", 9)]);
+
+        let ab = fold_windows([&a, &b]);
+        let ba = fold_windows([&b, &a]);
+        assert_eq!(timeseries_json_lines(&ab), timeseries_json_lines(&ba));
+        assert_eq!(ab.len(), 1);
+        let w = &ab[0];
+        assert_eq!(w.edge, 100);
+        assert_eq!(w.get("depth").unwrap().count(), 2);
+        assert_eq!(w.get("depth").unwrap().sum(), 12);
+        assert_eq!(w.get("depth").unwrap().max(), Some(9));
+        assert_eq!(w.get("lat").unwrap().count(), 3);
+        assert_eq!(w.get("lat").unwrap().sum(), 112);
+    }
+
+    #[test]
+    fn fold_unions_distinct_edges_in_order() {
+        let mut a = ComponentSampler::new(8);
+        a.close(100, vec![("x", 1)]);
+        a.close(200, vec![("x", 2)]);
+        let mut b = ComponentSampler::new(8);
+        b.close(100, vec![("x", 10)]);
+        b.close(200, vec![("x", 20)]);
+        let folded = fold_windows([&a, &b]);
+        let edges: Vec<u64> = folded.iter().map(|w| w.edge).collect();
+        assert_eq!(edges, vec![100, 200]);
+        assert_eq!(folded[1].get("x").unwrap().sum(), 22);
+    }
+
+    #[test]
+    fn json_lines_are_integer_only_and_sorted() {
+        let mut s = ComponentSampler::new(4);
+        s.record("z.last", 4);
+        s.record("a.first", 2);
+        s.close(50, vec![("m.mid", 7)]);
+        let text = timeseries_json_lines(&fold_windows([&s]));
+        // p99 is the log2-bucket upper bound: 2 → [2,3] → 3, 4 → [4,7] → 7.
+        assert_eq!(
+            text,
+            "{\"edge\":50,\"series\":{\
+             \"a.first\":{\"count\":1,\"sum\":2,\"max\":2,\"p99\":3},\
+             \"m.mid\":{\"count\":1,\"sum\":7,\"max\":7,\"p99\":7},\
+             \"z.last\":{\"count\":1,\"sum\":4,\"max\":4,\"p99\":7}}}\n"
+        );
+        assert!(!text.contains('.') || !text.contains("e-"), "no floats");
+    }
+
+    #[test]
+    fn p99_estimator_depends_only_on_bucket_counts() {
+        // Observation order and partitioning must not move the p99: it is
+        // a pure function of the log2 bucket array.
+        let mut fwd = WindowAggregate::new();
+        let mut rev = WindowAggregate::new();
+        let values: Vec<u64> = (0..200).map(|i| i * 13 % 1024).collect();
+        for &v in &values {
+            fwd.record(v);
+        }
+        for &v in values.iter().rev() {
+            rev.record(v);
+        }
+        assert_eq!(fwd.p99(), rev.p99());
+        assert_eq!(fwd.percentile(0.5), rev.percentile(0.5));
+        assert_eq!(fwd, rev);
     }
 }

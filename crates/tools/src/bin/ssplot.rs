@@ -1,0 +1,64 @@
+//! The `ssplot` command-line tool: render a windowed time-series dump
+//! (as written by `supersim --sample-interval`) as the paper-style
+//! latent-congestion figure or as CSV series for external plotting.
+//!
+//! ```text
+//! ssplot <run.timeseries>                   # three-panel ASCII figure:
+//!                                           # load, latency, congestion
+//! ssplot <run.timeseries> --csv <series>... # count/mean/max/p99 columns
+//!                                           # per named series
+//! ssplot <run.timeseries> --list            # series names in the dump
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, rest)) = args.split_first() else {
+        eprintln!("usage: ssplot <run.timeseries> [--csv <series>... | --list]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("ssplot: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let windows = match supersim_tools::parse_timeseries(&text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("ssplot: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match rest {
+        [] => print!(
+            "{}",
+            supersim_tools::latent_congestion_figure(&windows, 72, 12)
+        ),
+        [flag] if flag == "--list" => {
+            let mut names: Vec<&str> = windows
+                .iter()
+                .flat_map(|w| w.series.iter().map(|(n, _)| n.as_str()))
+                .collect();
+            names.sort_unstable();
+            names.dedup();
+            for name in names {
+                println!("{name}");
+            }
+        }
+        [flag, series @ ..] if flag == "--csv" && !series.is_empty() => {
+            let series: Vec<&str> = series.iter().map(String::as_str).collect();
+            print!(
+                "{}",
+                supersim_tools::timeseries_windows_csv(&windows, &series)
+            );
+        }
+        _ => {
+            eprintln!("usage: ssplot <run.timeseries> [--csv <series>... | --list]");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

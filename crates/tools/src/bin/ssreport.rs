@@ -7,6 +7,8 @@
 //! ssreport <snapshot.json> --hist <component> <metric>
 //!                                           # one histogram as
 //!                                           # bin_start,count CSV
+//! ssreport <snapshot.json> --hist-ascii <component> <metric>
+//!                                           # one histogram as ASCII bars
 //! ssreport <snapshot.json> --list-hist      # histogram metric names
 //! ssreport <snapshot.json> --shards         # per-shard engine breakdown
 //!                                           # with aggregate totals
@@ -71,9 +73,19 @@ fn main() -> ExitCode {
                 }
             }
         }
+        [flag, component, metric] if flag == "--hist-ascii" => {
+            match supersim_tools::histogram_ascii_report(&snap, component, metric, 48) {
+                Some(text) => print!("{text}"),
+                None => {
+                    eprintln!("ssreport: no histogram metric {component}/{metric}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         _ => {
             eprintln!(
-                "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | --hist <component> <metric>]"
+                "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | \
+                 --hist <component> <metric> | --hist-ascii <component> <metric>]"
             );
             return ExitCode::FAILURE;
         }

@@ -29,9 +29,13 @@ mod sweep;
 mod taskrun;
 
 pub use ssparse::{analyze, analyze_text, Analysis, KindAnalysis, SsparseError};
-pub use ssplot::{ascii_chart, histogram_csv, load_latency_csv, percentile_csv, timeseries_csv};
+pub use ssplot::{
+    ascii_chart, histogram_csv, latent_congestion_figure, load_latency_csv, parse_timeseries,
+    percentile_csv, timeseries_csv, timeseries_windows_csv, TsPoint, TsWindow,
+};
 pub use ssreport::{
-    counters_csv, fault_report, histogram_names, histogram_report, report_text, shard_report,
+    counters_csv, fault_report, histogram_ascii, histogram_ascii_report, histogram_names,
+    histogram_report, report_text, shard_report,
 };
 pub use sweep::{Permutation, Sweep, SweepResult, SweepVariable};
 pub use taskrun::{TaskGraph, TaskId, TaskReport, TaskStatus};

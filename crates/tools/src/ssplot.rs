@@ -8,8 +8,179 @@
 
 use std::fmt::Write as _;
 
+use supersim_config::Value;
 use supersim_stats::analysis::LoadSweep;
 use supersim_stats::TimeSeries;
+
+/// One aggregated series value inside a sample window: the integer
+/// summary the simulator's windowed time-series plane emits per name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TsPoint {
+    /// Observations folded into the window.
+    pub count: u64,
+    /// Sum of the observations (means are derived as `sum / count`).
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Upper-bound p99 estimate from the window's log₂ buckets.
+    pub p99: u64,
+}
+
+impl TsPoint {
+    /// Mean observation, or `None` for an empty window.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// One parsed window of a `supersim --sample-interval` time-series dump.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TsWindow {
+    /// The window's closing edge (a multiple of `sample.interval`).
+    pub edge: u64,
+    /// `(series name, aggregate)` pairs, sorted by name.
+    pub series: Vec<(String, TsPoint)>,
+}
+
+impl TsWindow {
+    /// The aggregate for one series name, if the window carries it.
+    pub fn get(&self, name: &str) -> Option<&TsPoint> {
+        self.series.iter().find(|(s, _)| s == name).map(|(_, p)| p)
+    }
+}
+
+/// Parses a JSON-lines time-series dump (one window object per line, as
+/// written by `supersim --sample-interval`) into windows.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_timeseries(text: &str) -> Result<Vec<TsWindow>, String> {
+    let mut windows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("line {}: {what}", i + 1);
+        let v = Value::parse(line).map_err(|e| bad(&e.to_string()))?;
+        let obj = v.as_object().ok_or_else(|| bad("expected an object"))?;
+        let edge = obj
+            .get("edge")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("missing \"edge\""))?;
+        let series_obj = obj
+            .get("series")
+            .and_then(Value::as_object)
+            .ok_or_else(|| bad("missing \"series\""))?;
+        let mut series = Vec::with_capacity(series_obj.len());
+        for (name, agg) in series_obj {
+            let agg = agg
+                .as_object()
+                .ok_or_else(|| bad("series value is not an object"))?;
+            let field = |key: &str| {
+                agg.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad(&format!("series {name:?} missing {key:?}")))
+            };
+            series.push((
+                name.clone(),
+                TsPoint {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    max: field("max")?,
+                    p99: field("p99")?,
+                },
+            ));
+        }
+        windows.push(TsWindow { edge, series });
+    }
+    Ok(windows)
+}
+
+/// Renders selected series of a parsed time-series as CSV: one row per
+/// window edge, `count/mean/max/p99` column groups per series. Windows
+/// missing a series leave its cells empty.
+pub fn timeseries_windows_csv(windows: &[TsWindow], series: &[&str]) -> String {
+    let mut out = String::from("edge");
+    for s in series {
+        for col in ["count", "mean", "max", "p99"] {
+            let _ = write!(out, ",{}_{col}", sanitize(s));
+        }
+    }
+    out.push('\n');
+    for w in windows {
+        let _ = write!(out, "{}", w.edge);
+        for s in series {
+            match w.get(s) {
+                Some(p) => {
+                    let _ = write!(out, ",{}", p.count);
+                    match p.mean() {
+                        Some(m) => {
+                            let _ = write!(out, ",{m:.3}");
+                        }
+                        None => out.push(','),
+                    }
+                    let _ = write!(out, ",{},{}", p.max, p.p99);
+                }
+                None => out.push_str(",,,,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the paper's latent-congestion figure (§V case study 1) from a
+/// time-series dump: three stacked ASCII charts over simulated time —
+/// injected vs. ejected flits per window, time-resolved packet latency
+/// (mean and p99), and the congestion indicators the averages hide
+/// (buffered flits and credit stalls). Congestion is *latent* when the
+/// load panel stays flat while latency and buffering climb.
+pub fn latent_congestion_figure(windows: &[TsWindow], width: usize, height: usize) -> String {
+    let edge = |w: &TsWindow| w.edge as f64;
+    let sum_of = |name: &str| -> Vec<(f64, f64)> {
+        windows
+            .iter()
+            .filter_map(|w| w.get(name).map(|p| (edge(w), p.sum as f64)))
+            .collect()
+    };
+    let latency = |pick: fn(&TsPoint) -> Option<f64>| -> Vec<(f64, f64)> {
+        windows
+            .iter()
+            .filter_map(|w| w.get("iface.latency").and_then(pick).map(|v| (edge(w), v)))
+            .collect()
+    };
+    let mut out = ascii_chart(
+        "offered vs accepted load (flits per window)",
+        &[
+            ("offered", sum_of("iface.offered_flits")),
+            ("accepted", sum_of("iface.accepted_flits")),
+        ],
+        width,
+        height,
+    );
+    out.push('\n');
+    out.push_str(&ascii_chart(
+        "packet latency over time (ticks)",
+        &[
+            ("mean", latency(|p| p.mean())),
+            ("p99", latency(|p| (p.count > 0).then_some(p.p99 as f64))),
+        ],
+        width,
+        height,
+    ));
+    out.push('\n');
+    out.push_str(&ascii_chart(
+        "congestion indicators (per window)",
+        &[
+            ("buffered flits", sum_of("router.buffered_flits")),
+            ("credit stalls", sum_of("router.credit_stalls")),
+        ],
+        width,
+        height,
+    ));
+    out
+}
 
 /// Renders one or more load-latency sweeps as CSV: one row per offered
 /// load, one column group (delivered, mean, p50, p90, p99, p99.9) per
@@ -231,5 +402,68 @@ mod tests {
         assert!(ascii_chart("t", &[], 20, 5).contains("(no data)"));
         let c = ascii_chart("t", &[("flat", vec![(1.0, 3.0)])], 20, 5);
         assert!(c.contains('*'));
+    }
+
+    const TS: &str = concat!(
+        "{\"edge\":100,\"series\":{",
+        "\"iface.accepted_flits\":{\"count\":4,\"sum\":40,\"max\":12,\"p99\":15},",
+        "\"iface.latency\":{\"count\":10,\"sum\":120,\"max\":31,\"p99\":31},",
+        "\"iface.offered_flits\":{\"count\":4,\"sum\":44,\"max\":13,\"p99\":15}}}\n",
+        "{\"edge\":200,\"series\":{",
+        "\"iface.latency\":{\"count\":0,\"sum\":0,\"max\":0,\"p99\":0},",
+        "\"router.buffered_flits\":{\"count\":2,\"sum\":17,\"max\":11,\"p99\":15}}}\n",
+    );
+
+    #[test]
+    fn parse_timeseries_round_trips_windows() {
+        let windows = parse_timeseries(TS).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].edge, 100);
+        let lat = windows[0].get("iface.latency").unwrap();
+        assert_eq!((lat.count, lat.sum, lat.max, lat.p99), (10, 120, 31, 31));
+        assert_eq!(lat.mean(), Some(12.0));
+        // Empty windows have no mean; missing series return None.
+        assert_eq!(windows[1].get("iface.latency").unwrap().mean(), None);
+        assert!(windows[1].get("iface.offered_flits").is_none());
+    }
+
+    #[test]
+    fn parse_timeseries_rejects_malformed_lines() {
+        assert!(parse_timeseries("not json\n").is_err());
+        assert!(parse_timeseries("{\"series\":{}}\n").is_err());
+        assert!(parse_timeseries("{\"edge\":1}\n").is_err());
+        let missing_field = "{\"edge\":1,\"series\":{\"x\":{\"count\":1}}}\n";
+        let err = parse_timeseries(missing_field).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        // Blank lines are skipped, and line numbers name the culprit.
+        let err = parse_timeseries("\n\nnope\n").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn timeseries_windows_csv_leaves_missing_cells_empty() {
+        let windows = parse_timeseries(TS).unwrap();
+        let csv = timeseries_windows_csv(&windows, &["iface.latency", "router.buffered_flits"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "edge,iface_latency_count,iface_latency_mean,iface_latency_max,iface_latency_p99,\
+             router_buffered_flits_count,router_buffered_flits_mean,router_buffered_flits_max,\
+             router_buffered_flits_p99"
+        );
+        assert_eq!(lines[1], "100,10,12.000,31,31,,,,");
+        assert_eq!(lines[2], "200,0,,0,0,2,8.500,11,15");
+    }
+
+    #[test]
+    fn latent_congestion_figure_has_three_panels() {
+        let windows = parse_timeseries(TS).unwrap();
+        let fig = latent_congestion_figure(&windows, 40, 8);
+        assert!(fig.contains("offered vs accepted load"));
+        assert!(fig.contains("packet latency over time"));
+        assert!(fig.contains("congestion indicators"));
+        assert!(fig.contains("p99"));
+        // No windows at all still renders (empty panels).
+        assert!(latent_congestion_figure(&[], 40, 8).contains("(no data)"));
     }
 }

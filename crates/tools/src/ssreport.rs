@@ -86,6 +86,60 @@ pub fn histogram_report(snap: &MetricsSnapshot, component: &str, name: &str) -> 
     }
 }
 
+/// Renders histogram bins as an ASCII bar chart, one `start count bar`
+/// row per bin, bars scaled so the fullest bin spans `width` characters.
+///
+/// The two degenerate shapes render sensibly instead of producing a
+/// collapsed scale: an empty histogram says so explicitly, and a
+/// single-bucket histogram gets one full-width bar (the scale anchors at
+/// zero, never at the minimum count, so one bucket cannot divide by a
+/// zero-width range).
+pub fn histogram_ascii(bins: &[(u64, u64)], width: usize) -> String {
+    let width = width.max(8);
+    if bins.is_empty() {
+        return String::from("(empty histogram)\n");
+    }
+    let peak = bins.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+    let start_w = bins
+        .iter()
+        .map(|&(s, _)| s.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let count_w = bins
+        .iter()
+        .map(|&(_, c)| c.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let mut out = String::new();
+    for &(start, count) in bins {
+        let mut bar = ((count as f64 / peak as f64) * width as f64).round() as usize;
+        if count > 0 {
+            bar = bar.max(1); // any occupancy shows at least one mark
+        }
+        let _ = writeln!(
+            out,
+            "{start:>start_w$} {count:>count_w$} {}",
+            "#".repeat(bar)
+        );
+    }
+    out
+}
+
+/// Renders one snapshotted histogram as an ASCII bar chart
+/// ([`histogram_ascii`] over its non-zero bins), or `None` when the
+/// metric does not exist or is not a histogram.
+pub fn histogram_ascii_report(
+    snap: &MetricsSnapshot,
+    component: &str,
+    name: &str,
+    width: usize,
+) -> Option<String> {
+    match snap.get(component, name)? {
+        MetricValue::Histogram(h) => Some(histogram_ascii(&h.nonzero_bins(), width)),
+        _ => None,
+    }
+}
+
 /// Renders the per-shard engine breakdown of a snapshot: one row per
 /// `engine_shard_<i>` plane with the shard's event/batch/enqueue counters,
 /// queue high-water mark, and its share of all executed events, followed
@@ -311,6 +365,44 @@ mod tests {
         clean.push_counter("run", "degraded", 0);
         clean.push_counter("fault", "injected", 0);
         assert!(fault_report(&clean).unwrap().contains("complete"));
+    }
+
+    #[test]
+    fn histogram_ascii_scales_bars_to_peak() {
+        let text = histogram_ascii(&[(0, 1), (8, 4), (16, 0)], 8);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], " 0 1 ##");
+        assert_eq!(lines[1], " 8 4 ########");
+        // A zero-count bin renders no bar (but keeps its row).
+        assert_eq!(lines[2], "16 0 ");
+    }
+
+    #[test]
+    fn histogram_ascii_empty_histogram_says_so() {
+        // The degenerate shapes must not collapse the scale: empty input
+        // is labeled rather than rendered as zero-width noise.
+        assert_eq!(histogram_ascii(&[], 20), "(empty histogram)\n");
+        let snap = snapshot();
+        assert!(histogram_ascii_report(&snap, "workload", "nope", 20).is_none());
+    }
+
+    #[test]
+    fn histogram_ascii_single_bucket_fills_width() {
+        // One bucket anchors the scale at zero, so its bar spans the full
+        // width instead of dividing by a zero-count range.
+        assert_eq!(histogram_ascii(&[(32, 7)], 10), "32 7 ##########\n");
+        // Tiny non-zero counts still show at least one mark.
+        let text = histogram_ascii(&[(0, 1), (8, 1000)], 10);
+        assert!(text.lines().next().unwrap().ends_with(" #"));
+    }
+
+    #[test]
+    fn histogram_ascii_report_reads_snapshot() {
+        let snap = snapshot();
+        let text = histogram_ascii_report(&snap, "workload", "packet_latency_generating", 8)
+            .expect("histogram metric");
+        // Bins (0,1) and (8,2): the fuller bin spans the width.
+        assert_eq!(text, "0 1 ####\n8 2 ########\n");
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub use blast::{BlastApp, BlastConfig};
 pub use injection::{
     BernoulliProcess, BurstyProcess, InjectionProcess, PeriodicProcess, SizeDistribution,
 };
-pub use interface::{Interface, InterfaceConfig, InterfaceCounters, InterfaceMetrics};
+pub use interface::{
+    Interface, InterfaceConfig, InterfaceCounters, InterfaceMetrics, SpanMetrics, SpanRecord,
+};
 pub use monitor::WorkloadMonitor;
 pub use pingpong::{PingPongApp, PingPongConfig};
 pub use pulse::{PulseApp, PulseConfig};

@@ -18,6 +18,15 @@
 //! `--trace <file>` writes the JSON-lines flit trace (requires
 //! `observability.trace.enabled=bool=true` in the configuration).
 //!
+//! Time-resolved measurement: `--sample-interval <n>` arms the windowed
+//! sampling plane (shorthand for `sample.interval`) and writes the
+//! JSON-lines time-series next to the configuration as `<config>.timeseries`
+//! (or `--timeseries <path>` to choose the location; render it with
+//! `ssplot`). `--spans` enables per-packet latency attribution
+//! (shorthand for `spans.enabled`); `--span-log <path>` additionally
+//! dumps the per-packet span records as JSON-lines. Both outputs are
+//! byte-identical across engines and shard counts.
+//!
 //! Engine selection: `--engine sequential|sharded` picks the execution
 //! backend and `--shards <n>` the worker count (sharded only). Both are
 //! shorthand for the `engine.kind` / `engine.shards` configuration paths
@@ -44,6 +53,10 @@ struct Args {
     shards: Option<u64>,
     faults: Option<f64>,
     watchdog_ticks: Option<u64>,
+    sample_interval: Option<u64>,
+    timeseries_path: Option<PathBuf>,
+    spans: bool,
+    span_log_path: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +70,10 @@ fn parse_args() -> Result<Args, String> {
     let mut shards = None;
     let mut faults = None;
     let mut watchdog_ticks = None;
+    let mut sample_interval = None;
+    let mut timeseries_path = None;
+    let mut spans = false;
+    let mut span_log_path = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -75,12 +92,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--engine" => {
                 let k = it.next().ok_or("--engine needs a kind")?;
-                if k != "sequential" && k != "sharded" {
-                    return Err(format!(
-                        "--engine must be \"sequential\" or \"sharded\", got {k:?}"
-                    ));
-                }
-                engine = Some(k);
+                engine = Some(match k.as_str() {
+                    "seq" | "sequential" => "sequential".to_string(),
+                    "sharded" => k,
+                    _ => {
+                        return Err(format!(
+                        "--engine must be \"sequential\" (alias \"seq\") or \"sharded\", got {k:?}"
+                    ))
+                    }
+                });
             }
             "--shards" => {
                 let n = it.next().ok_or("--shards needs a count")?;
@@ -109,11 +129,32 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--watchdog-ticks must be an integer, got {n:?}"))?;
                 watchdog_ticks = Some(n);
             }
+            "--sample-interval" => {
+                let n = it.next().ok_or("--sample-interval needs a tick count")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--sample-interval must be an integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--sample-interval must be non-zero".to_string());
+                }
+                sample_interval = Some(n);
+            }
+            "--timeseries" => {
+                let p = it.next().ok_or("--timeseries needs a path")?;
+                timeseries_path = Some(PathBuf::from(p));
+            }
+            "--spans" => spans = true,
+            "--span-log" => {
+                let p = it.next().ok_or("--span-log needs a path")?;
+                span_log_path = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => {
                 return Err("usage: supersim <config.json> [path=type=value ...] \
                             [--log <file> | --no-log] [--metrics <file>] [--trace <file>] \
                             [--engine sequential|sharded] [--shards <n>] \
-                            [--faults <bit-error-rate>] [--watchdog-ticks <n>]"
+                            [--faults <bit-error-rate>] [--watchdog-ticks <n>] \
+                            [--sample-interval <n>] [--timeseries <file>] \
+                            [--spans] [--span-log <file>]"
                     .to_string())
             }
             a if a.contains('=') => overrides.push(a.to_string()),
@@ -132,6 +173,10 @@ fn parse_args() -> Result<Args, String> {
         shards,
         faults,
         watchdog_ticks,
+        sample_interval,
+        timeseries_path,
+        spans,
+        span_log_path,
     })
 }
 
@@ -189,6 +234,23 @@ fn main() -> ExitCode {
             eprintln!("supersim: configuration root must be an object");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(n) = args.sample_interval {
+        if cfg
+            .set_path("sample.interval", config::Value::Int(n as i64))
+            .is_err()
+        {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.spans
+        && cfg
+            .set_path("spans.enabled", config::Value::Bool(true))
+            .is_err()
+    {
+        eprintln!("supersim: configuration root must be an object");
+        return ExitCode::FAILURE;
     }
 
     let sim = match SuperSim::from_config(&cfg) {
@@ -274,6 +336,41 @@ fn main() -> ExitCode {
             "supersim: wrote {} ({} trace lines)",
             path.display(),
             trace.lines().count()
+        );
+    }
+    if let Some(ts) = &out.timeseries {
+        let path = args
+            .timeseries_path
+            .unwrap_or_else(|| args.config_path.with_extension("timeseries"));
+        if let Err(e) = std::fs::write(&path, ts) {
+            eprintln!("supersim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "supersim: wrote {} ({} sample windows)",
+            path.display(),
+            ts.lines().count()
+        );
+    } else if args.timeseries_path.is_some() {
+        eprintln!(
+            "supersim: --timeseries needs --sample-interval <n> or \
+             sample.interval in the configuration"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.span_log_path {
+        let Some(spans) = &out.spans else {
+            eprintln!("supersim: --span-log needs --spans or spans.enabled in the configuration");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(path, spans) {
+            eprintln!("supersim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "supersim: wrote {} ({} span records)",
+            path.display(),
+            spans.lines().count()
         );
     }
     if report.error.is_some() {

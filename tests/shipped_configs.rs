@@ -21,6 +21,7 @@ fn every_shipped_config_runs() {
         // the watchdog (see fault_determinism.rs and the tier1-faults CI
         // job) and never completes cleanly.
         "fault_smoke.json",
+        "latent_congestion.json",
     ] {
         let mut cfg = load(name);
         // Keep CI fast: shrink the sample counts, keep everything else.
