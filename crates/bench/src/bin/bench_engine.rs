@@ -21,6 +21,9 @@
 //!   bench_engine --engine seq        # skip the sharded rows
 //!   bench_engine --engine sharded    # only the sharded rows
 //!   bench_engine --shards N          # measure one shard count instead of 2 and 4
+//!   bench_engine --profile           # run a real torus router workload and
+//!                                    # print the hot-path profiling plane
+//!                                    # (batching, arena pressure, clones)
 //!
 //! Both modes additionally compare every calendar-queue rate against the
 //! floors in `BENCH_BASELINE.json` at the repository root (override the
@@ -28,12 +31,48 @@
 //! when any measured rate falls below its floor. The floors are
 //! hand-maintained and never auto-bumped.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Instant;
 
-use supersim_config::Value;
+use supersim_config::{obj, Value};
 use supersim_des::{Component, ComponentId, Context, EventQueue, Simulator, Time};
+
+/// Heap-allocation counter wrapped around the system allocator, so every
+/// workload can report allocations per event alongside its rate — the
+/// hot-path overhaul's "no per-event allocation" claim is measured, not
+/// asserted. Counting is a single relaxed increment; the disturbance is
+/// far below run-to-run noise.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations during `f`, attributed per event.
+fn allocs_per_event(events: u64, f: impl FnOnce()) -> f64 {
+    let before = ALLOCATIONS.load(AtomicOrdering::Relaxed);
+    f();
+    let after = ALLOCATIONS.load(AtomicOrdering::Relaxed);
+    (after - before) as f64 / events.max(1) as f64
+}
 
 /// The seed engine's event queue: a global `BinaryHeap` with a per-event
 /// sequence number for FIFO tie-breaks. Kept here verbatim as the
@@ -347,9 +386,9 @@ fn bench_work_ring(
     work: u32,
     shards: usize,
     reps: usize,
-) -> f64 {
+) -> (f64, f64) {
     let events_per_run = ring as u64 * hops + tokens as u64;
-    measure(events_per_run, reps, || {
+    let mut run_once = || {
         let sim = build_work_ring(ring, tokens, hops, work);
         let executed = if shards <= 1 {
             let mut sim = sim;
@@ -360,7 +399,10 @@ fn bench_work_ring(
             sharded.run().events_executed
         };
         assert_eq!(executed, events_per_run);
-    })
+    };
+    let rate = measure(events_per_run, reps, &mut run_once);
+    let allocs = allocs_per_event(events_per_run, run_once);
+    (rate, allocs)
 }
 
 /// The same relay-ring workload driven through the reference engine.
@@ -423,6 +465,82 @@ fn check_floor(baseline: Option<&Value>, name: &str, rate: f64, below: &mut Vec<
     }
 }
 
+/// The `--profile` workload: a 3-D torus under uniform random Blast
+/// traffic, sized so router pipeline cycles (not workload generation)
+/// dominate the event mix. `--smoke` shrinks it to a 2-D torus and a
+/// shorter sampling window.
+fn profile_config(smoke: bool) -> Value {
+    let (widths, sample_messages) = if smoke {
+        (vec![4u64, 4], 60u64)
+    } else {
+        (vec![8u64, 8, 4], 300u64)
+    };
+    obj! {
+        "seed" => 3u64,
+        "network" => obj! {
+            "topology" => obj! {
+                "name" => "torus",
+                "widths" => widths,
+                "concentration" => 1u64,
+            },
+            "vcs" => 4u64,
+            "routing" => obj! { "algorithm" => "dimension_order" },
+            "channel" => obj! {
+                "terminal_latency" => 1u64,
+                "local_latency" => 5u64,
+                "link_period" => 1u64,
+            },
+            "router" => obj! {
+                "architecture" => "input_queued",
+                "input_buffer" => 64u64,
+                "xbar_latency" => 8u64,
+                "flow_control" => "winner_take_all",
+                "arbiter" => "age_based",
+            },
+            "interface" => obj! { "eject_buffer" => 64u64, "max_packet_size" => 8u64 },
+        },
+        "workload" => obj! {
+            "applications" => vec![obj! {
+                "name" => "blast",
+                "load" => 0.55f64,
+                "message_size" => 8u64,
+                "warmup_ticks" => 2000u64,
+                "sample_messages" => sample_messages,
+                "pattern" => obj! { "name" => "uniform_random" },
+            }],
+        },
+    }
+}
+
+/// Runs the real-router profiling workload once and prints the hot-path
+/// profiling plane (the same report `ssreport --profile` renders from a
+/// saved snapshot), plus wall-clock throughput for context.
+fn run_profile(smoke: bool) {
+    let config = profile_config(smoke);
+    let sim = supersim_core::SuperSim::from_config(&config).expect("profile config is valid");
+    let allocs_before = ALLOCATIONS.load(AtomicOrdering::Relaxed);
+    let start = Instant::now();
+    let out = sim.run().expect("profile run completes");
+    let secs = start.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(AtomicOrdering::Relaxed) - allocs_before;
+    let events = out.engine.events_executed;
+    println!(
+        "torus router workload: {events} events in {secs:.3}s ({})",
+        human(events as f64 / secs)
+    );
+    println!(
+        "heap allocations     {allocs} ({:.3} per event)",
+        allocs as f64 / events.max(1) as f64
+    );
+    match supersim_tools::profile_report(&out.metrics) {
+        Some(text) => print!("{text}"),
+        None => {
+            eprintln!("bench_engine: run produced no profile plane");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn human(rate: f64) -> String {
     if rate >= 1e6 {
         format!("{:7.2} M/s", rate / 1e6)
@@ -433,6 +551,7 @@ fn human(rate: f64) -> String {
 
 fn main() {
     let mut smoke = false;
+    let mut profile = false;
     let mut run_seq = true;
     let mut run_sharded = true;
     let mut shard_counts = vec![2usize, 4];
@@ -440,6 +559,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--profile" => profile = true,
             "--engine" => match it.next().as_deref() {
                 Some("seq") | Some("sequential") => run_sharded = false,
                 Some("sharded") => run_seq = false,
@@ -464,6 +584,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if profile {
+        run_profile(smoke);
+        return;
     }
     let (reps, sizes, ring_hops, work_hops) = if smoke {
         (2, vec![1_000usize], 200u64, 40u64)
@@ -516,25 +640,40 @@ fn main() {
     // --- engine scaling: sequential vs sharded on the same workload -----
     if run_sharded {
         println!(
-            "{:<28} {:>12} {:>12} {:>8}",
-            "workload", "sharded", "sequential", "speedup"
+            "{:<28} {:>12} {:>12} {:>8} {:>10}",
+            "workload", "sharded", "sequential", "speedup", "allocs/ev"
         );
-        const WORK: u32 = 256; // xorshift rounds per event, ~router-pipeline cost
+        // Xorshift rounds per event, calibrated so one synthetic event
+        // costs about as much as one event of the real torus router
+        // workload (`--profile`) on the same build — re-derived whenever
+        // the router hot path changes materially. The arena/fused
+        // pipeline dispatches the torus at ~2.5 M events/s (~400
+        // ns/event); 128 rounds (~390 ns including dispatch) match
+        // that, where the pre-calibration value of 256 (~780 ns/event)
+        // nearly doubled it.
+        const WORK: u32 = 128;
         for &(ring, tokens, work) in &[(1024usize, 256usize, 0u32), (1024, 256, WORK)] {
             let family = if work == 0 { "relay_ring" } else { "work_ring" };
-            let seq = bench_work_ring(ring, tokens, work_hops, work, 1, reps);
+            let (seq, seq_allocs) = bench_work_ring(ring, tokens, work_hops, work, 1, reps);
             let seq_name = format!("{family}_engine/{ring}x{tokens}/seq");
-            println!("{seq_name:<28} {:>12} {:>12} {:>7.2}x", "", human(seq), 1.0);
+            println!(
+                "{seq_name:<28} {:>12} {:>12} {:>7.2}x {:>10.3}",
+                "",
+                human(seq),
+                1.0,
+                seq_allocs
+            );
             floors_ok &= seq > 0.0;
             check_floor(baseline.as_ref(), &seq_name, seq, &mut below);
             for &s in &shard_counts {
                 let name = format!("{family}_engine/{ring}x{tokens}/s{s}");
-                let rate = bench_work_ring(ring, tokens, work_hops, work, s, reps);
+                let (rate, allocs) = bench_work_ring(ring, tokens, work_hops, work, s, reps);
                 println!(
-                    "{name:<28} {:>12} {:>12} {:>7.2}x",
+                    "{name:<28} {:>12} {:>12} {:>7.2}x {:>10.3}",
                     human(rate),
                     human(seq),
-                    rate / seq
+                    rate / seq,
+                    allocs
                 );
                 floors_ok &= rate > 0.0;
                 check_floor(baseline.as_ref(), &name, rate, &mut below);

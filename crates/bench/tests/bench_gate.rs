@@ -43,6 +43,39 @@ fn inflated_baseline_fails_the_gate() {
 }
 
 #[test]
+fn work_ring_regression_trips_only_its_floor() {
+    // Simulated regression on the raised hot-path floor: inflate only
+    // `work_ring_engine/1024x256/seq` and the gate must trip naming
+    // exactly that workload — proving the floor is actually compared
+    // (not just parsed) after the hot-path overhaul raised it.
+    let path =
+        std::env::temp_dir().join(format!("work_ring_regression_{}.json", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"{"floors_events_per_sec": {
+            "work_ring_engine/1024x256/seq": 1000000000000000
+        }}"#,
+    )
+    .expect("write regression baseline");
+    let out = run_smoke(path.to_str().expect("utf-8 temp path"));
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        !out.status.success(),
+        "bench_engine must exit non-zero when the work_ring floor regresses; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("work_ring_engine/1024x256/seq"),
+        "failure must name the regressed workload; stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("relay_ring_engine"),
+        "only the inflated floor may trip; stderr:\n{stderr}"
+    );
+}
+
+#[test]
 fn missing_baseline_disables_floors() {
     let out = run_smoke("/nonexistent/bench_baseline.json");
     assert!(

@@ -282,6 +282,7 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
     }
     registry.register("workload");
     registry.register("run");
+    registry.register("profile");
     if fault.is_some() {
         registry.register("fault");
     }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use supersim_config::Value;
 use supersim_des::{ComponentId, Engine, RunOutcome, RunStats, Tick};
 use supersim_netbase::{trace_json_lines, Ev, FaultCounters, LinkFaults, Phase};
-use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterMetrics};
+use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterCounters, RouterMetrics};
 use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
 use supersim_stats::{
     fold_windows, timeseries_json_lines, ComponentSampler, Filter, FoldedWindow, Histogram,
@@ -223,6 +223,39 @@ impl SuperSim {
             }
         }
 
+        // --- hot-path profiling plane ----------------------------------
+        // Batching effectiveness and storage pressure of the router hot
+        // path: how many flits each batched pipeline event moved and how
+        // deep the per-router flit arenas ran. Aggregated with commutative
+        // integer sums/maxes, so the plane is byte-identical across
+        // engines and shard counts.
+        {
+            let engine = self.built.engine.as_ref();
+            let mut cycles = 0u64;
+            let mut advanced = 0u64;
+            let mut arena_live = 0u64;
+            let mut arena_high = 0u64;
+            for &id in &self.built.routers {
+                if let Some((rc, (live, high))) = router_profile(engine, id) {
+                    cycles += rc.cycles;
+                    advanced += rc.flits_advanced;
+                    arena_live += live as u64;
+                    arena_high = arena_high.max(high as u64);
+                }
+            }
+            metrics.push_counter("profile", "events_dispatched", engine.events_executed());
+            metrics.push_counter("profile", "router_cycles", cycles);
+            metrics.push_counter("profile", "flits_advanced", advanced);
+            metrics.push(
+                "profile",
+                "arena_occupancy",
+                MetricValue::Gauge {
+                    value: arena_live,
+                    max: arena_high,
+                },
+            );
+        }
+
         let trace = self
             .built
             .engine
@@ -289,6 +322,7 @@ impl SuperSim {
             metrics.push_counter("fault", "recovered", agg.recovered);
             metrics.push_counter("fault", "escalated", agg.escalated);
             metrics.push_counter("fault", "held_flits", *held);
+            metrics.push_counter("fault", "flit_clones", agg.flit_clones);
         }
 
         // --- windowed time-series fold ---------------------------------
@@ -389,6 +423,25 @@ fn router_metrics(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&RouterMet
     }
     if let Some(r) = engine.component_as::<IoqRouter>(id) {
         return Some(&r.metrics);
+    }
+    None
+}
+
+/// Hot-path profiling data of a built-in router architecture, found by
+/// downcast: its operation counters and flit-arena `(live, high_water)`
+/// occupancy.
+fn router_profile(
+    engine: &dyn Engine<Ev>,
+    id: ComponentId,
+) -> Option<(RouterCounters, (u32, u32))> {
+    if let Some(r) = engine.component_as::<IqRouter>(id) {
+        return Some((r.counters, r.arena_stats()));
+    }
+    if let Some(r) = engine.component_as::<OqRouter>(id) {
+        return Some((r.counters, r.arena_stats()));
+    }
+    if let Some(r) = engine.component_as::<IoqRouter>(id) {
+        return Some((r.counters, r.arena_stats()));
     }
     None
 }

@@ -486,6 +486,12 @@ impl<E: Send + 'static> ShardedEngine<E> {
                             for (target, time, stamped) in v.drain(..) {
                                 shard.queue.push(target, time, stamped);
                             }
+                            // Return the drained vector so its capacity is
+                            // reused next round instead of reallocated by
+                            // the sender; safe because the sender's next
+                            // append is on the far side of the phase-1
+                            // barrier.
+                            *src.lock().unwrap() = v;
                         }
                         if failure.lock().unwrap().is_some() {
                             break WorkerOutcome::Failed;

@@ -194,6 +194,11 @@ pub struct FaultCounters {
     pub recovered: u64,
     /// Episodes that exhausted their retries.
     pub escalated: u64,
+    /// Flit payload copies made by the fault plane. Every copy is on an
+    /// episode path (corrupt deliveries, retransmission snapshots); a
+    /// fault-enabled run with zero injections makes zero copies, which
+    /// the profiling plane asserts.
+    pub flit_clones: u64,
 }
 
 impl FaultCounters {
@@ -203,6 +208,7 @@ impl FaultCounters {
         self.detected += other.detected;
         self.recovered += other.recovered;
         self.escalated += other.escalated;
+        self.flit_clones += other.flit_clones;
     }
 }
 
@@ -358,7 +364,9 @@ impl LinkFaults {
         }
         if cfg.bit_error_rate > 0.0 && ctx.rng().gen_bool(cfg.bit_error_rate) {
             // Corrupted in flight: the receiver's checksum catches it and
-            // nacks; no timer needed.
+            // nacks; no timer needed. The copy is unavoidable — the clean
+            // original must survive for the retransmission.
+            self.counters.flit_clones += 1;
             let mut corrupted = flit.clone();
             corrupted.crc ^= (ctx.rng().gen_u64() as u16) | 1;
             self.counters.injected += 1;
@@ -376,25 +384,29 @@ impl LinkFaults {
             self.transmission_failed(ctx, p, trace_src, false);
             return;
         }
-        // Clean transmission.
+        // Clean transmission. Only a retransmission closing a corruption
+        // episode still needs the payload afterwards (the receiver
+        // discarded a corrupt copy earlier and will ack this redelivery,
+        // so the episode stays open until then); every other clean send —
+        // the entire fault-free hot path — moves the flit into the event
+        // without a copy.
+        let keep = is_retx && self.tx[p].corrupt_seen;
+        if keep {
+            self.counters.flit_clones += 1;
+            self.tx[p].outstanding = Some((delay, flit.clone()));
+        }
         ctx.schedule(
             link.component,
             Time::at(tick + delay),
             Ev::Flit {
                 port: link.port,
-                flit: flit.clone(),
+                flit,
             },
         );
-        if is_retx {
-            if self.tx[p].corrupt_seen {
-                // The receiver discarded a corrupt copy earlier and will
-                // ack this redelivery; hold the episode open until then.
-                self.tx[p].outstanding = Some((delay, flit));
-            } else {
-                // Drop-only episode: delivery of the clean copy is
-                // guaranteed (the sender drew the fault, so it knows).
-                self.recover(ctx, p, link, trace_src);
-            }
+        if is_retx && !keep {
+            // Drop-only episode: delivery of the clean copy is
+            // guaranteed (the sender drew the fault, so it knows).
+            self.recover(ctx, p, link, trace_src);
         }
     }
 
@@ -415,6 +427,7 @@ impl LinkFaults {
             self.tx[p].escalated = true;
             if let Some((_, flit)) = &self.tx[p].outstanding {
                 let flit = flit.clone();
+                self.counters.flit_clones += 1;
                 ctx.trace_flit(TraceKind::FaultEscalate, trace_src, &flit);
             }
             ctx.fail(
@@ -466,6 +479,8 @@ impl LinkFaults {
             return;
         }
         if let Some((delay, flit)) = self.tx[p].outstanding.clone() {
+            // The snapshot stays parked in case this attempt fails too.
+            self.counters.flit_clones += 1;
             self.attempt(ctx, p, link, delay, flit, trace_src, true);
         }
     }
@@ -591,12 +606,14 @@ mod tests {
             detected: 2,
             recovered: 3,
             escalated: 4,
+            flit_clones: 5,
         };
         a.absorb(&FaultCounters {
             injected: 10,
             detected: 20,
             recovered: 30,
             escalated: 40,
+            flit_clones: 50,
         });
         assert_eq!(
             a,
@@ -605,6 +622,7 @@ mod tests {
                 detected: 22,
                 recovered: 33,
                 escalated: 44,
+                flit_clones: 55,
             }
         );
     }

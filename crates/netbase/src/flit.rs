@@ -295,12 +295,12 @@ pub struct PacketBuilder {
 }
 
 impl PacketBuilder {
-    /// Materializes the packet as a vector of flits on VC 0.
+    /// The shared packet metadata and the flit sequence it spans.
     ///
     /// # Panics
     ///
     /// Panics if `size` is zero: a packet has at least a head flit.
-    pub fn build(self) -> Vec<Flit> {
+    fn flits(self, vc: Vc) -> impl Iterator<Item = Flit> {
         assert!(self.size > 0, "packet must contain at least one flit");
         let info = Arc::new(PacketInfo {
             id: self.id,
@@ -314,17 +314,36 @@ impl PacketBuilder {
             message_tick: self.message_tick,
             sample: self.sample,
         });
-        (0..self.size)
-            .map(|seq| Flit {
-                pkt: Arc::clone(&info),
-                seq,
-                vc: 0,
-                hops: 0,
-                inter: None,
-                crc: Flit::compute_crc(info.id.0, seq),
-                span: None,
-            })
-            .collect()
+        (0..info.size).map(move |seq| Flit {
+            pkt: Arc::clone(&info),
+            seq,
+            vc,
+            hops: 0,
+            inter: None,
+            crc: Flit::compute_crc(info.id.0, seq),
+            span: None,
+        })
+    }
+
+    /// Materializes the packet as a vector of flits on VC 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero: a packet has at least a head flit.
+    pub fn build(self) -> Vec<Flit> {
+        self.flits(0).collect()
+    }
+
+    /// Materializes the packet on `vc` straight into an injection
+    /// queue, skipping the intermediate vector [`build`](Self::build)
+    /// allocates — interfaces enqueue one packet per `max_packet_size`
+    /// flits, so this sits on the workload hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero: a packet has at least a head flit.
+    pub fn build_into(self, vc: Vc, out: &mut std::collections::VecDeque<Flit>) {
+        out.extend(self.flits(vc));
     }
 }
 
@@ -372,6 +391,22 @@ mod tests {
     #[should_panic(expected = "at least one flit")]
     fn zero_size_packet_panics() {
         let _ = builder(0).build();
+    }
+
+    #[test]
+    fn build_into_matches_build() {
+        // The allocation-free path appends the exact flits `build`
+        // returns, on the requested VC, behind existing queue contents.
+        let mut queue: std::collections::VecDeque<Flit> = builder(1).build().into();
+        builder(4).build_into(2, &mut queue);
+        let reference = builder(4).build();
+        assert_eq!(queue.len(), 5);
+        for (q, r) in queue.iter().skip(1).zip(&reference) {
+            assert_eq!(q.vc, 2);
+            assert_eq!((q.seq, q.hops, q.crc), (r.seq, r.hops, r.crc));
+            assert_eq!(q.pkt, r.pkt);
+        }
+        assert!(Arc::ptr_eq(&queue[1].pkt, &queue[4].pkt));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!   backend merges records back into canonical order), and serializes
 //!   to JSON-lines ([`trace_json_lines`]).
 
+mod arena;
 mod check;
 mod credit;
 mod event;
@@ -41,6 +42,7 @@ mod phase;
 mod proptests;
 mod trace;
 
+pub use arena::{FlitArena, FlitHandle, FlitMeta};
 pub use check::{CheckError, DeliveryChecker};
 pub use credit::{CreditCounter, CreditError};
 pub use event::Ev;

@@ -10,13 +10,19 @@ use supersim_netbase::Flit;
 /// Pushing beyond capacity is a flow-control protocol violation (the
 /// upstream device must have spent a credit per slot) and is reported
 /// rather than silently dropped or grown.
+///
+/// Generic over the stored element: the built-in routers park their
+/// flits in a per-component [`FlitArena`](supersim_netbase::FlitArena)
+/// and buffer only the 4-byte [`FlitHandle`](supersim_netbase::FlitHandle);
+/// buffering whole [`Flit`] values (the default) remains available for
+/// user-defined architectures.
 #[derive(Debug, Clone)]
-pub struct VcBuffer {
-    flits: VecDeque<Flit>,
+pub struct VcBuffer<T = Flit> {
+    flits: VecDeque<T>,
     capacity: u32,
 }
 
-impl VcBuffer {
+impl<T> VcBuffer<T> {
     /// Creates a buffer holding up to `capacity` flits.
     pub fn new(capacity: u32) -> Self {
         VcBuffer {
@@ -55,7 +61,7 @@ impl VcBuffer {
     ///
     /// Returns `Err(flit)` when the buffer is full — an upstream credit
     /// protocol violation the caller must surface as a simulation failure.
-    pub fn push(&mut self, flit: Flit) -> Result<(), Flit> {
+    pub fn push(&mut self, flit: T) -> Result<(), T> {
         if self.is_full() {
             return Err(flit);
         }
@@ -65,20 +71,20 @@ impl VcBuffer {
 
     /// The flit at the head, if any.
     #[inline]
-    pub fn front(&self) -> Option<&Flit> {
+    pub fn front(&self) -> Option<&T> {
         self.flits.front()
     }
 
     /// Mutable access to the head flit (routing annotates head flits in
     /// place).
     #[inline]
-    pub fn front_mut(&mut self) -> Option<&mut Flit> {
+    pub fn front_mut(&mut self) -> Option<&mut T> {
         self.flits.front_mut()
     }
 
     /// Removes and returns the head flit.
     #[inline]
-    pub fn pop(&mut self) -> Option<Flit> {
+    pub fn pop(&mut self) -> Option<T> {
         self.flits.pop_front()
     }
 }
@@ -137,8 +143,18 @@ mod tests {
 
     #[test]
     fn zero_capacity_rejects_everything() {
-        let mut b = VcBuffer::new(0);
+        let mut b = VcBuffer::<Flit>::new(0);
         assert!(b.is_full() && b.is_empty());
         assert!(b.push(flit(1)).is_err());
+    }
+
+    #[test]
+    fn stores_handles_too() {
+        let mut arena = supersim_netbase::FlitArena::new();
+        let mut b = VcBuffer::new(2);
+        b.push(arena.insert(flit(3))).unwrap();
+        let h = *b.front().unwrap();
+        assert_eq!(arena.get(h).pkt.id, PacketId(3));
+        assert_eq!(arena.take(b.pop().unwrap()).pkt.id, PacketId(3));
     }
 }

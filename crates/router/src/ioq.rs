@@ -17,7 +17,8 @@ use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
 use supersim_netbase::{
-    retry_port, CreditCounter, Ev, FaultPlane, Flit, FlitTraceExt, LinkFaults, RouterId, TraceKind,
+    retry_port, CreditCounter, Ev, FaultPlane, FlitArena, FlitHandle, FlitTraceExt, LinkFaults,
+    RouterId, TraceKind,
 };
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
@@ -72,10 +73,13 @@ pub struct IoqRouter {
     link_period: Tick,
     xbar_latency: Tick,
     input_buffer: u32,
-    inputs: Vec<VcBuffer>,
+    /// In-flight flits parked once on arrival; buffers and queues move
+    /// handles only.
+    arena: FlitArena,
+    inputs: Vec<VcBuffer<FlitHandle>>,
     route_table: Vec<Option<RouteChoice>>,
     /// Output queues per (port, vc) with ready ticks.
-    oq: Vec<VecDeque<(Tick, Flit)>>,
+    oq: Vec<VecDeque<(Tick, FlitHandle)>>,
     oq_free: Vec<u32>,
     /// Input-stage crossbar schedulers per output port (enforce VC
     /// ownership and the flow control technique against OQ space).
@@ -85,6 +89,10 @@ pub struct IoqRouter {
     routing: Vec<Box<dyn RoutingAlgorithm>>,
     sensor: CongestionSensor,
     last_send: Vec<Option<Tick>>,
+    /// Per-output-port candidate buckets, reused across cycles.
+    cand_buckets: Vec<Vec<XbarCandidate>>,
+    /// Drain-stage request scratch, reused across ports and cycles.
+    req_scratch: Vec<Request>,
     next_pipeline: Option<Tick>,
     last_cycle: Option<Tick>,
     /// Operation counters.
@@ -133,6 +141,7 @@ impl IoqRouter {
             link_period: config.link_period,
             xbar_latency: config.xbar_latency,
             input_buffer: config.input_buffer,
+            arena: FlitArena::new(),
             inputs: (0..n).map(|_| VcBuffer::new(config.input_buffer)).collect(),
             route_table: vec![None; n],
             oq: (0..n).map(|_| VecDeque::new()).collect(),
@@ -143,6 +152,8 @@ impl IoqRouter {
             routing,
             sensor: CongestionSensor::new(radix, vcs, config.sensor),
             last_send: vec![None; radix as usize],
+            cand_buckets: (0..radix).map(|_| Vec::new()).collect(),
+            req_scratch: Vec::new(),
             next_pipeline: None,
             last_cycle: None,
             counters: RouterCounters::default(),
@@ -184,6 +195,12 @@ impl IoqRouter {
             .collect()
     }
 
+    /// Flit-arena occupancy as `(live, high_water)`, for the profiling
+    /// plane.
+    pub fn arena_stats(&self) -> (u32, u32) {
+        (self.arena.live(), self.arena.high_water())
+    }
+
     fn fault_protocol(&mut self, ctx: &mut Context<'_, Ev>, port: u32, kind: FaultProtocolEvent) {
         handle_fault_protocol(
             &mut self.fault,
@@ -211,13 +228,14 @@ impl IoqRouter {
                 continue;
             }
             let (in_port, in_vc) = self.ports.unkey(k);
-            let Some(front) = self.inputs[k].front() else {
+            let Some(&h) = self.inputs[k].front() else {
                 continue;
             };
-            if !front.is_head() {
+            if !self.arena.meta(h).is_head() {
                 ctx.fail(format!(
                     "{}: body flit of {} at buffer head without a route",
-                    self.name, front.pkt.id
+                    self.name,
+                    self.arena.get(h).pkt.id
                 ));
                 return false;
             }
@@ -230,8 +248,7 @@ impl IoqRouter {
                     congestion: &view,
                     rng: ctx.rng(),
                 };
-                let flit = self.inputs[k].front_mut().expect("checked above");
-                self.routing[in_port as usize].route(&mut rctx, flit)
+                self.routing[in_port as usize].route(&mut rctx, self.arena.get_mut(h))
             };
             if choice.port >= self.ports.radix || choice.vc >= self.ports.vcs {
                 ctx.fail(format!(
@@ -258,47 +275,47 @@ impl IoqRouter {
     fn inputs_to_queues(&mut self, ctx: &mut Context<'_, Ev>) -> bool {
         let tick = ctx.now().tick();
         let mut progress = false;
-        for out_port in 0..self.ports.radix {
-            let mut cands: Vec<XbarCandidate> = Vec::new();
-            for k in 0..self.inputs.len() {
-                let Some(route) = self.route_table[k] else {
-                    continue;
-                };
-                if route.port != out_port {
-                    continue;
+        // A single pass over the inputs distributes candidates into reused
+        // per-output buckets — each input feeds exactly one output, so the
+        // per-output candidate order (ascending input key) and every
+        // queue-space/stall observation are identical to the per-output
+        // sweep this replaces, at O(inputs + radix) per cycle with no
+        // per-cycle allocation.
+        for bucket in &mut self.cand_buckets {
+            bucket.clear();
+        }
+        for k in 0..self.inputs.len() {
+            let Some(route) = self.route_table[k] else {
+                continue;
+            };
+            let out_port = route.port;
+            let Some(&h) = self.inputs[k].front() else {
+                continue;
+            };
+            let m = self.arena.meta(h);
+            let credits = self.oq_free[self.ports.key(out_port, route.vc)];
+            let span = self.arena.get_mut(h).span.as_deref_mut();
+            if credits == 0 {
+                self.metrics.credit_stalls.inc();
+                if let Some(s) = span {
+                    s.stall(tick);
                 }
-                let Some(flit) = self.inputs[k].front() else {
-                    continue;
-                };
-                let (age, is_head, is_tail, packet_size) = (
-                    flit.pkt.inject_tick,
-                    flit.is_head(),
-                    flit.is_tail(),
-                    flit.pkt.size,
-                );
-                let credits = self.oq_free[self.ports.key(out_port, route.vc)];
-                let span = self.inputs[k]
-                    .front_mut()
-                    .and_then(|f| f.span.as_deref_mut());
-                if credits == 0 {
-                    self.metrics.credit_stalls.inc();
-                    if let Some(s) = span {
-                        s.stall(tick);
-                    }
-                } else if let Some(s) = span {
-                    s.resume(tick);
-                }
-                cands.push(XbarCandidate {
-                    input_key: k as u32,
-                    age,
-                    out_vc: route.vc,
-                    is_head,
-                    is_tail,
-                    packet_size,
-                    credits,
-                });
+            } else if let Some(s) = span {
+                s.resume(tick);
             }
-            let Some(w) = self.schedulers[out_port as usize].pick(&cands, ctx.rng()) else {
+            self.cand_buckets[out_port as usize].push(XbarCandidate {
+                input_key: k as u32,
+                age: m.age,
+                out_vc: route.vc,
+                is_head: m.is_head(),
+                is_tail: m.is_tail(),
+                packet_size: m.packet_size,
+                credits,
+            });
+        }
+        for out_port in 0..self.ports.radix {
+            let cands = &self.cand_buckets[out_port as usize];
+            let Some(w) = self.schedulers[out_port as usize].pick(cands, ctx.rng()) else {
                 if !cands.is_empty() {
                     self.metrics.denials.inc();
                 }
@@ -307,7 +324,7 @@ impl IoqRouter {
             self.metrics.grants.inc();
             let c = cands[w];
             let k = c.input_key as usize;
-            let mut flit = self.inputs[k].pop().expect("candidate had a flit");
+            let h = self.inputs[k].pop().expect("candidate had a flit");
             let okey = self.ports.key(out_port, c.out_vc);
             debug_assert!(self.oq_free[okey] > 0, "scheduler granted without OQ space");
             self.oq_free[okey] -= 1;
@@ -327,9 +344,10 @@ impl IoqRouter {
                     );
                 }
             }
-            if flit.is_tail() {
+            if c.is_tail {
                 self.route_table[k] = None;
             }
+            let flit = self.arena.get_mut(h);
             flit.hops += 1;
             flit.vc = c.out_vc;
             if let Some(s) = flit.span.as_deref_mut() {
@@ -340,7 +358,8 @@ impl IoqRouter {
                 s.enter(tick + self.xbar_latency);
             }
             self.metrics.flit_unbuffered(in_port);
-            self.oq[okey].push_back((tick + self.xbar_latency, flit));
+            self.oq[okey].push_back((tick + self.xbar_latency, h));
+            self.counters.flits_advanced += 1;
             progress = true;
         }
         progress
@@ -355,39 +374,37 @@ impl IoqRouter {
             if self.last_send[out_port as usize].is_some_and(|t| tick < t + self.link_period) {
                 continue;
             }
-            let mut requests: Vec<Request> = Vec::new();
+            self.req_scratch.clear();
             for vc in 0..self.ports.vcs {
                 let okey = self.ports.key(out_port, vc);
-                let Some(&(ready, ref flit)) = self.oq[okey].front() else {
+                let Some(&(ready, h)) = self.oq[okey].front() else {
                     continue;
                 };
                 if ready > tick || !self.credits[okey].has_credit() {
                     if ready <= tick {
                         self.metrics.credit_stalls.inc();
-                        if let Some(s) = self.oq[okey]
-                            .front_mut()
-                            .and_then(|(_, f)| f.span.as_deref_mut())
-                        {
+                        if let Some(s) = self.arena.get_mut(h).span.as_deref_mut() {
                             s.stall(tick);
                         }
                     }
                     continue;
                 }
-                requests.push(Request {
+                self.req_scratch.push(Request {
                     id: vc,
-                    age: flit.pkt.inject_tick,
+                    age: self.arena.meta(h).age,
                 });
             }
-            let Some(w) = self.drain_arb[out_port as usize].grant(&requests, rng) else {
-                if !requests.is_empty() {
+            let Some(w) = self.drain_arb[out_port as usize].grant(&self.req_scratch, rng) else {
+                if !self.req_scratch.is_empty() {
                     self.metrics.denials.inc();
                 }
                 continue;
             };
             self.metrics.grants.inc();
-            let vc = requests[w].id;
+            let vc = self.req_scratch[w].id;
             let okey = self.ports.key(out_port, vc);
-            let (_, mut flit) = self.oq[okey].pop_front().expect("candidate had a flit");
+            let (_, h) = self.oq[okey].pop_front().expect("candidate had a flit");
+            let mut flit = self.arena.take(h);
             self.oq_free[okey] += 1;
             self.credits[okey]
                 .consume()
@@ -415,6 +432,7 @@ impl IoqRouter {
             }
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
+            self.counters.flits_advanced += 1;
             progress = true;
         }
         progress
@@ -501,7 +519,9 @@ impl Component<Ev> for IoqRouter {
                 }
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
-                if let Err(flit) = self.inputs[k].push(flit) {
+                let h = self.arena.insert(flit);
+                if let Err(h) = self.inputs[k].push(h) {
+                    let flit = self.arena.take(h);
                     ctx.fail(format!(
                         "{}: input buffer overrun at port {port} vc {} ({})",
                         self.name, flit.vc, flit.pkt.id

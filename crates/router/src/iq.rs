@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
 use supersim_netbase::{
-    retry_port, CreditCounter, Ev, FaultPlane, FlitTraceExt, LinkFaults, RouterId, TraceKind,
+    retry_port, CreditCounter, Ev, FaultPlane, FlitArena, FlitHandle, FlitTraceExt, LinkFaults,
+    RouterId, TraceKind,
 };
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
@@ -63,8 +64,13 @@ pub struct RouterCounters {
     pub flits_out: u64,
     /// Credits received for output VCs.
     pub credits_in: u64,
-    /// Switch cycles executed.
+    /// Switch cycles executed. Each cycle is one batched pipeline event,
+    /// so this is also the profiling plane's batch count.
     pub cycles: u64,
+    /// Flits moved by a pipeline stage (crossbar grants, queue transfers,
+    /// channel sends) — `flits_advanced / cycles` is the per-batch
+    /// advancement rate of the profiling plane.
+    pub flits_advanced: u64,
 }
 
 /// The input-queued router component.
@@ -76,7 +82,10 @@ pub struct IqRouter {
     link_period: Tick,
     xbar_latency: Tick,
     input_buffer: u32,
-    inputs: Vec<VcBuffer>,
+    /// In-flight flits parked once on arrival; buffers and queues move
+    /// handles only.
+    arena: FlitArena,
+    inputs: Vec<VcBuffer<FlitHandle>>,
     route_table: Vec<Option<RouteChoice>>,
     /// Whether the packet currently routed at this input has already sent
     /// its head through the crossbar (after which its route is frozen).
@@ -86,6 +95,8 @@ pub struct IqRouter {
     routing: Vec<Box<dyn RoutingAlgorithm>>,
     sensor: CongestionSensor,
     last_send: Vec<Option<Tick>>,
+    /// Per-output-port candidate buckets, reused across cycles.
+    cand_buckets: Vec<Vec<XbarCandidate>>,
     next_pipeline: Option<Tick>,
     last_cycle: Option<Tick>,
     /// Operation counters.
@@ -131,6 +142,7 @@ impl IqRouter {
             link_period: config.link_period,
             xbar_latency: config.xbar_latency,
             input_buffer: config.input_buffer,
+            arena: FlitArena::new(),
             inputs: (0..n).map(|_| VcBuffer::new(config.input_buffer)).collect(),
             route_table: vec![None; n],
             route_started: vec![false; n],
@@ -139,6 +151,7 @@ impl IqRouter {
             routing,
             sensor: CongestionSensor::new(radix, vcs, config.sensor),
             last_send: vec![None; radix as usize],
+            cand_buckets: (0..radix).map(|_| Vec::new()).collect(),
             next_pipeline: None,
             last_cycle: None,
             counters: RouterCounters::default(),
@@ -180,6 +193,12 @@ impl IqRouter {
             .collect()
     }
 
+    /// Flit-arena occupancy as `(live, high_water)`, for the profiling
+    /// plane.
+    pub fn arena_stats(&self) -> (u32, u32) {
+        (self.arena.live(), self.arena.high_water())
+    }
+
     fn fault_protocol(&mut self, ctx: &mut Context<'_, Ev>, port: u32, kind: FaultProtocolEvent) {
         handle_fault_protocol(
             &mut self.fault,
@@ -218,16 +237,17 @@ impl IqRouter {
             {
                 continue;
             }
-            let Some(front) = self.inputs[k].front() else {
+            let Some(&h) = self.inputs[k].front() else {
                 continue;
             };
-            if !front.is_head() {
+            if !self.arena.meta(h).is_head() {
                 if self.route_table[k].is_some() {
                     continue; // body flit streaming on a frozen route
                 }
                 ctx.fail(format!(
                     "{}: body flit of {} at buffer head without a route",
-                    self.name, front.pkt.id
+                    self.name,
+                    self.arena.get(h).pkt.id
                 ));
                 return;
             }
@@ -240,8 +260,7 @@ impl IqRouter {
                     congestion: &view,
                     rng: ctx.rng(),
                 };
-                let flit = self.inputs[k].front_mut().expect("checked above");
-                self.routing[in_port as usize].route(&mut rctx, flit)
+                self.routing[in_port as usize].route(&mut rctx, self.arena.get_mut(h))
             };
             // Error detection (paper §IV-D): reject illegal routing output.
             if choice.port >= self.ports.radix || choice.vc >= self.ports.vcs {
@@ -262,52 +281,54 @@ impl IqRouter {
         }
 
         // Stage 2: switch allocation, one winner per output port, gated to
-        // the channel rate.
+        // the channel rate. A single pass over the inputs distributes
+        // candidates into reused per-output buckets — each input feeds
+        // exactly one output, so the per-output candidate order (ascending
+        // input key) and every credit/stall observation are identical to
+        // the per-output sweep this replaces, at O(inputs + radix) per
+        // cycle with no per-cycle allocation.
         let mut progress = false;
+        for bucket in &mut self.cand_buckets {
+            bucket.clear();
+        }
+        for k in 0..self.inputs.len() {
+            let Some(route) = self.route_table[k] else {
+                continue;
+            };
+            let out_port = route.port;
+            if self.last_send[out_port as usize].is_some_and(|t| tick < t + self.link_period) {
+                continue; // channel still serializing the previous flit
+            }
+            let Some(&h) = self.inputs[k].front() else {
+                continue;
+            };
+            let m = self.arena.meta(h);
+            let credits = self.credits[self.ports.key(out_port, route.vc)].available();
+            let span = self.arena.get_mut(h).span.as_deref_mut();
+            if credits == 0 {
+                self.metrics.credit_stalls.inc();
+                if let Some(s) = span {
+                    s.stall(tick);
+                }
+            } else if let Some(s) = span {
+                s.resume(tick);
+            }
+            self.cand_buckets[out_port as usize].push(XbarCandidate {
+                input_key: k as u32,
+                age: m.age,
+                out_vc: route.vc,
+                is_head: m.is_head(),
+                is_tail: m.is_tail(),
+                packet_size: m.packet_size,
+                credits,
+            });
+        }
         for out_port in 0..self.ports.radix {
             if self.last_send[out_port as usize].is_some_and(|t| tick < t + self.link_period) {
                 continue; // channel still serializing the previous flit
             }
-            let mut cands: Vec<XbarCandidate> = Vec::new();
-            for k in 0..self.inputs.len() {
-                let Some(route) = self.route_table[k] else {
-                    continue;
-                };
-                if route.port != out_port {
-                    continue;
-                }
-                let Some(flit) = self.inputs[k].front() else {
-                    continue;
-                };
-                let (age, is_head, is_tail, packet_size) = (
-                    flit.pkt.inject_tick,
-                    flit.is_head(),
-                    flit.is_tail(),
-                    flit.pkt.size,
-                );
-                let credits = self.credits[self.ports.key(out_port, route.vc)].available();
-                let span = self.inputs[k]
-                    .front_mut()
-                    .and_then(|f| f.span.as_deref_mut());
-                if credits == 0 {
-                    self.metrics.credit_stalls.inc();
-                    if let Some(s) = span {
-                        s.stall(tick);
-                    }
-                } else if let Some(s) = span {
-                    s.resume(tick);
-                }
-                cands.push(XbarCandidate {
-                    input_key: k as u32,
-                    age,
-                    out_vc: route.vc,
-                    is_head,
-                    is_tail,
-                    packet_size,
-                    credits,
-                });
-            }
-            let Some(w) = self.schedulers[out_port as usize].pick(&cands, ctx.rng()) else {
+            let cands = &self.cand_buckets[out_port as usize];
+            let Some(w) = self.schedulers[out_port as usize].pick(cands, ctx.rng()) else {
                 if !cands.is_empty() {
                     self.metrics.denials.inc();
                 }
@@ -316,7 +337,8 @@ impl IqRouter {
             self.metrics.grants.inc();
             let c = cands[w];
             let k = c.input_key as usize;
-            let mut flit = self.inputs[k].pop().expect("candidate had a head flit");
+            let h = self.inputs[k].pop().expect("candidate had a head flit");
+            let mut flit = self.arena.take(h);
             if self.credits[self.ports.key(out_port, c.out_vc)]
                 .consume()
                 .is_err()
@@ -379,6 +401,7 @@ impl IqRouter {
             }
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
+            self.counters.flits_advanced += 1;
             progress = true;
         }
 
@@ -422,7 +445,9 @@ impl Component<Ev> for IqRouter {
                 }
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
-                if let Err(flit) = self.inputs[k].push(flit) {
+                let h = self.arena.insert(flit);
+                if let Err(h) = self.inputs[k].push(h) {
+                    let flit = self.arena.take(h);
                     ctx.fail(format!(
                         "{}: input buffer overrun at port {port} vc {} ({})",
                         self.name, flit.vc, flit.pkt.id

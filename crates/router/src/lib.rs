@@ -26,6 +26,8 @@ mod arbiter;
 mod buffer;
 mod common;
 mod congestion;
+#[cfg(test)]
+mod fused_model;
 mod ioq;
 mod iq;
 mod metrics;

@@ -15,7 +15,8 @@ use supersim_des::Rng;
 
 use supersim_des::{Clock, Component, Context, Tick, Time};
 use supersim_netbase::{
-    retry_port, CreditCounter, Ev, FaultPlane, Flit, FlitTraceExt, LinkFaults, RouterId, TraceKind,
+    retry_port, CreditCounter, Ev, FaultPlane, FlitArena, FlitHandle, FlitTraceExt, LinkFaults,
+    RouterId, TraceKind,
 };
 use supersim_topology::{RouteChoice, RoutingAlgorithm, RoutingContext};
 
@@ -64,10 +65,13 @@ pub struct OqRouter {
     link_period: Tick,
     core_latency: Tick,
     input_buffer: u32,
-    inputs: Vec<VcBuffer>,
+    /// In-flight flits parked once on arrival; buffers and queues move
+    /// handles only.
+    arena: FlitArena,
+    inputs: Vec<VcBuffer<FlitHandle>>,
     route_table: Vec<Option<RouteChoice>>,
-    /// Output queues per (port, vc): flits with their ready ticks.
-    oq: Vec<VecDeque<(Tick, Flit)>>,
+    /// Output queues per (port, vc): flit handles with their ready ticks.
+    oq: Vec<VecDeque<(Tick, FlitHandle)>>,
     /// Remaining space per (port, vc); `None` = infinite queues.
     oq_free: Option<Vec<u32>>,
     /// Wormhole atomicity at enqueue: which input key owns each output VC.
@@ -78,6 +82,8 @@ pub struct OqRouter {
     routing: Vec<Box<dyn RoutingAlgorithm>>,
     sensor: CongestionSensor,
     last_send: Vec<Option<Tick>>,
+    /// Drain-stage request scratch, reused across ports and cycles.
+    req_scratch: Vec<Request>,
     next_pipeline: Option<Tick>,
     last_cycle: Option<Tick>,
     /// Operation counters.
@@ -123,6 +129,7 @@ impl OqRouter {
             link_period: config.link_period,
             core_latency: config.core_latency,
             input_buffer: config.input_buffer,
+            arena: FlitArena::new(),
             inputs: (0..n).map(|_| VcBuffer::new(config.input_buffer)).collect(),
             route_table: vec![None; n],
             oq: (0..n).map(|_| VecDeque::new()).collect(),
@@ -133,6 +140,7 @@ impl OqRouter {
             routing,
             sensor: CongestionSensor::new(radix, vcs, config.sensor),
             last_send: vec![None; radix as usize],
+            req_scratch: Vec::new(),
             next_pipeline: None,
             last_cycle: None,
             counters: RouterCounters::default(),
@@ -174,6 +182,12 @@ impl OqRouter {
             .collect()
     }
 
+    /// Flit-arena occupancy as `(live, high_water)`, for the profiling
+    /// plane.
+    pub fn arena_stats(&self) -> (u32, u32) {
+        (self.arena.live(), self.arena.high_water())
+    }
+
     fn fault_protocol(&mut self, ctx: &mut Context<'_, Ev>, port: u32, kind: FaultProtocolEvent) {
         handle_fault_protocol(
             &mut self.fault,
@@ -201,13 +215,14 @@ impl OqRouter {
                 continue;
             }
             let (in_port, in_vc) = self.ports.unkey(k);
-            let Some(front) = self.inputs[k].front() else {
+            let Some(&h) = self.inputs[k].front() else {
                 continue;
             };
-            if !front.is_head() {
+            if !self.arena.meta(h).is_head() {
                 ctx.fail(format!(
                     "{}: body flit of {} at buffer head without a route",
-                    self.name, front.pkt.id
+                    self.name,
+                    self.arena.get(h).pkt.id
                 ));
                 return false;
             }
@@ -220,8 +235,7 @@ impl OqRouter {
                     congestion: &view,
                     rng: ctx.rng(),
                 };
-                let flit = self.inputs[k].front_mut().expect("checked above");
-                self.routing[in_port as usize].route(&mut rctx, flit)
+                self.routing[in_port as usize].route(&mut rctx, self.arena.get_mut(h))
             };
             if choice.port >= self.ports.radix || choice.vc >= self.ports.vcs {
                 ctx.fail(format!(
@@ -251,14 +265,15 @@ impl OqRouter {
             let Some(route) = self.route_table[k] else {
                 continue;
             };
-            let Some(front) = self.inputs[k].front() else {
+            let Some(&h) = self.inputs[k].front() else {
                 continue;
             };
+            let m = self.arena.meta(h);
             let okey = self.ports.key(route.port, route.vc);
             // Wormhole atomicity: one packet owns the output VC queue from
             // head to tail enqueue.
             let owner_ok = match self.oq_owner[okey] {
-                None => front.is_head(),
+                None => m.is_head(),
                 Some(owner) => owner == k as u32,
             };
             if !owner_ok {
@@ -267,25 +282,15 @@ impl OqRouter {
             if let Some(free) = &self.oq_free {
                 if free[okey] == 0 {
                     self.metrics.credit_stalls.inc();
-                    if let Some(s) = self.inputs[k]
-                        .front_mut()
-                        .and_then(|f| f.span.as_deref_mut())
-                    {
+                    if let Some(s) = self.arena.get_mut(h).span.as_deref_mut() {
                         s.stall(tick);
                     }
                     continue; // finite queue full: backpressure
                 }
             }
-            let mut flit = self.inputs[k].pop().expect("front existed");
+            self.inputs[k].pop().expect("front existed");
             if let Some(free) = &mut self.oq_free {
                 free[okey] -= 1;
-            }
-            if let Some(s) = flit.span.as_deref_mut() {
-                // Input residence ends here; the queue-to-queue transfer is
-                // the OQ model's serialization stage, then a fresh residence
-                // segment begins in the output queue.
-                s.grant(tick, self.core_latency, 0);
-                s.enter(tick + self.core_latency);
             }
             self.sensor
                 .add(tick, CongestionSource::Output, route.port, route.vc);
@@ -303,14 +308,23 @@ impl OqRouter {
                     );
                 }
             }
-            self.oq_owner[okey] = if flit.is_tail() { None } else { Some(k as u32) };
-            if flit.is_tail() {
+            self.oq_owner[okey] = if m.is_tail() { None } else { Some(k as u32) };
+            if m.is_tail() {
                 self.route_table[k] = None;
+            }
+            let flit = self.arena.get_mut(h);
+            if let Some(s) = flit.span.as_deref_mut() {
+                // Input residence ends here; the queue-to-queue transfer is
+                // the OQ model's serialization stage, then a fresh residence
+                // segment begins in the output queue.
+                s.grant(tick, self.core_latency, 0);
+                s.enter(tick + self.core_latency);
             }
             flit.hops += 1;
             flit.vc = route.vc;
             self.metrics.flit_unbuffered(in_port);
-            self.oq[okey].push_back((tick + self.core_latency, flit));
+            self.oq[okey].push_back((tick + self.core_latency, h));
+            self.counters.flits_advanced += 1;
             progress = true;
         }
         progress
@@ -325,10 +339,10 @@ impl OqRouter {
             if self.last_send[out_port as usize].is_some_and(|t| tick < t + self.link_period) {
                 continue;
             }
-            let mut requests: Vec<Request> = Vec::new();
+            self.req_scratch.clear();
             for vc in 0..self.ports.vcs {
                 let okey = self.ports.key(out_port, vc);
-                let Some(&(ready, ref flit)) = self.oq[okey].front() else {
+                let Some(&(ready, h)) = self.oq[okey].front() else {
                     continue;
                 };
                 if ready > tick {
@@ -336,29 +350,28 @@ impl OqRouter {
                 }
                 if !self.credits[okey].has_credit() {
                     self.metrics.credit_stalls.inc();
-                    if let Some(s) = self.oq[okey]
-                        .front_mut()
-                        .and_then(|(_, f)| f.span.as_deref_mut())
-                    {
+                    if let Some(s) = self.arena.get_mut(h).span.as_deref_mut() {
                         s.stall(tick);
                     }
                     continue;
                 }
-                requests.push(Request {
+                self.req_scratch.push(Request {
                     id: vc,
-                    age: flit.pkt.inject_tick,
+                    age: self.arena.meta(h).age,
                 });
             }
-            let Some(w) = self.drain_arb[out_port as usize].grant(&requests, rng_dummy) else {
-                if !requests.is_empty() {
+            let Some(w) = self.drain_arb[out_port as usize].grant(&self.req_scratch, rng_dummy)
+            else {
+                if !self.req_scratch.is_empty() {
                     self.metrics.denials.inc();
                 }
                 continue;
             };
             self.metrics.grants.inc();
-            let vc = requests[w].id;
+            let vc = self.req_scratch[w].id;
             let okey = self.ports.key(out_port, vc);
-            let (_, mut flit) = self.oq[okey].pop_front().expect("candidate had a flit");
+            let (_, h) = self.oq[okey].pop_front().expect("candidate had a flit");
+            let mut flit = self.arena.take(h);
             if let Some(free) = &mut self.oq_free {
                 free[okey] += 1;
             }
@@ -388,6 +401,7 @@ impl OqRouter {
             }
             self.last_send[out_port as usize] = Some(tick);
             self.counters.flits_out += 1;
+            self.counters.flits_advanced += 1;
             progress = true;
         }
         progress
@@ -465,7 +479,9 @@ impl Component<Ev> for OqRouter {
                 }
                 ctx.trace_flit(TraceKind::RouterArrive, self.id.0, &flit);
                 let k = self.ports.key(port, flit.vc);
-                if let Err(flit) = self.inputs[k].push(flit) {
+                let h = self.arena.insert(flit);
+                if let Err(h) = self.inputs[k].push(h) {
+                    let flit = self.arena.take(h);
                     ctx.fail(format!(
                         "{}: input buffer overrun at port {port} vc {} ({})",
                         self.name, flit.vc, flit.pkt.id

@@ -82,6 +82,11 @@ pub struct OutputScheduler {
     vc_owner: Vec<Option<u32>>,
     /// Port lock for PB/WTA, held while a packet streams.
     lock: Option<u32>,
+    /// Eligible-candidate indices, reused across [`pick`](Self::pick)
+    /// calls to keep the per-cycle hot path allocation-free.
+    eligible: Vec<usize>,
+    /// Arbiter request scratch, reused across calls.
+    requests: Vec<Request>,
 }
 
 impl OutputScheduler {
@@ -98,6 +103,8 @@ impl OutputScheduler {
             arbiter,
             vc_owner: vec![None; vcs as usize],
             lock: None,
+            eligible: Vec::new(),
+            requests: Vec::new(),
         }
     }
 
@@ -137,17 +144,18 @@ impl OutputScheduler {
             }
         }
 
-        // Eligibility filter.
-        let eligible: Vec<usize> = candidates
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| self.is_eligible(c))
-            .map(|(i, _)| i)
-            .collect();
+        // Eligibility filter (into the reused scratch vector).
+        self.eligible.clear();
+        for (i, c) in candidates.iter().enumerate() {
+            if self.is_eligible(c) {
+                self.eligible.push(i);
+            }
+        }
 
         // While a port lock is held, only the owner may proceed.
         let winner_idx = if let Some(owner) = self.lock {
-            let own = eligible
+            let own = self
+                .eligible
                 .iter()
                 .copied()
                 .find(|&i| candidates[i].input_key == owner);
@@ -161,15 +169,15 @@ impl OutputScheduler {
                 FlowControl::FlitBuffer => unreachable!("FB never locks the port"),
             }
         } else {
-            let requests: Vec<Request> = eligible
-                .iter()
-                .map(|&i| Request {
+            self.requests.clear();
+            for &i in &self.eligible {
+                self.requests.push(Request {
                     id: candidates[i].input_key,
                     age: candidates[i].age,
-                })
-                .collect();
-            let w = self.arbiter.grant(&requests, rng)?;
-            eligible[w]
+                });
+            }
+            let w = self.arbiter.grant(&self.requests, rng)?;
+            self.eligible[w]
         };
 
         self.commit(&candidates[winner_idx]);

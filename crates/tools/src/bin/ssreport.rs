@@ -14,6 +14,8 @@
 //!                                           # with aggregate totals
 //! ssreport <snapshot.json> --faults         # fault-plane lifecycle
 //!                                           # summary + degraded flag
+//! ssreport <snapshot.json> --profile        # hot-path profiling plane:
+//!                                           # batching and arena pressure
 //! ```
 
 use std::process::ExitCode;
@@ -59,6 +61,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        [flag] if flag == "--profile" => match supersim_tools::profile_report(&snap) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("ssreport: snapshot has no profile plane");
+                return ExitCode::FAILURE;
+            }
+        },
         [flag] if flag == "--list-hist" => {
             for (component, name) in supersim_tools::histogram_names(&snap) {
                 println!("{component} {name}");
@@ -84,8 +93,8 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | \
-                 --hist <component> <metric> | --hist-ascii <component> <metric>]"
+                "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --profile | \
+                 --list-hist | --hist <component> <metric> | --hist-ascii <component> <metric>]"
             );
             return ExitCode::FAILURE;
         }

@@ -35,7 +35,7 @@ pub use ssplot::{
 };
 pub use ssreport::{
     counters_csv, fault_report, histogram_ascii, histogram_ascii_report, histogram_names,
-    histogram_report, report_text, shard_report,
+    histogram_report, profile_report, report_text, shard_report,
 };
 pub use sweep::{Permutation, Sweep, SweepResult, SweepVariable};
 pub use taskrun::{TaskGraph, TaskId, TaskReport, TaskStatus};

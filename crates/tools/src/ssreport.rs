@@ -254,6 +254,45 @@ pub fn fault_report(snap: &MetricsSnapshot) -> Option<String> {
     Some(out)
 }
 
+/// Renders the hot-path profiling summary of a snapshot: events
+/// dispatched, batched router pipeline cycles, flits advanced per batch,
+/// the flit-arena occupancy high-water mark, and — when the fault plane
+/// was enabled — the flit copies taken on fault-episode paths (zero on a
+/// clean run: the hot path never clones). `None` when the snapshot has no
+/// `profile` plane (it predates the profiling plane).
+pub fn profile_report(snap: &MetricsSnapshot) -> Option<String> {
+    let counter = |name: &str| -> Option<u64> {
+        match snap.get("profile", name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    };
+    let events = counter("events_dispatched")?;
+    let cycles = counter("router_cycles").unwrap_or(0);
+    let advanced = counter("flits_advanced").unwrap_or(0);
+    let (live, high) = match snap.get("profile", "arena_occupancy") {
+        Some(MetricValue::Gauge { value, max }) => (*value, *max),
+        _ => (0, 0),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<20} {events}", "events_dispatched");
+    let _ = writeln!(out, "{:<20} {cycles}", "router_cycles");
+    let _ = writeln!(out, "{:<20} {advanced}", "flits_advanced");
+    if cycles > 0 {
+        let _ = writeln!(
+            out,
+            "{:<20} {:.2}",
+            "flits_per_cycle",
+            advanced as f64 / cycles as f64
+        );
+    }
+    let _ = writeln!(out, "{:<20} {live} (max {high})", "arena_occupancy");
+    if let Some(MetricValue::Counter(clones)) = snap.get("fault", "flit_clones") {
+        let _ = writeln!(out, "{:<20} {clones}", "fault_flit_clones");
+    }
+    Some(out)
+}
+
 /// All `(component, name)` pairs of histogram metrics in the snapshot.
 pub fn histogram_names(snap: &MetricsSnapshot) -> Vec<(String, String)> {
     snap.samples()
@@ -365,6 +404,30 @@ mod tests {
         clean.push_counter("run", "degraded", 0);
         clean.push_counter("fault", "injected", 0);
         assert!(fault_report(&clean).unwrap().contains("complete"));
+    }
+
+    #[test]
+    fn profile_report_summarizes_hot_path() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("profile", "events_dispatched", 1000);
+        snap.push_counter("profile", "router_cycles", 200);
+        snap.push_counter("profile", "flits_advanced", 500);
+        snap.push(
+            "profile",
+            "arena_occupancy",
+            MetricValue::Gauge { value: 0, max: 37 },
+        );
+        snap.push_counter("fault", "flit_clones", 4);
+        let text = profile_report(&snap).expect("profile plane present");
+        assert!(text.contains("events_dispatched    1000"));
+        assert!(text.contains("flits_per_cycle      2.50"));
+        assert!(text.contains("arena_occupancy      0 (max 37)"));
+        assert!(text.contains("fault_flit_clones    4"));
+        // No profile plane → no report; no fault plane → no clone row.
+        assert!(profile_report(&snapshot()).is_none());
+        let mut lean = MetricsSnapshot::new();
+        lean.push_counter("profile", "events_dispatched", 1);
+        assert!(!profile_report(&lean).unwrap().contains("flit_clones"));
     }
 
     #[test]

@@ -218,6 +218,33 @@ fn clean_runs_are_unmarked_and_fault_free_runs_have_no_fault_plane() {
 }
 
 #[test]
+fn clean_fault_path_never_clones_flits() {
+    // The retransmission plane keeps flits under observation on every
+    // link, but a clean transmission must move them by handle, never by
+    // deep copy: with the fault plane enabled and a zero injection rate
+    // the hot path is clone-free, pinned by the profiling plane's
+    // clone counter. (Corruption legitimately clones — the retry hold
+    // keeps the original while a corrupted copy goes out — so a lossy
+    // run must show a nonzero count, proving the counter is live.)
+    let clean = run(&with_faults(&presets::quickstart(), 7, 0.0));
+    assert!(
+        clean.counters.flits_sent > 0,
+        "clean run moved no flits — nothing was proven"
+    );
+    assert_eq!(
+        fault_counter(&clean, "flit_clones"),
+        0,
+        "zero-injection run cloned flit payloads on the hot path"
+    );
+    let lossy = run(&with_faults(&presets::quickstart(), 7, 2e-2));
+    assert!(fault_counter(&lossy, "detected") > 0, "lossy run was clean");
+    assert!(
+        fault_counter(&lossy, "flit_clones") > 0,
+        "corruption must clone (counter appears dead)"
+    );
+}
+
+#[test]
 fn scheduled_outage_recovers_and_is_deterministic() {
     // A finite scheduled outage on one router link: flits sent into the
     // outage are dropped and retransmitted after it lifts, so the run
