@@ -15,9 +15,9 @@ use supersim_topology::{
     HyperX, HyperXMode, HyperXRouting, RoutingAlgorithm, Torus, UpDownMode, UpDownRouting,
 };
 use supersim_workload::{
-    Application, BitComplement, BlastApp, BlastConfig, CrossSubtree, Neighbor, PingPongApp,
-    PingPongConfig, PulseApp, PulseConfig, RandomPermutation, SizeDistribution, Tornado,
-    TrafficPattern, Transpose, UniformRandom,
+    Application, BitComplement, BlastApp, BlastConfig, CrossSubtree, Hotspot, Incast, Neighbor,
+    PingPongApp, PingPongConfig, PulseApp, PulseConfig, RandomPermutation, SizeDistribution,
+    Tornado, TrafficPattern, Transpose, UniformRandom,
 };
 
 use crate::error::BuildError;
@@ -315,6 +315,47 @@ fn size_distribution(cfg: &Value) -> Result<SizeDistribution, BuildError> {
     Ok(SizeDistribution::Fixed(size as u32))
 }
 
+/// Parses an optional terminal-id set (the `sources` / `initiators` keys)
+/// into the sorted form the apps binary-search.
+fn terminal_set(
+    cfg: &Value,
+    key: &str,
+    terminals: u32,
+) -> Result<Option<std::sync::Arc<[u32]>>, BuildError> {
+    if cfg.path(key).is_none() {
+        return Ok(None);
+    }
+    Ok(Some(std::sync::Arc::from(
+        hot_set(cfg, key, terminals)?.into_boxed_slice(),
+    )))
+}
+
+/// Parses a required terminal-id array for a pattern (the `hot` /
+/// `victims` keys): non-empty, distinct, all below `terminals`, returned
+/// sorted ascending.
+fn hot_set(cfg: &Value, key: &str, terminals: u32) -> Result<Vec<u32>, BuildError> {
+    let ids = cfg.req_u64_array(key)?;
+    if ids.is_empty() {
+        return Err(BuildError::invalid(format!("{key} must not be empty")));
+    }
+    let mut set = Vec::with_capacity(ids.len());
+    for id in ids {
+        if id >= terminals as u64 {
+            return Err(BuildError::invalid(format!(
+                "{key}: terminal {id} is out of range (network has {terminals} terminals)"
+            )));
+        }
+        set.push(id as u32);
+    }
+    set.sort_unstable();
+    if set.windows(2).any(|w| w[0] == w[1]) {
+        return Err(BuildError::invalid(format!(
+            "{key} must not contain duplicate terminals"
+        )));
+    }
+    Ok(set)
+}
+
 fn register_apps(f: &mut Factories) {
     f.apps.register("blast", |cfg, ctx| {
         let pattern_name = cfg.opt_str("pattern.name", "uniform_random")?.to_string();
@@ -344,6 +385,7 @@ fn register_apps(f: &mut Factories) {
             warmup_ticks: cfg.opt_u64("warmup_ticks", 0)?,
             sample_messages,
             sample_ticks,
+            sources: terminal_set(cfg, "sources", ctx.terminals)?,
         })) as Box<dyn Application>)
     });
 
@@ -366,6 +408,7 @@ fn register_apps(f: &mut Factories) {
             sizes: size_distribution(cfg)?,
             delay: cfg.opt_u64("delay", 0)?,
             count: cfg.req_u64("count")?,
+            sources: terminal_set(cfg, "sources", ctx.terminals)?,
         })) as Box<dyn Application>)
     });
 
@@ -387,6 +430,7 @@ fn register_apps(f: &mut Factories) {
             request_size,
             reply_size,
             transactions: cfg.req_u64("transactions")?,
+            initiators: terminal_set(cfg, "initiators", ctx.terminals)?,
         })) as Box<dyn Application>)
     });
 }
@@ -443,6 +487,24 @@ fn register_patterns(f: &mut Factories) {
             ));
         }
         Ok(Arc::new(CrossSubtree::new(subtrees, per)) as Arc<dyn TrafficPattern>)
+    });
+    f.patterns.register("hotspot", |cfg, terminals| {
+        if terminals < 2 {
+            return Err(BuildError::invalid("hotspot needs at least 2 terminals"));
+        }
+        let hot = hot_set(cfg, "hot", terminals)?;
+        let bias = cfg.opt_f64("bias", 0.8)?;
+        if !(0.0..=1.0).contains(&bias) {
+            return Err(BuildError::invalid("hotspot bias must be in [0, 1]"));
+        }
+        Ok(Arc::new(Hotspot::new(terminals, hot, bias)) as Arc<dyn TrafficPattern>)
+    });
+    f.patterns.register("incast", |cfg, terminals| {
+        if terminals < 2 {
+            return Err(BuildError::invalid("incast needs at least 2 terminals"));
+        }
+        let victims = hot_set(cfg, "victims", terminals)?;
+        Ok(Arc::new(Incast::new(terminals, victims)) as Arc<dyn TrafficPattern>)
     });
     f.patterns.register("random_permutation", |cfg, terminals| {
         if terminals < 2 {

@@ -387,6 +387,8 @@ mod tests {
             "neighbor",
             "cross_subtree",
             "random_permutation",
+            "hotspot",
+            "incast",
         ] {
             assert!(f.patterns.contains(pat), "missing pattern {pat}");
         }

@@ -1,0 +1,898 @@
+//! The declaration grammar: a strict, compact description of a scenario.
+//!
+//! A declaration is a small JSON document with a top-level `"scenario"`
+//! name. Every block is parsed with *strict* key checking — an unknown key
+//! anywhere is an error, never silently ignored — so typos cannot expand to
+//! surprising defaults.
+
+use supersim_config::Value;
+
+use crate::error::ScenarioError;
+
+/// A parsed scenario declaration, ready for expansion.
+#[derive(Debug, Clone)]
+pub struct Declaration {
+    /// The scenario's name (the top-level `"scenario"` string).
+    pub name: String,
+    /// Seed for both the expansion PRNG and the emitted configuration.
+    pub seed: u64,
+    /// Number of terminals the topology must provide.
+    pub terminals: u64,
+    /// Topology family and shape hints.
+    pub topology: TopologyDecl,
+    /// Traffic mix, in declaration order (the order fixes PRNG draws).
+    pub traffic: Vec<TrafficDecl>,
+    /// Load-schedule events layered on top of the steady mix.
+    pub schedule: Vec<ScheduleDecl>,
+    /// Optional fault declarations.
+    pub faults: Option<FaultsDecl>,
+    /// Time-series sampling controls.
+    pub sample: SampleDecl,
+    /// Raw dotted-path overrides applied last, in sorted key order.
+    pub overrides: Vec<(String, Value)>,
+}
+
+/// Topology families the compiler can solve shapes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// k-ary n-dimensional torus (widths solved near-square in 2-D).
+    Torus,
+    /// Folded Clos / fat tree, `k^levels` terminals.
+    FoldedClos,
+    /// 1-D HyperX (flattened butterfly).
+    HyperX,
+    /// Canonical balanced dragonfly.
+    Dragonfly,
+}
+
+impl Family {
+    /// The family name as written in declarations and configurations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Torus => "torus",
+            Family::FoldedClos => "folded_clos",
+            Family::HyperX => "hyperx",
+            Family::Dragonfly => "dragonfly",
+        }
+    }
+}
+
+/// The `topology` block.
+#[derive(Debug, Clone)]
+pub struct TopologyDecl {
+    /// Which family to build.
+    pub family: Family,
+    /// Routing algorithm override (family default when absent).
+    pub routing: Option<String>,
+    /// Folded Clos: tree depth (default 2).
+    pub levels: Option<u64>,
+    /// Torus / HyperX / dragonfly: terminals per router.
+    pub concentration: Option<u64>,
+    /// Dragonfly: routers per group (`a`).
+    pub group_size: Option<u64>,
+    /// Dragonfly: global ports per router (`h`).
+    pub global_ports: Option<u64>,
+}
+
+/// One entry of the `traffic` array.
+#[derive(Debug, Clone)]
+pub struct TrafficDecl {
+    /// What kind of traffic this entry contributes.
+    pub kind: TrafficKind,
+    /// Offered load as a fraction of the line rate (open-loop kinds only).
+    pub load: Option<f64>,
+    /// Message size in flits.
+    pub message_size: u64,
+    /// Warmup ticks before the sampled phase.
+    pub warmup: u64,
+    /// Messages per terminal in the sampled phase.
+    pub sample_messages: u64,
+}
+
+/// The traffic kinds the compiler understands.
+#[derive(Debug, Clone)]
+pub enum TrafficKind {
+    /// Uniform random destinations.
+    Uniform,
+    /// A biased fraction of traffic concentrates on a hot set.
+    Hotspot {
+        /// Number of hot terminals (picked deterministically at expansion).
+        hot: u64,
+        /// Probability a message targets the hot set.
+        bias: f64,
+    },
+    /// Many senders converge on a few victim terminals.
+    Incast {
+        /// Number of victim terminals.
+        victims: u64,
+    },
+    /// A few senders spray the whole network.
+    Outcast {
+        /// Number of sending terminals.
+        sources: u64,
+    },
+    /// Every subtree of a folded Clos talks to a different subtree.
+    CrossSubtree,
+    /// Closed-loop request/response storage-style traffic.
+    RequestResponse {
+        /// Number of server terminals (picked deterministically).
+        servers: u64,
+        /// Transactions per client in the sampled phase.
+        transactions: u64,
+        /// Request size in flits.
+        request_size: u64,
+        /// Reply size in flits (must differ from the request size).
+        reply_size: u64,
+    },
+}
+
+impl TrafficKind {
+    /// Whether this kind injects open-loop load (vs closed-loop).
+    pub fn is_open_loop(&self) -> bool {
+        !matches!(self, TrafficKind::RequestResponse { .. })
+    }
+}
+
+/// One entry of the `schedule` array: extra load layered on at a time.
+#[derive(Debug, Clone)]
+pub enum ScheduleDecl {
+    /// A single burst at a fixed tick.
+    Step {
+        /// Tick the burst starts.
+        at: u64,
+        /// Burst load as a fraction of the line rate.
+        load: f64,
+        /// Messages per terminal in the burst.
+        count: u64,
+        /// Message size in flits.
+        message_size: u64,
+    },
+    /// A train of identical bursts.
+    Pulses {
+        /// Tick of the first burst.
+        at: u64,
+        /// Ticks between burst starts.
+        period: u64,
+        /// How many bursts.
+        pulses: u64,
+        /// Load of each burst.
+        load: f64,
+        /// Messages per terminal per burst.
+        count: u64,
+        /// Message size in flits.
+        message_size: u64,
+    },
+    /// A staircase of bursts with linearly interpolated load.
+    Ramp {
+        /// Tick of the first step.
+        at: u64,
+        /// Ticks between steps.
+        period: u64,
+        /// Number of steps (at least 2).
+        steps: u64,
+        /// Load of the first step.
+        from: f64,
+        /// Load of the last step.
+        to: f64,
+        /// Messages per terminal per step.
+        count: u64,
+        /// Message size in flits.
+        message_size: u64,
+    },
+}
+
+/// The `faults` block.
+#[derive(Debug, Clone)]
+pub struct FaultsDecl {
+    /// Per-flit bit-error probability (transparent retransmission).
+    pub bit_error_rate: Option<f64>,
+    /// A staggered storm of link outages.
+    pub storm: Option<StormDecl>,
+}
+
+/// The `faults.storm` block: a staggered wave of terminal-link outages.
+#[derive(Debug, Clone)]
+pub struct StormDecl {
+    /// How many distinct terminal links go down.
+    pub links: u64,
+    /// Tick the first outage starts.
+    pub start: u64,
+    /// Length of each outage in ticks.
+    pub duration: u64,
+    /// Ticks between successive outage starts.
+    pub stagger: u64,
+}
+
+/// The `sample` block.
+#[derive(Debug, Clone)]
+pub struct SampleDecl {
+    /// Time-series window width in ticks (0 disables sampling).
+    pub interval: u64,
+    /// Whether to record per-packet latency spans.
+    pub spans: bool,
+}
+
+/// Whether a parsed JSON document is a scenario declaration (as opposed to
+/// a full configuration): declarations carry a top-level `"scenario"`
+/// string naming themselves.
+pub fn is_declaration(doc: &Value) -> bool {
+    doc.get("scenario").and_then(Value::as_str).is_some()
+}
+
+/// Rejects any key of `v` (an object) that is not in `allowed`.
+fn check_keys(
+    v: &Value,
+    context: &str,
+    allowed: &'static [&'static str],
+) -> Result<(), ScenarioError> {
+    let Some(map) = v.as_object() else {
+        return Err(ScenarioError::Invalid(format!(
+            "{context}: expected an object, got {}",
+            v.type_name()
+        )));
+    };
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ScenarioError::UnknownKey {
+                context: context.to_string(),
+                key: key.clone(),
+                allowed,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn req_u64(v: &Value, context: &str, key: &str) -> Result<u64, ScenarioError> {
+    match v.get(key) {
+        None => Err(ScenarioError::Missing {
+            context: context.to_string(),
+            key: key.to_string(),
+        }),
+        Some(x) => x.as_u64().ok_or_else(|| {
+            ScenarioError::Invalid(format!(
+                "{context}.{key}: expected a non-negative integer, got {}",
+                x.type_name()
+            ))
+        }),
+    }
+}
+
+fn opt_u64(v: &Value, context: &str, key: &str, default: u64) -> Result<u64, ScenarioError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => req_u64(v, context, key),
+    }
+}
+
+fn req_f64(v: &Value, context: &str, key: &str) -> Result<f64, ScenarioError> {
+    match v.get(key) {
+        None => Err(ScenarioError::Missing {
+            context: context.to_string(),
+            key: key.to_string(),
+        }),
+        Some(x) => x.as_f64().ok_or_else(|| {
+            ScenarioError::Invalid(format!(
+                "{context}.{key}: expected a number, got {}",
+                x.type_name()
+            ))
+        }),
+    }
+}
+
+fn opt_f64(v: &Value, context: &str, key: &str, default: f64) -> Result<f64, ScenarioError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => req_f64(v, context, key),
+    }
+}
+
+impl Declaration {
+    /// Parses a declaration document, strictly.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::NotADeclaration`] when the top-level `"scenario"`
+    /// string is absent; otherwise unknown keys, missing keys, and
+    /// out-of-range values are each reported with their block context.
+    pub fn parse(doc: &Value) -> Result<Declaration, ScenarioError> {
+        if !is_declaration(doc) {
+            return Err(ScenarioError::NotADeclaration);
+        }
+        check_keys(
+            doc,
+            "declaration",
+            &[
+                "scenario",
+                "seed",
+                "terminals",
+                "topology",
+                "traffic",
+                "schedule",
+                "faults",
+                "sample",
+                "overrides",
+            ],
+        )?;
+        let name = doc.get("scenario").unwrap().as_str().unwrap().to_string();
+        let seed = req_u64(doc, "declaration", "seed")?;
+        let terminals = req_u64(doc, "declaration", "terminals")?;
+        if !(2..=1_048_576).contains(&terminals) {
+            return Err(ScenarioError::Invalid(format!(
+                "declaration.terminals: {terminals} is out of range (want 2..=1048576)"
+            )));
+        }
+
+        let topology = parse_topology(doc.get("topology").ok_or(ScenarioError::Missing {
+            context: "declaration".to_string(),
+            key: "topology".to_string(),
+        })?)?;
+
+        let traffic_v = doc.get("traffic").ok_or(ScenarioError::Missing {
+            context: "declaration".to_string(),
+            key: "traffic".to_string(),
+        })?;
+        let traffic_arr = traffic_v.as_array().ok_or_else(|| {
+            ScenarioError::Invalid("declaration.traffic: expected an array".to_string())
+        })?;
+        if traffic_arr.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "declaration.traffic must not be empty".to_string(),
+            ));
+        }
+        let traffic = traffic_arr
+            .iter()
+            .enumerate()
+            .map(|(i, t)| parse_traffic(t, i))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let schedule = match doc.get("schedule") {
+            None => Vec::new(),
+            Some(s) => {
+                let arr = s.as_array().ok_or_else(|| {
+                    ScenarioError::Invalid("declaration.schedule: expected an array".to_string())
+                })?;
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, e)| parse_schedule(e, i))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+
+        let faults = match doc.get("faults") {
+            None => None,
+            Some(f) => Some(parse_faults(f)?),
+        };
+
+        let sample = match doc.get("sample") {
+            None => SampleDecl {
+                interval: 0,
+                spans: false,
+            },
+            Some(s) => {
+                check_keys(s, "sample", &["interval", "spans"])?;
+                let interval = req_u64(s, "sample", "interval")?;
+                if interval == 0 {
+                    return Err(ScenarioError::Invalid(
+                        "sample.interval must be at least 1".to_string(),
+                    ));
+                }
+                let spans = match s.get("spans") {
+                    None => false,
+                    Some(b) => b.as_bool().ok_or_else(|| {
+                        ScenarioError::Invalid("sample.spans: expected a bool".to_string())
+                    })?,
+                };
+                SampleDecl { interval, spans }
+            }
+        };
+
+        let overrides = match doc.get("overrides") {
+            None => Vec::new(),
+            Some(o) => {
+                let map = o.as_object().ok_or_else(|| {
+                    ScenarioError::Invalid(
+                        "declaration.overrides: expected an object of dotted paths".to_string(),
+                    )
+                })?;
+                // BTreeMap iteration gives sorted key order — application
+                // order is part of the determinism contract.
+                map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            }
+        };
+
+        Ok(Declaration {
+            name,
+            seed,
+            terminals,
+            topology,
+            traffic,
+            schedule,
+            faults,
+            sample,
+            overrides,
+        })
+    }
+}
+
+fn parse_topology(v: &Value) -> Result<TopologyDecl, ScenarioError> {
+    check_keys(
+        v,
+        "topology",
+        &[
+            "family",
+            "routing",
+            "levels",
+            "concentration",
+            "group_size",
+            "global_ports",
+        ],
+    )?;
+    let family_name = v
+        .get("family")
+        .ok_or(ScenarioError::Missing {
+            context: "topology".to_string(),
+            key: "family".to_string(),
+        })?
+        .as_str()
+        .ok_or_else(|| ScenarioError::Invalid("topology.family: expected a string".to_string()))?;
+    let family = match family_name {
+        "torus" => Family::Torus,
+        "folded_clos" => Family::FoldedClos,
+        "hyperx" => Family::HyperX,
+        "dragonfly" => Family::Dragonfly,
+        other => {
+            return Err(ScenarioError::Invalid(format!(
+                "topology.family: unknown family {other:?} \
+                 (want torus, folded_clos, hyperx, or dragonfly)"
+            )))
+        }
+    };
+    let routing = match v.get("routing") {
+        None => None,
+        Some(r) => Some(
+            r.as_str()
+                .ok_or_else(|| {
+                    ScenarioError::Invalid("topology.routing: expected a string".to_string())
+                })?
+                .to_string(),
+        ),
+    };
+    let opt = |key: &str| -> Result<Option<u64>, ScenarioError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(_) => req_u64(v, "topology", key).map(Some),
+        }
+    };
+    Ok(TopologyDecl {
+        family,
+        routing,
+        levels: opt("levels")?,
+        concentration: opt("concentration")?,
+        group_size: opt("group_size")?,
+        global_ports: opt("global_ports")?,
+    })
+}
+
+fn parse_traffic(v: &Value, index: usize) -> Result<TrafficDecl, ScenarioError> {
+    let ctx = format!("traffic[{index}]");
+    let kind_name = v
+        .get("kind")
+        .ok_or_else(|| ScenarioError::Missing {
+            context: ctx.clone(),
+            key: "kind".to_string(),
+        })?
+        .as_str()
+        .ok_or_else(|| ScenarioError::Invalid(format!("{ctx}.kind: expected a string")))?;
+
+    const COMMON: &[&str] = &["kind", "load", "message_size", "warmup", "sample_messages"];
+    let kind = match kind_name {
+        "uniform" => {
+            check_keys(v, &ctx, COMMON)?;
+            TrafficKind::Uniform
+        }
+        "cross_subtree" => {
+            check_keys(v, &ctx, COMMON)?;
+            TrafficKind::CrossSubtree
+        }
+        "hotspot" => {
+            check_keys(
+                v,
+                &ctx,
+                &[
+                    "kind",
+                    "load",
+                    "message_size",
+                    "warmup",
+                    "sample_messages",
+                    "hot",
+                    "bias",
+                ],
+            )?;
+            let bias = opt_f64(v, &ctx, "bias", 0.8)?;
+            if !(0.0..=1.0).contains(&bias) {
+                return Err(ScenarioError::Invalid(format!(
+                    "{ctx}.bias must be in [0, 1], got {bias}"
+                )));
+            }
+            TrafficKind::Hotspot {
+                hot: req_u64(v, &ctx, "hot")?,
+                bias,
+            }
+        }
+        "incast" => {
+            check_keys(
+                v,
+                &ctx,
+                &[
+                    "kind",
+                    "load",
+                    "message_size",
+                    "warmup",
+                    "sample_messages",
+                    "victims",
+                ],
+            )?;
+            TrafficKind::Incast {
+                victims: req_u64(v, &ctx, "victims")?,
+            }
+        }
+        "outcast" => {
+            check_keys(
+                v,
+                &ctx,
+                &[
+                    "kind",
+                    "load",
+                    "message_size",
+                    "warmup",
+                    "sample_messages",
+                    "sources",
+                ],
+            )?;
+            TrafficKind::Outcast {
+                sources: req_u64(v, &ctx, "sources")?,
+            }
+        }
+        "request_response" => {
+            check_keys(
+                v,
+                &ctx,
+                &[
+                    "kind",
+                    "servers",
+                    "transactions",
+                    "request_size",
+                    "reply_size",
+                ],
+            )?;
+            let request_size = opt_u64(v, &ctx, "request_size", 1)?;
+            let reply_size = opt_u64(v, &ctx, "reply_size", 4)?;
+            if request_size == 0 || reply_size == 0 || request_size == reply_size {
+                return Err(ScenarioError::Invalid(format!(
+                    "{ctx}: request_size ({request_size}) and reply_size ({reply_size}) \
+                     must be distinct and non-zero"
+                )));
+            }
+            TrafficKind::RequestResponse {
+                servers: req_u64(v, &ctx, "servers")?,
+                transactions: opt_u64(v, &ctx, "transactions", 20)?,
+                request_size,
+                reply_size,
+            }
+        }
+        other => {
+            return Err(ScenarioError::Invalid(format!(
+                "{ctx}.kind: unknown traffic kind {other:?} (want uniform, hotspot, \
+                 incast, outcast, cross_subtree, or request_response)"
+            )))
+        }
+    };
+
+    let load = if kind.is_open_loop() {
+        let l = req_f64(v, &ctx, "load")?;
+        if !(l > 0.0 && l <= 1.0) {
+            return Err(ScenarioError::Invalid(format!(
+                "{ctx}.load must be in (0, 1], got {l}"
+            )));
+        }
+        Some(l)
+    } else {
+        None
+    };
+
+    Ok(TrafficDecl {
+        kind,
+        load,
+        message_size: opt_u64(v, &ctx, "message_size", 1)?,
+        warmup: opt_u64(v, &ctx, "warmup", 400)?,
+        sample_messages: opt_u64(v, &ctx, "sample_messages", 50)?,
+    })
+}
+
+fn parse_schedule(v: &Value, index: usize) -> Result<ScheduleDecl, ScenarioError> {
+    let ctx = format!("schedule[{index}]");
+    let kind = v
+        .get("kind")
+        .ok_or_else(|| ScenarioError::Missing {
+            context: ctx.clone(),
+            key: "kind".to_string(),
+        })?
+        .as_str()
+        .ok_or_else(|| ScenarioError::Invalid(format!("{ctx}.kind: expected a string")))?;
+    let load_in = |key: &str| -> Result<f64, ScenarioError> {
+        let l = req_f64(v, &ctx, key)?;
+        if !(l > 0.0 && l <= 1.0) {
+            return Err(ScenarioError::Invalid(format!(
+                "{ctx}.{key} must be in (0, 1], got {l}"
+            )));
+        }
+        Ok(l)
+    };
+    match kind {
+        "step" => {
+            check_keys(v, &ctx, &["kind", "at", "load", "count", "message_size"])?;
+            Ok(ScheduleDecl::Step {
+                at: req_u64(v, &ctx, "at")?,
+                load: load_in("load")?,
+                count: req_u64(v, &ctx, "count")?,
+                message_size: opt_u64(v, &ctx, "message_size", 1)?,
+            })
+        }
+        "pulses" => {
+            check_keys(
+                v,
+                &ctx,
+                &[
+                    "kind",
+                    "at",
+                    "period",
+                    "pulses",
+                    "load",
+                    "count",
+                    "message_size",
+                ],
+            )?;
+            let period = req_u64(v, &ctx, "period")?;
+            if period == 0 {
+                return Err(ScenarioError::Invalid(format!(
+                    "{ctx}.period must be at least 1"
+                )));
+            }
+            Ok(ScheduleDecl::Pulses {
+                at: opt_u64(v, &ctx, "at", 0)?,
+                period,
+                pulses: req_u64(v, &ctx, "pulses")?,
+                load: load_in("load")?,
+                count: req_u64(v, &ctx, "count")?,
+                message_size: opt_u64(v, &ctx, "message_size", 1)?,
+            })
+        }
+        "ramp" => {
+            check_keys(
+                v,
+                &ctx,
+                &[
+                    "kind",
+                    "at",
+                    "period",
+                    "steps",
+                    "from",
+                    "to",
+                    "count",
+                    "message_size",
+                ],
+            )?;
+            let period = req_u64(v, &ctx, "period")?;
+            let steps = req_u64(v, &ctx, "steps")?;
+            if period == 0 {
+                return Err(ScenarioError::Invalid(format!(
+                    "{ctx}.period must be at least 1"
+                )));
+            }
+            if steps < 2 {
+                return Err(ScenarioError::Invalid(format!(
+                    "{ctx}.steps must be at least 2 to interpolate a ramp"
+                )));
+            }
+            Ok(ScheduleDecl::Ramp {
+                at: opt_u64(v, &ctx, "at", 0)?,
+                period,
+                steps,
+                from: load_in("from")?,
+                to: load_in("to")?,
+                count: req_u64(v, &ctx, "count")?,
+                message_size: opt_u64(v, &ctx, "message_size", 1)?,
+            })
+        }
+        other => Err(ScenarioError::Invalid(format!(
+            "{ctx}.kind: unknown schedule kind {other:?} (want step, pulses, or ramp)"
+        ))),
+    }
+}
+
+fn parse_faults(v: &Value) -> Result<FaultsDecl, ScenarioError> {
+    check_keys(v, "faults", &["bit_error_rate", "storm"])?;
+    let bit_error_rate = match v.get("bit_error_rate") {
+        None => None,
+        Some(_) => {
+            let r = req_f64(v, "faults", "bit_error_rate")?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(ScenarioError::Invalid(format!(
+                    "faults.bit_error_rate must be a probability in [0, 1], got {r}"
+                )));
+            }
+            Some(r)
+        }
+    };
+    let storm = match v.get("storm") {
+        None => None,
+        Some(s) => {
+            check_keys(
+                s,
+                "faults.storm",
+                &["links", "start", "duration", "stagger"],
+            )?;
+            let links = req_u64(s, "faults.storm", "links")?;
+            let duration = req_u64(s, "faults.storm", "duration")?;
+            if links == 0 {
+                return Err(ScenarioError::Invalid(
+                    "faults.storm.links must be at least 1".to_string(),
+                ));
+            }
+            if duration == 0 {
+                return Err(ScenarioError::Invalid(
+                    "faults.storm.duration must be at least 1".to_string(),
+                ));
+            }
+            Some(StormDecl {
+                links,
+                start: req_u64(s, "faults.storm", "start")?,
+                duration,
+                stagger: opt_u64(s, "faults.storm", "stagger", 0)?,
+            })
+        }
+    };
+    if bit_error_rate.is_none() && storm.is_none() {
+        return Err(ScenarioError::Invalid(
+            "faults: declare bit_error_rate, storm, or drop the block".to_string(),
+        ));
+    }
+    Ok(FaultsDecl {
+        bit_error_rate,
+        storm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(text: &str) -> Result<Declaration, ScenarioError> {
+        Declaration::parse(&Value::parse(text).unwrap())
+    }
+
+    const MINIMAL: &str = r#"{
+        "scenario": "t", "seed": 1, "terminals": 16,
+        "topology": {"family": "torus"},
+        "traffic": [{"kind": "uniform", "load": 0.3}]
+    }"#;
+
+    #[test]
+    fn minimal_parses() {
+        let d = parse_str(MINIMAL).unwrap();
+        assert_eq!(d.name, "t");
+        assert_eq!(d.terminals, 16);
+        assert_eq!(d.topology.family, Family::Torus);
+        assert_eq!(d.traffic.len(), 1);
+        assert_eq!(d.traffic[0].message_size, 1);
+        assert_eq!(d.traffic[0].warmup, 400);
+    }
+
+    #[test]
+    fn plain_config_is_not_a_declaration() {
+        let doc = Value::parse(r#"{"seed": 1, "network": {}}"#).unwrap();
+        assert!(!is_declaration(&doc));
+        assert!(matches!(
+            Declaration::parse(&doc),
+            Err(ScenarioError::NotADeclaration)
+        ));
+    }
+
+    #[test]
+    fn unknown_top_level_key_rejected() {
+        let err = parse_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16, "typo": 1,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.3}]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownKey { ref key, .. } if key == "typo"));
+    }
+
+    #[test]
+    fn unknown_traffic_key_rejected() {
+        let err = parse_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.3, "bais": 0.5}]}"#,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("traffic[0]") && msg.contains("bais"), "{msg}");
+    }
+
+    #[test]
+    fn terminals_out_of_range() {
+        for t in ["1", "2000000"] {
+            let err = parse_str(&format!(
+                r#"{{"scenario": "t", "seed": 1, "terminals": {t},
+                    "topology": {{"family": "torus"}},
+                    "traffic": [{{"kind": "uniform", "load": 0.3}}]}}"#
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("out of range"), "{err}");
+        }
+    }
+
+    #[test]
+    fn load_must_be_in_unit_interval() {
+        let err = parse_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 1.5}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("load"), "{err}");
+    }
+
+    #[test]
+    fn request_response_sizes_must_differ() {
+        let err = parse_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "request_response", "servers": 2,
+                             "request_size": 3, "reply_size": 3}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("distinct"), "{err}");
+    }
+
+    #[test]
+    fn ramp_needs_two_steps() {
+        let err = parse_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.3}],
+                "schedule": [{"kind": "ramp", "period": 100, "steps": 1,
+                              "from": 0.1, "to": 0.5, "count": 4}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("steps"), "{err}");
+    }
+
+    #[test]
+    fn empty_faults_block_rejected() {
+        let err = parse_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.3}],
+                "faults": {}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("faults"), "{err}");
+    }
+
+    #[test]
+    fn overrides_sorted() {
+        let d = parse_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.3}],
+                "overrides": {"z.y": 1, "a.b": 2}}"#,
+        )
+        .unwrap();
+        assert_eq!(d.overrides[0].0, "a.b");
+        assert_eq!(d.overrides[1].0, "z.y");
+    }
+}

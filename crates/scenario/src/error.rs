@@ -1,0 +1,99 @@
+//! Scenario-compiler errors.
+
+use std::fmt;
+
+use supersim_config::ConfigError;
+
+/// Everything that can go wrong between a declaration file and a full
+/// configuration.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The declaration is not valid JSON, or a typed lookup failed.
+    Config(ConfigError),
+    /// The document has no top-level `"scenario"` string — it is a plain
+    /// configuration, not a declaration.
+    NotADeclaration,
+    /// A `--scenario` argument named neither a library scenario nor a
+    /// readable declaration file.
+    UnknownScenario {
+        /// What the user asked for.
+        name: String,
+        /// The shipped library names, for the error message.
+        available: Vec<&'static str>,
+    },
+    /// A declaration block contains a key the compiler does not know —
+    /// strict rejection keeps typos from silently expanding to defaults.
+    UnknownKey {
+        /// Which block (e.g. `traffic[0]`).
+        context: String,
+        /// The offending key.
+        key: String,
+        /// The keys the block accepts.
+        allowed: &'static [&'static str],
+    },
+    /// A required key is absent.
+    Missing {
+        /// Which block.
+        context: String,
+        /// The absent key.
+        key: String,
+    },
+    /// A value is present but unusable (wrong range, conflicting with
+    /// another declaration, unsolvable topology shape, ...).
+    Invalid(String),
+    /// A declaration file could not be read.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Config(e) => write!(f, "{e}"),
+            ScenarioError::NotADeclaration => write!(
+                f,
+                "not a scenario declaration (missing the top-level \"scenario\" name)"
+            ),
+            ScenarioError::UnknownScenario { name, available } => write!(
+                f,
+                "unknown scenario {name:?}: not a library scenario ({}) and not a readable file",
+                available.join(", ")
+            ),
+            ScenarioError::UnknownKey {
+                context,
+                key,
+                allowed,
+            } => write!(
+                f,
+                "{context}: unknown key {key:?} (allowed: {})",
+                allowed.join(", ")
+            ),
+            ScenarioError::Missing { context, key } => {
+                write!(f, "{context}: missing required key {key:?}")
+            }
+            ScenarioError::Invalid(msg) => write!(f, "{msg}"),
+            ScenarioError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Config(e) => Some(e),
+            ScenarioError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> Self {
+        ScenarioError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for ScenarioError {
+    fn from(e: std::io::Error) -> Self {
+        ScenarioError::Io(e)
+    }
+}

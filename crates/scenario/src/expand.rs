@@ -1,0 +1,796 @@
+//! Deterministic expansion of declarations into full configurations.
+//!
+//! Expansion is a pure function of the declaration: one PRNG seeded with
+//! the declaration's `seed` makes every pick (hot sets, victims, storm
+//! links) in a fixed order — traffic entries first, in declaration order,
+//! then the fault storm — so the same declaration always expands to the
+//! byte-identical configuration.
+
+use supersim_config::{obj, Value};
+use supersim_des::Rng;
+
+use crate::decl::{Declaration, Family, ScheduleDecl, TrafficKind};
+use crate::error::ScenarioError;
+
+/// Expands a parsed declaration into a full configuration document.
+///
+/// # Errors
+///
+/// Shape errors (terminal count unsolvable for the family), conflicting
+/// traffic declarations (combined open-loop load above 1.0, more than one
+/// closed-loop entry), and out-of-range set sizes are all reported as
+/// [`ScenarioError::Invalid`].
+pub fn expand(decl: &Declaration) -> Result<Value, ScenarioError> {
+    let mut rng = Rng::new(decl.seed);
+    let shape = solve_topology(decl)?;
+
+    // Traffic: validate the mix as a whole, then expand entry by entry in
+    // declaration order (the order fixes the PRNG draw sequence).
+    let open_load: f64 = decl
+        .traffic
+        .iter()
+        .filter(|t| t.kind.is_open_loop())
+        .filter_map(|t| t.load)
+        .sum();
+    if open_load > 1.0 {
+        return Err(ScenarioError::Invalid(format!(
+            "conflicting traffic declarations: combined open-loop load {open_load} \
+             exceeds the line rate (1.0)"
+        )));
+    }
+    let closed = decl
+        .traffic
+        .iter()
+        .filter(|t| !t.kind.is_open_loop())
+        .count();
+    if closed > 1 {
+        return Err(ScenarioError::Invalid(
+            "conflicting traffic declarations: at most one request_response entry \
+             is supported (terminals can host only one closed-loop role)"
+                .to_string(),
+        ));
+    }
+
+    let mut apps = Vec::new();
+    let mut carrier: Option<(Value, Option<Vec<u64>>)> = None;
+    let mut max_message = 1u64;
+    for (i, t) in decl.traffic.iter().enumerate() {
+        let ctx = format!("traffic[{i}]");
+        max_message = max_message.max(t.message_size);
+        let (app, pattern, sources) = match &t.kind {
+            TrafficKind::Uniform => {
+                let pattern = obj! { "name" => "uniform_random" };
+                (blast(t, pattern.clone(), None), pattern, None)
+            }
+            TrafficKind::Hotspot { hot, bias } => {
+                let set = pick_set(&mut rng, *hot, decl.terminals, &ctx, "hot")?;
+                let pattern = obj! {
+                    "name" => "hotspot",
+                    "hot" => set.clone(),
+                    "bias" => Value::Float(*bias),
+                };
+                (blast(t, pattern.clone(), None), pattern, None)
+            }
+            TrafficKind::Incast { victims } => {
+                let set = pick_set(&mut rng, *victims, decl.terminals, &ctx, "victims")?;
+                let sources = complement(&set, decl.terminals);
+                let pattern = obj! { "name" => "incast", "victims" => set };
+                (
+                    blast(t, pattern.clone(), Some(&sources)),
+                    pattern,
+                    Some(sources),
+                )
+            }
+            TrafficKind::Outcast { sources } => {
+                let set = pick_set(&mut rng, *sources, decl.terminals, &ctx, "sources")?;
+                let pattern = obj! { "name" => "uniform_random" };
+                (blast(t, pattern.clone(), Some(&set)), pattern, Some(set))
+            }
+            TrafficKind::CrossSubtree => {
+                let Some(subtrees) = shape.subtrees else {
+                    return Err(ScenarioError::Invalid(format!(
+                        "{ctx}: cross_subtree traffic needs a folded_clos topology"
+                    )));
+                };
+                let pattern = obj! {
+                    "name" => "cross_subtree",
+                    "subtrees" => subtrees,
+                    "per_subtree" => decl.terminals / subtrees,
+                };
+                (blast(t, pattern.clone(), None), pattern, None)
+            }
+            TrafficKind::RequestResponse {
+                servers,
+                transactions,
+                request_size,
+                reply_size,
+            } => {
+                let set = pick_set(&mut rng, *servers, decl.terminals, &ctx, "servers")?;
+                let initiators = complement(&set, decl.terminals);
+                max_message = max_message.max(*request_size).max(*reply_size);
+                let app = obj! {
+                    "name" => "pingpong",
+                    "transactions" => *transactions,
+                    "request_size" => *request_size,
+                    "reply_size" => *reply_size,
+                    "initiators" => initiators,
+                    "pattern" => obj! { "name" => "incast", "victims" => set },
+                };
+                // Closed-loop traffic cannot carry schedule pulses.
+                apps.push(app);
+                continue;
+            }
+        };
+        apps.push(app);
+        if carrier.is_none() {
+            carrier = Some((pattern, sources));
+        }
+    }
+
+    // The load schedule rides on the first open-loop entry's pattern and
+    // source set, so scheduled bursts stress the same paths.
+    if !decl.schedule.is_empty() {
+        let Some((pattern, sources)) = &carrier else {
+            return Err(ScenarioError::Invalid(
+                "schedule: needs at least one open-loop traffic entry to carry the bursts"
+                    .to_string(),
+            ));
+        };
+        for s in &decl.schedule {
+            for (delay, load, count, message_size) in schedule_events(s) {
+                max_message = max_message.max(message_size);
+                let mut app = obj! {
+                    "name" => "pulse",
+                    "load" => Value::Float(load),
+                    "message_size" => message_size,
+                    "count" => count,
+                    "delay" => delay,
+                    "pattern" => pattern.clone(),
+                };
+                if let Some(src) = sources {
+                    app.set_path("sources", src.clone().into())?;
+                }
+                apps.push(app);
+            }
+        }
+    }
+
+    let mut cfg = Value::object();
+    cfg.set_path("seed", decl.seed.into())?;
+    cfg.set_path("network", shape.network(max_message.max(4)))?;
+    cfg.set_path("workload.applications", Value::Array(apps))?;
+
+    if decl.sample.interval > 0 {
+        cfg.set_path("sample.interval", decl.sample.interval.into())?;
+    }
+    if decl.sample.spans {
+        cfg.set_path("spans.enabled", Value::Bool(true))?;
+    }
+
+    if let Some(faults) = &decl.faults {
+        cfg.set_path("fault.enabled", Value::Bool(true))?;
+        if let Some(rate) = faults.bit_error_rate {
+            cfg.set_path("fault.bit_error_rate", Value::Float(rate))?;
+        }
+        if let Some(storm) = &faults.storm {
+            // Storms overlap outages; the default retry budget (8 tries,
+            // backoff 1) covers only ~2^8 ticks before escalating to
+            // RetriesExhausted, so raise it for declared storms.
+            cfg.set_path("fault.retry.max", 16u64.into())?;
+            cfg.set_path("fault.retry.backoff", 4u64.into())?;
+            let links = pick_set(
+                &mut rng,
+                storm.links,
+                decl.terminals,
+                "faults.storm",
+                "links",
+            )?;
+            let outages: Vec<Value> = links
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let start = storm.start + i as u64 * storm.stagger;
+                    obj! {
+                        "terminal" => *t,
+                        "start" => start,
+                        "end" => start + storm.duration,
+                    }
+                })
+                .collect();
+            cfg.set_path("fault.outages", Value::Array(outages))?;
+        }
+    }
+
+    // Raw overrides come last, in sorted key order, so a declaration can
+    // reach any knob the compact grammar does not model.
+    for (path, value) in &decl.overrides {
+        cfg.set_path(path, value.clone())?;
+    }
+    Ok(cfg)
+}
+
+/// Draws `count` distinct terminal ids below `terminals`, returned sorted
+/// ascending. The sorted order makes the emitted arrays stable and
+/// readable; determinism comes from the draw sequence alone.
+fn pick_set(
+    rng: &mut Rng,
+    count: u64,
+    terminals: u64,
+    ctx: &str,
+    key: &str,
+) -> Result<Vec<u64>, ScenarioError> {
+    if count == 0 || count >= terminals {
+        return Err(ScenarioError::Invalid(format!(
+            "{ctx}.{key}: {count} must be between 1 and terminals - 1 ({})",
+            terminals - 1
+        )));
+    }
+    let mut set = std::collections::BTreeSet::new();
+    while (set.len() as u64) < count {
+        set.insert(rng.gen_below(terminals));
+    }
+    Ok(set.into_iter().collect())
+}
+
+/// All terminal ids below `terminals` not present in the sorted `set`.
+fn complement(set: &[u64], terminals: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity((terminals as usize).saturating_sub(set.len()));
+    let mut it = set.iter().peekable();
+    for t in 0..terminals {
+        if it.peek() == Some(&&t) {
+            it.next();
+        } else {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// A blast application block.
+fn blast(t: &crate::decl::TrafficDecl, pattern: Value, sources: Option<&[u64]>) -> Value {
+    let mut app = obj! {
+        "name" => "blast",
+        "load" => Value::Float(t.load.unwrap_or(0.0)),
+        "message_size" => t.message_size,
+        "warmup_ticks" => t.warmup,
+        "sample_messages" => t.sample_messages,
+        "pattern" => pattern,
+    };
+    if let Some(src) = sources {
+        app.set_path("sources", src.to_vec().into())
+            .expect("fresh object accepts any path");
+    }
+    app
+}
+
+/// Flattens one schedule entry into `(delay, load, count, message_size)`
+/// pulse events.
+fn schedule_events(s: &ScheduleDecl) -> Vec<(u64, f64, u64, u64)> {
+    match *s {
+        ScheduleDecl::Step {
+            at,
+            load,
+            count,
+            message_size,
+        } => vec![(at, load, count, message_size)],
+        ScheduleDecl::Pulses {
+            at,
+            period,
+            pulses,
+            load,
+            count,
+            message_size,
+        } => (0..pulses)
+            .map(|i| (at + i * period, load, count, message_size))
+            .collect(),
+        ScheduleDecl::Ramp {
+            at,
+            period,
+            steps,
+            from,
+            to,
+            count,
+            message_size,
+        } => (0..steps)
+            .map(|i| {
+                let frac = i as f64 / (steps - 1) as f64;
+                // Round to 6 decimals so interpolated loads serialize to
+                // short, stable literals.
+                let load = ((from + (to - from) * frac) * 1e6).round() / 1e6;
+                (at + i * period, load, count, message_size)
+            })
+            .collect(),
+    }
+}
+
+/// A solved topology: the network block minus the interface, plus the
+/// facts later stages need.
+struct Shape {
+    topology: Value,
+    vcs: u64,
+    routing: Value,
+    channel: Value,
+    router: Value,
+    eject_buffer: u64,
+    /// First-level subtree count for folded Clos (feeds cross_subtree).
+    subtrees: Option<u64>,
+}
+
+impl Shape {
+    fn network(self, max_packet_size: u64) -> Value {
+        obj! {
+            "topology" => self.topology,
+            "vcs" => self.vcs,
+            "routing" => self.routing,
+            "channel" => self.channel,
+            "router" => self.router,
+            "interface" => obj! {
+                "eject_buffer" => self.eject_buffer,
+                "max_packet_size" => max_packet_size,
+            },
+        }
+    }
+}
+
+/// Solves the declared terminal count into a concrete topology of the
+/// declared family, with the shipped-config house style for router and
+/// channel parameters.
+fn solve_topology(decl: &Declaration) -> Result<Shape, ScenarioError> {
+    let t = &decl.topology;
+    let terminals = decl.terminals;
+    let routing_err = |algo: &str, allowed: &[&str]| {
+        ScenarioError::Invalid(format!(
+            "topology.routing: {algo:?} is not a {} algorithm (want {})",
+            t.family.name(),
+            allowed.join(" or ")
+        ))
+    };
+    let forbid = |key: &str, present: bool| {
+        if present {
+            Err(ScenarioError::Invalid(format!(
+                "topology.{key} does not apply to the {} family",
+                t.family.name()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match t.family {
+        Family::Torus => {
+            forbid("levels", t.levels.is_some())?;
+            forbid("group_size", t.group_size.is_some())?;
+            forbid("global_ports", t.global_ports.is_some())?;
+            let conc = t.concentration.unwrap_or(1).max(1);
+            if !terminals.is_multiple_of(conc) {
+                return Err(ScenarioError::Invalid(format!(
+                    "torus: terminals ({terminals}) must be divisible by the \
+                     concentration ({conc})"
+                )));
+            }
+            let routers = terminals / conc;
+            if routers < 2 {
+                return Err(ScenarioError::Invalid(format!(
+                    "torus: {terminals} terminals at concentration {conc} leave \
+                     fewer than 2 routers"
+                )));
+            }
+            let widths = near_square(routers);
+            let algo = t.routing.as_deref().unwrap_or("dimension_order");
+            let vcs = match algo {
+                "dimension_order" => 2,
+                "adaptive" => 4,
+                other => return Err(routing_err(other, &["dimension_order", "adaptive"])),
+            };
+            Ok(Shape {
+                topology: obj! { "name" => "torus", "widths" => widths, "concentration" => conc },
+                vcs,
+                routing: obj! { "algorithm" => algo },
+                channel: obj! { "terminal_latency" => 1u64, "local_latency" => 5u64,
+                "link_period" => 1u64 },
+                router: obj! {
+                    "architecture" => "input_queued",
+                    "input_buffer" => 64u64,
+                    "xbar_latency" => 8u64,
+                    "flow_control" => "winner_take_all",
+                    "arbiter" => "age_based",
+                },
+                eject_buffer: 64,
+                subtrees: None,
+            })
+        }
+        Family::FoldedClos => {
+            forbid("concentration", t.concentration.is_some())?;
+            forbid("group_size", t.group_size.is_some())?;
+            forbid("global_ports", t.global_ports.is_some())?;
+            let levels = t.levels.unwrap_or(2);
+            if !(1..=6).contains(&levels) {
+                return Err(ScenarioError::Invalid(format!(
+                    "folded_clos: levels ({levels}) must be in 1..=6"
+                )));
+            }
+            let k = exact_root(terminals, levels).ok_or_else(|| {
+                ScenarioError::Invalid(format!(
+                    "folded_clos: terminals ({terminals}) must be k^levels for an \
+                     integer radix k >= 2 at {levels} levels (e.g. 16 = 4^2, 64 = 4^3)"
+                ))
+            })?;
+            let algo = t.routing.as_deref().unwrap_or("adaptive_updown");
+            if algo != "adaptive_updown" && algo != "deterministic_updown" {
+                return Err(routing_err(
+                    algo,
+                    &["adaptive_updown", "deterministic_updown"],
+                ));
+            }
+            Ok(Shape {
+                topology: obj! { "name" => "folded_clos", "levels" => levels, "k" => k },
+                vcs: 1,
+                routing: obj! { "algorithm" => algo },
+                channel: obj! { "terminal_latency" => 1u64, "local_latency" => 10u64,
+                "link_period" => 1u64 },
+                router: obj! {
+                    "architecture" => "output_queued",
+                    "input_buffer" => 150u64,
+                    "output_queue" => 16u64,
+                    "core_latency" => 10u64,
+                    "congestion_sensor" => obj! {
+                        "source" => "output", "granularity" => "port", "delay" => 8u64,
+                    },
+                },
+                eject_buffer: 64,
+                subtrees: Some(k),
+            })
+        }
+        Family::HyperX => {
+            forbid("levels", t.levels.is_some())?;
+            forbid("group_size", t.group_size.is_some())?;
+            forbid("global_ports", t.global_ports.is_some())?;
+            let conc = t.concentration.unwrap_or(4).max(1);
+            if !terminals.is_multiple_of(conc) {
+                return Err(ScenarioError::Invalid(format!(
+                    "hyperx: terminals ({terminals}) must be divisible by the \
+                     concentration ({conc})"
+                )));
+            }
+            let routers = terminals / conc;
+            if routers < 2 {
+                return Err(ScenarioError::Invalid(format!(
+                    "hyperx: {terminals} terminals at concentration {conc} leave \
+                     fewer than 2 routers"
+                )));
+            }
+            let algo = t.routing.as_deref().unwrap_or("minimal");
+            let mut routing = obj! { "algorithm" => algo };
+            match algo {
+                "minimal" | "valiant" => {}
+                "ugal" => routing.set_path("threshold", Value::Float(0.0))?,
+                other => return Err(routing_err(other, &["minimal", "valiant", "ugal"])),
+            }
+            Ok(Shape {
+                topology: obj! { "name" => "hyperx", "widths" => vec![routers],
+                "concentration" => conc },
+                vcs: 2,
+                routing,
+                channel: obj! { "terminal_latency" => 1u64, "local_latency" => 5u64,
+                "link_period" => 1u64 },
+                router: obj! {
+                    "architecture" => "input_queued",
+                    "input_buffer" => 16u64,
+                    "xbar_latency" => 2u64,
+                    "flow_control" => "flit_buffer",
+                    "arbiter" => "age_based",
+                    "congestion_sensor" => obj! {
+                        "source" => "downstream", "granularity" => "vc", "delay" => 0u64,
+                    },
+                },
+                eject_buffer: 32,
+                subtrees: None,
+            })
+        }
+        Family::Dragonfly => {
+            forbid("levels", t.levels.is_some())?;
+            let (Some(a), Some(h), Some(p)) = (t.group_size, t.global_ports, t.concentration)
+            else {
+                return Err(ScenarioError::Invalid(
+                    "dragonfly: declare group_size, global_ports, and concentration \
+                     explicitly (the canonical balanced shape a*h+1 groups)"
+                        .to_string(),
+                ));
+            };
+            if a == 0 || h == 0 || p == 0 {
+                return Err(ScenarioError::Invalid(
+                    "dragonfly: group_size, global_ports, and concentration must be \
+                     at least 1"
+                        .to_string(),
+                ));
+            }
+            let groups = a * h + 1;
+            let expected = p * a * groups;
+            if expected != terminals {
+                return Err(ScenarioError::Invalid(format!(
+                    "dragonfly: group_size {a} * global_ports {h} gives {groups} groups \
+                     and {expected} terminals, but the declaration asks for {terminals}"
+                )));
+            }
+            let algo = t.routing.as_deref().unwrap_or("minimal");
+            let (vcs, routing) = match algo {
+                "minimal" => (3, obj! { "algorithm" => "minimal" }),
+                "ugal" => (
+                    6,
+                    obj! { "algorithm" => "ugal", "threshold" => Value::Float(0.0) },
+                ),
+                other => return Err(routing_err(other, &["minimal", "ugal"])),
+            };
+            Ok(Shape {
+                topology: obj! { "name" => "dragonfly", "group_size" => a,
+                "global_ports" => h, "concentration" => p },
+                vcs,
+                routing,
+                channel: obj! { "terminal_latency" => 1u64, "local_latency" => 3u64,
+                "global_latency" => 30u64, "link_period" => 1u64 },
+                router: obj! {
+                    "architecture" => "input_output_queued",
+                    "input_buffer" => 32u64,
+                    "output_queue" => 64u64,
+                    "xbar_latency" => 2u64,
+                    "flow_control" => "flit_buffer",
+                    "arbiter" => "age_based",
+                    "congestion_sensor" => obj! {
+                        "source" => "both", "granularity" => "port", "delay" => 0u64,
+                    },
+                },
+                eject_buffer: 32,
+                subtrees: None,
+            })
+        }
+    }
+}
+
+/// Splits `routers` into the most square 2-D widths `[a, routers/a]` with
+/// `a >= 2`, falling back to a 1-D ring when `routers` is prime.
+fn near_square(routers: u64) -> Vec<u64> {
+    let mut best = 1;
+    let mut d = 2;
+    while d * d <= routers {
+        if routers.is_multiple_of(d) {
+            best = d;
+        }
+        d += 1;
+    }
+    if best >= 2 {
+        vec![best, routers / best]
+    } else {
+        vec![routers]
+    }
+}
+
+/// The integer `k >= 2` with `k^levels == terminals`, if one exists.
+fn exact_root(terminals: u64, levels: u64) -> Option<u64> {
+    let mut k = 2u64;
+    loop {
+        let mut pow = 1u64;
+        for _ in 0..levels {
+            pow = pow.checked_mul(k)?;
+        }
+        match pow.cmp(&terminals) {
+            std::cmp::Ordering::Equal => return Some(k),
+            std::cmp::Ordering::Greater => return None,
+            std::cmp::Ordering::Less => k += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::Declaration;
+
+    fn expand_str(text: &str) -> Result<Value, ScenarioError> {
+        expand(&Declaration::parse(&Value::parse(text).unwrap())?)
+    }
+
+    #[test]
+    fn near_square_splits() {
+        assert_eq!(near_square(64), vec![8, 8]);
+        assert_eq!(near_square(12), vec![3, 4]);
+        assert_eq!(near_square(7), vec![7]);
+        assert_eq!(near_square(2), vec![2]);
+    }
+
+    #[test]
+    fn exact_roots() {
+        assert_eq!(exact_root(16, 2), Some(4));
+        assert_eq!(exact_root(64, 3), Some(4));
+        assert_eq!(exact_root(17, 2), None);
+        assert_eq!(exact_root(8, 1), Some(8));
+    }
+
+    #[test]
+    fn complement_is_the_rest() {
+        assert_eq!(complement(&[1, 3], 5), vec![0, 2, 4]);
+        assert_eq!(complement(&[], 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uniform_torus_expands() {
+        let cfg = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 64,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.3}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.req_u64_array("network.topology.widths").unwrap(),
+            [8, 8]
+        );
+        assert_eq!(cfg.req_u64("network.vcs").unwrap(), 2);
+        assert_eq!(
+            cfg.req_str("workload.applications.0.pattern.name").unwrap(),
+            "uniform_random"
+        );
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let text = r#"{"scenario": "t", "seed": 9, "terminals": 64,
+            "topology": {"family": "torus"},
+            "traffic": [{"kind": "hotspot", "hot": 5, "load": 0.2},
+                        {"kind": "incast", "victims": 3, "load": 0.1}],
+            "faults": {"storm": {"links": 4, "start": 500, "duration": 100, "stagger": 25}}}"#;
+        let a = expand_str(text).unwrap().to_json_pretty();
+        let b = expand_str(text).unwrap().to_json_pretty();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_pick_different_sets() {
+        let with_seed = |s: u64| {
+            expand_str(&format!(
+                r#"{{"scenario": "t", "seed": {s}, "terminals": 64,
+                    "topology": {{"family": "torus"}},
+                    "traffic": [{{"kind": "hotspot", "hot": 5, "load": 0.2}}]}}"#
+            ))
+            .unwrap()
+        };
+        let a = with_seed(1);
+        let b = with_seed(2);
+        assert_ne!(
+            a.path("workload.applications.0.pattern.hot"),
+            b.path("workload.applications.0.pattern.hot")
+        );
+    }
+
+    #[test]
+    fn incast_masks_victims_out_of_sources() {
+        let cfg = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "incast", "victims": 2, "load": 0.2}]}"#,
+        )
+        .unwrap();
+        let victims = cfg
+            .req_u64_array("workload.applications.0.pattern.victims")
+            .unwrap();
+        let sources = cfg
+            .req_u64_array("workload.applications.0.sources")
+            .unwrap();
+        assert_eq!(victims.len() + sources.len(), 16);
+        assert!(victims.iter().all(|v| !sources.contains(v)));
+    }
+
+    #[test]
+    fn overload_is_a_conflict() {
+        let err = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.7},
+                            {"kind": "hotspot", "hot": 2, "load": 0.6}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+    }
+
+    #[test]
+    fn two_closed_loops_conflict() {
+        let err = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "request_response", "servers": 2},
+                            {"kind": "request_response", "servers": 4}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("request_response"), "{err}");
+    }
+
+    #[test]
+    fn cross_subtree_needs_folded_clos() {
+        let err = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "cross_subtree", "load": 0.2}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("folded_clos"), "{err}");
+    }
+
+    #[test]
+    fn folded_clos_shape_must_be_a_power() {
+        let err = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 17,
+                "topology": {"family": "folded_clos"},
+                "traffic": [{"kind": "uniform", "load": 0.2}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("k^levels"), "{err}");
+    }
+
+    #[test]
+    fn dragonfly_terminal_consistency() {
+        let err = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 100,
+                "topology": {"family": "dragonfly", "group_size": 4,
+                             "global_ports": 2, "concentration": 2},
+                "traffic": [{"kind": "uniform", "load": 0.2}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("72 terminals"), "{err}");
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let cfg = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.1}],
+                "schedule": [{"kind": "ramp", "at": 100, "period": 200, "steps": 3,
+                              "from": 0.2, "to": 0.6, "count": 4}]}"#,
+        )
+        .unwrap();
+        let apps = cfg.req_array("workload.applications").unwrap();
+        assert_eq!(apps.len(), 4); // blast + 3 ramp steps
+        assert_eq!(apps[1].req_f64("load").unwrap(), 0.2);
+        assert_eq!(apps[2].req_f64("load").unwrap(), 0.4);
+        assert_eq!(apps[3].req_f64("load").unwrap(), 0.6);
+        assert_eq!(apps[3].req_u64("delay").unwrap(), 500);
+    }
+
+    #[test]
+    fn storm_expands_to_staggered_outages() {
+        let cfg = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.1}],
+                "faults": {"storm": {"links": 3, "start": 400, "duration": 150,
+                                     "stagger": 50}}}"#,
+        )
+        .unwrap();
+        assert!(cfg.req_bool("fault.enabled").unwrap());
+        assert_eq!(cfg.req_u64("fault.retry.max").unwrap(), 16);
+        let outages = cfg.req_array("fault.outages").unwrap();
+        assert_eq!(outages.len(), 3);
+        assert_eq!(outages[1].req_u64("start").unwrap(), 450);
+        assert_eq!(outages[1].req_u64("end").unwrap(), 600);
+    }
+
+    #[test]
+    fn overrides_win_last() {
+        let cfg = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.1}],
+                "overrides": {"network.router.input_buffer": 256}}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.req_u64("network.router.input_buffer").unwrap(), 256);
+    }
+
+    #[test]
+    fn max_packet_size_tracks_largest_message() {
+        let cfg = expand_str(
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.1, "message_size": 8}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.req_u64("network.interface.max_packet_size").unwrap(), 8);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! The scenario compiler for SuperSim-rs.
+//!
+//! Full SuperSim configurations are precise but verbose: a realistic
+//! experiment touches topology shape, router microarchitecture, several
+//! application blocks with hand-picked terminal sets, a fault plane, and
+//! sampling — easily a hundred lines, most of it boilerplate that must be
+//! kept mutually consistent. This crate compiles a compact *declaration*
+//! (what to stress: terminal count, topology family, traffic mix, load
+//! schedule, fault storm) into that full configuration, deterministically.
+//!
+//! A declaration is a JSON document with a top-level `"scenario"` name:
+//!
+//! ```text
+//! {
+//!   "scenario": "my_incast", "seed": 11, "terminals": 64,
+//!   "topology": { "family": "folded_clos", "levels": 3 },
+//!   "traffic":  [{ "kind": "incast", "victims": 4, "load": 0.05 }],
+//!   "schedule": [{ "kind": "step", "at": 300, "load": 0.8, "count": 8 }],
+//!   "sample":   { "interval": 100 }
+//! }
+//! ```
+//!
+//! Expansion is a pure function of the declaration: one in-tree PRNG
+//! seeded with the declaration's `seed` makes every pick (hot sets,
+//! victims, storm links) in a fixed order, so the same declaration always
+//! expands to the byte-identical configuration — goldens under
+//! `tests/golden/scenarios/` hold the compiler to that. Parsing is
+//! strict: unknown keys anywhere are errors, never silently ignored.
+//!
+//! The crate ships a [`library`] of ready scenarios (embedded at compile
+//! time) behind `supersim --scenario <name>` and the `ssgen` expansion
+//! tool.
+//!
+//! # Example
+//!
+//! ```
+//! use supersim_scenario as scenario;
+//!
+//! let compiled = scenario::resolve("incast_storm")?;
+//! assert_eq!(compiled.name, "incast_storm");
+//! assert_eq!(
+//!     compiled.config.req_str("network.topology.name")?,
+//!     "folded_clos"
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod decl;
+mod error;
+mod expand;
+pub mod library;
+
+pub use decl::{
+    is_declaration, Declaration, Family, FaultsDecl, SampleDecl, ScheduleDecl, StormDecl,
+    TopologyDecl, TrafficDecl, TrafficKind,
+};
+pub use error::ScenarioError;
+pub use expand::expand;
+pub use library::{compile, resolve, Compiled, LIBRARY};

@@ -1,0 +1,131 @@
+//! The shipped scenario library.
+//!
+//! Each library scenario is a declaration file under `configs/scenarios/`,
+//! embedded into the binary at compile time so `supersim --scenario <name>`
+//! works from any working directory. The files on disk stay the source of
+//! truth — the embedded copies are the same bytes.
+
+use supersim_config::Value;
+
+use crate::decl::Declaration;
+use crate::error::ScenarioError;
+use crate::expand::expand;
+
+/// The shipped scenarios: `(name, declaration JSON)`.
+pub const LIBRARY: &[(&str, &str)] = &[
+    (
+        "incast_storm",
+        include_str!("../../../configs/scenarios/incast_storm.json"),
+    ),
+    (
+        "hotspot_8020",
+        include_str!("../../../configs/scenarios/hotspot_8020.json"),
+    ),
+    (
+        "request_response",
+        include_str!("../../../configs/scenarios/request_response.json"),
+    ),
+    (
+        "fault_storm_hotspot",
+        include_str!("../../../configs/scenarios/fault_storm_hotspot.json"),
+    ),
+    (
+        "latent_congestion_scaled",
+        include_str!("../../../configs/scenarios/latent_congestion_scaled.json"),
+    ),
+];
+
+/// The names of the shipped scenarios, in library order.
+pub fn names() -> Vec<&'static str> {
+    LIBRARY.iter().map(|(n, _)| *n).collect()
+}
+
+/// The declaration text of a shipped scenario, if `name` is one.
+pub fn get(name: &str) -> Option<&'static str> {
+    LIBRARY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, text)| *text)
+}
+
+/// A compiled scenario: its name plus the full expanded configuration.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The scenario's declared name.
+    pub name: String,
+    /// The expanded configuration, ready for `SuperSim::from_config`.
+    pub config: Value,
+}
+
+/// Compiles a parsed declaration document into a full configuration.
+///
+/// # Errors
+///
+/// Any parse or expansion error; see [`ScenarioError`].
+pub fn compile(doc: &Value) -> Result<Compiled, ScenarioError> {
+    let decl = Declaration::parse(doc)?;
+    let config = expand(&decl)?;
+    Ok(Compiled {
+        name: decl.name,
+        config,
+    })
+}
+
+/// Resolves a `--scenario` argument — a library name first, a declaration
+/// file path second — and compiles it.
+///
+/// # Errors
+///
+/// [`ScenarioError::UnknownScenario`] when the argument is neither;
+/// otherwise any parse or expansion error.
+pub fn resolve(arg: &str) -> Result<Compiled, ScenarioError> {
+    if let Some(text) = get(arg) {
+        return compile(&Value::parse(text)?);
+    }
+    match std::fs::read_to_string(arg) {
+        Ok(text) => compile(&Value::parse(&text)?),
+        Err(_) => Err(ScenarioError::UnknownScenario {
+            name: arg.to_string(),
+            available: names(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_library_scenario_compiles() {
+        for (name, text) in LIBRARY {
+            let doc = Value::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let compiled = compile(&doc).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(&compiled.name, name);
+            assert!(compiled.config.path("network.topology.name").is_some());
+            assert!(!compiled
+                .config
+                .req_array("workload.applications")
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn embedded_copies_match_the_files_on_disk() {
+        for (name, embedded) in LIBRARY {
+            let path = format!(
+                "{}/../../configs/scenarios/{name}.json",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            let on_disk = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(&on_disk, embedded, "{name}: embedded copy is stale");
+        }
+    }
+
+    #[test]
+    fn resolve_prefers_library_then_file() {
+        assert!(resolve("incast_storm").is_ok());
+        let err = resolve("no_such_scenario").unwrap_err();
+        assert!(err.to_string().contains("incast_storm"), "{err}");
+    }
+}

@@ -1,0 +1,72 @@
+//! The `ssgen` command-line tool: expand a scenario declaration into the
+//! full SuperSim configuration it compiles to, without running it.
+//!
+//! ```text
+//! ssgen <name|declaration.json>       # expanded configuration on stdout
+//! ssgen <name|...> --out <file>       # write it to a file instead
+//! ssgen --list                        # shipped library scenario names
+//! ```
+//!
+//! Expansion is deterministic: the same declaration always prints the
+//! byte-identical configuration (the goldens under
+//! `tests/golden/scenarios/` are `ssgen` output, verbatim).
+
+use std::process::ExitCode;
+
+use supersim_scenario as scenario;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, _) in scenario::LIBRARY {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--out" => {
+                let Some(p) = it.next() else {
+                    eprintln!("ssgen: --out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = Some(p.clone());
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: ssgen <name|declaration.json> [--out <file>] | --list");
+                return ExitCode::FAILURE;
+            }
+            a if target.is_none() => target = Some(a.to_string()),
+            a => {
+                eprintln!("ssgen: unexpected argument {a:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("usage: ssgen <name|declaration.json> [--out <file>] | --list");
+        return ExitCode::FAILURE;
+    };
+    let compiled = match scenario::resolve(&target) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ssgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = compiled.config.to_json_pretty();
+    match out_path {
+        None => print!("{text}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("ssgen: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("ssgen: wrote {path} (scenario {})", compiled.name);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -33,6 +33,11 @@ pub struct BlastConfig {
     pub sample_messages: Option<u64>,
     /// Report `Complete` after this much generating time.
     pub sample_ticks: Option<Tick>,
+    /// Restricts injection to these terminals (sorted ascending). `None`
+    /// means every terminal sends — the classic Blast. Terminals outside
+    /// the set stay silent and complete immediately, which models
+    /// few-to-many (outcast) and many-to-few (incast) storms.
+    pub sources: Option<Arc<[u32]>>,
 }
 
 /// The Blast application.
@@ -61,11 +66,16 @@ impl Application for BlastApp {
     }
 
     fn create_terminal(&self, terminal: TerminalId) -> Box<dyn Terminal> {
+        let active = self
+            .config
+            .sources
+            .as_ref()
+            .is_none_or(|s| s.binary_search(&terminal.0).is_ok());
         Box::new(BlastTerminal {
             me: terminal,
             config: self.config.clone(),
             phase: Phase::Warming,
-            injection: (self.config.load > 0.0).then(|| {
+            injection: (active && self.config.load > 0.0).then(|| {
                 BernoulliProcess::new((self.config.load / self.config.sizes.mean()).min(1.0))
             }),
             next_gen: None,
@@ -142,12 +152,20 @@ impl Terminal for BlastTerminal {
                 self.arm_generation(now, rng);
             }
             Phase::Generating => {
-                match (self.config.sample_ticks, self.config.sample_messages) {
-                    (Some(t), _) => self.signal_at = Some((now + t, AppSignal::Complete)),
-                    (None, Some(_)) => {} // completion counted per message
-                    (None, None) => {
-                        self.completed = true;
-                        actions.push(TerminalAction::Signal(AppSignal::Complete));
+                if self.injection.is_none() {
+                    // A silent terminal (zero load or outside the source
+                    // set) has nothing to sample: complete immediately so
+                    // it never wedges the workload handshake.
+                    self.completed = true;
+                    actions.push(TerminalAction::Signal(AppSignal::Complete));
+                } else {
+                    match (self.config.sample_ticks, self.config.sample_messages) {
+                        (Some(t), _) => self.signal_at = Some((now + t, AppSignal::Complete)),
+                        (None, Some(_)) => {} // completion counted per message
+                        (None, None) => {
+                            self.completed = true;
+                            actions.push(TerminalAction::Signal(AppSignal::Complete));
+                        }
                     }
                 }
                 self.arm_generation(now, rng);
@@ -223,6 +241,7 @@ mod tests {
             warmup_ticks: warmup,
             sample_messages: count,
             sample_ticks: ticks,
+            sources: None,
         })
     }
 
@@ -347,5 +366,41 @@ mod tests {
         let a = t.enter_phase(Phase::Warming, 0, &mut rng);
         assert_eq!(a, vec![TerminalAction::Signal(AppSignal::Ready)]);
         assert_eq!(t.next_wake(), None);
+    }
+
+    #[test]
+    fn zero_load_terminal_completes_immediately() {
+        // A silent terminal must not wedge the completion handshake even
+        // when sample_messages is configured.
+        let mut rng = rng();
+        let mut t = app(0.0, 0, Some(5), None).create_terminal(TerminalId(0));
+        t.enter_phase(Phase::Warming, 0, &mut rng);
+        let a = t.enter_phase(Phase::Generating, 10, &mut rng);
+        assert!(a.contains(&TerminalAction::Signal(AppSignal::Complete)));
+    }
+
+    #[test]
+    fn source_mask_silences_outsiders() {
+        let mut rng = rng();
+        let app = BlastApp::new(BlastConfig {
+            pattern: Arc::new(UniformRandom::new(8)),
+            load: 1.0,
+            sizes: SizeDistribution::Fixed(2),
+            warmup_ticks: 0,
+            sample_messages: Some(2),
+            sample_ticks: None,
+            sources: Some(Arc::from(vec![1u32, 3].into_boxed_slice())),
+        });
+        // Terminal 2 is outside the source set: silent, completes at once.
+        let mut silent = app.create_terminal(TerminalId(2));
+        silent.enter_phase(Phase::Warming, 0, &mut rng);
+        assert_eq!(silent.next_wake(), None);
+        let a = silent.enter_phase(Phase::Generating, 10, &mut rng);
+        assert!(a.contains(&TerminalAction::Signal(AppSignal::Complete)));
+        // Terminal 3 is inside: it generates.
+        let mut active = app.create_terminal(TerminalId(3));
+        active.enter_phase(Phase::Warming, 0, &mut rng);
+        active.enter_phase(Phase::Generating, 10, &mut rng);
+        assert!(active.next_wake().is_some());
     }
 }

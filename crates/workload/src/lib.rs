@@ -8,7 +8,7 @@
 //!
 //! - [`TrafficPattern`]s decide destinations ([`UniformRandom`],
 //!   [`BitComplement`], [`Tornado`], [`Transpose`], [`Neighbor`],
-//!   [`CrossSubtree`], [`RandomPermutation`]),
+//!   [`CrossSubtree`], [`RandomPermutation`], [`Hotspot`], [`Incast`]),
 //! - [`InjectionProcess`]es decide timing ([`BernoulliProcess`],
 //!   [`PeriodicProcess`], [`BurstyProcess`]) with [`SizeDistribution`]s
 //!   for message sizes,
@@ -44,6 +44,6 @@ pub use pingpong::{PingPongApp, PingPongConfig};
 pub use pulse::{PulseApp, PulseConfig};
 pub use terminal::{Application, MessageSpec, Terminal, TerminalAction};
 pub use traffic::{
-    BitComplement, CrossSubtree, Neighbor, RandomPermutation, Tornado, TrafficPattern, Transpose,
-    UniformRandom,
+    BitComplement, CrossSubtree, Hotspot, Incast, Neighbor, RandomPermutation, Tornado,
+    TrafficPattern, Transpose, UniformRandom,
 };

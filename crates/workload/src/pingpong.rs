@@ -30,6 +30,10 @@ pub struct PingPongConfig {
     pub reply_size: u32,
     /// Transactions per terminal before `Complete`.
     pub transactions: u64,
+    /// Restricts request initiation to these terminals (sorted ascending).
+    /// `None` means every terminal initiates. Non-initiators still serve
+    /// incoming requests — the client/server split of storage traffic.
+    pub initiators: Option<Arc<[u32]>>,
 }
 
 /// The PingPong application.
@@ -62,9 +66,19 @@ impl Application for PingPongApp {
     }
 
     fn create_terminal(&self, terminal: TerminalId) -> Box<dyn Terminal> {
+        let mut config = self.config.clone();
+        let initiates = config
+            .initiators
+            .as_ref()
+            .is_none_or(|s| s.binary_search(&terminal.0).is_ok());
+        if !initiates {
+            // A pure server: zero transactions completes immediately while
+            // on_message keeps serving incoming requests.
+            config.transactions = 0;
+        }
         Box::new(PingPongTerminal {
             me: terminal,
-            config: self.config.clone(),
+            config,
             phase: Phase::Warming,
             in_flight: VecDeque::new(),
             completed: 0,
@@ -187,6 +201,7 @@ mod tests {
             request_size: 1,
             reply_size: 2,
             transactions,
+            initiators: None,
         })
     }
 
@@ -198,6 +213,7 @@ mod tests {
             request_size: 2,
             reply_size: 2,
             transactions: 1,
+            initiators: None,
         });
     }
 
@@ -244,6 +260,34 @@ mod tests {
             }
             ref other => panic!("expected a reply, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn non_initiators_serve_but_never_request() {
+        let mut rng = rng();
+        let app = PingPongApp::new(PingPongConfig {
+            pattern: Arc::new(Neighbor::new(4, 1)),
+            request_size: 1,
+            reply_size: 2,
+            transactions: 3,
+            initiators: Some(Arc::from(vec![0u32, 1].into_boxed_slice())),
+        });
+        // Terminal 3 is a pure server: completes at once, still replies.
+        let mut server = app.create_terminal(TerminalId(3));
+        server.enter_phase(Phase::Warming, 0, &mut rng);
+        let actions = server.enter_phase(Phase::Generating, 10, &mut rng);
+        assert_eq!(actions, vec![TerminalAction::Signal(AppSignal::Complete)]);
+        assert_eq!(server.next_wake(), None);
+        let actions = server.on_message(TerminalId(1), 1, 30, &mut rng);
+        assert!(matches!(
+            actions[0],
+            TerminalAction::Send(MessageSpec { size: 2, .. })
+        ));
+        // Terminal 0 initiates as usual.
+        let mut client = app.create_terminal(TerminalId(0));
+        client.enter_phase(Phase::Warming, 0, &mut rng);
+        client.enter_phase(Phase::Generating, 10, &mut rng);
+        assert!(client.next_wake().is_some());
     }
 
     #[test]

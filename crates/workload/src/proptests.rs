@@ -22,6 +22,7 @@ fn drive_blast(load: f64, size: u32, warmup: u64, count: u64, seed: u64) -> (u64
         warmup_ticks: warmup,
         sample_messages: Some(count),
         sample_ticks: None,
+        sources: None,
     });
     let mut rng = Rng::new(seed);
     let mut t = app.create_terminal(TerminalId(3));

@@ -30,6 +30,9 @@ pub struct PulseConfig {
     pub delay: Tick,
     /// Messages per terminal in the pulse.
     pub count: u64,
+    /// Restricts the pulse to these terminals (sorted ascending). `None`
+    /// pulses from every terminal. Outsiders complete immediately.
+    pub sources: Option<Arc<[u32]>>,
 }
 
 /// The Pulse application.
@@ -58,6 +61,11 @@ impl Application for PulseApp {
     }
 
     fn create_terminal(&self, terminal: TerminalId) -> Box<dyn Terminal> {
+        let active = self
+            .config
+            .sources
+            .as_ref()
+            .is_none_or(|s| s.binary_search(&terminal.0).is_ok());
         Box::new(PulseTerminal {
             me: terminal,
             config: self.config.clone(),
@@ -66,7 +74,7 @@ impl Application for PulseApp {
                 (self.config.load / self.config.sizes.mean()).min(1.0),
             ),
             next_gen: None,
-            remaining: self.config.count,
+            remaining: if active { self.config.count } else { 0 },
         })
     }
 }
@@ -160,6 +168,7 @@ mod tests {
             sizes: SizeDistribution::Fixed(1),
             delay,
             count,
+            sources: None,
         })
     }
 
@@ -200,6 +209,27 @@ mod tests {
         t.enter_phase(Phase::Warming, 0, &mut rng);
         t.enter_phase(Phase::Generating, 100, &mut rng);
         assert!(t.next_wake().expect("armed") > 600);
+    }
+
+    #[test]
+    fn source_mask_silences_outsiders() {
+        let mut rng = rng();
+        let app = PulseApp::new(PulseConfig {
+            pattern: Arc::new(Neighbor::new(8, 1)),
+            load: 1.0,
+            sizes: SizeDistribution::Fixed(1),
+            delay: 0,
+            count: 4,
+            sources: Some(Arc::from(vec![0u32, 5].into_boxed_slice())),
+        });
+        let mut silent = app.create_terminal(TerminalId(3));
+        silent.enter_phase(Phase::Warming, 0, &mut rng);
+        let actions = silent.enter_phase(Phase::Generating, 10, &mut rng);
+        assert_eq!(actions, vec![TerminalAction::Signal(AppSignal::Complete)]);
+        let mut active = app.create_terminal(TerminalId(5));
+        active.enter_phase(Phase::Warming, 0, &mut rng);
+        active.enter_phase(Phase::Generating, 10, &mut rng);
+        assert!(active.next_wake().is_some());
     }
 
     #[test]

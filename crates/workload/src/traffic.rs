@@ -22,6 +22,16 @@ pub trait TrafficPattern: Send + Sync {
     fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId;
 }
 
+/// Uniform draw over all `terminals`, re-rolled away from `src` — the
+/// shared self-avoidance discipline of the random patterns.
+fn uniform_excluding(terminals: u32, src: TerminalId, rng: &mut Rng) -> TerminalId {
+    let mut d = rng.gen_range(0..terminals);
+    if d == src.0 {
+        d = (d + 1 + rng.gen_range(0..terminals - 1)) % terminals;
+    }
+    TerminalId(d)
+}
+
 /// Uniform random over all terminals, excluding the source itself.
 #[derive(Debug, Clone)]
 pub struct UniformRandom {
@@ -49,11 +59,112 @@ impl TrafficPattern for UniformRandom {
     }
 
     fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId {
-        let mut d = rng.gen_range(0..self.terminals);
-        if d == src.0 {
-            d = (d + 1 + rng.gen_range(0..self.terminals - 1)) % self.terminals;
+        uniform_excluding(self.terminals, src, rng)
+    }
+}
+
+/// Hotspot concentration: a `bias` fraction of the traffic targets a small
+/// set of hot terminals, the remainder is uniform random — the classic
+/// 80/20 DDoS-like concentration when `bias = 0.8` over 20% of the
+/// endpoints.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    terminals: u32,
+    hot: Vec<u32>,
+    bias: f64,
+}
+
+impl Hotspot {
+    /// Creates the pattern: `bias` of the traffic goes to a uniformly
+    /// chosen member of `hot`, the rest is uniform over all terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals < 2`, `hot` is empty or names a terminal
+    /// outside the network, or `bias` is not in `[0, 1]`.
+    pub fn new(terminals: u32, hot: Vec<u32>, bias: f64) -> Self {
+        assert!(terminals >= 2, "hotspot needs at least two terminals");
+        assert!(!hot.is_empty(), "hotspot needs a non-empty hot set");
+        assert!(
+            hot.iter().all(|&t| t < terminals),
+            "hot terminal out of range"
+        );
+        assert!((0.0..=1.0).contains(&bias), "bias must be in [0, 1]");
+        Hotspot {
+            terminals,
+            hot,
+            bias,
         }
-        TerminalId(d)
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> &str {
+        "hotspot"
+    }
+
+    fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId {
+        if rng.gen_bool(self.bias) {
+            let n = self.hot.len() as u32;
+            let mut idx = rng.gen_range(0..n);
+            if self.hot[idx as usize] == src.0 {
+                if n == 1 {
+                    // The lone hot terminal is the source; spill to uniform.
+                    return uniform_excluding(self.terminals, src, rng);
+                }
+                idx = (idx + 1 + rng.gen_range(0..n - 1)) % n;
+            }
+            TerminalId(self.hot[idx as usize])
+        } else {
+            uniform_excluding(self.terminals, src, rng)
+        }
+    }
+}
+
+/// Incast: every message targets one of a small victim set, uniformly —
+/// the many-to-few fan-in of storage and aggregation traffic. Combine with
+/// a Blast `sources` mask excluding the victims for a pure incast storm.
+#[derive(Debug, Clone)]
+pub struct Incast {
+    terminals: u32,
+    victims: Vec<u32>,
+}
+
+impl Incast {
+    /// Creates the pattern over the given victim set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals < 2`, `victims` is empty, or a victim is out
+    /// of range.
+    pub fn new(terminals: u32, victims: Vec<u32>) -> Self {
+        assert!(terminals >= 2, "incast needs at least two terminals");
+        assert!(!victims.is_empty(), "incast needs a non-empty victim set");
+        assert!(
+            victims.iter().all(|&t| t < terminals),
+            "victim terminal out of range"
+        );
+        Incast { terminals, victims }
+    }
+}
+
+impl TrafficPattern for Incast {
+    fn name(&self) -> &str {
+        "incast"
+    }
+
+    fn dest(&self, src: TerminalId, rng: &mut Rng) -> TerminalId {
+        let n = self.victims.len() as u32;
+        let mut idx = rng.gen_range(0..n);
+        if self.victims[idx as usize] == src.0 {
+            if n == 1 {
+                // A victim sourcing traffic toward itself has nowhere legal
+                // to go inside the set; spill to uniform.
+                return uniform_excluding(self.terminals, src, rng);
+            }
+            idx = (idx + 1 + rng.gen_range(0..n - 1)) % n;
+        }
+        TerminalId(self.victims[idx as usize])
     }
 }
 
@@ -345,6 +456,66 @@ mod tests {
                 assert_ne!(d.0 / 16, src / 16, "stayed in home subtree");
                 assert!(d.0 < 64);
             }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_the_hot_set() {
+        let hot = vec![2u32, 5];
+        let p = Hotspot::new(16, hot.clone(), 0.8);
+        let mut rng = rng();
+        let mut hits = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let d = p.dest(TerminalId(9), &mut rng);
+            assert_ne!(d, TerminalId(9));
+            assert!(d.0 < 16);
+            if hot.contains(&d.0) {
+                hits += 1;
+            }
+        }
+        // 0.8 biased + uniform spill-in: expect well above 0.7, below 0.95.
+        let frac = hits as f64 / n as f64;
+        assert!((0.7..0.95).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn hotspot_single_hot_source_spills_to_uniform() {
+        let p = Hotspot::new(8, vec![3], 1.0);
+        let mut rng = rng();
+        for _ in 0..256 {
+            let d = p.dest(TerminalId(3), &mut rng);
+            assert_ne!(d, TerminalId(3));
+        }
+    }
+
+    #[test]
+    fn incast_targets_only_victims() {
+        let victims = vec![1u32, 4, 7];
+        let p = Incast::new(16, victims.clone());
+        let mut rng = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            let d = p.dest(TerminalId(9), &mut rng);
+            assert!(victims.contains(&d.0), "non-victim destination {}", d.0);
+            seen.insert(d.0);
+        }
+        assert_eq!(seen.len(), 3, "all victims should be hit");
+        // A victim never sends to itself.
+        for _ in 0..256 {
+            let d = p.dest(TerminalId(4), &mut rng);
+            assert_ne!(d, TerminalId(4));
+            assert!(victims.contains(&d.0));
+        }
+    }
+
+    #[test]
+    fn incast_single_victim_self_spills_to_uniform() {
+        let p = Incast::new(8, vec![2]);
+        let mut rng = rng();
+        for _ in 0..256 {
+            let d = p.dest(TerminalId(2), &mut rng);
+            assert_ne!(d, TerminalId(2));
         }
     }
 

@@ -33,17 +33,27 @@
 //! and take precedence over the configuration file and the
 //! `SUPERSIM_ENGINE` / `SUPERSIM_SHARDS` environment variables. Results
 //! are bit-identical across engines for one `(configuration, seed)`.
+//!
+//! Scenarios: `--scenario <name|file>` compiles a compact scenario
+//! declaration (a library name like `incast_storm`, or a declaration
+//! file) into a full configuration and runs it. A declaration file given
+//! as the plain configuration argument is detected by its top-level
+//! `"scenario"` name and compiled the same way, so every file under
+//! `configs/` — plain or declarative — runs with the same command line.
+//! Expand without running via the `ssgen` tool.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use supersim::config;
 use supersim::core::SuperSim;
+use supersim::scenario;
 use supersim::stats::Filter;
 use supersim::tools;
 
 struct Args {
-    config_path: PathBuf,
+    config_path: Option<PathBuf>,
+    scenario: Option<String>,
     overrides: Vec<String>,
     log_path: Option<PathBuf>,
     no_log: bool,
@@ -61,6 +71,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut config_path = None;
+    let mut scenario = None;
     let mut overrides = Vec::new();
     let mut log_path = None;
     let mut no_log = false;
@@ -143,13 +154,20 @@ fn parse_args() -> Result<Args, String> {
                 let p = it.next().ok_or("--timeseries needs a path")?;
                 timeseries_path = Some(PathBuf::from(p));
             }
+            "--scenario" => {
+                let s = it
+                    .next()
+                    .ok_or("--scenario needs a name or declaration file")?;
+                scenario = Some(s);
+            }
             "--spans" => spans = true,
             "--span-log" => {
                 let p = it.next().ok_or("--span-log needs a path")?;
                 span_log_path = Some(PathBuf::from(p));
             }
             "--help" | "-h" => {
-                return Err("usage: supersim <config.json> [path=type=value ...] \
+                return Err("usage: supersim <config.json | --scenario <name|file>> \
+                            [path=type=value ...] \
                             [--log <file> | --no-log] [--metrics <file>] [--trace <file>] \
                             [--engine sequential|sharded] [--shards <n>] \
                             [--faults <bit-error-rate>] [--watchdog-ticks <n>] \
@@ -162,8 +180,15 @@ fn parse_args() -> Result<Args, String> {
             a => return Err(format!("unexpected argument {a:?}")),
         }
     }
+    if config_path.is_none() && scenario.is_none() {
+        return Err("missing configuration file (or --scenario <name|file>)".to_string());
+    }
+    if config_path.is_some() && scenario.is_some() {
+        return Err("give either a configuration file or --scenario, not both".to_string());
+    }
     Ok(Args {
-        config_path: config_path.ok_or("missing configuration file")?,
+        config_path,
+        scenario,
         overrides,
         log_path,
         no_log,
@@ -188,11 +213,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut cfg = match config::expand_file(&args.config_path) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("supersim: {}: {e}", args.config_path.display());
-            return ExitCode::FAILURE;
+    // Three ways in: `--scenario <name|file>`, a declaration file given as
+    // the plain argument (detected by its top-level "scenario" name), or a
+    // full configuration file. `base` anchors the default output paths.
+    let (mut cfg, base) = if let Some(arg) = &args.scenario {
+        match scenario::resolve(arg) {
+            Ok(c) => {
+                eprintln!("supersim: scenario {} expanded", c.name);
+                (c.config, PathBuf::from(format!("{}.json", c.name)))
+            }
+            Err(e) => {
+                eprintln!("supersim: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let path = args.config_path.clone().expect("checked in parse_args");
+        let loaded = match config::expand_file(&path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("supersim: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if scenario::is_declaration(&loaded) {
+            match scenario::compile(&loaded) {
+                Ok(c) => {
+                    eprintln!("supersim: scenario {} expanded", c.name);
+                    (c.config, path)
+                }
+                Err(e) => {
+                    eprintln!("supersim: {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            (loaded, path)
         }
     };
     if let Err(e) = config::apply_overrides(&mut cfg, &args.overrides) {
@@ -296,9 +352,7 @@ fn main() -> ExitCode {
     print!("{}", tools::analyze(&out.log, &Filter::new()).to_table());
 
     if !args.no_log {
-        let path = args
-            .log_path
-            .unwrap_or_else(|| args.config_path.with_extension("log"));
+        let path = args.log_path.unwrap_or_else(|| base.with_extension("log"));
         if let Err(e) = std::fs::write(&path, out.log.to_text()) {
             eprintln!("supersim: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
@@ -341,7 +395,7 @@ fn main() -> ExitCode {
     if let Some(ts) = &out.timeseries {
         let path = args
             .timeseries_path
-            .unwrap_or_else(|| args.config_path.with_extension("timeseries"));
+            .unwrap_or_else(|| base.with_extension("timeseries"));
         if let Err(e) = std::fs::write(&path, ts) {
             eprintln!("supersim: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;

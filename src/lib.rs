@@ -22,6 +22,8 @@
 //!   load-latency analysis.
 //! - [`core`] — the simulator facade that assembles everything from a
 //!   configuration and runs it.
+//! - [`scenario`] — the scenario compiler: compact declarations expand
+//!   deterministically into full configurations (`supersim --scenario`).
 //! - [`tools`] — the SSParse / SSPlot / TaskRun / SSSweep tool ecosystem.
 //!
 //! # Quickstart
@@ -42,6 +44,7 @@ pub use supersim_core as core;
 pub use supersim_des as des;
 pub use supersim_netbase as netbase;
 pub use supersim_router as router;
+pub use supersim_scenario as scenario;
 pub use supersim_stats as stats;
 pub use supersim_tools as tools;
 pub use supersim_topology as topology;

@@ -1,0 +1,215 @@
+//! End-to-end contracts of the scenario compiler: every shipped scenario
+//! expands byte-identically to its golden configuration, runs end-to-end
+//! on every engine with byte-identical results, and reproduces its golden
+//! time-series; the expander rejects malformed declarations with precise
+//! errors instead of expanding surprises.
+
+use supersim::config::Value;
+use supersim::core::{RunOutput, SuperSim};
+use supersim::scenario;
+
+fn golden_path(name: &str, ext: &str) -> String {
+    format!(
+        "{}/tests/golden/scenarios/{name}.{ext}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn run_with(mut cfg: Value, engine: &str, shards: u64) -> RunOutput {
+    cfg.set_path("engine.kind", Value::Str(engine.into()))
+        .expect("object");
+    cfg.set_path("engine.shards", Value::Int(shards as i64))
+        .expect("object");
+    SuperSim::from_config(&cfg)
+        .expect("build")
+        .run()
+        .expect("run")
+}
+
+#[test]
+fn expanded_configs_match_the_goldens() {
+    // Regenerate with: ssgen <name> --out tests/golden/scenarios/<name>.json
+    for (name, _) in scenario::LIBRARY {
+        let compiled = scenario::resolve(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let golden = std::fs::read_to_string(golden_path(name, "json"))
+            .unwrap_or_else(|e| panic!("{name}: golden config missing: {e}"));
+        assert_eq!(
+            compiled.config.to_json_pretty(),
+            golden,
+            "{name}: expansion drifted from the golden configuration"
+        );
+    }
+}
+
+#[test]
+fn expansion_is_byte_deterministic() {
+    for (name, _) in scenario::LIBRARY {
+        let a = scenario::resolve(name).unwrap().config.to_json_pretty();
+        let b = scenario::resolve(name).unwrap().config.to_json_pretty();
+        assert_eq!(a, b, "{name}: two expansions of one declaration differ");
+    }
+}
+
+#[test]
+fn every_scenario_runs_identically_on_every_engine() {
+    // Regenerate the time-series goldens with:
+    //   supersim --scenario <name> --no-log \
+    //     --timeseries tests/golden/scenarios/<name>.timeseries
+    for (name, _) in scenario::LIBRARY {
+        let cfg = scenario::resolve(name).unwrap().config;
+        let seq = run_with(cfg.clone(), "sequential", 1);
+        assert!(seq.packets_delivered() > 0, "{name}: no packets delivered");
+        let ts = seq
+            .timeseries
+            .as_deref()
+            .unwrap_or_else(|| panic!("{name}: sampling not armed"));
+        let golden = std::fs::read_to_string(golden_path(name, "timeseries"))
+            .unwrap_or_else(|e| panic!("{name}: golden time-series missing: {e}"));
+        assert_eq!(
+            ts, golden,
+            "{name}: time-series drifted from the golden file"
+        );
+        let sharded = run_with(cfg, "sharded", 2);
+        assert_eq!(
+            seq.timeseries.as_deref(),
+            sharded.timeseries.as_deref(),
+            "{name}: time-series diverged between engines"
+        );
+        assert_eq!(
+            seq.log.to_text(),
+            sharded.log.to_text(),
+            "{name}: sample log diverged between engines"
+        );
+    }
+}
+
+#[test]
+fn declaration_files_on_disk_compile_to_their_names() {
+    let dir = format!("{}/configs/scenarios", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("configs/scenarios present") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let doc = Value::parse(&text).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        assert!(
+            scenario::is_declaration(&doc),
+            "{stem}: files under configs/scenarios/ must be declarations"
+        );
+        let compiled = scenario::compile(&doc).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        assert_eq!(
+            compiled.name, stem,
+            "declaration name must match its file name"
+        );
+        seen += 1;
+    }
+    assert_eq!(
+        seen,
+        scenario::LIBRARY.len(),
+        "every on-disk declaration must be in the embedded library (and vice versa)"
+    );
+}
+
+fn compile_str(text: &str) -> Result<scenario::Compiled, scenario::ScenarioError> {
+    scenario::compile(&Value::parse(text).unwrap())
+}
+
+#[test]
+fn unknown_keys_are_rejected_everywhere() {
+    for (ctx, text) in [
+        (
+            "declaration",
+            r#"{"scenario": "t", "seed": 1, "terminals": 16, "topolgy": {},
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.2}]}"#,
+        ),
+        (
+            "topology",
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus", "radix": 4},
+                "traffic": [{"kind": "uniform", "load": 0.2}]}"#,
+        ),
+        (
+            "traffic[0]",
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "hotspot", "hot": 2, "load": 0.2, "bias2": 0.5}]}"#,
+        ),
+        (
+            "faults.storm",
+            r#"{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {"family": "torus"},
+                "traffic": [{"kind": "uniform", "load": 0.2}],
+                "faults": {"storm": {"links": 2, "start": 100, "duration": 50,
+                                     "stag": 10}}}"#,
+        ),
+    ] {
+        let err = compile_str(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(ctx) && msg.contains("unknown key"),
+            "{ctx}: wrong error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_terminal_counts_are_rejected() {
+    for terminals in [0, 1, 2_000_000] {
+        let err = compile_str(&format!(
+            r#"{{"scenario": "t", "seed": 1, "terminals": {terminals},
+                "topology": {{"family": "torus"}},
+                "traffic": [{{"kind": "uniform", "load": 0.2}}]}}"#
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+    // A set size must leave at least one terminal outside the set.
+    let err = compile_str(
+        r#"{"scenario": "t", "seed": 1, "terminals": 16,
+            "topology": {"family": "torus"},
+            "traffic": [{"kind": "incast", "victims": 16, "load": 0.2}]}"#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("between 1 and"), "{err}");
+}
+
+#[test]
+fn conflicting_traffic_declarations_are_rejected() {
+    let err = compile_str(
+        r#"{"scenario": "t", "seed": 1, "terminals": 16,
+            "topology": {"family": "torus"},
+            "traffic": [{"kind": "uniform", "load": 0.8},
+                        {"kind": "incast", "victims": 2, "load": 0.4}]}"#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("conflicting"), "{err}");
+}
+
+#[test]
+fn the_scenario_seed_rules_both_expansion_and_simulation() {
+    // Changing only the declaration seed must change the picked sets (the
+    // expansion PRNG) and flow into the emitted config's `seed` (the
+    // simulation PRNG) — one knob, the whole experiment.
+    let with_seed = |seed: u64| {
+        compile_str(&format!(
+            r#"{{"scenario": "t", "seed": {seed}, "terminals": 64,
+                "topology": {{"family": "torus"}},
+                "traffic": [{{"kind": "hotspot", "hot": 8, "load": 0.2}}]}}"#
+        ))
+        .unwrap()
+        .config
+    };
+    let a = with_seed(3);
+    let b = with_seed(4);
+    assert_eq!(a.req_u64("seed").unwrap(), 3);
+    assert_eq!(b.req_u64("seed").unwrap(), 4);
+    assert_ne!(
+        a.path("workload.applications.0.pattern.hot"),
+        b.path("workload.applications.0.pattern.hot"),
+        "different seeds must pick different hot sets"
+    );
+}

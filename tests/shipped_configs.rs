@@ -1,8 +1,12 @@
 //! The JSON configurations shipped under `configs/` must stay buildable
-//! and runnable (they are the quickstart path for CLI users).
+//! and runnable (they are the quickstart path for CLI users). The sweep
+//! test at the bottom enforces 100% coverage of the directory: every
+//! shipped file — plain configuration or scenario declaration — either
+//! runs end-to-end or is the deliberate deadlock case.
 
 use supersim::config::{apply_override, expand_file, Value};
 use supersim::core::SuperSim;
+use supersim::scenario;
 
 fn load(name: &str) -> Value {
     let path = format!("{}/configs/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -78,4 +82,77 @@ fn shipped_deadlock_config_trips_the_watchdog() {
         report.error
     );
     assert!(report.diagnostic.is_some(), "no diagnostic snapshot");
+}
+
+#[test]
+fn config_sweep_covers_the_whole_directory() {
+    // Enumerate configs/ and configs/scenarios/ so a newly added file can
+    // never be silently untested: each must run end-to-end through the
+    // same load path the CLI uses (declarations are auto-compiled), or be
+    // the deliberate deadlock case checked above.
+    let root = format!("{}/configs", env!("CARGO_MANIFEST_DIR"));
+    let mut paths = Vec::new();
+    for dir in [root.clone(), format!("{root}/scenarios")] {
+        for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{dir}: {e}")) {
+            let path = entry.expect("dir entry").path();
+            if path.is_file() && path.extension().and_then(|e| e.to_str()) == Some("json") {
+                paths.push(path);
+            }
+        }
+    }
+    paths.sort();
+    assert!(
+        paths.len() >= 13,
+        "configs/ shrank to {} files",
+        paths.len()
+    );
+
+    let mut swept = 0;
+    for path in &paths {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if name == "deadlock_2router.json" {
+            continue; // expected-fail case, pinned by its own test above
+        }
+        let mut cfg = expand_file(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if cfg.path("workload").is_none() && !scenario::is_declaration(&cfg) {
+            // An $include fragment (e.g. base_network.json): it must parse
+            // (just did) and actually be included by some sibling config.
+            let stem = name;
+            let included = paths.iter().any(|p| {
+                p.file_name().unwrap() != stem
+                    && std::fs::read_to_string(p)
+                        .map(|t| t.contains(stem))
+                        .unwrap_or(false)
+            });
+            assert!(included, "{name}: orphan fragment — nothing includes it");
+            swept += 1;
+            continue;
+        }
+        if scenario::is_declaration(&cfg) {
+            cfg = scenario::compile(&cfg)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .config;
+        }
+        // Keep the sweep fast: shrink the first app's sample count where
+        // the knob exists, exactly as the CLI override would.
+        if cfg.req_str("workload.applications.0.name") == Ok("blast")
+            && cfg
+                .path("workload.applications.0.sample_messages")
+                .is_some()
+        {
+            apply_override(&mut cfg, "workload.applications.0.sample_messages=uint=20")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        let out = SuperSim::from_config(&cfg)
+            .unwrap_or_else(|e| panic!("{name}: build: {e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: run: {e}"));
+        assert!(out.packets_delivered() > 0, "{name}: no samples");
+        swept += 1;
+    }
+    assert_eq!(
+        swept,
+        paths.len() - 1,
+        "every file but the deadlock case runs"
+    );
 }
