@@ -21,6 +21,10 @@
 //!   bench_engine --engine seq        # skip the sharded rows
 //!   bench_engine --engine sharded    # only the sharded rows
 //!   bench_engine --shards N          # measure one shard count instead of 2 and 4
+//!   bench_engine --workers N[,M...]  # add multi-process rows: same ring, one
+//!                                    # OS process per shard over the Unix-socket
+//!                                    # transport (unix only; measures the full
+//!                                    # spawn + wire protocol end to end)
 //!   bench_engine --profile           # run a real torus router workload and
 //!                                    # print the hot-path profiling plane
 //!                                    # (batching, arena pressure, clones)
@@ -405,6 +409,116 @@ fn bench_work_ring(
     (rate, allocs)
 }
 
+/// The work/relay ring driven through the multi-process transport: the
+/// parent plays hub, the ring is cut into one contiguous arc per worker
+/// process, and each worker is this same binary re-executed in the
+/// `__bench_worker` role. The measured rate is end-to-end — process
+/// spawn, socket accept, every per-round FOLD/EXCH over the wire, and
+/// teardown — because that is what a real `--workers` run pays.
+#[cfg(unix)]
+mod process_rows {
+    use std::os::unix::net::UnixListener;
+    use std::process::{Command, Stdio};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    use supersim_des::wire::{get_varint, put_varint};
+    use supersim_des::{Engine, Hub, WorkerLink};
+
+    use super::{build_work_ring, measure};
+
+    static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Worker-side entry for `bench_engine __bench_worker <socket> <index>`.
+    pub fn run_worker(socket: &str, index: u32) -> i32 {
+        match worker_inner(socket, index) {
+            Ok(()) => 0,
+            Err(msg) => {
+                eprintln!("bench_engine worker {index}: {msg}");
+                1
+            }
+        }
+    }
+
+    fn worker_inner(socket: &str, index: u32) -> Result<(), String> {
+        let (link, setup) =
+            WorkerLink::connect(socket, index).map_err(|e| format!("connect {socket}: {e}"))?;
+        let buf = &mut setup.payload.as_slice();
+        let (Some(ring), Some(tokens), Some(hops), Some(work)) = (
+            get_varint(buf),
+            get_varint(buf),
+            get_varint(buf),
+            get_varint(buf),
+        ) else {
+            return Err("malformed ring parameters in setup payload".into());
+        };
+        let (ring, tokens, work) = (ring as usize, tokens as usize, work as u32);
+        let shards = setup.workers as usize;
+        let sim = build_work_ring(ring, tokens, hops, work);
+        let shard_of: Vec<u32> = (0..ring).map(|i| (i * shards / ring) as u32).collect();
+        let mut worker = sim.into_worker(index, shards, shard_of, link.clone());
+        let _ = worker.run();
+        // The bench has no report to assemble; an empty partial completes
+        // the protocol.
+        link.send_partial(&[]).map_err(|e| format!("partial: {e}"))
+    }
+
+    pub fn bench_work_ring_process(
+        ring: usize,
+        tokens: usize,
+        hops: u64,
+        work: u32,
+        workers: usize,
+        reps: usize,
+    ) -> f64 {
+        let events_per_run = ring as u64 * hops + tokens as u64;
+        let exe = std::env::current_exe().expect("own path");
+        measure(events_per_run, reps, || {
+            let path = std::env::temp_dir().join(format!(
+                "supersim-bench-{}-{}.sock",
+                std::process::id(),
+                SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let listener = UnixListener::bind(&path).expect("bind bench socket");
+            let mut payload = Vec::new();
+            for v in [ring as u64, tokens as u64, hops, u64::from(work)] {
+                put_varint(&mut payload, v);
+            }
+            let mut children: Vec<_> = (0..workers)
+                .map(|w| {
+                    Command::new(&exe)
+                        .arg("__bench_worker")
+                        .arg(&path)
+                        .arg(w.to_string())
+                        .stdin(Stdio::null())
+                        .spawn()
+                        .expect("spawn bench worker")
+                })
+                .collect();
+            let mut hub = Hub::accept(
+                &listener,
+                workers as u32,
+                Duration::from_secs(60),
+                &payload,
+                None,
+            )
+            .expect("accept bench workers");
+            let result = hub.run();
+            assert!(
+                result.error.is_none(),
+                "bench worker failed: {:?}",
+                result.error
+            );
+            let executed: u64 = result.metrics.iter().map(|m| m.events_executed).sum();
+            assert_eq!(executed, events_per_run);
+            for c in &mut children {
+                let _ = c.wait();
+            }
+            let _ = std::fs::remove_file(&path);
+        })
+    }
+}
+
 /// The same relay-ring workload driven through the reference engine.
 fn bench_relay_ring_refheap(ring: usize, tokens: usize, hops: u64, reps: usize) -> f64 {
     let events_per_run = ring as u64 * hops + tokens as u64;
@@ -550,11 +664,25 @@ fn human(rate: f64) -> String {
 }
 
 fn main() {
+    #[cfg(unix)]
+    {
+        let argv: Vec<String> = std::env::args().collect();
+        if argv.get(1).is_some_and(|a| a == "__bench_worker") {
+            let (Some(socket), Some(index)) =
+                (argv.get(2), argv.get(3).and_then(|s| s.parse::<u32>().ok()))
+            else {
+                eprintln!("bench_engine: __bench_worker needs <socket> <index>");
+                std::process::exit(2);
+            };
+            std::process::exit(process_rows::run_worker(socket, index));
+        }
+    }
     let mut smoke = false;
     let mut profile = false;
     let mut run_seq = true;
     let mut run_sharded = true;
     let mut shard_counts = vec![2usize, 4];
+    let mut worker_counts: Vec<usize> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -578,6 +706,27 @@ fn main() {
                     std::process::exit(2);
                 };
                 shard_counts = vec![n];
+            }
+            "--workers" => {
+                let parsed: Option<Vec<usize>> = it.next().map(|s| {
+                    s.split(',')
+                        .map(|p| p.parse::<usize>().ok().filter(|&n| n > 0))
+                        .collect::<Option<Vec<_>>>()
+                        .unwrap_or_default()
+                });
+                match parsed {
+                    Some(counts) if !counts.is_empty() => worker_counts = counts,
+                    _ => {
+                        eprintln!(
+                            "bench_engine: --workers needs positive integers (e.g. 2 or 2,4)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+                if cfg!(not(unix)) {
+                    eprintln!("bench_engine: --workers requires a unix platform");
+                    std::process::exit(2);
+                }
             }
             other => {
                 eprintln!("bench_engine: unknown argument {other:?}");
@@ -678,8 +827,31 @@ fn main() {
                 floors_ok &= rate > 0.0;
                 check_floor(baseline.as_ref(), &name, rate, &mut below);
             }
+            // Process-transport rows (opt-in via --workers): same ring,
+            // one OS process per shard, the full socket protocol on the
+            // wire. Allocations happen in the workers, so that column is
+            // blank. These rows carry no floors — spawn cost and
+            // machine-dependent IPC latency would make any floor either
+            // meaningless or flaky.
+            #[cfg(unix)]
+            for &w in &worker_counts {
+                let name = format!("{family}_engine/{ring}x{tokens}/w{w}");
+                let rate =
+                    process_rows::bench_work_ring_process(ring, tokens, work_hops, work, w, reps);
+                println!(
+                    "{name:<28} {:>12} {:>12} {:>7.2}x {:>10}",
+                    human(rate),
+                    human(seq),
+                    rate / seq,
+                    "-"
+                );
+                floors_ok &= rate > 0.0;
+                check_floor(baseline.as_ref(), &name, rate, &mut below);
+            }
         }
     }
+    #[cfg(not(unix))]
+    let _ = worker_counts;
 
     // Floor assertions: the harness must observe real forward progress.
     // (The relay benches also assert exact event counts and a non-trivial

@@ -37,6 +37,43 @@ pub(crate) struct Built {
     pub sample_interval: Tick,
     /// Whether per-packet latency-attribution spans are enabled.
     pub spans: bool,
+    /// `Some` when `engine.transport` is `"process"` and this is the
+    /// parent: the launch plan for the worker fleet. `engine` is then a
+    /// placeholder that never runs.
+    #[cfg_attr(not(unix), allow(dead_code))]
+    pub process: Option<ProcessPlan>,
+}
+
+/// Everything the parent of a multi-process run needs to launch and
+/// drive its workers.
+#[cfg_attr(not(unix), allow(dead_code))]
+pub(crate) struct ProcessPlan {
+    /// How many worker processes to spawn (the clamped shard count).
+    pub workers: u32,
+    /// Socket accept/read timeout budget in milliseconds.
+    pub timeout_ms: u64,
+    /// The executable to spawn with the `__worker` role.
+    pub worker_bin: std::path::PathBuf,
+    /// The resolved configuration, shipped to workers in the setup frame.
+    pub config_json: String,
+    /// Hub-side trace ring capacity, when tracing is armed.
+    pub trace_capacity: Option<usize>,
+}
+
+/// How [`build_with`] should assemble the execution backend.
+pub(crate) enum EngineMode {
+    /// Single-process run, or the parent of a multi-process one: follow
+    /// the configuration.
+    Auto,
+    /// Worker-process assembly: build the full simulation, then keep only
+    /// the shard this worker owns, driven over `link`.
+    #[cfg(unix)]
+    Worker {
+        /// This worker's shard index.
+        index: u32,
+        /// The connected hub link.
+        link: supersim_des::WorkerLink,
+    },
 }
 
 /// Which execution backend to assemble.
@@ -44,14 +81,19 @@ pub(crate) struct Built {
 enum EngineChoice {
     Sequential,
     Sharded(usize),
+    /// Sharded across OS processes: same partition as `Sharded`, one
+    /// worker process per shard.
+    Process(usize),
 }
 
 /// Parses the optional `engine` block: `engine.kind` is `"sequential"`
-/// (default) or `"sharded"`, `engine.shards` the worker count. The
-/// `SUPERSIM_ENGINE` / `SUPERSIM_SHARDS` environment variables supply
-/// defaults when the configuration does not say — explicit configuration
-/// always wins, so a config that pins an engine stays pinned under a CI
-/// job that exports the sharded default.
+/// (default) or `"sharded"`, `engine.shards` the worker count, and
+/// `engine.transport` is `"thread"` (default; shards share the process)
+/// or `"process"` (one OS process per shard). The `SUPERSIM_ENGINE` /
+/// `SUPERSIM_SHARDS` environment variables supply defaults when the
+/// configuration does not say — explicit configuration always wins, so a
+/// config that pins an engine stays pinned under a CI job that exports
+/// the sharded default.
 fn engine_choice(cfg: &Value) -> Result<EngineChoice, BuildError> {
     let kind = match cfg.req_str("engine.kind") {
         Ok(s) => s.to_string(),
@@ -66,13 +108,37 @@ fn engine_choice(cfg: &Value) -> Result<EngineChoice, BuildError> {
             Err(_) => 2,
         },
     };
+    let transport = match cfg.req_str("engine.transport") {
+        Ok(s) => s.to_string(),
+        Err(_) => "thread".into(),
+    };
+    let process = match transport.as_str() {
+        "thread" => false,
+        "process" => true,
+        other => {
+            return Err(BuildError::invalid(format!(
+                "unknown engine.transport {other:?} (expected \"thread\" or \"process\")"
+            )))
+        }
+    };
     match kind.as_str() {
-        "sequential" => Ok(EngineChoice::Sequential),
+        "sequential" => {
+            if process {
+                return Err(BuildError::invalid(
+                    "engine.transport \"process\" requires engine.kind \"sharded\"",
+                ));
+            }
+            Ok(EngineChoice::Sequential)
+        }
         "sharded" => {
             if shards == 0 {
                 return Err(BuildError::invalid("engine.shards must be non-zero"));
             }
-            Ok(EngineChoice::Sharded(shards as usize))
+            if process {
+                Ok(EngineChoice::Process(shards as usize))
+            } else {
+                Ok(EngineChoice::Sharded(shards as usize))
+            }
         }
         other => Err(BuildError::invalid(format!(
             "unknown engine.kind {other:?} (expected \"sequential\" or \"sharded\")"
@@ -206,6 +272,14 @@ fn sample_config(cfg: &Value) -> Result<(Tick, usize), BuildError> {
 }
 
 pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
+    build_with(cfg, factories, EngineMode::Auto)
+}
+
+pub(crate) fn build_with(
+    cfg: &Value,
+    factories: &Factories,
+    mode: EngineMode,
+) -> Result<Built, BuildError> {
     let seed = cfg.opt_u64("seed", 0x5eed)?;
     let tick_limit = cfg.opt_u64("tick_limit", 100_000_000)?;
 
@@ -264,12 +338,15 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
 
     // --- engine + observability ----------------------------------------
     let choice = engine_choice(cfg)?;
-    // More shards than routers would only add idle spinners.
+    // More shards than routers would only add idle spinners. The clamp is
+    // identical for the thread and process transports, so parent and
+    // workers agree on the shard count from the same configuration.
     let num_shards = match choice {
         EngineChoice::Sequential => 1,
-        EngineChoice::Sharded(n) => n.min(routers as usize).max(1),
+        EngineChoice::Sharded(n) | EngineChoice::Process(n) => n.min(routers as usize).max(1),
     };
     let trace = trace_config(cfg)?;
+    let trace_capacity = trace.as_ref().map(|&(_, c)| c);
     let fault = fault_config(cfg)?;
     let watchdog = cfg.opt_u64("watchdog.ticks", 0)?;
     let (sample_interval, sample_capacity) = sample_config(cfg)?;
@@ -403,11 +480,12 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
     }
 
     // Components are registered and kicked on a sequential engine; the
-    // sharded backend takes over the finished layout. Routers partition by
+    // sharded backends take over the finished layout. Routers partition by
     // topology locality, each interface rides with its attached router
     // (the terminal channel is the hottest link in the graph), and the
-    // monitor lands on shard 0.
-    let mut engine: Box<dyn Engine<Ev>> = if num_shards > 1 {
+    // monitor lands on shard 0. The map is a pure function of the
+    // configuration, so every worker process recomputes it identically.
+    let shard_of = if num_shards > 1 {
         let rpart = partition_routers(topology.as_ref(), num_shards);
         let mut shard_of = vec![0u32; sim.num_components()];
         for t in 0..terminals {
@@ -418,9 +496,56 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
             shard_of[router_cid(r)?.index()] = rpart[r as usize];
         }
         shard_of[monitor.index()] = 0;
-        Box::new(sim.into_sharded(num_shards, shard_of))
+        Some(shard_of)
     } else {
-        Box::new(sim)
+        None
+    };
+
+    let mut process = None;
+    let mut engine: Box<dyn Engine<Ev>> = match mode {
+        #[cfg(unix)]
+        EngineMode::Worker { index, link } => {
+            let shard_of = shard_of.unwrap_or_else(|| vec![0u32; sim.num_components()]);
+            if index as usize >= num_shards {
+                return Err(BuildError::invalid(format!(
+                    "worker index {index} out of range for {num_shards} shards"
+                )));
+            }
+            Box::new(sim.into_worker(index, num_shards, shard_of, link))
+        }
+        EngineMode::Auto => match choice {
+            EngineChoice::Process(_) => {
+                #[cfg(unix)]
+                {
+                    let worker_bin = match cfg.req_str("engine.worker_bin") {
+                        Ok(s) => std::path::PathBuf::from(s),
+                        Err(_) => std::env::current_exe().map_err(|e| {
+                            BuildError::invalid(format!("cannot resolve engine.worker_bin: {e}"))
+                        })?,
+                    };
+                    process = Some(ProcessPlan {
+                        workers: num_shards as u32,
+                        timeout_ms: cfg.opt_u64("engine.worker_timeout_ms", 60_000)?,
+                        worker_bin,
+                        config_json: cfg.to_json(),
+                        trace_capacity,
+                    });
+                    // Placeholder; `run_report` dispatches on the plan
+                    // before this engine would ever run.
+                    Box::new(sim)
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err(BuildError::invalid(
+                        "engine.transport \"process\" is only supported on unix platforms",
+                    ));
+                }
+            }
+            _ => match shard_of {
+                Some(shard_of) => Box::new(sim.into_sharded(num_shards, shard_of)),
+                None => Box::new(sim),
+            },
+        },
     };
     engine.set_watchdog(watchdog);
     engine.set_sampler(sample_interval);
@@ -437,5 +562,6 @@ pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildEr
         fault,
         sample_interval,
         spans: spans_enabled,
+        process,
     })
 }

@@ -103,6 +103,15 @@ pub enum SimError {
         /// Simulated time when the queue went empty.
         tick: Tick,
     },
+    /// A worker process of a multi-process run died, hung past the
+    /// watchdog budget, or failed to start. The run degrades to whatever
+    /// the surviving workers reported.
+    Worker {
+        /// The index of the failed worker.
+        worker: u32,
+        /// What happened to it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -125,6 +134,9 @@ impl fmt::Display for SimError {
                 "event queue drained at tick {tick} before the workload \
                  finished — traffic was lost in flight"
             ),
+            SimError::Worker { worker, reason } => {
+                write!(f, "worker {worker} failed: {reason}")
+            }
         }
     }
 }

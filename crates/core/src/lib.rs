@@ -40,10 +40,15 @@ mod defaults;
 mod error;
 pub mod experiment;
 pub mod factory;
+mod partial;
 pub mod presets;
+#[cfg(unix)]
+mod process;
 mod sim;
 
 pub use error::{BuildError, SimError};
 pub use experiment::{run_load_sweep, LoadSweepSpec, SweepError};
 pub use factory::{AppCtx, Factories, NetworkPlan, RouterCtx};
+#[cfg(unix)]
+pub use process::run_worker;
 pub use sim::{DiagnosticSnapshot, RouterDiag, RunOutput, RunReport, SuperSim};

@@ -1,0 +1,234 @@
+//! The multi-process execution path: parent-side worker launch and
+//! report assembly, and the worker-process entry point.
+//!
+//! The parent binds a Unix socket, spawns one worker process per shard
+//! (`<worker_bin> __worker <socket> <index>`), and relays rounds through
+//! the payload-agnostic [`Hub`]. Each worker rebuilds the *identical*
+//! simulation from the configuration shipped in the setup frame, keeps
+//! only its shard, and runs the same generation-lockstep protocol as the
+//! in-process thread backend — so logs, traces, metrics, and time-series
+//! come out byte-identical. A worker that dies or hangs degrades the run
+//! into a typed [`SimError::Worker`](crate::SimError::Worker) with
+//! best-effort partial outputs from the survivors, never a silent stall.
+
+use std::os::unix::net::UnixListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use supersim_config::Value;
+use supersim_des::{Hub, RunOutcome, RunStats, Time, WorkerLink};
+use supersim_netbase::trace_json_lines;
+
+use crate::builder::{build_with, Built, EngineMode, ProcessPlan};
+use crate::factory::Factories;
+use crate::partial::{extract_partial, ShardPartial};
+use crate::sim::{assemble, AssembleInputs, RunReport};
+
+/// Distinguishes concurrent runs (and runs within one process) in the
+/// socket path.
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Removes the socket file when the run ends, however it ends.
+struct SocketGuard(std::path::PathBuf);
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Kills any worker that has not exited by `deadline`, then reaps all of
+/// them. Workers exit on their own right after shipping their partial,
+/// so the kill path only fires on degraded runs.
+fn reap(children: &mut [Child], deadline: Instant) {
+    loop {
+        let mut alive = false;
+        for child in children.iter_mut() {
+            match child.try_wait() {
+                Ok(Some(_)) => {}
+                Ok(None) => alive = true,
+                Err(_) => {}
+            }
+        }
+        if !alive {
+            return;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Runs a multi-process simulation from the parent side and assembles
+/// the report from the workers' partials.
+pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
+    let start = Instant::now();
+    let path = std::env::temp_dir().join(format!(
+        "supersim-hub-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _guard = SocketGuard(path.clone());
+    let timeout = Duration::from_millis(plan.timeout_ms.max(1));
+
+    let listener = match UnixListener::bind(&path) {
+        Ok(l) => l,
+        Err(e) => return startup_failure(&built, format!("bind {}: {e}", path.display()), start),
+    };
+    let mut children: Vec<Child> = Vec::with_capacity(plan.workers as usize);
+    for w in 0..plan.workers {
+        let spawned = Command::new(&plan.worker_bin)
+            .arg("__worker")
+            .arg(&path)
+            .arg(w.to_string())
+            .stdin(Stdio::null())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                let reason = format!("spawn {}: {e}", plan.worker_bin.display());
+                reap(&mut children, Instant::now());
+                return startup_failure(&built, reason, start);
+            }
+        }
+    }
+
+    let mut hub = match Hub::accept(
+        &listener,
+        plan.workers,
+        timeout,
+        plan.config_json.as_bytes(),
+        plan.trace_capacity,
+    ) {
+        Ok(hub) => hub,
+        Err(e) => {
+            reap(&mut children, Instant::now());
+            return startup_failure(&built, format!("accept: {e}"), start);
+        }
+    };
+    let result = hub.run();
+    // On a clean run the workers are already exiting; on a degraded one
+    // give survivors a moment to flush their partials, then kill.
+    reap(&mut children, Instant::now() + timeout);
+
+    let mut worker_error = result.error.clone();
+    let mut partials = Vec::with_capacity(result.partials.len());
+    for (w, p) in result.partials.iter().enumerate() {
+        match p {
+            Some(bytes) => match ShardPartial::decode(&mut bytes.as_slice()) {
+                Some(sp) => partials.push(sp),
+                None => {
+                    worker_error
+                        .get_or_insert_with(|| (w as u32, "sent a malformed partial".into()));
+                }
+            },
+            None => {
+                worker_error
+                    .get_or_insert_with(|| (w as u32, "delivered no end-of-run partial".into()));
+            }
+        }
+    }
+
+    // The engine-plane aggregates the thread backend reads off its
+    // shards, reconstructed here from the workers' DONE metrics. Same
+    // per-shard counters (each worker counts only what it owns), so the
+    // sums are byte-identical.
+    let stats = RunStats {
+        events_executed: result.metrics.iter().map(|m| m.events_executed).sum(),
+        end_time: result.end_time,
+        queue_high_water: result.metrics.iter().map(|m| m.queue_high_water).sum(),
+        total_enqueued: result.metrics.iter().map(|m| m.total_enqueued).sum(),
+        wall: start.elapsed(),
+        outcome: result.outcome,
+    };
+    let trace = built
+        .engine
+        .trace_enabled()
+        .then(|| trace_json_lines(&hub.trace_records()));
+    let inputs = AssembleInputs {
+        events_executed: stats.events_executed,
+        total_enqueued: stats.total_enqueued,
+        shard_metrics: result.metrics,
+        trace,
+        partials,
+        worker_error,
+        stats,
+    };
+    assemble(&built, inputs)
+}
+
+/// The run never got going: no worker metrics, no partials, just a
+/// typed startup error in an otherwise empty report.
+fn startup_failure(built: &Built, reason: String, start: Instant) -> RunReport {
+    let inputs = AssembleInputs {
+        stats: RunStats {
+            events_executed: 0,
+            end_time: Time::ZERO,
+            queue_high_water: 0,
+            total_enqueued: 0,
+            wall: start.elapsed(),
+            outcome: RunOutcome::Failed(reason.clone()),
+        },
+        events_executed: 0,
+        total_enqueued: 0,
+        shard_metrics: Vec::new(),
+        trace: None,
+        partials: Vec::new(),
+        worker_error: Some((0, format!("startup: {reason}"))),
+    };
+    assemble(built, inputs)
+}
+
+/// The worker-process entry point behind the `__worker` argv role:
+/// connect to the hub at `socket` as shard `index`, rebuild the
+/// simulation from the shipped configuration, run it, and deliver the
+/// end-of-run partial. Returns the process exit code.
+///
+/// Workers rebuild with the *default* factories: a binary embedding
+/// custom models must dispatch the `__worker` role itself and register
+/// them before building.
+pub fn run_worker(socket: &str, index: u32) -> i32 {
+    match worker_inner(socket, index) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("supersim worker {index}: {msg}");
+            1
+        }
+    }
+}
+
+fn worker_inner(socket: &str, index: u32) -> Result<(), String> {
+    let (link, setup) =
+        WorkerLink::connect(socket, index).map_err(|e| format!("connect {socket}: {e}"))?;
+    let text = std::str::from_utf8(&setup.payload).map_err(|e| format!("config payload: {e}"))?;
+    let cfg = Value::parse(text).map_err(|e| format!("config parse: {e}"))?;
+    let mut built = build_with(
+        &cfg,
+        &Factories::with_defaults(),
+        EngineMode::Worker {
+            index,
+            link: link.clone(),
+        },
+    )
+    .map_err(|e| format!("build: {e}"))?;
+    // Outcome handling is the parent's job: every worker reported it in
+    // its DONE frame, so even a failed run exits 0 here.
+    let _ = built.engine.run_until(built.tick_limit);
+    let partial = extract_partial(
+        built.engine.as_ref(),
+        &built.interfaces,
+        &built.routers,
+        built.monitor,
+    );
+    let mut bytes = Vec::new();
+    partial.encode(&mut bytes);
+    link.send_partial(&bytes)
+        .map_err(|e| format!("send partial: {e}"))?;
+    Ok(())
+}

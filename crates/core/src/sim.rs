@@ -3,20 +3,20 @@
 use std::sync::Arc;
 
 use supersim_config::Value;
-use supersim_des::{ComponentId, Engine, RunOutcome, RunStats, Tick};
-use supersim_netbase::{trace_json_lines, Ev, FaultCounters, LinkFaults, Phase};
-use supersim_router::{IoqRouter, IqRouter, OqRouter, RouterCounters, RouterMetrics};
+use supersim_des::{EngineMetrics, RunOutcome, RunStats, Tick};
+use supersim_netbase::{trace_json_lines, FaultCounters, Phase};
 use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
 use supersim_stats::{
     fold_windows, timeseries_json_lines, ComponentSampler, Filter, FoldedWindow, Histogram,
     MetricValue, MetricsSnapshot, RecordKind, SampleLog,
 };
 use supersim_topology::Topology;
-use supersim_workload::{Interface, InterfaceCounters, SpanMetrics, SpanRecord};
+use supersim_workload::{InterfaceCounters, SpanMetrics, SpanRecord};
 
 use crate::builder::{build, Built};
 use crate::error::{BuildError, SimError};
 use crate::factory::Factories;
+use crate::partial::{extract_partial, InterfacePartial, RouterPartial, ShardPartial};
 
 /// A fully assembled SuperSim simulation.
 ///
@@ -87,73 +87,127 @@ impl SuperSim {
     /// collected — marked `degraded` in the `run` metrics plane — plus a
     /// diagnostic snapshot of where the network stood when it stopped.
     pub fn run_report(mut self) -> RunReport {
+        #[cfg(unix)]
+        if let Some(plan) = self.built.process.take() {
+            return crate::process::run_parent(self.built, plan);
+        }
         let tick_limit = self.built.tick_limit;
         let stats = self.built.engine.run_until(tick_limit);
-        let mut log = SampleLog::new();
-        let mut counters = InterfaceCounters::default();
-        let mut max_queue_depth = 0;
-        let mut window_flits = 0u64;
-        let mut inject_stalls = 0u64;
-        let mut queue_depth_now = 0u64;
-        let mut queue_depth_high = 0u64;
-        let mut phase_latency = [Histogram::new(); 4];
-        let mut span_metrics = SpanMetrics::default();
-        let mut span_records: Vec<SpanRecord> = Vec::new();
-        for &id in &self.built.interfaces {
-            let iface = self
-                .built
-                .engine
-                .as_ref()
-                .component_as::<Interface>(id)
-                .expect("interface component");
-            if let (Some(start), Some(end)) = (
-                iface.flits_at_phase(Phase::Generating),
-                iface.flits_at_phase(Phase::Finishing),
-            ) {
-                window_flits += end - start;
-            }
-            log.extend_from(&iface.log);
-            counters.messages_sent += iface.counters.messages_sent;
-            counters.packets_sent += iface.counters.packets_sent;
-            counters.flits_sent += iface.counters.flits_sent;
-            counters.flits_received += iface.counters.flits_received;
-            counters.messages_received += iface.counters.messages_received;
-            max_queue_depth = max_queue_depth.max(iface.queue_depth());
-            inject_stalls += iface.metrics.inject_stalls.get();
-            queue_depth_now += iface.metrics.queue_depth.get();
-            queue_depth_high = queue_depth_high.max(iface.metrics.queue_depth.max());
-            for (agg, h) in phase_latency
-                .iter_mut()
-                .zip(iface.metrics.phase_latency.iter())
-            {
-                agg.merge(h);
-            }
-            span_metrics.merge(&iface.metrics.spans);
-            span_records.extend(iface.span_log.iter().copied());
-        }
-        // Per-packet records sort by (recv, packet): a total order that is
-        // engine-independent, unlike interface iteration order vs. time.
-        span_records.sort_by_key(|r| (r.recv, r.packet));
+        let engine = self.built.engine.as_ref();
+        let partial = extract_partial(
+            engine,
+            &self.built.interfaces,
+            &self.built.routers,
+            self.built.monitor,
+        );
+        let inputs = AssembleInputs {
+            stats,
+            events_executed: engine.events_executed(),
+            total_enqueued: engine.total_enqueued(),
+            shard_metrics: engine.shard_metrics(),
+            trace: engine
+                .trace_enabled()
+                .then(|| trace_json_lines(&engine.trace_records())),
+            partials: vec![partial],
+            worker_error: None,
+        };
+        assemble(&self.built, inputs)
+    }
+}
 
-        // --- metrics snapshot (assembled on demand, paper-style) -------
-        // The `engine` plane holds only values the determinism contract
-        // pins across backends; scheduler diagnostics (batching, queue
-        // capacity, horizon) vary with the partition and live in one
-        // `engine_shard_<i>` plane per shard (the sequential engine is
-        // shard 0). Wall-clock throughput is reported by the CLI from
-        // `RunStats`, not recorded in the snapshot.
-        let mut metrics = self.built.registry.snapshot();
-        metrics.push_counter(
-            "engine",
-            "events_executed",
-            self.built.engine.events_executed(),
-        );
-        metrics.push_counter(
-            "engine",
-            "total_enqueued",
-            self.built.engine.total_enqueued(),
-        );
-        for (s, em) in self.built.engine.shard_metrics().iter().enumerate() {
+/// The engine-level inputs to report assembly, alongside the component
+/// [`ShardPartial`]s. The single-process path reads them off its own
+/// engine; the multi-process parent reconstructs them from the workers'
+/// DONE frames.
+pub(crate) struct AssembleInputs {
+    pub stats: RunStats,
+    /// Lifetime events executed (the `engine` metrics plane value).
+    pub events_executed: u64,
+    /// Lifetime events enqueued (the `engine` metrics plane value).
+    pub total_enqueued: u64,
+    /// Per-shard executor diagnostics, in shard order.
+    pub shard_metrics: Vec<EngineMetrics>,
+    /// The rendered JSON-lines flit trace, when tracing was armed.
+    pub trace: Option<String>,
+    /// One partial per shard (any order; components merge by index).
+    pub partials: Vec<ShardPartial>,
+    /// `Some((worker, reason))` when a worker process died or hung; the
+    /// report degrades to a typed [`SimError::Worker`].
+    pub worker_error: Option<(u32, String)>,
+}
+
+/// Assembles the run report from per-shard partials. The walk order is
+/// fixed (interfaces by index, then routers by index) and every merge is
+/// commutative integer arithmetic, so the result is byte-identical no
+/// matter how the components were partitioned across shards or
+/// processes. Components missing from every partial (dead worker) are
+/// skipped, degrading the report instead of failing it.
+pub(crate) fn assemble(built: &Built, inputs: AssembleInputs) -> RunReport {
+    let stats = inputs.stats;
+    let mut iface_parts: Vec<Option<InterfacePartial>> =
+        built.interfaces.iter().map(|_| None).collect();
+    let mut router_parts: Vec<Option<RouterPartial>> = built.routers.iter().map(|_| None).collect();
+    let mut phase_times: Option<Vec<(Phase, Tick)>> = None;
+    for p in inputs.partials {
+        for (i, ip) in p.interfaces {
+            if let Some(slot) = iface_parts.get_mut(i as usize) {
+                *slot = Some(ip);
+            }
+        }
+        for (r, rp) in p.routers {
+            if let Some(slot) = router_parts.get_mut(r as usize) {
+                *slot = Some(rp);
+            }
+        }
+        if let Some(pt) = p.phase_times {
+            phase_times = Some(pt);
+        }
+    }
+
+    let mut log = SampleLog::new();
+    let mut counters = InterfaceCounters::default();
+    let mut window_flits = 0u64;
+    let mut inject_stalls = 0u64;
+    let mut queue_depth_now = 0u64;
+    let mut queue_depth_high = 0u64;
+    let mut phase_latency = [Histogram::new(); 4];
+    let mut span_metrics = SpanMetrics::default();
+    let mut span_records: Vec<SpanRecord> = Vec::new();
+    for ip in iface_parts.iter().flatten() {
+        if let (Some(start), Some(end)) = (ip.flits_generating, ip.flits_finishing) {
+            window_flits += end - start;
+        }
+        log.extend_from(&ip.log);
+        counters.messages_sent += ip.counters.messages_sent;
+        counters.packets_sent += ip.counters.packets_sent;
+        counters.flits_sent += ip.counters.flits_sent;
+        counters.flits_received += ip.counters.flits_received;
+        counters.messages_received += ip.counters.messages_received;
+        inject_stalls += ip.inject_stalls;
+        queue_depth_now += ip.queue_depth_now;
+        queue_depth_high = queue_depth_high.max(ip.queue_depth_high);
+        for (agg, h) in phase_latency.iter_mut().zip(ip.phase_latency.iter()) {
+            agg.merge(h);
+        }
+        span_metrics.merge(&ip.spans);
+        span_records.extend(ip.span_records.iter().copied());
+    }
+    // Per-packet records sort by (recv, packet): a total order that is
+    // engine-independent, unlike interface iteration order vs. time.
+    span_records.sort_by_key(|r| (r.recv, r.packet));
+
+    // --- metrics snapshot (assembled on demand, paper-style) -------
+    // The `engine` plane holds only values the determinism contract
+    // pins across backends; scheduler diagnostics (batching, queue
+    // capacity, horizon) vary with the partition and live in one
+    // `engine_shard_<i>` plane per shard (the sequential engine is
+    // shard 0). Wall-clock throughput is reported by the CLI from
+    // `RunStats`, not recorded in the snapshot.
+    let mut metrics = built.registry.snapshot();
+    metrics.push_counter("engine", "events_executed", inputs.events_executed);
+    metrics.push_counter("engine", "total_enqueued", inputs.total_enqueued);
+    {
+        for (s, em) in inputs.shard_metrics.iter().enumerate() {
             let name = format!("engine_shard_{s}");
             metrics.push_counter(&name, "events_executed", em.events_executed);
             metrics.push_counter(&name, "batches", em.batches);
@@ -198,281 +252,205 @@ impl SuperSim {
                 &phase_latency[phase.index()],
             );
         }
-        if self.built.spans {
-            for (name, h) in span_metrics.named() {
-                metrics.push_histogram("workload", &format!("span_{name}"), h);
-            }
+    }
+    if built.spans {
+        for (name, h) in span_metrics.named() {
+            metrics.push_histogram("workload", &format!("span_{name}"), h);
         }
+    }
 
-        for (r, &id) in self.built.routers.iter().enumerate() {
-            if let Some(rm) = router_metrics(self.built.engine.as_ref(), id) {
-                let name = format!("router_{r}");
-                metrics.push_counter(&name, "grants", rm.grants.get());
-                metrics.push_counter(&name, "denials", rm.denials.get());
-                metrics.push_counter(&name, "credit_stalls", rm.credit_stalls.get());
-                for (p, g) in rm.occupancy().iter().enumerate() {
-                    metrics.push(
-                        &name,
-                        format!("occupancy_port_{p}"),
-                        MetricValue::Gauge {
-                            value: g.get(),
-                            max: g.max(),
-                        },
-                    );
-                }
-            }
-        }
-
-        // --- hot-path profiling plane ----------------------------------
-        // Batching effectiveness and storage pressure of the router hot
-        // path: how many flits each batched pipeline event moved and how
-        // deep the per-router flit arenas ran. Aggregated with commutative
-        // integer sums/maxes, so the plane is byte-identical across
-        // engines and shard counts.
+    for (r, rp) in router_parts.iter().enumerate() {
+        if let Some((grants, denials, credit_stalls, occ)) =
+            rp.as_ref().and_then(|p| p.metrics.as_ref())
         {
-            let engine = self.built.engine.as_ref();
-            let mut cycles = 0u64;
-            let mut advanced = 0u64;
-            let mut arena_live = 0u64;
-            let mut arena_high = 0u64;
-            for &id in &self.built.routers {
-                if let Some((rc, (live, high))) = router_profile(engine, id) {
-                    cycles += rc.cycles;
-                    advanced += rc.flits_advanced;
-                    arena_live += live as u64;
-                    arena_high = arena_high.max(high as u64);
-                }
+            let name = format!("router_{r}");
+            metrics.push_counter(&name, "grants", *grants);
+            metrics.push_counter(&name, "denials", *denials);
+            metrics.push_counter(&name, "credit_stalls", *credit_stalls);
+            for (p, (value, max)) in occ.iter().enumerate() {
+                metrics.push(
+                    &name,
+                    format!("occupancy_port_{p}"),
+                    MetricValue::Gauge {
+                        value: *value,
+                        max: *max,
+                    },
+                );
             }
-            metrics.push_counter("profile", "events_dispatched", engine.events_executed());
-            metrics.push_counter("profile", "router_cycles", cycles);
-            metrics.push_counter("profile", "flits_advanced", advanced);
-            metrics.push(
-                "profile",
-                "arena_occupancy",
-                MetricValue::Gauge {
-                    value: arena_live,
-                    max: arena_high,
-                },
-            );
         }
+    }
 
-        let trace = self
-            .built
-            .engine
-            .trace_enabled()
-            .then(|| trace_json_lines(&self.built.engine.trace_records()));
-        let monitor = self
-            .built
-            .engine
-            .as_ref()
-            .component_as::<supersim_workload::WorkloadMonitor>(self.built.monitor)
-            .expect("monitor component");
-        let phase_times = monitor.phase_times.clone();
-
-        // --- outcome classification ------------------------------------
-        // A drained queue is only success when the workload actually got
-        // through its phase protocol; draining early means traffic (or
-        // credits) evaporated in flight.
-        let error = match &stats.outcome {
-            RunOutcome::Drained => {
-                if phase_times.iter().any(|&(p, _)| p == Phase::Draining) {
-                    None
-                } else {
-                    Some(SimError::Incomplete {
-                        tick: stats.end_time.tick(),
-                    })
-                }
+    // --- hot-path profiling plane ----------------------------------
+    // Batching effectiveness and storage pressure of the router hot
+    // path: how many flits each batched pipeline event moved and how
+    // deep the per-router flit arenas ran. Aggregated with commutative
+    // integer sums/maxes, so the plane is byte-identical across
+    // engines and shard counts.
+    {
+        let mut cycles = 0u64;
+        let mut advanced = 0u64;
+        let mut arena_live = 0u64;
+        let mut arena_high = 0u64;
+        for rp in router_parts.iter().flatten() {
+            if let Some((c, a, live, high)) = rp.profile {
+                cycles += c;
+                advanced += a;
+                arena_live += live as u64;
+                arena_high = arena_high.max(high as u64);
             }
-            RunOutcome::Failed(msg) => Some(SimError::Model(msg.clone())),
-            RunOutcome::TickLimit | RunOutcome::Stopped => Some(SimError::Stalled {
-                tick: stats.end_time.tick(),
-            }),
-            RunOutcome::Watchdog { last_progress } => Some(SimError::Watchdog {
-                tick: stats.end_time.tick(),
-                last_progress: *last_progress,
-            }),
-        };
-        metrics.push_counter("run", "degraded", u64::from(error.is_some()));
-
-        // --- fault plane counters --------------------------------------
-        let engine = self.built.engine.as_ref();
-        let fault_summary = self.built.fault.is_some().then(|| {
-            let mut agg = FaultCounters::default();
-            let mut held = 0u64;
-            for &id in &self.built.interfaces {
-                let f = engine
-                    .component_as::<Interface>(id)
-                    .and_then(|i| i.fault.as_ref());
-                if let Some(f) = f {
-                    agg.absorb(&f.counters);
-                    held += f.held_flits();
-                }
-            }
-            for &id in &self.built.routers {
-                if let Some(f) = router_faults(engine, id) {
-                    agg.absorb(&f.counters);
-                    held += f.held_flits();
-                }
-            }
-            (agg, held)
-        });
-        if let Some((agg, held)) = &fault_summary {
-            metrics.push_counter("fault", "injected", agg.injected);
-            metrics.push_counter("fault", "detected", agg.detected);
-            metrics.push_counter("fault", "recovered", agg.recovered);
-            metrics.push_counter("fault", "escalated", agg.escalated);
-            metrics.push_counter("fault", "held_flits", *held);
-            metrics.push_counter("fault", "flit_clones", agg.flit_clones);
         }
+        metrics.push_counter("profile", "events_dispatched", inputs.events_executed);
+        metrics.push_counter("profile", "router_cycles", cycles);
+        metrics.push_counter("profile", "flits_advanced", advanced);
+        metrics.push(
+            "profile",
+            "arena_occupancy",
+            MetricValue::Gauge {
+                value: arena_live,
+                max: arena_high,
+            },
+        );
+    }
 
-        // --- windowed time-series fold ---------------------------------
-        // Component rings are gathered in a fixed order (interfaces, then
-        // routers, by index), but the fold itself is order-independent:
-        // every per-window merge is commutative integer arithmetic, so the
-        // emitted JSON-lines are byte-identical across engines and shard
-        // counts.
-        let folded = (self.built.sample_interval > 0).then(|| {
-            let mut samplers: Vec<&ComponentSampler> = Vec::new();
-            for &id in &self.built.interfaces {
-                if let Some(s) = engine
-                    .component_as::<Interface>(id)
-                    .and_then(|i| i.sampler.as_ref())
-                {
-                    samplers.push(s);
-                }
-            }
-            for &id in &self.built.routers {
-                if let Some(s) = router_sampler(engine, id) {
-                    samplers.push(s);
-                }
-            }
-            fold_windows(samplers)
-        });
-        let timeseries = folded.as_deref().map(timeseries_json_lines);
-        let spans_dump = self.built.spans.then(|| spans_json_lines(&span_records));
+    let trace = inputs.trace;
+    let phase_times = phase_times.unwrap_or_default();
 
-        // --- diagnostic snapshot of a degraded run ---------------------
-        let diagnostic = error.as_ref().map(|_| {
-            let last_progress = match &stats.outcome {
-                RunOutcome::Watchdog { last_progress } => Some(*last_progress),
-                _ => None,
-            };
-            let routers = self
-                .built
-                .routers
-                .iter()
-                .enumerate()
-                .map(|(r, &id)| {
-                    let (buffered_flits, credits) =
-                        router_occupancy(engine, id).unwrap_or_default();
-                    RouterDiag {
-                        router: r as u32,
-                        buffered_flits,
-                        credits,
-                    }
+    // --- outcome classification ------------------------------------
+    // A drained queue is only success when the workload actually got
+    // through its phase protocol; draining early means traffic (or
+    // credits) evaporated in flight.
+    let mut error = match &stats.outcome {
+        RunOutcome::Drained => {
+            if phase_times.iter().any(|&(p, _)| p == Phase::Draining) {
+                None
+            } else {
+                Some(SimError::Incomplete {
+                    tick: stats.end_time.tick(),
                 })
-                .collect();
-            DiagnosticSnapshot {
-                tick: stats.end_time.tick(),
-                last_progress,
-                events_executed: engine.events_executed(),
-                events_pending: engine
-                    .total_enqueued()
-                    .saturating_sub(engine.events_executed()),
-                shard_queue_depths: engine
-                    .shard_metrics()
-                    .iter()
-                    .map(|m| m.queue_len as u64)
-                    .collect(),
-                routers,
-                fault: fault_summary.map(|(agg, _)| agg),
-                last_window: folded.as_ref().and_then(|f| f.last().cloned()),
-                spans: self.built.spans.then(|| span_metrics.clone()),
             }
-        });
-
-        let output = RunOutput {
-            log,
-            engine: stats,
-            phase_times,
-            terminals: self.built.topology.num_terminals(),
-            counters,
-            window_flits,
-            link_period: self.built.link_period,
-            metrics,
-            trace,
-            timeseries,
-            spans: spans_dump,
-        };
-        RunReport {
-            output,
-            error,
-            diagnostic,
         }
+        RunOutcome::Failed(msg) => Some(SimError::Model(msg.clone())),
+        RunOutcome::TickLimit | RunOutcome::Stopped => Some(SimError::Stalled {
+            tick: stats.end_time.tick(),
+        }),
+        RunOutcome::Watchdog { last_progress } => Some(SimError::Watchdog {
+            tick: stats.end_time.tick(),
+            last_progress: *last_progress,
+        }),
+    };
+    // A worker-process failure outranks the generic outcome: the typed
+    // error carries which worker died and why.
+    if let Some((worker, reason)) = inputs.worker_error {
+        error = Some(SimError::Worker { worker, reason });
     }
-}
+    metrics.push_counter("run", "degraded", u64::from(error.is_some()));
 
-/// The metrics of a built-in router architecture, found by downcast.
-/// Custom router components report no router-plane metrics.
-fn router_metrics(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&RouterMetrics> {
-    if let Some(r) = engine.component_as::<IqRouter>(id) {
-        return Some(&r.metrics);
+    // --- fault plane counters --------------------------------------
+    let fault_summary = built.fault.is_some().then(|| {
+        let mut agg = FaultCounters::default();
+        let mut held = 0u64;
+        for ip in iface_parts.iter().flatten() {
+            if let Some((c, h)) = &ip.fault {
+                agg.absorb(c);
+                held += h;
+            }
+        }
+        for rp in router_parts.iter().flatten() {
+            if let Some((c, h)) = &rp.fault {
+                agg.absorb(c);
+                held += h;
+            }
+        }
+        (agg, held)
+    });
+    if let Some((agg, held)) = &fault_summary {
+        metrics.push_counter("fault", "injected", agg.injected);
+        metrics.push_counter("fault", "detected", agg.detected);
+        metrics.push_counter("fault", "recovered", agg.recovered);
+        metrics.push_counter("fault", "escalated", agg.escalated);
+        metrics.push_counter("fault", "held_flits", *held);
+        metrics.push_counter("fault", "flit_clones", agg.flit_clones);
     }
-    if let Some(r) = engine.component_as::<OqRouter>(id) {
-        return Some(&r.metrics);
-    }
-    if let Some(r) = engine.component_as::<IoqRouter>(id) {
-        return Some(&r.metrics);
-    }
-    None
-}
 
-/// Hot-path profiling data of a built-in router architecture, found by
-/// downcast: its operation counters and flit-arena `(live, high_water)`
-/// occupancy.
-fn router_profile(
-    engine: &dyn Engine<Ev>,
-    id: ComponentId,
-) -> Option<(RouterCounters, (u32, u32))> {
-    if let Some(r) = engine.component_as::<IqRouter>(id) {
-        return Some((r.counters, r.arena_stats()));
-    }
-    if let Some(r) = engine.component_as::<OqRouter>(id) {
-        return Some((r.counters, r.arena_stats()));
-    }
-    if let Some(r) = engine.component_as::<IoqRouter>(id) {
-        return Some((r.counters, r.arena_stats()));
-    }
-    None
-}
+    // --- windowed time-series fold ---------------------------------
+    // Component rings are gathered in a fixed order (interfaces, then
+    // routers, by index), but the fold itself is order-independent:
+    // every per-window merge is commutative integer arithmetic, so the
+    // emitted JSON-lines are byte-identical across engines and shard
+    // counts.
+    let folded = (built.sample_interval > 0).then(|| {
+        let mut samplers: Vec<&ComponentSampler> = Vec::new();
+        for ip in iface_parts.iter().flatten() {
+            if let Some(s) = ip.sampler.as_ref() {
+                samplers.push(s);
+            }
+        }
+        for rp in router_parts.iter().flatten() {
+            if let Some(s) = rp.sampler.as_ref() {
+                samplers.push(s);
+            }
+        }
+        fold_windows(samplers)
+    });
+    let timeseries = folded.as_deref().map(timeseries_json_lines);
+    let spans_dump = built.spans.then(|| spans_json_lines(&span_records));
 
-/// The fault state of a built-in router architecture, found by downcast.
-fn router_faults(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&LinkFaults> {
-    if let Some(r) = engine.component_as::<IqRouter>(id) {
-        return r.fault.as_ref();
-    }
-    if let Some(r) = engine.component_as::<OqRouter>(id) {
-        return r.fault.as_ref();
-    }
-    if let Some(r) = engine.component_as::<IoqRouter>(id) {
-        return r.fault.as_ref();
-    }
-    None
-}
+    // --- diagnostic snapshot of a degraded run ---------------------
+    let diagnostic = error.as_ref().map(|_| {
+        let last_progress = match &stats.outcome {
+            RunOutcome::Watchdog { last_progress } => Some(*last_progress),
+            _ => None,
+        };
+        let routers = router_parts
+            .iter()
+            .enumerate()
+            .map(|(r, rp)| {
+                let (buffered_flits, credits) = rp
+                    .as_ref()
+                    .and_then(|p| p.occupancy.clone())
+                    .unwrap_or_default();
+                RouterDiag {
+                    router: r as u32,
+                    buffered_flits,
+                    credits,
+                }
+            })
+            .collect();
+        DiagnosticSnapshot {
+            tick: stats.end_time.tick(),
+            last_progress,
+            events_executed: inputs.events_executed,
+            events_pending: inputs.total_enqueued.saturating_sub(inputs.events_executed),
+            shard_queue_depths: inputs
+                .shard_metrics
+                .iter()
+                .map(|m| m.queue_len as u64)
+                .collect(),
+            routers,
+            fault: fault_summary.map(|(agg, _)| agg),
+            last_window: folded.as_ref().and_then(|f| f.last().cloned()),
+            spans: built.spans.then(|| span_metrics.clone()),
+        }
+    });
 
-/// The window-sampler ring of a built-in router architecture, found by
-/// downcast. Custom router components contribute no `router.*` series.
-fn router_sampler(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<&ComponentSampler> {
-    if let Some(r) = engine.component_as::<IqRouter>(id) {
-        return r.sampler.as_ref();
+    let output = RunOutput {
+        log,
+        engine: stats,
+        phase_times,
+        terminals: built.topology.num_terminals(),
+        counters,
+        window_flits,
+        link_period: built.link_period,
+        metrics,
+        trace,
+        timeseries,
+        spans: spans_dump,
+    };
+    RunReport {
+        output,
+        error,
+        diagnostic,
     }
-    if let Some(r) = engine.component_as::<OqRouter>(id) {
-        return r.sampler.as_ref();
-    }
-    if let Some(r) = engine.component_as::<IoqRouter>(id) {
-        return r.sampler.as_ref();
-    }
-    None
 }
 
 /// Serializes per-packet span records as deterministic JSON-lines, one
@@ -500,21 +478,6 @@ fn spans_json_lines(records: &[SpanRecord]) -> String {
         );
     }
     out
-}
-
-/// Buffer occupancy and per-`(port, vc)` credit state of a built-in
-/// router architecture, found by downcast.
-fn router_occupancy(engine: &dyn Engine<Ev>, id: ComponentId) -> Option<(u64, Vec<(u32, u32)>)> {
-    if let Some(r) = engine.component_as::<IqRouter>(id) {
-        return Some((r.buffered_flits(), r.credit_state()));
-    }
-    if let Some(r) = engine.component_as::<OqRouter>(id) {
-        return Some((r.buffered_flits(), r.credit_state()));
-    }
-    if let Some(r) = engine.component_as::<IoqRouter>(id) {
-        return Some((r.buffered_flits(), r.credit_state()));
-    }
-    None
 }
 
 impl std::fmt::Debug for SuperSim {

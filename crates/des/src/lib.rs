@@ -54,11 +54,14 @@ mod engine;
 mod event;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
+mod protocol;
 mod rng;
 mod sharded;
 mod simulator;
 mod time;
 mod trace;
+mod transport;
+pub mod wire;
 
 pub use clock::Clock;
 pub use component::{Component, ComponentId};
@@ -66,8 +69,13 @@ pub use engine::{
     Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats, BATCH_BUCKETS, EXTERNAL_SRC,
 };
 pub use event::{EventEntry, EventQueue};
+#[cfg(unix)]
+pub use protocol::WorkerEngine;
 pub use rng::{Rng, SampleRange};
 pub use sharded::ShardedEngine;
 pub use simulator::{SequentialEngine, Simulator};
 pub use time::{Epsilon, Tick, Time};
 pub use trace::{TraceBuffer, TraceEvent, TraceSpec};
+pub use transport::TransportError;
+#[cfg(unix)]
+pub use transport::{Hub, HubResult, ProcessTransport, WorkerLink, WorkerSetup};

@@ -41,134 +41,17 @@
 //! which is the same failure the sequential engine would have hit first.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::component::{Component, ComponentId};
-use crate::engine::{
-    flush_trace, next_edge_after, Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats,
-    SinkRef, Stamped, TaggedTrace, TraceSink, EXTERNAL_SRC,
-};
-use crate::event::{EventEntry, EventQueue};
-use crate::rng::Rng;
+use crate::engine::Stamped;
+use crate::engine::{Engine, EngineMetrics, EventStamp, RunOutcome, RunStats, EXTERNAL_SRC};
+use crate::event::EventQueue;
+use crate::protocol::{run_shard_rounds, ProtocolParams, Shard};
 use crate::simulator::{SequentialEngine, TraceState};
 use crate::time::{Tick, Time};
 use crate::trace::{TraceEvent, TraceSpec};
-
-/// A sense-reversing spin barrier.
-///
-/// Rounds are as fine-grained as one generation (often a handful of
-/// events), so parking threads on a mutex/condvar barrier would dominate
-/// the run time. Threads spin briefly, then yield. The atomics form the
-/// usual release/acquire chain, so writes made before a `wait` are
-/// visible to every thread after it.
-struct SpinBarrier {
-    count: AtomicUsize,
-    sense: AtomicBool,
-    n: usize,
-}
-
-impl SpinBarrier {
-    fn new(n: usize) -> Self {
-        SpinBarrier {
-            count: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
-            n,
-        }
-    }
-
-    /// Blocks until all `n` threads arrive. `local_sense` is each
-    /// thread's private phase flag. Panics (poisoning every waiter) if
-    /// `poisoned` is raised — see [`PanicFence`].
-    fn wait(&self, local_sense: &mut bool, poisoned: &AtomicBool) {
-        *local_sense = !*local_sense;
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            self.count.store(0, Ordering::Release);
-            self.sense.store(*local_sense, Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != *local_sense {
-                if poisoned.load(Ordering::Acquire) {
-                    panic!("a sibling shard thread panicked");
-                }
-                spins = spins.wrapping_add(1);
-                if spins < 128 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-        }
-    }
-}
-
-/// Raises the poison flag if dropped during a panic, so sibling threads
-/// spinning at a barrier abort instead of waiting forever.
-struct PanicFence<'a> {
-    poisoned: &'a AtomicBool,
-    armed: bool,
-}
-
-impl Drop for PanicFence<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            self.poisoned.store(true, Ordering::Release);
-        }
-    }
-}
-
-/// One shard: a slice of the component space plus its own event queue and
-/// executor counters. `components` is full-length (indexed by component
-/// id) with `None` in the slots other shards own, so dispatch needs no id
-/// translation.
-struct Shard<E> {
-    components: Vec<Option<Box<dyn Component<E>>>>,
-    rngs: Vec<Rng>,
-    seqs: Vec<u64>,
-    queue: EventQueue<Stamped<E>>,
-    batch: Vec<EventEntry<Stamped<E>>>,
-    events_executed: u64,
-    batches: u64,
-    batch_counts: [u64; crate::engine::BATCH_BUCKETS],
-}
-
-impl<E> Shard<E> {
-    fn record_batch(&mut self, done: u64) {
-        if done == 0 {
-            return;
-        }
-        self.events_executed += done;
-        self.batches += 1;
-        self.batch_counts[crate::engine::log2_bucket(done)] += 1;
-    }
-
-    fn metrics(&self) -> EngineMetrics {
-        EngineMetrics {
-            events_executed: self.events_executed,
-            batches: self.batches,
-            batch_counts: self.batch_counts,
-            queue_len: self.queue.len(),
-            queue_high_water: self.queue.high_water_mark(),
-            total_enqueued: self.queue.total_enqueued(),
-            horizon: self.queue.horizon(),
-            horizon_resizes: self.queue.horizon_resizes(),
-            overflow_spills: self.queue.overflow_spills(),
-            overflow_len: self.queue.overflow_len(),
-        }
-    }
-}
-
-/// What a worker thread reports; the failure message itself travels
-/// through a shared slot keyed by event stamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WorkerOutcome {
-    Drained,
-    Stopped,
-    TickLimit,
-    Failed,
-    Watchdog,
-}
+use crate::transport::{PanicFence, ThreadShared, ThreadTransport};
 
 /// The multi-threaded engine: a [`SequentialEngine`]'s components
 /// partitioned across shards, one worker thread per shard.
@@ -283,26 +166,10 @@ impl<E: Send + 'static> ShardedEngine<E> {
         let start = Instant::now();
         let start_events: u64 = self.shards.iter().map(|s| s.events_executed).sum();
         let n = self.shards.len();
-        let barrier = SpinBarrier::new(n);
-        let poisoned = AtomicBool::new(false);
-        // Each shard publishes (head time, local last-progress tick); the
-        // folds over both are identical on every shard, so the watchdog
-        // break below is unanimous.
-        let peeks: Vec<Mutex<(Option<Time>, Tick)>> = (0..n)
-            .map(|_| Mutex::new((None, self.last_progress)))
-            .collect();
+        let shared: ThreadShared<E> = ThreadShared::new(n, self.last_progress);
         let watchdog = self.watchdog;
         let sample_interval = self.sample_interval;
         let start_progress = self.last_progress;
-        // outboxes[dst][src]: receivers drain in sender order.
-        type Outbox<E> = Mutex<Vec<(ComponentId, Time, Stamped<E>)>>;
-        let outboxes: Vec<Vec<Outbox<E>>> = (0..n)
-            .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
-            .collect();
-        let round_traces: Vec<Mutex<Vec<TaggedTrace>>> =
-            (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let stop_flag = AtomicBool::new(false);
-        let failure: Mutex<Option<(EventStamp, String)>> = Mutex::new(None);
         let trace_spec = self.trace.as_ref().map(|t| t.spec);
         let shard_of: &[u32] = &self.shard_of;
         let start_now = self.now;
@@ -311,205 +178,37 @@ impl<E: Send + 'static> ShardedEngine<E> {
         let (outcome, end_now, end_progress) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (s, shard) in self.shards.iter_mut().enumerate() {
-                let mut buffer = if s == 0 {
+                let buffer = if s == 0 {
                     trace_state.take().map(|t| &mut t.buffer)
                 } else {
                     None
                 };
-                let barrier = &barrier;
-                let poisoned = &poisoned;
-                let peeks = &peeks;
-                let outboxes = &outboxes;
-                let round_traces = &round_traces;
-                let stop_flag = &stop_flag;
-                let failure = &failure;
+                let shared = &shared;
                 handles.push(scope.spawn(move || {
-                    let mut fence = PanicFence {
-                        poisoned,
-                        armed: true,
+                    let mut fence = PanicFence::arm(&shared.poisoned);
+                    let mut transport = ThreadTransport::new(shared, s, buffer);
+                    let params = ProtocolParams {
+                        my_shard: s as u32,
+                        num_shards: n,
+                        tick_limit,
+                        watchdog,
+                        sample_interval,
+                        start_now,
+                        start_progress,
+                        trace_spec,
+                        shard_of,
                     };
-                    let mut local_sense = false;
-                    let mut local_now = start_now;
-                    let mut local_out: Vec<Vec<(ComponentId, Time, Stamped<E>)>> =
-                        (0..n).map(|_| Vec::new()).collect();
-                    let mut round_trace: Vec<TaggedTrace> = Vec::new();
-                    let mut merge_scratch: Vec<TaggedTrace> = Vec::new();
-                    let mut batch = std::mem::take(&mut shard.batch);
-                    let mut local_progress = start_progress;
-                    // Every shard advances its edge cursor from the same
-                    // global `m` sequence, so all cursors stay in lockstep
-                    // and together the shards sample exactly the component
-                    // set the sequential engine would.
-                    let mut next_edge = (sample_interval > 0)
-                        .then(|| next_edge_after(start_now.tick(), sample_interval));
-                    // Assigned by the phase-2 fold before every loop exit.
-                    let mut global_progress;
-                    let outcome = loop {
-                        // Phase 1: publish the local head time and the
-                        // tick of this shard's last productive generation.
-                        *peeks[s].lock().unwrap() = (shard.queue.peek_time(), local_progress);
-                        barrier.wait(&mut local_sense, poisoned);
-
-                        // Phase 2: identical global-minimum (and global
-                        // max-progress) computation.
-                        let mut m: Option<Time> = None;
-                        global_progress = start_progress;
-                        for p in peeks {
-                            let (v, lp) = *p.lock().unwrap();
-                            m = match (m, v) {
-                                (Some(a), Some(b)) => Some(a.min(b)),
-                                (a, b) => a.or(b),
-                            };
-                            global_progress = global_progress.max(lp);
-                        }
-                        // All break decisions are unanimous: every shard
-                        // computed the same `m` and `global_progress` from
-                        // the same peeks.
-                        let Some(m) = m else {
-                            break WorkerOutcome::Drained;
-                        };
-                        if m.tick() > tick_limit {
-                            break WorkerOutcome::TickLimit;
-                        }
-                        if watchdog > 0 && m.tick().saturating_sub(global_progress) > watchdog {
-                            break WorkerOutcome::Watchdog;
-                        }
-                        // This barrier round covers any window edges up to
-                        // `m`: every event below the edge executed in an
-                        // earlier round, so each shard closes the window
-                        // over its own components before generation `m`
-                        // runs — the per-shard half of the sequential
-                        // engine's pre-generation sweep.
-                        while let Some(edge) = next_edge.filter(|&e| e <= m.tick()) {
-                            for slot in shard.components.iter_mut() {
-                                if let Some(c) = slot.as_deref_mut() {
-                                    c.sample(edge);
-                                }
-                            }
-                            next_edge = edge.checked_add(sample_interval);
-                        }
-                        local_now = m;
-
-                        if shard.queue.peek_time() == Some(m) {
-                            let t = shard.queue.take_batch_until(tick_limit, &mut batch);
-                            debug_assert_eq!(t, Some(m));
-                            if batch.len() > 1 {
-                                batch.sort_unstable_by_key(|e| e.payload.stamp);
-                            }
-                            let mut done = 0u64;
-                            let mut stop_local = false;
-                            let mut progress_local = false;
-                            for entry in batch.drain(..) {
-                                let idx = entry.target.index();
-                                let mut fail_local: Option<String> = None;
-                                let taken =
-                                    shard.components.get_mut(idx).and_then(|slot| slot.take());
-                                match taken {
-                                    Some(mut component) => {
-                                        let mut ctx = Context {
-                                            now: m,
-                                            self_id: entry.target,
-                                            sink: SinkRef::Sharded {
-                                                queue: &mut shard.queue,
-                                                shard_of,
-                                                my_shard: s as u32,
-                                                outboxes: &mut local_out,
-                                            },
-                                            seq: &mut shard.seqs[idx],
-                                            rng: &mut shard.rngs[idx],
-                                            stop_requested: &mut stop_local,
-                                            progress: &mut progress_local,
-                                            failure: &mut fail_local,
-                                            trace: trace_spec.map(|spec| TraceSink {
-                                                spec,
-                                                stamp: entry.payload.stamp,
-                                                recno: 0,
-                                                out: &mut round_trace,
-                                            }),
-                                        };
-                                        component.handle(&mut ctx, entry.payload.payload);
-                                        shard.components[idx] = Some(component);
-                                        done += 1;
-                                    }
-                                    None => {
-                                        fail_local = Some(format!(
-                                            "event targeted unregistered {}",
-                                            entry.target
-                                        ));
-                                    }
-                                }
-                                if let Some(msg) = fail_local {
-                                    // Smallest-stamp failure wins: the one
-                                    // the sequential engine would hit first.
-                                    let mut slot = failure.lock().unwrap();
-                                    if slot
-                                        .as_ref()
-                                        .is_none_or(|(st, _)| entry.payload.stamp < *st)
-                                    {
-                                        *slot = Some((entry.payload.stamp, msg));
-                                    }
-                                }
-                            }
-                            shard.record_batch(done);
-                            if progress_local {
-                                local_progress = m.tick();
-                            }
-                            if stop_local {
-                                stop_flag.store(true, Ordering::Release);
-                            }
-                        }
-
-                        // Ship remote events and this round's traces.
-                        for (dst, out) in local_out.iter_mut().enumerate() {
-                            if !out.is_empty() {
-                                outboxes[dst][s].lock().unwrap().append(out);
-                            }
-                        }
-                        if !round_trace.is_empty() {
-                            round_traces[s].lock().unwrap().append(&mut round_trace);
-                        }
-                        barrier.wait(&mut local_sense, poisoned);
-
-                        // Phase 3: merge traces (shard 0), deliver
-                        // inboxes, observe halt flags — all consistent
-                        // because the flags were raised before the
-                        // barrier.
-                        if let Some(buffer) = buffer.as_deref_mut() {
-                            for rt in round_traces {
-                                merge_scratch.append(&mut rt.lock().unwrap());
-                            }
-                            merge_scratch.sort_unstable_by_key(|t| (t.stamp, t.recno));
-                            flush_trace(buffer, &mut merge_scratch);
-                        }
-                        for src in outboxes[s].iter() {
-                            let mut v = std::mem::take(&mut *src.lock().unwrap());
-                            for (target, time, stamped) in v.drain(..) {
-                                shard.queue.push(target, time, stamped);
-                            }
-                            // Return the drained vector so its capacity is
-                            // reused next round instead of reallocated by
-                            // the sender; safe because the sender's next
-                            // append is on the far side of the phase-1
-                            // barrier.
-                            *src.lock().unwrap() = v;
-                        }
-                        if failure.lock().unwrap().is_some() {
-                            break WorkerOutcome::Failed;
-                        }
-                        if stop_flag.load(Ordering::Acquire) {
-                            break WorkerOutcome::Stopped;
-                        }
-                    };
-                    shard.batch = batch;
-                    fence.armed = false;
-                    (outcome, local_now, global_progress)
+                    let r = run_shard_rounds(shard, &params, &mut transport)
+                        .expect("the in-process transport is infallible");
+                    fence.disarm();
+                    r
                 }));
             }
-            let mut agreed: Option<(WorkerOutcome, Time, Tick)> = None;
+            let mut agreed: Option<(RunOutcome, Time, Tick)> = None;
             for h in handles {
                 let r = h.join().expect("shard thread panicked");
                 debug_assert!(
-                    agreed.is_none_or(|a| a == r),
+                    agreed.as_ref().is_none_or(|a| *a == r),
                     "shards disagreed on the run outcome"
                 );
                 agreed = Some(r);
@@ -521,23 +220,6 @@ impl<E: Send + 'static> ShardedEngine<E> {
         // sequential engine.
         self.now = end_now;
         self.last_progress = end_progress;
-        let outcome = match outcome {
-            WorkerOutcome::Drained => RunOutcome::Drained,
-            WorkerOutcome::Stopped => RunOutcome::Stopped,
-            WorkerOutcome::TickLimit => RunOutcome::TickLimit,
-            WorkerOutcome::Watchdog => RunOutcome::Watchdog {
-                last_progress: end_progress,
-            },
-            WorkerOutcome::Failed => {
-                let msg = failure
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .map(|(_, msg)| msg)
-                    .unwrap_or_else(|| "unknown failure".into());
-                RunOutcome::Failed(msg)
-            }
-        };
         let events_executed: u64 =
             self.shards.iter().map(|s| s.events_executed).sum::<u64>() - start_events;
         RunStats {
@@ -671,7 +353,7 @@ impl<E> fmt::Debug for ShardedEngine<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Simulator, TraceSpec};
+    use crate::{Context, Simulator, TraceSpec};
     use std::any::Any;
 
     #[derive(Debug, Clone)]

@@ -1,0 +1,498 @@
+//! Compact in-tree wire format for the multi-process shard transport.
+//!
+//! The process backend of [`ShardTransport`](crate::transport) moves
+//! per-round outboxes, trace records, and end-of-run metric partials
+//! between worker processes and the parent hub over Unix sockets. This
+//! module defines the three layers of that format, all hand-rolled so the
+//! workspace stays free of registry dependencies:
+//!
+//! * **Varints** — unsigned LEB128 (7 bits per byte, high bit = continue).
+//!   Every integer on the wire goes through [`put_varint`]/[`get_varint`]
+//!   unless it is a fixed single byte.
+//! * **Framing** — each message is `len: u32 LE` (length of everything
+//!   after the length field) followed by `tag: u8` and an opaque body.
+//!   [`write_frame`]/[`read_frame`] implement this over any
+//!   `Write`/`Read`.
+//! * **[`WireCodec`]** — a value-level encode/decode trait implemented for
+//!   the engine's own vocabulary here and for the network event payload in
+//!   `supersim-netbase`. Decoding is total: malformed input yields `None`,
+//!   never a panic, so a corrupt or truncated peer cannot crash the hub.
+//!
+//! Determinism note: encoding is a pure function of the value (no maps,
+//! no pointers, no padding), so identical values always produce identical
+//! bytes — a prerequisite for the byte-identity tests that compare the
+//! process transport against the sequential engine.
+
+use std::io::{self, Read, Write};
+
+use crate::engine::{EngineMetrics, EventStamp, RunOutcome, TaggedTrace, BATCH_BUCKETS};
+use crate::time::Time;
+use crate::trace::TraceEvent;
+
+/// Upper bound on a single frame body, as a guard against a corrupt
+/// length prefix allocating unbounded memory (64 MiB is far above any
+/// legitimate round payload).
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+/// Appends `v` as an unsigned LEB128 varint.
+#[inline]
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint, advancing `buf` past it. Returns
+/// `None` on truncation or a value wider than 64 bits.
+#[inline]
+pub fn get_varint(buf: &mut &[u8]) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = buf.split_first()?;
+        *buf = rest;
+        if shift == 63 && byte > 1 {
+            return None; // overflow past 64 bits
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads one byte, advancing `buf`.
+#[inline]
+pub fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (&byte, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(byte)
+}
+
+/// Appends a length-prefixed byte slice.
+#[inline]
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte slice, advancing `buf` past it.
+#[inline]
+pub fn get_bytes<'a>(buf: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let len = usize::try_from(get_varint(buf)?).ok()?;
+    if buf.len() < len {
+        return None;
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Some(head)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut &[u8]) -> Option<String> {
+    let bytes = get_bytes(buf)?;
+    String::from_utf8(bytes.to_vec()).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one `len(u32 LE) | tag(u8) | body` frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len() + 1)
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame, returning its tag and body. Fails with
+/// `InvalidData` on a zero or oversized length prefix.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let tag = body[0];
+    body.remove(0);
+    Ok((tag, body))
+}
+
+// ---------------------------------------------------------------------------
+// WireCodec
+// ---------------------------------------------------------------------------
+
+/// Value-level wire encoding. Implementations must be pure functions of
+/// the value so identical values encode to identical bytes, and `decode`
+/// must reject malformed input with `None` rather than panicking.
+pub trait WireCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value, advancing `buf` past it. `None` on malformed
+    /// or truncated input.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+impl WireCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, *self);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        get_varint(buf)
+    }
+}
+
+impl WireCodec for Time {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.tick());
+        out.push(self.epsilon());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let tick = get_varint(buf)?;
+        let epsilon = get_u8(buf)?;
+        Some(Time::new(tick, epsilon))
+    }
+}
+
+impl WireCodec for EventStamp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, u64::from(self.src));
+        put_varint(out, self.seq);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let src = u32::try_from(get_varint(buf)?).ok()?;
+        let seq = get_varint(buf)?;
+        Some(EventStamp { src, seq })
+    }
+}
+
+impl WireCodec for TraceEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.time.encode(out);
+        put_varint(out, u64::from(self.src));
+        out.push(self.kind);
+        put_varint(out, self.id);
+        put_varint(out, u64::from(self.sub));
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let time = Time::decode(buf)?;
+        let src = u32::try_from(get_varint(buf)?).ok()?;
+        let kind = get_u8(buf)?;
+        let id = get_varint(buf)?;
+        let sub = u32::try_from(get_varint(buf)?).ok()?;
+        Some(TraceEvent {
+            time,
+            src,
+            kind,
+            id,
+            sub,
+        })
+    }
+}
+
+impl WireCodec for TaggedTrace {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.stamp.encode(out);
+        put_varint(out, u64::from(self.recno));
+        self.ev.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let stamp = EventStamp::decode(buf)?;
+        let recno = u32::try_from(get_varint(buf)?).ok()?;
+        let ev = TraceEvent::decode(buf)?;
+        Some(TaggedTrace { stamp, recno, ev })
+    }
+}
+
+impl WireCodec for EngineMetrics {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.events_executed);
+        put_varint(out, self.batches);
+        for &c in &self.batch_counts {
+            put_varint(out, c);
+        }
+        put_varint(out, self.queue_len as u64);
+        put_varint(out, self.queue_high_water as u64);
+        put_varint(out, self.total_enqueued);
+        put_varint(out, self.horizon as u64);
+        put_varint(out, self.horizon_resizes);
+        put_varint(out, self.overflow_spills);
+        put_varint(out, self.overflow_len as u64);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let events_executed = get_varint(buf)?;
+        let batches = get_varint(buf)?;
+        let mut batch_counts = [0u64; BATCH_BUCKETS];
+        for c in &mut batch_counts {
+            *c = get_varint(buf)?;
+        }
+        let queue_len = usize::try_from(get_varint(buf)?).ok()?;
+        let queue_high_water = usize::try_from(get_varint(buf)?).ok()?;
+        let total_enqueued = get_varint(buf)?;
+        let horizon = usize::try_from(get_varint(buf)?).ok()?;
+        let horizon_resizes = get_varint(buf)?;
+        let overflow_spills = get_varint(buf)?;
+        let overflow_len = usize::try_from(get_varint(buf)?).ok()?;
+        Some(EngineMetrics {
+            events_executed,
+            batches,
+            batch_counts,
+            queue_len,
+            queue_high_water,
+            total_enqueued,
+            horizon,
+            horizon_resizes,
+            overflow_spills,
+            overflow_len,
+        })
+    }
+}
+
+/// `RunOutcome` splits into a fixed discriminant plus optional detail;
+/// the message of `Failed` and the tick of `Watchdog` ride along.
+impl WireCodec for RunOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RunOutcome::Drained => out.push(0),
+            RunOutcome::Stopped => out.push(1),
+            RunOutcome::TickLimit => out.push(2),
+            RunOutcome::Failed(msg) => {
+                out.push(3);
+                put_str(out, msg);
+            }
+            RunOutcome::Watchdog { last_progress } => {
+                out.push(4);
+                put_varint(out, *last_progress);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match get_u8(buf)? {
+            0 => Some(RunOutcome::Drained),
+            1 => Some(RunOutcome::Stopped),
+            2 => Some(RunOutcome::TickLimit),
+            3 => Some(RunOutcome::Failed(get_str(buf)?)),
+            4 => Some(RunOutcome::Watchdog {
+                last_progress: get_varint(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match get_u8(buf)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = usize::try_from(get_varint(buf)?).ok()?;
+        // Guard: each element costs at least one byte, so a hostile
+        // length prefix cannot force a huge allocation.
+        if len > buf.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice), Some(v));
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut slice: &[u8] = &[0x80];
+        assert_eq!(get_varint(&mut slice), None, "truncated continuation");
+        // 11 continuation bytes: wider than 64 bits.
+        let wide = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut slice: &[u8] = &wide;
+        assert_eq!(get_varint(&mut slice), None, "65-bit value");
+    }
+
+    #[test]
+    fn frame_round_trips_over_a_pipe_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 7, b"hello").unwrap();
+        write_frame(&mut wire, 9, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), (7, b"hello".to_vec()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), (9, Vec::new()));
+    }
+
+    #[test]
+    fn frame_rejects_bad_length() {
+        let mut cursor = std::io::Cursor::new(vec![0, 0, 0, 0]);
+        assert!(read_frame(&mut cursor).is_err(), "zero length");
+        let mut huge = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        huge.push(0);
+        let mut cursor = std::io::Cursor::new(huge);
+        assert!(read_frame(&mut cursor).is_err(), "oversized length");
+    }
+
+    fn round_trip<T: WireCodec + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = T::decode(&mut slice).expect("decode");
+        assert_eq!(&back, v);
+        assert!(slice.is_empty(), "decode must consume the encoding");
+    }
+
+    #[test]
+    fn des_types_round_trip() {
+        round_trip(&Time::new(123_456_789, 250));
+        round_trip(&EventStamp {
+            src: u32::MAX,
+            seq: u64::MAX,
+        });
+        round_trip(&TraceEvent {
+            time: Time::new(42, 3),
+            src: 17,
+            kind: 7,
+            id: u64::MAX,
+            sub: u32::MAX,
+        });
+        round_trip(&RunOutcome::Drained);
+        round_trip(&RunOutcome::Failed("component 3 exploded".into()));
+        round_trip(&RunOutcome::Watchdog {
+            last_progress: 9_999,
+        });
+        round_trip(&Some(77u64));
+        round_trip(&Option::<u64>::None);
+        round_trip(&vec![1u64, 2, u64::MAX]);
+    }
+
+    #[test]
+    fn engine_metrics_round_trip_randomized() {
+        let mut rng = Rng::new(0xA11CE);
+        for _ in 0..50 {
+            let mut batch_counts = [0u64; BATCH_BUCKETS];
+            for c in &mut batch_counts {
+                *c = rng.gen_u64() >> (rng.gen_u64() % 64);
+            }
+            let m = EngineMetrics {
+                events_executed: rng.gen_u64(),
+                batches: rng.gen_u64(),
+                batch_counts,
+                queue_len: rng.gen_u64() as usize >> 16,
+                queue_high_water: rng.gen_u64() as usize >> 16,
+                total_enqueued: rng.gen_u64(),
+                horizon: rng.gen_u64() as usize >> 40,
+                horizon_resizes: rng.gen_u64() >> 32,
+                overflow_spills: rng.gen_u64() >> 32,
+                overflow_len: rng.gen_u64() as usize >> 40,
+            };
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            let mut slice = buf.as_slice();
+            let back = EngineMetrics::decode(&mut slice).unwrap();
+            assert_eq!(back.events_executed, m.events_executed);
+            assert_eq!(back.batch_counts, m.batch_counts);
+            assert_eq!(back.queue_high_water, m.queue_high_water);
+            assert_eq!(back.overflow_len, m.overflow_len);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn vec_decode_rejects_hostile_length() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut slice = buf.as_slice();
+        assert_eq!(Vec::<u64>::decode(&mut slice), None);
+    }
+
+    #[test]
+    fn decode_is_total_on_random_garbage() {
+        let mut rng = Rng::new(0xBADF00D);
+        for _ in 0..200 {
+            let len = (rng.gen_u64() % 24) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_u64() as u8).collect();
+            // None of these may panic; Some or None are both fine.
+            let _ = Time::decode(&mut bytes.as_slice());
+            let _ = EventStamp::decode(&mut bytes.as_slice());
+            let _ = TraceEvent::decode(&mut bytes.as_slice());
+            let _ = RunOutcome::decode(&mut bytes.as_slice());
+            let _ = EngineMetrics::decode(&mut bytes.as_slice());
+            let _ = Vec::<u64>::decode(&mut bytes.as_slice());
+        }
+    }
+}

@@ -41,6 +41,7 @@ mod phase;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
 mod trace;
+mod wire;
 
 pub use arena::{FlitArena, FlitHandle, FlitMeta};
 pub use check::{CheckError, DeliveryChecker};

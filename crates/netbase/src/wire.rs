@@ -1,0 +1,450 @@
+//! Wire encoding of the network event vocabulary for the multi-process
+//! shard transport.
+//!
+//! Implements the engine's [`WireCodec`] trait for [`Ev`] and everything
+//! a cross-shard event carries ([`Flit`], [`PacketInfo`], [`FlitSpan`]).
+//! The encoding is positional and varint-based — see
+//! [`supersim_des::wire`] for the framing layers.
+//!
+//! One representation subtlety: all flits of a packet share their
+//! [`PacketInfo`] behind an `Arc` in memory. The wire format flattens the
+//! metadata into each flit, so a flit decoded on the far shard gets its
+//! own `Arc`. That is safe because `PacketInfo` is immutable after build
+//! and nothing in the simulator relies on `Arc` *pointer* identity for
+//! correctness — reassembly and accounting key on packet/message ids.
+//! Cross-shard flit events are rare enough (one per channel traversal
+//! that crosses a partition boundary) that the duplicated metadata does
+//! not measurably move the wire volume.
+
+use std::sync::Arc;
+
+use supersim_des::wire::{get_u8, get_varint, put_varint, WireCodec};
+use supersim_des::Tick;
+
+use crate::event::Ev;
+use crate::flit::{Flit, FlitSpan, PacketInfo};
+use crate::ids::{AppId, MessageId, PacketId, RouterId, TerminalId};
+use crate::phase::{AppSignal, PhaseCommand};
+
+fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    u32::try_from(get_varint(buf)?).ok()
+}
+
+fn get_u16(buf: &mut &[u8]) -> Option<u16> {
+    u16::try_from(get_varint(buf)?).ok()
+}
+
+impl WireCodec for PacketInfo {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.id.0);
+        put_varint(out, self.message.0);
+        out.push(self.app.0);
+        put_varint(out, u64::from(self.src.0));
+        put_varint(out, u64::from(self.dst.0));
+        put_varint(out, u64::from(self.size));
+        put_varint(out, u64::from(self.message_size));
+        put_varint(out, self.inject_tick);
+        put_varint(out, self.message_tick);
+        out.push(u8::from(self.sample));
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(PacketInfo {
+            id: PacketId(get_varint(buf)?),
+            message: MessageId(get_varint(buf)?),
+            app: AppId(get_u8(buf)?),
+            src: TerminalId(get_u32(buf)?),
+            dst: TerminalId(get_u32(buf)?),
+            size: get_u32(buf)?,
+            message_size: get_u32(buf)?,
+            inject_tick: get_varint(buf)?,
+            message_tick: get_varint(buf)?,
+            sample: get_u8(buf)? != 0,
+        })
+    }
+}
+
+impl WireCodec for FlitSpan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.enqueue);
+        put_varint(out, self.arrive);
+        self.stall_start.encode(out);
+        put_varint(out, self.queueing);
+        put_varint(out, self.alloc);
+        put_varint(out, self.serialization);
+        put_varint(out, self.channel);
+        put_varint(out, self.credit);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(FlitSpan {
+            enqueue: get_varint(buf)?,
+            arrive: get_varint(buf)?,
+            stall_start: Option::<Tick>::decode(buf)?,
+            queueing: get_varint(buf)?,
+            alloc: get_varint(buf)?,
+            serialization: get_varint(buf)?,
+            channel: get_varint(buf)?,
+            credit: get_varint(buf)?,
+        })
+    }
+}
+
+impl WireCodec for Flit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pkt.encode(out);
+        put_varint(out, u64::from(self.seq));
+        put_varint(out, u64::from(self.vc));
+        put_varint(out, u64::from(self.hops));
+        match self.inter {
+            None => out.push(0),
+            Some(r) => {
+                out.push(1);
+                put_varint(out, u64::from(r.0));
+            }
+        }
+        put_varint(out, u64::from(self.crc));
+        match &self.span {
+            None => out.push(0),
+            Some(span) => {
+                out.push(1);
+                span.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let pkt = Arc::new(PacketInfo::decode(buf)?);
+        let seq = get_u32(buf)?;
+        let vc = get_u32(buf)?;
+        let hops = get_u16(buf)?;
+        let inter = match get_u8(buf)? {
+            0 => None,
+            1 => Some(RouterId(get_u32(buf)?)),
+            _ => return None,
+        };
+        let crc = get_u16(buf)?;
+        let span = match get_u8(buf)? {
+            0 => None,
+            1 => Some(Box::new(FlitSpan::decode(buf)?)),
+            _ => return None,
+        };
+        Some(Flit {
+            pkt,
+            seq,
+            vc,
+            hops,
+            inter,
+            crc,
+            span,
+        })
+    }
+}
+
+fn signal_tag(s: AppSignal) -> u8 {
+    match s {
+        AppSignal::Ready => 0,
+        AppSignal::Complete => 1,
+        AppSignal::Done => 2,
+    }
+}
+
+fn signal_from(tag: u8) -> Option<AppSignal> {
+    match tag {
+        0 => Some(AppSignal::Ready),
+        1 => Some(AppSignal::Complete),
+        2 => Some(AppSignal::Done),
+        _ => None,
+    }
+}
+
+fn command_tag(c: PhaseCommand) -> u8 {
+    match c {
+        PhaseCommand::Start => 0,
+        PhaseCommand::Stop => 1,
+        PhaseCommand::Kill => 2,
+    }
+}
+
+fn command_from(tag: u8) -> Option<PhaseCommand> {
+    match tag {
+        0 => Some(PhaseCommand::Start),
+        1 => Some(PhaseCommand::Stop),
+        2 => Some(PhaseCommand::Kill),
+        _ => None,
+    }
+}
+
+impl WireCodec for Ev {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ev::Flit { port, flit } => {
+                out.push(0);
+                put_varint(out, u64::from(*port));
+                flit.encode(out);
+            }
+            Ev::Credit { port, vc } => {
+                out.push(1);
+                put_varint(out, u64::from(*port));
+                put_varint(out, u64::from(*vc));
+            }
+            Ev::Pipeline => out.push(2),
+            Ev::Inject => out.push(3),
+            Ev::Signal { app, signal } => {
+                out.push(4);
+                out.push(app.0);
+                out.push(signal_tag(*signal));
+            }
+            Ev::Ack { port } => {
+                out.push(5);
+                put_varint(out, u64::from(*port));
+            }
+            Ev::Nack { port } => {
+                out.push(6);
+                put_varint(out, u64::from(*port));
+            }
+            Ev::Command(c) => {
+                out.push(7);
+                out.push(command_tag(*c));
+            }
+            Ev::Internal(tag) => {
+                out.push(8);
+                put_varint(out, *tag);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        match get_u8(buf)? {
+            0 => Some(Ev::Flit {
+                port: get_u32(buf)?,
+                flit: Flit::decode(buf)?,
+            }),
+            1 => Some(Ev::Credit {
+                port: get_u32(buf)?,
+                vc: get_u32(buf)?,
+            }),
+            2 => Some(Ev::Pipeline),
+            3 => Some(Ev::Inject),
+            4 => Some(Ev::Signal {
+                app: AppId(get_u8(buf)?),
+                signal: signal_from(get_u8(buf)?)?,
+            }),
+            5 => Some(Ev::Ack {
+                port: get_u32(buf)?,
+            }),
+            6 => Some(Ev::Nack {
+                port: get_u32(buf)?,
+            }),
+            7 => Some(Ev::Command(command_from(get_u8(buf)?)?)),
+            8 => Some(Ev::Internal(get_varint(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_des::Rng;
+
+    fn rand_pkt(rng: &mut Rng) -> PacketInfo {
+        PacketInfo {
+            id: PacketId(rng.gen_u64()),
+            message: MessageId(rng.gen_u64() >> 20),
+            app: AppId(rng.gen_u64() as u8),
+            src: TerminalId(rng.gen_u64() as u32),
+            dst: TerminalId(rng.gen_u64() as u32),
+            size: 1 + (rng.gen_u64() as u32 % 64),
+            message_size: 1 + (rng.gen_u64() as u32 % 256),
+            inject_tick: rng.gen_u64() >> 16,
+            message_tick: rng.gen_u64() >> 16,
+            sample: rng.gen_bool(0.5),
+        }
+    }
+
+    fn rand_span(rng: &mut Rng) -> FlitSpan {
+        FlitSpan {
+            enqueue: rng.gen_u64() >> 32,
+            arrive: rng.gen_u64() >> 32,
+            stall_start: rng.gen_bool(0.5).then(|| rng.gen_u64() >> 32),
+            queueing: rng.gen_u64() >> 40,
+            alloc: rng.gen_u64() >> 40,
+            serialization: rng.gen_u64() >> 40,
+            channel: rng.gen_u64() >> 40,
+            credit: rng.gen_u64() >> 40,
+        }
+    }
+
+    fn rand_flit(rng: &mut Rng, with_span: bool) -> Flit {
+        let pkt = rand_pkt(rng);
+        Flit {
+            seq: rng.gen_u64() as u32 % pkt.size,
+            pkt: Arc::new(pkt),
+            vc: rng.gen_u64() as u32 % 8,
+            hops: rng.gen_u64() as u16,
+            inter: rng.gen_bool(0.3).then(|| RouterId(rng.gen_u64() as u32)),
+            crc: rng.gen_u64() as u16,
+            span: (with_span && rng.gen_bool(0.7)).then(|| Box::new(rand_span(rng))),
+        }
+    }
+
+    fn assert_flit_eq(a: &Flit, b: &Flit) {
+        assert_eq!(*a.pkt, *b.pkt, "packet metadata");
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.vc, b.vc);
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.inter, b.inter);
+        assert_eq!(a.crc, b.crc);
+        assert_eq!(a.span, b.span);
+    }
+
+    #[test]
+    fn flit_round_trips_with_and_without_span() {
+        let mut rng = Rng::new(0xF117);
+        for i in 0..200 {
+            let flit = rand_flit(&mut rng, i % 2 == 0);
+            let mut buf = Vec::new();
+            flit.encode(&mut buf);
+            let mut slice = buf.as_slice();
+            let back = Flit::decode(&mut slice).expect("decode");
+            assert!(slice.is_empty(), "decode must consume the encoding");
+            assert_flit_eq(&flit, &back);
+        }
+    }
+
+    #[test]
+    fn every_event_variant_round_trips() {
+        // Randomized sweep across all nine variants, including the
+        // fault-plane markers (Ack/Nack) and flits with spans enabled.
+        let mut rng = Rng::new(0xE7E7);
+        for i in 0..400 {
+            let ev = match i % 9 {
+                0 => Ev::Flit {
+                    port: rng.gen_u64() as u32,
+                    flit: rand_flit(&mut rng, true),
+                },
+                1 => Ev::Credit {
+                    port: rng.gen_u64() as u32,
+                    vc: rng.gen_u64() as u32,
+                },
+                2 => Ev::Pipeline,
+                3 => Ev::Inject,
+                4 => Ev::Signal {
+                    app: AppId(rng.gen_u64() as u8),
+                    signal: [AppSignal::Ready, AppSignal::Complete, AppSignal::Done]
+                        [(rng.gen_u64() % 3) as usize],
+                },
+                5 => Ev::Ack {
+                    port: rng.gen_u64() as u32,
+                },
+                6 => Ev::Nack {
+                    port: rng.gen_u64() as u32,
+                },
+                7 => Ev::Command(
+                    [PhaseCommand::Start, PhaseCommand::Stop, PhaseCommand::Kill]
+                        [(rng.gen_u64() % 3) as usize],
+                ),
+                _ => Ev::Internal(rng.gen_u64()),
+            };
+            let mut buf = Vec::new();
+            ev.encode(&mut buf);
+            let mut slice = buf.as_slice();
+            let back = Ev::decode(&mut slice).expect("decode");
+            assert!(slice.is_empty(), "decode must consume the encoding");
+            // `Ev` deliberately has no `PartialEq` (flits share `Arc`s);
+            // the derived Debug is a faithful structural rendering.
+            assert_eq!(format!("{ev:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut rng = Rng::new(7);
+        let ev = Ev::Flit {
+            port: 3,
+            flit: rand_flit(&mut rng, true),
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        ev.encode(&mut a);
+        ev.clone().encode(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_is_total_on_garbage() {
+        let mut rng = Rng::new(0x6A63);
+        for _ in 0..300 {
+            let len = (rng.gen_u64() % 40) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_u64() as u8).collect();
+            let _ = Ev::decode(&mut bytes.as_slice());
+            let _ = Flit::decode(&mut bytes.as_slice());
+            let _ = PacketInfo::decode(&mut bytes.as_slice());
+            let _ = FlitSpan::decode(&mut bytes.as_slice());
+        }
+    }
+
+    /// Pins the compactness claim of the varint encoding: a typical
+    /// early-run flit event (small ids, ticks under ~10⁵) must stay
+    /// within a cache line with its span attached and well under half of
+    /// one without — the per-event wire budget EXPERIMENTS.md quotes.
+    #[test]
+    fn typical_flit_event_encodes_compactly() {
+        let pkt = PacketInfo {
+            id: PacketId(100_000),
+            message: MessageId(25_000),
+            app: AppId(0),
+            src: TerminalId(37),
+            dst: TerminalId(112),
+            size: 8,
+            message_size: 32,
+            inject_tick: 40_000,
+            message_tick: 39_990,
+            sample: true,
+        };
+        let bare = Ev::Flit {
+            port: 3,
+            flit: Flit {
+                seq: 5,
+                pkt: Arc::new(pkt.clone()),
+                vc: 2,
+                hops: 4,
+                inter: Some(RouterId(9)),
+                crc: 0xBEEF,
+                span: None,
+            },
+        };
+        let mut buf = Vec::new();
+        bare.encode(&mut buf);
+        assert!(buf.len() <= 30, "bare flit event took {} bytes", buf.len());
+        let spanned = Ev::Flit {
+            port: 3,
+            flit: Flit {
+                seq: 5,
+                pkt: Arc::new(pkt),
+                vc: 2,
+                hops: 4,
+                inter: Some(RouterId(9)),
+                crc: 0xBEEF,
+                span: Some(Box::new(FlitSpan {
+                    enqueue: 40_100,
+                    arrive: 40_160,
+                    stall_start: Some(40_130),
+                    queueing: 12,
+                    alloc: 3,
+                    serialization: 8,
+                    channel: 30,
+                    credit: 7,
+                })),
+            },
+        };
+        buf.clear();
+        spanned.encode(&mut buf);
+        assert!(
+            buf.len() <= 64,
+            "spanned flit event took {} bytes",
+            buf.len()
+        );
+        let credit = Ev::Credit { port: 5, vc: 2 };
+        buf.clear();
+        credit.encode(&mut buf);
+        assert!(buf.len() <= 4, "credit event took {} bytes", buf.len());
+    }
+}

@@ -66,6 +66,10 @@ pub struct TopologyDecl {
     pub routing: Option<String>,
     /// Folded Clos: tree depth (default 2).
     pub levels: Option<u64>,
+    /// Folded Clos: bandwidth taper toward the core, as the
+    /// oversubscription ratio R of an R:1 tapered tree (default 1, the
+    /// full-bisection tree). Must be at least 1.
+    pub taper: Option<u64>,
     /// Torus / HyperX / dragonfly: terminals per router.
     pub concentration: Option<u64>,
     /// Dragonfly: routers per group (`a`).
@@ -423,6 +427,7 @@ fn parse_topology(v: &Value) -> Result<TopologyDecl, ScenarioError> {
             "family",
             "routing",
             "levels",
+            "taper",
             "concentration",
             "group_size",
             "global_ports",
@@ -464,10 +469,17 @@ fn parse_topology(v: &Value) -> Result<TopologyDecl, ScenarioError> {
             Some(_) => req_u64(v, "topology", key).map(Some),
         }
     };
+    let taper = opt("taper")?;
+    if taper == Some(0) {
+        return Err(ScenarioError::Invalid(
+            "topology.taper must be at least 1 (1 = full bisection)".to_string(),
+        ));
+    }
     Ok(TopologyDecl {
         family,
         routing,
         levels: opt("levels")?,
+        taper,
         concentration: opt("concentration")?,
         group_size: opt("group_size")?,
         global_ports: opt("global_ports")?,

@@ -358,6 +358,7 @@ fn solve_topology(decl: &Declaration) -> Result<Shape, ScenarioError> {
     match t.family {
         Family::Torus => {
             forbid("levels", t.levels.is_some())?;
+            forbid("taper", t.taper.is_some())?;
             forbid("group_size", t.group_size.is_some())?;
             forbid("global_ports", t.global_ports.is_some())?;
             let conc = t.concentration.unwrap_or(1).max(1);
@@ -421,16 +422,22 @@ fn solve_topology(decl: &Declaration) -> Result<Shape, ScenarioError> {
                     &["adaptive_updown", "deterministic_updown"],
                 ));
             }
+            // An R:1 taper models oversubscribed uplinks: R× the channel
+            // latency toward the core and a 1/R output-queue budget, so
+            // cross-subtree traffic contends for the thinned core exactly
+            // as it would on a physically tapered tree. R = 1 (the
+            // default) emits the full-bisection shape unchanged.
+            let taper = t.taper.unwrap_or(1);
             Ok(Shape {
                 topology: obj! { "name" => "folded_clos", "levels" => levels, "k" => k },
                 vcs: 1,
                 routing: obj! { "algorithm" => algo },
-                channel: obj! { "terminal_latency" => 1u64, "local_latency" => 10u64,
+                channel: obj! { "terminal_latency" => 1u64, "local_latency" => 10 * taper,
                 "link_period" => 1u64 },
                 router: obj! {
                     "architecture" => "output_queued",
                     "input_buffer" => 150u64,
-                    "output_queue" => 16u64,
+                    "output_queue" => (16 / taper).max(1),
                     "core_latency" => 10u64,
                     "congestion_sensor" => obj! {
                         "source" => "output", "granularity" => "port", "delay" => 8u64,
@@ -442,6 +449,7 @@ fn solve_topology(decl: &Declaration) -> Result<Shape, ScenarioError> {
         }
         Family::HyperX => {
             forbid("levels", t.levels.is_some())?;
+            forbid("taper", t.taper.is_some())?;
             forbid("group_size", t.group_size.is_some())?;
             forbid("global_ports", t.global_ports.is_some())?;
             let conc = t.concentration.unwrap_or(4).max(1);
@@ -488,6 +496,7 @@ fn solve_topology(decl: &Declaration) -> Result<Shape, ScenarioError> {
         }
         Family::Dragonfly => {
             forbid("levels", t.levels.is_some())?;
+            forbid("taper", t.taper.is_some())?;
             let (Some(a), Some(h), Some(p)) = (t.group_size, t.global_ports, t.concentration)
             else {
                 return Err(ScenarioError::Invalid(

@@ -33,6 +33,10 @@ pub const LIBRARY: &[(&str, &str)] = &[
         "latent_congestion_scaled",
         include_str!("../../../configs/scenarios/latent_congestion_scaled.json"),
     ),
+    (
+        "tapered_clos",
+        include_str!("../../../configs/scenarios/tapered_clos.json"),
+    ),
 ];
 
 /// The names of the shipped scenarios, in library order.

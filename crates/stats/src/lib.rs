@@ -41,6 +41,6 @@ pub use metrics::{
 pub use record::{RecordKind, SampleLog, SampleRecord};
 pub use streaming::StreamingStats;
 pub use timeseries::{
-    fold_windows, timeseries_json_lines, ComponentSampler, FoldedWindow, TimeSeries,
+    fold_windows, intern_series, timeseries_json_lines, ComponentSampler, FoldedWindow, TimeSeries,
     WindowAggregate, WindowSample,
 };

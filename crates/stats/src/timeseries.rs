@@ -185,6 +185,19 @@ impl WindowAggregate {
     pub fn percentile(&self, p: f64) -> Option<u64> {
         self.hist.percentile(p)
     }
+
+    /// The underlying log₂ histogram — the full serializable state of the
+    /// aggregate apart from [`WindowAggregate::max`].
+    pub fn hist(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Rebuilds an aggregate from its serialized parts (the inverse of
+    /// reading [`WindowAggregate::hist`] and the raw max). Used by the
+    /// multi-process transport to ship window aggregates between shards.
+    pub fn from_parts(hist: Histogram, max: u64) -> Self {
+        WindowAggregate { hist, max }
+    }
 }
 
 /// One closed sampling window of one component: the window's closing edge
@@ -293,6 +306,55 @@ impl ComponentSampler {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Rebuilds a sampler from serialized closed windows.
+    ///
+    /// The pending (unclosed) window starts empty: by the time a sampler
+    /// is shipped between processes the run is over and every window edge
+    /// has been closed, so there is nothing pending to carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `windows` exceeds it.
+    pub fn from_parts(capacity: usize, windows: Vec<WindowSample>, evicted: u64) -> Self {
+        assert!(capacity > 0, "sampler capacity must be non-zero");
+        assert!(
+            windows.len() <= capacity,
+            "more retained windows than the ring capacity"
+        );
+        ComponentSampler {
+            capacity,
+            windows: windows.into(),
+            pending: Vec::new(),
+            evicted,
+        }
+    }
+}
+
+/// Interns a series name, returning a `&'static str` with the same
+/// content.
+///
+/// The sampling plane keys series by `&'static str` so that the hot
+/// recording path never hashes or clones strings. Decoding a sampler
+/// from the wire only has owned strings in hand; this interner bridges
+/// the two by leaking each *distinct* name once. The set of series names
+/// in a simulator build is small and fixed (a few dozen literals), so
+/// the leak is bounded regardless of how many runs or workers decode
+/// samplers.
+pub fn intern_series(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(Default::default)
+        .lock()
+        .expect("series interner poisoned");
+    if let Some(s) = set.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
 }
 
 /// One sampling window folded across every component of the run: the

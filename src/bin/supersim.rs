@@ -34,6 +34,13 @@
 //! `SUPERSIM_ENGINE` / `SUPERSIM_SHARDS` environment variables. Results
 //! are bit-identical across engines for one `(configuration, seed)`.
 //!
+//! Multi-process execution: `--workers <n>` runs the sharded engine
+//! across `n` OS processes (shorthand for `engine.kind=sharded`,
+//! `engine.transport=process`, `engine.shards=n`). The parent re-executes
+//! this binary in the hidden `__worker` role, one process per shard, and
+//! merges their outputs — byte-identical to the single-process backends
+//! for one `(configuration, seed)`.
+//!
 //! Scenarios: `--scenario <name|file>` compiles a compact scenario
 //! declaration (a library name like `incast_storm`, or a declaration
 //! file) into a full configuration and runs it. A declaration file given
@@ -61,6 +68,7 @@ struct Args {
     trace_path: Option<PathBuf>,
     engine: Option<String>,
     shards: Option<u64>,
+    workers: Option<u64>,
     faults: Option<f64>,
     watchdog_ticks: Option<u64>,
     sample_interval: Option<u64>,
@@ -79,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_path = None;
     let mut engine = None;
     let mut shards = None;
+    let mut workers = None;
     let mut faults = None;
     let mut watchdog_ticks = None;
     let mut sample_interval = None;
@@ -122,6 +131,16 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--shards must be non-zero".to_string());
                 }
                 shards = Some(n);
+            }
+            "--workers" => {
+                let n = it.next().ok_or("--workers needs a count")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--workers must be an integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--workers must be non-zero".to_string());
+                }
+                workers = Some(n);
             }
             "--faults" => {
                 let r = it.next().ok_or("--faults needs a bit-error rate")?;
@@ -169,7 +188,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: supersim <config.json | --scenario <name|file>> \
                             [path=type=value ...] \
                             [--log <file> | --no-log] [--metrics <file>] [--trace <file>] \
-                            [--engine sequential|sharded] [--shards <n>] \
+                            [--engine sequential|sharded] [--shards <n>] [--workers <n>] \
                             [--faults <bit-error-rate>] [--watchdog-ticks <n>] \
                             [--sample-interval <n>] [--timeseries <file>] \
                             [--spans] [--span-log <file>]"
@@ -186,6 +205,11 @@ fn parse_args() -> Result<Args, String> {
     if config_path.is_some() && scenario.is_some() {
         return Err("give either a configuration file or --scenario, not both".to_string());
     }
+    if workers.is_some() && (engine.is_some() || shards.is_some()) {
+        return Err("--workers already implies --engine sharded and --shards; \
+                    give one or the other"
+            .to_string());
+    }
     Ok(Args {
         config_path,
         scenario,
@@ -196,6 +220,7 @@ fn parse_args() -> Result<Args, String> {
         trace_path,
         engine,
         shards,
+        workers,
         faults,
         watchdog_ticks,
         sample_interval,
@@ -206,6 +231,25 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    // The hidden worker role of `--workers` runs: the parent re-executes
+    // this binary as `supersim __worker <socket> <index>`. Dispatched
+    // before normal argument parsing — the configuration arrives over
+    // the socket, not argv.
+    #[cfg(unix)]
+    {
+        let argv: Vec<String> = std::env::args().collect();
+        if argv.get(1).is_some_and(|a| a == "__worker") {
+            let (Some(socket), Some(index)) = (argv.get(2), argv.get(3)) else {
+                eprintln!("usage: supersim __worker <socket> <index>");
+                return ExitCode::FAILURE;
+            };
+            let Ok(index) = index.parse::<u32>() else {
+                eprintln!("supersim __worker: index must be an integer, got {index:?}");
+                return ExitCode::FAILURE;
+            };
+            return ExitCode::from(supersim::core::run_worker(socket, index) as u8);
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -270,6 +314,15 @@ fn main() -> ExitCode {
             .set_path("engine.shards", config::Value::Int(n as i64))
             .is_err()
         {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(n) = args.workers {
+        let kind = cfg.set_path("engine.kind", config::Value::Str("sharded".into()));
+        let transport = cfg.set_path("engine.transport", config::Value::Str("process".into()));
+        let count = cfg.set_path("engine.shards", config::Value::Int(n as i64));
+        if kind.is_err() || transport.is_err() || count.is_err() {
             eprintln!("supersim: configuration root must be an object");
             return ExitCode::FAILURE;
         }

@@ -24,6 +24,23 @@ fn with_engine(cfg: &Value, kind: &str, shards: u64) -> Value {
     cfg
 }
 
+/// Pins the multi-process backend: `workers` shards, one OS process
+/// each, spawned from the `supersim` binary cargo built for this test
+/// run (the default of re-executing the current binary would hit the
+/// test harness, which has no `__worker` role).
+#[cfg(unix)]
+fn with_process(cfg: &Value, workers: u64) -> Value {
+    let mut cfg = with_engine(cfg, "sharded", workers);
+    cfg.set_path("engine.transport", Value::Str("process".into()))
+        .expect("object");
+    cfg.set_path(
+        "engine.worker_bin",
+        Value::Str(env!("CARGO_BIN_EXE_supersim").into()),
+    )
+    .expect("object");
+    cfg
+}
+
 fn run(cfg: &Value) -> RunOutput {
     SuperSim::from_config(cfg)
         .expect("build")
@@ -69,9 +86,22 @@ fn sharded_run_is_byte_identical_to_sequential() {
                 .expect("object");
             let seq = run(&with_engine(&cfg, "sequential", 1));
             let seq_samples = stripped_samples(&seq);
-            for shards in [2u64, 3, 4] {
-                let sh = run(&with_engine(&cfg, "sharded", shards));
-                let label = format!("{name} seed={seed:#x} shards={shards}");
+            // The same grid row under every backend: in-process shard
+            // counts, then the multi-process transport (unix only).
+            let mut rows: Vec<(String, Value)> = [2u64, 3, 4]
+                .iter()
+                .map(|&shards| {
+                    (
+                        format!("shards={shards}"),
+                        with_engine(&cfg, "sharded", shards),
+                    )
+                })
+                .collect();
+            #[cfg(unix)]
+            rows.push(("workers=2".into(), with_process(&cfg, 2)));
+            for (row, sh_cfg) in rows {
+                let sh = run(&sh_cfg);
+                let label = format!("{name} seed={seed:#x} {row}");
                 assert_eq!(
                     seq.log.to_text(),
                     sh.log.to_text(),

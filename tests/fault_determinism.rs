@@ -30,6 +30,21 @@ fn with_faults(cfg: &Value, seed: u64, bit_error_rate: f64) -> Value {
     cfg
 }
 
+/// Pins the multi-process backend, spawning workers from the cargo-built
+/// `supersim` binary.
+#[cfg(unix)]
+fn with_process(cfg: &Value, workers: u64) -> Value {
+    let mut cfg = with_engine(cfg, "sharded", workers);
+    cfg.set_path("engine.transport", Value::Str("process".into()))
+        .expect("object");
+    cfg.set_path(
+        "engine.worker_bin",
+        Value::Str(env!("CARGO_BIN_EXE_supersim").into()),
+    )
+    .expect("object");
+    cfg
+}
+
 fn run(cfg: &Value) -> RunOutput {
     SuperSim::from_config(cfg)
         .expect("build")
@@ -95,9 +110,20 @@ fn fault_schedule_is_identical_across_engines() {
             );
             let seq_faults = fault_trace(&seq);
             let seq_samples = stripped_samples(&seq);
-            for shards in [2u64, 4] {
-                let sh = run(&with_engine(&cfg, "sharded", shards));
-                let label = format!("{name} seed={seed:#x} shards={shards}");
+            let mut rows: Vec<(String, Value)> = [2u64, 4]
+                .iter()
+                .map(|&shards| {
+                    (
+                        format!("shards={shards}"),
+                        with_engine(&cfg, "sharded", shards),
+                    )
+                })
+                .collect();
+            #[cfg(unix)]
+            rows.push(("workers=2".into(), with_process(&cfg, 2)));
+            for (row, sh_cfg) in rows {
+                let sh = run(&sh_cfg);
+                let label = format!("{name} seed={seed:#x} {row}");
                 assert_eq!(
                     seq_faults,
                     fault_trace(&sh),
@@ -170,10 +196,14 @@ fn total_credit_loss_trips_the_watchdog() {
     cfg.set_path("watchdog.ticks", Value::Int(1000))
         .expect("obj");
     let mut trips = Vec::new();
-    for (kind, shards) in [("sequential", 1u64), ("sharded", 2)] {
-        let report = SuperSim::from_config(&with_engine(&cfg, kind, shards))
-            .expect("build")
-            .run_report();
+    let mut rows = vec![
+        ("sequential", with_engine(&cfg, "sequential", 1)),
+        ("sharded", with_engine(&cfg, "sharded", 2)),
+    ];
+    #[cfg(unix)]
+    rows.push(("process", with_process(&cfg, 2)));
+    for (kind, row_cfg) in rows {
+        let report = SuperSim::from_config(&row_cfg).expect("build").run_report();
         let err = report.error.as_ref().expect("run must degrade");
         let (tick, last_progress) = match err {
             SimError::Watchdog {
@@ -202,7 +232,10 @@ fn total_credit_loss_trips_the_watchdog() {
         ));
         trips.push((tick, last_progress));
     }
-    assert_eq!(trips[0], trips[1], "watchdog trip diverged across engines");
+    assert!(
+        trips.windows(2).all(|w| w[0] == w[1]),
+        "watchdog trip diverged across engines: {trips:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,141 @@
+//! The fault plane of the multi-process backend itself: a worker that
+//! dies, hangs, or never starts must degrade the run into a typed
+//! [`SimError::Worker`] within the transport's timeout budget — never a
+//! silent stall — while the parent still assembles whatever partial
+//! outputs the surviving workers deliver.
+//!
+//! Worker misbehavior is injected through the in-tree
+//! `SUPERSIM_TEST_WORKER_FAIL` hook (`<exit|hang>:<worker>:<round>`),
+//! which the spawned worker processes inherit through the environment.
+#![cfg(unix)]
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use supersim::config::Value;
+use supersim::core::{presets, RunReport, SimError, SuperSim};
+use supersim::stats::MetricValue;
+
+/// Serializes the tests in this file: they all mutate the same
+/// process-global environment variable that spawned workers inherit.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn process_cfg(timeout_ms: u64) -> Value {
+    let mut cfg = presets::quickstart();
+    for (path, value) in [
+        ("engine.kind", Value::Str("sharded".into())),
+        ("engine.transport", Value::Str("process".into())),
+        ("engine.shards", Value::Int(2)),
+        (
+            "engine.worker_bin",
+            Value::Str(env!("CARGO_BIN_EXE_supersim").into()),
+        ),
+        ("engine.worker_timeout_ms", Value::Int(timeout_ms as i64)),
+    ] {
+        cfg.set_path(path, value).expect("object");
+    }
+    cfg
+}
+
+fn run_report(cfg: &Value) -> RunReport {
+    SuperSim::from_config(cfg).expect("build").run_report()
+}
+
+fn assert_degraded_by_worker(report: &RunReport, worker: u32, label: &str) {
+    match &report.error {
+        Some(SimError::Worker { worker: w, .. }) => {
+            assert_eq!(*w, worker, "{label}: wrong worker blamed");
+        }
+        other => panic!("{label}: expected SimError::Worker, got {other:?}"),
+    }
+    assert!(
+        matches!(
+            report.output.metrics.get("run", "degraded"),
+            Some(MetricValue::Counter(1))
+        ),
+        "{label}: degraded run not marked in the metrics"
+    );
+    assert!(
+        report.diagnostic.is_some(),
+        "{label}: degraded run carries no diagnostic snapshot"
+    );
+}
+
+#[test]
+fn killed_worker_degrades_to_a_typed_error() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("SUPERSIM_TEST_WORKER_FAIL", "exit:1:40");
+    let report = run_report(&process_cfg(10_000));
+    std::env::remove_var("SUPERSIM_TEST_WORKER_FAIL");
+    assert_degraded_by_worker(&report, 1, "killed worker");
+    let reason = match &report.error {
+        Some(SimError::Worker { reason, .. }) => reason.clone(),
+        _ => unreachable!(),
+    };
+    assert!(
+        reason.contains("died") || reason.contains("closed"),
+        "reason should point at the dead connection, got {reason:?}"
+    );
+}
+
+#[test]
+fn hung_worker_trips_the_timeout_budget() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("SUPERSIM_TEST_WORKER_FAIL", "hang:0:40");
+    let started = Instant::now();
+    let report = run_report(&process_cfg(2_000));
+    let elapsed = started.elapsed();
+    std::env::remove_var("SUPERSIM_TEST_WORKER_FAIL");
+    assert_degraded_by_worker(&report, 0, "hung worker");
+    let reason = match &report.error {
+        Some(SimError::Worker { reason, .. }) => reason.clone(),
+        _ => unreachable!(),
+    };
+    assert!(
+        reason.contains("hung") || reason.contains("timeout"),
+        "reason should point at the timeout, got {reason:?}"
+    );
+    // The whole degrade path — detection, aborting the survivor,
+    // collecting its partial, reaping children — must stay within a few
+    // timeout budgets, never a silent stall.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "degrade took {elapsed:?} on a 2s budget"
+    );
+}
+
+#[test]
+fn missing_worker_binary_is_a_startup_error() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut cfg = process_cfg(2_000);
+    cfg.set_path(
+        "engine.worker_bin",
+        Value::Str("/nonexistent/supersim-worker".into()),
+    )
+    .expect("object");
+    let report = run_report(&cfg);
+    assert_degraded_by_worker(&report, 0, "missing binary");
+    let reason = match &report.error {
+        Some(SimError::Worker { reason, .. }) => reason.clone(),
+        _ => unreachable!(),
+    };
+    assert!(
+        reason.starts_with("startup:"),
+        "expected a startup-phase reason, got {reason:?}"
+    );
+}
+
+#[test]
+fn clean_process_run_reports_no_error() {
+    // The robustness hooks must not leak into a clean run: same
+    // configuration, no injected failure, full outputs.
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("SUPERSIM_TEST_WORKER_FAIL");
+    let report = run_report(&process_cfg(30_000));
+    assert!(report.is_ok(), "clean run degraded: {:?}", report.error);
+    assert!(report.output.packets_delivered() > 0);
+    assert!(matches!(
+        report.output.metrics.get("run", "degraded"),
+        Some(MetricValue::Counter(0))
+    ));
+}

@@ -178,6 +178,71 @@ fn out_of_range_terminal_counts_are_rejected() {
 }
 
 #[test]
+fn taper_is_validated_and_clos_only() {
+    // Zero is not a taper: 1 is the full-bisection tree, R > 1 thins it.
+    let err = compile_str(
+        r#"{"scenario": "t", "seed": 1, "terminals": 64,
+            "topology": {"family": "folded_clos", "levels": 3, "taper": 0},
+            "traffic": [{"kind": "cross_subtree", "load": 0.2}]}"#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("taper"), "{err}");
+    // The hint only means something on a tree; every other family
+    // rejects it instead of silently ignoring it.
+    for family in ["torus", "hyperx"] {
+        let err = compile_str(&format!(
+            r#"{{"scenario": "t", "seed": 1, "terminals": 16,
+                "topology": {{"family": "{family}", "taper": 2}},
+                "traffic": [{{"kind": "uniform", "load": 0.2}}]}}"#
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("taper") && msg.contains(family),
+            "{family}: wrong error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn taper_thins_the_core_and_defaults_to_full_bisection() {
+    let with_taper = |taper: &str| {
+        compile_str(&format!(
+            r#"{{"scenario": "t", "seed": 1, "terminals": 64,
+                "topology": {{"family": "folded_clos", "levels": 3{taper}}},
+                "traffic": [{{"kind": "cross_subtree", "load": 0.2}}]}}"#
+        ))
+        .unwrap()
+        .config
+    };
+    let full = with_taper("");
+    let tapered = with_taper(r#", "taper": 4"#);
+    // R = 4 quadruples the local channel latency and quarters the
+    // output-queue budget; an absent taper emits the same shape as
+    // before the hint existed.
+    for (cfg, latency, queue) in [(&full, 10, 16), (&tapered, 40, 4)] {
+        assert_eq!(
+            cfg.path("network.channel.local_latency")
+                .and_then(Value::as_u64),
+            Some(latency)
+        );
+        assert_eq!(
+            cfg.path("network.router.output_queue")
+                .and_then(Value::as_u64),
+            Some(queue)
+        );
+    }
+    // Extreme tapers floor the queue at 1 rather than emitting 0.
+    let extreme = with_taper(r#", "taper": 32"#);
+    assert_eq!(
+        extreme
+            .path("network.router.output_queue")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+}
+
+#[test]
 fn conflicting_traffic_declarations_are_rejected() {
     let err = compile_str(
         r#"{"scenario": "t", "seed": 1, "terminals": 16,
