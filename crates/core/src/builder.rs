@@ -42,6 +42,27 @@ pub(crate) struct Built {
     /// placeholder that never runs.
     #[cfg_attr(not(unix), allow(dead_code))]
     pub process: Option<ProcessPlan>,
+    /// The simulation seed (stamped into checkpoint headers).
+    pub seed: u64,
+    /// The clamped shard count of the chosen backend (1 for sequential).
+    pub num_shards: u32,
+    /// Checkpoint/restore policy parsed from the `checkpoint` block.
+    pub checkpoint: CheckpointPlan,
+}
+
+/// The checkpoint/restore policy of a run (the `checkpoint` block).
+#[derive(Clone)]
+pub(crate) struct CheckpointPlan {
+    /// Barrier-round interval between checkpoints in ticks; 0 = off.
+    pub interval: Tick,
+    /// Directory checkpoint files are written into.
+    pub dir: std::path::PathBuf,
+    /// Checkpoint file to restore before running, if any.
+    pub resume: Option<std::path::PathBuf>,
+    /// How many times the parent of a multi-process run may respawn the
+    /// fleet from the last completed checkpoint before giving up.
+    #[cfg_attr(not(unix), allow(dead_code))]
+    pub max_restarts: u32,
 }
 
 /// Everything the parent of a multi-process run needs to launch and
@@ -269,6 +290,29 @@ fn sample_config(cfg: &Value) -> Result<(Tick, usize), BuildError> {
         ));
     }
     Ok((interval, capacity as usize))
+}
+
+/// Parses the optional `checkpoint` block: `checkpoint.interval` is the
+/// barrier-round spacing in ticks (0 = disabled, the free-when-off
+/// default), `checkpoint.dir` the output directory, `checkpoint.resume`
+/// a checkpoint file to restore before running, and
+/// `checkpoint.max_restarts` the fleet-respawn budget of a multi-process
+/// run.
+fn checkpoint_config(cfg: &Value) -> Result<CheckpointPlan, BuildError> {
+    let interval = cfg.opt_u64("checkpoint.interval", 0)?;
+    let dir = std::path::PathBuf::from(cfg.opt_str("checkpoint.dir", "checkpoints")?);
+    let resume = match cfg.req_str("checkpoint.resume") {
+        Ok(p) if !p.is_empty() => Some(std::path::PathBuf::from(p)),
+        _ => None,
+    };
+    let max_restarts = cfg.opt_u64("checkpoint.max_restarts", 3)?;
+    Ok(CheckpointPlan {
+        interval,
+        dir,
+        resume,
+        max_restarts: u32::try_from(max_restarts)
+            .map_err(|_| BuildError::invalid("checkpoint.max_restarts is out of range"))?,
+    })
 }
 
 pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
@@ -523,9 +567,13 @@ pub(crate) fn build_with(
                             BuildError::invalid(format!("cannot resolve engine.worker_bin: {e}"))
                         })?,
                     };
+                    // `process.timeout_ms` is the documented key;
+                    // `engine.worker_timeout_ms` remains as a fallback
+                    // for configurations written before the block existed.
+                    let fallback = cfg.opt_u64("engine.worker_timeout_ms", 60_000)?;
                     process = Some(ProcessPlan {
                         workers: num_shards as u32,
-                        timeout_ms: cfg.opt_u64("engine.worker_timeout_ms", 60_000)?,
+                        timeout_ms: cfg.opt_u64("process.timeout_ms", fallback)?,
                         worker_bin,
                         config_json: cfg.to_json(),
                         trace_capacity,
@@ -549,6 +597,11 @@ pub(crate) fn build_with(
     };
     engine.set_watchdog(watchdog);
     engine.set_sampler(sample_interval);
+    let checkpoint = checkpoint_config(cfg)?;
+    // Only the worker backend acts on this (it pauses at barrier
+    // boundaries and ships state frames to the hub); the in-process
+    // engines are segmented by the run loop instead.
+    engine.set_checkpoint_interval(checkpoint.interval);
 
     Ok(Built {
         engine,
@@ -563,5 +616,8 @@ pub(crate) fn build_with(
         sample_interval,
         spans: spans_enabled,
         process,
+        seed,
+        num_shards: num_shards as u32,
+        checkpoint,
     })
 }

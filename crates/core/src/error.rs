@@ -112,6 +112,13 @@ pub enum SimError {
         /// What happened to it.
         reason: String,
     },
+    /// Resuming from a checkpoint failed: the file was unreadable,
+    /// corrupted, from a different configuration, or its state blob did
+    /// not restore cleanly into the rebuilt simulation.
+    Resume {
+        /// Why the checkpoint could not be restored.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -136,6 +143,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Worker { worker, reason } => {
                 write!(f, "worker {worker} failed: {reason}")
+            }
+            SimError::Resume { reason } => {
+                write!(f, "cannot resume from checkpoint: {reason}")
             }
         }
     }

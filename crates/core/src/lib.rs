@@ -36,6 +36,7 @@
 //! ```
 
 mod builder;
+pub mod checkpoint;
 mod defaults;
 mod error;
 pub mod experiment;

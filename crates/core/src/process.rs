@@ -21,9 +21,10 @@ use supersim_des::{Hub, RunOutcome, RunStats, Time, WorkerLink};
 use supersim_netbase::trace_json_lines;
 
 use crate::builder::{build_with, Built, EngineMode, ProcessPlan};
+use crate::checkpoint::{self, CheckpointHeader};
 use crate::factory::Factories;
 use crate::partial::{extract_partial, ShardPartial};
-use crate::sim::{assemble, AssembleInputs, RunReport};
+use crate::sim::{assemble, resume_failure, resume_into, AssembleInputs, RunReport};
 
 /// Distinguishes concurrent runs (and runs within one process) in the
 /// socket path.
@@ -65,10 +66,94 @@ fn reap(children: &mut [Child], deadline: Instant) {
     }
 }
 
+/// Parses the `SUPERSIM_TEST_KILL_WORKER=<worker>:<round>` test hook:
+/// the parent SIGKILLs the given worker right after checkpoint `round`
+/// completes — a reproducible mid-run crash for the recovery tests.
+/// Honored on the first fleet only, so the respawned fleet survives.
+fn kill_hook() -> Option<(u32, u64)> {
+    let spec = std::env::var("SUPERSIM_TEST_KILL_WORKER").ok()?;
+    let (w, r) = spec.split_once(':')?;
+    Some((w.parse().ok()?, r.parse().ok()?))
+}
+
+/// What one fleet launch produced: the assembled report inputs plus the
+/// newest checkpoint file the hub completed during the attempt.
+struct FleetAttempt {
+    inputs: AssembleInputs,
+    last_checkpoint: Option<std::path::PathBuf>,
+}
+
 /// Runs a multi-process simulation from the parent side and assembles
 /// the report from the workers' partials.
+///
+/// Crash recovery: when checkpointing is armed and a worker dies or
+/// hangs after at least one checkpoint completed, the whole fleet is
+/// killed, respawned, and resumed from that checkpoint — every worker
+/// restores its own shard, the hub restores its trace ring, and the
+/// protocol continues in lockstep. The restart budget is
+/// `checkpoint.max_restarts`; once it is spent the run degrades to a
+/// typed [`SimError::Worker`](crate::SimError::Worker) as before.
 pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
     let start = Instant::now();
+    let max_restarts = built.checkpoint.max_restarts;
+    let base_cfg = match Value::parse(&plan.config_json) {
+        Ok(v) => v,
+        Err(e) => return startup_failure(&built, format!("config: {e}"), start),
+    };
+    let mut resume = built.checkpoint.resume.clone();
+    let mut attempts = 0u32;
+    loop {
+        let kill = (attempts == 0).then(kill_hook).flatten();
+        let respawn = attempts > 0;
+        let attempt = match run_fleet(
+            &built,
+            &plan,
+            &base_cfg,
+            resume.as_deref(),
+            kill,
+            respawn,
+            start,
+        ) {
+            Ok(a) => a,
+            Err(report) => return *report,
+        };
+        if let Some(p) = attempt.last_checkpoint {
+            resume = Some(p);
+        }
+        if let Some((w, why)) = &attempt.inputs.worker_error {
+            if let Some(p) = &resume {
+                if attempts < max_restarts {
+                    attempts += 1;
+                    eprintln!(
+                        "supersim: worker {w} failed ({why}); respawning the fleet \
+                         from {} (attempt {attempts}/{max_restarts})",
+                        p.display()
+                    );
+                    continue;
+                }
+            }
+        }
+        return assemble(&built, attempt.inputs);
+    }
+}
+
+/// Launches one worker fleet, drives it to completion (or failure), and
+/// collects the report inputs. `resume` is patched into the shipped
+/// configuration so every worker restores its shard from the same file
+/// the hub restores its trace ring from.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet(
+    built: &Built,
+    plan: &ProcessPlan,
+    base_cfg: &Value,
+    resume: Option<&std::path::Path>,
+    kill: Option<(u32, u64)>,
+    respawn: bool,
+    start: Instant,
+) -> Result<FleetAttempt, Box<RunReport>> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
     let path = std::env::temp_dir().join(format!(
         "supersim-hub-{}-{}.sock",
         std::process::id(),
@@ -76,25 +161,47 @@ pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
     ));
     let _guard = SocketGuard(path.clone());
     let timeout = Duration::from_millis(plan.timeout_ms.max(1));
+    let config_json = match resume {
+        Some(p) => {
+            let mut cfg = base_cfg.clone();
+            let _ = cfg.set_path(
+                "checkpoint.resume",
+                Value::Str(p.to_string_lossy().into_owned()),
+            );
+            cfg.to_json()
+        }
+        None => plan.config_json.clone(),
+    };
 
     let listener = match UnixListener::bind(&path) {
         Ok(l) => l,
-        Err(e) => return startup_failure(&built, format!("bind {}: {e}", path.display()), start),
+        Err(e) => {
+            return Err(Box::new(startup_failure(
+                built,
+                format!("bind {}: {e}", path.display()),
+                start,
+            )))
+        }
     };
     let mut children: Vec<Child> = Vec::with_capacity(plan.workers as usize);
     for w in 0..plan.workers {
-        let spawned = Command::new(&plan.worker_bin)
-            .arg("__worker")
+        let mut cmd = Command::new(&plan.worker_bin);
+        cmd.arg("__worker")
             .arg(&path)
             .arg(w.to_string())
-            .stdin(Stdio::null())
-            .spawn();
+            .stdin(Stdio::null());
+        if respawn {
+            // A respawned fleet must not re-inject the test-hook failure
+            // that killed the first one.
+            cmd.env_remove("SUPERSIM_TEST_WORKER_FAIL");
+        }
+        let spawned = cmd.spawn();
         match spawned {
             Ok(child) => children.push(child),
             Err(e) => {
                 let reason = format!("spawn {}: {e}", plan.worker_bin.display());
                 reap(&mut children, Instant::now());
-                return startup_failure(&built, reason, start);
+                return Err(Box::new(startup_failure(built, reason, start)));
             }
         }
     }
@@ -103,15 +210,77 @@ pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
         &listener,
         plan.workers,
         timeout,
-        plan.config_json.as_bytes(),
+        config_json.as_bytes(),
         plan.trace_capacity,
     ) {
         Ok(hub) => hub,
         Err(e) => {
             reap(&mut children, Instant::now());
-            return startup_failure(&built, format!("accept: {e}"), start);
+            return Err(Box::new(startup_failure(
+                built,
+                format!("accept: {e}"),
+                start,
+            )));
         }
     };
+    // A resumed run restores the hub's merged trace ring from the same
+    // checkpoint the workers restore their shards from; without this
+    // the pre-crash trace records would be missing from the output.
+    if let Some(p) = resume {
+        let restored = match checkpoint::read_file(p) {
+            Ok((_, blob)) => hub.load_trace(&mut blob.as_slice()),
+            Err(e) => {
+                reap(&mut children, Instant::now());
+                return Err(Box::new(resume_failure(built, e.to_string())));
+            }
+        };
+        if !restored {
+            reap(&mut children, Instant::now());
+            return Err(Box::new(resume_failure(
+                built,
+                format!("hub trace section of {} did not restore", p.display()),
+            )));
+        }
+    }
+    // The hub assembles one uniform engine-state blob per completed
+    // barrier checkpoint; the sink wraps it in the versioned file
+    // format. A write failure degrades to a warning — losing a
+    // checkpoint must never kill a healthy run.
+    let written: Rc<RefCell<Option<std::path::PathBuf>>> = Rc::new(RefCell::new(None));
+    if built.checkpoint.interval > 0 {
+        let interval = built.checkpoint.interval;
+        let dir = built.checkpoint.dir.clone();
+        let (seed, num_shards) = (built.seed, built.num_shards);
+        let (terminals, routers) = (built.topology.num_terminals(), built.topology.num_routers());
+        let sink_written = Rc::clone(&written);
+        let pids: Vec<u32> = children.iter().map(|c| c.id()).collect();
+        hub.set_checkpoint_sink(Box::new(move |time, blob| {
+            let round = time.tick() / interval;
+            let header = CheckpointHeader {
+                version: checkpoint::VERSION,
+                seed,
+                num_shards,
+                tick: time.tick(),
+                round,
+                terminals,
+                routers,
+            };
+            let p = checkpoint::round_path(&dir, round);
+            match checkpoint::write_file(&p, &header, blob) {
+                Ok(()) => *sink_written.borrow_mut() = Some(p),
+                Err(e) => eprintln!("supersim: checkpoint round {round} not written: {e}"),
+            }
+            if let Some((w, at)) = kill {
+                if round == at {
+                    if let Some(pid) = pids.get(w as usize) {
+                        let _ = Command::new("kill")
+                            .args(["-KILL", &pid.to_string()])
+                            .status();
+                    }
+                }
+            }
+        }));
+    }
     let result = hub.run();
     // On a clean run the workers are already exiting; on a degraded one
     // give survivors a moment to flush their partials, then kill.
@@ -160,7 +329,11 @@ pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
         worker_error,
         stats,
     };
-    assemble(&built, inputs)
+    let last_checkpoint = written.borrow().clone();
+    Ok(FleetAttempt {
+        inputs,
+        last_checkpoint,
+    })
 }
 
 /// The run never got going: no worker metrics, no partials, just a
@@ -204,6 +377,17 @@ pub fn run_worker(socket: &str, index: u32) -> i32 {
 }
 
 fn worker_inner(socket: &str, index: u32) -> Result<(), String> {
+    // Test hook: `SUPERSIM_TEST_WORKER_WEDGE=<index>` wedges that worker
+    // before it ever connects — it neither answers nor exits, so only
+    // the parent's socket timeout budget can end the run.
+    if std::env::var("SUPERSIM_TEST_WORKER_WEDGE")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        == Some(index)
+    {
+        std::thread::sleep(Duration::from_secs(600));
+        return Err("wedged by test hook".into());
+    }
     let (link, setup) =
         WorkerLink::connect(socket, index).map_err(|e| format!("connect {socket}: {e}"))?;
     let text = std::str::from_utf8(&setup.payload).map_err(|e| format!("config payload: {e}"))?;
@@ -217,6 +401,12 @@ fn worker_inner(socket: &str, index: u32) -> Result<(), String> {
         },
     )
     .map_err(|e| format!("build: {e}"))?;
+    // A respawned (or user-resumed) fleet: restore this worker's shard
+    // from the checkpoint named in the shipped configuration before the
+    // protocol starts.
+    if let Some(p) = built.checkpoint.resume.clone() {
+        resume_into(&mut built, &p).map_err(|e| format!("resume: {e}"))?;
+    }
     // Outcome handling is the parent's job: every worker reported it in
     // its DONE frame, so even a failed run exits 0 here.
     let _ = built.engine.run_until(built.tick_limit);

@@ -91,8 +91,12 @@ impl SuperSim {
         if let Some(plan) = self.built.process.take() {
             return crate::process::run_parent(self.built, plan);
         }
-        let tick_limit = self.built.tick_limit;
-        let stats = self.built.engine.run_until(tick_limit);
+        if let Some(path) = self.built.checkpoint.resume.clone() {
+            if let Err(reason) = resume_into(&mut self.built, &path) {
+                return resume_failure(&self.built, reason);
+            }
+        }
+        let stats = run_with_checkpoints(&mut self.built);
         let engine = self.built.engine.as_ref();
         let partial = extract_partial(
             engine,
@@ -115,7 +119,151 @@ impl SuperSim {
     }
 }
 
-/// The engine-level inputs to report assembly, alongside the component
+/// Restores a checkpoint file into the freshly built engine. The header
+/// identity fields must match the built configuration; the state blob
+/// must restore cleanly. Any failure keeps the engine untouched enough
+/// to report, but the run must not proceed.
+pub(crate) fn resume_into(built: &mut Built, path: &std::path::Path) -> Result<(), String> {
+    let (header, blob) = crate::checkpoint::read_file(path).map_err(|e| e.to_string())?;
+    let identity = [
+        ("seed", header.seed, built.seed),
+        (
+            "shard count",
+            u64::from(header.num_shards),
+            u64::from(built.num_shards),
+        ),
+        (
+            "terminal count",
+            u64::from(header.terminals),
+            u64::from(built.topology.num_terminals()),
+        ),
+        (
+            "router count",
+            u64::from(header.routers),
+            u64::from(built.topology.num_routers()),
+        ),
+    ];
+    for (what, saved, ours) in identity {
+        if saved != ours {
+            return Err(format!(
+                "checkpoint {what} is {saved}, this simulation has {ours}"
+            ));
+        }
+    }
+    if !built.engine.load_state(&mut blob.as_slice()) {
+        return Err(format!(
+            "state blob of {} did not restore cleanly",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+/// The report of a run that never started because its checkpoint could
+/// not be restored: empty output, a typed [`SimError::Resume`].
+pub(crate) fn resume_failure(built: &Built, reason: String) -> RunReport {
+    let engine = built.engine.as_ref();
+    let stats = RunStats {
+        events_executed: 0,
+        end_time: engine.now(),
+        queue_high_water: 0,
+        total_enqueued: 0,
+        wall: std::time::Duration::ZERO,
+        outcome: RunOutcome::Stopped,
+    };
+    let partial = extract_partial(engine, &built.interfaces, &built.routers, built.monitor);
+    let mut report = assemble(
+        built,
+        AssembleInputs {
+            stats,
+            events_executed: 0,
+            total_enqueued: 0,
+            shard_metrics: engine.shard_metrics(),
+            trace: None,
+            partials: vec![partial],
+            worker_error: None,
+        },
+    );
+    report.error = Some(SimError::Resume { reason });
+    report
+}
+
+/// Drives the engine to its tick limit, pausing at every `k * interval`
+/// barrier boundary to capture a checkpoint file. With checkpointing
+/// disabled (`interval == 0`) this is a single `run_until` call.
+///
+/// The boundary cursor advances by `interval` from its previous value —
+/// never recomputed from the clock, which sits short of the boundary
+/// after a pause. Segment statistics accumulate so the returned
+/// [`RunStats`] is indistinguishable from an unsegmented run (modulo
+/// wall-clock).
+fn run_with_checkpoints(built: &mut Built) -> RunStats {
+    let tick_limit = built.tick_limit;
+    let interval = built.checkpoint.interval;
+    if interval == 0 {
+        return built.engine.run_until(tick_limit);
+    }
+    // Test hook: exit the process hard (no cleanup, no report) right
+    // after completing checkpoint round N — a reproducible "crash" for
+    // the recovery integration tests.
+    let exit_at: Option<u64> = std::env::var("SUPERSIM_TEST_EXIT_AT_CKPT")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let mut next = crate::checkpoint::next_boundary(built.engine.now().tick(), interval);
+    let mut total: Option<RunStats> = None;
+    loop {
+        let bound = next.min(tick_limit);
+        let stats = built.engine.run_until(bound);
+        let paused = matches!(stats.outcome, RunOutcome::TickLimit) && bound < tick_limit;
+        match total.as_mut() {
+            Some(t) => {
+                t.events_executed += stats.events_executed;
+                t.queue_high_water = t.queue_high_water.max(stats.queue_high_water);
+                t.total_enqueued = stats.total_enqueued;
+                t.wall += stats.wall;
+                t.end_time = stats.end_time;
+                t.outcome = stats.outcome;
+            }
+            None => total = Some(stats),
+        }
+        if !paused {
+            return total.expect("at least one segment ran");
+        }
+        write_round_checkpoint(built, bound, interval, exit_at);
+        next = next.saturating_add(interval);
+    }
+}
+
+/// Captures the engine state at barrier tick `bound` and writes the
+/// checkpoint file for its round. A write failure degrades to a warning
+/// — losing a checkpoint must never kill a healthy run.
+fn write_round_checkpoint(built: &Built, bound: Tick, interval: Tick, exit_at: Option<u64>) {
+    use crate::checkpoint as ckpt;
+    let mut blob = Vec::new();
+    if !built.engine.save_state(&mut blob) {
+        return; // backend without checkpoint support
+    }
+    let round = bound / interval;
+    let header = ckpt::CheckpointHeader {
+        version: ckpt::VERSION,
+        seed: built.seed,
+        num_shards: built.num_shards,
+        tick: bound,
+        round,
+        terminals: built.topology.num_terminals(),
+        routers: built.topology.num_routers(),
+    };
+    let path = ckpt::round_path(&built.checkpoint.dir, round);
+    if let Err(e) = ckpt::write_file(&path, &header, &blob) {
+        eprintln!("supersim: checkpoint round {round} not written: {e}");
+        return;
+    }
+    if exit_at == Some(round) {
+        // Simulated crash: the checkpoint file for this round is complete
+        // on disk, nothing later is.
+        std::process::exit(86);
+    }
+}
 /// [`ShardPartial`]s. The single-process path reads them off its own
 /// engine; the multi-process parent reconstructs them from the workers'
 /// DONE frames.

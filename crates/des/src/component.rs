@@ -103,6 +103,27 @@ pub trait Component<E>: Any + Send {
 
     /// Mutable upcast for post-run inspection.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Appends this component's *dynamic* state to `out` for a
+    /// checkpoint.
+    ///
+    /// Structural state (wiring, tables, configuration) is rebuilt from
+    /// the configuration on restore; only state that evolves during the
+    /// run belongs here. Encoding must be a pure function of the state
+    /// (the wire-plane rule), so identical states snapshot to identical
+    /// bytes. The default captures nothing, which is correct for
+    /// stateless components.
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Overlays dynamic state captured by [`Component::snapshot`] onto
+    /// this freshly rebuilt component. Total: malformed input yields
+    /// `None`, never a panic. The default accepts the empty snapshot.
+    fn restore(&mut self, buf: &mut &[u8]) -> Option<()> {
+        let _ = buf;
+        Some(())
+    }
 }
 
 #[cfg(test)]

@@ -473,6 +473,45 @@ pub trait Engine<E: 'static>: fmt::Debug {
     /// The collected trace records in canonical order, empty when
     /// tracing is disabled.
     fn trace_records(&self) -> Vec<TraceEvent>;
+
+    /// Serializes the engine's complete dynamic state — clock, pending
+    /// events, per-component RNG streams and send counters, component
+    /// snapshots, trace ring, and lifetime counters — into `out`, so a
+    /// later [`Engine::load_state`] on an identically *built* engine
+    /// resumes the run with byte-identical results.
+    ///
+    /// Only meaningful at a quiescent point: between [`Engine::run_until`]
+    /// calls (the engine paused at a tick limit) or before the first run.
+    /// Returns `false` when the backend does not support checkpointing
+    /// (the default).
+    fn save_state(&self, out: &mut Vec<u8>) -> bool
+    where
+        E: crate::wire::WireCodec,
+    {
+        let _ = out;
+        false
+    }
+
+    /// Overlays dynamic state captured by [`Engine::save_state`] onto
+    /// this engine, which must have been freshly built from the same
+    /// configuration (same components, same shard layout). Total:
+    /// malformed or mismatched state yields `false` and the engine must
+    /// not be used afterwards.
+    fn load_state(&mut self, buf: &mut &[u8]) -> bool
+    where
+        E: crate::wire::WireCodec,
+    {
+        let _ = buf;
+        false
+    }
+
+    /// Arms transport-driven checkpointing (multi-process workers only):
+    /// the engine emits its state to the hub whenever the run crosses a
+    /// `k * interval` tick boundary. A no-op on backends whose caller
+    /// drives checkpointing by segmenting [`Engine::run_until`].
+    fn set_checkpoint_interval(&mut self, interval: Tick) {
+        let _ = interval;
+    }
 }
 
 impl<E: 'static> dyn Engine<E> + '_ {

@@ -645,6 +645,113 @@ impl<E> EventQueue<E> {
     pub fn horizon_resizes(&self) -> u64 {
         self.horizon_resizes
     }
+
+    /// Serializes the queue — pending events *and* lifetime counters —
+    /// into `out`, encoding each payload with `enc`.
+    ///
+    /// Enumeration is non-destructive and deterministic: ring buckets in
+    /// cursor order (each bucket head-to-tail, i.e. enqueue order), then
+    /// overflow events sorted by `(time, seq)`. [`EventQueue::load`]
+    /// re-pushes events in exactly this order against the saved horizon
+    /// and cursor, which reproduces bucket placement and per-bucket FIFO
+    /// order, so the restored queue pops the identical event sequence.
+    pub fn save<F>(&self, out: &mut Vec<u8>, mut enc: F)
+    where
+        F: FnMut(&E, &mut Vec<u8>),
+    {
+        crate::wire::put_varint(out, self.horizon() as u64);
+        crate::wire::put_varint(out, self.cur_tick);
+        crate::wire::put_varint(out, self.ring_len as u64);
+        for off in 0..self.horizon() {
+            let idx = (self.cur_tick as usize).wrapping_add(off) & self.mask;
+            let mut cur = self.buckets[idx].head;
+            while cur != NIL {
+                let slot = &self.slab[cur as usize];
+                crate::wire::WireCodec::encode(&slot.time, out);
+                crate::wire::put_varint(out, slot.target.index() as u64);
+                enc(
+                    slot.payload.as_ref().expect("linked slot without payload"),
+                    out,
+                );
+                cur = slot.next;
+            }
+        }
+        let mut parked: Vec<&OverflowEntry<E>> = self.overflow.iter().collect();
+        parked.sort_by_key(|e| (e.time, e.seq));
+        crate::wire::put_varint(out, parked.len() as u64);
+        for e in parked {
+            crate::wire::WireCodec::encode(&e.time, out);
+            crate::wire::put_varint(out, e.target.index() as u64);
+            enc(&e.payload, out);
+        }
+        crate::wire::put_varint(out, self.overflow_seq);
+        crate::wire::put_varint(out, self.total_enqueued);
+        crate::wire::put_varint(out, self.max_len as u64);
+        crate::wire::put_varint(out, self.overflow_spills);
+        crate::wire::put_varint(out, self.horizon_resizes);
+    }
+
+    /// Rebuilds a queue from a [`EventQueue::save`] encoding, decoding
+    /// each payload with `dec`. Total: malformed input yields `None`.
+    pub fn load<F>(buf: &mut &[u8], mut dec: F) -> Option<Self>
+    where
+        F: FnMut(&mut &[u8]) -> Option<E>,
+    {
+        let horizon = usize::try_from(crate::wire::get_varint(buf)?).ok()?;
+        if horizon < 64 || !horizon.is_power_of_two() || horizon > MAX_HORIZON {
+            return None;
+        }
+        let cur_tick = crate::wire::get_varint(buf)?;
+        let mut q = Self::with_horizon(horizon);
+        q.cur_tick = cur_tick;
+        let ring = usize::try_from(crate::wire::get_varint(buf)?).ok()?;
+        // Each event costs at least two bytes, so a hostile count cannot
+        // force unbounded work before the buffer runs dry.
+        if ring > buf.len() {
+            return None;
+        }
+        let read_event = |buf: &mut &[u8], dec: &mut F| {
+            let time = <Time as crate::wire::WireCodec>::decode(buf)?;
+            let target =
+                ComponentId::try_from_index(usize::try_from(crate::wire::get_varint(buf)?).ok()?)?;
+            let payload = dec(buf)?;
+            if time.tick() < cur_tick {
+                return None; // behind the saved cursor: corrupt
+            }
+            Some((time, target, payload))
+        };
+        for _ in 0..ring {
+            let (time, target, payload) = read_event(buf, &mut dec)?;
+            // A saved ring event must still land in the ring.
+            if time.tick() - cur_tick > q.mask as u64 {
+                return None;
+            }
+            q.push(target, time, payload);
+        }
+        let parked = usize::try_from(crate::wire::get_varint(buf)?).ok()?;
+        if parked > buf.len() {
+            return None;
+        }
+        for _ in 0..parked {
+            let (time, target, payload) = read_event(buf, &mut dec)?;
+            let seq = q.overflow_seq;
+            q.overflow_seq += 1;
+            q.overflow.push(OverflowEntry {
+                time,
+                seq,
+                target,
+                payload,
+            });
+        }
+        // Counters are lifetime totals, not derivable from the pending
+        // set; overwrite whatever the re-pushes accumulated.
+        q.overflow_seq = crate::wire::get_varint(buf)?.max(q.overflow_seq);
+        q.total_enqueued = crate::wire::get_varint(buf)?;
+        q.max_len = usize::try_from(crate::wire::get_varint(buf)?).ok()?;
+        q.overflow_spills = crate::wire::get_varint(buf)?;
+        q.horizon_resizes = crate::wire::get_varint(buf)?;
+        Some(q)
+    }
 }
 
 impl<E> Default for EventQueue<E> {

@@ -58,6 +58,7 @@ mod protocol;
 mod rng;
 mod sharded;
 mod simulator;
+mod snapshot;
 mod time;
 mod trace;
 mod transport;

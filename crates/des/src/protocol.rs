@@ -74,6 +74,50 @@ impl<E> Shard<E> {
     }
 }
 
+impl<E: crate::wire::WireCodec + 'static> Shard<E> {
+    /// Serializes this shard as one canonical shard blob (see
+    /// [`crate::snapshot`]). The engine-global scalars ride inside each
+    /// blob so a worker process can restore from its own blob alone.
+    pub(crate) fn save_state(
+        &self,
+        now: Time,
+        ext_seq: u64,
+        last_progress: Tick,
+        out: &mut Vec<u8>,
+    ) {
+        crate::snapshot::save_shard(
+            out,
+            now,
+            ext_seq,
+            last_progress,
+            self.events_executed,
+            self.batches,
+            &self.batch_counts,
+            &self.queue,
+            &self.components,
+            &self.rngs,
+            &self.seqs,
+        );
+    }
+
+    /// Overlays a shard blob onto this freshly built shard, returning
+    /// the engine-global scalars for the caller to apply. `None` on
+    /// malformed or mismatched state.
+    pub(crate) fn load_state(&mut self, buf: &mut &[u8]) -> Option<crate::snapshot::ShardScalars> {
+        let s = crate::snapshot::load_shard(
+            buf,
+            &mut self.queue,
+            &mut self.components,
+            &mut self.rngs,
+            &mut self.seqs,
+        )?;
+        self.events_executed = s.events_executed;
+        self.batches = s.batches;
+        self.batch_counts = s.batch_counts;
+        Some(s)
+    }
+}
+
 /// The run parameters every shard agrees on before the loop starts.
 pub(crate) struct ProtocolParams<'a> {
     pub my_shard: u32,
@@ -267,6 +311,7 @@ mod worker {
         trace_spec: Option<TraceSpec>,
         watchdog: Tick,
         sample_interval: Tick,
+        checkpoint_interval: Tick,
         last_progress: Tick,
         link: WorkerLink,
     }
@@ -345,6 +390,7 @@ mod worker {
                 trace_spec: self.trace.as_ref().map(|t| t.spec),
                 watchdog: self.watchdog,
                 sample_interval: self.sample_interval,
+                checkpoint_interval: 0,
                 last_progress: self.last_progress,
                 link,
             }
@@ -378,33 +424,71 @@ mod worker {
         fn run_until(&mut self, tick_limit: Tick) -> RunStats {
             let start = Instant::now();
             let start_events = self.shard.events_executed;
-            let params = ProtocolParams {
-                my_shard: self.my_shard,
-                num_shards: self.num_shards,
-                tick_limit,
-                watchdog: self.watchdog,
-                sample_interval: self.sample_interval,
-                start_now: self.now,
-                start_progress: self.last_progress,
-                trace_spec: self.trace_spec,
-                shard_of: &self.shard_of,
-            };
             let link = self.link.clone();
             let mut transport = link.0.borrow_mut();
-            let result =
-                run_shard_rounds::<E, ProcessTransport>(&mut self.shard, &params, &mut *transport);
-            let outcome = match result {
-                Ok((outcome, end_now, end_progress)) => {
-                    self.now = end_now;
-                    self.last_progress = end_progress;
-                    // Tell the hub how the run ended; a send failure here
-                    // degrades like any other transport error.
-                    match transport.finish(&outcome, end_now, end_progress, &self.shard.metrics()) {
-                        Ok(()) => outcome,
-                        Err(e) => RunOutcome::Failed(format!("transport: {e}")),
+            // Track checkpoint boundaries by multiples of the interval,
+            // not by `now`: after a pause the clock sits at the last
+            // executed generation, which may be short of the boundary,
+            // and recomputing from it would revisit the same edge
+            // forever.
+            let mut next_ckpt = (self.checkpoint_interval > 0)
+                .then(|| next_edge_after(self.now.tick(), self.checkpoint_interval));
+            let outcome = loop {
+                let bound = next_ckpt.map_or(tick_limit, |c| c.min(tick_limit));
+                let params = ProtocolParams {
+                    my_shard: self.my_shard,
+                    num_shards: self.num_shards,
+                    tick_limit: bound,
+                    watchdog: self.watchdog,
+                    sample_interval: self.sample_interval,
+                    start_now: self.now,
+                    start_progress: self.last_progress,
+                    trace_spec: self.trace_spec,
+                    shard_of: &self.shard_of,
+                };
+                let result = run_shard_rounds::<E, ProcessTransport>(
+                    &mut self.shard,
+                    &params,
+                    &mut *transport,
+                );
+                match result {
+                    Ok((outcome, end_now, end_progress)) => {
+                        self.now = end_now;
+                        self.last_progress = end_progress;
+                        if outcome == RunOutcome::TickLimit && bound < tick_limit {
+                            // Paused at a checkpoint boundary, unanimously
+                            // across workers (the halt came from the folded
+                            // global head). Ship this shard's blob; the hub
+                            // collects one from every worker and writes the
+                            // checkpoint file.
+                            let mut blob = Vec::new();
+                            self.shard.save_state(
+                                self.now,
+                                self.ext_seq,
+                                self.last_progress,
+                                &mut blob,
+                            );
+                            if let Err(e) = transport.checkpoint(Time::at(bound), &blob) {
+                                break RunOutcome::Failed(format!("transport: {e}"));
+                            }
+                            next_ckpt =
+                                next_ckpt.and_then(|c| c.checked_add(self.checkpoint_interval));
+                            continue;
+                        }
+                        // Tell the hub how the run ended; a send failure here
+                        // degrades like any other transport error.
+                        match transport.finish(
+                            &outcome,
+                            end_now,
+                            end_progress,
+                            &self.shard.metrics(),
+                        ) {
+                            Ok(()) => break outcome,
+                            Err(e) => break RunOutcome::Failed(format!("transport: {e}")),
+                        }
                     }
+                    Err(e) => break RunOutcome::Failed(format!("transport: {e}")),
                 }
-                Err(e) => RunOutcome::Failed(format!("transport: {e}")),
             };
             RunStats {
                 events_executed: self.shard.events_executed - start_events,
@@ -467,6 +551,50 @@ mod worker {
 
         fn set_sampler(&mut self, interval: Tick) {
             self.sample_interval = interval;
+        }
+
+        fn set_checkpoint_interval(&mut self, interval: Tick) {
+            self.checkpoint_interval = interval;
+        }
+
+        /// Restores this worker's shard from the uniform engine blob of a
+        /// checkpoint file. The trace section is skipped (the ring lives
+        /// hub-side); the shard count must match, and only this worker's
+        /// own blob is decoded.
+        fn load_state(&mut self, buf: &mut &[u8]) -> bool
+        where
+            E: crate::wire::WireCodec,
+        {
+            let mut inner = || -> Option<()> {
+                match crate::wire::get_u8(buf)? {
+                    0 => {}
+                    1 => {
+                        crate::wire::get_bytes(buf)?;
+                    }
+                    _ => return None,
+                }
+                let shards = crate::wire::get_varint(buf)?;
+                if shards != self.num_shards as u64 {
+                    return None;
+                }
+                let mut scalars = None;
+                for w in 0..self.num_shards {
+                    let mut blob = crate::wire::get_bytes(buf)?;
+                    if w == self.my_shard as usize {
+                        let s = self.shard.load_state(&mut blob)?;
+                        if !blob.is_empty() {
+                            return None;
+                        }
+                        scalars = Some(s);
+                    }
+                }
+                let s = scalars?;
+                self.now = s.now;
+                self.ext_seq = s.ext_seq;
+                self.last_progress = s.last_progress;
+                Some(())
+            };
+            inner().is_some()
         }
 
         /// Arms record collection. The ring `capacity` is ignored here:

@@ -153,6 +153,33 @@ impl Rng {
         let mut sm = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Rng::new(splitmix64(&mut sm))
     }
+
+    /// The raw xoshiro256** state words, for snapshotting. Restoring
+    /// them with [`Rng::from_state`] resumes the stream at exactly the
+    /// next draw.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from state words captured by [`Rng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+}
+
+impl crate::wire::WireCodec for Rng {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for &w in &self.s {
+            crate::wire::put_varint(out, w);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = crate::wire::get_varint(buf)?;
+        }
+        Some(Rng { s })
+    }
 }
 
 /// A range type [`Rng::gen_range`] can sample from.

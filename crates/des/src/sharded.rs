@@ -334,6 +334,52 @@ impl<E: Send + 'static> Engine<E> for ShardedEngine<E> {
             .map(|t| t.buffer.records())
             .unwrap_or_default()
     }
+
+    /// Writes the uniform engine blob: trace section, shard count, then
+    /// one canonical shard blob per shard (engine-global scalars repeated
+    /// in each — see [`crate::snapshot`]).
+    fn save_state(&self, out: &mut Vec<u8>) -> bool
+    where
+        E: crate::wire::WireCodec,
+    {
+        crate::snapshot::put_trace(out, self.trace.as_ref().map(|t| &t.buffer));
+        crate::wire::put_varint(out, self.shards.len() as u64);
+        let mut blob = Vec::new();
+        for shard in &self.shards {
+            blob.clear();
+            shard.save_state(self.now, self.ext_seq, self.last_progress, &mut blob);
+            crate::wire::put_bytes(out, &blob);
+        }
+        true
+    }
+
+    fn load_state(&mut self, buf: &mut &[u8]) -> bool
+    where
+        E: crate::wire::WireCodec,
+    {
+        let mut inner = || -> Option<()> {
+            crate::snapshot::get_trace(buf, self.trace.as_mut().map(|t| &mut t.buffer))?;
+            let shards = crate::wire::get_varint(buf)?;
+            if shards != self.shards.len() as u64 {
+                return None;
+            }
+            let mut scalars = None;
+            for shard in self.shards.iter_mut() {
+                let mut blob = crate::wire::get_bytes(buf)?;
+                let s = shard.load_state(&mut blob)?;
+                if !blob.is_empty() {
+                    return None;
+                }
+                scalars = Some(s);
+            }
+            let s = scalars?;
+            self.now = s.now;
+            self.ext_seq = s.ext_seq;
+            self.last_progress = s.last_progress;
+            Some(())
+        };
+        inner().is_some()
+    }
 }
 
 impl<E> fmt::Debug for ShardedEngine<E> {

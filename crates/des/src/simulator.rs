@@ -407,6 +407,61 @@ impl<E: 'static> Engine<E> for SequentialEngine<E> {
             .map(|t| t.buffer.records())
             .unwrap_or_default()
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool
+    where
+        E: crate::wire::WireCodec,
+    {
+        crate::snapshot::put_trace(out, self.trace.as_ref().map(|t| &t.buffer));
+        crate::wire::put_varint(out, 1);
+        let mut blob = Vec::new();
+        crate::snapshot::save_shard(
+            &mut blob,
+            self.now,
+            self.ext_seq,
+            self.last_progress,
+            self.events_executed,
+            self.batches,
+            &self.batch_counts,
+            &self.queue,
+            &self.components,
+            &self.rngs,
+            &self.seqs,
+        );
+        crate::wire::put_bytes(out, &blob);
+        true
+    }
+
+    fn load_state(&mut self, buf: &mut &[u8]) -> bool
+    where
+        E: crate::wire::WireCodec,
+    {
+        let mut inner = || -> Option<()> {
+            crate::snapshot::get_trace(buf, self.trace.as_mut().map(|t| &mut t.buffer))?;
+            if crate::wire::get_varint(buf)? != 1 {
+                return None; // shard-count mismatch: not a sequential state
+            }
+            let mut blob = crate::wire::get_bytes(buf)?;
+            let s = crate::snapshot::load_shard(
+                &mut blob,
+                &mut self.queue,
+                &mut self.components,
+                &mut self.rngs,
+                &mut self.seqs,
+            )?;
+            if !blob.is_empty() {
+                return None;
+            }
+            self.now = s.now;
+            self.ext_seq = s.ext_seq;
+            self.last_progress = s.last_progress;
+            self.events_executed = s.events_executed;
+            self.batches = s.batches;
+            self.batch_counts = s.batch_counts;
+            Some(())
+        };
+        inner().is_some()
+    }
 }
 
 impl<E> fmt::Debug for SequentialEngine<E> {

@@ -1,0 +1,177 @@
+//! Shard-state snapshot encoding shared by every engine backend.
+//!
+//! A *shard blob* is the complete dynamic state of one executor shard at
+//! a quiescent point (paused between generations): its clock, pending
+//! events, per-component RNG streams and send counters, per-component
+//! model snapshots, and the lifetime counters that feed the engine
+//! metrics plane. The sequential engine is one shard; the thread-sharded
+//! engine writes one blob per shard; each worker process writes the blob
+//! for the shard it owns. Keeping the layout identical across backends
+//! means a checkpoint file always reads as "N shards paused at tick T"
+//! regardless of which transport produced it.
+//!
+//! Encoding uses the LEB128 wire plane ([`crate::wire`]) and is a pure
+//! function of the state; decoding is total (`None` on malformed input,
+//! never a panic) and *strict* — every nested section must be consumed
+//! exactly, so drift between a component's `snapshot` and `restore` is
+//! caught at decode time instead of corrupting the resumed run.
+
+use crate::component::Component;
+use crate::engine::{EventStamp, Stamped, BATCH_BUCKETS};
+use crate::event::EventQueue;
+use crate::rng::Rng;
+use crate::time::{Tick, Time};
+use crate::wire::{self, WireCodec};
+
+/// The scalar half of a shard blob, returned by [`load_shard`] for the
+/// caller to fold into its own fields.
+pub(crate) struct ShardScalars {
+    pub now: Time,
+    pub ext_seq: u64,
+    pub last_progress: Tick,
+    pub events_executed: u64,
+    pub batches: u64,
+    pub batch_counts: [u64; BATCH_BUCKETS],
+}
+
+/// Serializes one shard's dynamic state into `out`.
+///
+/// `components` is the full-length component table; exactly the `Some`
+/// entries (the ones this shard owns) are captured, keyed by component
+/// index, together with their RNG stream and send counter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn save_shard<E: WireCodec + 'static>(
+    out: &mut Vec<u8>,
+    now: Time,
+    ext_seq: u64,
+    last_progress: Tick,
+    events_executed: u64,
+    batches: u64,
+    batch_counts: &[u64; BATCH_BUCKETS],
+    queue: &EventQueue<Stamped<E>>,
+    components: &[Option<Box<dyn Component<E>>>],
+    rngs: &[Rng],
+    seqs: &[u64],
+) {
+    now.encode(out);
+    wire::put_varint(out, ext_seq);
+    wire::put_varint(out, last_progress);
+    wire::put_varint(out, events_executed);
+    wire::put_varint(out, batches);
+    for &c in batch_counts {
+        wire::put_varint(out, c);
+    }
+    let mut qbuf = Vec::new();
+    queue.save(&mut qbuf, |s, o| {
+        s.stamp.encode(o);
+        s.payload.encode(o);
+    });
+    wire::put_bytes(out, &qbuf);
+    let owned = components.iter().filter(|c| c.is_some()).count();
+    wire::put_varint(out, owned as u64);
+    let mut cbuf = Vec::new();
+    for (i, slot) in components.iter().enumerate() {
+        let Some(c) = slot.as_deref() else { continue };
+        wire::put_varint(out, i as u64);
+        rngs[i].encode(out);
+        wire::put_varint(out, seqs[i]);
+        cbuf.clear();
+        c.snapshot(&mut cbuf);
+        wire::put_bytes(out, &cbuf);
+    }
+}
+
+/// Overlays a shard blob onto a freshly built shard: replaces the queue,
+/// restores every captured component (which must be owned here too), and
+/// returns the scalar state for the caller to apply. Total and strict —
+/// `None` on malformed input, unknown component indices, ownership
+/// mismatches, or any nested section not consumed exactly.
+pub(crate) fn load_shard<E: WireCodec + 'static>(
+    buf: &mut &[u8],
+    queue: &mut EventQueue<Stamped<E>>,
+    components: &mut [Option<Box<dyn Component<E>>>],
+    rngs: &mut [Rng],
+    seqs: &mut [u64],
+) -> Option<ShardScalars> {
+    let now = Time::decode(buf)?;
+    let ext_seq = wire::get_varint(buf)?;
+    let last_progress = wire::get_varint(buf)?;
+    let events_executed = wire::get_varint(buf)?;
+    let batches = wire::get_varint(buf)?;
+    let mut batch_counts = [0u64; BATCH_BUCKETS];
+    for c in &mut batch_counts {
+        *c = wire::get_varint(buf)?;
+    }
+    let mut qbytes = wire::get_bytes(buf)?;
+    *queue = EventQueue::load(&mut qbytes, |b| {
+        let stamp = EventStamp::decode(b)?;
+        let payload = E::decode(b)?;
+        Some(Stamped { stamp, payload })
+    })?;
+    if !qbytes.is_empty() {
+        return None;
+    }
+    let owned = usize::try_from(wire::get_varint(buf)?).ok()?;
+    if owned > components.len() {
+        return None;
+    }
+    for _ in 0..owned {
+        let i = usize::try_from(wire::get_varint(buf)?).ok()?;
+        let rng = Rng::decode(buf)?;
+        let seq = wire::get_varint(buf)?;
+        let mut cbytes = wire::get_bytes(buf)?;
+        let c = components.get_mut(i)?.as_deref_mut()?;
+        c.restore(&mut cbytes)?;
+        if !cbytes.is_empty() {
+            return None;
+        }
+        *rngs.get_mut(i)? = rng;
+        *seqs.get_mut(i)? = seq;
+    }
+    Some(ShardScalars {
+        now,
+        ext_seq,
+        last_progress,
+        events_executed,
+        batches,
+        batch_counts,
+    })
+}
+
+/// Serializes the engine-level wrapper around shard blobs: the optional
+/// trace ring followed by the shard count and each shard's blob. Every
+/// backend's [`Engine::save_state`](crate::Engine::save_state) writes
+/// this layout, so a checkpoint file parses identically whichever
+/// transport produced it.
+pub(crate) fn put_trace(out: &mut Vec<u8>, buffer: Option<&crate::trace::TraceBuffer>) {
+    match buffer {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            let mut tb = Vec::new();
+            b.save(&mut tb);
+            wire::put_bytes(out, &tb);
+        }
+    }
+}
+
+/// Restores the optional trace ring written by [`put_trace`] into a
+/// rebuilt engine's buffer. The armed/disarmed state must match the
+/// snapshot (both come from the same configuration).
+pub(crate) fn get_trace(
+    buf: &mut &[u8],
+    buffer: Option<&mut crate::trace::TraceBuffer>,
+) -> Option<()> {
+    match (wire::get_u8(buf)?, buffer) {
+        (0, None) => Some(()),
+        (1, Some(b)) => {
+            let mut tb = wire::get_bytes(buf)?;
+            b.load(&mut tb)?;
+            if !tb.is_empty() {
+                return None;
+            }
+            Some(())
+        }
+        _ => None,
+    }
+}

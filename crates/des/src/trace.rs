@@ -134,6 +134,35 @@ impl TraceBuffer {
         out.extend_from_slice(&self.ring[..self.next]);
         out
     }
+
+    /// Serializes the kept records (in collection order) plus the
+    /// lifetime counter, for a checkpoint.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use crate::wire::WireCodec;
+        self.records().encode(out);
+        crate::wire::put_varint(out, self.recorded);
+    }
+
+    /// Overlays state captured by [`TraceBuffer::save`] onto this buffer
+    /// (which must have been created with the same capacity — rebuilt
+    /// from the same configuration). Re-pushing the unwrapped records
+    /// reproduces FIFO-eviction behavior exactly. Total: `None` on
+    /// malformed input.
+    pub fn load(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use crate::wire::WireCodec;
+        let records = Vec::<TraceEvent>::decode(buf)?;
+        if records.len() > self.capacity {
+            return None;
+        }
+        self.ring.clear();
+        self.next = 0;
+        self.recorded = 0;
+        for ev in records {
+            self.push(ev);
+        }
+        self.recorded = crate::wire::get_varint(buf)?;
+        Some(())
+    }
 }
 
 #[cfg(test)]

@@ -374,6 +374,7 @@ mod process {
         pub const DONE: u8 = 7;
         pub const PARTIAL: u8 = 8;
         pub const ABORT: u8 = 9;
+        pub const CKPT: u8 = 10;
     }
 
     fn proto_err<T>(msg: impl Into<String>) -> Result<T, TransportError> {
@@ -460,6 +461,19 @@ mod process {
         /// encoded by the layer above).
         pub fn send_partial(&mut self, payload: &[u8]) -> Result<(), TransportError> {
             write_frame(&mut self.writer, tag::PARTIAL, payload)?;
+            Ok(())
+        }
+
+        /// Ships this shard's checkpoint blob for the boundary at `at`.
+        /// Fire-and-forget: the worker resumes immediately; the hub
+        /// collects one CKPT from every worker (the tick-limit pause is
+        /// unanimous, so the frames arrive in lockstep) and assembles
+        /// the checkpoint file.
+        pub fn checkpoint(&mut self, at: Time, blob: &[u8]) -> Result<(), TransportError> {
+            let mut body = Vec::new();
+            at.encode(&mut body);
+            put_bytes(&mut body, blob);
+            write_frame(&mut self.writer, tag::CKPT, &body)?;
             Ok(())
         }
 
@@ -693,6 +707,11 @@ mod process {
         pub error: Option<(u32, String)>,
     }
 
+    /// A callback the parent installs to persist assembled checkpoint
+    /// blobs: invoked with the boundary time and the uniform engine-state
+    /// blob each time every worker ships a CKPT frame for one boundary.
+    pub type CheckpointSink = Box<dyn FnMut(Time, &[u8])>;
+
     /// The parent-side relay of the process backend.
     ///
     /// The hub is payload-agnostic: it computes the per-round fold,
@@ -705,6 +724,7 @@ mod process {
         conns: Vec<HubConn>,
         trace: Option<TraceBuffer>,
         merge_scratch: Vec<TaggedTrace>,
+        checkpoint_sink: Option<CheckpointSink>,
     }
 
     impl Hub {
@@ -776,7 +796,27 @@ mod process {
                 conns,
                 trace: trace_capacity.map(TraceBuffer::with_capacity),
                 merge_scratch: Vec::new(),
+                checkpoint_sink: None,
             })
+        }
+
+        /// Installs the checkpoint sink: invoked with the boundary time
+        /// and the assembled engine-state blob (trace section + shard
+        /// blobs, the uniform layout every backend writes) each time all
+        /// workers ship a CKPT frame for the same boundary. Without a
+        /// sink, CKPT frames are folded and dropped.
+        pub fn set_checkpoint_sink(&mut self, sink: CheckpointSink) {
+            self.checkpoint_sink = Some(sink);
+        }
+
+        /// Restores the hub-side trace ring from a checkpoint's engine
+        /// blob. Only the leading trace section is consumed — the shard
+        /// blobs are each worker's concern. `false` on malformed input
+        /// or an armed/disarmed mismatch. Must run before [`Hub::run`]:
+        /// the ring otherwise replays post-checkpoint records the
+        /// resumed run will produce again.
+        pub fn load_trace(&mut self, buf: &mut &[u8]) -> bool {
+            crate::snapshot::get_trace(buf, self.trace.as_mut()).is_some()
         }
 
         /// The merged trace records collected over the run (empty when
@@ -842,6 +882,7 @@ mod process {
                 match round_tag {
                     tag::FOLD => self.round_fold(&frames)?,
                     tag::EXCH => self.round_exchange(frames)?,
+                    tag::CKPT => self.round_checkpoint(&frames)?,
                     tag::DONE => return self.collect_done(frames),
                     other => {
                         return Err((0, format!("unexpected frame tag {other} mid-run")));
@@ -936,6 +977,41 @@ mod process {
             }
             for (w, reply) in replies.iter().enumerate() {
                 self.send_to(w, tag::EXCH_R, reply)?;
+            }
+            Ok(())
+        }
+
+        /// Every worker paused at the same checkpoint boundary and
+        /// shipped its shard blob. Assemble the uniform engine blob
+        /// (hub-side trace ring + shard blobs in worker order) and hand
+        /// it to the sink. No reply: workers resumed already.
+        fn round_checkpoint(&mut self, frames: &[(u8, Vec<u8>)]) -> Result<(), (u32, String)> {
+            let mut at: Option<Time> = None;
+            let mut shard_blobs: Vec<&[u8]> = Vec::with_capacity(frames.len());
+            for (w, (_, body)) in frames.iter().enumerate() {
+                let buf = &mut body.as_slice();
+                let parsed = (|| {
+                    let t = Time::decode(buf)?;
+                    let blob = get_bytes(buf)?;
+                    Some((t, blob))
+                })();
+                let Some((t, blob)) = parsed else {
+                    return Err((w as u32, "malformed CKPT".into()));
+                };
+                if *at.get_or_insert(t) != t {
+                    return Err((w as u32, "workers disagreed on the checkpoint tick".into()));
+                }
+                shard_blobs.push(blob);
+            }
+            let Some(at) = at else { return Ok(()) };
+            if let Some(sink) = self.checkpoint_sink.as_mut() {
+                let mut engine = Vec::new();
+                crate::snapshot::put_trace(&mut engine, self.trace.as_ref());
+                put_varint(&mut engine, shard_blobs.len() as u64);
+                for blob in shard_blobs {
+                    put_bytes(&mut engine, blob);
+                }
+                sink(at, &engine);
             }
             Ok(())
         }

@@ -113,6 +113,62 @@ pub fn get_str(buf: &mut &[u8]) -> Option<String> {
     String::from_utf8(bytes.to_vec()).ok()
 }
 
+/// Appends an `f64` as its raw IEEE-754 bit pattern (8 bytes LE). Bit
+/// patterns round-trip exactly, so snapshotting float state preserves
+/// byte-identity of anything later derived from it.
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Reads an `f64` written by [`put_f64`], advancing `buf` past it.
+#[inline]
+pub fn get_f64(buf: &mut &[u8]) -> Option<f64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Some(f64::from_bits(u64::from_le_bytes(head.try_into().ok()?)))
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time so the checksum stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE polynomial, the same checksum gzip uses).
+/// Footers every checkpoint file so torn or bit-flipped recovery points
+/// are rejected instead of silently resuming corrupt state.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
 // ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------

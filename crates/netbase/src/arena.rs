@@ -173,6 +173,19 @@ impl FlitArena {
         flit
     }
 
+    /// Reconstructs the handle of the flit parked at `index`, or `None`
+    /// if the slot is out of range or vacant. Used when decoding
+    /// checkpointed buffers that store handles by slot index.
+    pub fn handle_at(&self, index: u32) -> Option<FlitHandle> {
+        self.slots.get(index as usize)?.as_ref()?;
+        Some(FlitHandle(index))
+    }
+
+    /// Total slab slots (occupied + vacant).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Flits currently parked.
     #[inline]
     pub fn live(&self) -> u32 {
@@ -184,6 +197,75 @@ impl FlitArena {
     #[inline]
     pub fn high_water(&self) -> u32 {
         self.high_water
+    }
+
+    /// Serializes the arena for a checkpoint: slot contents positionally
+    /// (so parked handles stay valid) plus the free list in LIFO order
+    /// (so post-restore handle assignment replays identically).
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::{put_varint, WireCodec};
+        put_varint(out, self.slots.len() as u64);
+        for slot in &self.slots {
+            match slot {
+                None => out.push(0),
+                Some(f) => {
+                    out.push(1);
+                    f.encode(out);
+                }
+            }
+        }
+        put_varint(out, self.free.len() as u64);
+        for &i in &self.free {
+            put_varint(out, u64::from(i));
+        }
+        put_varint(out, u64::from(self.high_water));
+    }
+
+    /// Decodes an arena saved by [`FlitArena::save`]. Total: `None` on
+    /// malformed input or inconsistent slot/free-list structure. Scan
+    /// metadata is recomputed from the flits themselves.
+    pub fn load(buf: &mut &[u8]) -> Option<FlitArena> {
+        use supersim_des::wire::{get_u8, get_varint, WireCodec};
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n > buf.len() {
+            return None;
+        }
+        let mut arena = FlitArena::with_capacity(n);
+        for _ in 0..n {
+            match get_u8(buf)? {
+                0 => {
+                    arena.slots.push(None);
+                    arena.meta.push(FlitMeta::default());
+                }
+                1 => {
+                    let flit = Flit::decode(buf)?;
+                    arena.meta.push(FlitMeta::of(&flit));
+                    arena.slots.push(Some(flit));
+                    arena.live += 1;
+                }
+                _ => return None,
+            }
+        }
+        let nfree = usize::try_from(get_varint(buf)?).ok()?;
+        // Every vacant slot must appear on the free list exactly once.
+        if nfree != n - arena.live as usize {
+            return None;
+        }
+        let mut seen = vec![false; n];
+        for _ in 0..nfree {
+            let i = u32::try_from(get_varint(buf)?).ok()?;
+            let idx = i as usize;
+            if idx >= n || arena.slots[idx].is_some() || seen[idx] {
+                return None;
+            }
+            seen[idx] = true;
+            arena.free.push(i);
+        }
+        arena.high_water = u32::try_from(get_varint(buf)?).ok()?;
+        if arena.high_water < arena.live {
+            return None;
+        }
+        Some(arena)
     }
 }
 

@@ -132,6 +132,16 @@ impl CreditCounter {
             Err(CreditError::Overflow)
         }
     }
+
+    /// Overwrites the available count (checkpoint restore). Returns
+    /// `None` when `available` exceeds the structural capacity.
+    pub fn restore_available(&mut self, available: u32) -> Option<()> {
+        if available > self.capacity {
+            return None;
+        }
+        self.available = available;
+        Some(())
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,16 @@ pub trait Arbiter: Send {
 
     /// Chooses a winner among `requests`.
     fn grant(&mut self, requests: &[Request], rng: &mut Rng) -> Option<usize>;
+
+    /// Serializes arbitration history for a checkpoint. Stateless
+    /// policies (the default) write nothing.
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Overlays saved arbitration history. Total: `None` on malformed
+    /// input. The stateless default accepts the empty snapshot.
+    fn load_state(&mut self, _buf: &mut &[u8]) -> Option<()> {
+        Some(())
+    }
 }
 
 /// Builds an arbiter by policy name: `"round_robin"`, `"age_based"`,
@@ -58,6 +68,30 @@ impl RoundRobinArbiter {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Serializes the last-winner pointer.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        match self.last {
+            None => out.push(0),
+            Some(id) => {
+                out.push(1);
+                put_varint(out, u64::from(id));
+            }
+        }
+    }
+
+    /// Overlays a saved last-winner pointer. Total: `None` on malformed
+    /// input.
+    pub fn load(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::{get_u8, get_varint};
+        self.last = match get_u8(buf)? {
+            0 => None,
+            1 => Some(u32::try_from(get_varint(buf)?).ok()?),
+            _ => return None,
+        };
+        Some(())
+    }
 }
 
 impl Arbiter for RoundRobinArbiter {
@@ -80,6 +114,14 @@ impl Arbiter for RoundRobinArbiter {
             .expect("non-empty");
         self.last = Some(requests[idx].id);
         Some(idx)
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.save(out);
+    }
+
+    fn load_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        self.load(buf)
     }
 }
 

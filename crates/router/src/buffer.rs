@@ -87,6 +87,17 @@ impl<T> VcBuffer<T> {
     pub fn pop(&mut self) -> Option<T> {
         self.flits.pop_front()
     }
+
+    /// Iterates the buffered flits head-first (checkpoint serialization).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.flits.iter()
+    }
+
+    /// Drops all buffered flits (checkpoint restore overlays a saved
+    /// occupancy onto a freshly built buffer).
+    pub fn clear(&mut self) {
+        self.flits.clear();
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,39 @@ impl DelayedValue {
         }
     }
 
+    /// Serializes the delayed value's dynamic state (committed history
+    /// and the horizon value). The delay itself is configuration.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::{put_f64, put_varint};
+        put_varint(out, self.history.len() as u64);
+        for &(t, v) in &self.history {
+            put_varint(out, t);
+            put_f64(out, v);
+        }
+        put_f64(out, self.current);
+    }
+
+    /// Overlays saved state onto this delayed value. Total: `None` on
+    /// malformed input or non-increasing history ticks.
+    pub fn load(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::{get_f64, get_varint};
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n > buf.len() {
+            return None;
+        }
+        self.history.clear();
+        for _ in 0..n {
+            let t = get_varint(buf)?;
+            let v = get_f64(buf)?;
+            if self.history.back().is_some_and(|&(prev, _)| prev >= t) {
+                return None;
+            }
+            self.history.push_back((t, v));
+        }
+        self.current = get_f64(buf)?;
+        Some(())
+    }
+
     /// Reads the value as seen at `tick`: the newest update made at or
     /// before `tick - delay`.
     pub fn get(&self, tick: Tick) -> f64 {
@@ -258,6 +291,36 @@ impl CongestionSensor {
         self.vc_values[i].set(tick, value);
         let port_total: u32 = (0..self.vcs).map(|v| self.instantaneous(port, v)).sum();
         self.port_values[port as usize].set(tick, port_total as f64);
+    }
+
+    /// Serializes the sensor's dynamic state: raw occupancy counters and
+    /// every delayed value. Shape (ports × vcs, delay) is configuration.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        put_varint(out, self.output.len() as u64);
+        for &c in self.output.iter().chain(self.downstream.iter()) {
+            put_varint(out, u64::from(c));
+        }
+        for v in self.vc_values.iter().chain(self.port_values.iter()) {
+            v.save(out);
+        }
+    }
+
+    /// Overlays saved state onto this sensor. Total: `None` on malformed
+    /// input or a shape mismatch with the built structure.
+    pub fn load(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::get_varint;
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n != self.output.len() {
+            return None;
+        }
+        for c in self.output.iter_mut().chain(self.downstream.iter_mut()) {
+            *c = u32::try_from(get_varint(buf)?).ok()?;
+        }
+        for v in self.vc_values.iter_mut().chain(self.port_values.iter_mut()) {
+            v.load(buf)?;
+        }
+        Some(())
     }
 
     /// A [`CongestionView`] of this sensor as of time `tick`.

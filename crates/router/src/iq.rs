@@ -516,6 +516,78 @@ impl Component<Ev> for IqRouter {
         );
     }
 
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        use crate::snapshot as snap;
+        use supersim_des::wire::put_varint;
+        self.arena.save(out);
+        snap::put_buffers(out, &self.inputs);
+        snap::put_routes(out, &self.route_table);
+        put_varint(out, self.route_started.len() as u64);
+        for &b in &self.route_started {
+            out.push(u8::from(b));
+        }
+        put_varint(out, self.schedulers.len() as u64);
+        for s in &self.schedulers {
+            s.save(out);
+        }
+        snap::put_credits(out, &self.credits);
+        snap::put_routing(out, &self.routing);
+        self.sensor.save(out);
+        snap::put_last_send(out, &self.last_send);
+        snap::put_opt_tick(out, self.next_pipeline);
+        snap::put_opt_tick(out, self.last_cycle);
+        snap::put_counters(out, &self.counters);
+        self.metrics.save(out);
+        snap::put_fault(out, self.fault.as_ref());
+        snap::put_sampler_opt(out, self.sampler.as_ref());
+        self.win_base.save(out);
+    }
+
+    fn restore(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use crate::snapshot as snap;
+        use supersim_des::wire::{get_u8, get_varint};
+        let arena = supersim_netbase::FlitArena::load(buf)?;
+        {
+            let mut claims = snap::HandleClaims::new(&arena);
+            snap::load_buffers(&mut self.inputs, &mut claims, buf)?;
+            if !claims.complete() {
+                return None;
+            }
+        }
+        snap::load_routes(&mut self.route_table, self.ports.radix, self.ports.vcs, buf)?;
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n != self.route_started.len() {
+            return None;
+        }
+        for b in &mut self.route_started {
+            *b = match get_u8(buf)? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+        }
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n != self.schedulers.len() {
+            return None;
+        }
+        for s in &mut self.schedulers {
+            s.load(buf)?;
+        }
+        snap::load_credits(&mut self.credits, buf)?;
+        snap::load_routing(&mut self.routing, buf)?;
+        self.sensor.load(buf)?;
+        snap::load_last_send(&mut self.last_send, buf)?;
+        self.next_pipeline = snap::get_opt_tick(buf)?;
+        self.last_cycle = snap::get_opt_tick(buf)?;
+        self.counters = snap::get_counters(buf)?;
+        self.metrics.load(buf)?;
+        snap::load_fault(&mut self.fault, buf)?;
+        snap::load_sampler_opt(&mut self.sampler, buf)?;
+        self.win_base = crate::metrics::RouterSampleBase::load(buf)?;
+        self.arena = arena;
+        Some(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -34,6 +34,7 @@ mod metrics;
 mod oq;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
+mod snapshot;
 #[cfg(test)]
 mod testutil;
 mod xbar_sched;

@@ -55,6 +55,42 @@ impl RouterMetrics {
     pub fn occupancy(&self) -> &[Gauge] {
         &self.occupancy
     }
+
+    /// Serializes the metric values for a checkpoint.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        put_varint(out, self.grants.get());
+        put_varint(out, self.denials.get());
+        put_varint(out, self.credit_stalls.get());
+        put_varint(out, self.occupancy.len() as u64);
+        for g in &self.occupancy {
+            put_varint(out, g.get());
+            put_varint(out, g.max());
+        }
+    }
+
+    /// Overlays saved metric values. Total: `None` on malformed input or
+    /// a port-count mismatch.
+    pub fn load(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::get_varint;
+        use supersim_stats::Counter;
+        self.grants = Counter::from_value(get_varint(buf)?);
+        self.denials = Counter::from_value(get_varint(buf)?);
+        self.credit_stalls = Counter::from_value(get_varint(buf)?);
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n != self.occupancy.len() {
+            return None;
+        }
+        for g in &mut self.occupancy {
+            let value = get_varint(buf)?;
+            let max = get_varint(buf)?;
+            if max < value {
+                return None;
+            }
+            *g = Gauge::from_parts(value, max);
+        }
+        Some(())
+    }
 }
 
 /// Counter values at the last closed sampling window edge — the delta
@@ -65,6 +101,28 @@ pub struct RouterSampleBase {
     grants: u64,
     flits_in: u64,
     flits_out: u64,
+}
+
+impl RouterSampleBase {
+    /// Serializes the window delta basis for a checkpoint.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        put_varint(out, self.credit_stalls);
+        put_varint(out, self.grants);
+        put_varint(out, self.flits_in);
+        put_varint(out, self.flits_out);
+    }
+
+    /// Decodes a base saved by [`RouterSampleBase::save`].
+    pub fn load(buf: &mut &[u8]) -> Option<Self> {
+        use supersim_des::wire::get_varint;
+        Some(RouterSampleBase {
+            credit_stalls: get_varint(buf)?,
+            grants: get_varint(buf)?,
+            flits_in: get_varint(buf)?,
+            flits_out: get_varint(buf)?,
+        })
+    }
 }
 
 /// Closes one sampling window of a router: monotonic counter deltas since

@@ -550,6 +550,109 @@ impl Component<Ev> for OqRouter {
         );
     }
 
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        use crate::snapshot as snap;
+        use supersim_des::wire::put_varint;
+        self.arena.save(out);
+        snap::put_buffers(out, &self.inputs);
+        snap::put_routes(out, &self.route_table);
+        snap::put_queues(out, &self.oq);
+        match &self.oq_free {
+            None => out.push(0),
+            Some(free) => {
+                out.push(1);
+                put_varint(out, free.len() as u64);
+                for &f in free {
+                    put_varint(out, u64::from(f));
+                }
+            }
+        }
+        put_varint(out, self.oq_owner.len() as u64);
+        for owner in &self.oq_owner {
+            match owner {
+                None => out.push(0),
+                Some(k) => {
+                    out.push(1);
+                    put_varint(out, u64::from(*k));
+                }
+            }
+        }
+        snap::put_credits(out, &self.credits);
+        put_varint(out, self.drain_arb.len() as u64);
+        for a in &self.drain_arb {
+            a.save(out);
+        }
+        snap::put_routing(out, &self.routing);
+        self.sensor.save(out);
+        snap::put_last_send(out, &self.last_send);
+        snap::put_opt_tick(out, self.next_pipeline);
+        snap::put_opt_tick(out, self.last_cycle);
+        snap::put_counters(out, &self.counters);
+        self.metrics.save(out);
+        snap::put_fault(out, self.fault.as_ref());
+        snap::put_sampler_opt(out, self.sampler.as_ref());
+        self.win_base.save(out);
+    }
+
+    fn restore(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use crate::snapshot as snap;
+        use supersim_des::wire::{get_u8, get_varint};
+        let arena = supersim_netbase::FlitArena::load(buf)?;
+        {
+            let mut claims = snap::HandleClaims::new(&arena);
+            snap::load_buffers(&mut self.inputs, &mut claims, buf)?;
+            snap::load_routes(&mut self.route_table, self.ports.radix, self.ports.vcs, buf)?;
+            snap::load_queues(&mut self.oq, &mut claims, buf)?;
+            if !claims.complete() {
+                return None;
+            }
+        }
+        match (get_u8(buf)?, &mut self.oq_free) {
+            (0, None) => {}
+            (1, Some(free)) => {
+                let n = usize::try_from(get_varint(buf)?).ok()?;
+                if n != free.len() {
+                    return None;
+                }
+                for f in free.iter_mut() {
+                    *f = u32::try_from(get_varint(buf)?).ok()?;
+                }
+            }
+            _ => return None,
+        }
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n != self.oq_owner.len() {
+            return None;
+        }
+        for owner in &mut self.oq_owner {
+            *owner = match get_u8(buf)? {
+                0 => None,
+                1 => Some(u32::try_from(get_varint(buf)?).ok()?),
+                _ => return None,
+            };
+        }
+        snap::load_credits(&mut self.credits, buf)?;
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n != self.drain_arb.len() {
+            return None;
+        }
+        for a in &mut self.drain_arb {
+            a.load(buf)?;
+        }
+        snap::load_routing(&mut self.routing, buf)?;
+        self.sensor.load(buf)?;
+        snap::load_last_send(&mut self.last_send, buf)?;
+        self.next_pipeline = snap::get_opt_tick(buf)?;
+        self.last_cycle = snap::get_opt_tick(buf)?;
+        self.counters = snap::get_counters(buf)?;
+        self.metrics.load(buf)?;
+        snap::load_fault(&mut self.fault, buf)?;
+        snap::load_sampler_opt(&mut self.sampler, buf)?;
+        self.win_base = crate::metrics::RouterSampleBase::load(buf)?;
+        self.arena = arena;
+        Some(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -212,6 +212,33 @@ impl OutputScheduler {
         }
     }
 
+    /// Serializes the scheduler's dynamic state: VC ownership, the port
+    /// lock, and the arbiter's history. Scratch vectors are not state.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        put_varint(out, self.vc_owner.len() as u64);
+        for owner in &self.vc_owner {
+            put_opt_u32(out, *owner);
+        }
+        put_opt_u32(out, self.lock);
+        self.arbiter.save_state(out);
+    }
+
+    /// Overlays saved state onto this scheduler. Total: `None` on
+    /// malformed input or a VC-count mismatch with the built structure.
+    pub fn load(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::get_varint;
+        let n = usize::try_from(get_varint(buf)?).ok()?;
+        if n != self.vc_owner.len() {
+            return None;
+        }
+        for owner in &mut self.vc_owner {
+            *owner = get_opt_u32(buf)?;
+        }
+        self.lock = get_opt_u32(buf)?;
+        self.arbiter.load_state(buf)
+    }
+
     fn commit(&mut self, c: &XbarCandidate) {
         if c.is_head {
             self.vc_owner[c.out_vc as usize] = Some(c.input_key);
@@ -226,6 +253,26 @@ impl OutputScheduler {
                 self.lock = None;
             }
         }
+    }
+}
+
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    use supersim_des::wire::put_varint;
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_varint(out, u64::from(x));
+        }
+    }
+}
+
+fn get_opt_u32(buf: &mut &[u8]) -> Option<Option<u32>> {
+    use supersim_des::wire::{get_u8, get_varint};
+    match get_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some(u32::try_from(get_varint(buf)?).ok()?)),
+        _ => None,
     }
 }
 

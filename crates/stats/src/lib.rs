@@ -30,6 +30,7 @@ mod distribution;
 mod filter;
 pub mod metrics;
 mod record;
+pub mod snapshot;
 mod streaming;
 mod timeseries;
 

@@ -59,6 +59,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value
     }
+
+    /// Rebuilds a counter from its saved value (checkpoint restore).
+    pub fn from_value(value: u64) -> Self {
+        Counter { value }
+    }
 }
 
 /// An instantaneous level with a high-water mark.
@@ -93,6 +98,16 @@ impl Gauge {
     #[inline]
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Rebuilds a gauge from its saved parts (checkpoint restore). The
+    /// high-water mark is clamped up to the current level so the
+    /// invariant `max >= value` always holds.
+    pub fn from_parts(value: u64, max: u64) -> Self {
+        Gauge {
+            value,
+            max: max.max(value),
+        }
     }
 }
 

@@ -1,0 +1,269 @@
+//! Checkpoint wire helpers for the stats planes.
+//!
+//! Encoders/decoders for the state-holding statistics primitives that
+//! live inside components (samplers, histograms, sample logs), built on
+//! the LEB128 wire plane of `supersim-des`. Component `snapshot`/`restore`
+//! implementations call these so a resumed run carries its observability
+//! state forward byte-identically.
+//!
+//! All decoders are total: malformed input yields `None`, never a panic.
+
+use supersim_des::wire::{get_str, get_u8, get_varint, put_str, put_varint};
+
+use crate::metrics::{Histogram, HIST_BUCKETS};
+use crate::record::{RecordKind, SampleLog, SampleRecord};
+use crate::timeseries::{intern_series, ComponentSampler, WindowAggregate, WindowSample};
+
+/// Serializes a histogram: non-zero buckets as `(index, count)` pairs
+/// plus the count/sum totals.
+pub fn put_hist(out: &mut Vec<u8>, h: &Histogram) {
+    let nonzero: Vec<(usize, u64)> = h
+        .buckets()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (i, c))
+        .collect();
+    put_varint(out, nonzero.len() as u64);
+    for (i, c) in nonzero {
+        put_varint(out, i as u64);
+        put_varint(out, c);
+    }
+    put_varint(out, h.count());
+    put_varint(out, h.sum());
+}
+
+/// Decodes a histogram saved by [`put_hist`]. Total: `None` on malformed
+/// input.
+pub fn get_hist(buf: &mut &[u8]) -> Option<Histogram> {
+    let n = usize::try_from(get_varint(buf)?).ok()?;
+    if n > HIST_BUCKETS {
+        return None;
+    }
+    let mut counts = [0u64; HIST_BUCKETS];
+    for _ in 0..n {
+        let i = usize::try_from(get_varint(buf)?).ok()?;
+        if i >= HIST_BUCKETS || counts[i] != 0 {
+            return None;
+        }
+        counts[i] = get_varint(buf)?;
+    }
+    let count = get_varint(buf)?;
+    let sum = get_varint(buf)?;
+    Some(Histogram::from_log2_counts(&counts, count, sum))
+}
+
+/// Serializes a window aggregate (histogram + raw max).
+pub fn put_aggregate(out: &mut Vec<u8>, agg: &WindowAggregate) {
+    put_hist(out, agg.hist());
+    put_varint(out, agg.max().unwrap_or(0));
+}
+
+/// Decodes a window aggregate saved by [`put_aggregate`].
+pub fn get_aggregate(buf: &mut &[u8]) -> Option<WindowAggregate> {
+    let hist = get_hist(buf)?;
+    let max = get_varint(buf)?;
+    Some(WindowAggregate::from_parts(hist, max))
+}
+
+fn put_series_aggs(out: &mut Vec<u8>, entries: &[(&'static str, WindowAggregate)]) {
+    put_varint(out, entries.len() as u64);
+    for (name, agg) in entries {
+        put_str(out, name);
+        put_aggregate(out, agg);
+    }
+}
+
+fn get_series_aggs(buf: &mut &[u8]) -> Option<Vec<(&'static str, WindowAggregate)>> {
+    let n = usize::try_from(get_varint(buf)?).ok()?;
+    if n > buf.len() {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = intern_series(&get_str(buf)?);
+        entries.push((name, get_aggregate(buf)?));
+    }
+    Some(entries)
+}
+
+/// Serializes a component sampler — closed windows, eviction count, and
+/// (unlike the end-of-run partial-result encoding) the **pending**
+/// window's accumulated distributions, so a mid-window checkpoint resumes
+/// with the in-progress observations intact.
+pub fn put_sampler(out: &mut Vec<u8>, s: &ComponentSampler) {
+    put_varint(out, s.capacity() as u64);
+    put_varint(out, s.evicted());
+    put_varint(out, s.len() as u64);
+    for w in s.windows() {
+        put_varint(out, w.edge);
+        put_varint(out, w.scalars.len() as u64);
+        for (name, v) in &w.scalars {
+            put_str(out, name);
+            put_varint(out, *v);
+        }
+        put_series_aggs(out, &w.dists);
+    }
+    put_series_aggs(out, s.pending());
+}
+
+/// Decodes a sampler saved by [`put_sampler`]. Total: `None` on malformed
+/// input.
+pub fn get_sampler(buf: &mut &[u8]) -> Option<ComponentSampler> {
+    let capacity = usize::try_from(get_varint(buf)?).ok()?;
+    let evicted = get_varint(buf)?;
+    let n = usize::try_from(get_varint(buf)?).ok()?;
+    if capacity == 0 || n > capacity || n > buf.len() {
+        return None;
+    }
+    let mut windows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let edge = get_varint(buf)?;
+        let n_scalars = usize::try_from(get_varint(buf)?).ok()?;
+        if n_scalars > buf.len() {
+            return None;
+        }
+        let mut scalars = Vec::with_capacity(n_scalars);
+        for _ in 0..n_scalars {
+            let name = intern_series(&get_str(buf)?);
+            scalars.push((name, get_varint(buf)?));
+        }
+        let dists = get_series_aggs(buf)?;
+        windows.push(WindowSample {
+            edge,
+            scalars,
+            dists,
+        });
+    }
+    let pending = get_series_aggs(buf)?;
+    let mut sampler = ComponentSampler::from_parts(capacity, windows, evicted);
+    sampler.set_pending(pending);
+    Some(sampler)
+}
+
+/// Serializes one sample record.
+pub fn put_record(out: &mut Vec<u8>, r: &SampleRecord) {
+    let kind = match r.kind {
+        RecordKind::Packet => 0u8,
+        RecordKind::Message => 1,
+        RecordKind::Transaction => 2,
+    };
+    out.push(kind);
+    out.push(r.app);
+    put_varint(out, u64::from(r.src));
+    put_varint(out, u64::from(r.dst));
+    put_varint(out, r.send);
+    put_varint(out, r.recv);
+    put_varint(out, u64::from(r.hops));
+    put_varint(out, u64::from(r.size));
+}
+
+/// Decodes a record saved by [`put_record`].
+pub fn get_record(buf: &mut &[u8]) -> Option<SampleRecord> {
+    let kind = match get_u8(buf)? {
+        0 => RecordKind::Packet,
+        1 => RecordKind::Message,
+        2 => RecordKind::Transaction,
+        _ => return None,
+    };
+    Some(SampleRecord {
+        kind,
+        app: get_u8(buf)?,
+        src: u32::try_from(get_varint(buf)?).ok()?,
+        dst: u32::try_from(get_varint(buf)?).ok()?,
+        send: get_varint(buf)?,
+        recv: get_varint(buf)?,
+        hops: u16::try_from(get_varint(buf)?).ok()?,
+        size: u32::try_from(get_varint(buf)?).ok()?,
+    })
+}
+
+/// Serializes a sample log record-by-record.
+pub fn put_log(out: &mut Vec<u8>, log: &SampleLog) {
+    put_varint(out, log.len() as u64);
+    for r in log.records() {
+        put_record(out, r);
+    }
+}
+
+/// Decodes a log saved by [`put_log`]. Total: `None` on malformed input.
+pub fn get_log(buf: &mut &[u8]) -> Option<SampleLog> {
+    let n = usize::try_from(get_varint(buf)?).ok()?;
+    if n > buf.len() {
+        return None;
+    }
+    let mut log = SampleLog::new();
+    for _ in 0..n {
+        log.push(get_record(buf)?);
+    }
+    Some(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 5, 900, u64::MAX] {
+            h.record(v);
+        }
+        let mut out = Vec::new();
+        put_hist(&mut out, &h);
+        let got = get_hist(&mut out.as_slice()).unwrap();
+        assert_eq!(got, h);
+    }
+
+    #[test]
+    fn sampler_round_trips_with_pending() {
+        let mut s = ComponentSampler::new(4);
+        s.record("lat", 10);
+        s.record("lat", 30);
+        s.close(100, vec![(intern_series("flits"), 7)]);
+        s.record("lat", 99); // pending, mid-window
+        let mut out = Vec::new();
+        put_sampler(&mut out, &s);
+        let got = get_sampler(&mut out.as_slice()).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.pending().len(), 1);
+        assert_eq!(got.pending()[0].1.max(), Some(99));
+        // Bit-identical re-encode.
+        let mut out2 = Vec::new();
+        put_sampler(&mut out2, &got);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn log_round_trips() {
+        let mut log = SampleLog::new();
+        log.push(SampleRecord {
+            kind: RecordKind::Message,
+            app: 2,
+            src: 3,
+            dst: 4,
+            send: 100,
+            recv: 250,
+            hops: 5,
+            size: 8,
+        });
+        let mut out = Vec::new();
+        put_log(&mut out, &log);
+        let got = get_log(&mut out.as_slice()).unwrap();
+        assert_eq!(got.records(), log.records());
+    }
+
+    #[test]
+    fn decoders_are_total_on_garbage() {
+        for garbage in [
+            &[][..],
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f],
+            &[9, 1, 2, 3][..],
+        ] {
+            let _ = get_hist(&mut &garbage[..]);
+            let _ = get_sampler(&mut &garbage[..]);
+            let _ = get_log(&mut &garbage[..]);
+            let _ = get_record(&mut &garbage[..]);
+        }
+    }
+}

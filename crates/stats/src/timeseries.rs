@@ -307,6 +307,20 @@ impl ComponentSampler {
         self.capacity
     }
 
+    /// The pending (not yet closed) window's accumulated distributions,
+    /// in first-recorded order — checkpointed so a resumed run closes the
+    /// in-progress window with exactly the observations an uninterrupted
+    /// run would have.
+    pub fn pending(&self) -> &[(&'static str, WindowAggregate)] {
+        &self.pending
+    }
+
+    /// Overwrites the pending window's accumulated distributions
+    /// (checkpoint restore).
+    pub fn set_pending(&mut self, pending: Vec<(&'static str, WindowAggregate)>) {
+        self.pending = pending;
+    }
+
     /// Rebuilds a sampler from serialized closed windows.
     ///
     /// The pending (unclosed) window starts empty: by the time a sampler

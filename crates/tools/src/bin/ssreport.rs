@@ -16,17 +16,66 @@
 //!                                           # summary + degraded flag
 //! ssreport <snapshot.json> --profile        # hot-path profiling plane:
 //!                                           # batching and arena pressure
+//! ssreport --checkpoint <file.ssckpt>       # checkpoint header: version,
+//!                                           # tick, round, shard layout,
+//!                                           # CRC status
 //! ```
 
 use std::process::ExitCode;
 
 use supersim_stats::MetricsSnapshot;
 
+/// Prints the header and layout of a checkpoint file. Corruption is
+/// reported, not refused: a damaged file still gets its header printed
+/// with `crc: MISMATCH`, so an operator can see what was lost.
+fn checkpoint_report(path: &str) -> ExitCode {
+    let info = match supersim_core::checkpoint::inspect_file(std::path::Path::new(path)) {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("ssreport: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let h = &info.header;
+    println!("checkpoint {path}");
+    println!("  version:   {}", h.version);
+    println!("  seed:      {}", h.seed);
+    println!("  tick:      {}", h.tick);
+    println!("  round:     {}", h.round);
+    println!(
+        "  network:   {} terminals, {} routers",
+        h.terminals, h.routers
+    );
+    println!("  shards:    {}", h.num_shards);
+    for (s, bytes) in info.shard_bytes.iter().enumerate() {
+        println!("    shard {s}: {bytes} bytes");
+    }
+    match info.trace_bytes {
+        Some(bytes) => println!("  trace:     {bytes} bytes"),
+        None => println!("  trace:     absent"),
+    }
+    println!("  file:      {} bytes", info.file_bytes);
+    println!(
+        "  crc:       {}",
+        if info.crc_ok { "ok" } else { "MISMATCH" }
+    );
+    if info.crc_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, path] = args.as_slice() {
+        if flag == "--checkpoint" {
+            return checkpoint_report(path);
+        }
+    }
     let Some((path, rest)) = args.split_first() else {
         eprintln!(
-            "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | --hist <component> <metric>]"
+            "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | --hist <component> <metric>]\n       ssreport --checkpoint <file.ssckpt>"
         );
         return ExitCode::FAILURE;
     };

@@ -93,6 +93,18 @@ pub trait RoutingAlgorithm: Send {
 
     /// Routes a head flit, returning the output port and VC.
     fn route(&mut self, ctx: &mut RoutingContext<'_>, flit: &mut Flit) -> RouteChoice;
+
+    /// Serializes per-engine routing state for a checkpoint. Stateless
+    /// algorithms (the default) write nothing; algorithms that carry
+    /// state across `route` calls must override this and
+    /// [`RoutingAlgorithm::load_state`] for deterministic resume.
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Overlays saved routing state. Total: `None` on malformed input.
+    /// The stateless default accepts the empty snapshot.
+    fn load_state(&mut self, _buf: &mut &[u8]) -> Option<()> {
+        Some(())
+    }
 }
 
 /// Selects the least congested VC of `port` among `vcs`, breaking ties by

@@ -150,6 +150,29 @@ impl RoutingAlgorithm for AdaptiveTorusRouting {
             adaptive
         }
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        put_varint(out, u64::from(self.attempts));
+        match self.last_packet {
+            None => out.push(0),
+            Some(PacketId(id)) => {
+                out.push(1);
+                put_varint(out, id);
+            }
+        }
+    }
+
+    fn load_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::{get_u8, get_varint};
+        self.attempts = u32::try_from(get_varint(buf)?).ok()?;
+        self.last_packet = match get_u8(buf)? {
+            0 => None,
+            1 => Some(PacketId(get_varint(buf)?)),
+            _ => return None,
+        };
+        Some(())
+    }
 }
 
 #[cfg(test)]

@@ -222,6 +222,36 @@ impl Terminal for BlastTerminal {
     ) -> Vec<TerminalAction> {
         Vec::new() // blast is one-way traffic
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        crate::snapshot::put_phase(out, self.phase);
+        crate::snapshot::put_opt_tick(out, self.next_gen);
+        match self.signal_at {
+            None => out.push(0),
+            Some((t, sig)) => {
+                out.push(1);
+                put_varint(out, t);
+                crate::snapshot::put_signal(out, sig);
+            }
+        }
+        put_varint(out, self.sampled_sent);
+        crate::snapshot::put_bool(out, self.completed);
+    }
+
+    fn load_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::{get_u8, get_varint};
+        self.phase = crate::snapshot::get_phase(buf)?;
+        self.next_gen = crate::snapshot::get_opt_tick(buf)?;
+        self.signal_at = match get_u8(buf)? {
+            0 => None,
+            1 => Some((get_varint(buf)?, crate::snapshot::get_signal(buf)?)),
+            _ => return None,
+        };
+        self.sampled_sent = get_varint(buf)?;
+        self.completed = crate::snapshot::get_bool(buf)?;
+        Some(())
+    }
 }
 
 #[cfg(test)]

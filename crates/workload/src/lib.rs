@@ -29,6 +29,7 @@ mod pingpong;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
 mod pulse;
+mod snapshot;
 mod terminal;
 mod traffic;
 

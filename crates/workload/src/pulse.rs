@@ -150,6 +150,21 @@ impl Terminal for PulseTerminal {
     ) -> Vec<TerminalAction> {
         Vec::new()
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        use supersim_des::wire::put_varint;
+        crate::snapshot::put_phase(out, self.phase);
+        crate::snapshot::put_opt_tick(out, self.next_gen);
+        put_varint(out, self.remaining);
+    }
+
+    fn load_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use supersim_des::wire::get_varint;
+        self.phase = crate::snapshot::get_phase(buf)?;
+        self.next_gen = crate::snapshot::get_opt_tick(buf)?;
+        self.remaining = get_varint(buf)?;
+        Some(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,65 @@
+//! Checkpoint wire helpers shared by the workload components.
+//!
+//! Phases, protocol signals, and optional ticks appear in every
+//! terminal's and the interface's snapshot sections; these keep the
+//! encodings identical. All decoders are total: `None` on malformed
+//! input, never a panic.
+
+use supersim_des::wire::{get_u8, get_varint, put_varint};
+use supersim_des::Tick;
+use supersim_netbase::{AppSignal, Phase};
+
+pub(crate) fn put_phase(out: &mut Vec<u8>, p: Phase) {
+    out.push(p.index() as u8);
+}
+
+pub(crate) fn get_phase(buf: &mut &[u8]) -> Option<Phase> {
+    Phase::ALL.get(get_u8(buf)? as usize).copied()
+}
+
+pub(crate) fn put_signal(out: &mut Vec<u8>, s: AppSignal) {
+    out.push(match s {
+        AppSignal::Ready => 0,
+        AppSignal::Complete => 1,
+        AppSignal::Done => 2,
+    });
+}
+
+pub(crate) fn get_signal(buf: &mut &[u8]) -> Option<AppSignal> {
+    Some(match get_u8(buf)? {
+        0 => AppSignal::Ready,
+        1 => AppSignal::Complete,
+        2 => AppSignal::Done,
+        _ => return None,
+    })
+}
+
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+pub(crate) fn get_bool(buf: &mut &[u8]) -> Option<bool> {
+    match get_u8(buf)? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+pub(crate) fn put_opt_tick(out: &mut Vec<u8>, v: Option<Tick>) {
+    match v {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            put_varint(out, t);
+        }
+    }
+}
+
+pub(crate) fn get_opt_tick(buf: &mut &[u8]) -> Option<Option<Tick>> {
+    match get_u8(buf)? {
+        0 => Some(None),
+        1 => Some(Some(get_varint(buf)?)),
+        _ => None,
+    }
+}

@@ -66,6 +66,16 @@ pub trait Terminal: Send {
         now: Tick,
         rng: &mut Rng,
     ) -> Vec<TerminalAction>;
+
+    /// Serializes the terminal's dynamic state into a checkpoint.
+    /// Stateless terminals write nothing (the default).
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Restores state saved by [`Terminal::save_state`]. Returns `None`
+    /// on malformed input; must never panic.
+    fn load_state(&mut self, _buf: &mut &[u8]) -> Option<()> {
+        Some(())
+    }
 }
 
 /// Constructs the per-endpoint [`Terminal`]s of one application.

@@ -41,6 +41,17 @@
 //! merges their outputs — byte-identical to the single-process backends
 //! for one `(configuration, seed)`.
 //!
+//! Checkpoint/restore: `--checkpoint-interval <n>` captures the complete
+//! simulation state into `--checkpoint-dir` (default `checkpoints/`)
+//! every `n` ticks, on every backend. `--resume <file>` restores a
+//! checkpoint into a freshly built simulation and continues the run —
+//! logs, traces, metrics, and time-series come out byte-identical to an
+//! uninterrupted run. In `--workers` mode the parent additionally
+//! respawns a crashed or hung fleet from the last completed checkpoint
+//! (budget `checkpoint.max_restarts`, default 3). `--worker-timeout-ms`
+//! bounds how long the parent waits on a wedged worker socket
+//! (shorthand for `process.timeout_ms`).
+//!
 //! Scenarios: `--scenario <name|file>` compiles a compact scenario
 //! declaration (a library name like `incast_storm`, or a declaration
 //! file) into a full configuration and runs it. A declaration file given
@@ -53,7 +64,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use supersim::config;
-use supersim::core::SuperSim;
+use supersim::core::{SimError, SuperSim};
 use supersim::scenario;
 use supersim::stats::Filter;
 use supersim::tools;
@@ -75,6 +86,24 @@ struct Args {
     timeseries_path: Option<PathBuf>,
     spans: bool,
     span_log_path: Option<PathBuf>,
+    checkpoint_interval: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    worker_timeout_ms: Option<u64>,
+}
+
+/// The pinned exit code of a degraded run; documented in the README.
+/// 0 = clean, 1 = usage/configuration/build/output-io error, 2 = the
+/// simulation degraded (deadlock, lost traffic, model error), 3 = the
+/// no-progress watchdog tripped, 4 = a worker process failed, 5 = a
+/// checkpoint resume failed.
+fn exit_code(error: &SimError) -> u8 {
+    match error {
+        SimError::Model(_) | SimError::Stalled { .. } | SimError::Incomplete { .. } => 2,
+        SimError::Watchdog { .. } => 3,
+        SimError::Worker { .. } => 4,
+        SimError::Resume { .. } => 5,
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,6 +123,10 @@ fn parse_args() -> Result<Args, String> {
     let mut timeseries_path = None;
     let mut spans = false;
     let mut span_log_path = None;
+    let mut checkpoint_interval = None;
+    let mut checkpoint_dir = None;
+    let mut resume = None;
+    let mut worker_timeout_ms = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -184,6 +217,36 @@ fn parse_args() -> Result<Args, String> {
                 let p = it.next().ok_or("--span-log needs a path")?;
                 span_log_path = Some(PathBuf::from(p));
             }
+            "--checkpoint-interval" => {
+                let n = it
+                    .next()
+                    .ok_or("--checkpoint-interval needs a tick count")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--checkpoint-interval must be an integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-interval must be non-zero".to_string());
+                }
+                checkpoint_interval = Some(n);
+            }
+            "--checkpoint-dir" => {
+                let p = it.next().ok_or("--checkpoint-dir needs a path")?;
+                checkpoint_dir = Some(PathBuf::from(p));
+            }
+            "--resume" => {
+                let p = it.next().ok_or("--resume needs a checkpoint file")?;
+                resume = Some(PathBuf::from(p));
+            }
+            "--worker-timeout-ms" => {
+                let n = it.next().ok_or("--worker-timeout-ms needs a budget")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--worker-timeout-ms must be an integer, got {n:?}"))?;
+                if n == 0 {
+                    return Err("--worker-timeout-ms must be non-zero".to_string());
+                }
+                worker_timeout_ms = Some(n);
+            }
             "--help" | "-h" => {
                 return Err("usage: supersim <config.json | --scenario <name|file>> \
                             [path=type=value ...] \
@@ -191,7 +254,9 @@ fn parse_args() -> Result<Args, String> {
                             [--engine sequential|sharded] [--shards <n>] [--workers <n>] \
                             [--faults <bit-error-rate>] [--watchdog-ticks <n>] \
                             [--sample-interval <n>] [--timeseries <file>] \
-                            [--spans] [--span-log <file>]"
+                            [--spans] [--span-log <file>] \
+                            [--checkpoint-interval <n>] [--checkpoint-dir <dir>] \
+                            [--resume <checkpoint>] [--worker-timeout-ms <n>]"
                     .to_string())
             }
             a if a.contains('=') => overrides.push(a.to_string()),
@@ -227,6 +292,10 @@ fn parse_args() -> Result<Args, String> {
         timeseries_path,
         spans,
         span_log_path,
+        checkpoint_interval,
+        checkpoint_dir,
+        resume,
+        worker_timeout_ms,
     })
 }
 
@@ -361,6 +430,30 @@ fn main() -> ExitCode {
         eprintln!("supersim: configuration root must be an object");
         return ExitCode::FAILURE;
     }
+    let checkpoint_overrides = [
+        args.checkpoint_interval
+            .map(|n| ("checkpoint.interval", config::Value::Int(n as i64))),
+        args.checkpoint_dir.as_ref().map(|p| {
+            (
+                "checkpoint.dir",
+                config::Value::Str(p.to_string_lossy().into_owned()),
+            )
+        }),
+        args.resume.as_ref().map(|p| {
+            (
+                "checkpoint.resume",
+                config::Value::Str(p.to_string_lossy().into_owned()),
+            )
+        }),
+        args.worker_timeout_ms
+            .map(|n| ("process.timeout_ms", config::Value::Int(n as i64))),
+    ];
+    for (path, value) in checkpoint_overrides.into_iter().flatten() {
+        if cfg.set_path(path, value).is_err() {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let sim = match SuperSim::from_config(&cfg) {
         Ok(s) => s,
@@ -480,8 +573,12 @@ fn main() -> ExitCode {
             spans.lines().count()
         );
     }
-    if report.error.is_some() {
-        return ExitCode::FAILURE;
+    // Pinned exit codes, documented in the README: 0 clean, 1 usage /
+    // configuration / output-io error (the early returns above), 2
+    // degraded simulation, 3 watchdog trip, 4 worker failure, 5 resume
+    // failure.
+    match &report.error {
+        Some(e) => ExitCode::from(exit_code(e)),
+        None => ExitCode::SUCCESS,
     }
-    ExitCode::SUCCESS
 }

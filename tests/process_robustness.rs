@@ -7,6 +7,11 @@
 //! Worker misbehavior is injected through the in-tree
 //! `SUPERSIM_TEST_WORKER_FAIL` hook (`<exit|hang>:<worker>:<round>`),
 //! which the spawned worker processes inherit through the environment.
+//! The checkpoint-based recovery path uses two further hooks:
+//! `SUPERSIM_TEST_WORKER_WEDGE=<worker>` (worker sleeps before ever
+//! connecting, exercising the accept-phase timeout) and
+//! `SUPERSIM_TEST_KILL_WORKER=<worker>:<round>` (the parent SIGKILLs the
+//! worker right after checkpoint `<round>` completes).
 #![cfg(unix)]
 
 use std::sync::Mutex;
@@ -123,6 +128,107 @@ fn missing_worker_binary_is_a_startup_error() {
         reason.starts_with("startup:"),
         "expected a startup-phase reason, got {reason:?}"
     );
+}
+
+/// A fresh, empty scratch directory under the system temp dir, unique
+/// per test so parallel test binaries cannot collide.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("supersim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn wedged_worker_is_cut_off_by_the_process_timeout() {
+    // A worker that wedges before it ever connects must be cut off by
+    // the accept-phase budget, not waited on forever. The canonical
+    // `process.timeout_ms` key must also win over the legacy
+    // `engine.worker_timeout_ms` fallback that `process_cfg` sets.
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("SUPERSIM_TEST_WORKER_WEDGE", "1");
+    let mut cfg = process_cfg(600_000);
+    cfg.set_path("process.timeout_ms", Value::Int(500))
+        .expect("object");
+    let started = Instant::now();
+    let report = run_report(&cfg);
+    let elapsed = started.elapsed();
+    std::env::remove_var("SUPERSIM_TEST_WORKER_WEDGE");
+    assert_degraded_by_worker(&report, 0, "wedged worker");
+    let reason = match &report.error {
+        Some(SimError::Worker { reason, .. }) => reason.clone(),
+        _ => unreachable!(),
+    };
+    assert!(
+        reason.contains("startup") || reason.contains("connected") || reason.contains("timeout"),
+        "reason should point at the accept timeout, got {reason:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "wedge cut-off took {elapsed:?} on a 500ms budget"
+    );
+}
+
+#[test]
+fn crashed_worker_is_respawned_from_the_last_checkpoint() {
+    // With checkpointing armed, a SIGKILLed worker must not degrade the
+    // run: the parent respawns the whole fleet from the last completed
+    // checkpoint and the run finishes clean.
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("SUPERSIM_TEST_WORKER_FAIL");
+    let dir = scratch_dir("heal-ckpt");
+    std::env::set_var("SUPERSIM_TEST_KILL_WORKER", "1:2");
+    let mut cfg = process_cfg(30_000);
+    cfg.set_path("checkpoint.interval", Value::Int(200))
+        .expect("object");
+    cfg.set_path(
+        "checkpoint.dir",
+        Value::Str(dir.to_string_lossy().into_owned()),
+    )
+    .expect("object");
+    let report = run_report(&cfg);
+    std::env::remove_var("SUPERSIM_TEST_KILL_WORKER");
+    assert!(
+        report.is_ok(),
+        "recovered run still degraded: {:?}",
+        report.error
+    );
+    assert!(report.output.packets_delivered() > 0);
+    assert!(matches!(
+        report.output.metrics.get("run", "degraded"),
+        Some(MetricValue::Counter(0))
+    ));
+    // The checkpoint the fleet restarted from must exist on disk.
+    assert!(
+        dir.join("ckpt-00000002.ssckpt").is_file(),
+        "round-2 checkpoint missing from {dir:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_restart_budget_degrades_to_a_typed_error() {
+    // `checkpoint.max_restarts = 0` turns recovery off even when
+    // checkpoints exist: the first worker death is terminal.
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("SUPERSIM_TEST_WORKER_FAIL");
+    let dir = scratch_dir("budget-ckpt");
+    std::env::set_var("SUPERSIM_TEST_KILL_WORKER", "1:1");
+    let mut cfg = process_cfg(30_000);
+    for (path, value) in [
+        ("checkpoint.interval", Value::Int(200)),
+        (
+            "checkpoint.dir",
+            Value::Str(dir.to_string_lossy().into_owned()),
+        ),
+        ("checkpoint.max_restarts", Value::Int(0)),
+    ] {
+        cfg.set_path(path, value).expect("object");
+    }
+    let report = run_report(&cfg);
+    std::env::remove_var("SUPERSIM_TEST_KILL_WORKER");
+    assert_degraded_by_worker(&report, 1, "restart budget exhausted");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
