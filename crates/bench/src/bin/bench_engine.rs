@@ -39,10 +39,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::time::Instant;
 
 use supersim_config::{obj, Value};
 use supersim_des::{Component, ComponentId, Context, EventQueue, Simulator, Time};
+use supersim_stats::{HostClock, MetricValue};
 
 /// Heap-allocation counter wrapped around the system allocator, so every
 /// workload can report allocations per event alongside its rate — the
@@ -138,14 +138,25 @@ impl<E> RefHeapQueue<E> {
 }
 
 /// Best-of-`reps` wall time for `f`, as events/second over `events`.
+/// Timed with the host-profiling plane's [`HostClock`] so the bench
+/// columns and the `--host-profile` attribution share one clock source.
 fn measure(events: u64, reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
+    let mut best_ns = u64::MAX;
     for _ in 0..reps {
-        let start = Instant::now();
+        let clock = HostClock::new();
         f();
-        best = best.min(start.elapsed().as_secs_f64());
+        best_ns = best_ns.min(clock.now_ns());
     }
-    events as f64 / best
+    events as f64 / (best_ns.max(1) as f64 / 1e9)
+}
+
+/// Nanoseconds of host time per event at `rate` events/second.
+fn ns_per_event(rate: f64) -> f64 {
+    if rate > 0.0 {
+        1e9 / rate
+    } else {
+        f64::INFINITY
+    }
 }
 
 /// Mixed-time push order exercising both near- and far-future paths the
@@ -192,6 +203,9 @@ struct Relay {
 
 impl Component<u64> for Relay {
     fn name(&self) -> &str {
+        "relay"
+    }
+    fn host_class(&self) -> &'static str {
         "relay"
     }
     fn handle(&mut self, ctx: &mut Context<'_, u64>, event: u64) {
@@ -342,6 +356,9 @@ fn spin_work(mut x: u64, rounds: u32) -> u64 {
 impl Component<u64> for WorkRelay {
     fn name(&self) -> &str {
         "work_relay"
+    }
+    fn host_class(&self) -> &'static str {
+        "relay"
     }
     fn handle(&mut self, ctx: &mut Context<'_, u64>, event: u64) {
         if self.remaining > 0 {
@@ -591,6 +608,9 @@ fn profile_config(smoke: bool) -> Value {
     };
     obj! {
         "seed" => 3u64,
+        // The profile run doubles as a host-time measurement: the host
+        // plane attributes the same wall clock the bench columns use.
+        "host" => obj! { "profile" => obj! { "enabled" => true } },
         "network" => obj! {
             "topology" => obj! {
                 "name" => "torus",
@@ -633,18 +653,31 @@ fn run_profile(smoke: bool) {
     let config = profile_config(smoke);
     let sim = supersim_core::SuperSim::from_config(&config).expect("profile config is valid");
     let allocs_before = ALLOCATIONS.load(AtomicOrdering::Relaxed);
-    let start = Instant::now();
+    let clock = HostClock::new();
     let out = sim.run().expect("profile run completes");
-    let secs = start.elapsed().as_secs_f64();
+    let secs = clock.now_ns() as f64 / 1e9;
     let allocs = ALLOCATIONS.load(AtomicOrdering::Relaxed) - allocs_before;
     let events = out.engine.events_executed;
+    let rate = events as f64 / secs;
     println!(
         "torus router workload: {events} events in {secs:.3}s ({})",
-        human(events as f64 / secs)
+        human(rate)
     );
     println!(
         "heap allocations     {allocs} ({:.3} per event)",
         allocs as f64 / events.max(1) as f64
+    );
+    println!("{:<20} {:.0}", "ns_per_event", ns_per_event(rate));
+    // Barrier-wait fraction from the host plane (zero on a sequential
+    // run, where there is no fold barrier to wait on).
+    let barrier_millis = match out.metrics.get("host", "barrier_wait_millis") {
+        Some(MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    println!(
+        "{:<20} {:.1}%",
+        "barrier_wait",
+        barrier_millis as f64 / 10.0
     );
     match supersim_tools::profile_report(&out.metrics) {
         Some(text) => print!("{text}"),
@@ -652,6 +685,10 @@ fn run_profile(smoke: bool) {
             eprintln!("bench_engine: run produced no profile plane");
             std::process::exit(1);
         }
+    }
+    if let Some(text) = supersim_tools::host_profile_report(&out.metrics) {
+        println!("\nhost-time attribution:");
+        print!("{text}");
     }
 }
 
@@ -789,8 +826,8 @@ fn main() {
     // --- engine scaling: sequential vs sharded on the same workload -----
     if run_sharded {
         println!(
-            "{:<28} {:>12} {:>12} {:>8} {:>10}",
-            "workload", "sharded", "sequential", "speedup", "allocs/ev"
+            "{:<28} {:>12} {:>12} {:>8} {:>10} {:>8}",
+            "workload", "sharded", "sequential", "speedup", "allocs/ev", "ns/ev"
         );
         // Xorshift rounds per event, calibrated so one synthetic event
         // costs about as much as one event of the real torus router
@@ -806,11 +843,12 @@ fn main() {
             let (seq, seq_allocs) = bench_work_ring(ring, tokens, work_hops, work, 1, reps);
             let seq_name = format!("{family}_engine/{ring}x{tokens}/seq");
             println!(
-                "{seq_name:<28} {:>12} {:>12} {:>7.2}x {:>10.3}",
+                "{seq_name:<28} {:>12} {:>12} {:>7.2}x {:>10.3} {:>8.0}",
                 "",
                 human(seq),
                 1.0,
-                seq_allocs
+                seq_allocs,
+                ns_per_event(seq)
             );
             floors_ok &= seq > 0.0;
             check_floor(baseline.as_ref(), &seq_name, seq, &mut below);
@@ -818,11 +856,12 @@ fn main() {
                 let name = format!("{family}_engine/{ring}x{tokens}/s{s}");
                 let (rate, allocs) = bench_work_ring(ring, tokens, work_hops, work, s, reps);
                 println!(
-                    "{name:<28} {:>12} {:>12} {:>7.2}x {:>10.3}",
+                    "{name:<28} {:>12} {:>12} {:>7.2}x {:>10.3} {:>8.0}",
                     human(rate),
                     human(seq),
                     rate / seq,
-                    allocs
+                    allocs,
+                    ns_per_event(rate)
                 );
                 floors_ok &= rate > 0.0;
                 check_floor(baseline.as_ref(), &name, rate, &mut below);
@@ -839,11 +878,12 @@ fn main() {
                 let rate =
                     process_rows::bench_work_ring_process(ring, tokens, work_hops, work, w, reps);
                 println!(
-                    "{name:<28} {:>12} {:>12} {:>7.2}x {:>10}",
+                    "{name:<28} {:>12} {:>12} {:>7.2}x {:>10} {:>8.0}",
                     human(rate),
                     human(seq),
                     rate / seq,
-                    "-"
+                    "-",
+                    ns_per_event(rate)
                 );
                 floors_ok &= rate > 0.0;
                 check_floor(baseline.as_ref(), &name, rate, &mut below);

@@ -48,6 +48,28 @@ pub(crate) struct Built {
     pub num_shards: u32,
     /// Checkpoint/restore policy parsed from the `checkpoint` block.
     pub checkpoint: CheckpointPlan,
+    /// Host-time observability policy (the `host` + `progress` blocks).
+    pub host: HostPlan,
+}
+
+/// The host-time observability policy: wall-clock profiling, Chrome
+/// trace export, and the live progress heartbeat. All strictly
+/// out-of-band — host clocks never feed simulation state, so enabling
+/// any of it leaves every simulation output byte-identical.
+#[derive(Clone)]
+pub(crate) struct HostPlan {
+    /// Whether the host profiler is armed (`host.profile.enabled`, or
+    /// implied by `host.trace.enabled`).
+    pub enabled: bool,
+    /// Per-event attribution sampling period: one batch in `sample` is
+    /// timed per-event (`host.profile.sample`).
+    pub sample: u32,
+    /// Whether to assemble a Chrome `trace_event` document from the
+    /// per-round host slices (`host.trace.enabled`).
+    pub trace_enabled: bool,
+    /// Live-progress heartbeat interval in milliseconds; 0 = off
+    /// (`progress.interval_ms`).
+    pub progress_interval_ms: u64,
 }
 
 /// The checkpoint/restore policy of a run (the `checkpoint` block).
@@ -315,6 +337,30 @@ fn checkpoint_config(cfg: &Value) -> Result<CheckpointPlan, BuildError> {
     })
 }
 
+/// Parses the optional `host` and `progress` blocks (all free-when-off
+/// defaults): `host.profile.enabled` arms the wall-clock profiler,
+/// `host.profile.sample` sets the per-event attribution period,
+/// `host.trace.enabled` additionally assembles a Chrome trace, and
+/// `progress.interval_ms` turns on the heartbeat.
+fn host_config(cfg: &Value) -> Result<HostPlan, BuildError> {
+    let trace_enabled = cfg.opt_bool("host.trace.enabled", false)?;
+    let enabled = cfg.opt_bool("host.profile.enabled", false)? || trace_enabled;
+    let sample = cfg.opt_u64("host.profile.sample", 64)?;
+    if enabled && sample == 0 {
+        return Err(BuildError::invalid(
+            "host.profile.sample must be non-zero when host profiling is enabled",
+        ));
+    }
+    let sample = u32::try_from(sample)
+        .map_err(|_| BuildError::invalid("host.profile.sample is out of range"))?;
+    Ok(HostPlan {
+        enabled,
+        sample,
+        trace_enabled,
+        progress_interval_ms: cfg.opt_u64("progress.interval_ms", 0)?,
+    })
+}
+
 pub(crate) fn build(cfg: &Value, factories: &Factories) -> Result<Built, BuildError> {
     build_with(cfg, factories, EngineMode::Auto)
 }
@@ -406,6 +452,13 @@ pub(crate) fn build_with(
     registry.register("profile");
     if fault.is_some() {
         registry.register("fault");
+    }
+    let host = host_config(cfg)?;
+    if host.enabled {
+        registry.register("host");
+        for s in 0..num_shards {
+            registry.register(format!("host_shard_{s}"));
+        }
     }
     for r in 0..routers {
         registry.register(format!("router_{r}"));
@@ -597,6 +650,11 @@ pub(crate) fn build_with(
     };
     engine.set_watchdog(watchdog);
     engine.set_sampler(sample_interval);
+    if host.enabled {
+        // Arms the out-of-band wall-clock profiler on every backend —
+        // workers included, so their DONE frames carry host records.
+        engine.set_host_profiling(host.sample);
+    }
     let checkpoint = checkpoint_config(cfg)?;
     // Only the worker backend acts on this (it pauses at barrier
     // boundaries and ships state frames to the hub); the in-process
@@ -619,5 +677,6 @@ pub(crate) fn build_with(
         seed,
         num_shards: num_shards as u32,
         checkpoint,
+        host,
     })
 }

@@ -45,6 +45,7 @@ mod partial;
 pub mod presets;
 #[cfg(unix)]
 mod process;
+mod progress;
 mod sim;
 
 pub use error::{BuildError, SimError};

@@ -14,17 +14,22 @@
 use std::os::unix::net::UnixListener;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use supersim_config::Value;
-use supersim_des::{Hub, RunOutcome, RunStats, Time, WorkerLink};
+use supersim_des::{Hub, ProgressShared, RunOutcome, RunStats, Time, WorkerLink};
 use supersim_netbase::trace_json_lines;
+use supersim_stats::HostClock;
 
 use crate::builder::{build_with, Built, EngineMode, ProcessPlan};
 use crate::checkpoint::{self, CheckpointHeader};
 use crate::factory::Factories;
 use crate::partial::{extract_partial, ShardPartial};
-use crate::sim::{assemble, resume_failure, resume_into, AssembleInputs, RunReport};
+use crate::sim::{
+    assemble, fault_injected, resume_failure, resume_into, AssembleInputs, CkptTimes, HostData,
+    HubHost, RunReport,
+};
 
 /// Distinguishes concurrent runs (and runs within one process) in the
 /// socket path.
@@ -102,7 +107,18 @@ pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
     };
     let mut resume = built.checkpoint.resume.clone();
     let mut attempts = 0u32;
-    loop {
+    // The progress board outlives fleet attempts so restart counts and
+    // cumulative event totals survive a respawn.
+    let board = (built.host.progress_interval_ms > 0)
+        .then(|| Arc::new(ProgressShared::new(built.num_shards as usize)));
+    let heartbeat = board.as_ref().map(|b| {
+        crate::progress::start(
+            built.host.progress_interval_ms,
+            Arc::clone(b),
+            built.tick_limit,
+        )
+    });
+    let inputs = loop {
         let kill = (attempts == 0).then(kill_hook).flatten();
         let respawn = attempts > 0;
         let attempt = match run_fleet(
@@ -113,6 +129,7 @@ pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
             kill,
             respawn,
             start,
+            board.as_ref(),
         ) {
             Ok(a) => a,
             Err(report) => return *report,
@@ -124,6 +141,9 @@ pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
             if let Some(p) = &resume {
                 if attempts < max_restarts {
                     attempts += 1;
+                    if let Some(b) = &board {
+                        b.add_restart();
+                    }
                     eprintln!(
                         "supersim: worker {w} failed ({why}); respawning the fleet \
                          from {} (attempt {attempts}/{max_restarts})",
@@ -133,8 +153,16 @@ pub(crate) fn run_parent(built: Built, plan: ProcessPlan) -> RunReport {
                 }
             }
         }
-        return assemble(&built, attempt.inputs);
+        break attempt.inputs;
+    };
+    let report = assemble(&built, inputs);
+    if let Some(hb) = heartbeat {
+        hb.finish(
+            report.error.is_some(),
+            fault_injected(&report.output.metrics),
+        );
     }
+    report
 }
 
 /// Launches one worker fleet, drives it to completion (or failure), and
@@ -150,6 +178,7 @@ fn run_fleet(
     kill: Option<(u32, u64)>,
     respawn: bool,
     start: Instant,
+    board: Option<&Arc<ProgressShared>>,
 ) -> Result<FleetAttempt, Box<RunReport>> {
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -242,6 +271,17 @@ fn run_fleet(
             )));
         }
     }
+    // Host-plane arming: hub fold timing, the live-progress board, and
+    // a clock for checkpoint write attribution — all out-of-band, none
+    // of it alters a single protocol byte.
+    if built.host.enabled {
+        hub.set_host_profiling(true);
+    }
+    if let Some(b) = board {
+        hub.set_progress(Arc::clone(b));
+    }
+    let fleet_clock = HostClock::new();
+    let ckpt_times: Rc<RefCell<CkptTimes>> = Rc::new(RefCell::new(CkptTimes::default()));
     // The hub assembles one uniform engine-state blob per completed
     // barrier checkpoint; the sink wraps it in the versioned file
     // format. A write failure degrades to a warning — losing a
@@ -253,6 +293,8 @@ fn run_fleet(
         let (seed, num_shards) = (built.seed, built.num_shards);
         let (terminals, routers) = (built.topology.num_terminals(), built.topology.num_routers());
         let sink_written = Rc::clone(&written);
+        let sink_times = Rc::clone(&ckpt_times);
+        let sink_clock = fleet_clock.clone();
         let pids: Vec<u32> = children.iter().map(|c| c.id()).collect();
         hub.set_checkpoint_sink(Box::new(move |time, blob| {
             let round = time.tick() / interval;
@@ -266,8 +308,16 @@ fn run_fleet(
                 routers,
             };
             let p = checkpoint::round_path(&dir, round);
+            let start_ns = sink_clock.now_ns();
             match checkpoint::write_file(&p, &header, blob) {
-                Ok(()) => *sink_written.borrow_mut() = Some(p),
+                Ok(()) => {
+                    sink_times.borrow_mut().record(
+                        start_ns,
+                        sink_clock.now_ns(),
+                        blob.len() as u64,
+                    );
+                    *sink_written.borrow_mut() = Some(p);
+                }
                 Err(e) => eprintln!("supersim: checkpoint round {round} not written: {e}"),
             }
             if let Some((w, at)) = kill {
@@ -320,6 +370,16 @@ fn run_fleet(
         .engine
         .trace_enabled()
         .then(|| trace_json_lines(&hub.trace_records()));
+    let host = built.host.enabled.then(|| HostData {
+        shards: result.host,
+        hub: Some(HubHost {
+            rounds: result.hub_stats.rounds,
+            fold_ns: result.hub_stats.fold_ns,
+            wire_in: result.hub_stats.wire_in_bytes,
+            wire_out: result.hub_stats.wire_out_bytes,
+        }),
+        ckpt: ckpt_times.borrow().clone(),
+    });
     let inputs = AssembleInputs {
         events_executed: stats.events_executed,
         total_enqueued: stats.total_enqueued,
@@ -328,6 +388,7 @@ fn run_fleet(
         partials,
         worker_error,
         stats,
+        host,
     };
     let last_checkpoint = written.borrow().clone();
     Ok(FleetAttempt {
@@ -354,6 +415,7 @@ fn startup_failure(built: &Built, reason: String, start: Instant) -> RunReport {
         trace: None,
         partials: Vec::new(),
         worker_error: Some((0, format!("startup: {reason}"))),
+        host: None,
     };
     assemble(built, inputs)
 }

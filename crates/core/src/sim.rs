@@ -3,12 +3,12 @@
 use std::sync::Arc;
 
 use supersim_config::Value;
-use supersim_des::{EngineMetrics, RunOutcome, RunStats, Tick};
+use supersim_des::{EngineMetrics, HostShardTimes, ProgressShared, RunOutcome, RunStats, Tick};
 use supersim_netbase::{trace_json_lines, FaultCounters, Phase};
 use supersim_stats::analysis::{LoadPoint, WindowAnalysis};
 use supersim_stats::{
     fold_windows, timeseries_json_lines, ComponentSampler, Filter, FoldedWindow, Histogram,
-    MetricValue, MetricsSnapshot, RecordKind, SampleLog,
+    HostClock, MetricValue, MetricsSnapshot, RecordKind, SampleLog, TraceEventBuilder,
 };
 use supersim_topology::Topology;
 use supersim_workload::{InterfaceCounters, SpanMetrics, SpanRecord};
@@ -96,7 +96,18 @@ impl SuperSim {
                 return resume_failure(&self.built, reason);
             }
         }
-        let stats = run_with_checkpoints(&mut self.built);
+        let heartbeat = (self.built.host.progress_interval_ms > 0).then(|| {
+            let board = Arc::new(ProgressShared::new(self.built.num_shards as usize));
+            self.built.engine.set_progress(Arc::clone(&board));
+            crate::progress::start(
+                self.built.host.progress_interval_ms,
+                board,
+                self.built.tick_limit,
+            )
+        });
+        let run_clock = HostClock::new();
+        let mut ckpt = CkptTimes::default();
+        let stats = run_with_checkpoints(&mut self.built, &mut ckpt, &run_clock);
         let engine = self.built.engine.as_ref();
         let partial = extract_partial(
             engine,
@@ -104,6 +115,11 @@ impl SuperSim {
             &self.built.routers,
             self.built.monitor,
         );
+        let host = self.built.host.enabled.then(|| HostData {
+            shards: engine.host_times(),
+            hub: None,
+            ckpt,
+        });
         let inputs = AssembleInputs {
             stats,
             events_executed: engine.events_executed(),
@@ -114,8 +130,16 @@ impl SuperSim {
                 .then(|| trace_json_lines(&engine.trace_records())),
             partials: vec![partial],
             worker_error: None,
+            host,
         };
-        assemble(&self.built, inputs)
+        let report = assemble(&self.built, inputs);
+        if let Some(hb) = heartbeat {
+            hb.finish(
+                report.error.is_some(),
+                fault_injected(&report.output.metrics),
+            );
+        }
+        report
     }
 }
 
@@ -182,10 +206,20 @@ pub(crate) fn resume_failure(built: &Built, reason: String) -> RunReport {
             trace: None,
             partials: vec![partial],
             worker_error: None,
+            host: None,
         },
     );
     report.error = Some(SimError::Resume { reason });
     report
+}
+
+/// The `fault.injected` counter of an assembled snapshot (0 when the
+/// fault plane was off) — the heartbeat's final-line fault count.
+pub(crate) fn fault_injected(metrics: &MetricsSnapshot) -> u64 {
+    match metrics.get("fault", "injected") {
+        Some(MetricValue::Counter(n)) => *n,
+        _ => 0,
+    }
 }
 
 /// Drives the engine to its tick limit, pausing at every `k * interval`
@@ -197,7 +231,7 @@ pub(crate) fn resume_failure(built: &Built, reason: String) -> RunReport {
 /// after a pause. Segment statistics accumulate so the returned
 /// [`RunStats`] is indistinguishable from an unsegmented run (modulo
 /// wall-clock).
-fn run_with_checkpoints(built: &mut Built) -> RunStats {
+fn run_with_checkpoints(built: &mut Built, ckpt: &mut CkptTimes, clock: &HostClock) -> RunStats {
     let tick_limit = built.tick_limit;
     let interval = built.checkpoint.interval;
     if interval == 0 {
@@ -229,16 +263,26 @@ fn run_with_checkpoints(built: &mut Built) -> RunStats {
         if !paused {
             return total.expect("at least one segment ran");
         }
-        write_round_checkpoint(built, bound, interval, exit_at);
+        write_round_checkpoint(built, bound, interval, exit_at, ckpt, clock);
         next = next.saturating_add(interval);
     }
 }
 
 /// Captures the engine state at barrier tick `bound` and writes the
 /// checkpoint file for its round. A write failure degrades to a warning
-/// — losing a checkpoint must never kill a healthy run.
-fn write_round_checkpoint(built: &Built, bound: Tick, interval: Tick, exit_at: Option<u64>) {
+/// — losing a checkpoint must never kill a healthy run. Wall time and
+/// bytes of each write land in `times` (the host plane's checkpoint
+/// attribution; strictly out-of-band).
+fn write_round_checkpoint(
+    built: &Built,
+    bound: Tick,
+    interval: Tick,
+    exit_at: Option<u64>,
+    times: &mut CkptTimes,
+    clock: &HostClock,
+) {
     use crate::checkpoint as ckpt;
+    let start_ns = clock.now_ns();
     let mut blob = Vec::new();
     if !built.engine.save_state(&mut blob) {
         return; // backend without checkpoint support
@@ -258,12 +302,67 @@ fn write_round_checkpoint(built: &Built, bound: Tick, interval: Tick, exit_at: O
         eprintln!("supersim: checkpoint round {round} not written: {e}");
         return;
     }
+    times.record(start_ns, clock.now_ns(), blob.len() as u64);
     if exit_at == Some(round) {
         // Simulated crash: the checkpoint file for this round is complete
         // on disk, nothing later is.
         std::process::exit(86);
     }
 }
+/// Wall-clock attribution of checkpoint writes (the parent-side save +
+/// file write), on the run's host clock. Out-of-band: never touches
+/// simulation state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CkptTimes {
+    /// Checkpoint files written.
+    pub writes: u64,
+    /// Total wall time spent capturing + writing them, in nanoseconds.
+    pub ns: u64,
+    /// Total bytes written (state blobs, excluding headers).
+    pub bytes: u64,
+    /// `(start_ns, dur_ns)` per write — the trace exporter's slices.
+    pub slices: Vec<(u64, u64)>,
+}
+
+impl CkptTimes {
+    /// Records one completed checkpoint write spanning
+    /// `[start_ns, end_ns]` that shipped `bytes` bytes of state.
+    pub fn record(&mut self, start_ns: u64, end_ns: u64, bytes: u64) {
+        let dur = end_ns.saturating_sub(start_ns);
+        self.writes += 1;
+        self.ns += dur;
+        self.bytes += bytes;
+        self.slices.push((start_ns, dur));
+    }
+}
+
+/// Hub-side host accounting of a multi-process run, mirrored out of the
+/// transport layer so this module stays platform-neutral.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HubHost {
+    /// Rounds the hub relayed.
+    pub rounds: u64,
+    /// Wall time in the hub's fold compute + broadcast, nanoseconds.
+    pub fold_ns: u64,
+    /// Frame-body bytes received from each worker, in worker order.
+    pub wire_in: Vec<u64>,
+    /// Frame-body bytes sent to each worker, in worker order.
+    pub wire_out: Vec<u64>,
+}
+
+/// Everything the host-time plane collected over a run: per-shard
+/// wall-clock records, hub accounting (process runs), and checkpoint
+/// write attribution.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HostData {
+    /// One record per shard (worker order for process runs).
+    pub shards: Vec<HostShardTimes>,
+    /// Hub accounting; `None` for in-process runs.
+    pub hub: Option<HubHost>,
+    /// Checkpoint write attribution.
+    pub ckpt: CkptTimes,
+}
+
 /// [`ShardPartial`]s. The single-process path reads them off its own
 /// engine; the multi-process parent reconstructs them from the workers'
 /// DONE frames.
@@ -282,6 +381,8 @@ pub(crate) struct AssembleInputs {
     /// `Some((worker, reason))` when a worker process died or hung; the
     /// report degrades to a typed [`SimError::Worker`].
     pub worker_error: Option<(u32, String)>,
+    /// Host-time plane data, when `host.profile.enabled` was set.
+    pub host: Option<HostData>,
 }
 
 /// Assembles the run report from per-shard partials. The walk order is
@@ -434,11 +535,11 @@ pub(crate) fn assemble(built: &Built, inputs: AssembleInputs) -> RunReport {
     // deep the per-router flit arenas ran. Aggregated with commutative
     // integer sums/maxes, so the plane is byte-identical across
     // engines and shard counts.
+    let mut arena_high = 0u64;
     {
         let mut cycles = 0u64;
         let mut advanced = 0u64;
         let mut arena_live = 0u64;
-        let mut arena_high = 0u64;
         for rp in router_parts.iter().flatten() {
             if let Some((c, a, live, high)) = rp.profile {
                 cycles += c;
@@ -459,6 +560,24 @@ pub(crate) fn assemble(built: &Built, inputs: AssembleInputs) -> RunReport {
             },
         );
     }
+
+    // --- host-time plane (out-of-band wall-clock attribution) -------
+    // Never present unless `host.profile.enabled` was set; when it is,
+    // the plane carries only wall-clock data, so the simulation planes
+    // above remain byte-identical with profiling on or off.
+    let host_trace = inputs
+        .host
+        .as_ref()
+        .map(|hd| {
+            push_host_plane(
+                &mut metrics,
+                hd,
+                &stats,
+                built.host.trace_enabled,
+                arena_high,
+            )
+        })
+        .unwrap_or_default();
 
     let trace = inputs.trace;
     let phase_times = phase_times.unwrap_or_default();
@@ -593,12 +712,167 @@ pub(crate) fn assemble(built: &Built, inputs: AssembleInputs) -> RunReport {
         trace,
         timeseries,
         spans: spans_dump,
+        host_trace,
     };
     RunReport {
         output,
         error,
         diagnostic,
     }
+}
+
+/// Fills the `host` / `host_shard_<s>` metrics planes from the run's
+/// wall-clock records and, when `trace_enabled`, renders the Chrome
+/// `trace_event` document. These planes exist only when profiling was
+/// armed and carry host time exclusively — stripping them recovers the
+/// byte-identical simulation snapshot of an unprofiled run.
+fn push_host_plane(
+    metrics: &mut MetricsSnapshot,
+    hd: &HostData,
+    stats: &RunStats,
+    trace_enabled: bool,
+    arena_high: u64,
+) -> Option<String> {
+    let wall_ns = u64::try_from(stats.wall.as_nanos()).unwrap_or(u64::MAX);
+    let mut sums = HostShardTimes::default();
+    let mut min_exec = u64::MAX;
+    let mut max_exec = 0u64;
+    for (s, t) in hd.shards.iter().enumerate() {
+        let name = format!("host_shard_{s}");
+        metrics.push_counter(&name, "total_batches", t.total_batches);
+        metrics.push_counter(&name, "sampled_batches", t.sampled_batches);
+        metrics.push_counter(&name, "sampled_events", t.sampled_events);
+        metrics.push_counter(&name, "drain_ns", t.drain_ns);
+        metrics.push_counter(&name, "execute_ns", t.execute_ns);
+        metrics.push_counter(&name, "sample_edge_ns", t.sample_edge_ns);
+        metrics.push_counter(&name, "fold_ns", t.fold_ns);
+        metrics.push_counter(&name, "exchange_ns", t.exchange_ns);
+        metrics.push_counter(&name, "checkpoint_ns", t.checkpoint_ns);
+        metrics.push_counter(&name, "checkpoint_writes", t.checkpoint_writes);
+        metrics.push_counter(&name, "checkpoint_bytes", t.checkpoint_bytes);
+        sums.merge(t);
+        min_exec = min_exec.min(t.execute_ns);
+        max_exec = max_exec.max(t.execute_ns);
+    }
+    metrics.push_counter("host", "wall_ns", wall_ns);
+    metrics.push_counter("host", "drain_ns", sums.drain_ns);
+    metrics.push_counter("host", "execute_ns", sums.execute_ns);
+    metrics.push_counter("host", "sample_edge_ns", sums.sample_edge_ns);
+    metrics.push_counter("host", "fold_ns", sums.fold_ns);
+    metrics.push_counter("host", "exchange_ns", sums.exchange_ns);
+    metrics.push_counter("host", "total_batches", sums.total_batches);
+    metrics.push_counter("host", "sampled_batches", sums.sampled_batches);
+    metrics.push_counter("host", "sampled_events", sums.sampled_events);
+    // Imbalance gauges, scaled by 1000 (integer metrics plane):
+    // `execute_imbalance_millis` is the max/min per-shard execute-time
+    // ratio (1000 = perfectly balanced); `barrier_wait_millis` the
+    // fraction of total loop time spent waiting at the fold barrier.
+    if hd.shards.len() > 1 && min_exec > 0 {
+        metrics.push_counter(
+            "host",
+            "execute_imbalance_millis",
+            max_exec.saturating_mul(1000) / min_exec,
+        );
+    }
+    let loop_ns =
+        sums.drain_ns + sums.execute_ns + sums.sample_edge_ns + sums.fold_ns + sums.exchange_ns;
+    if let Some(wait) = sums.fold_ns.saturating_mul(1000).checked_div(loop_ns) {
+        metrics.push_counter("host", "barrier_wait_millis", wait);
+    }
+    // Per-component-class attribution from the sampled batches, in
+    // name order so the plane layout is stable.
+    let mut classes = sums.classes.clone();
+    classes.sort_by(|a, b| a.0.cmp(&b.0));
+    for (class, ns, events) in &classes {
+        metrics.push_counter("host", &format!("class_{class}_ns"), *ns);
+        metrics.push_counter("host", &format!("class_{class}_events"), *events);
+    }
+    // Checkpoint attribution: worker-side state capture plus the
+    // parent-side file writes.
+    metrics.push_counter(
+        "host",
+        "checkpoint_writes",
+        sums.checkpoint_writes + hd.ckpt.writes,
+    );
+    metrics.push_counter("host", "checkpoint_ns", sums.checkpoint_ns + hd.ckpt.ns);
+    metrics.push_counter(
+        "host",
+        "checkpoint_bytes",
+        sums.checkpoint_bytes + hd.ckpt.bytes,
+    );
+    if let Some(hub) = &hd.hub {
+        metrics.push_counter("host", "hub_rounds", hub.rounds);
+        metrics.push_counter("host", "hub_fold_ns", hub.fold_ns);
+        for (w, (inb, outb)) in hub.wire_in.iter().zip(&hub.wire_out).enumerate() {
+            metrics.push_counter("host", &format!("worker_{w}_wire_in_bytes"), *inb);
+            metrics.push_counter("host", &format!("worker_{w}_wire_out_bytes"), *outb);
+        }
+    }
+    if !trace_enabled {
+        return None;
+    }
+
+    // --- Chrome trace_event export ---------------------------------
+    // In-process runs put every shard on pid 0, one tid per shard;
+    // process runs get one pid per worker (the hub is pid 0). Each
+    // sampled round renders a parent "round" slice with fold/execute/
+    // exchange children laid end to end, so slices nest by
+    // construction. Worker processes time against their own epochs;
+    // cross-pid skew is cosmetic.
+    let process_run = hd.hub.is_some();
+    let mut tb = TraceEventBuilder::new();
+    tb.process_name(
+        0,
+        if process_run {
+            "supersim-hub"
+        } else {
+            "supersim"
+        },
+    );
+    for (s, t) in hd.shards.iter().enumerate() {
+        let (pid, tid) = if process_run {
+            (1 + s as u64, 0u64)
+        } else {
+            (0u64, s as u64)
+        };
+        if process_run {
+            tb.process_name(pid, &format!("worker-{s}"));
+        }
+        tb.thread_name(pid, tid, &format!("shard-{s}"));
+        for sl in &t.round_slices {
+            let start_us = sl.start_ns / 1000;
+            let fold_us = sl.fold_ns / 1000;
+            let exec_us = sl.execute_ns / 1000;
+            let exch_us = sl.exchange_ns / 1000;
+            tb.slice(pid, tid, "round", start_us, fold_us + exec_us + exch_us);
+            if fold_us > 0 {
+                tb.slice(pid, tid, "fold", start_us, fold_us);
+            }
+            if exec_us > 0 {
+                tb.slice(pid, tid, "execute", start_us + fold_us, exec_us);
+            }
+            if exch_us > 0 {
+                tb.slice(pid, tid, "exchange", start_us + fold_us + exec_us, exch_us);
+            }
+            let dur_ns = sl.fold_ns + sl.execute_ns + sl.exchange_ns;
+            if let Some(eps) = sl.events.saturating_mul(1_000_000_000).checked_div(dur_ns) {
+                tb.counter(pid, "events_per_sec", start_us, eps);
+            }
+        }
+    }
+    if !hd.ckpt.slices.is_empty() {
+        let ckpt_tid = if process_run {
+            0
+        } else {
+            hd.shards.len() as u64
+        };
+        tb.thread_name(0, ckpt_tid, "checkpoint");
+        for &(start_ns, dur_ns) in &hd.ckpt.slices {
+            tb.slice(0, ckpt_tid, "checkpoint", start_ns / 1000, dur_ns / 1000);
+        }
+    }
+    tb.counter(0, "arena_occupancy_peak", 0, arena_high);
+    Some(tb.finish())
 }
 
 /// Serializes per-packet span records as deterministic JSON-lines, one
@@ -779,6 +1053,10 @@ pub struct RunOutput {
     /// JSON-lines per-packet latency spans, when `spans.enabled` was
     /// set, sorted by `(recv, packet)`.
     pub spans: Option<String>,
+    /// Chrome `trace_event` JSON of host time (rounds, phases,
+    /// checkpoints), when `host.trace.enabled` was set. Loadable by
+    /// Perfetto and `chrome://tracing`.
+    pub host_trace: Option<String>,
 }
 
 impl RunOutput {

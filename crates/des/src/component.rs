@@ -98,6 +98,16 @@ pub trait Component<E>: Any + Send {
         let _ = edge;
     }
 
+    /// Coarse component class used by the host-time profiler to bucket
+    /// per-event wall time (e.g. `"router"`, `"interface"`,
+    /// `"monitor"`). Called only on sampled batches when host profiling
+    /// is armed, never on the common path. Purely observational: the
+    /// returned label feeds wall-clock attribution, not simulation
+    /// state.
+    fn host_class(&self) -> &'static str {
+        "component"
+    }
+
     /// Upcast for post-run inspection.
     fn as_any(&self) -> &dyn Any;
 

@@ -512,6 +512,30 @@ pub trait Engine<E: 'static>: fmt::Debug {
     fn set_checkpoint_interval(&mut self, interval: Tick) {
         let _ = interval;
     }
+
+    /// Arms host-time profiling: phase wall-times are measured every
+    /// batch and per-event component-class attribution runs on one batch
+    /// in `sample`. `sample = 0` (the default) disarms profiling — the
+    /// disabled path costs one branch per batch. Host clocks are
+    /// strictly out-of-band: they never influence event ordering,
+    /// delivery, or any deterministic output.
+    fn set_host_profiling(&mut self, sample: u32) {
+        let _ = sample;
+    }
+
+    /// The host-time records collected so far, one per shard in shard
+    /// order. Empty when profiling is disarmed or unsupported.
+    fn host_times(&self) -> Vec<crate::host::HostShardTimes> {
+        Vec::new()
+    }
+
+    /// Installs a live-progress board the engine publishes to after each
+    /// batch (cumulative events, current tick). Relaxed atomic stores
+    /// only — the board is read by an out-of-band heartbeat emitter and
+    /// never feeds back into the simulation.
+    fn set_progress(&mut self, progress: std::sync::Arc<crate::host::ProgressShared>) {
+        let _ = progress;
+    }
 }
 
 impl<E: 'static> dyn Engine<E> + '_ {

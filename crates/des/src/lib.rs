@@ -52,6 +52,7 @@ mod clock;
 mod component;
 mod engine;
 mod event;
+mod host;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
 mod protocol;
@@ -70,6 +71,7 @@ pub use engine::{
     Context, Engine, EngineMetrics, EventStamp, RunOutcome, RunStats, BATCH_BUCKETS, EXTERNAL_SRC,
 };
 pub use event::{EventEntry, EventQueue};
+pub use host::{HostRecorder, HostRoundSlice, HostShardTimes, ProgressShared, MAX_ROUND_SLICES};
 #[cfg(unix)]
 pub use protocol::WorkerEngine;
 pub use rng::{Rng, SampleRange};
@@ -79,4 +81,4 @@ pub use time::{Epsilon, Tick, Time};
 pub use trace::{TraceBuffer, TraceEvent, TraceSpec};
 pub use transport::TransportError;
 #[cfg(unix)]
-pub use transport::{Hub, HubResult, ProcessTransport, WorkerLink, WorkerSetup};
+pub use transport::{Hub, HubHostStats, HubResult, ProcessTransport, WorkerLink, WorkerSetup};

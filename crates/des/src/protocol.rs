@@ -28,6 +28,7 @@ use crate::engine::{
     Stamped, TaggedTrace, TraceSink, EXTERNAL_SRC,
 };
 use crate::event::{EventEntry, EventQueue};
+use crate::host::{HostRecorder, HostRoundSlice, ProgressShared};
 use crate::rng::Rng;
 use crate::time::{Tick, Time};
 use crate::trace::{TraceEvent, TraceSpec};
@@ -132,15 +133,24 @@ pub(crate) struct ProtocolParams<'a> {
     pub trace_spec: Option<TraceSpec>,
     /// Component index → owning shard.
     pub shard_of: &'a [u32],
+    /// Out-of-band live-progress board (shard 0 additionally publishes
+    /// the tick and round count); `None` when no heartbeat is armed.
+    pub progress_board: Option<&'a ProgressShared>,
 }
 
 /// Runs barrier rounds over `transport` until a halt decision. Returns
 /// the outcome, the time of the last executed generation, and the final
 /// globally agreed progress tick.
+///
+/// `host` collects out-of-band wall-time attribution (phase totals every
+/// round, per-event component classes on sampled rounds); disabled
+/// recorders cost one branch per round. Host clocks never influence
+/// which events run or in what order.
 pub(crate) fn run_shard_rounds<E: 'static, T: ShardTransport<E>>(
     shard: &mut Shard<E>,
     p: &ProtocolParams<'_>,
     transport: &mut T,
+    host: &mut HostRecorder,
 ) -> Result<(RunOutcome, Time, Tick), TransportError> {
     let mut local_now = p.start_now;
     let mut local_out: Vec<Vec<(ComponentId, Time, Stamped<E>)>> =
@@ -156,7 +166,17 @@ pub(crate) fn run_shard_rounds<E: 'static, T: ShardTransport<E>>(
     // Assigned by the fold before every loop exit.
     let mut global_progress;
     let outcome = loop {
+        let profiling = host.enabled();
+        // Phase marks share boundaries: consecutive `now_ns` reads bound
+        // fold / sample-edge / drain / execute / exchange with at most
+        // six clock reads per round.
+        let m0 = if profiling { host.now_ns() } else { 0 };
         let fold = transport.fold(shard.queue.peek_time(), local_progress)?;
+        let m1 = if profiling { host.now_ns() } else { 0 };
+        let round_fold_ns = m1 - m0;
+        if profiling {
+            host.times.fold_ns += round_fold_ns;
+        }
         global_progress = fold.global_progress;
         // All halt decisions are unanimous: every shard computed them
         // from the identical fold values.
@@ -176,30 +196,46 @@ pub(crate) fn run_shard_rounds<E: 'static, T: ShardTransport<E>>(
         // closes the window over its own components before generation
         // `m` runs — the per-shard half of the sequential engine's
         // pre-generation sweep.
-        while let Some(edge) = next_edge.filter(|&e| e <= m.tick()) {
-            for slot in shard.components.iter_mut() {
-                if let Some(c) = slot.as_deref_mut() {
-                    c.sample(edge);
+        if next_edge.is_some_and(|e| e <= m.tick()) {
+            while let Some(edge) = next_edge.filter(|&e| e <= m.tick()) {
+                for slot in shard.components.iter_mut() {
+                    if let Some(c) = slot.as_deref_mut() {
+                        c.sample(edge);
+                    }
                 }
+                next_edge = edge.checked_add(p.sample_interval);
             }
-            next_edge = edge.checked_add(p.sample_interval);
+            if profiling {
+                host.times.sample_edge_ns += host.now_ns() - m1;
+            }
         }
         local_now = m;
 
         let mut stop_local = false;
+        let sampled = profiling && host.batch_sampled();
+        let mut round_events = 0u64;
+        let mut round_exec_ns = 0u64;
         // The batch executes in stamp order, so the first failure seen
         // is this shard's smallest-stamp failure; the transport folds
         // the cross-shard minimum (the failure the sequential engine
         // would have hit first).
         let mut failure_local: Option<(EventStamp, String)> = None;
         if shard.queue.peek_time() == Some(m) {
+            let m2 = if profiling { host.now_ns() } else { 0 };
             let t = shard.queue.take_batch_until(p.tick_limit, &mut batch);
             debug_assert_eq!(t, Some(m));
             if batch.len() > 1 {
                 batch.sort_unstable_by_key(|e| e.payload.stamp);
             }
+            let m3 = if profiling { host.now_ns() } else { 0 };
+            if profiling {
+                host.times.drain_ns += m3 - m2;
+            }
             let mut done = 0u64;
             let mut progress_local = false;
+            // On sampled rounds, consecutive marks attribute each
+            // event's wall time to its component's class.
+            let mut ev_mark = m3;
             for entry in batch.drain(..) {
                 let idx = entry.target.index();
                 let mut fail_local: Option<String> = None;
@@ -228,6 +264,13 @@ pub(crate) fn run_shard_rounds<E: 'static, T: ShardTransport<E>>(
                             }),
                         };
                         component.handle(&mut ctx, entry.payload.payload);
+                        if sampled {
+                            let ev_end = host.now_ns();
+                            host.times
+                                .add_class(component.host_class(), ev_end - ev_mark, 1);
+                            host.times.sampled_events += 1;
+                            ev_mark = ev_end;
+                        }
                         shard.components[idx] = Some(component);
                         done += 1;
                     }
@@ -242,20 +285,48 @@ pub(crate) fn run_shard_rounds<E: 'static, T: ShardTransport<E>>(
                 }
             }
             shard.record_batch(done);
+            if profiling {
+                round_exec_ns = host.now_ns() - m3;
+                host.times.execute_ns += round_exec_ns;
+            }
+            round_events = done;
             if progress_local {
                 local_progress = m.tick();
             }
         }
 
+        let m4 = if profiling { host.now_ns() } else { 0 };
         let end = transport.exchange(
             RoundOut {
                 outboxes: &mut local_out,
                 traces: &mut round_trace,
                 stop: stop_local,
                 failure: failure_local,
+                events: round_events,
             },
             &mut |target, time, stamped| shard.queue.push(target, time, stamped),
         )?;
+        if profiling {
+            let round_exch_ns = host.now_ns() - m4;
+            host.times.exchange_ns += round_exch_ns;
+            if sampled {
+                host.times.push_slice(HostRoundSlice {
+                    start_ns: m0,
+                    tick: m.tick(),
+                    events: round_events,
+                    execute_ns: round_exec_ns,
+                    fold_ns: round_fold_ns,
+                    exchange_ns: round_exch_ns,
+                });
+            }
+        }
+        if let Some(board) = p.progress_board {
+            board.record_events(p.my_shard as usize, shard.events_executed);
+            if p.my_shard == 0 {
+                board.record_tick(m.tick());
+                board.add_round();
+            }
+        }
         if let Some(msg) = end.failure {
             break RunOutcome::Failed(msg);
         }
@@ -314,6 +385,7 @@ mod worker {
         checkpoint_interval: Tick,
         last_progress: Tick,
         link: WorkerLink,
+        host: HostRecorder,
     }
 
     impl<E: WireCodec + Send + 'static> SequentialEngine<E> {
@@ -393,6 +465,7 @@ mod worker {
                 checkpoint_interval: 0,
                 last_progress: self.last_progress,
                 link,
+                host: HostRecorder::new(),
             }
         }
     }
@@ -445,11 +518,15 @@ mod worker {
                     start_progress: self.last_progress,
                     trace_spec: self.trace_spec,
                     shard_of: &self.shard_of,
+                    // The hub tracks live progress parent-side from the
+                    // per-round event deltas; workers publish nothing.
+                    progress_board: None,
                 };
                 let result = run_shard_rounds::<E, ProcessTransport>(
                     &mut self.shard,
                     &params,
                     &mut *transport,
+                    &mut self.host,
                 );
                 match result {
                     Ok((outcome, end_now, end_progress)) => {
@@ -461,6 +538,8 @@ mod worker {
                             // global head). Ship this shard's blob; the hub
                             // collects one from every worker and writes the
                             // checkpoint file.
+                            let profiling = self.host.enabled();
+                            let t_ckpt = profiling.then(Instant::now);
                             let mut blob = Vec::new();
                             self.shard.save_state(
                                 self.now,
@@ -468,6 +547,11 @@ mod worker {
                                 self.last_progress,
                                 &mut blob,
                             );
+                            if let Some(t0) = t_ckpt {
+                                self.host.times.checkpoint_ns += t0.elapsed().as_nanos() as u64;
+                                self.host.times.checkpoint_writes += 1;
+                                self.host.times.checkpoint_bytes += blob.len() as u64;
+                            }
                             if let Err(e) = transport.checkpoint(Time::at(bound), &blob) {
                                 break RunOutcome::Failed(format!("transport: {e}"));
                             }
@@ -482,6 +566,7 @@ mod worker {
                             end_now,
                             end_progress,
                             &self.shard.metrics(),
+                            &self.host.times,
                         ) {
                             Ok(()) => break outcome,
                             Err(e) => break RunOutcome::Failed(format!("transport: {e}")),
@@ -555,6 +640,21 @@ mod worker {
 
         fn set_checkpoint_interval(&mut self, interval: Tick) {
             self.checkpoint_interval = interval;
+        }
+
+        fn set_host_profiling(&mut self, sample: u32) {
+            self.host.set_sample(sample);
+            self.host.reset_epoch();
+        }
+
+        /// Only this worker's shard; the hub collects the full set from
+        /// the DONE frames.
+        fn host_times(&self) -> Vec<crate::host::HostShardTimes> {
+            if self.host.enabled() {
+                vec![self.host.times.clone()]
+            } else {
+                Vec::new()
+            }
         }
 
         /// Restores this worker's shard from the uniform engine blob of a

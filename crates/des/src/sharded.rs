@@ -41,12 +41,14 @@
 //! which is the same failure the sequential engine would have hit first.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::component::{Component, ComponentId};
 use crate::engine::Stamped;
 use crate::engine::{Engine, EngineMetrics, EventStamp, RunOutcome, RunStats, EXTERNAL_SRC};
 use crate::event::EventQueue;
+use crate::host::{HostRecorder, HostShardTimes, ProgressShared};
 use crate::protocol::{run_shard_rounds, ProtocolParams, Shard};
 use crate::simulator::{SequentialEngine, TraceState};
 use crate::time::{Tick, Time};
@@ -72,6 +74,12 @@ pub struct ShardedEngine<E> {
     sample_interval: Tick,
     /// Tick of the last globally agreed progress report.
     last_progress: Tick,
+    /// Host-profiling sampling stride; 0 = disarmed.
+    host_sample: u32,
+    /// Accumulated per-shard host-time records across runs.
+    host_times: Vec<HostShardTimes>,
+    /// Out-of-band live-progress board shared with the heartbeat.
+    progress_board: Option<Arc<ProgressShared>>,
 }
 
 impl<E: Send + 'static> SequentialEngine<E> {
@@ -136,6 +144,9 @@ impl<E: Send + 'static> SequentialEngine<E> {
             watchdog: self.watchdog,
             sample_interval: self.sample_interval,
             last_progress: self.last_progress,
+            host_sample: 0,
+            host_times: Vec::new(),
+            progress_board: None,
         }
     }
 }
@@ -173,9 +184,11 @@ impl<E: Send + 'static> ShardedEngine<E> {
         let trace_spec = self.trace.as_ref().map(|t| t.spec);
         let shard_of: &[u32] = &self.shard_of;
         let start_now = self.now;
+        let host_sample = self.host_sample;
+        let board = self.progress_board.clone();
 
         let mut trace_state = self.trace.as_mut();
-        let (outcome, end_now, end_progress) = std::thread::scope(|scope| {
+        let (outcome, end_now, end_progress, host_times) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (s, shard) in self.shards.iter_mut().enumerate() {
                 let buffer = if s == 0 {
@@ -184,6 +197,7 @@ impl<E: Send + 'static> ShardedEngine<E> {
                     None
                 };
                 let shared = &shared;
+                let board = board.clone();
                 handles.push(scope.spawn(move || {
                     let mut fence = PanicFence::arm(&shared.poisoned);
                     let mut transport = ThreadTransport::new(shared, s, buffer);
@@ -197,24 +211,35 @@ impl<E: Send + 'static> ShardedEngine<E> {
                         start_progress,
                         trace_spec,
                         shard_of,
+                        progress_board: board.as_deref(),
                     };
-                    let r = run_shard_rounds(shard, &params, &mut transport)
+                    let mut host = HostRecorder::with_sample(host_sample);
+                    let r = run_shard_rounds(shard, &params, &mut transport, &mut host)
                         .expect("the in-process transport is infallible");
                     fence.disarm();
-                    r
+                    (r, host.times)
                 }));
             }
             let mut agreed: Option<(RunOutcome, Time, Tick)> = None;
+            let mut host_times = Vec::with_capacity(n);
             for h in handles {
-                let r = h.join().expect("shard thread panicked");
+                let (r, times) = h.join().expect("shard thread panicked");
                 debug_assert!(
                     agreed.as_ref().is_none_or(|a| *a == r),
                     "shards disagreed on the run outcome"
                 );
                 agreed = Some(r);
+                host_times.push(times);
             }
-            agreed.expect("at least one shard")
+            let (outcome, end_now, end_progress) = agreed.expect("at least one shard");
+            (outcome, end_now, end_progress, host_times)
         });
+        if self.host_sample != 0 {
+            self.host_times.resize(n, HostShardTimes::default());
+            for (acc, times) in self.host_times.iter_mut().zip(&host_times) {
+                acc.merge(times);
+            }
+        }
         // `end_now` is the time of the last *executed* generation (a
         // tick-limit pause stops before advancing), matching the
         // sequential engine.
@@ -315,6 +340,18 @@ impl<E: Send + 'static> Engine<E> for ShardedEngine<E> {
 
     fn set_sampler(&mut self, interval: Tick) {
         ShardedEngine::set_sampler(self, interval);
+    }
+
+    fn set_host_profiling(&mut self, sample: u32) {
+        self.host_sample = sample;
+    }
+
+    fn host_times(&self) -> Vec<HostShardTimes> {
+        self.host_times.clone()
+    }
+
+    fn set_progress(&mut self, progress: Arc<ProgressShared>) {
+        self.progress_board = Some(progress);
     }
 
     fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {

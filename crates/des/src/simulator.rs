@@ -9,6 +9,7 @@
 //! with the sharded backend.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::component::{Component, ComponentId};
@@ -17,6 +18,7 @@ use crate::engine::{
     RunOutcome, RunStats, SinkRef, Stamped, TaggedTrace, TraceSink, BATCH_BUCKETS, EXTERNAL_SRC,
 };
 use crate::event::{EventEntry, EventQueue};
+use crate::host::{HostRecorder, HostRoundSlice, HostShardTimes, ProgressShared};
 use crate::rng::Rng;
 use crate::time::{Tick, Time};
 use crate::trace::{TraceBuffer, TraceEvent, TraceSpec};
@@ -57,6 +59,10 @@ pub struct SequentialEngine<E> {
     events_executed: u64,
     batches: u64,
     batch_counts: [u64; BATCH_BUCKETS],
+    /// Out-of-band host-time profiler (disabled by default).
+    host: HostRecorder,
+    /// Out-of-band live-progress board, written after each batch.
+    progress_board: Option<Arc<ProgressShared>>,
 }
 
 /// The historical name of the sequential engine. Existing models,
@@ -84,6 +90,8 @@ impl<E: 'static> SequentialEngine<E> {
             events_executed: 0,
             batches: 0,
             batch_counts: [0; BATCH_BUCKETS],
+            host: HostRecorder::new(),
+            progress_board: None,
         }
     }
 
@@ -237,7 +245,16 @@ impl<E: 'static> SequentialEngine<E> {
                     }
                 }
             }
-            let Some(next_time) = self.queue.take_batch_until(tick_limit, &mut batch) else {
+            // Host-time probes are strictly out-of-band: wall clocks are
+            // read around phases but never influence which events run or
+            // in what order, so profiling cannot perturb determinism.
+            let profiling = self.host.enabled();
+            let t_drain = profiling.then(Instant::now);
+            let took = self.queue.take_batch_until(tick_limit, &mut batch);
+            if let Some(t0) = t_drain {
+                self.host.times.drain_ns += t0.elapsed().as_nanos() as u64;
+            }
+            let Some(next_time) = took else {
                 break if self.queue.is_empty() {
                     RunOutcome::Drained
                 } else {
@@ -248,13 +265,19 @@ impl<E: 'static> SequentialEngine<E> {
             // Window edges crossed by this generation close before any of
             // its events run: everything below the edge has executed,
             // nothing at or past it has (see `Engine::set_sampler`).
-            while let Some(edge) = next_edge.filter(|&e| e <= next_time.tick()) {
-                for slot in self.components.iter_mut() {
-                    if let Some(c) = slot.as_deref_mut() {
-                        c.sample(edge);
+            if next_edge.is_some_and(|e| e <= next_time.tick()) {
+                let t_edge = profiling.then(Instant::now);
+                while let Some(edge) = next_edge.filter(|&e| e <= next_time.tick()) {
+                    for slot in self.components.iter_mut() {
+                        if let Some(c) = slot.as_deref_mut() {
+                            c.sample(edge);
+                        }
                     }
+                    next_edge = edge.checked_add(self.sample_interval);
                 }
-                next_edge = edge.checked_add(self.sample_interval);
+                if let Some(t0) = t_edge {
+                    self.host.times.sample_edge_ns += t0.elapsed().as_nanos() as u64;
+                }
             }
             self.now = next_time;
             if batch.len() > 1 {
@@ -269,6 +292,11 @@ impl<E: 'static> SequentialEngine<E> {
             // via an abort path), keeping the per-event loop free of stats
             // writes.
             let mut done = 0u64;
+            // One batch in `sample` additionally gets per-event
+            // component-class attribution.
+            let sampled = profiling && self.host.batch_sampled();
+            let exec_start_ns = profiling.then(|| self.host.now_ns());
+            let t_exec = profiling.then(Instant::now);
             scratch.clear();
             let mut pending = batch.drain(..);
             while let Some(entry) = pending.next() {
@@ -301,8 +329,18 @@ impl<E: 'static> SequentialEngine<E> {
                         out: &mut scratch,
                     }),
                 };
-                component.handle(&mut ctx, entry.payload.payload);
-                self.components[idx] = Some(component);
+                if sampled {
+                    let t_ev = Instant::now();
+                    component.handle(&mut ctx, entry.payload.payload);
+                    let ev_ns = t_ev.elapsed().as_nanos() as u64;
+                    let class = component.host_class();
+                    self.components[idx] = Some(component);
+                    self.host.times.add_class(class, ev_ns, 1);
+                    self.host.times.sampled_events += 1;
+                } else {
+                    component.handle(&mut ctx, entry.payload.payload);
+                    self.components[idx] = Some(component);
+                }
                 done += 1;
 
                 if let Some(msg) = failure.take() {
@@ -317,6 +355,25 @@ impl<E: 'static> SequentialEngine<E> {
                 }
             }
             self.record_batch(done);
+            if let Some(t0) = t_exec {
+                let exec_ns = t0.elapsed().as_nanos() as u64;
+                self.host.times.execute_ns += exec_ns;
+                if sampled {
+                    self.host.times.push_slice(HostRoundSlice {
+                        start_ns: exec_start_ns.unwrap_or(0),
+                        tick: self.now.tick(),
+                        events: done,
+                        execute_ns: exec_ns,
+                        fold_ns: 0,
+                        exchange_ns: 0,
+                    });
+                }
+            }
+            if let Some(board) = &self.progress_board {
+                board.record_events(0, self.events_executed);
+                board.record_tick(self.now.tick());
+                board.add_round();
+            }
             if progress {
                 self.last_progress = self.now.tick();
                 progress = false;
@@ -395,6 +452,23 @@ impl<E: 'static> Engine<E> for SequentialEngine<E> {
 
     fn set_trace(&mut self, spec: TraceSpec, capacity: usize) {
         SequentialEngine::set_trace(self, spec, capacity);
+    }
+
+    fn set_host_profiling(&mut self, sample: u32) {
+        self.host.set_sample(sample);
+        self.host.reset_epoch();
+    }
+
+    fn host_times(&self) -> Vec<HostShardTimes> {
+        if self.host.enabled() {
+            vec![self.host.times.clone()]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn set_progress(&mut self, progress: Arc<ProgressShared>) {
+        self.progress_board = Some(progress);
     }
 
     fn trace_enabled(&self) -> bool {

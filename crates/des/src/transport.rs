@@ -39,7 +39,7 @@ use crate::time::{Tick, Time};
 use crate::trace::TraceBuffer;
 
 #[cfg(unix)]
-pub use process::{Hub, HubResult, ProcessTransport, WorkerLink, WorkerSetup};
+pub use process::{Hub, HubHostStats, HubResult, ProcessTransport, WorkerLink, WorkerSetup};
 
 /// Why a transport operation failed. Only the process backend can fail;
 /// the in-process backend panics on programming errors instead.
@@ -99,6 +99,11 @@ pub(crate) struct RoundOut<'a, E> {
     pub stop: bool,
     /// This shard's smallest-stamp failure this round.
     pub failure: Option<(EventStamp, String)>,
+    /// Events executed locally this round. Strictly informational: the
+    /// process transport trails it on the EXCH frame so the hub can feed
+    /// the live-progress heartbeat; it never influences what the
+    /// transport delivers back. The thread transport ignores it.
+    pub events: u64,
 }
 
 /// One synchronization backend for the generation-lockstep protocol. See
@@ -351,11 +356,13 @@ mod process {
     use std::io::{self, BufReader, BufWriter};
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::rc::Rc;
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     use super::{RoundEnd, RoundFold, RoundOut, ShardTransport, TransportError};
     use crate::component::ComponentId;
     use crate::engine::{flush_trace, EngineMetrics, EventStamp, RunOutcome, Stamped, TaggedTrace};
+    use crate::host::{HostShardTimes, ProgressShared};
     use crate::time::{Tick, Time};
     use crate::trace::TraceBuffer;
     use crate::wire::{
@@ -440,19 +447,23 @@ mod process {
 
         /// Sends the end-of-run summary: the locally decided outcome (the
         /// fold makes it identical on every worker), the final time and
-        /// progress tick, and this shard's executor metrics.
+        /// progress tick, this shard's executor metrics, and its host-time
+        /// record (all-zero when profiling is disarmed). The DONE frame is
+        /// end-of-run, so the host payload cannot influence delivery.
         pub fn finish(
             &mut self,
             outcome: &RunOutcome,
             local_now: Time,
             global_progress: Tick,
             metrics: &EngineMetrics,
+            host: &HostShardTimes,
         ) -> Result<(), TransportError> {
             let mut body = Vec::new();
             outcome.encode(&mut body);
             local_now.encode(&mut body);
             put_varint(&mut body, global_progress);
             metrics.encode(&mut body);
+            host.encode(&mut body);
             write_frame(&mut self.writer, tag::DONE, &body)?;
             Ok(())
         }
@@ -553,6 +564,11 @@ mod process {
                 }
                 put_bytes(&mut body, &blob);
             }
+            // Trailing, strictly informational: events executed this
+            // round, feeding the hub's live-progress board. The hub
+            // never copies it into any EXCH_R reply, so event delivery
+            // is provably independent of it.
+            put_varint(&mut body, out.events);
             write_frame(&mut self.writer, tag::EXCH, &body)?;
             self.scratch = body;
 
@@ -699,12 +715,35 @@ mod process {
         /// Per-worker executor metrics, in worker order. Empty when the
         /// run degraded before completion.
         pub metrics: Vec<EngineMetrics>,
+        /// Per-worker host-time records from the DONE frames, in worker
+        /// order (all-zero records when profiling was disarmed). Empty
+        /// when the run degraded.
+        pub host: Vec<HostShardTimes>,
+        /// Hub-side wire and fold accounting for the run.
+        pub hub_stats: HubHostStats,
         /// Per-worker opaque end-of-run partials, in worker order.
         /// `None` for workers that died before delivering one.
         pub partials: Vec<Option<Vec<u8>>>,
         /// `Some((worker, reason))` when a worker died or hung and the
         /// run was aborted; the remaining fields hold best-effort data.
         pub error: Option<(u32, String)>,
+    }
+
+    /// Hub-side host accounting: wire traffic per worker and the wall
+    /// time the hub spent computing and broadcasting folds. Byte counts
+    /// are always on (one add per frame); fold timing only when armed
+    /// via [`Hub::set_host_profiling`].
+    #[derive(Debug, Clone, Default)]
+    pub struct HubHostStats {
+        /// Rounds (FOLD frames) the hub relayed.
+        pub rounds: u64,
+        /// Wall time inside the hub's fold computation + broadcast, in
+        /// nanoseconds (0 when profiling is disarmed).
+        pub fold_ns: u64,
+        /// Frame-body bytes received from each worker, in worker order.
+        pub wire_in_bytes: Vec<u64>,
+        /// Frame-body bytes sent to each worker, in worker order.
+        pub wire_out_bytes: Vec<u64>,
     }
 
     /// A callback the parent installs to persist assembled checkpoint
@@ -725,6 +764,19 @@ mod process {
         trace: Option<TraceBuffer>,
         merge_scratch: Vec<TaggedTrace>,
         checkpoint_sink: Option<CheckpointSink>,
+        /// When set, the hub times its fold computation (host clock
+        /// only — never feeds the protocol).
+        host_profiling: bool,
+        fold_ns: u64,
+        rounds: u64,
+        /// Frame-body bytes in/out per worker (always counted; a u64
+        /// add per frame).
+        wire_in: Vec<u64>,
+        wire_out: Vec<u64>,
+        /// Cumulative executed-event counts per worker, rebuilt from
+        /// the informational deltas trailing each EXCH frame.
+        events_cum: Vec<u64>,
+        progress: Option<Arc<ProgressShared>>,
     }
 
     impl Hub {
@@ -792,12 +844,44 @@ mod process {
             for c in &mut conns {
                 write_frame(&mut c.writer, tag::SETUP, &setup)?;
             }
+            let n = conns.len();
             Ok(Hub {
                 conns,
                 trace: trace_capacity.map(TraceBuffer::with_capacity),
                 merge_scratch: Vec::new(),
                 checkpoint_sink: None,
+                host_profiling: false,
+                fold_ns: 0,
+                rounds: 0,
+                wire_in: vec![0; n],
+                wire_out: vec![0; n],
+                events_cum: vec![0; n],
+                progress: None,
             })
+        }
+
+        /// Arms (or disarms) hub-side fold timing. Purely host-side
+        /// observability: the wire protocol and every reply the hub
+        /// sends are byte-identical either way.
+        pub fn set_host_profiling(&mut self, on: bool) {
+            self.host_profiling = on;
+        }
+
+        /// Installs a live-progress board the hub publishes to as
+        /// rounds complete: the fold tick, round count, and per-worker
+        /// cumulative executed events. Out-of-band — readers only.
+        pub fn set_progress(&mut self, board: Arc<ProgressShared>) {
+            self.progress = Some(board);
+        }
+
+        /// Hub-side wire/fold accounting accumulated so far.
+        pub fn host_stats(&self) -> HubHostStats {
+            HubHostStats {
+                rounds: self.rounds,
+                fold_ns: self.fold_ns,
+                wire_in_bytes: self.wire_in.clone(),
+                wire_out_bytes: self.wire_out.clone(),
+            }
         }
 
         /// Installs the checkpoint sink: invoked with the boundary time
@@ -839,7 +923,7 @@ mod process {
 
         /// One worker's next frame, or `(index, reason)` on failure.
         fn read_from(&mut self, w: usize) -> Result<(u8, Vec<u8>), (u32, String)> {
-            read_frame(&mut self.conns[w].reader).map_err(|e| {
+            let frame = read_frame(&mut self.conns[w].reader).map_err(|e| {
                 self.conns[w].alive = false;
                 let reason = match e.kind() {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
@@ -849,10 +933,13 @@ mod process {
                     _ => e.to_string(),
                 };
                 (w as u32, reason)
-            })
+            })?;
+            self.wire_in[w] += frame.1.len() as u64;
+            Ok(frame)
         }
 
         fn send_to(&mut self, w: usize, tag: u8, body: &[u8]) -> Result<(), (u32, String)> {
+            self.wire_out[w] += body.len() as u64;
             write_frame(&mut self.conns[w].writer, tag, body).map_err(|e| {
                 self.conns[w].alive = false;
                 (w as u32, e.to_string())
@@ -892,6 +979,7 @@ mod process {
         }
 
         fn round_fold(&mut self, frames: &[(u8, Vec<u8>)]) -> Result<(), (u32, String)> {
+            let t_fold = self.host_profiling.then(Instant::now);
             let mut m: Option<Time> = None;
             let mut global_progress: Tick = 0;
             for (w, (_, body)) in frames.iter().enumerate() {
@@ -911,6 +999,16 @@ mod process {
             put_varint(&mut reply, global_progress);
             for w in 0..self.conns.len() {
                 self.send_to(w, tag::FOLD_R, &reply)?;
+            }
+            self.rounds += 1;
+            if let Some(t0) = t_fold {
+                self.fold_ns += t0.elapsed().as_nanos() as u64;
+            }
+            if let Some(board) = &self.progress {
+                if let Some(m) = m {
+                    board.record_tick(m.tick());
+                }
+                board.add_round();
             }
             Ok(())
         }
@@ -935,11 +1033,19 @@ mod process {
                     for _ in 0..n {
                         dsts.push(get_bytes(buf)?);
                     }
-                    Some((stop, fail, traces, dsts))
+                    // Informational per-round executed-event delta,
+                    // trailing so older payload parsers stay valid. It
+                    // feeds the progress board only — never any reply.
+                    let events = get_varint(buf).unwrap_or(0);
+                    Some((stop, fail, traces, dsts, events))
                 })();
-                let Some((stop, fail, mut traces, dsts)) = parsed else {
+                let Some((stop, fail, mut traces, dsts, events)) = parsed else {
                     return Err((w as u32, "malformed EXCH".into()));
                 };
+                self.events_cum[w] += events;
+                if let Some(board) = &self.progress {
+                    board.record_events(w, self.events_cum[w]);
+                }
                 stopped |= stop != 0;
                 if let Some((stamp, msg)) = fail {
                     if failure.as_ref().is_none_or(|(st, _)| stamp < *st) {
@@ -1021,6 +1127,7 @@ mod process {
             let mut end_time = Time::ZERO;
             let mut last_progress: Tick = 0;
             let mut metrics = Vec::with_capacity(frames.len());
+            let mut host = Vec::with_capacity(frames.len());
             for (w, (_, body)) in frames.iter().enumerate() {
                 let buf = &mut body.as_slice();
                 let parsed = (|| {
@@ -1028,9 +1135,10 @@ mod process {
                     let now = Time::decode(buf)?;
                     let progress = get_varint(buf)?;
                     let m = EngineMetrics::decode(buf)?;
-                    Some((outcome, now, progress, m))
+                    let h = HostShardTimes::decode(buf)?;
+                    Some((outcome, now, progress, m, h))
                 })();
-                let Some((o, now, progress, m)) = parsed else {
+                let Some((o, now, progress, m, h)) = parsed else {
                     return Err((w as u32, "malformed DONE".into()));
                 };
                 debug_assert!(
@@ -1041,6 +1149,7 @@ mod process {
                 end_time = now;
                 last_progress = progress;
                 metrics.push(m);
+                host.push(h);
             }
             let mut partials = Vec::with_capacity(self.conns.len());
             let mut error = None;
@@ -1062,6 +1171,8 @@ mod process {
                 end_time,
                 last_progress,
                 metrics,
+                host,
+                hub_stats: self.host_stats(),
                 partials,
                 error,
             })
@@ -1102,6 +1213,8 @@ mod process {
                 end_time: Time::ZERO,
                 last_progress: 0,
                 metrics: Vec::new(),
+                host: Vec::new(),
+                hub_stats: self.host_stats(),
                 partials,
                 error: Some((worker, reason)),
             }

@@ -493,6 +493,10 @@ impl Component<Ev> for IoqRouter {
         &self.name
     }
 
+    fn host_class(&self) -> &'static str {
+        "router"
+    }
+
     fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
         match event {
             Ev::Flit { port, flit } => {

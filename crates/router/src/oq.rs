@@ -453,6 +453,10 @@ impl Component<Ev> for OqRouter {
         &self.name
     }
 
+    fn host_class(&self) -> &'static str {
+        "router"
+    }
+
     fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
         match event {
             Ev::Flit { port, flit } => {

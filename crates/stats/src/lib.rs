@@ -28,6 +28,7 @@
 pub mod analysis;
 mod distribution;
 mod filter;
+pub mod host;
 pub mod metrics;
 mod record;
 pub mod snapshot;
@@ -36,6 +37,7 @@ mod timeseries;
 
 pub use distribution::LatencyDistribution;
 pub use filter::{Filter, FilterError, FilterTerm};
+pub use host::{HostClock, ProgressLine, TraceEventBuilder};
 pub use metrics::{
     Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot,
 };

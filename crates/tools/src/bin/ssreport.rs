@@ -16,6 +16,12 @@
 //!                                           # summary + degraded flag
 //! ssreport <snapshot.json> --profile        # hot-path profiling plane:
 //!                                           # batching and arena pressure
+//! ssreport <snapshot.json> --host-profile   # host-time profiling plane:
+//!                                           # wall-clock phase attribution,
+//!                                           # shard imbalance, wire bytes
+//! ssreport <snapshot.json> --checkpoint     # checkpoint write costs from
+//!                                           # the host plane (count, bytes,
+//!                                           # wall time per write)
 //! ssreport --checkpoint <file.ssckpt>       # checkpoint header: version,
 //!                                           # tick, round, shard layout,
 //!                                           # CRC status
@@ -75,7 +81,7 @@ fn main() -> ExitCode {
     }
     let Some((path, rest)) = args.split_first() else {
         eprintln!(
-            "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --list-hist | --hist <component> <metric>]\n       ssreport --checkpoint <file.ssckpt>"
+            "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --profile | --host-profile | --checkpoint | --list-hist | --hist <component> <metric>]\n       ssreport --checkpoint <file.ssckpt>"
         );
         return ExitCode::FAILURE;
     };
@@ -117,6 +123,23 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        [flag] if flag == "--host-profile" => match supersim_tools::host_profile_report(&snap) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("ssreport: snapshot has no host plane (run with --host-profile)");
+                return ExitCode::FAILURE;
+            }
+        },
+        [flag] if flag == "--checkpoint" => match supersim_tools::checkpoint_host_report(&snap) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!(
+                    "ssreport: snapshot has no host-plane checkpoint writes \
+                     (run with --host-profile and a checkpoint interval)"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
         [flag] if flag == "--list-hist" => {
             for (component, name) in supersim_tools::histogram_names(&snap) {
                 println!("{component} {name}");
@@ -143,7 +166,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: ssreport <snapshot.json> [--csv | --shards | --faults | --profile | \
-                 --list-hist | --hist <component> <metric> | --hist-ascii <component> <metric>]"
+                 --host-profile | --checkpoint | --list-hist | --hist <component> <metric> | \
+                 --hist-ascii <component> <metric>]"
             );
             return ExitCode::FAILURE;
         }

@@ -34,8 +34,9 @@ pub use ssplot::{
     percentile_csv, timeseries_csv, timeseries_windows_csv, TsPoint, TsWindow,
 };
 pub use ssreport::{
-    counters_csv, fault_report, histogram_ascii, histogram_ascii_report, histogram_names,
-    histogram_report, profile_report, report_text, shard_report,
+    checkpoint_host_report, counters_csv, fault_report, histogram_ascii, histogram_ascii_report,
+    histogram_names, histogram_report, host_profile_report, profile_report, report_text,
+    shard_report,
 };
 pub use sweep::{Permutation, Sweep, SweepResult, SweepVariable};
 pub use taskrun::{TaskGraph, TaskId, TaskReport, TaskStatus};

@@ -293,6 +293,197 @@ pub fn profile_report(snap: &MetricsSnapshot) -> Option<String> {
     Some(out)
 }
 
+/// Reads a counter off an arbitrary plane, defaulting missing or
+/// non-counter metrics to zero.
+fn plane_counter(snap: &MetricsSnapshot, component: &str, name: &str) -> u64 {
+    match snap.get(component, name) {
+        Some(MetricValue::Counter(v)) => *v,
+        _ => 0,
+    }
+}
+
+/// Renders the host-time profiling plane of a snapshot: a phase table
+/// attributing wall-clock time (drain / execute / sample-edge / fold /
+/// exchange / checkpoint) with percent-of-wall columns, the sampled
+/// per-component-class attribution, per-shard execute/fold/exchange
+/// rows with imbalance and barrier-wait gauges, checkpoint write costs,
+/// and — for worker-fleet runs — hub fold time and per-worker wire
+/// bytes. `None` when the snapshot has no `host` plane (the run did not
+/// enable `host.profile.enabled`).
+pub fn host_profile_report(snap: &MetricsSnapshot) -> Option<String> {
+    let wall_ns = match snap.get("host", "wall_ns")? {
+        MetricValue::Counter(v) => *v,
+        _ => return None,
+    };
+    let host = |name: &str| plane_counter(snap, "host", name);
+    let pct = |ns: u64| {
+        if wall_ns > 0 {
+            ns as f64 / wall_ns as f64 * 100.0
+        } else {
+            0.0
+        }
+    };
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut out = String::new();
+    let _ = writeln!(out, "wall time: {:.1} ms", ms(wall_ns));
+
+    // Phase table, heaviest phase first.
+    let mut phases: Vec<(&str, u64)> = [
+        ("execute", host("execute_ns")),
+        ("drain", host("drain_ns")),
+        ("sample_edge", host("sample_edge_ns")),
+        ("fold", host("fold_ns")),
+        ("exchange", host("exchange_ns")),
+        ("checkpoint", host("checkpoint_ns")),
+    ]
+    .into_iter()
+    .collect();
+    phases.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+    let _ = writeln!(out, "\n{:<14} {:>12} {:>8}", "phase", "ms", "% wall");
+    for (name, ns) in &phases {
+        let _ = writeln!(out, "{name:<14} {:>12.2} {:>7.1}%", ms(*ns), pct(*ns));
+    }
+
+    // Sampled per-component-class attribution (heaviest class first).
+    let mut classes: Vec<(String, u64, u64)> = snap
+        .samples()
+        .iter()
+        .filter(|s| s.component == "host")
+        .filter_map(|s| {
+            let class = s.name.strip_prefix("class_")?.strip_suffix("_ns")?;
+            let ns = match s.value {
+                MetricValue::Counter(v) => v,
+                _ => return None,
+            };
+            let events = host(&format!("class_{class}_events"));
+            Some((class.to_string(), ns, events))
+        })
+        .collect();
+    classes.sort_by_key(|c| std::cmp::Reverse(c.1));
+    if !classes.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<14} {:>12} {:>8} {:>12} {:>10}",
+            "class", "sampled_ms", "% wall", "events", "ns/event"
+        );
+        for (class, ns, events) in &classes {
+            let per_event = if *events > 0 { ns / events } else { 0 };
+            let _ = writeln!(
+                out,
+                "{class:<14} {:>12.2} {:>7.1}% {events:>12} {per_event:>10}",
+                ms(*ns),
+                pct(*ns)
+            );
+        }
+    }
+
+    // Per-shard breakdown.
+    let mut shards: Vec<usize> = snap
+        .samples()
+        .iter()
+        .filter_map(|s| s.component.strip_prefix("host_shard_"))
+        .filter_map(|i| i.parse().ok())
+        .collect();
+    shards.sort_unstable();
+    shards.dedup();
+    if !shards.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<8} {:>12} {:>12} {:>12} {:>12}",
+            "shard", "execute_ms", "fold_ms", "exchange_ms", "batches"
+        );
+        for &s in &shards {
+            let plane = format!("host_shard_{s}");
+            let c = |name: &str| plane_counter(snap, &plane, name);
+            let _ = writeln!(
+                out,
+                "{s:<8} {:>12.2} {:>12.2} {:>12.2} {:>12}",
+                ms(c("execute_ns")),
+                ms(c("fold_ns")),
+                ms(c("exchange_ns")),
+                c("total_batches"),
+            );
+        }
+    }
+
+    // Imbalance gauges (present only on multi-shard runs).
+    if let Some(MetricValue::Counter(millis)) = snap.get("host", "execute_imbalance_millis") {
+        let _ = writeln!(
+            out,
+            "\nexecute imbalance (max/min): {:.2}x",
+            *millis as f64 / 1000.0
+        );
+    }
+    if let Some(MetricValue::Counter(millis)) = snap.get("host", "barrier_wait_millis") {
+        let _ = writeln!(out, "barrier wait fraction: {:.1}%", *millis as f64 / 10.0);
+    }
+
+    // Checkpoint write costs.
+    let ckpt_writes = host("checkpoint_writes");
+    if ckpt_writes > 0 {
+        let _ = writeln!(
+            out,
+            "checkpoints: {ckpt_writes} writes, {} bytes, {:.2} ms",
+            host("checkpoint_bytes"),
+            ms(host("checkpoint_ns")),
+        );
+    }
+
+    // Hub / per-worker wire accounting (worker-fleet runs only).
+    let hub_rounds = host("hub_rounds");
+    if hub_rounds > 0 {
+        let _ = writeln!(
+            out,
+            "\nhub: {hub_rounds} rounds, fold {:.2} ms",
+            ms(host("hub_fold_ns"))
+        );
+        let mut workers: Vec<usize> = snap
+            .samples()
+            .iter()
+            .filter(|s| s.component == "host")
+            .filter_map(|s| s.name.strip_prefix("worker_"))
+            .filter_map(|rest| rest.strip_suffix("_wire_in_bytes"))
+            .filter_map(|i| i.parse().ok())
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in workers {
+            let _ = writeln!(
+                out,
+                "worker {w}: wire in {} bytes, out {} bytes",
+                host(&format!("worker_{w}_wire_in_bytes")),
+                host(&format!("worker_{w}_wire_out_bytes")),
+            );
+        }
+    }
+    Some(out)
+}
+
+/// Renders the checkpoint-write cost summary from a snapshot's host
+/// plane: write count, total bytes, total and mean wall time per write.
+/// `None` when the snapshot has no host plane or the run wrote no
+/// checkpoints.
+pub fn checkpoint_host_report(snap: &MetricsSnapshot) -> Option<String> {
+    snap.get("host", "wall_ns")?;
+    let writes = plane_counter(snap, "host", "checkpoint_writes");
+    if writes == 0 {
+        return None;
+    }
+    let ns = plane_counter(snap, "host", "checkpoint_ns");
+    let bytes = plane_counter(snap, "host", "checkpoint_bytes");
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16} {writes}", "writes");
+    let _ = writeln!(out, "{:<16} {bytes}", "bytes");
+    let _ = writeln!(out, "{:<16} {:.2}", "total_ms", ns as f64 / 1e6);
+    let _ = writeln!(
+        out,
+        "{:<16} {:.2}",
+        "mean_ms_per_write",
+        ns as f64 / writes as f64 / 1e6
+    );
+    Some(out)
+}
+
 /// All `(component, name)` pairs of histogram metrics in the snapshot.
 pub fn histogram_names(snap: &MetricsSnapshot) -> Vec<(String, String)> {
     snap.samples()
@@ -428,6 +619,87 @@ mod tests {
         let mut lean = MetricsSnapshot::new();
         lean.push_counter("profile", "events_dispatched", 1);
         assert!(!profile_report(&lean).unwrap().contains("flit_clones"));
+    }
+
+    fn host_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("host", "wall_ns", 10_000_000); // 10 ms
+        snap.push_counter("host", "execute_ns", 6_000_000);
+        snap.push_counter("host", "drain_ns", 1_000_000);
+        snap.push_counter("host", "sample_edge_ns", 500_000);
+        snap.push_counter("host", "fold_ns", 2_000_000);
+        snap.push_counter("host", "exchange_ns", 250_000);
+        snap.push_counter("host", "checkpoint_ns", 3_000_000);
+        snap.push_counter("host", "checkpoint_writes", 2);
+        snap.push_counter("host", "checkpoint_bytes", 4096);
+        snap.push_counter("host", "class_router_ns", 4_000_000);
+        snap.push_counter("host", "class_router_events", 1000);
+        snap.push_counter("host", "class_interface_ns", 1_000_000);
+        snap.push_counter("host", "class_interface_events", 500);
+        snap.push_counter("host", "execute_imbalance_millis", 1500);
+        snap.push_counter("host", "barrier_wait_millis", 125);
+        for s in 0..2u32 {
+            let plane = format!("host_shard_{s}");
+            snap.push_counter(&plane, "execute_ns", 3_000_000);
+            snap.push_counter(&plane, "fold_ns", 1_000_000);
+            snap.push_counter(&plane, "exchange_ns", 100_000);
+            snap.push_counter(&plane, "total_batches", 40 + s as u64);
+        }
+        snap
+    }
+
+    #[test]
+    fn host_profile_report_attributes_wall_time() {
+        let text = host_profile_report(&host_snapshot()).expect("host plane present");
+        assert!(text.contains("wall time: 10.0 ms"));
+        // Phase table sorted heaviest-first with % of wall.
+        let exec_at = text.find("execute ").expect("execute row");
+        let fold_at = text.find("fold ").expect("fold row");
+        assert!(exec_at < fold_at, "heaviest phase first:\n{text}");
+        assert!(text.contains("60.0%"), "execute is 60% of wall:\n{text}");
+        // Class attribution sorted heaviest-first, with ns/event.
+        let router_at = text.find("router").expect("router class row");
+        let iface_at = text.find("interface").expect("interface class row");
+        assert!(router_at < iface_at);
+        assert!(text.contains("4000"), "router ns/event = 4e6/1000:\n{text}");
+        // Per-shard rows, imbalance, barrier wait, checkpoint line.
+        assert!(text.contains("\n0 ") && text.contains("\n1 "));
+        assert!(text.contains("execute imbalance (max/min): 1.50x"));
+        assert!(text.contains("barrier wait fraction: 12.5%"));
+        assert!(text.contains("checkpoints: 2 writes, 4096 bytes, 3.00 ms"));
+        // No hub section on an in-process run.
+        assert!(!text.contains("hub:"));
+        // No host plane → no report.
+        assert!(host_profile_report(&snapshot()).is_none());
+    }
+
+    #[test]
+    fn host_profile_report_shows_hub_wire_bytes() {
+        let mut snap = host_snapshot();
+        snap.push_counter("host", "hub_rounds", 12);
+        snap.push_counter("host", "hub_fold_ns", 900_000);
+        snap.push_counter("host", "worker_0_wire_in_bytes", 111);
+        snap.push_counter("host", "worker_0_wire_out_bytes", 222);
+        snap.push_counter("host", "worker_1_wire_in_bytes", 333);
+        snap.push_counter("host", "worker_1_wire_out_bytes", 444);
+        let text = host_profile_report(&snap).expect("host plane present");
+        assert!(text.contains("hub: 12 rounds, fold 0.90 ms"));
+        assert!(text.contains("worker 0: wire in 111 bytes, out 222 bytes"));
+        assert!(text.contains("worker 1: wire in 333 bytes, out 444 bytes"));
+    }
+
+    #[test]
+    fn checkpoint_host_report_summarizes_write_costs() {
+        let text = checkpoint_host_report(&host_snapshot()).expect("checkpoint writes present");
+        assert!(text.contains("writes           2"));
+        assert!(text.contains("bytes            4096"));
+        assert!(text.contains("total_ms         3.00"));
+        assert!(text.contains("mean_ms_per_write 1.50"));
+        // No host plane, or zero writes → no report.
+        assert!(checkpoint_host_report(&snapshot()).is_none());
+        let mut lean = MetricsSnapshot::new();
+        lean.push_counter("host", "wall_ns", 1);
+        assert!(checkpoint_host_report(&lean).is_none());
     }
 
     #[test]

@@ -83,6 +83,10 @@ impl Component<Ev> for WorkloadMonitor {
         &self.name
     }
 
+    fn host_class(&self) -> &'static str {
+        "monitor"
+    }
+
     fn handle(&mut self, ctx: &mut Context<'_, Ev>, event: Ev) {
         let Ev::Signal { app, signal } = event else {
             ctx.fail(format!("{}: unexpected event {event:?}", self.name));

@@ -52,6 +52,16 @@
 //! bounds how long the parent waits on a wedged worker socket
 //! (shorthand for `process.timeout_ms`).
 //!
+//! Host-time observability: `--host-profile` arms the out-of-band
+//! wall-clock profiler (`host.profile.enabled`) — where the run's host
+//! time went, per engine phase and component class, in the `host` /
+//! `host_shard_<s>` metrics planes (render with `ssreport
+//! --host-profile`). `--host-trace <file>` additionally writes a Chrome
+//! `trace_event` JSON timeline loadable in Perfetto. `--progress[=<ms>]`
+//! emits a live JSON-lines heartbeat to stderr (tick, events/s, ETA;
+//! default every 1000 ms). All three are strictly out-of-band:
+//! simulation outputs stay byte-identical with them on or off.
+//!
 //! Scenarios: `--scenario <name|file>` compiles a compact scenario
 //! declaration (a library name like `incast_storm`, or a declaration
 //! file) into a full configuration and runs it. A declaration file given
@@ -90,6 +100,9 @@ struct Args {
     checkpoint_dir: Option<PathBuf>,
     resume: Option<PathBuf>,
     worker_timeout_ms: Option<u64>,
+    host_profile: bool,
+    host_trace_path: Option<PathBuf>,
+    progress_interval_ms: Option<u64>,
 }
 
 /// The pinned exit code of a degraded run; documented in the README.
@@ -127,9 +140,28 @@ fn parse_args() -> Result<Args, String> {
     let mut checkpoint_dir = None;
     let mut resume = None;
     let mut worker_timeout_ms = None;
+    let mut host_profile = false;
+    let mut host_trace_path = None;
+    let mut progress_interval_ms = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        if let Some(v) = arg.strip_prefix("--progress=") {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--progress interval must be in milliseconds, got {v:?}"))?;
+            if n == 0 {
+                return Err("--progress interval must be non-zero".to_string());
+            }
+            progress_interval_ms = Some(n);
+            continue;
+        }
         match arg.as_str() {
+            "--host-profile" => host_profile = true,
+            "--host-trace" => {
+                let p = it.next().ok_or("--host-trace needs a path")?;
+                host_trace_path = Some(PathBuf::from(p));
+            }
+            "--progress" => progress_interval_ms = Some(1000),
             "--log" => {
                 let p = it.next().ok_or("--log needs a path")?;
                 log_path = Some(PathBuf::from(p));
@@ -256,7 +288,8 @@ fn parse_args() -> Result<Args, String> {
                             [--sample-interval <n>] [--timeseries <file>] \
                             [--spans] [--span-log <file>] \
                             [--checkpoint-interval <n>] [--checkpoint-dir <dir>] \
-                            [--resume <checkpoint>] [--worker-timeout-ms <n>]"
+                            [--resume <checkpoint>] [--worker-timeout-ms <n>] \
+                            [--host-profile] [--host-trace <file>] [--progress[=<ms>]]"
                     .to_string())
             }
             a if a.contains('=') => overrides.push(a.to_string()),
@@ -296,6 +329,9 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir,
         resume,
         worker_timeout_ms,
+        host_profile,
+        host_trace_path,
+        progress_interval_ms,
     })
 }
 
@@ -430,6 +466,26 @@ fn main() -> ExitCode {
         eprintln!("supersim: configuration root must be an object");
         return ExitCode::FAILURE;
     }
+    // Host-time observability flags: `--host-profile` arms the
+    // out-of-band wall-clock profiler, `--host-trace` additionally
+    // renders the Chrome trace (and implies profiling), `--progress`
+    // the live heartbeat. All shorthand for `host.*` / `progress.*`
+    // configuration paths.
+    let host_overrides = [
+        (args.host_profile || args.host_trace_path.is_some())
+            .then_some(("host.profile.enabled", config::Value::Bool(true))),
+        args.host_trace_path
+            .is_some()
+            .then_some(("host.trace.enabled", config::Value::Bool(true))),
+        args.progress_interval_ms
+            .map(|n| ("progress.interval_ms", config::Value::Int(n as i64))),
+    ];
+    for (path, value) in host_overrides.into_iter().flatten() {
+        if cfg.set_path(path, value).is_err() {
+            eprintln!("supersim: configuration root must be an object");
+            return ExitCode::FAILURE;
+        }
+    }
     let checkpoint_overrides = [
         args.checkpoint_interval
             .map(|n| ("checkpoint.interval", config::Value::Int(n as i64))),
@@ -557,6 +613,20 @@ fn main() -> ExitCode {
              sample.interval in the configuration"
         );
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &args.host_trace_path {
+        let Some(host_trace) = &out.host_trace else {
+            // `--host-trace` implies host.trace.enabled above, so an
+            // absent document means the run never assembled (degraded
+            // before any host data existed).
+            eprintln!("supersim: no host trace collected");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(path, host_trace) {
+            eprintln!("supersim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("supersim: wrote {} (host trace)", path.display());
     }
     if let Some(path) = &args.span_log_path {
         let Some(spans) = &out.spans else {

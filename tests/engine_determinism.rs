@@ -49,14 +49,36 @@ fn run(cfg: &Value) -> RunOutput {
 }
 
 /// The snapshot with the partition-dependent planes stripped: everything
-/// that remains must be bit-identical across engines.
+/// that remains must be bit-identical across engines. The host-time
+/// planes (`host`, `host_shard_*`) hold wall-clock measurements and are
+/// legitimately different on every run.
 fn stripped_samples(out: &RunOutput) -> Vec<MetricSample> {
     out.metrics
         .samples()
         .iter()
-        .filter(|s| !s.component.starts_with("engine_shard_"))
+        .filter(|s| {
+            !s.component.starts_with("engine_shard_")
+                && s.component != "host"
+                && !s.component.starts_with("host_shard_")
+        })
         .cloned()
         .collect()
+}
+
+/// Turns on the full host-time observability surface: sampled wall-clock
+/// profiling, the Chrome trace_event export, and the progress heartbeat
+/// (interval far above the run time, so only the final line fires). The
+/// determinism contract requires all of it to be invisible to simulation
+/// bytes.
+fn with_host_profiling(cfg: &Value) -> Value {
+    let mut cfg = cfg.clone();
+    cfg.set_path("host.profile.enabled", Value::Bool(true))
+        .expect("object");
+    cfg.set_path("host.trace.enabled", Value::Bool(true))
+        .expect("object");
+    cfg.set_path("progress.interval_ms", Value::Int(60_000))
+        .expect("object");
+    cfg
 }
 
 /// Small topologies spanning the factory families: a 1-D HyperX (the
@@ -99,6 +121,22 @@ fn sharded_run_is_byte_identical_to_sequential() {
                 .collect();
             #[cfg(unix)]
             rows.push(("workers=2".into(), with_process(&cfg, 2)));
+            // The same contract with the host-time observability plane
+            // armed: profiling, trace export, and the progress heartbeat
+            // must not perturb a single simulation byte, on any backend.
+            rows.push((
+                "sequential+hostprof".into(),
+                with_host_profiling(&with_engine(&cfg, "sequential", 1)),
+            ));
+            rows.push((
+                "shards=2+hostprof".into(),
+                with_host_profiling(&with_engine(&cfg, "sharded", 2)),
+            ));
+            #[cfg(unix)]
+            rows.push((
+                "workers=2+hostprof".into(),
+                with_host_profiling(&with_process(&cfg, 2)),
+            ));
             for (row, sh_cfg) in rows {
                 let sh = run(&sh_cfg);
                 let label = format!("{name} seed={seed:#x} {row}");

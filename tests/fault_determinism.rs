@@ -52,15 +52,33 @@ fn run(cfg: &Value) -> RunOutput {
         .expect("run")
 }
 
-/// The snapshot minus the partition-dependent scheduler planes: the part
-/// the determinism contract pins, now including the `fault` plane.
+/// The snapshot minus the partition-dependent scheduler planes and the
+/// wall-clock host-time planes: the part the determinism contract pins,
+/// now including the `fault` plane.
 fn stripped_samples(out: &RunOutput) -> Vec<MetricSample> {
     out.metrics
         .samples()
         .iter()
-        .filter(|s| !s.component.starts_with("engine_shard_"))
+        .filter(|s| {
+            !s.component.starts_with("engine_shard_")
+                && s.component != "host"
+                && !s.component.starts_with("host_shard_")
+        })
         .cloned()
         .collect()
+}
+
+/// Arms the full host-time observability surface (profiling, trace
+/// export, progress heartbeat) on top of a fault-injecting config.
+fn with_host_profiling(cfg: &Value) -> Value {
+    let mut cfg = cfg.clone();
+    cfg.set_path("host.profile.enabled", Value::Bool(true))
+        .expect("obj");
+    cfg.set_path("host.trace.enabled", Value::Bool(true))
+        .expect("obj");
+    cfg.set_path("progress.interval_ms", Value::Int(60_000))
+        .expect("obj");
+    cfg
 }
 
 /// Only the fault-event lines of the flit trace.
@@ -121,6 +139,18 @@ fn fault_schedule_is_identical_across_engines() {
                 .collect();
             #[cfg(unix)]
             rows.push(("workers=2".into(), with_process(&cfg, 2)));
+            // Fault schedules must also survive the host-time
+            // observability plane being armed: profiling samples and
+            // heartbeat reads never touch the fault RNG stream.
+            rows.push((
+                "shards=2+hostprof".into(),
+                with_host_profiling(&with_engine(&cfg, "sharded", 2)),
+            ));
+            #[cfg(unix)]
+            rows.push((
+                "workers=2+hostprof".into(),
+                with_host_profiling(&with_process(&cfg, 2)),
+            ));
             for (row, sh_cfg) in rows {
                 let sh = run(&sh_cfg);
                 let label = format!("{name} seed={seed:#x} {row}");
